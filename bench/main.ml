@@ -1,0 +1,104 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (sections 4–7) from scratch, plus the ablations DESIGN.md
+    calls out and bechamel micro-benchmarks of the pipeline's building
+    blocks.
+
+    Usage:
+      bench/main.exe                 run everything
+      bench/main.exe fig4 fig6 ...   run selected experiments
+      bench/main.exe --list          list experiment names
+
+    Scale is controlled by REPRO_UARCHS / REPRO_OPTS / REPRO_SEED
+    (defaults 24 / 120 / 42; the paper used 200 / 1000).  Experiments
+    sharing a context reuse one dataset and one cross-validation sweep. *)
+
+let progress msg = Printf.eprintf "[bench] %s\n%!" msg
+
+let base = lazy (Experiments.Context.create ~progress ())
+
+let extended =
+  lazy (Experiments.Context.create ~space:Ml_model.Features.Extended ~progress ())
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ( "spaces",
+      "figure 3 / table 2: optimisation and design space sizes",
+      fun () -> print_string (Experiments.Summary.spaces ()) );
+    ( "fig1",
+      "figure 1: best headline passes for 3 programs x 3 configurations",
+      fun () -> print_string (Experiments.Fig1.render (Lazy.force base)) );
+    ( "fig4",
+      "figure 4: distribution of available speedup per program",
+      fun () -> print_string (Experiments.Fig4.render (Lazy.force base)) );
+    ( "fig5",
+      "figure 5: best vs predicted speedup surface + correlation",
+      fun () -> print_string (Experiments.Fig5.render (Lazy.force base)) );
+    ( "fig6",
+      "figure 6: per-program model vs best (1.16x / 1.23x)",
+      fun () -> print_string (Experiments.Fig6.render (Lazy.force base)) );
+    ( "fig7",
+      "figure 7: per-microarchitecture model vs best, three regions",
+      fun () -> print_string (Experiments.Fig7.render (Lazy.force base)) );
+    ( "fig8",
+      "figure 8: Hinton diagram, optimisation impact per program",
+      fun () -> print_string (Experiments.Fig8.render (Lazy.force base)) );
+    ( "fig9",
+      "figure 9: Hinton diagram, feature/optimisation relation",
+      fun () -> print_string (Experiments.Fig9.render (Lazy.force base)) );
+    ( "convergence",
+      "section 5.3: iterative-compilation evaluations to match the model",
+      fun () ->
+        print_string (Experiments.Convergence.render (Lazy.force base)) );
+    ( "summary",
+      "section 5.5: headline numbers (1.16x, 67%, 0.93)",
+      fun () -> print_string (Experiments.Summary.render (Lazy.force base)) );
+    ( "fig10",
+      "figure 10 / section 7: extended space (frequency, issue width)",
+      fun () -> print_string (Experiments.Fig10.render (Lazy.force extended)) );
+    ( "ablation",
+      "ablations: K, beta, good-set threshold, IID vs Markov, features",
+      fun () -> print_string (Experiments.Ablation.render (Lazy.force base)) );
+    ( "validate",
+      "substrate validation: analytic cache model vs exact LRU simulation",
+      fun () -> print_string (Experiments.Validation.render ()) );
+    ("micro", "bechamel micro-benchmarks of the pipeline", Micro.run);
+    ( "csv",
+      "export the figure data series to results/*.csv",
+      fun () ->
+        let paths = Experiments.Export.all (Lazy.force base) ~dir:"results" in
+        List.iter (Printf.printf "wrote %s\n") paths );
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list" args then
+    List.iter
+      (fun (name, doc, _) -> Printf.printf "%-12s %s\n" name doc)
+      experiments
+  else begin
+    let selected =
+      match args with
+      | [] -> experiments
+      | names ->
+        List.iter
+          (fun n ->
+            if not (List.exists (fun (name, _, _) -> name = n) experiments)
+            then begin
+              Printf.eprintf
+                "unknown experiment %s (use --list to see them)\n" n;
+              exit 1
+            end)
+          names;
+        List.filter (fun (name, _, _) -> List.mem name names) experiments
+    in
+    List.iter
+      (fun (name, doc, run) ->
+        let t0 = Unix.gettimeofday () in
+        Printf.printf "==================================================\n";
+        Printf.printf "== %s — %s\n" name doc;
+        Printf.printf "==================================================\n";
+        run ();
+        Printf.printf "(%s took %.1fs)\n\n%!" name
+          (Unix.gettimeofday () -. t0))
+      selected
+  end

@@ -1,0 +1,64 @@
+(** Bechamel micro-benchmarks for the building blocks of the pipeline:
+    compilation, interpretation, timing-model evaluation, model fitting
+    and prediction, reuse-distance analysis. *)
+
+open Bechamel
+open Toolkit
+
+let program () = Workloads.Mibench.program_of (Workloads.Mibench.by_name "crc")
+
+let tests () =
+  let prog = program () in
+  let image = Passes.Driver.compile_to_image prog in
+  let run = Sim.Xtrem.profile_of prog in
+  let rng = Prelude.Rng.create 7 in
+  let settings = Array.init 40 (fun _ -> Passes.Flags.random rng) in
+  let dist = Ml_model.Distribution.fit settings in
+  let trace = Array.init 4096 (fun _ -> Prelude.Rng.int rng 512) in
+  Test.make_grouped ~name:"portopt"
+    [
+      Test.make ~name:"compile-O3 (crc)"
+        (Staged.stage (fun () ->
+             ignore (Passes.Driver.compile ~setting:Passes.Flags.o3 prog)));
+      Test.make ~name:"layout (crc)"
+        (Staged.stage (fun () ->
+             ignore (Ir.Layout.place (Passes.Driver.compile prog))));
+      Test.make ~name:"interpret (crc, traced)"
+        (Staged.stage (fun () -> ignore (Ir.Interp.run image)));
+      Test.make ~name:"timing-model eval"
+        (Staged.stage (fun () ->
+             ignore (Sim.Xtrem.time run Uarch.Config.xscale)));
+      Test.make ~name:"distribution fit (eq 5, 40 settings)"
+        (Staged.stage (fun () ->
+             ignore (Ml_model.Distribution.fit settings)));
+      Test.make ~name:"distribution mode (eq 1)"
+        (Staged.stage (fun () -> ignore (Ml_model.Distribution.mode dist)));
+      Test.make ~name:"reuse histogram (4096 accesses)"
+        (Staged.stage (fun () ->
+             ignore (Prelude.Reuse.histogram_of_blocks trace)));
+    ]
+
+let run () =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Micro-benchmarks (nanoseconds per call, OLS estimate):";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | _ -> "n/a"
+      in
+      rows := [ name; estimate ] :: !rows)
+    results;
+  print_string
+    (Prelude.Texttab.render_table
+       ~header:[ "operation"; "ns/call" ]
+       (List.sort compare !rows))

@@ -1,0 +1,216 @@
+(** Command-line interface to the portable optimising compiler.
+
+    Subcommands:
+    - [list]     the 35 MiBench-like workloads with their rationale
+    - [dump]     print a workload's IR, optionally after a pass pipeline
+    - [run]      compile, interpret and time a workload on a configuration
+    - [exec]     parse a textual IR file (dump's format) and run it
+    - [spaces]   the optimisation and design space cardinalities
+    - [predict]  train the model and predict the best passes for a
+                 workload on a configuration described on the command line
+    - [flags]    show the optimisation dimensions and the -O3 defaults *)
+
+open Cmdliner
+
+let prog_arg =
+  let doc = "Benchmark name (see the list subcommand)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+(* Microarchitecture options shared by run/predict. *)
+let uarch_term =
+  let open Term in
+  let mk il1 ila ilb dl1 dla dlb btb btba freq width =
+    let u =
+      {
+        Uarch.Config.il1_size = il1 * 1024;
+        il1_assoc = ila;
+        il1_block = ilb;
+        dl1_size = dl1 * 1024;
+        dl1_assoc = dla;
+        dl1_block = dlb;
+        btb_entries = btb;
+        btb_assoc = btba;
+        freq_mhz = freq;
+        issue_width = width;
+      }
+    in
+    Uarch.Config.validate u;
+    u
+  in
+  let flag name default doc =
+    Arg.(value & opt int default & info [ name ] ~doc)
+  in
+  const mk
+  $ flag "il1-kb" 32 "Instruction cache size in KiB."
+  $ flag "il1-assoc" 32 "Instruction cache associativity."
+  $ flag "il1-block" 32 "Instruction cache block size in bytes."
+  $ flag "dl1-kb" 32 "Data cache size in KiB."
+  $ flag "dl1-assoc" 32 "Data cache associativity."
+  $ flag "dl1-block" 32 "Data cache block size in bytes."
+  $ flag "btb" 512 "BTB entries."
+  $ flag "btb-assoc" 1 "BTB associativity."
+  $ flag "freq" 400 "Core frequency in MHz."
+  $ flag "width" 1 "Issue width."
+
+let list_cmd =
+  let run () =
+    Array.iter
+      (fun s ->
+        Printf.printf "%-12s [%s]\n    %s\n" s.Workloads.Spec.name
+          s.Workloads.Spec.suite s.Workloads.Spec.description)
+      Workloads.Mibench.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 35 workloads") Term.(const run $ const ())
+
+let setting_of_o3 o3 = if o3 then Some Passes.Flags.o3 else None
+
+let dump_cmd =
+  let run name o3 =
+    let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name name) in
+    let program =
+      match setting_of_o3 o3 with
+      | Some setting -> Passes.Driver.compile ~setting program
+      | None -> program
+    in
+    print_string (Ir.Pretty.program program)
+  in
+  let o3 =
+    Arg.(value & flag & info [ "O3" ] ~doc:"Dump after the -O3 pipeline.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print a workload's IR")
+    Term.(const run $ prog_arg $ o3)
+
+let run_cmd =
+  let run name u =
+    let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name name) in
+    let r = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+    let v = Sim.Xtrem.time r u in
+    let p = r.Sim.Xtrem.profile in
+    Printf.printf "%s on %s (-O3)\n\n" name (Uarch.Config.to_string u);
+    Printf.printf "dynamic instructions  %d\n" p.Ir.Profile.dyn_insts;
+    Printf.printf "code size             %d bytes\n" p.Ir.Profile.code_bytes;
+    Printf.printf "cycles                %.0f\n" v.Sim.Pipeline.cycles;
+    Printf.printf "time                  %.3f ms\n" (v.Sim.Pipeline.seconds *. 1e3);
+    Printf.printf "energy                %.3f mJ\n" (Sim.Xtrem.energy_mj r u);
+    Printf.printf "checksum              %d\n\n" r.Sim.Xtrem.checksum;
+    Printf.printf "performance counters (table 1):\n";
+    Array.iteri
+      (fun i v ->
+        Printf.printf "  %-18s %.4f\n" Sim.Counters.names.(i) v)
+      (Sim.Counters.to_array v.Sim.Pipeline.counters)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile, interpret and time a workload")
+    Term.(const run $ prog_arg $ uarch_term)
+
+let spaces_cmd =
+  let run () = print_string (Experiments.Summary.spaces ()) in
+  Cmd.v
+    (Cmd.info "spaces" ~doc:"Show space cardinalities (fig. 3, table 2)")
+    Term.(const run $ const ())
+
+let flags_cmd =
+  let run () =
+    Array.iteri
+      (fun i d ->
+        let kind =
+          match d.Passes.Flags.kind with
+          | Passes.Flags.Flag { o3 } ->
+            Printf.sprintf "flag   (O3: %s)" (if o3 then "on" else "off")
+          | Passes.Flags.Param { values; o3_index } ->
+            Printf.sprintf "param  (O3: %d; values %s)" values.(o3_index)
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int values)))
+        in
+        Printf.printf "%2d %-28s %s%s\n" i d.Passes.Flags.name kind
+          (match d.Passes.Flags.gate with
+          | Some g -> "  [gated by " ^ g ^ "]"
+          | None -> ""))
+      Passes.Flags.dims
+  in
+  Cmd.v
+    (Cmd.info "flags" ~doc:"Show the 39 optimisation dimensions (fig. 3)")
+    Term.(const run $ const ())
+
+let exec_cmd =
+  let run file u =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Ir.Parse.program text with
+    | exception Ir.Parse.Error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" file line msg;
+      exit 1
+    | program ->
+      let r = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+      let v = Sim.Xtrem.time r u in
+      Printf.printf "checksum %d\ncycles   %.0f\ntime     %.3f ms\n"
+        r.Sim.Xtrem.checksum v.Sim.Pipeline.cycles
+        (v.Sim.Pipeline.seconds *. 1e3)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Textual IR file (the dump subcommand's format).")
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Parse a textual IR file, compile at -O3 and run")
+    Term.(const run $ file $ uarch_term)
+
+let predict_cmd =
+  let run name u uarchs opts =
+    let scale =
+      {
+        (Ml_model.Dataset.default_scale ()) with
+        Ml_model.Dataset.n_uarchs = uarchs;
+        n_opts = opts;
+      }
+    in
+    Printf.eprintf "training (%d configurations x %d settings)...\n%!" uarchs
+      opts;
+    let dataset = Ml_model.Dataset.generate scale in
+    let exclude = ref (-1) in
+    Array.iteri
+      (fun i s -> if s.Workloads.Spec.name = name then exclude := i)
+      dataset.Ml_model.Dataset.specs;
+    let model =
+      Ml_model.Model.train
+        ~include_pair:(fun ~prog ~uarch:_ -> prog <> !exclude)
+        dataset
+    in
+    let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name name) in
+    let o3_run = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+    let o3 = Sim.Xtrem.time o3_run u in
+    let features =
+      Ml_model.Features.raw Ml_model.Features.Base o3.Sim.Pipeline.counters u
+    in
+    let predicted = Ml_model.Model.predict model features in
+    let tuned_run = Sim.Xtrem.profile_of ~setting:predicted program in
+    let tuned = Sim.Xtrem.time tuned_run u in
+    Printf.printf "predicted passes for %s on %s:\n  %s\n\n" name
+      (Uarch.Config.to_string u)
+      (Passes.Flags.to_string predicted);
+    Printf.printf "-O3:       %.0f cycles\npredicted: %.0f cycles (%.2fx)\n"
+      o3.Sim.Pipeline.cycles tuned.Sim.Pipeline.cycles
+      (o3.Sim.Pipeline.cycles /. tuned.Sim.Pipeline.cycles)
+  in
+  let uarchs =
+    Arg.(value & opt int 10 & info [ "train-uarchs" ] ~doc:"Training configurations.")
+  in
+  let opts =
+    Arg.(value & opt int 60 & info [ "train-opts" ] ~doc:"Training settings.")
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Predict the best passes for a new pair")
+    Term.(const run $ prog_arg $ uarch_term $ uarchs $ opts)
+
+let () =
+  let info =
+    Cmd.info "portopt" ~version:"1.0.0"
+      ~doc:"Portable compiler optimisation across programs and microarchitectures"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; dump_cmd; run_cmd; exec_cmd; spaces_cmd; flags_cmd; predict_cmd ]))

@@ -1,0 +1,69 @@
+(* Quickstart: the portable optimising compiler end to end.
+
+   1. Generate training data: the MiBench-like suite compiled under a
+      sample of optimisation settings, priced on a sample of
+      microarchitectures.
+   2. Train the model, leaving out the program and configuration we
+      pretend are new.
+   3. Meet the "new" program on the "new" microarchitecture: profile one
+      -O3 run, form the feature vector, predict the best passes, compile
+      and measure.
+
+   Run with:  dune exec examples/quickstart.exe  *)
+
+let () =
+  (* A small scale so the example runs in about a minute; raise for
+     fidelity. *)
+  let scale =
+    {
+      (Ml_model.Dataset.default_scale ()) with
+      Ml_model.Dataset.n_uarchs = 8;
+      n_opts = 48;
+    }
+  in
+  Printf.printf "Generating training data (35 programs x %d settings)...\n%!"
+    scale.Ml_model.Dataset.n_opts;
+  let dataset = Ml_model.Dataset.generate scale in
+
+  (* Pretend madplay and configuration #3 are new. *)
+  let new_prog = ref 0 in
+  Array.iteri
+    (fun i s -> if s.Workloads.Spec.name = "madplay" then new_prog := i)
+    dataset.Ml_model.Dataset.specs;
+  let new_prog = !new_prog in
+  let spec = dataset.Ml_model.Dataset.specs.(new_prog) in
+  let new_uarch = 3 in
+  let u = dataset.Ml_model.Dataset.uarchs.(new_uarch) in
+  Printf.printf "New program: %s\nNew microarchitecture: %s\n\n"
+    spec.Workloads.Spec.name
+    (Uarch.Config.to_string u);
+
+  let model =
+    Ml_model.Model.train
+      ~include_pair:(fun ~prog ~uarch ->
+        prog <> new_prog && uarch <> new_uarch)
+      dataset
+  in
+
+  (* One profiling run at -O3 on the new configuration gives the
+     performance counters; together with the configuration's descriptors
+     they form the feature vector x = (c, d). *)
+  let program = Workloads.Mibench.program_of spec in
+  let o3_run = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+  let o3 = Sim.Xtrem.time o3_run u in
+  let features =
+    Ml_model.Features.raw Ml_model.Features.Base o3.Sim.Pipeline.counters u
+  in
+  let predicted = Ml_model.Model.predict model features in
+  Printf.printf "Predicted passes:\n  %s\n\n" (Passes.Flags.to_string predicted);
+
+  let tuned_run = Sim.Xtrem.profile_of ~setting:predicted program in
+  let tuned = Sim.Xtrem.time tuned_run u in
+  Printf.printf "-O3:        %8.0f cycles\n" o3.Sim.Pipeline.cycles;
+  Printf.printf "predicted:  %8.0f cycles  (speedup %.2fx)\n"
+    tuned.Sim.Pipeline.cycles
+    (o3.Sim.Pipeline.cycles /. tuned.Sim.Pipeline.cycles);
+  let best = Ml_model.Dataset.pair dataset ~prog:new_prog ~uarch:new_uarch in
+  Printf.printf "best of %d sampled settings: speedup %.2fx\n"
+    (Array.length dataset.Ml_model.Dataset.settings)
+    (Ml_model.Dataset.best_speedup best)

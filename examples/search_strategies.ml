@@ -1,0 +1,80 @@
+(* Iterative-compilation baselines against the model's one-shot
+   prediction on a single program/configuration pair: uniform random
+   search, hill climbing and a genetic algorithm, all driving the real
+   compile-and-simulate loop, as in the related work the paper compares
+   against (Cooper et al., Almagor et al., Kulkarni et al.).
+
+   Run with:  dune exec examples/search_strategies.exe  *)
+
+let () =
+  let pname = "tiffmedian" in
+  let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name pname) in
+  let u =
+    { Uarch.Config.xscale with Uarch.Config.il1_size = 8192; dl1_size = 8192 }
+  in
+  Printf.printf "Program %s on %s\n\n" pname (Uarch.Config.to_string u);
+  let o3_run = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+  let o3 = (Sim.Xtrem.time o3_run u).Sim.Pipeline.seconds in
+  let evaluations = ref 0 in
+  let cache = Hashtbl.create 256 in
+  let evaluate setting =
+    let key = Passes.Flags.canonical setting in
+    match Hashtbl.find_opt cache key with
+    | Some t -> t
+    | None ->
+      incr evaluations;
+      let run = Sim.Xtrem.profile_of ~setting program in
+      let t = (Sim.Xtrem.time run u).Sim.Pipeline.seconds in
+      Hashtbl.replace cache key t;
+      t
+  in
+  let budget = 120 in
+  let report name seconds =
+    Printf.printf "%-22s %.3f ms  speedup over -O3: %.2fx\n" name
+      (seconds *. 1e3) (o3 /. seconds)
+  in
+  report "-O3" o3;
+
+  let rng = Prelude.Rng.create 11 in
+  let random = Search.Iterative.search ~rng ~budget ~evaluate in
+  report
+    (Printf.sprintf "random (%d evals)" budget)
+    random.Search.Iterative.best_seconds;
+
+  let rng = Prelude.Rng.create 12 in
+  let hc = Search.Hill_climb.search ~rng ~budget ~evaluate in
+  report
+    (Printf.sprintf "hill climb (%d restarts)" hc.Search.Hill_climb.restarts)
+    hc.Search.Hill_climb.best_seconds;
+
+  let rng = Prelude.Rng.create 13 in
+  let ga = Search.Genetic.search ~rng ~budget ~evaluate () in
+  report
+    (Printf.sprintf "genetic (%d gens)" ga.Search.Genetic.generations)
+    ga.Search.Genetic.best_seconds;
+
+  (* The model needs one -O3 profiling run instead of a search. *)
+  Printf.printf "\nTraining the model for the one-shot prediction...\n%!";
+  let scale =
+    {
+      (Ml_model.Dataset.default_scale ()) with
+      Ml_model.Dataset.n_uarchs = 6;
+      n_opts = 40;
+    }
+  in
+  let dataset = Ml_model.Dataset.generate scale in
+  let prog_index = ref 0 in
+  Array.iteri
+    (fun i s -> if s.Workloads.Spec.name = pname then prog_index := i)
+    dataset.Ml_model.Dataset.specs;
+  let model =
+    Ml_model.Model.train
+      ~include_pair:(fun ~prog ~uarch:_ -> prog <> !prog_index)
+      dataset
+  in
+  let features =
+    Ml_model.Features.raw Ml_model.Features.Base
+      (Sim.Xtrem.time o3_run u).Sim.Pipeline.counters u
+  in
+  let predicted = Ml_model.Model.predict model features in
+  report "model (1 profile run)" (evaluate predicted)

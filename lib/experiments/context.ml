@@ -1,0 +1,101 @@
+(** Shared experiment state: one dataset and one cross-validation sweep per
+    space, generated lazily and reused by every figure driver so that a
+    full `bench/main.exe` run pays the training cost once. *)
+
+type t = {
+  scale : Ml_model.Dataset.scale;
+  mutable dataset : Ml_model.Dataset.t option;
+  mutable outcomes : Ml_model.Crossval.outcome array option;
+  progress : string -> unit;
+}
+
+let create ?(space = Ml_model.Features.Base) ?scale
+    ?(progress = fun (_ : string) -> ()) () =
+  let scale =
+    match scale with
+    | Some s -> s
+    | None -> Ml_model.Dataset.default_scale ~space ()
+  in
+  { scale; dataset = None; outcomes = None; progress }
+
+let dataset t =
+  match t.dataset with
+  | Some d -> d
+  | None ->
+    t.progress "generating training data (compile + interpret, cached)";
+    let d = Ml_model.Dataset.generate ~progress:t.progress t.scale in
+    t.dataset <- Some d;
+    d
+
+let outcomes t =
+  match t.outcomes with
+  | Some o -> o
+  | None ->
+    let d = dataset t in
+    t.progress "running leave-one-out cross-validation";
+    let o = Ml_model.Crossval.run ~progress:t.progress d in
+    t.outcomes <- Some o;
+    o
+
+(* Aggregation helpers shared by the per-program and per-configuration
+   figures. *)
+
+let program_names t =
+  Array.map (fun s -> s.Workloads.Spec.name) (dataset t).Ml_model.Dataset.specs
+
+(** Figure 4/6's program order: sorted by mean best speedup ascending, as
+    in the paper ("benchmarks ordered so that those with large performance
+    increases are on the right"). *)
+let program_order t =
+  let d = dataset t in
+  let n = Ml_model.Dataset.n_programs d in
+  let nu = Ml_model.Dataset.n_uarchs d in
+  let means =
+    Array.init n (fun p ->
+        Prelude.Stats.mean
+          (Array.init nu (fun u ->
+               Ml_model.Dataset.best_speedup (Ml_model.Dataset.pair d ~prog:p ~uarch:u))))
+  in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare means.(a) means.(b)) order;
+  order
+
+(** Figure 5/7's microarchitecture order: by mean best speedup ascending. *)
+let uarch_order t =
+  let d = dataset t in
+  let n = Ml_model.Dataset.n_uarchs d in
+  let np = Ml_model.Dataset.n_programs d in
+  let means =
+    Array.init n (fun u ->
+        Prelude.Stats.mean
+          (Array.init np (fun p ->
+               Ml_model.Dataset.best_speedup (Ml_model.Dataset.pair d ~prog:p ~uarch:u))))
+  in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare means.(a) means.(b)) order;
+  order
+
+(** Mean speedups (model, best) for one program across configurations. *)
+let program_speedups t prog =
+  let d = dataset t in
+  let o = outcomes t in
+  let nu = Ml_model.Dataset.n_uarchs d in
+  let rows =
+    Array.of_list
+      (List.filter (fun (x : Ml_model.Crossval.outcome) -> x.prog = prog)
+         (Array.to_list o))
+  in
+  assert (Array.length rows = nu);
+  ( Prelude.Stats.mean (Array.map Ml_model.Crossval.speedup rows),
+    Prelude.Stats.mean (Array.map Ml_model.Crossval.best_speedup rows) )
+
+(** Mean speedups (model, best) for one configuration across programs. *)
+let uarch_speedups t uarch =
+  let o = outcomes t in
+  let rows =
+    Array.of_list
+      (List.filter (fun (x : Ml_model.Crossval.outcome) -> x.uarch = uarch)
+         (Array.to_list o))
+  in
+  ( Prelude.Stats.mean (Array.map Ml_model.Crossval.speedup rows),
+    Prelude.Stats.mean (Array.map Ml_model.Crossval.best_speedup rows) )

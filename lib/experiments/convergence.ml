@@ -1,0 +1,58 @@
+(** Section 5.3's comparison with iterative compilation: how many random
+    evaluations does a per-pair search need before its expected best
+    matches the model's one-shot prediction?  The paper reports roughly 50
+    on average, over 100 for some programs. *)
+
+open Prelude
+
+let trials = 64
+
+let render ctx =
+  let d = Context.dataset ctx in
+  let o = Context.outcomes ctx in
+  let names = Context.program_names ctx in
+  let nu = Ml_model.Dataset.n_uarchs d in
+  let rng = Rng.create 2026 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Iterative compilation vs the model (section 5.3): expected random-\n\
+     search evaluations needed to match the model's one-shot prediction\n\n";
+  let per_program = Hashtbl.create 64 in
+  Array.iter
+    (fun (x : Ml_model.Crossval.outcome) ->
+      let pair = Ml_model.Dataset.pair d ~prog:x.prog ~uarch:x.uarch in
+      let curve =
+        Search.Iterative.convergence ~rng ~trials pair.Ml_model.Dataset.times
+      in
+      let evals =
+        match
+          Search.Iterative.evaluations_to_reach curve x.predicted_seconds
+        with
+        | Some n -> float_of_int n
+        | None -> float_of_int (Array.length curve)
+        (* the model beat every sampled setting *)
+      in
+      let l = Option.value (Hashtbl.find_opt per_program x.prog) ~default:[] in
+      Hashtbl.replace per_program x.prog (evals :: l))
+    o;
+  let all = ref [] in
+  let rows = ref [] in
+  for p = Array.length names - 1 downto 0 do
+    match Hashtbl.find_opt per_program p with
+    | Some evals ->
+      let xs = Array.of_list evals in
+      assert (Array.length xs = nu);
+      all := evals @ !all;
+      rows := [ names.(p); Texttab.fixed ~digits:1 (Stats.mean xs) ] :: !rows
+    | None -> ()
+  done;
+  Buffer.add_string buf
+    (Texttab.render_table ~header:[ "program"; "evaluations to match model" ]
+       !rows);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nAverage over all pairs: %.1f evaluations (paper: ~50 of 1000; \
+        scale here is %d sampled settings)\n"
+       (Stats.mean (Array.of_list !all))
+       (Array.length d.Ml_model.Dataset.settings));
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Figure 8: Hinton diagram of the normalised mutual information between
+    each optimisation dimension and the achieved speedup, per program —
+    which passes matter where. *)
+
+open Prelude
+
+let render ctx =
+  let d = Context.dataset ctx in
+  let names = Context.program_names ctx in
+  let n_prog = Ml_model.Dataset.n_programs d in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    "Figure 8: impact of each optimisation on each program\n\
+     (normalised mutual information between pass value and speedup;\n\
+     bigger glyph = more impact)\n\n";
+  let mi =
+    Array.init n_prog (fun p -> Ml_model.Mutual_info.pass_impact d ~prog:p)
+  in
+  (* Normalise per diagram, as Hinton rendering expects magnitudes in
+     [0, 1]. *)
+  let max_mi =
+    Array.fold_left
+      (fun acc row -> Array.fold_left Float.max acc row)
+      1e-9 mi
+  in
+  let short s = if String.length s <= 26 then s else String.sub s 0 26 in
+  Array.iteri
+    (fun l (dim : Passes.Flags.dim) ->
+      Buffer.add_string buf (Printf.sprintf "%-26s" (short dim.Passes.Flags.name));
+      for p = 0 to n_prog - 1 do
+        Buffer.add_string buf (Texttab.hinton_cell (mi.(p).(l) /. max_mi))
+      done;
+      Buffer.add_char buf '\n')
+    Passes.Flags.dims;
+  Buffer.add_string buf "\ncolumns (programs): ";
+  Buffer.add_string buf (String.concat " " (Array.to_list names));
+  Buffer.add_char buf '\n';
+  (* Highlight the paper's observations: scheduling matters almost
+     everywhere; inlining dominates a few call-heavy programs. *)
+  let impact_of flag =
+    let l = Passes.Flags.index_of_name flag in
+    Stats.mean (Array.map (fun row -> row.(l)) mi)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nMean impact: fschedule_insns %.3f, funroll_loops %.3f, \
+        finline_functions %.3f\n"
+       (impact_of "fschedule_insns")
+       (impact_of "funroll_loops")
+       (impact_of "finline_functions"));
+  Buffer.contents buf

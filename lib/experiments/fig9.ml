@@ -1,0 +1,55 @@
+(** Figure 9: Hinton diagram of the normalised mutual information between
+    each feature (microarchitecture descriptors then performance counters)
+    and the best value of each optimisation dimension — which features
+    predict which passes. *)
+
+open Prelude
+
+let render ctx =
+  let d = Context.dataset ctx in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    "Figure 9: relationship between features and best optimisations\n\
+     (normalised mutual information; bigger glyph = more informative)\n\n";
+  let mi = Ml_model.Mutual_info.feature_pass_relation d in
+  let feature_names = Ml_model.Features.names d.Ml_model.Dataset.scale.Ml_model.Dataset.space in
+  let max_mi =
+    Array.fold_left
+      (fun acc row -> Array.fold_left Float.max acc row)
+      1e-9 mi
+  in
+  let short s = if String.length s <= 26 then s else String.sub s 0 26 in
+  Array.iteri
+    (fun l (dim : Passes.Flags.dim) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-26s" (short dim.Passes.Flags.name));
+      Array.iteri
+        (fun _ v -> Buffer.add_string buf (Texttab.hinton_cell (v /. max_mi)))
+        mi.(l);
+      Buffer.add_char buf '\n')
+    Passes.Flags.dims;
+  Buffer.add_string buf "\ncolumns (features): ";
+  Buffer.add_string buf (String.concat " " (Array.to_list feature_names));
+  Buffer.add_char buf '\n';
+  (* The paper's headline observation: the I-cache size descriptor is the
+     strongest single signal, driving inlining and unrolling. *)
+  let feature_index name =
+    let found = ref (-1) in
+    Array.iteri (fun i n -> if n = name then found := i) feature_names;
+    !found
+  in
+  let mean_over_dims f =
+    Stats.mean (Array.map (fun row -> row.(f)) mi)
+  in
+  let i_size = feature_index "i_size" in
+  let means = Array.init (Array.length feature_names) mean_over_dims in
+  let rank_of f =
+    let better = Array.to_list means |> List.filter (fun m -> m > means.(f)) in
+    1 + List.length better
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\ni_size mean informativeness %.3f (rank %d of %d features; the \
+        paper finds it the most influential descriptor)\n"
+       means.(i_size) (rank_of i_size) (Array.length means));
+  Buffer.contents buf

@@ -1,0 +1,71 @@
+(** The paper's headline numbers in one table (sections 4.3, 5.5), plus
+    the static space cardinalities of figure 3 and table 2. *)
+
+open Prelude
+
+let spaces () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Optimisation and design spaces\n\n";
+  Buffer.add_string buf
+    (Texttab.render_table
+       ~header:[ "space"; "ours"; "paper" ]
+       [
+         [
+           "flag combinations (fig. 3)";
+           Printf.sprintf "%.3g" Passes.Flags.space_size_flags;
+           "6.42e8";
+         ];
+         [
+           "with parameters (fig. 3)";
+           Printf.sprintf "%.3g" Passes.Flags.space_size_total;
+           "1.69e17";
+         ];
+         [
+           "semantically distinct settings";
+           Printf.sprintf "%.3g" Passes.Flags.space_size_distinct;
+           "-";
+         ];
+         [
+           "microarchitectures (table 2)";
+           string_of_int (Uarch.Space.cardinality Uarch.Space.Base);
+           "288000";
+         ];
+         [
+           "extended microarchitectures";
+           string_of_int (Uarch.Space.cardinality Uarch.Space.Extended);
+           "-";
+         ];
+         [
+           "optimisation dimensions";
+           string_of_int Passes.Flags.n_dims;
+           "39 (fig. 8)";
+         ];
+       ]);
+  Buffer.contents buf
+
+let render ctx =
+  let o = Context.outcomes ctx in
+  let model, best = Fig6.averages ctx in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Headline results (section 5.5)\n\n";
+  Buffer.add_string buf
+    (Texttab.render_table
+       ~header:[ "metric"; "ours"; "paper" ]
+       [
+         [ "mean model speedup over -O3"; Texttab.fixed ~digits:3 model; "1.16" ];
+         [ "mean best (iterative) speedup"; Texttab.fixed ~digits:3 best; "1.23" ];
+         [
+           "fraction of headroom captured";
+           Printf.sprintf "%.0f%%"
+             (100.0 *. Ml_model.Crossval.fraction_of_best o);
+           "67%";
+         ];
+         [
+           "correlation predicted vs best";
+           Texttab.fixed ~digits:3 (Fig5.correlation ctx);
+           "0.93";
+         ];
+       ]);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf (spaces ());
+  Buffer.contents buf

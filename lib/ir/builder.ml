@@ -1,0 +1,207 @@
+(** Imperative construction DSL for IR programs.
+
+    Workload generators and tests use this instead of writing record
+    literals: it allocates fresh registers and labels, tracks the current
+    block, lays out the data segment, and provides structured control-flow
+    helpers ([counted_loop], [if_]) that expand to the do-while CFG shape the
+    unrolling and unswitching passes recognise. *)
+
+open Types
+
+type t = {
+  mutable funcs_rev : func list;
+  mutable data_rev : data_decl list;
+  mutable next_data_base : int;
+}
+
+type fb = {
+  parent : t;
+  fname : string;
+  params : reg list;
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable done_blocks_rev : block list;
+  mutable cur_label : label option;  (** [None] between blocks. *)
+  mutable cur_insts_rev : inst list;
+}
+
+let create () = { funcs_rev = []; data_rev = []; next_data_base = 64 }
+
+let array t name ~words ~init =
+  if words <= 0 then invalid_arg "Builder.array: words must be positive";
+  let base = t.next_data_base in
+  t.data_rev <- { dname = name; base; words; init } :: t.data_rev;
+  t.next_data_base <- base + (words * word_bytes);
+  base
+
+let begin_func t name ~nparams =
+  let params = List.init nparams (fun i -> i) in
+  {
+    parent = t;
+    fname = name;
+    params;
+    next_reg = nparams;
+    next_label = 0;
+    done_blocks_rev = [];
+    cur_label = Some "entry";
+    cur_insts_rev = [];
+  }
+
+let fresh fb =
+  let r = fb.next_reg in
+  fb.next_reg <- r + 1;
+  r
+
+let fresh_label fb hint =
+  let l = Printf.sprintf "%s%d" hint fb.next_label in
+  fb.next_label <- fb.next_label + 1;
+  l
+
+let emit fb inst =
+  if fb.cur_label = None then
+    invalid_arg
+      (Printf.sprintf "Builder.emit: no open block in %s" fb.fname);
+  fb.cur_insts_rev <- inst :: fb.cur_insts_rev
+
+let terminate fb term =
+  match fb.cur_label with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Builder.terminate: no open block in %s" fb.fname)
+  | Some label ->
+    fb.done_blocks_rev <-
+      { label; insts = List.rev fb.cur_insts_rev; term; balign = 0 }
+      :: fb.done_blocks_rev;
+    fb.cur_label <- None;
+    fb.cur_insts_rev <- []
+
+let start_block fb label =
+  if fb.cur_label <> None then
+    invalid_arg
+      (Printf.sprintf
+         "Builder.start_block: previous block of %s not terminated" fb.fname);
+  fb.cur_label <- Some label;
+  fb.cur_insts_rev <- []
+
+(* Convenience emitters returning the destination register. *)
+
+let alu fb op a b =
+  let dst = fresh fb in
+  emit fb (Alu { dst; op; a; b });
+  dst
+
+let cmp fb op a b =
+  let dst = fresh fb in
+  emit fb (Cmp { dst; op; a; b });
+  dst
+
+let mac fb acc a b =
+  let dst = fresh fb in
+  emit fb (Mac { dst; acc; a; b });
+  dst
+
+let shift fb op a amount =
+  let dst = fresh fb in
+  emit fb (Shift { dst; op; a; amount });
+  dst
+
+let mov fb src =
+  let dst = fresh fb in
+  emit fb (Mov { dst; src });
+  dst
+
+let load fb base offset =
+  let dst = fresh fb in
+  emit fb (Load { dst; base; offset });
+  dst
+
+let store fb src base offset = emit fb (Store { src; base; offset })
+
+let call fb callee args =
+  let dst = fresh fb in
+  emit fb (Call { dst = Some dst; callee; args });
+  dst
+
+let call_void fb callee args = emit fb (Call { dst = None; callee; args })
+
+(* Structured control flow. *)
+
+let if_ fb cond ~then_ ~else_ =
+  let lthen = fresh_label fb "then" in
+  let lelse = fresh_label fb "else" in
+  let ljoin = fresh_label fb "join" in
+  terminate fb (Branch { cond; ifso = lthen; ifnot = lelse });
+  (* The else block is placed first so the not-taken edge is the
+     fall-through, matching the layout convention (only [ifnot] elides);
+     the block-reordering pass may later invert hot branches. *)
+  start_block fb lelse;
+  else_ ();
+  terminate fb (Jump ljoin);
+  start_block fb lthen;
+  then_ ();
+  terminate fb (Jump ljoin);
+  start_block fb ljoin
+
+(** [counted_loop fb ~from ~limit ~step body] emits a do-while loop:
+    {v
+        i = from
+      loop:
+        body i
+        i = i + step
+        c = cmp.lt i, limit
+        branch c ? loop : exit
+      exit:
+    v}
+    The body callback may itself open and close blocks; the increment and
+    test land in whatever block is open when the body returns.  The loop
+    executes at least once, matching the shape produced by a rotating
+    compiler front end and recognised by the unroller. *)
+let counted_loop fb ~from ~limit ~step body =
+  let i = fresh fb in
+  emit fb (Mov { dst = i; src = Imm from });
+  let lloop = fresh_label fb "loop" in
+  let lexit = fresh_label fb "exit" in
+  terminate fb (Jump lloop);
+  start_block fb lloop;
+  body i;
+  emit fb (Alu { dst = i; op = Add; a = Reg i; b = Imm step });
+  let c = cmp fb Lt (Reg i) limit in
+  terminate fb (Branch { cond = c; ifso = lloop; ifnot = lexit });
+  start_block fb lexit
+
+let end_func fb =
+  if fb.cur_label <> None then
+    invalid_arg
+      (Printf.sprintf "Builder.end_func: open block left in %s" fb.fname);
+  let blocks = List.rev fb.done_blocks_rev in
+  fb.parent.funcs_rev <-
+    {
+      name = fb.fname;
+      params = fb.params;
+      blocks;
+      falign = 0;
+      stack_slots = 0;
+    }
+    :: fb.parent.funcs_rev
+
+(** Define a whole function in one call; the body receives the function
+    builder and the parameter registers and must leave every block
+    terminated. *)
+let func t name ~nparams body =
+  let fb = begin_func t name ~nparams in
+  body fb fb.params;
+  end_func fb
+
+let frame_words = 256
+(** Stack area reserved per function for spill slots. *)
+
+let finish t ~entry =
+  let funcs = List.rev t.funcs_rev in
+  let data = List.rev t.data_rev in
+  let data_end = t.next_data_base in
+  let stack_base = (data_end + 63) land lnot 63 in
+  let stack_bytes = List.length funcs * frame_words * word_bytes in
+  let mem_words = ((stack_base + stack_bytes) / word_bytes) + 16 in
+  let program = { funcs; entry_func = entry; data; mem_words; stack_base } in
+  Validate.check_exn program;
+  program

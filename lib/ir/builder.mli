@@ -1,0 +1,81 @@
+(** Imperative construction DSL for IR programs.
+
+    Workload generators and tests use this instead of writing record
+    literals: it allocates fresh registers and labels, tracks the current
+    block, lays out the data segment and provides structured control-flow
+    helpers that expand to the do-while CFG shape the unrolling and
+    unswitching passes recognise.
+
+    {!finish} validates the program, so anything a builder returns is
+    well-formed by construction. *)
+
+open Types
+
+type t
+(** Program under construction. *)
+
+type fb
+(** Function under construction: holds the current (open) block. *)
+
+val create : unit -> t
+
+val array : t -> string -> words:int -> init:data_init -> int
+(** Allocate a named array in the data segment; returns its byte base
+    address for use as an immediate operand. *)
+
+val begin_func : t -> string -> nparams:int -> fb
+(** Open a function whose parameters are registers [0 .. nparams-1]; the
+    block ["entry"] is open initially. *)
+
+val fresh : fb -> reg
+(** A fresh virtual register. *)
+
+val fresh_label : fb -> string -> label
+(** A fresh label built from the given hint. *)
+
+val emit : fb -> inst -> unit
+(** Append to the open block.  Raises if no block is open. *)
+
+val terminate : fb -> terminator -> unit
+(** Close the open block. *)
+
+val start_block : fb -> label -> unit
+(** Open a new block.  Raises if the previous block is still open. *)
+
+val end_func : fb -> unit
+(** Register the function.  Raises if a block is still open. *)
+
+val func : t -> string -> nparams:int -> (fb -> reg list -> unit) -> unit
+(** Define a whole function: the body receives the builder and the
+    parameter registers and must leave every block terminated. *)
+
+(** {2 Convenience emitters} — each returns the destination register. *)
+
+val alu : fb -> alu_op -> operand -> operand -> reg
+val cmp : fb -> cmp_op -> operand -> operand -> reg
+val mac : fb -> operand -> operand -> operand -> reg
+val shift : fb -> shift_op -> operand -> operand -> reg
+val mov : fb -> operand -> reg
+val load : fb -> operand -> operand -> reg
+val store : fb -> operand -> operand -> operand -> unit
+val call : fb -> string -> operand list -> reg
+val call_void : fb -> string -> operand list -> unit
+
+(** {2 Structured control flow} *)
+
+val if_ : fb -> reg -> then_:(unit -> unit) -> else_:(unit -> unit) -> unit
+(** Branch on a non-zero register; the else block is placed first so the
+    not-taken edge is the layout fall-through. *)
+
+val counted_loop :
+  fb -> from:int -> limit:operand -> step:int -> (reg -> unit) -> unit
+(** Do-while counted loop (executes the body at least once); the body
+    callback receives the induction register.  This is the canonical
+    shape {!Passes.Unroll} recognises. *)
+
+val frame_words : int
+(** Stack area reserved per function for spill slots. *)
+
+val finish : t -> entry:string -> program
+(** Assemble, lay out memory and validate.  Raises [Invalid_argument] on
+    a malformed program. *)

@@ -1,0 +1,177 @@
+(** Control-flow graph, dominator tree and natural-loop analysis for one
+    function.
+
+    The CFG is an immutable snapshot: passes build it, compute what they
+    need, transform the block list functionally and rebuild if necessary.
+    Dominators use the Cooper–Harvey–Kennedy iterative algorithm over
+    reverse postorder. *)
+
+open Types
+
+type t = {
+  func : func;
+  blocks : block array;
+  index_of : (label, int) Hashtbl.t;
+  succ : int list array;
+  pred : int list array;
+  rpo : int array;  (** Reverse postorder over reachable blocks. *)
+  rpo_pos : int array;  (** Position in [rpo]; -1 when unreachable. *)
+  idom : int array;  (** Immediate dominator; entry maps to itself. *)
+}
+
+let build (func : Types.func) =
+  let blocks = Array.of_list func.blocks in
+  let n = Array.length blocks in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i b -> Hashtbl.replace index_of b.label i) blocks;
+  let lookup label =
+    match Hashtbl.find_opt index_of label with
+    | Some i -> i
+    | None -> invalid_arg ("Cfg.build: unknown label " ^ label)
+  in
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let targets = List.map lookup (successors b.term) in
+      succ.(i) <- targets;
+      List.iter (fun j -> pred.(j) <- i :: pred.(j)) targets)
+    blocks;
+  (* Depth-first postorder from the entry block (index 0). *)
+  let visited = Array.make n false in
+  let postorder = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs succ.(i);
+      postorder := i :: !postorder
+    end
+  in
+  if n > 0 then dfs 0;
+  let rpo = Array.of_list !postorder in
+  let rpo_pos = Array.make n (-1) in
+  Array.iteri (fun pos i -> rpo_pos.(i) <- pos) rpo;
+  (* Cooper–Harvey–Kennedy dominators. *)
+  let idom = Array.make n (-1) in
+  if n > 0 then begin
+    idom.(0) <- 0;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_pos.(!a) > rpo_pos.(!b) do
+          a := idom.(!a)
+        done;
+        while rpo_pos.(!b) > rpo_pos.(!a) do
+          b := idom.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun i ->
+          if i <> 0 then begin
+            let processed =
+              List.filter (fun p -> idom.(p) >= 0) pred.(i)
+            in
+            match processed with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(i) <> new_idom then begin
+                idom.(i) <- new_idom;
+                changed := true
+              end
+          end)
+        rpo
+    done
+  end;
+  { func; blocks; index_of; succ; pred; rpo; rpo_pos; idom }
+
+let n_blocks t = Array.length t.blocks
+
+let index t label =
+  match Hashtbl.find_opt t.index_of label with
+  | Some i -> i
+  | None -> invalid_arg ("Cfg.index: unknown label " ^ label)
+
+let label t i = t.blocks.(i).label
+
+let reachable t i = t.rpo_pos.(i) >= 0
+
+(** [dominates t a b]: every path from entry to [b] passes through [a].
+    Unreachable blocks dominate nothing and are dominated by nothing. *)
+let dominates t a b =
+  if not (reachable t a && reachable t b) then false
+  else begin
+    let rec walk x = if x = a then true else if x = 0 then a = 0 else walk t.idom.(x) in
+    walk b
+  end
+
+type loop = {
+  header : int;
+  body : int list;  (** All member blocks, header included. *)
+  latches : int list;  (** Blocks with a back edge to the header. *)
+}
+
+(** Natural loops from back edges (edges [l -> h] where [h] dominates [l]).
+    Back edges sharing a header are merged into one loop, as usual. *)
+let natural_loops t =
+  let n = n_blocks t in
+  let by_header = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    if reachable t i then
+      List.iter
+        (fun s ->
+          if dominates t s i then begin
+            let latches =
+              Option.value (Hashtbl.find_opt by_header s) ~default:[]
+            in
+            Hashtbl.replace by_header s (i :: latches)
+          end)
+        t.succ.(i)
+  done;
+  Hashtbl.fold
+    (fun header latches acc ->
+      (* Body = header plus everything that reaches a latch without going
+         through the header (standard backward reachability). *)
+      let in_body = Array.make n false in
+      in_body.(header) <- true;
+      let rec pull i =
+        if not in_body.(i) then begin
+          in_body.(i) <- true;
+          List.iter pull t.pred.(i)
+        end
+      in
+      List.iter pull latches;
+      let body = ref [] in
+      for i = n - 1 downto 0 do
+        if in_body.(i) then body := i :: !body
+      done;
+      { header; body = !body; latches } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+(** Blocks not reachable from the entry, e.g. after branch folding. *)
+let unreachable_blocks t =
+  let acc = ref [] in
+  for i = n_blocks t - 1 downto 0 do
+    if not (reachable t i) then acc := t.blocks.(i).label :: !acc
+  done;
+  !acc
+
+(** Drop unreachable blocks from a function.  Safe after any pass that
+    rewrites terminators. *)
+let prune_unreachable func =
+  let t = build func in
+  match unreachable_blocks t with
+  | [] -> func
+  | dead ->
+    let dead_set = List.fold_left (fun s l -> l :: s) [] dead in
+    {
+      func with
+      blocks =
+        List.filter (fun b -> not (List.mem b.label dead_set)) func.blocks;
+    }

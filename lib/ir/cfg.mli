@@ -1,0 +1,49 @@
+(** Control-flow graph, dominator tree and natural-loop analysis for one
+    function.
+
+    The CFG is an immutable snapshot: passes build it, compute what they
+    need, transform the block list functionally and rebuild if needed.
+    Dominators use the Cooper–Harvey–Kennedy iterative algorithm over
+    reverse postorder. *)
+
+type t = {
+  func : Types.func;
+  blocks : Types.block array;  (** In [func.blocks] order. *)
+  index_of : (Types.label, int) Hashtbl.t;
+  succ : int list array;
+  pred : int list array;
+  rpo : int array;  (** Reverse postorder over reachable blocks. *)
+  rpo_pos : int array;  (** Position in [rpo]; -1 when unreachable. *)
+  idom : int array;  (** Immediate dominator; the entry maps to itself. *)
+}
+
+val build : Types.func -> t
+
+val n_blocks : t -> int
+
+val index : t -> Types.label -> int
+(** Raises [Invalid_argument] on an unknown label. *)
+
+val label : t -> int -> Types.label
+
+val reachable : t -> int -> bool
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: every path from the entry to [b] passes through
+    [a].  Unreachable blocks dominate nothing. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** All member blocks, header included. *)
+  latches : int list;  (** Blocks with a back edge to the header. *)
+}
+
+val natural_loops : t -> loop list
+(** Natural loops from back edges; back edges sharing a header are merged
+    into one loop.  Sorted by header index. *)
+
+val unreachable_blocks : t -> Types.label list
+
+val prune_unreachable : Types.func -> Types.func
+(** Drop blocks not reachable from the entry — safe after any pass that
+    rewrites terminators. *)

@@ -1,0 +1,323 @@
+(** Reference interpreter over a placed image.
+
+    One run produces both the functional result (the checksum every
+    optimisation pass must preserve) and the execution profile the timing
+    model consumes.  Semantics are 32-bit two's-complement with total
+    division (x/0 = 0) and modulo-32 shift amounts, so all programs
+    terminate deterministically and passes can be validated by checksum
+    equality.
+
+    Performance notes: this loop executes hundreds of millions of
+    instructions while generating the training data, so it avoids per-step
+    allocation; the only allocations are call frames and the growable trace
+    buffers. *)
+
+open Prelude
+open Types
+
+exception Fuel_exhausted
+exception Runtime_error of string
+
+type frame = {
+  fr_pf : Layout.placed_func;
+  mutable fr_blk : int;
+  mutable fr_idx : int;
+  fr_regs : int array;
+  fr_prod_kind : int array;  (** -1 none, 0 fast, 1 load, 2 long-latency. *)
+  fr_prod_seq : int array;
+  mutable fr_pending_dst : int;  (** Callee return target register, or -1. *)
+}
+
+let kind_fast = 0
+let kind_load = 1
+let kind_long = 2
+
+let norm v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let eval_alu op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Min -> min a b
+  | Max -> max a b
+
+let eval_cmp op a b =
+  let holds =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if holds then 1 else 0
+
+let eval_shift op a amount =
+  let k = amount land 31 in
+  match op with
+  | Lsl -> a lsl k
+  | Lsr -> (a land 0xFFFFFFFF) lsr k
+  | Asr -> a asr k
+
+let init_memory program =
+  let mem = Array.make program.mem_words 0 in
+  List.iter
+    (fun d ->
+      let w0 = d.base / word_bytes in
+      match d.init with
+      | Zeros -> ()
+      | Ramp { start; step } ->
+        for i = 0 to d.words - 1 do
+          mem.(w0 + i) <- norm (start + (i * step))
+        done
+      | Pseudo_random { seed; bound } ->
+        let rng = Rng.create (seed lxor (d.base * 2654435761)) in
+        for i = 0 to d.words - 1 do
+          mem.(w0 + i) <- Rng.int rng (max 1 bound)
+        done)
+    program.data;
+  mem
+
+let make_frame (pf : Layout.placed_func) =
+  let n = pf.Layout.pf_max_reg + 1 in
+  {
+    fr_pf = pf;
+    fr_blk = 0;
+    fr_idx = 0;
+    fr_regs = Array.make (max 1 n) 0;
+    fr_prod_kind = Array.make (max 1 n) (-1);
+    fr_prod_seq = Array.make (max 1 n) (-1);
+    fr_pending_dst = -1;
+  }
+
+let max_call_depth = 512
+
+(* Full run returning the raw trace collector alongside the result, for
+   callers (exact-simulation validation) that need the address streams
+   the histograms are built from. *)
+let run_raw ?(fuel = 50_000_000) ?(trace = true) (layout : Layout.t) =
+  let program = layout.Layout.program in
+  let raw =
+    Profile.create_raw ~n_branch_sites:layout.Layout.n_branch_sites ~trace
+  in
+  let mem = init_memory program in
+  let mem_words = program.mem_words in
+  let seq = ref 0 in
+  let last_iblk = ref min_int in
+  let last_btb = ref min_int in
+  let stack = ref [] in
+  let depth = ref 0 in
+  let entry_pf = Layout.func_of_name layout program.entry_func in
+  let frame = ref (make_frame entry_pf) in
+  let result = ref None in
+  let fetch addr =
+    if trace then begin
+      let blk = addr asr 3 in
+      if blk <> !last_iblk then begin
+        last_iblk := blk;
+        Ibuf.push raw.Profile.r_iblocks8 blk
+      end
+    end
+  in
+  let count_exec addr =
+    raw.Profile.r_dyn <- raw.Profile.r_dyn + 1;
+    if raw.Profile.r_dyn > fuel then raise Fuel_exhausted;
+    fetch addr;
+    incr seq
+  in
+  (* Register-read bookkeeping: gap histograms for the stall model. *)
+  let read_reg fr r =
+    raw.Profile.r_reg_reads <- raw.Profile.r_reg_reads + 1;
+    let k = fr.fr_prod_kind.(r) in
+    if k >= 0 then begin
+      let gap = !seq - fr.fr_prod_seq.(r) - 1 in
+      if gap = 0 then raw.Profile.r_adjacent <- raw.Profile.r_adjacent + 1;
+      if k = kind_load then begin
+        let g = if gap > 7 then 7 else gap in
+        raw.Profile.r_gap_load.(g) <- raw.Profile.r_gap_load.(g) + 1
+      end
+      else if k = kind_long then begin
+        let g = if gap > 7 then 7 else gap in
+        raw.Profile.r_gap_long.(g) <- raw.Profile.r_gap_long.(g) + 1
+      end
+    end;
+    fr.fr_regs.(r)
+  in
+  let write_reg fr r v kind =
+    raw.Profile.r_reg_writes <- raw.Profile.r_reg_writes + 1;
+    fr.fr_regs.(r) <- v;
+    fr.fr_prod_kind.(r) <- kind;
+    fr.fr_prod_seq.(r) <- !seq
+  in
+  let ev fr = function Reg r -> read_reg fr r | Imm i -> i in
+  let mem_index addr =
+    let idx = addr asr 2 in
+    if idx < 0 || idx >= mem_words then
+      raise
+        (Runtime_error (Printf.sprintf "memory access out of bounds: %d" addr));
+    idx
+  in
+  let mem_read addr =
+    if trace then Ibuf.push raw.Profile.r_daddrs addr;
+    mem.(mem_index addr)
+  in
+  let mem_write addr v =
+    if trace then Ibuf.push raw.Profile.r_daddrs addr;
+    mem.(mem_index addr) <- v
+  in
+  let goto fr label =
+    fr.fr_blk <- Hashtbl.find fr.fr_pf.Layout.pf_block_of_label label;
+    fr.fr_idx <- 0
+  in
+  let enter_function callee args =
+    let pf = Layout.func_of_name layout callee in
+    let nf = make_frame pf in
+    List.iteri
+      (fun i p -> if i < List.length args then nf.fr_regs.(p) <- List.nth args i)
+      pf.Layout.pf_func.params;
+    nf
+  in
+  (* Main dispatch loop. *)
+  while !result = None do
+    let fr = !frame in
+    let pb = fr.fr_pf.Layout.pf_blocks.(fr.fr_blk) in
+    if fr.fr_idx < Array.length pb.Layout.p_insts then begin
+      let inst = pb.Layout.p_insts.(fr.fr_idx) in
+      let addr = pb.Layout.p_addrs.(fr.fr_idx) in
+      fr.fr_idx <- fr.fr_idx + 1;
+      count_exec addr;
+      match inst with
+      | Alu { dst; op; a; b } ->
+        let va = ev fr a and vb = ev fr b in
+        let kind =
+          match op with Mul | Div | Rem -> kind_long | _ -> kind_fast
+        in
+        raw.Profile.r_alu <- raw.Profile.r_alu + 1;
+        write_reg fr dst (norm (eval_alu op va vb)) kind
+      | Cmp { dst; op; a; b } ->
+        let va = ev fr a and vb = ev fr b in
+        raw.Profile.r_cmp <- raw.Profile.r_cmp + 1;
+        write_reg fr dst (eval_cmp op va vb) kind_fast
+      | Mac { dst; acc; a; b } ->
+        let vacc = ev fr acc and va = ev fr a and vb = ev fr b in
+        raw.Profile.r_mac <- raw.Profile.r_mac + 1;
+        write_reg fr dst (norm (vacc + (va * vb))) kind_long
+      | Shift { dst; op; a; amount } ->
+        let va = ev fr a and vk = ev fr amount in
+        raw.Profile.r_shift <- raw.Profile.r_shift + 1;
+        write_reg fr dst (norm (eval_shift op va vk)) kind_fast
+      | Mov { dst; src } ->
+        let v = ev fr src in
+        raw.Profile.r_mov <- raw.Profile.r_mov + 1;
+        write_reg fr dst v kind_fast
+      | Load { dst; base; offset } ->
+        let a = ev fr base + ev fr offset in
+        raw.Profile.r_loads <- raw.Profile.r_loads + 1;
+        write_reg fr dst (mem_read a) kind_load
+      | Store { src; base; offset } ->
+        let v = ev fr src in
+        let a = ev fr base + ev fr offset in
+        raw.Profile.r_stores <- raw.Profile.r_stores + 1;
+        mem_write a v
+      | Spill_store { src; slot } ->
+        let v = read_reg fr src in
+        raw.Profile.r_stores <- raw.Profile.r_stores + 1;
+        raw.Profile.r_spill_stores <- raw.Profile.r_spill_stores + 1;
+        mem_write (fr.fr_pf.Layout.pf_stack_base + (slot * word_bytes)) v
+      | Spill_load { dst; slot } ->
+        raw.Profile.r_loads <- raw.Profile.r_loads + 1;
+        raw.Profile.r_spill_loads <- raw.Profile.r_spill_loads + 1;
+        let v = mem_read (fr.fr_pf.Layout.pf_stack_base + (slot * word_bytes)) in
+        write_reg fr dst v kind_load
+      | Call { dst; callee; args } ->
+        raw.Profile.r_calls <- raw.Profile.r_calls + 1;
+        let vargs = List.map (ev fr) args in
+        fr.fr_pending_dst <- (match dst with Some d -> d | None -> -1);
+        incr depth;
+        if !depth > max_call_depth then
+          raise (Runtime_error "call stack overflow");
+        stack := fr :: !stack;
+        frame := enter_function callee vargs
+    end
+    else begin
+      (* Terminator. *)
+      match pb.Layout.p_term with
+      | Jump target ->
+        if not pb.Layout.p_term_elided then begin
+          count_exec pb.Layout.p_term_addr;
+          raw.Profile.r_jumps <- raw.Profile.r_jumps + 1
+        end;
+        goto fr target
+      | Branch { cond; ifso; ifnot } ->
+        count_exec pb.Layout.p_term_addr;
+        raw.Profile.r_branches <- raw.Profile.r_branches + 1;
+        let taken = read_reg fr cond <> 0 in
+        let site = pb.Layout.p_branch_site in
+        raw.Profile.r_site_execs.(site) <-
+          raw.Profile.r_site_execs.(site) + 1;
+        if trace && site <> !last_btb then begin
+          last_btb := site;
+          Ibuf.push raw.Profile.r_btb site
+        end;
+        if taken then begin
+          raw.Profile.r_taken <- raw.Profile.r_taken + 1;
+          raw.Profile.r_site_takens.(site) <-
+            raw.Profile.r_site_takens.(site) + 1;
+          goto fr ifso
+        end
+        else begin
+          if pb.Layout.p_extra_jump_addr >= 0 then begin
+            count_exec pb.Layout.p_extra_jump_addr;
+            raw.Profile.r_jumps <- raw.Profile.r_jumps + 1
+          end;
+          goto fr ifnot
+        end
+      | Return v ->
+        count_exec pb.Layout.p_term_addr;
+        raw.Profile.r_rets <- raw.Profile.r_rets + 1;
+        let value = match v with Some o -> ev fr o | None -> 0 in
+        (match !stack with
+        | [] -> result := Some value
+        | caller :: rest ->
+          stack := rest;
+          decr depth;
+          if caller.fr_pending_dst >= 0 then
+            write_reg caller caller.fr_pending_dst value kind_fast;
+          frame := caller)
+      | Tail_call { callee; args } ->
+        count_exec pb.Layout.p_term_addr;
+        raw.Profile.r_tail_calls <- raw.Profile.r_tail_calls + 1;
+        let vargs = List.map (ev fr) args in
+        (* The caller's return continuation is inherited: the new frame
+           returns straight to whoever called us. *)
+        frame := enter_function callee vargs
+    end
+  done;
+  let checksum = Option.get !result in
+  (checksum, raw)
+
+let run ?fuel ?trace (layout : Layout.t) =
+  let checksum, raw = run_raw ?fuel ?trace layout in
+  (checksum, Profile.finalise raw ~code_bytes:layout.Layout.code_bytes ~checksum)
+
+(** Convenience: place and run in one step. *)
+let run_program ?fuel ?trace program = run ?fuel ?trace (Layout.place program)
+
+(** Raw address streams of a run: data byte addresses in access order and
+    the collapsed 8-byte fetch-block ids — the inputs of the reuse
+    analysis, exposed for exact-simulation validation. *)
+let run_traces ?fuel program =
+  let layout = Layout.place program in
+  let checksum, raw = run_raw ?fuel ~trace:true layout in
+  ( checksum,
+    Prelude.Ibuf.to_array raw.Profile.r_daddrs,
+    Prelude.Ibuf.to_array raw.Profile.r_iblocks8 )

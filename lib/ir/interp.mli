@@ -1,0 +1,45 @@
+(** Reference interpreter over a placed image.
+
+    One run produces both the functional result (the checksum every
+    optimisation pass must preserve) and the execution profile the timing
+    model consumes.  Semantics are 32-bit two's-complement with total
+    division (x/0 = 0) and modulo-32 shift amounts, so every program
+    terminates deterministically. *)
+
+exception Fuel_exhausted
+(** Raised when the dynamic instruction budget is exceeded. *)
+
+exception Runtime_error of string
+(** Out-of-bounds memory access or call-stack overflow — either indicates
+    a bug in a workload builder or a miscompilation. *)
+
+val norm : int -> int
+(** Normalise to signed 32-bit; exposed for constant folding. *)
+
+val eval_alu : Types.alu_op -> int -> int -> int
+(** ALU semantics before normalisation; shared with {!Passes}' constant
+    folder so both always agree. *)
+
+val eval_cmp : Types.cmp_op -> int -> int -> int
+val eval_shift : Types.shift_op -> int -> int -> int
+
+val max_call_depth : int
+
+val run :
+  ?fuel:int -> ?trace:bool -> Layout.t -> int * Profile.t
+(** [run image] executes from the entry function and returns
+    [(checksum, profile)].  [fuel] bounds dynamic instructions (default
+    5e7); [trace:false] skips address-trace collection (the profile's
+    histograms are then empty), roughly halving the cost of
+    checksum-only runs. *)
+
+val run_program :
+  ?fuel:int -> ?trace:bool -> Types.program -> int * Profile.t
+(** Place and run in one step. *)
+
+val run_traces :
+  ?fuel:int -> Types.program -> int * int array * int array
+(** [run_traces program] returns (checksum, data byte addresses in access
+    order, collapsed 8-byte fetch-block ids) — the raw inputs of the
+    reuse analysis, for validating the analytic cache models against
+    exact simulation. *)

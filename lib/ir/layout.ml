@@ -1,0 +1,149 @@
+(** Code placement: turn a transformed program into an executable image with
+    concrete instruction addresses.
+
+    Placement is where several optimisation passes acquire their cost or
+    benefit:
+    - block order (the reorder-blocks pass permutes [func.blocks]) decides
+      which jumps become fall-throughs and how tightly hot code packs into
+      I-cache blocks;
+    - alignment requests ([balign]/[falign] set by the alignment passes) pad
+      the image, growing the footprint in exchange for fewer I-cache blocks
+      spanned by hot loop bodies;
+    - a [Branch] whose not-taken target is not the next placed block needs a
+      companion unconditional jump, exactly like real codegen, so bad layout
+      costs both space and execution time.
+
+    Every instruction occupies {!Types.inst_bytes} bytes. *)
+
+open Types
+
+type placed_block = {
+  p_label : label;
+  p_insts : inst array;
+  p_addrs : int array;  (** Byte address of each instruction. *)
+  p_term : terminator;
+  p_term_addr : int;  (** Address of the terminator instruction. *)
+  p_term_elided : bool;
+      (** True for a [Jump] to the immediately following block: no encoded
+          or executed instruction. *)
+  p_extra_jump_addr : int;
+      (** Address of the companion jump for a [Branch] whose [ifnot] is not
+          the fall-through, or -1. *)
+  p_next : int;  (** Index of the block placed next in this function, or -1. *)
+  p_branch_site : int;  (** Global id of the branch terminator, or -1. *)
+}
+
+type placed_func = {
+  pf_func : func;
+  pf_index : int;
+  pf_blocks : placed_block array;
+  pf_block_of_label : (label, int) Hashtbl.t;
+  pf_stack_base : int;  (** Byte address of this function's spill area. *)
+  pf_max_reg : int;
+}
+
+type t = {
+  program : program;
+  pfuncs : placed_func array;
+  pfunc_of_name : (string, int) Hashtbl.t;
+  code_bytes : int;
+  n_branch_sites : int;
+}
+
+let align_up addr a = if a <= 1 then addr else (addr + a - 1) land lnot (a - 1)
+
+let place program =
+  let addr = ref 0 in
+  let branch_sites = ref 0 in
+  let pfuncs =
+    Array.of_list program.funcs
+    |> Array.mapi (fun fi func ->
+           addr := align_up !addr func.falign;
+           let blocks = Array.of_list func.blocks in
+           let n = Array.length blocks in
+           let block_of_label = Hashtbl.create (2 * n) in
+           Array.iteri
+             (fun i b -> Hashtbl.replace block_of_label b.label i)
+             blocks;
+           let placed =
+             Array.mapi
+               (fun i b ->
+                 addr := align_up !addr b.balign;
+                 let insts = Array.of_list b.insts in
+                 let addrs =
+                   Array.map
+                     (fun _ ->
+                       let a = !addr in
+                       addr := !addr + inst_bytes;
+                       a)
+                     insts
+                 in
+                 let next = if i + 1 < n then i + 1 else -1 in
+                 let next_label =
+                   if next >= 0 then Some blocks.(next).label else None
+                 in
+                 let term_elided, extra_jump, site =
+                   match b.term with
+                   | Jump target -> (Some target = next_label, false, false)
+                   | Branch { ifnot; _ } ->
+                     (false, Some ifnot <> next_label, true)
+                   | Return _ | Tail_call _ -> (false, false, false)
+                 in
+                 let term_addr = !addr in
+                 if not term_elided then addr := !addr + inst_bytes;
+                 let extra_jump_addr =
+                   if extra_jump then begin
+                     let a = !addr in
+                     addr := !addr + inst_bytes;
+                     a
+                   end
+                   else -1
+                 in
+                 let branch_site =
+                   if site then begin
+                     let s = !branch_sites in
+                     incr branch_sites;
+                     s
+                   end
+                   else -1
+                 in
+                 {
+                   p_label = b.label;
+                   p_insts = insts;
+                   p_addrs = addrs;
+                   p_term = b.term;
+                   p_term_addr = term_addr;
+                   p_term_elided = term_elided;
+                   p_extra_jump_addr = extra_jump_addr;
+                   p_next = next;
+                   p_branch_site = branch_site;
+                 })
+               blocks
+           in
+           {
+             pf_func = func;
+             pf_index = fi;
+             pf_blocks = placed;
+             pf_block_of_label = block_of_label;
+             pf_stack_base =
+               program.stack_base
+               + (fi * Builder.frame_words * word_bytes);
+             pf_max_reg = max_reg func;
+           })
+  in
+  let pfunc_of_name = Hashtbl.create 32 in
+  Array.iteri
+    (fun i pf -> Hashtbl.replace pfunc_of_name pf.pf_func.name i)
+    pfuncs;
+  {
+    program;
+    pfuncs;
+    pfunc_of_name;
+    code_bytes = !addr;
+    n_branch_sites = !branch_sites;
+  }
+
+let func_of_name t name =
+  match Hashtbl.find_opt t.pfunc_of_name name with
+  | Some i -> t.pfuncs.(i)
+  | None -> invalid_arg ("Layout.func_of_name: unknown function " ^ name)

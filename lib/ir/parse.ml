@@ -1,0 +1,401 @@
+(** Parser for the textual IR format emitted by {!Pretty}.
+
+    [Parse.program (Pretty.program p)] reconstructs [p] exactly (the
+    round-trip property is enforced by the test suite), which makes the
+    textual form a real interchange format: programs can be dumped from
+    the CLI, edited by hand and reloaded.
+
+    The grammar is line-oriented:
+    {v
+      entry <name>
+      data <name> @<base> words=<n> init=zeros|ramp(a,b)|prand(a,b)
+      func <name>(r0, r1) [align=<n>] [slots=<n>]:
+        [.align <n>]
+      <label>:
+          <instruction>
+          <terminator>
+    v} *)
+
+open Types
+
+exception Error of int * string
+(** Line number (1-based) and message. *)
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Error (line, m))) fmt
+
+(* ---- Lexical helpers -------------------------------------------------- *)
+
+let strip s = String.trim s
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let after prefix s =
+  String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+let split_on_string sep s =
+  (* Split on a multi-character separator. *)
+  let seplen = String.length sep in
+  let rec go start acc =
+    let rec find i =
+      if i + seplen > String.length s then None
+      else if String.sub s i seplen = sep then Some i
+      else find (i + 1)
+    in
+    match find start with
+    | Some i -> go (i + seplen) (String.sub s start (i - start) :: acc)
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+  in
+  go 0 []
+
+let int_of line s =
+  match int_of_string_opt (strip s) with
+  | Some v -> v
+  | None -> fail line "expected an integer, got %S" s
+
+(* Operand: rN or #imm. *)
+let operand line s =
+  let s = strip s in
+  if starts_with "r" s then Reg (int_of line (after "r" s))
+  else if starts_with "#" s then Imm (int_of line (after "#" s))
+  else fail line "expected an operand (rN or #imm), got %S" s
+
+let reg line s =
+  match operand line s with
+  | Reg r -> r
+  | Imm _ -> fail line "expected a register, got %S" s
+
+let args_of line s =
+  (* "a, b, c" possibly empty *)
+  let s = strip s in
+  if s = "" then []
+  else List.map (fun a -> operand line (strip a)) (String.split_on_char ',' s)
+
+(* "name(arg, ...)" *)
+let call_of line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected a call, got %S" s
+  | Some i ->
+    let callee = strip (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match String.rindex_opt rest ')' with
+    | None -> fail line "unterminated argument list in %S" s
+    | Some j -> (callee, args_of line (String.sub rest 0 j)))
+
+let alu_of_name = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "div" -> Some Div
+  | "rem" -> Some Rem
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | _ -> None
+
+let cmp_of_name = function
+  | "eq" -> Some Eq
+  | "ne" -> Some Ne
+  | "lt" -> Some Lt
+  | "le" -> Some Le
+  | "gt" -> Some Gt
+  | "ge" -> Some Ge
+  | _ -> None
+
+let shift_of_name = function
+  | "lsl" -> Some Lsl
+  | "lsr" -> Some Lsr
+  | "asr" -> Some Asr
+  | _ -> None
+
+(* "[base + offset]" *)
+let address_of line s =
+  let s = strip s in
+  if not (starts_with "[" s && String.length s > 2 && s.[String.length s - 1] = ']')
+  then fail line "expected an address [base + offset], got %S" s
+  else begin
+    let inner = String.sub s 1 (String.length s - 2) in
+    match split_on_string " + " inner with
+    | [ b; o ] -> (operand line b, operand line o)
+    | _ -> fail line "malformed address %S" s
+  end
+
+(* ---- Instructions ----------------------------------------------------- *)
+
+let inst_of_line line s =
+  let s = strip s in
+  match split_on_string " = " s with
+  | [ lhs; rhs ] -> (
+    let dst = reg line lhs in
+    let rhs = strip rhs in
+    match String.index_opt rhs ' ' with
+    | None ->
+      (* "call f()" with no space before '(' — or malformed. *)
+      if starts_with "call " rhs then assert false
+      else if String.contains rhs '(' then begin
+        let callee, args = call_of line rhs in
+        Call { dst = Some dst; callee; args }
+      end
+      else fail line "malformed instruction %S" s
+    | Some sp -> (
+      let op = String.sub rhs 0 sp in
+      let rest = strip (String.sub rhs sp (String.length rhs - sp)) in
+      match op with
+      | "mov" -> Mov { dst; src = operand line rest }
+      | "load" ->
+        let base, offset = address_of line rest in
+        Load { dst; base; offset }
+      | "mac" -> (
+        match args_of line rest with
+        | [ acc; a; b ] -> Mac { dst; acc; a; b }
+        | _ -> fail line "mac needs three operands in %S" s)
+      | "call" ->
+        let callee, args = call_of line rest in
+        Call { dst = Some dst; callee; args }
+      | "reload" ->
+        if starts_with "slot" rest then
+          Spill_load { dst; slot = int_of line (after "slot" rest) }
+        else fail line "malformed reload %S" s
+      | _ -> (
+        let two a b = (operand line a, operand line b) in
+        let pair () =
+          match String.split_on_char ',' rest with
+          | [ a; b ] -> two a b
+          | _ -> fail line "expected two operands in %S" s
+        in
+        match alu_of_name op with
+        | Some alu ->
+          let a, b = pair () in
+          Alu { dst; op = alu; a; b }
+        | None -> (
+          match shift_of_name op with
+          | Some sh ->
+            let a, amount = pair () in
+            Shift { dst; op = sh; a; amount }
+          | None ->
+            if starts_with "cmp." op then begin
+              match cmp_of_name (after "cmp." op) with
+              | Some c ->
+                let a, b = pair () in
+                Cmp { dst; op = c; a; b }
+              | None -> fail line "unknown compare %S" op
+            end
+            else fail line "unknown operation %S" op))))
+  | _ ->
+    if starts_with "store " s then begin
+      match split_on_string " -> " (after "store " s) with
+      | [ src; addr ] ->
+        let base, offset = address_of line addr in
+        Store { src = operand line src; base; offset }
+      | _ -> fail line "malformed store %S" s
+    end
+    else if starts_with "spill " s then begin
+      match split_on_string " -> " (after "spill " s) with
+      | [ src; slot ] when starts_with "slot" (strip slot) ->
+        Spill_store
+          { src = reg line src; slot = int_of line (after "slot" (strip slot)) }
+      | _ -> fail line "malformed spill %S" s
+    end
+    else if starts_with "call " s then begin
+      let callee, args = call_of line (after "call " s) in
+      Call { dst = None; callee; args }
+    end
+    else fail line "unrecognised instruction %S" s
+
+let term_of_line line s =
+  let s = strip s in
+  if starts_with "jump " s then Some (Jump (strip (after "jump " s)))
+  else if starts_with "branch " s then begin
+    (* "branch rN ? a : b" *)
+    match split_on_string " ? " (after "branch " s) with
+    | [ c; rest ] -> (
+      match split_on_string " : " rest with
+      | [ ifso; ifnot ] ->
+        Some
+          (Branch
+             { cond = reg line c; ifso = strip ifso; ifnot = strip ifnot })
+      | _ -> fail line "malformed branch %S" s)
+    | _ -> fail line "malformed branch %S" s
+  end
+  else if s = "return" then Some (Return None)
+  else if starts_with "return " s then
+    Some (Return (Some (operand line (after "return " s))))
+  else if starts_with "tailcall " s then begin
+    let callee, args = call_of line (after "tailcall " s) in
+    Some (Tail_call { callee; args })
+  end
+  else None
+
+(* ---- Top level --------------------------------------------------------- *)
+
+type fstate = {
+  mutable cur_label : label option;
+  mutable cur_align : int;
+  mutable cur_insts : inst list;  (** Reversed. *)
+  mutable blocks : block list;  (** Reversed. *)
+}
+
+let data_of_line line s =
+  (* "data <name> @<base> words=<n> init=<init>" *)
+  match String.split_on_char ' ' (strip s) with
+  | [ name; base; words; init ]
+    when starts_with "@" base && starts_with "words=" words
+         && starts_with "init=" init ->
+    let init_spec = after "init=" init in
+    let parse_two prefix =
+      let inner =
+        String.sub init_spec (String.length prefix + 1)
+          (String.length init_spec - String.length prefix - 2)
+      in
+      match String.split_on_char ',' inner with
+      | [ a; b ] -> (int_of line a, int_of line b)
+      | _ -> fail line "malformed initialiser %S" init_spec
+    in
+    let init =
+      if init_spec = "zeros" then Zeros
+      else if starts_with "ramp(" init_spec then begin
+        let start, step = parse_two "ramp" in
+        Ramp { start; step }
+      end
+      else if starts_with "prand(" init_spec then begin
+        let seed, bound = parse_two "prand" in
+        Pseudo_random { seed; bound }
+      end
+      else fail line "unknown initialiser %S" init_spec
+    in
+    {
+      dname = name;
+      base = int_of line (after "@" base);
+      words = int_of line (after "words=" words);
+      init;
+    }
+  | _ -> fail line "malformed data declaration %S" s
+
+let func_header_of_line line s =
+  (* "func <name>(params) [align=16] [slots=4]:" *)
+  let s = strip s in
+  if s.[String.length s - 1] <> ':' then fail line "missing ':' in %S" s;
+  let s = String.sub s 0 (String.length s - 1) in
+  let name_and_params, attrs =
+    match String.index_opt s ')' with
+    | None -> fail line "missing parameter list in %S" s
+    | Some i ->
+      ( String.sub s 0 (i + 1),
+        String.split_on_char ' ' (strip (String.sub s (i + 1) (String.length s - i - 1))) )
+  in
+  let callee, params = call_of line name_and_params in
+  let params =
+    List.map
+      (function Reg r -> r | Imm _ -> fail line "parameters must be registers")
+      params
+  in
+  let falign = ref 0 and slots = ref 0 in
+  List.iter
+    (fun a ->
+      if a = "" then ()
+      else if starts_with "align=" a then falign := int_of line (after "align=" a)
+      else if starts_with "slots=" a then slots := int_of line (after "slots=" a)
+      else fail line "unknown function attribute %S" a)
+    attrs;
+  (callee, params, !falign, !slots)
+
+let program text =
+  let lines = String.split_on_char '\n' text in
+  let entry = ref None in
+  let data = ref [] in
+  let funcs = ref [] in
+  let current : (string * reg list * int * int * fstate) option ref =
+    ref None
+  in
+  let flush_block line (st : fstate) term =
+    match st.cur_label with
+    | None -> fail line "terminator outside a block"
+    | Some label ->
+      st.blocks <-
+        { label; insts = List.rev st.cur_insts; term; balign = st.cur_align }
+        :: st.blocks;
+      st.cur_label <- None;
+      st.cur_align <- 0;
+      st.cur_insts <- []
+  in
+  let finish_func line =
+    match !current with
+    | None -> ()
+    | Some (name, params, falign, slots, st) ->
+      if st.cur_label <> None then fail line "unterminated block in %s" name;
+      funcs :=
+        {
+          name;
+          params;
+          blocks = List.rev st.blocks;
+          falign;
+          stack_slots = slots;
+        }
+        :: !funcs;
+      current := None
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = strip raw in
+      if s = "" then ()
+      else if starts_with "entry " s then entry := Some (strip (after "entry " s))
+      else if starts_with "data " s then
+        data := data_of_line line (after "data " s) :: !data
+      else if starts_with "func " s then begin
+        finish_func line;
+        let name, params, falign, slots =
+          func_header_of_line line (after "func " s)
+        in
+        current :=
+          Some
+            ( name,
+              params,
+              falign,
+              slots,
+              { cur_label = None; cur_align = 0; cur_insts = []; blocks = [] }
+            )
+      end
+      else begin
+        match !current with
+        | None -> fail line "statement outside a function: %S" s
+        | Some (_, _, _, _, st) ->
+          if starts_with ".align " s then
+            st.cur_align <- int_of line (after ".align " s)
+          else if String.length s > 1 && s.[String.length s - 1] = ':' then begin
+            if st.cur_label <> None then
+              fail line "label inside an unterminated block";
+            st.cur_label <- Some (String.sub s 0 (String.length s - 1))
+          end
+          else begin
+            match term_of_line line s with
+            | Some t -> flush_block line st t
+            | None -> (
+              match st.cur_label with
+              | None -> fail line "instruction outside a block: %S" s
+              | Some _ -> st.cur_insts <- inst_of_line line s :: st.cur_insts)
+          end
+      end)
+    lines;
+  finish_func (List.length lines);
+  let entry_func =
+    match !entry with
+    | Some e -> e
+    | None -> fail 0 "missing 'entry' declaration"
+  in
+  let funcs = List.rev !funcs in
+  let data = List.rev !data in
+  (* Memory layout: recompute the same way Builder.finish does. *)
+  let data_end =
+    List.fold_left (fun acc d -> max acc (d.base + (d.words * word_bytes))) 64
+      data
+  in
+  let stack_base = (data_end + 63) land lnot 63 in
+  let stack_bytes = List.length funcs * Builder.frame_words * word_bytes in
+  let mem_words = ((stack_base + stack_bytes) / word_bytes) + 16 in
+  let program = { funcs; entry_func; data; mem_words; stack_base } in
+  Validate.check_exn program;
+  program

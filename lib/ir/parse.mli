@@ -1,0 +1,13 @@
+(** Parser for the textual IR format emitted by {!Pretty}.
+
+    [program (Pretty.program p) = p] for every valid program — the
+    round-trip property enforced by the test suite — making the textual
+    form a real interchange format: programs can be dumped from the CLI
+    ([portopt dump]), edited by hand and reloaded ([portopt exec]). *)
+
+exception Error of int * string
+(** 1-based line number and message. *)
+
+val program : string -> Types.program
+(** Parse and validate.  Raises {!Error} on malformed input and
+    [Invalid_argument] when the parsed program fails {!Validate}. *)

@@ -1,0 +1,108 @@
+(** Human-readable IR dumps, used by the CLI's [dump] command, error
+    messages and golden tests. *)
+
+open Types
+
+let operand = function
+  | Reg r -> Printf.sprintf "r%d" r
+  | Imm i -> Printf.sprintf "#%d" i
+
+let alu_op = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Min -> "min"
+  | Max -> "max"
+
+let cmp_op = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let shift_op = function Lsl -> "lsl" | Lsr -> "lsr" | Asr -> "asr"
+
+let inst i =
+  match i with
+  | Alu { dst; op; a; b } ->
+    Printf.sprintf "r%d = %s %s, %s" dst (alu_op op) (operand a) (operand b)
+  | Cmp { dst; op; a; b } ->
+    Printf.sprintf "r%d = cmp.%s %s, %s" dst (cmp_op op) (operand a)
+      (operand b)
+  | Mac { dst; acc; a; b } ->
+    Printf.sprintf "r%d = mac %s, %s, %s" dst (operand acc) (operand a)
+      (operand b)
+  | Shift { dst; op; a; amount } ->
+    Printf.sprintf "r%d = %s %s, %s" dst (shift_op op) (operand a)
+      (operand amount)
+  | Mov { dst; src } -> Printf.sprintf "r%d = mov %s" dst (operand src)
+  | Load { dst; base; offset } ->
+    Printf.sprintf "r%d = load [%s + %s]" dst (operand base) (operand offset)
+  | Store { src; base; offset } ->
+    Printf.sprintf "store %s -> [%s + %s]" (operand src) (operand base)
+      (operand offset)
+  | Call { dst; callee; args } ->
+    let args = String.concat ", " (List.map operand args) in
+    (match dst with
+    | Some d -> Printf.sprintf "r%d = call %s(%s)" d callee args
+    | None -> Printf.sprintf "call %s(%s)" callee args)
+  | Spill_store { src; slot } -> Printf.sprintf "spill r%d -> slot%d" src slot
+  | Spill_load { dst; slot } -> Printf.sprintf "r%d = reload slot%d" dst slot
+
+let terminator t =
+  match t with
+  | Jump l -> Printf.sprintf "jump %s" l
+  | Branch { cond; ifso; ifnot } ->
+    Printf.sprintf "branch r%d ? %s : %s" cond ifso ifnot
+  | Return None -> "return"
+  | Return (Some v) -> Printf.sprintf "return %s" (operand v)
+  | Tail_call { callee; args } ->
+    Printf.sprintf "tailcall %s(%s)" callee
+      (String.concat ", " (List.map operand args))
+
+let block b =
+  let buf = Buffer.create 256 in
+  if b.balign > 0 then
+    Buffer.add_string buf (Printf.sprintf "  .align %d\n" b.balign);
+  Buffer.add_string buf (Printf.sprintf "%s:\n" b.label);
+  List.iter (fun i -> Buffer.add_string buf ("    " ^ inst i ^ "\n")) b.insts;
+  Buffer.add_string buf ("    " ^ terminator b.term ^ "\n");
+  Buffer.contents buf
+
+let func f =
+  let buf = Buffer.create 1024 in
+  let params = String.concat ", " (List.map (Printf.sprintf "r%d") f.params) in
+  let attrs =
+    (if f.falign > 0 then [ Printf.sprintf "align=%d" f.falign ] else [])
+    @
+    if f.stack_slots > 0 then [ Printf.sprintf "slots=%d" f.stack_slots ]
+    else []
+  in
+  let attrs = match attrs with [] -> "" | l -> " " ^ String.concat " " l in
+  Buffer.add_string buf (Printf.sprintf "func %s(%s)%s:\n" f.name params attrs);
+  List.iter (fun b -> Buffer.add_string buf (block b)) f.blocks;
+  Buffer.contents buf
+
+let data_init = function
+  | Zeros -> "zeros"
+  | Ramp { start; step } -> Printf.sprintf "ramp(%d,%d)" start step
+  | Pseudo_random { seed; bound } -> Printf.sprintf "prand(%d,%d)" seed bound
+
+let program p =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "entry %s\n" p.entry_func);
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "data %s @%d words=%d init=%s\n" d.dname d.base
+           d.words (data_init d.init)))
+    p.data;
+  List.iter (fun f -> Buffer.add_string buf (func f ^ "\n")) p.funcs;
+  Buffer.contents buf

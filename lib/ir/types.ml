@@ -1,0 +1,205 @@
+(** Core intermediate representation.
+
+    The IR plays the role of gcc's RTL in the reproduction: workload
+    generators build programs in it, every optimisation pass in
+    {!module:Passes} is an IR-to-IR transform, and the interpreter executes
+    it to produce the execution profiles the simulator consumes.
+
+    Design notes:
+    - Virtual registers are unbounded non-negative integers; a later
+      register-pressure lowering models the cost of mapping them onto the
+      machine's limited register file (spill code), which is how the paper's
+      scheduling/spill interaction (section 5.4) arises.
+    - Memory is a flat byte-addressed space holding 32-bit words at 4-byte
+      alignment.  Workloads allocate named arrays in a data segment; each
+      function additionally owns a stack area used by spill slots.
+    - [Call] is an ordinary instruction (the inliner splits blocks around
+      it); [Tail_call] is a terminator produced by the sibling-call pass.
+    - Division by zero yields zero and shifts use the low five bits of the
+      amount, so that every program is total and optimisation passes can be
+      checked against an execution checksum. *)
+
+type reg = int
+
+type label = string
+
+type operand =
+  | Reg of reg
+  | Imm of int
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Min
+  | Max
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type shift_op = Lsl | Lsr | Asr
+
+type inst =
+  | Alu of { dst : reg; op : alu_op; a : operand; b : operand }
+  | Cmp of { dst : reg; op : cmp_op; a : operand; b : operand }
+      (** [dst] receives 1 when the comparison holds, else 0. *)
+  | Mac of { dst : reg; acc : operand; a : operand; b : operand }
+      (** Multiply-accumulate: [dst <- acc + a*b]; maps onto the XScale MAC
+          unit and drives the [Mac usage] performance counter. *)
+  | Shift of { dst : reg; op : shift_op; a : operand; amount : operand }
+  | Mov of { dst : reg; src : operand }
+  | Load of { dst : reg; base : operand; offset : operand }
+      (** Word load from byte address [base + offset]. *)
+  | Store of { src : operand; base : operand; offset : operand }
+  | Call of { dst : reg option; callee : string; args : operand list }
+  | Spill_store of { src : reg; slot : int }
+      (** Register save to the function's stack area; inserted by lowering
+          (register pressure, caller-save conventions), never by
+          workloads. *)
+  | Spill_load of { dst : reg; slot : int }
+
+type terminator =
+  | Jump of label
+  | Branch of { cond : reg; ifso : label; ifnot : label }
+      (** Taken when [cond] is non-zero. *)
+  | Return of operand option
+  | Tail_call of { callee : string; args : operand list }
+
+type block = {
+  label : label;
+  insts : inst list;
+  term : terminator;
+  balign : int;  (** Requested start alignment in bytes (0 = none). *)
+}
+
+type func = {
+  name : string;
+  params : reg list;
+  blocks : block list;  (** The first block is the entry. *)
+  falign : int;  (** Requested function start alignment in bytes. *)
+  stack_slots : int;  (** Spill slots allocated by lowering. *)
+}
+
+(** Initial contents of one data-segment array. *)
+type data_init =
+  | Zeros
+  | Ramp of { start : int; step : int }
+  | Pseudo_random of { seed : int; bound : int }
+
+type data_decl = {
+  dname : string;
+  base : int;  (** Byte address assigned by the workload builder. *)
+  words : int;
+  init : data_init;
+}
+
+type program = {
+  funcs : func list;
+  entry_func : string;
+  data : data_decl list;
+  mem_words : int;  (** Total memory size, covering data and all stacks. *)
+  stack_base : int;  (** Byte address of the spill-slot area. *)
+}
+
+let word_bytes = 4
+
+let inst_bytes = 4
+(** Every encoded instruction occupies four bytes, as on the XScale. *)
+
+let find_func program name =
+  List.find_opt (fun f -> f.name = name) program.funcs
+
+let find_block func label =
+  List.find_opt (fun b -> b.label = label) func.blocks
+
+let entry_block func =
+  match func.blocks with
+  | [] -> invalid_arg ("Types.entry_block: empty function " ^ func.name)
+  | b :: _ -> b
+
+(** Registers read by an instruction. *)
+let inst_uses inst =
+  let operand acc = function Reg r -> r :: acc | Imm _ -> acc in
+  match inst with
+  | Alu { a; b; _ } | Cmp { a; b; _ } -> operand (operand [] a) b
+  | Shift { a; amount; _ } -> operand (operand [] a) amount
+  | Mac { acc; a; b; _ } -> operand (operand (operand [] acc) a) b
+  | Mov { src; _ } -> operand [] src
+  | Load { base; offset; _ } -> operand (operand [] base) offset
+  | Store { src; base; offset } -> operand (operand (operand [] src) base) offset
+  | Call { args; _ } -> List.fold_left operand [] args
+  | Spill_store { src; _ } -> [ src ]
+  | Spill_load _ -> []
+
+(** Register written by an instruction, if any. *)
+let inst_def inst =
+  match inst with
+  | Alu { dst; _ }
+  | Cmp { dst; _ }
+  | Mac { dst; _ }
+  | Shift { dst; _ }
+  | Mov { dst; _ }
+  | Load { dst; _ }
+  | Spill_load { dst; _ } ->
+    Some dst
+  | Call { dst; _ } -> dst
+  | Store _ | Spill_store _ -> None
+
+let term_uses term =
+  match term with
+  | Jump _ -> []
+  | Branch { cond; _ } -> [ cond ]
+  | Return (Some (Reg r)) -> [ r ]
+  | Return _ -> []
+  | Tail_call { args; _ } ->
+    List.filter_map (function Reg r -> Some r | Imm _ -> None) args
+
+let successors term =
+  match term with
+  | Jump l -> [ l ]
+  | Branch { ifso; ifnot; _ } -> [ ifso; ifnot ]
+  | Return _ | Tail_call _ -> []
+
+(** Whether an instruction has no side effect and a deterministic value,
+    i.e. may be removed when dead or shared when repeated. *)
+let is_pure inst =
+  match inst with
+  | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ -> true
+  | Load _ | Store _ | Call _ | Spill_store _ | Spill_load _ -> false
+
+let func_size func =
+  List.fold_left (fun acc b -> acc + List.length b.insts + 1) 0 func.blocks
+
+let program_size program =
+  List.fold_left (fun acc f -> acc + func_size f) 0 program.funcs
+
+let map_func program name transform =
+  {
+    program with
+    funcs =
+      List.map (fun f -> if f.name = name then transform f else f)
+        program.funcs;
+  }
+
+let map_funcs program transform =
+  { program with funcs = List.map transform program.funcs }
+
+(** Highest register mentioned in the function, or -1 if none. *)
+let max_reg func =
+  let biggest acc r = max acc r in
+  List.fold_left
+    (fun acc block ->
+      let acc =
+        List.fold_left
+          (fun acc inst ->
+            let acc = List.fold_left biggest acc (inst_uses inst) in
+            match inst_def inst with Some d -> biggest acc d | None -> acc)
+          acc block.insts
+      in
+      List.fold_left biggest acc (term_uses block.term))
+    (List.fold_left biggest (-1) func.params)
+    func.blocks

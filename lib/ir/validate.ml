@@ -1,0 +1,108 @@
+(** Structural well-formedness checks.
+
+    Run by tests after every pass and by the workload builders: a pass that
+    produces a dangling label, duplicate block, or call to a missing function
+    is caught here rather than as a confusing interpreter failure. *)
+
+open Types
+
+type error = { where : string; what : string }
+
+let errf where fmt = Printf.ksprintf (fun what -> { where; what }) fmt
+
+let check_func program func errors =
+  let where = "func " ^ func.name in
+  if func.blocks = [] then errors := errf where "has no blocks" :: !errors;
+  let labels = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem labels b.label then
+        errors := errf where "duplicate label %s" b.label :: !errors
+      else Hashtbl.add labels b.label ())
+    func.blocks;
+  let check_target label =
+    if not (Hashtbl.mem labels label) then
+      errors := errf where "jump to unknown label %s" label :: !errors
+  in
+  let check_callee callee =
+    if find_func program callee = None then
+      errors := errf where "call to unknown function %s" callee :: !errors
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Call { callee; _ } -> check_callee callee
+          | Spill_store { slot; _ } | Spill_load { slot; _ } ->
+            if slot < 0 || slot >= func.stack_slots then
+              errors :=
+                errf where "block %s: spill slot %d out of range [0,%d)"
+                  b.label slot func.stack_slots
+                :: !errors
+          | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ | Load _ | Store _ -> ())
+        b.insts;
+      List.iter check_target (successors b.term);
+      match b.term with
+      | Tail_call { callee; _ } -> check_callee callee
+      | Jump _ | Branch _ | Return _ -> ())
+    func.blocks;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p then
+        errors := errf where "duplicate parameter r%d" p :: !errors
+      else Hashtbl.add seen p ())
+    func.params
+
+let check_data program errors =
+  let decls =
+    List.sort (fun a b -> compare a.base b.base) program.data
+  in
+  let rec overlaps = function
+    | a :: (b :: _ as rest) ->
+      if a.base + (a.words * word_bytes) > b.base then
+        errors :=
+          errf "data" "%s overlaps %s" a.dname b.dname :: !errors;
+      overlaps rest
+    | _ -> ()
+  in
+  overlaps decls;
+  List.iter
+    (fun d ->
+      if d.base mod word_bytes <> 0 then
+        errors := errf "data" "%s base not word aligned" d.dname :: !errors;
+      if d.base + (d.words * word_bytes) > program.mem_words * word_bytes then
+        errors := errf "data" "%s exceeds memory" d.dname :: !errors)
+    program.data
+
+let check program =
+  let errors = ref [] in
+  (match find_func program program.entry_func with
+  | None ->
+    errors :=
+      errf "program" "entry function %s not defined" program.entry_func
+      :: !errors
+  | Some f ->
+    if f.params <> [] then
+      errors := errf "program" "entry function takes parameters" :: !errors);
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem names f.name then
+        errors := errf "program" "duplicate function %s" f.name :: !errors
+      else Hashtbl.add names f.name ())
+    program.funcs;
+  List.iter (fun f -> check_func program f errors) program.funcs;
+  check_data program errors;
+  List.rev !errors
+
+let check_exn program =
+  match check program with
+  | [] -> ()
+  | errs ->
+    let msg =
+      String.concat "; "
+        (List.map (fun e -> e.where ^ ": " ^ e.what) errs)
+    in
+    invalid_arg ("Validate.check_exn: " ^ msg)

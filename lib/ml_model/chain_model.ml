@@ -1,0 +1,102 @@
+(** First-order Markov-chain distribution over settings — the
+    dependence-aware alternative the paper mentions ("more complicated
+    distributions, e.g. a Markov model, could be considered", section
+    3.3.1).  Used by the ablation bench to test the paper's claim that the
+    IID factorisation is good enough among good optimisation sets.
+
+    p(y) = p(y_1) * prod_{l>1} p(y_l | y_{l-1}), fitted with Laplace
+    smoothing (the conditional tables are sparse when the good set is a
+    handful of settings), mode by Viterbi. *)
+
+type t = {
+  init : float array;
+  trans : float array array array;
+      (** [trans.(l).(prev).(v)] for dimension [l >= 1]. *)
+}
+
+let fit ?(alpha = 0.1) (good : Passes.Flags.setting array) : t =
+  let card l = Passes.Flags.cardinality Passes.Flags.dims.(l) in
+  let n_dims = Passes.Flags.n_dims in
+  let init = Array.make (card 0) alpha in
+  Array.iter (fun (s : Passes.Flags.setting) -> init.(s.(0)) <- init.(s.(0)) +. 1.0) good;
+  let z = Array.fold_left ( +. ) 0.0 init in
+  let init = Array.map (fun c -> c /. z) init in
+  let trans =
+    Array.init n_dims (fun l ->
+        if l = 0 then [||]
+        else begin
+          let table = Array.make_matrix (card (l - 1)) (card l) alpha in
+          Array.iter
+            (fun (s : Passes.Flags.setting) ->
+              table.(s.(l - 1)).(s.(l)) <- table.(s.(l - 1)).(s.(l)) +. 1.0)
+            good;
+          Array.map
+            (fun row ->
+              let z = Array.fold_left ( +. ) 0.0 row in
+              Array.map (fun c -> c /. z) row)
+            table
+        end)
+  in
+  { init; trans }
+
+(** Componentwise convex combination (the analogue of
+    {!Distribution.mix}; exact for the initial term, an approximation for
+    the conditionals). *)
+let mix (weighted : (float * t) list) : t =
+  match weighted with
+  | [] -> invalid_arg "Chain_model.mix: empty mixture"
+  | (_, first) :: _ ->
+    let z = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+    let combine get template =
+      Array.mapi
+        (fun i _ ->
+          List.fold_left
+            (fun acc (w, m) -> acc +. (w /. z *. get m i))
+            0.0 weighted)
+        template
+    in
+    let init = combine (fun m i -> m.init.(i)) first.init in
+    let trans =
+      Array.mapi
+        (fun l table ->
+          if l = 0 then [||]
+          else
+            Array.mapi
+              (fun prev row ->
+                combine (fun m v -> m.trans.(l).(prev).(v)) row)
+              table)
+        first.trans
+    in
+    { init; trans }
+
+(** Most probable setting by Viterbi over the chain. *)
+let mode (m : t) : Passes.Flags.setting =
+  let n_dims = Passes.Flags.n_dims in
+  let card l = Passes.Flags.cardinality Passes.Flags.dims.(l) in
+  (* score.(l).(v): best log-prob of a prefix ending with y_l = v. *)
+  let score = Array.init n_dims (fun l -> Array.make (card l) neg_infinity) in
+  let back = Array.init n_dims (fun l -> Array.make (card l) 0) in
+  let logp p = log (Float.max 1e-12 p) in
+  Array.iteri (fun v p -> score.(0).(v) <- logp p) m.init;
+  for l = 1 to n_dims - 1 do
+    for v = 0 to card l - 1 do
+      for prev = 0 to card (l - 1) - 1 do
+        let s = score.(l - 1).(prev) +. logp m.trans.(l).(prev).(v) in
+        if s > score.(l).(v) then begin
+          score.(l).(v) <- s;
+          back.(l).(v) <- prev
+        end
+      done
+    done
+  done;
+  let setting = Array.make n_dims 0 in
+  let last = n_dims - 1 in
+  let best = ref 0 in
+  Array.iteri
+    (fun v s -> if s > score.(last).(!best) then best := v)
+    score.(last);
+  setting.(last) <- !best;
+  for l = last downto 1 do
+    setting.(l - 1) <- back.(l).(setting.(l))
+  done;
+  setting

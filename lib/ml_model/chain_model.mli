@@ -1,0 +1,22 @@
+(** First-order Markov-chain distribution over settings — the
+    dependence-aware alternative the paper mentions in section 3.3.1
+    ("more complicated distributions, e.g. a Markov model, could be
+    considered").  Used by the ablation bench to test the claim that the
+    IID factorisation suffices among good optimisation sets. *)
+
+type t = {
+  init : float array;  (** Distribution of the first dimension. *)
+  trans : float array array array;
+      (** [trans.(l).(prev).(v)] = p(y_l = v | y_(l-1) = prev), l >= 1. *)
+}
+
+val fit : ?alpha:float -> Passes.Flags.setting array -> t
+(** Maximum likelihood with Laplace smoothing [alpha] (default 0.1 — the
+    conditional tables are sparse when the good set is small). *)
+
+val mix : (float * t) list -> t
+(** Componentwise convex combination (exact for the initial term, an
+    approximation for the conditionals). *)
+
+val mode : t -> Passes.Flags.setting
+(** Most probable setting by Viterbi over the chain. *)

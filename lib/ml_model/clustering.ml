@@ -1,0 +1,112 @@
+(** K-means clustering over training pairs — the paper's stated future
+    work for cutting the one-off training cost ("techniques such as
+    clustering are able to reduce this", section 3.2, citing Phansalkar
+    et al.).
+
+    Training pairs are clustered in normalised feature space; keeping
+    only the pairs nearest each centroid (the medoids) shrinks the
+    training set while preserving its coverage of the
+    program/microarchitecture behaviour space.  The ablation bench
+    measures how much prediction quality this costs. *)
+
+open Prelude
+
+type t = {
+  centroids : float array array;
+  assignment : int array;  (** Cluster index per input row. *)
+  inertia : float;  (** Sum of squared distances to assigned centroids. *)
+}
+
+let nearest centroids x =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i c ->
+      let d = Vec.l2_distance c x in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    centroids;
+  (!best, !best_d)
+
+(** Standard Lloyd iterations with k-means++ style seeding from the
+    supplied generator.  [rows] must be non-empty; [k] is clamped to the
+    row count. *)
+let kmeans ?(iterations = 32) ~rng ~k rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Clustering.kmeans: no rows";
+  let k = max 1 (min k n) in
+  (* Seeding: first centroid uniform, then proportional-ish to distance
+     (greedy farthest-of-a-sample, deterministic given the rng). *)
+  let centroids = Array.make k rows.(Rng.int rng n) in
+  for i = 1 to k - 1 do
+    let best = ref rows.(Rng.int rng n) and best_d = ref neg_infinity in
+    for _ = 1 to 8 do
+      let cand = rows.(Rng.int rng n) in
+      let _, d = nearest (Array.sub centroids 0 i) cand in
+      if d > !best_d then begin
+        best_d := d;
+        best := cand
+      end
+    done;
+    centroids.(i) <- !best
+  done;
+  let centroids = Array.map Array.copy centroids in
+  let assignment = Array.make n 0 in
+  let dims = Array.length rows.(0) in
+  for _ = 1 to iterations do
+    Array.iteri
+      (fun i x -> assignment.(i) <- fst (nearest centroids x))
+      rows;
+    let sums = Array.make_matrix k dims 0.0 in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i x ->
+        let c = assignment.(i) in
+        counts.(c) <- counts.(c) + 1;
+        Vec.axpy 1.0 x sums.(c))
+      rows;
+    Array.iteri
+      (fun c sum ->
+        if counts.(c) > 0 then
+          centroids.(c) <-
+            Array.map (fun v -> v /. float_of_int counts.(c)) sum)
+      sums
+  done;
+  let inertia = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      assignment.(i) <- fst (nearest centroids x);
+      let d = Vec.l2_distance centroids.(assignment.(i)) x in
+      inertia := !inertia +. (d *. d))
+    rows;
+  { centroids; assignment; inertia = !inertia }
+
+(** Indices of the row nearest each centroid — the medoid subset used to
+    shrink a training set. *)
+let medoids t rows =
+  Array.to_list t.centroids
+  |> List.mapi (fun c centroid ->
+         let best = ref (-1) and best_d = ref infinity in
+         Array.iteri
+           (fun i x ->
+             if t.assignment.(i) = c then begin
+               let d = Vec.l2_distance centroid x in
+               if d < !best_d then begin
+                 best_d := d;
+                 best := i
+               end
+             end)
+           rows;
+         !best)
+  |> List.filter (fun i -> i >= 0)
+  |> Array.of_list
+
+(** Pick a training subset of [k] pairs by clustering the dataset's
+    normalised features; returns pair indices. *)
+let select_training_pairs ~rng ~k (d : Dataset.t) =
+  let raw = Array.map (fun p -> p.Dataset.features_raw) d.Dataset.pairs in
+  let normaliser = Stats.zscore_fit raw in
+  let rows = Array.map (Stats.zscore_apply normaliser) raw in
+  let t = kmeans ~rng ~k rows in
+  medoids t rows

@@ -1,0 +1,23 @@
+(** K-means clustering over training pairs — the paper's stated future
+    work for cutting the one-off training cost (sections 3.2 and 9).
+    The ablation bench trains on cluster medoids only and measures the
+    quality loss. *)
+
+type t = {
+  centroids : float array array;
+  assignment : int array;  (** Cluster index per input row. *)
+  inertia : float;  (** Sum of squared distances to assigned centroids. *)
+}
+
+val kmeans :
+  ?iterations:int -> rng:Prelude.Rng.t -> k:int -> float array array -> t
+(** Lloyd iterations with greedy farthest-point seeding.  [k] is clamped
+    to the row count; raises [Invalid_argument] on an empty input. *)
+
+val medoids : t -> float array array -> int array
+(** Index of the row nearest each centroid. *)
+
+val select_training_pairs :
+  rng:Prelude.Rng.t -> k:int -> Dataset.t -> int array
+(** Cluster the dataset's normalised features and return the medoid pair
+    indices — a training subset of at most [k] pairs. *)

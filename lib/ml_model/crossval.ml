@@ -1,0 +1,55 @@
+(** Leave-one-out cross-validation — section 5.1.1.
+
+    For every program/microarchitecture pair, a model is trained on the
+    pairs involving {e neither} the test program {e nor} the test
+    microarchitecture, asked for the best setting from the test pair's
+    -O3 features, and the prediction is compiled, interpreted and timed on
+    the test microarchitecture.  The model therefore never sees the
+    program or the configuration it is optimising for. *)
+
+type outcome = {
+  prog : int;
+  uarch : int;
+  predicted : Passes.Flags.setting;
+  o3_seconds : float;
+  predicted_seconds : float;
+  best_seconds : float;  (** Best sampled setting: the iterative-compilation
+                             upper bound of section 5.1.2. *)
+}
+
+let speedup o = o.o3_seconds /. o.predicted_seconds
+let best_speedup o = o.o3_seconds /. o.best_seconds
+
+(** Fraction of the iterative-compilation headroom captured, the paper's
+    67% metric, over a set of outcomes: (mean model speedup - 1) /
+    (mean best speedup - 1). *)
+let fraction_of_best outcomes =
+  let mean f = Prelude.Stats.mean (Array.map f outcomes) in
+  let model = mean speedup -. 1.0 in
+  let best = mean best_speedup -. 1.0 in
+  if best <= 0.0 then 1.0 else model /. best
+
+let run ?k ?beta ?mask ?(progress = fun (_ : string) -> ()) (d : Dataset.t) =
+  let n_prog = Dataset.n_programs d and n_uarch = Dataset.n_uarchs d in
+  Array.init (n_prog * n_uarch) (fun idx ->
+      let prog = idx / n_uarch and uarch = idx mod n_uarch in
+      if uarch = 0 then
+        progress
+          (Printf.sprintf "cross-validating %s"
+             d.Dataset.specs.(prog).Workloads.Spec.name);
+      let model =
+        Model.train ?k ?beta ?mask
+          ~include_pair:(fun ~prog:p ~uarch:u -> p <> prog && u <> uarch)
+          d
+      in
+      let test = Dataset.pair d ~prog ~uarch in
+      let predicted = Model.predict model test.Dataset.features_raw in
+      let predicted_seconds = Dataset.evaluate d ~prog ~uarch predicted in
+      {
+        prog;
+        uarch;
+        predicted;
+        o3_seconds = test.Dataset.o3_seconds;
+        predicted_seconds;
+        best_seconds = test.Dataset.best_seconds;
+      })

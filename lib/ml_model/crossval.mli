@@ -1,0 +1,37 @@
+(** Leave-one-out cross-validation — section 5.1.1 of the paper.
+
+    For every program/microarchitecture pair, a model is trained on the
+    pairs involving {e neither} the test program {e nor} the test
+    configuration, asked for the best setting from the test pair's -O3
+    features, and the prediction is compiled, interpreted and timed on
+    the test configuration. *)
+
+type outcome = {
+  prog : int;
+  uarch : int;
+  predicted : Passes.Flags.setting;
+  o3_seconds : float;
+  predicted_seconds : float;
+  best_seconds : float;
+      (** Best sampled setting — the iterative-compilation upper bound of
+          section 5.1.2. *)
+}
+
+val speedup : outcome -> float
+(** Model speedup over -O3. *)
+
+val best_speedup : outcome -> float
+(** Iterative-compilation speedup over -O3. *)
+
+val fraction_of_best : outcome array -> float
+(** The paper's 67% metric:
+    (mean model speedup - 1) / (mean best speedup - 1). *)
+
+val run :
+  ?k:int ->
+  ?beta:float ->
+  ?mask:bool array ->
+  ?progress:(string -> unit) ->
+  Dataset.t ->
+  outcome array
+(** One outcome per dataset pair, in row-major pair order. *)

@@ -1,0 +1,181 @@
+(** Training-data generation — section 3.2.
+
+    For every program we compile and interpret one binary per sampled
+    optimisation setting (plus the -O3 baseline); for every
+    program/microarchitecture pair we then price all those profiles with
+    the timing model, select the good set e_Y (top [good_fraction] of the
+    sampled settings, 5% in the paper) and fit the pair's IID multinomial
+    distribution.
+
+    The expensive step — interpretation — is shared across all
+    microarchitectures, so the paper's 35 x 200 x 1000 = 7M simulations
+    reduce to 35 x 1001 interpreted runs plus 7M microsecond-scale model
+    evaluations.  Scale is environment-tunable:
+
+    - [REPRO_UARCHS]  microarchitectures sampled (default 24, paper 200)
+    - [REPRO_OPTS]    optimisation settings sampled (default 120, paper 1000)
+    - [REPRO_SEED]    sampling seed (default 42)
+
+    The [settings] sample is shared by every pair, matching the uniform
+    random sampling protocol of section 4.3. *)
+
+open Prelude
+
+type scale = {
+  n_uarchs : int;
+  n_opts : int;
+  seed : int;
+  space : Features.space;
+  good_fraction : float;
+}
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v when v > 0 -> v
+    | _ -> invalid_arg (Printf.sprintf "%s must be a positive integer" name)
+  )
+  | None -> default
+
+let default_scale ?(space = Features.Base) () =
+  {
+    n_uarchs = env_int "REPRO_UARCHS" 24;
+    n_opts = env_int "REPRO_OPTS" 120;
+    seed = env_int "REPRO_SEED" 42;
+    space;
+    good_fraction = 0.05;
+  }
+
+type pair = {
+  prog_index : int;
+  uarch_index : int;
+  features_raw : float array;  (** Unnormalised x = (c, d). *)
+  o3_seconds : float;
+  times : float array;  (** Seconds per sampled setting. *)
+  best : int;  (** Index of the fastest sampled setting. *)
+  best_seconds : float;
+  good : int array;  (** Indices of the good set e_Y. *)
+  distribution : Distribution.t;
+}
+
+type t = {
+  scale : scale;
+  specs : Workloads.Spec.t array;
+  uarchs : Uarch.Config.t array;
+  settings : Passes.Flags.setting array;
+  o3_runs : Sim.Xtrem.run array;  (** Per program. *)
+  runs : Sim.Xtrem.run array array;  (** [runs.(prog).(setting)]. *)
+  pairs : pair array;  (** Row-major: prog * n_uarchs + uarch. *)
+  extra_runs : (int * Passes.Flags.setting, Sim.Xtrem.run) Hashtbl.t;
+      (** Cache for settings outside the sample (model predictions). *)
+}
+
+let n_programs t = Array.length t.specs
+let n_uarchs t = Array.length t.uarchs
+
+let pair t ~prog ~uarch = t.pairs.((prog * n_uarchs t) + uarch)
+
+let speedup_of_pair p ~seconds = p.o3_seconds /. seconds
+
+(** Best speedup over -O3 among the sampled settings for a pair. *)
+let best_speedup p = p.o3_seconds /. p.best_seconds
+
+let good_set ~good_fraction times =
+  let n = Array.length times in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare times.(a) times.(b)) order;
+  let k = max 1 (int_of_float (Float.round (good_fraction *. float_of_int n))) in
+  Array.sub order 0 k
+
+let generate ?(progress = fun (_ : string) -> ()) scale =
+  let specs = Workloads.Mibench.all in
+  let uarchs =
+    Uarch.Space.sample
+      (match scale.space with
+      | Features.Base -> Uarch.Space.Base
+      | Features.Extended -> Uarch.Space.Extended)
+      ~seed:scale.seed scale.n_uarchs
+  in
+  let rng = Rng.create (scale.seed * 7919) in
+  let settings =
+    Array.init scale.n_opts (fun _ -> Passes.Flags.random rng)
+  in
+  let o3_runs = Array.make (Array.length specs) None in
+  let runs = Array.make (Array.length specs) [||] in
+  Array.iteri
+    (fun pi spec ->
+      progress (Printf.sprintf "profiling %s" spec.Workloads.Spec.name);
+      let program = Workloads.Mibench.program_of spec in
+      let o3 = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+      o3_runs.(pi) <- Some o3;
+      runs.(pi) <-
+        Array.map
+          (fun s ->
+            let r = Sim.Xtrem.profile_of ~setting:s program in
+            if r.Sim.Xtrem.checksum <> o3.Sim.Xtrem.checksum then
+              failwith
+                (Printf.sprintf
+                   "Dataset.generate: %s miscompiled under %s"
+                   spec.Workloads.Spec.name (Passes.Flags.to_string s));
+            r)
+          settings)
+    specs;
+  let o3_runs = Array.map Option.get o3_runs in
+  let pairs =
+    Array.init
+      (Array.length specs * Array.length uarchs)
+      (fun idx ->
+        let prog_index = idx / Array.length uarchs in
+        let uarch_index = idx mod Array.length uarchs in
+        let u = uarchs.(uarch_index) in
+        let o3_verdict = Sim.Xtrem.time o3_runs.(prog_index) u in
+        let times =
+          Array.map
+            (fun r -> (Sim.Xtrem.time r u).Sim.Pipeline.seconds)
+            runs.(prog_index)
+        in
+        let best = ref 0 in
+        Array.iteri (fun i s -> if s < times.(!best) then best := i) times;
+        let good = good_set ~good_fraction:scale.good_fraction times in
+        let good_settings = Array.map (fun i -> settings.(i)) good in
+        {
+          prog_index;
+          uarch_index;
+          features_raw =
+            Features.raw scale.space o3_verdict.Sim.Pipeline.counters u;
+          o3_seconds = o3_verdict.Sim.Pipeline.seconds;
+          times;
+          best = !best;
+          best_seconds = times.(!best);
+          good;
+          distribution = Distribution.fit good_settings;
+        })
+  in
+  {
+    scale;
+    specs;
+    uarchs;
+    settings;
+    o3_runs;
+    runs;
+    pairs;
+    extra_runs = Hashtbl.create 256;
+  }
+
+(** Profile of [prog] compiled under an arbitrary setting, cached by
+    canonical (semantic) form. *)
+let run_for t ~prog (setting : Passes.Flags.setting) =
+  let key = (prog, Passes.Flags.canonical setting) in
+  match Hashtbl.find_opt t.extra_runs key with
+  | Some r -> r
+  | None ->
+    let program = Workloads.Mibench.program_of t.specs.(prog) in
+    let r = Sim.Xtrem.profile_of ~setting program in
+    Hashtbl.replace t.extra_runs key r;
+    r
+
+(** Seconds of [prog] under [setting] on microarchitecture [uarch]. *)
+let evaluate t ~prog ~uarch setting =
+  let r = run_for t ~prog setting in
+  (Sim.Xtrem.time r t.uarchs.(uarch)).Sim.Pipeline.seconds

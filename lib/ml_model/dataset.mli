@@ -1,0 +1,76 @@
+(** Training-data generation — section 3.2 of the paper.
+
+    For every program, one binary is compiled and interpreted per sampled
+    optimisation setting (plus the -O3 baseline); every
+    program/microarchitecture pair then prices all those profiles with
+    the timing model, selects the good set (top [good_fraction], 5% in
+    the paper's footnote 1) and fits the pair's IID multinomial
+    distribution.
+
+    The expensive step — interpretation — is shared across
+    microarchitectures, so the paper's 35 x 200 x 1000 = 7M simulations
+    reduce to 35 x 1001 interpreted runs plus 7M microsecond-scale model
+    evaluations. *)
+
+type scale = {
+  n_uarchs : int;  (** Configurations sampled (paper: 200). *)
+  n_opts : int;  (** Optimisation settings sampled (paper: 1000). *)
+  seed : int;
+  space : Features.space;
+  good_fraction : float;  (** Top fraction forming the good set (0.05). *)
+}
+
+val default_scale : ?space:Features.space -> unit -> scale
+(** Defaults 24/120/42, overridable through the [REPRO_UARCHS],
+    [REPRO_OPTS] and [REPRO_SEED] environment variables. *)
+
+type pair = {
+  prog_index : int;
+  uarch_index : int;
+  features_raw : float array;  (** Unnormalised x = (c, d) at -O3. *)
+  o3_seconds : float;
+  times : float array;  (** Seconds per sampled setting. *)
+  best : int;  (** Index of the fastest sampled setting. *)
+  best_seconds : float;
+  good : int array;  (** Indices of the good set e_Y. *)
+  distribution : Distribution.t;  (** Fitted per equation (5). *)
+}
+
+type t = {
+  scale : scale;
+  specs : Workloads.Spec.t array;
+  uarchs : Uarch.Config.t array;
+  settings : Passes.Flags.setting array;  (** Shared across pairs. *)
+  o3_runs : Sim.Xtrem.run array;
+  runs : Sim.Xtrem.run array array;  (** [runs.(prog).(setting)]. *)
+  pairs : pair array;  (** Row-major: [prog * n_uarchs + uarch]. *)
+  extra_runs : (int * Passes.Flags.setting, Sim.Xtrem.run) Hashtbl.t;
+}
+
+val generate : ?progress:(string -> unit) -> scale -> t
+(** Build the dataset.  Every compiled binary is checksum-checked against
+    the -O3 baseline; a mismatch raises [Failure] (it would indicate a
+    miscompilation). *)
+
+val n_programs : t -> int
+val n_uarchs : t -> int
+
+val pair : t -> prog:int -> uarch:int -> pair
+
+val speedup_of_pair : pair -> seconds:float -> float
+(** Speedup over -O3 of a measurement on the pair's configuration. *)
+
+val best_speedup : pair -> float
+(** Best sampled speedup over -O3 — the iterative-compilation bound. *)
+
+val good_set : good_fraction:float -> float array -> int array
+(** Indices of the fastest [good_fraction] of a time vector (at least
+    one), used when refitting under a different threshold. *)
+
+val run_for : t -> prog:int -> Passes.Flags.setting -> Sim.Xtrem.run
+(** Profile of [prog] under an arbitrary setting, cached by canonical
+    (semantic) form — this is how model predictions outside the sample
+    are evaluated without recompiling duplicates. *)
+
+val evaluate : t -> prog:int -> uarch:int -> Passes.Flags.setting -> float
+(** Seconds of [prog] under a setting on configuration [uarch]. *)

@@ -1,0 +1,101 @@
+(** IID multinomial distributions over optimisation settings —
+    equations (2)–(5) of the paper.
+
+    A distribution assigns, independently per optimisation dimension
+    (pass or parameter), a probability to each of its possible values:
+    g(y) = prod_l g(y_l), with g(y_l) multinomial over S_l.
+
+    {!fit} is the maximum-likelihood estimator of equation (5) against the
+    empirical distribution of the "good" settings (the top 5% of sampled
+    optimisations, weighted uniformly — footnote 1): theta_l,j is simply
+    the frequency of value j among the good settings' l-th components.
+
+    {!mix} forms the convex combination of neighbour distributions with
+    the softmax weights of equation (6), and {!mode} takes the per-
+    dimension argmax of equation (1). *)
+
+open Prelude
+
+type t = float array array
+(** [t.(l).(j)] = probability that dimension [l] takes value index [j]. *)
+
+let uniform () =
+  Array.map
+    (fun d ->
+      let k = Passes.Flags.cardinality d in
+      Array.make k (1.0 /. float_of_int k))
+    Passes.Flags.dims
+
+(** Maximum-likelihood fit (equation 5) with Laplace smoothing [alpha]
+    (default 0: the paper's plain ML estimator; a small alpha guards
+    against zero-probability values when the good set is tiny). *)
+let fit ?(alpha = 0.0) (good : Passes.Flags.setting array) : t =
+  if Array.length good = 0 then uniform ()
+  else
+    Array.mapi
+      (fun l d ->
+        let k = Passes.Flags.cardinality d in
+        let counts = Array.make k alpha in
+        Array.iter
+          (fun (s : Passes.Flags.setting) ->
+            counts.(s.(l)) <- counts.(s.(l)) +. 1.0)
+          good;
+        let z = Array.fold_left ( +. ) 0.0 counts in
+        Array.map (fun c -> c /. z) counts)
+      Passes.Flags.dims
+
+(** Convex combination: [mix [(w1, g1); (w2, g2); ...]] with the weights
+    summing to 1 (they are renormalised defensively). *)
+let mix (weighted : (float * t) list) : t =
+  match weighted with
+  | [] -> invalid_arg "Distribution.mix: empty mixture"
+  | (_, first) :: _ ->
+    let z =
+      List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted
+    in
+    if z <= 0.0 then invalid_arg "Distribution.mix: non-positive weights";
+    Array.mapi
+      (fun l row ->
+        Array.mapi
+          (fun j _ ->
+            List.fold_left
+              (fun acc (w, g) -> acc +. (w /. z *. g.(l).(j)))
+              0.0 weighted)
+          row)
+      first
+
+(** Equation (1): the setting with maximal probability, i.e. the
+    per-dimension argmax under the IID factorisation.  Ties resolve to the
+    lowest index for determinism. *)
+let mode (g : t) : Passes.Flags.setting =
+  Array.map
+    (fun row ->
+      let best = ref 0 in
+      Array.iteri (fun j p -> if p > row.(!best) then best := j) row;
+      !best)
+    g
+
+(** Log-likelihood of a setting, for tests and the ablation benches. *)
+let log_likelihood (g : t) (s : Passes.Flags.setting) =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun l v ->
+      let p = g.(l).(v) in
+      acc := !acc +. log (Float.max 1e-12 p))
+    s;
+  !acc
+
+(** Draw a sample (used by the sampling-based ablation). *)
+let sample rng (g : t) : Passes.Flags.setting =
+  Array.map
+    (fun row ->
+      let u = Rng.float rng 1.0 in
+      let rec pick j acc =
+        if j >= Array.length row - 1 then j
+        else begin
+          let acc = acc +. row.(j) in
+          if u < acc then j else pick (j + 1) acc
+        end
+      in
+      pick 0 0.0)
+    g

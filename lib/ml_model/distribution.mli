@@ -1,0 +1,36 @@
+(** IID multinomial distributions over optimisation settings —
+    equations (2)–(5) of the paper.
+
+    A distribution assigns, independently per optimisation dimension, a
+    probability to each of its possible values:
+    g(y) = prod_l g(y_l), each g(y_l) multinomial over the dimension's
+    value set S_l. *)
+
+type t = float array array
+(** [t.(l).(j)] = probability that dimension [l] takes value index [j].
+    Rows sum to 1. *)
+
+val uniform : unit -> t
+(** The maximum-entropy distribution (used when a good set is empty). *)
+
+val fit : ?alpha:float -> Passes.Flags.setting array -> t
+(** Maximum-likelihood fit (equation 5) against the uniform empirical
+    distribution over the given good settings: theta_(l,j) is the
+    frequency of value [j] among the settings' l-th components.  [alpha]
+    adds Laplace smoothing (default 0, the paper's plain estimator). *)
+
+val mix : (float * t) list -> t
+(** Convex combination with the given (non-negative, renormalised)
+    weights — the K-nearest-neighbour mixture of equation (6).  Raises
+    [Invalid_argument] on an empty list or non-positive total weight. *)
+
+val mode : t -> Passes.Flags.setting
+(** Equation (1): the setting of maximal probability, i.e. the
+    per-dimension argmax under the IID factorisation.  Ties resolve to
+    the lowest index, keeping predictions deterministic. *)
+
+val log_likelihood : t -> Passes.Flags.setting -> float
+(** Log-probability of a setting (probabilities floored at 1e-12). *)
+
+val sample : Prelude.Rng.t -> t -> Passes.Flags.setting
+(** Draw one setting. *)

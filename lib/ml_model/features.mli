@@ -1,0 +1,30 @@
+(** Feature vectors x = (c, d) — section 3.2 of the paper.
+
+    A program/microarchitecture pair is characterised by the 11
+    performance counters of a single -O3 run on that configuration
+    (table 1) concatenated with the configuration's descriptors (8 in the
+    base space, 10 in the extended space of section 7).  Features are
+    z-score normalised against the training set before the euclidean
+    distances of equation (6) are computed. *)
+
+type space = Base | Extended
+
+val descriptor_dim : space -> int
+val dim : space -> int
+
+val names : space -> string array
+(** Descriptor names followed by counter names, matching {!raw}'s
+    layout (figure 9's column order). *)
+
+val raw : space -> Sim.Counters.t -> Uarch.Config.t -> float array
+(** Unnormalised feature vector from an -O3 verdict's counters and a
+    configuration. *)
+
+type normaliser = float array * float array
+(** Per-dimension (means, stds). *)
+
+val fit_normaliser : float array array -> normaliser
+val normalise : normaliser -> float array -> float array
+
+val distance : float array -> float array -> float
+(** Euclidean — the d(.,.) of equation (6). *)

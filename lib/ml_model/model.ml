@@ -1,0 +1,79 @@
+(** The portable optimising compiler's predictive model — section 3.3.2.
+
+    Training keeps one (feature vector, fitted distribution) point per
+    training program/microarchitecture pair.  Prediction for an unseen
+    pair forms the predictive distribution q(y|x) as the softmax-weighted
+    combination of the K nearest training distributions in normalised
+    feature space (equation 6, K = 7, beta = 1) and returns its mode
+    (equation 1). *)
+
+type t = {
+  k : int;
+  beta : float;
+  mask : bool array option;
+      (** Optional feature subset (for the feature-ablation bench):
+          excluded features are dropped before normalisation. *)
+  normaliser : Features.normaliser;
+  features : float array array;  (** Normalised; one row per point. *)
+  distributions : Distribution.t array;
+}
+
+let default_k = 7
+let default_beta = 1.0
+
+let apply_mask mask row =
+  match mask with
+  | None -> row
+  | Some m ->
+    let out = ref [] in
+    Array.iteri (fun i keep -> if keep then out := row.(i) :: !out) m;
+    Array.of_list (List.rev !out)
+
+(** Train on all dataset pairs for which [include_pair] holds (the
+    cross-validation harness excludes the test program and test
+    microarchitecture here). *)
+let train ?(k = default_k) ?(beta = default_beta) ?mask
+    ?(include_pair = fun ~prog:_ ~uarch:_ -> true) (d : Dataset.t) =
+  let selected =
+    Array.to_list d.Dataset.pairs
+    |> List.filter (fun (p : Dataset.pair) ->
+           include_pair ~prog:p.Dataset.prog_index ~uarch:p.Dataset.uarch_index)
+    |> Array.of_list
+  in
+  if Array.length selected = 0 then invalid_arg "Model.train: empty training set";
+  let raw =
+    Array.map (fun p -> apply_mask mask p.Dataset.features_raw) selected
+  in
+  let normaliser = Features.fit_normaliser raw in
+  {
+    k;
+    beta;
+    mask;
+    normaliser;
+    features = Array.map (Features.normalise normaliser) raw;
+    distributions = Array.map (fun p -> p.Dataset.distribution) selected;
+  }
+
+(** The predictive distribution q(y|x) at the test point, for raw
+    features [x]. *)
+let predictive_distribution t x =
+  let xn = Features.normalise t.normaliser (apply_mask t.mask x) in
+  let n = Array.length t.features in
+  let dist = Array.init n (fun i -> (Features.distance t.features.(i) xn, i)) in
+  Array.sort compare dist;
+  let k = min t.k n in
+  let neighbours = Array.sub dist 0 k in
+  (* Softmax weights of equation (6); shift by the minimum distance for
+     numerical stability (cancels in the normalisation). *)
+  let dmin = fst neighbours.(0) in
+  let weighted =
+    Array.to_list
+      (Array.map
+         (fun (dst, i) ->
+           (exp (-.t.beta *. (dst -. dmin)), t.distributions.(i)))
+         neighbours)
+  in
+  Distribution.mix weighted
+
+(** Equation (1): predicted-best optimisation setting for raw features. *)
+let predict t x = Distribution.mode (predictive_distribution t x)

@@ -1,0 +1,39 @@
+(** The portable optimising compiler's predictive model — section 3.3.2
+    of the paper.
+
+    Training keeps one (feature vector, fitted distribution) point per
+    training program/microarchitecture pair.  Prediction for an unseen
+    pair forms the predictive distribution q(y|x) as the softmax-weighted
+    combination of the K nearest training distributions in normalised
+    feature space (equation 6; K = 7, beta = 1 in the paper) and returns
+    its mode (equation 1). *)
+
+type t
+
+val default_k : int
+(** 7, as in the paper. *)
+
+val default_beta : float
+(** 1.0, as in the paper. *)
+
+val train :
+  ?k:int ->
+  ?beta:float ->
+  ?mask:bool array ->
+  ?include_pair:(prog:int -> uarch:int -> bool) ->
+  Dataset.t ->
+  t
+(** [train dataset] builds the model from every dataset pair for which
+    [include_pair] holds (the cross-validation harness excludes the test
+    program and test microarchitecture there).  [mask] selects a feature
+    subset (for the feature-ablation bench).  Features are z-score
+    normalised against the selected training pairs.  Raises
+    [Invalid_argument] if no pair is selected. *)
+
+val predictive_distribution : t -> float array -> Distribution.t
+(** The predictive distribution q(y|x) for {e raw} (unnormalised)
+    features [x], as produced by {!Features.raw}. *)
+
+val predict : t -> float array -> Passes.Flags.setting
+(** Equation (1): the mode of the predictive distribution — the
+    predicted-best optimisation setting for the pair described by [x]. *)

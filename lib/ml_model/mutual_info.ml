@@ -1,0 +1,74 @@
+(** Mutual-information analyses behind the Hinton diagrams of section 6.
+
+    Figure 8: per program, the normalised mutual information between each
+    optimisation dimension's value and the achieved speedup (discretised
+    into quantile bins) across all sampled (microarchitecture, setting)
+    evaluations — "which passes matter for this program".
+
+    Figure 9: across all pairs, the normalised mutual information between
+    each feature (discretised) and the best setting's value in each
+    dimension — "which features predict which passes". *)
+
+open Prelude
+
+let speedup_bins = 4
+let feature_bins = 4
+
+(** [pass_impact d ~prog] returns, for one program, the normalised MI of
+    each optimisation dimension with speedup, in dimension order. *)
+let pass_impact (d : Dataset.t) ~prog =
+  let n_uarch = Dataset.n_uarchs d in
+  (* Pool all (uarch, setting) observations for this program. *)
+  let speedups =
+    Array.concat
+      (List.init n_uarch (fun u ->
+           let p = Dataset.pair d ~prog ~uarch:u in
+           Array.map (fun t -> p.Dataset.o3_seconds /. t) p.Dataset.times))
+  in
+  let edges = Stats.quantile_edges speedups speedup_bins in
+  Array.mapi
+    (fun l dim ->
+      let k = Passes.Flags.cardinality dim in
+      let joint = Array.make_matrix k speedup_bins 0 in
+      let obs = ref 0 in
+      for u = 0 to n_uarch - 1 do
+        let p = Dataset.pair d ~prog ~uarch:u in
+        Array.iteri
+          (fun si t ->
+            let v = d.Dataset.settings.(si).(l) in
+            let b = Stats.bin_index edges (p.Dataset.o3_seconds /. t) in
+            joint.(v).(b) <- joint.(v).(b) + 1;
+            incr obs)
+          p.Dataset.times
+      done;
+      ignore !obs;
+      Stats.normalised_mutual_information joint)
+    Passes.Flags.dims
+
+(** [feature_pass_relation d] returns a matrix [m.(l).(f)]: normalised MI
+    between feature [f] and the best-setting value of dimension [l],
+    across all pairs — figure 9's cells. *)
+let feature_pass_relation (d : Dataset.t) =
+  let pairs = d.Dataset.pairs in
+  let n_features = Array.length pairs.(0).Dataset.features_raw in
+  (* Discretise each feature into quantile bins over all pairs. *)
+  let feature_edges =
+    Array.init n_features (fun f ->
+        let col = Array.map (fun p -> p.Dataset.features_raw.(f)) pairs in
+        Stats.quantile_edges col feature_bins)
+  in
+  Array.mapi
+    (fun l dim ->
+      let k = Passes.Flags.cardinality dim in
+      Array.init n_features (fun f ->
+          let joint = Array.make_matrix feature_bins k 0 in
+          Array.iter
+            (fun (p : Dataset.pair) ->
+              let fb =
+                Stats.bin_index feature_edges.(f) p.Dataset.features_raw.(f)
+              in
+              let best_setting = d.Dataset.settings.(p.Dataset.best) in
+              joint.(fb).(best_setting.(l)) <- joint.(fb).(best_setting.(l)) + 1)
+            pairs;
+          Stats.normalised_mutual_information joint))
+    Passes.Flags.dims

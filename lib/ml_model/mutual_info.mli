@@ -1,0 +1,18 @@
+(** Mutual-information analyses behind the Hinton diagrams of section 6.
+
+    Both use normalised mutual information
+    (MI / min(H(X), H(Y)), in [0, 1]) over discretised observations. *)
+
+val speedup_bins : int
+val feature_bins : int
+
+val pass_impact : Dataset.t -> prog:int -> float array
+(** Figure 8's column for one program: per optimisation dimension, the
+    normalised MI between the dimension's value and the achieved speedup
+    (quantile-binned) across all sampled (configuration, setting)
+    evaluations of that program — "which passes matter here". *)
+
+val feature_pass_relation : Dataset.t -> float array array
+(** Figure 9's matrix [m.(l).(f)]: normalised MI between feature [f]
+    (quantile-binned over pairs) and the best setting's value in
+    dimension [l] — "which features predict which passes". *)

@@ -1,0 +1,85 @@
+(** Static program characterisation — the paper's second future-work
+    item: "we will remove the single profile run we currently require by
+    considering abstract syntax tree features to characterise programs"
+    (section 9), in the spirit of the code features of Dubach et al.
+    (CF 2007) the crc discussion points to.
+
+    Eleven features computed from the -O3 binary alone, no execution:
+    static instruction-mix fractions, control structure and footprint.
+    The ablation bench swaps these in for the performance counters so the
+    prediction needs no profiling run at all — trading accuracy for
+    deployment cost, exactly the trade the paper anticipates. *)
+
+open Ir.Types
+
+let dim = 11
+
+let names =
+  [|
+    "s_insts"; "s_load_frac"; "s_store_frac"; "s_mul_frac"; "s_shift_frac";
+    "s_branch_frac"; "s_call_frac"; "s_blocks"; "s_loops"; "s_funcs";
+    "s_code_bytes";
+  |]
+
+(** Features of a compiled program (run the pipeline first so they
+    describe the same binary the counters would have been measured on). *)
+let of_program (program : program) =
+  let insts = ref 0 in
+  let loads = ref 0 in
+  let stores = ref 0 in
+  let muls = ref 0 in
+  let shifts = ref 0 in
+  let branches = ref 0 in
+  let calls = ref 0 in
+  let blocks = ref 0 in
+  let loops = ref 0 in
+  List.iter
+    (fun f ->
+      let cfg = Ir.Cfg.build f in
+      loops := !loops + List.length (Ir.Cfg.natural_loops cfg);
+      List.iter
+        (fun b ->
+          incr blocks;
+          (match b.term with
+          | Branch _ -> incr branches
+          | Tail_call _ -> incr calls
+          | Jump _ | Return _ -> ());
+          List.iter
+            (fun i ->
+              incr insts;
+              match i with
+              | Load _ | Spill_load _ -> incr loads
+              | Store _ | Spill_store _ -> incr stores
+              | Alu { op = Mul | Div | Rem; _ } | Mac _ -> incr muls
+              | Shift _ -> incr shifts
+              | Call _ -> incr calls
+              | Alu _ | Cmp _ | Mov _ -> ())
+            b.insts)
+        f.blocks)
+    program.funcs;
+  let code_bytes = (Ir.Layout.place program).Ir.Layout.code_bytes in
+  let n = float_of_int (max 1 !insts) in
+  let frac x = float_of_int x /. n in
+  [|
+    log (1.0 +. float_of_int !insts);
+    frac !loads;
+    frac !stores;
+    frac !muls;
+    frac !shifts;
+    frac !branches;
+    frac !calls;
+    log (1.0 +. float_of_int !blocks);
+    float_of_int !loops;
+    float_of_int (List.length program.funcs);
+    log (1.0 +. float_of_int code_bytes);
+  |]
+
+(** Counter-free feature vector for a pair: static features of the -O3
+    binary concatenated with the microarchitecture descriptors. *)
+let raw space program (u : Uarch.Config.t) =
+  let d =
+    match space with
+    | Features.Base -> Uarch.Config.descriptors u
+    | Features.Extended -> Uarch.Config.descriptors_extended u
+  in
+  Prelude.Vec.concat d (of_program program)

@@ -1,0 +1,42 @@
+(** Code alignment — [falign_functions], [falign_loops], [falign_jumps],
+    [falign_labels].
+
+    Sets alignment requests that {!Ir.Layout} honours with padding:
+    functions to 16 bytes, loop headers to 16, taken-branch targets to 8
+    and all labels to 8.  Alignment keeps hot bodies in fewer fetch blocks
+    but inflates the footprint, so on the paper's small-instruction-cache
+    configurations these flags are among those worth turning off. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let bump b align = { b with balign = max b.balign align }
+
+let run_func ~functions ~loops ~jumps ~labels (func : func) =
+  let cfg = Cfg.build func in
+  let loop_headers =
+    List.map
+      (fun l -> Cfg.label cfg l.Cfg.header)
+      (Cfg.natural_loops cfg)
+  in
+  let jump_targets =
+    List.concat_map
+      (fun (b : block) ->
+        match b.term with Branch { ifso; _ } -> [ ifso ] | _ -> [])
+      func.blocks
+  in
+  let blocks =
+    List.map
+      (fun (b : block) ->
+        let b = if labels then bump b 8 else b in
+        let b = if jumps && List.mem b.label jump_targets then bump b 8 else b in
+        let b = if loops && List.mem b.label loop_headers then bump b 16 else b in
+        b)
+      func.blocks
+  in
+  { func with blocks; falign = (if functions then 16 else func.falign) }
+
+let run (cfg : Flags.config) program =
+  map_funcs program
+    (run_func ~functions:cfg.Flags.align_functions ~loops:cfg.Flags.align_loops
+       ~jumps:cfg.Flags.align_jumps ~labels:cfg.Flags.align_labels)

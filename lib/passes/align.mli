@@ -1,0 +1,5 @@
+(** Code alignment — [falign_functions]/[loops]/[jumps]/[labels]: sets
+    the alignment requests {!Ir.Layout} pays for with padding; hot loops
+    span fewer fetch blocks at the price of footprint. *)
+
+val run : Flags.config -> Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,86 @@
+(** Post-reload redundancy cleanup — [fgcse_after_reload].
+
+    Removes calling-convention stack traffic made redundant by an earlier
+    access in the same extended basic block: a reload of a slot whose value
+    is already in the register, or a save of a register the slot already
+    holds.  Only convention slots (below {!Regalloc.pressure_slot_base},
+    re-exported here to avoid a dependency cycle) are touched; pressure
+    slots genuinely lose their register in between. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let pressure_slot_base = 128
+
+(* State: slot -> register currently known to hold the same value.  An
+   entry dies when the register is redefined or the slot overwritten with
+   a different register. *)
+let process_block state (b : block) =
+  let insts =
+    List.filter
+      (fun inst ->
+        match inst with
+        | Spill_store { src; slot } when slot < pressure_slot_base ->
+          if Hashtbl.find_opt state slot = Some src then false
+          else begin
+            Hashtbl.replace state slot src;
+            true
+          end
+        | Spill_load { dst; slot } when slot < pressure_slot_base ->
+          if Hashtbl.find_opt state slot = Some dst then false
+          else begin
+            (* The reload defines [dst]: drop entries naming it, then
+               record the new synchronisation. *)
+            Hashtbl.iter
+              (fun s r -> if r = dst then Hashtbl.remove state s)
+              (Hashtbl.copy state);
+            Hashtbl.replace state slot dst;
+            true
+          end
+        | Spill_store { slot; _ } | Spill_load { slot; _ } ->
+          Hashtbl.remove state slot;
+          (match inst_def inst with
+          | Some d ->
+            Hashtbl.iter
+              (fun s r -> if r = d then Hashtbl.remove state s)
+              (Hashtbl.copy state)
+          | None -> ());
+          true
+        | _ ->
+          (match inst_def inst with
+          | Some d ->
+            Hashtbl.iter
+              (fun s r -> if r = d then Hashtbl.remove state s)
+              (Hashtbl.copy state)
+          | None -> ());
+          true)
+      b.insts
+  in
+  { b with insts }
+
+let run_func (func : func) =
+  let cfg = Cfg.build func in
+  let blocks = Array.of_list func.blocks in
+  let out_states = Array.make (Array.length blocks) None in
+  let processed = Array.copy blocks in
+  Array.iter
+    (fun bi ->
+      let state =
+        match cfg.Cfg.pred.(bi) with
+        | [ p ] -> (
+          match (blocks.(p).term, out_states.(p)) with
+          | Jump _, Some s -> Hashtbl.copy s
+          | _ -> Hashtbl.create 16)
+        | _ -> Hashtbl.create 16
+      in
+      processed.(bi) <- process_block state blocks.(bi);
+      out_states.(bi) <- Some state)
+    cfg.Cfg.rpo;
+  let result =
+    Array.mapi
+      (fun i b -> if cfg.Cfg.rpo_pos.(i) >= 0 then processed.(i) else b)
+      blocks
+  in
+  { func with blocks = Array.to_list result }
+
+let run program = map_funcs program run_func

@@ -1,0 +1,7 @@
+(** Post-reload redundancy cleanup — [fgcse_after_reload]: removes
+    calling-convention stack traffic made redundant by an earlier access
+    in the same extended basic block (e.g. re-saving an unchanged
+    register between two adjacent call sites). *)
+
+val run_func : Ir.Types.func -> Ir.Types.func
+val run : Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,157 @@
+(** Conditional constant propagation and branch folding — the reproduction's
+    [ftree_vrp].
+
+    Finds single-definition registers whose value is a compile-time
+    constant, folds them into operands and instructions (a use is only
+    rewritten when the definition dominates it), turns constant-condition
+    branches into jumps and prunes the unreachable blocks.  This is the pass
+    that deletes the removable range checks several workloads carry. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let eval_alu = Ir.Interp.eval_alu
+let eval_cmp = Ir.Interp.eval_cmp
+let eval_shift = Ir.Interp.eval_shift
+let norm = Ir.Interp.norm
+
+let constants_of (func : func) =
+  let single = Rewrite.single_def_regs func in
+  (* Iterate to a fixpoint: a pure op over constant operands is constant. *)
+  let value = Hashtbl.create 64 in
+  let operand_value = function
+    | Imm i -> Some i
+    | Reg r -> Hashtbl.find_opt value r
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun inst ->
+            match inst_def inst with
+            | Some dst
+              when Hashtbl.mem single dst && not (Hashtbl.mem value dst) -> (
+              let computed =
+                match inst with
+                | Mov { src; _ } -> operand_value src
+                | Alu { op; a; b; _ } -> (
+                  match (operand_value a, operand_value b) with
+                  | Some va, Some vb -> Some (norm (eval_alu op va vb))
+                  | _ -> None)
+                | Cmp { op; a; b; _ } -> (
+                  match (operand_value a, operand_value b) with
+                  | Some va, Some vb -> Some (eval_cmp op va vb)
+                  | _ -> None)
+                | Shift { op; a; amount; _ } -> (
+                  match (operand_value a, operand_value amount) with
+                  | Some va, Some vk -> Some (norm (eval_shift op va vk))
+                  | _ -> None)
+                | Mac { acc; a; b; _ } -> (
+                  match
+                    (operand_value acc, operand_value a, operand_value b)
+                  with
+                  | Some vacc, Some va, Some vb ->
+                    Some (norm (vacc + (va * vb)))
+                  | _ -> None)
+                | Load _ | Store _ | Call _ | Spill_store _ | Spill_load _ ->
+                  None
+              in
+              match computed with
+              | Some v ->
+                Hashtbl.replace value dst v;
+                changed := true
+              | None -> ())
+            | Some _ | None -> ())
+          b.insts)
+      func.blocks
+  done;
+  value
+
+(* Block (by index) holding the unique definition of each single-def
+   register; parameters map to the entry block. *)
+let def_blocks (func : func) cfg =
+  let defs = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace defs p 0) func.params;
+  List.iter
+    (fun (b : block) ->
+      let bi = Cfg.index cfg b.label in
+      List.iter
+        (fun i ->
+          match inst_def i with
+          | Some d -> if not (Hashtbl.mem defs d) then Hashtbl.replace defs d bi
+          | None -> ())
+        b.insts)
+    func.blocks;
+  defs
+
+let run_func (func : func) =
+  let value = constants_of func in
+  if Hashtbl.length value = 0 then func
+  else begin
+    let cfg = Cfg.build func in
+    let defs = def_blocks func cfg in
+    let blocks =
+      List.map
+        (fun (b : block) ->
+          let bi = Cfg.index cfg b.label in
+          (* Track, position by position, which single-def constants have
+             already been defined when the use executes: either the def is
+             in a strictly dominating block, or earlier in this block. *)
+          let defined_here = Hashtbl.create 8 in
+          let lookup r =
+            match Hashtbl.find_opt value r with
+            | Some v -> (
+              match Hashtbl.find_opt defs r with
+              | Some db
+                when (db <> bi && Cfg.dominates cfg db bi)
+                     || (db = bi && Hashtbl.mem defined_here r) ->
+                Imm v
+              | _ -> Reg r)
+            | None -> Reg r
+          in
+          let insts =
+            List.map
+              (fun inst ->
+                let inst = Rewrite.subst_uses lookup inst in
+                (* Re-fold: if all operands became immediates, evaluate. *)
+                let folded =
+                  match inst with
+                  | Alu { dst; op; a = Imm a; b = Imm b } ->
+                    Mov { dst; src = Imm (norm (eval_alu op a b)) }
+                  | Cmp { dst; op; a = Imm a; b = Imm b } ->
+                    Mov { dst; src = Imm (eval_cmp op a b) }
+                  | Shift { dst; op; a = Imm a; amount = Imm k } ->
+                    Mov { dst; src = Imm (norm (eval_shift op a k)) }
+                  | Mac { dst; acc = Imm acc; a = Imm a; b = Imm b } ->
+                    Mov { dst; src = Imm (norm (acc + (a * b))) }
+                  | other -> other
+                in
+                (match inst_def folded with
+                | Some d -> Hashtbl.replace defined_here d ()
+                | None -> ());
+                folded)
+              b.insts
+          in
+          let term =
+            match b.term with
+            | Branch { cond; ifso; ifnot } -> (
+              match lookup cond with
+              | Imm v -> Jump (if v <> 0 then ifso else ifnot)
+              | Reg _ -> b.term)
+            | t -> (
+              match t with
+              | Return (Some (Reg r)) -> (
+                match lookup r with
+                | Imm v -> Return (Some (Imm v))
+                | Reg _ -> t)
+              | _ -> t)
+          in
+          { b with insts; term })
+        func.blocks
+    in
+    Cfg.prune_unreachable { func with blocks }
+  end
+
+let run program = map_funcs program run_func

@@ -1,0 +1,7 @@
+(** Conditional constant propagation and branch folding — the
+    reproduction's [ftree_vrp].  Folds single-definition compile-time
+    constants into their dominated uses, turns constant branches into
+    jumps and prunes the unreachable blocks (this is what deletes the
+    workloads' removable range checks). *)
+
+val run : Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,6 @@
+(** Cross-jumping (tail merging) — [fcrossjumping]: identical
+    instruction suffixes of blocks sharing a terminator are factored
+    into one block; a code-size optimisation with a small dynamic
+    cost.  [expensive] raises the merge budget. *)
+
+val run : ?expensive:bool -> Ir.Types.program -> Ir.Types.program

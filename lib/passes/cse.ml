@@ -1,0 +1,149 @@
+(** Local common-subexpression elimination over extended basic blocks.
+
+    Base CSE (always on, as at every gcc -O level) shares pure computations
+    and repeated loads within a block.  [fcse_follow_jumps] extends the
+    availability state across an unconditional jump to a single-predecessor
+    target; [fcse_skip_blocks] does the same across conditional edges, which
+    lets availability skip over the not-taken side of a diamond.
+
+    Availability entries are invalidated when any register they mention is
+    redefined; loads are additionally killed by stores and calls. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+type key =
+  | Expr of
+      [ `Alu of alu_op * operand * operand
+      | `Cmp of cmp_op * operand * operand
+      | `Mac of operand * operand * operand
+      | `Shift of shift_op * operand * operand ]
+  | Loc of operand * operand  (** Load from (base, offset). *)
+
+type state = {
+  entries : (key, reg) Hashtbl.t;
+  deps : (reg, key list ref) Hashtbl.t;  (** May contain stale keys. *)
+}
+
+let create_state () = { entries = Hashtbl.create 64; deps = Hashtbl.create 64 }
+
+let copy_state s =
+  {
+    entries = Hashtbl.copy s.entries;
+    deps =
+      (let d = Hashtbl.create (Hashtbl.length s.deps) in
+       Hashtbl.iter (fun r l -> Hashtbl.replace d r (ref !l)) s.deps;
+       d);
+  }
+
+let key_regs key =
+  let op acc = function Reg r -> r :: acc | Imm _ -> acc in
+  match key with
+  | Expr (`Alu (_, a, b)) | Expr (`Cmp (_, a, b)) | Expr (`Shift (_, a, b)) ->
+    op (op [] a) b
+  | Expr (`Mac (acc_, a, b)) -> op (op (op [] acc_) a) b
+  | Loc (base, offset) -> op (op [] base) offset
+
+let add_entry st key holder =
+  Hashtbl.replace st.entries key holder;
+  let depend r =
+    match Hashtbl.find_opt st.deps r with
+    | Some l -> l := key :: !l
+    | None -> Hashtbl.replace st.deps r (ref [ key ])
+  in
+  List.iter depend (holder :: key_regs key)
+
+let invalidate_reg st r =
+  match Hashtbl.find_opt st.deps r with
+  | None -> ()
+  | Some keys ->
+    List.iter (fun k -> Hashtbl.remove st.entries k) !keys;
+    Hashtbl.remove st.deps r
+
+let kill_loads st =
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun k _ -> match k with Loc _ -> dead := k :: !dead | Expr _ -> ())
+    st.entries;
+  List.iter (Hashtbl.remove st.entries) !dead
+
+let key_of_inst inst =
+  match Rewrite.expr_key inst with
+  | Some e -> Some (Expr e)
+  | None -> (
+    match inst with
+    | Load { base; offset; _ } -> Some (Loc (base, offset))
+    | _ -> None)
+
+let process_block st (b : block) =
+  let insts =
+    List.map
+      (fun inst ->
+        let replacement =
+          match key_of_inst inst with
+          | Some key -> (
+            match (Hashtbl.find_opt st.entries key, inst_def inst) with
+            | Some holder, Some dst when holder <> dst ->
+              Some (Mov { dst; src = Reg holder }, key)
+            | Some _, _ -> None
+            | None, _ -> None)
+          | None -> None
+        in
+        match replacement with
+        | Some (mov, _) ->
+          (match inst_def mov with
+          | Some d -> invalidate_reg st d
+          | None -> ());
+          mov
+        | None ->
+          (* Memory and call kills first, then record the new value. *)
+          (match inst with
+          | Store _ | Call _ | Spill_store _ | Spill_load _ -> kill_loads st
+          | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ | Load _ -> ());
+          (match inst_def inst with
+          | Some d -> invalidate_reg st d
+          | None -> ());
+          (match (key_of_inst inst, inst_def inst) with
+          | Some key, Some dst -> add_entry st key dst
+          | _ -> ());
+          inst)
+      b.insts
+  in
+  { b with insts }
+
+let run ?(follow_jumps = false) ?(skip_blocks = false) program =
+  map_funcs program (fun func ->
+      let cfg = Cfg.build func in
+      let n = Cfg.n_blocks cfg in
+      let out_states : state option array = Array.make n None in
+      let blocks = Array.of_list func.blocks in
+      let processed = Array.make n blocks.(0) in
+      Array.iter
+        (fun bi ->
+          let b = blocks.(bi) in
+          (* Inherit from a unique predecessor when the edge kind allows. *)
+          let st =
+            match cfg.Cfg.pred.(bi) with
+            | [ p ] -> (
+              let inherit_ok =
+                match blocks.(p).term with
+                | Jump _ -> follow_jumps
+                | Branch _ -> skip_blocks
+                | Return _ | Tail_call _ -> false
+              in
+              match (inherit_ok, out_states.(p)) with
+              | true, Some s -> copy_state s
+              | _ -> create_state ())
+            | _ -> create_state ()
+          in
+          let b' = process_block st b in
+          processed.(bi) <- b';
+          out_states.(bi) <- Some st)
+        cfg.Cfg.rpo;
+      (* Unreachable blocks pass through untouched. *)
+      let result =
+        Array.mapi
+          (fun i b -> if cfg.Cfg.rpo_pos.(i) >= 0 then processed.(i) else b)
+          blocks
+      in
+      { func with blocks = Array.to_list result })

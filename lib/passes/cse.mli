@@ -1,0 +1,9 @@
+(** Local common-subexpression elimination over extended basic blocks.
+    Base CSE is always on (as at every gcc -O level);
+    [fcse_follow_jumps] extends availability across unconditional jumps
+    into single-predecessor targets, [fcse_skip_blocks] across
+    conditional edges. *)
+
+val run :
+  ?follow_jumps:bool -> ?skip_blocks:bool -> Ir.Types.program ->
+  Ir.Types.program

@@ -1,0 +1,49 @@
+(** Dead-code elimination.
+
+    Removes pure instructions (and loads — they have no side effect in our
+    semantics, as in any compiler's view of non-volatile memory) whose
+    result is never used.  Runs unconditionally in the pipeline, as at every
+    gcc optimisation level, and as a cleanup after copy propagation and
+    constant folding. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let run_func (func : func) =
+  let rec fixpoint func =
+    let used = Hashtbl.create 256 in
+    let mark r = Hashtbl.replace used r () in
+    List.iter
+      (fun b ->
+        List.iter (fun i -> List.iter mark (inst_uses i)) b.insts;
+        List.iter mark (term_uses b.term))
+      func.blocks;
+    let removable inst =
+      match inst with
+      | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ | Load _ -> (
+        match inst_def inst with
+        | Some d -> not (Hashtbl.mem used d)
+        | None -> false)
+      | Store _ | Call _ | Spill_store _ | Spill_load _ -> false
+    in
+    let changed = ref false in
+    let blocks =
+      List.map
+        (fun b ->
+          let insts =
+            List.filter
+              (fun i ->
+                let dead = removable i in
+                if dead then changed := true;
+                not dead)
+              b.insts
+          in
+          { b with insts })
+        func.blocks
+    in
+    let func = { func with blocks } in
+    if !changed then fixpoint func else func
+  in
+  fixpoint func
+
+let run program = map_funcs program run_func

@@ -1,0 +1,6 @@
+(** Dead-code elimination: removes pure instructions (and loads) whose
+    result is never used.  Runs unconditionally in the pipeline, as at
+    every gcc optimisation level. *)
+
+val run_func : Ir.Types.func -> Ir.Types.func
+val run : Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,47 @@
+(** The pass pipeline: one compilation of a program under a flag setting.
+
+    Ordering follows gcc's phase structure: tree-level cleanups, inlining,
+    loop transformations, redundancy elimination, local cleanups, CFG
+    simplification, scheduling, register lowering, then layout-affecting
+    passes.  Dead-code elimination runs unconditionally (as at every gcc
+    -O level) after the value-rewriting phases. *)
+
+let id program = program
+
+let when_ cond pass = if cond then pass else id
+
+let compile ?(setting = Flags.o3) program =
+  let cfg = Flags.decode setting in
+  let ( |> ) x f = f x in
+  program
+  |> when_ cfg.Flags.vrp Constprop.run
+  |> when_ cfg.Flags.pre Licm.run
+  |> when_ cfg.Flags.inline (Inline.run cfg)
+  |> when_ cfg.Flags.unswitch Unswitch.run
+  |> when_ cfg.Flags.unroll (Unroll.run cfg)
+  |> when_ cfg.Flags.strength_reduce Strength.run
+  |> Cse.run ~follow_jumps:cfg.Flags.cse_follow_jumps
+       ~skip_blocks:cfg.Flags.cse_skip_blocks
+  |> when_ cfg.Flags.gcse (Gcse.run cfg)
+  |> when_ (cfg.Flags.rerun_loop_opt && cfg.Flags.pre) Licm.run
+  |> when_ cfg.Flags.rerun_cse_after_loop
+       (Cse.run ~follow_jumps:cfg.Flags.cse_follow_jumps
+          ~skip_blocks:cfg.Flags.cse_skip_blocks)
+  |> when_ cfg.Flags.regmove Regmove.run
+  |> Dce.run
+  |> when_ cfg.Flags.peephole2 Peephole.run
+  |> Dce.run
+  |> when_ cfg.Flags.sibling_calls Sibling.run
+  |> when_ cfg.Flags.thread_jumps Thread_jumps.run
+  |> when_ cfg.Flags.crossjump (Crossjump.run ~expensive:cfg.Flags.expensive)
+  |> when_ cfg.Flags.sched
+       (Sched.run ~interblock:cfg.Flags.sched_interblock
+          ~spec:cfg.Flags.sched_spec)
+  |> Regalloc.run ~caller_saves:cfg.Flags.caller_saves
+       ~after_reload:cfg.Flags.gcse_after_reload
+  |> when_ cfg.Flags.reorder_blocks Reorder.run
+  |> Align.run cfg
+
+(** Compile and place: the unit of work cached by the experiment layer. *)
+let compile_to_image ?setting program =
+  Ir.Layout.place (compile ?setting program)

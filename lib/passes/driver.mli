@@ -1,0 +1,22 @@
+(** The pass pipeline: one compilation of a program under a flag setting.
+
+    Ordering follows gcc's phase structure — tree-level cleanups
+    (constant propagation/VRP, PRE/LICM), inlining, loop transformations
+    (unswitching, unrolling), redundancy elimination (CSE, GCSE),
+    local cleanups (copy propagation, peephole), CFG simplification
+    (sibling calls, jump threading, cross-jumping), scheduling, register
+    lowering (always on: spill and calling-convention costs), block
+    reordering and alignment.  Dead-code elimination runs unconditionally
+    after the value-rewriting phases, as at every gcc -O level. *)
+
+val compile :
+  ?setting:Flags.setting -> Ir.Types.program -> Ir.Types.program
+(** [compile ~setting program] applies the pipeline selected by
+    [setting] (default {!Flags.o3}).  The result computes the same
+    checksum as the input — enforced by the test suite's property
+    tests. *)
+
+val compile_to_image :
+  ?setting:Flags.setting -> Ir.Types.program -> Ir.Layout.t
+(** [compile] followed by {!Ir.Layout.place}: the unit of work the
+    experiment layer caches per (program, canonical setting). *)

@@ -1,0 +1,285 @@
+(** The compiler optimisation space of figure 3.
+
+    Thirty-nine dimensions: thirty on/off pass flags and nine integer
+    parameters, named after their gcc 4.2 counterparts (figure 8's axis).
+    A {!setting} assigns every dimension a value index; the machine-learning
+    model treats each dimension as one multinomial variable (the [y_l] of
+    equation 4), and {!decode} turns a setting into the typed configuration
+    the pass pipeline consumes.
+
+    Parameter value sets are scaled to our workload sizes (our synthetic
+    functions are tens to hundreds of instructions, against thousands for
+    compiled C), preserving the ratios between gcc's defaults and its
+    useful range.  The flag-only space has 2^30 points and the full space
+    2^30 * 8^9 ~ 1.4e17, matching the magnitudes reported in section 4.3
+    (642 million and 1.69e17). *)
+
+open Prelude
+
+type kind =
+  | Flag of { o3 : bool }
+  | Param of { values : int array; o3_index : int }
+
+type dim = {
+  name : string;
+  kind : kind;
+  gate : string option;
+      (** Name of the flag that must be on for this dimension to have any
+          effect; used when counting semantically distinct settings. *)
+}
+
+let flag ?gate name o3 = { name; kind = Flag { o3 }; gate }
+
+let param ?gate name values o3_index =
+  assert (o3_index >= 0 && o3_index < Array.length values);
+  { name; kind = Param { values; o3_index }; gate }
+
+let dims =
+  [|
+    flag "fthread_jumps" true;
+    flag "fcrossjumping" true;
+    flag "foptimize_sibling_calls" true;
+    flag "fcse_follow_jumps" true;
+    flag "fcse_skip_blocks" true;
+    flag "fexpensive_optimizations" true;
+    flag "fstrength_reduce" true;
+    flag "fre_run_cse_after_loop" true;
+    flag "frerun_loop_opt" true;
+    flag "fcaller_saves" true;
+    flag "fpeephole2" true;
+    flag "fregmove" true;
+    flag "freorder_blocks" true;
+    flag "falign_functions" true;
+    flag "falign_jumps" true;
+    flag "falign_loops" true;
+    flag "falign_labels" true;
+    flag "ftree_vrp" true;
+    flag "ftree_pre" true;
+    flag "funswitch_loops" true;
+    flag "fgcse" true;
+    flag ~gate:"fgcse" "fno_gcse_lm" false;
+    flag ~gate:"fgcse" "fgcse_sm" false;
+    flag ~gate:"fgcse" "fgcse_las" false;
+    flag "fgcse_after_reload" true;
+    param ~gate:"fgcse" "param_max_gcse_passes"
+      [| 1; 2; 3; 4; 5; 6; 7; 8 |] 0;
+    flag "fschedule_insns" true;
+    flag ~gate:"fschedule_insns" "fno_sched_interblock" false;
+    flag ~gate:"fschedule_insns" "fno_sched_spec" false;
+    flag "finline_functions" true;
+    param ~gate:"finline_functions" "param_max_inline_insns_auto"
+      [| 8; 16; 24; 32; 48; 64; 96; 160 |] 3;
+    param ~gate:"finline_functions" "param_inline_call_cost"
+      [| 8; 12; 16; 20; 24; 32; 48; 64 |] 2;
+    param ~gate:"finline_functions" "param_inline_unit_growth"
+      [| 10; 20; 30; 50; 80; 120; 200; 300 |] 3;
+    param ~gate:"finline_functions" "param_large_function_growth"
+      [| 25; 50; 75; 100; 150; 200; 300; 400 |] 3;
+    param ~gate:"finline_functions" "param_large_function_insns"
+      [| 50; 100; 150; 200; 300; 400; 600; 800 |] 4;
+    param ~gate:"finline_functions" "param_large_unit_insns"
+      [| 200; 400; 600; 800; 1200; 1600; 2400; 3200 |] 4;
+    flag "funroll_loops" false;
+    param ~gate:"funroll_loops" "param_max_unroll_times"
+      [| 1; 2; 3; 4; 6; 8; 12; 16 |] 5;
+    param ~gate:"funroll_loops" "param_max_unrolled_insns"
+      [| 16; 32; 48; 64; 96; 128; 192; 256 |] 5;
+  |]
+
+let n_dims = Array.length dims
+
+let cardinality dim =
+  match dim.kind with Flag _ -> 2 | Param { values; _ } -> Array.length values
+
+let index_of_name =
+  let table = Hashtbl.create 64 in
+  Array.iteri (fun i d -> Hashtbl.replace table d.name i) dims;
+  fun name ->
+    match Hashtbl.find_opt table name with
+    | Some i -> i
+    | None -> invalid_arg ("Flags.index_of_name: unknown dimension " ^ name)
+
+type setting = int array
+(** [setting.(l)] is the value index chosen for dimension [l]: 0/1 for
+    flags, an index into [values] for parameters. *)
+
+let o3 : setting =
+  Array.map
+    (fun d ->
+      match d.kind with
+      | Flag { o3 } -> if o3 then 1 else 0
+      | Param { o3_index; _ } -> o3_index)
+    dims
+
+let all_off : setting = Array.map (fun _ -> 0) dims
+
+let random rng : setting =
+  Array.map (fun d -> Rng.int rng (cardinality d)) dims
+
+let validate (s : setting) =
+  if Array.length s <> n_dims then
+    invalid_arg "Flags.validate: wrong dimension count";
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= cardinality dims.(i) then
+        invalid_arg
+          (Printf.sprintf "Flags.validate: %s index %d out of range"
+             dims.(i).name v))
+    s
+
+let flag_value (s : setting) name = s.(index_of_name name) = 1
+
+let param_value (s : setting) name =
+  let i = index_of_name name in
+  match dims.(i).kind with
+  | Param { values; _ } -> values.(s.(i))
+  | Flag _ -> invalid_arg ("Flags.param_value: " ^ name ^ " is a flag")
+
+(** Whether dimension [l] can influence code generation under setting [s]
+    (its gate flag, if any, is on). *)
+let active (s : setting) l =
+  match dims.(l).gate with
+  | None -> true
+  | Some g -> flag_value s g
+
+(** Canonical form: inactive dimensions forced to index 0, so that settings
+    with identical semantics compare equal.  Used for profile caching. *)
+let canonical (s : setting) : setting =
+  Array.mapi (fun l v -> if active s l then v else 0) s
+
+let equal_semantics a b = canonical a = canonical b
+
+(* Space cardinalities, as floats since they exceed 2^62. *)
+
+let space_size_flags =
+  Array.fold_left
+    (fun acc d -> match d.kind with Flag _ -> acc *. 2.0 | Param _ -> acc)
+    1.0 dims
+
+let space_size_total =
+  Array.fold_left (fun acc d -> acc *. float_of_int (cardinality d)) 1.0 dims
+
+(** Number of semantically distinct settings, collapsing gated dimensions
+    when their gate is off. *)
+let space_size_distinct =
+  let gated_product gate_name =
+    Array.fold_left
+      (fun acc d ->
+        if d.gate = Some gate_name then acc *. float_of_int (cardinality d)
+        else acc)
+      1.0 dims
+  in
+  Array.fold_left
+    (fun acc d ->
+      match (d.kind, d.gate) with
+      | Flag _, None ->
+        let sub = gated_product d.name in
+        if sub > 1.0 then acc *. (1.0 +. sub) else acc *. 2.0
+      | Param _, None -> acc *. float_of_int (cardinality d)
+      | (Flag _ | Param _), Some _ -> acc (* counted with the gate *))
+    1.0 dims
+
+let to_string (s : setting) =
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun i v ->
+           match dims.(i).kind with
+           | Flag _ -> if v = 1 then Some dims.(i).name else None
+           | Param { values; o3_index } ->
+             if v <> o3_index then
+               Some (Printf.sprintf "%s=%d" dims.(i).name values.(v))
+             else None)
+         s)
+  in
+  match List.filter_map Fun.id parts with
+  | [] -> "(all off, default params)"
+  | l -> String.concat " " l
+
+(** Typed view consumed by the pass pipeline. *)
+type config = {
+  vrp : bool;
+  pre : bool;
+  inline : bool;
+  max_inline_insns_auto : int;
+  inline_call_cost : int;
+  inline_unit_growth : int;
+  large_function_growth : int;
+  large_function_insns : int;
+  large_unit_insns : int;
+  unswitch : bool;
+  unroll : bool;
+  max_unroll_times : int;
+  max_unrolled_insns : int;
+  strength_reduce : bool;
+  cse_follow_jumps : bool;
+  cse_skip_blocks : bool;
+  rerun_cse_after_loop : bool;
+  rerun_loop_opt : bool;
+  gcse : bool;
+  gcse_lm : bool;
+  gcse_sm : bool;
+  gcse_las : bool;
+  gcse_after_reload : bool;
+  max_gcse_passes : int;
+  regmove : bool;
+  peephole2 : bool;
+  sched : bool;
+  sched_interblock : bool;
+  sched_spec : bool;
+  caller_saves : bool;
+  sibling_calls : bool;
+  thread_jumps : bool;
+  crossjump : bool;
+  reorder_blocks : bool;
+  align_functions : bool;
+  align_jumps : bool;
+  align_loops : bool;
+  align_labels : bool;
+  expensive : bool;
+}
+
+let decode (s : setting) : config =
+  validate s;
+  let f = flag_value s and p = param_value s in
+  {
+    vrp = f "ftree_vrp";
+    pre = f "ftree_pre";
+    inline = f "finline_functions";
+    max_inline_insns_auto = p "param_max_inline_insns_auto";
+    inline_call_cost = p "param_inline_call_cost";
+    inline_unit_growth = p "param_inline_unit_growth";
+    large_function_growth = p "param_large_function_growth";
+    large_function_insns = p "param_large_function_insns";
+    large_unit_insns = p "param_large_unit_insns";
+    unswitch = f "funswitch_loops";
+    unroll = f "funroll_loops";
+    max_unroll_times = p "param_max_unroll_times";
+    max_unrolled_insns = p "param_max_unrolled_insns";
+    strength_reduce = f "fstrength_reduce";
+    cse_follow_jumps = f "fcse_follow_jumps";
+    cse_skip_blocks = f "fcse_skip_blocks";
+    rerun_cse_after_loop = f "fre_run_cse_after_loop";
+    rerun_loop_opt = f "frerun_loop_opt";
+    gcse = f "fgcse";
+    gcse_lm = not (f "fno_gcse_lm");
+    gcse_sm = f "fgcse_sm";
+    gcse_las = f "fgcse_las";
+    gcse_after_reload = f "fgcse_after_reload";
+    max_gcse_passes = p "param_max_gcse_passes";
+    regmove = f "fregmove";
+    peephole2 = f "fpeephole2";
+    sched = f "fschedule_insns";
+    sched_interblock = not (f "fno_sched_interblock");
+    sched_spec = not (f "fno_sched_spec");
+    caller_saves = f "fcaller_saves";
+    sibling_calls = f "foptimize_sibling_calls";
+    thread_jumps = f "fthread_jumps";
+    crossjump = f "fcrossjumping";
+    reorder_blocks = f "freorder_blocks";
+    align_functions = f "falign_functions";
+    align_jumps = f "falign_jumps";
+    align_loops = f "falign_loops";
+    align_labels = f "falign_labels";
+    expensive = f "fexpensive_optimizations";
+  }

@@ -1,0 +1,122 @@
+(** The compiler optimisation space of the paper's figure 3.
+
+    Thirty-nine dimensions — thirty on/off pass flags and nine integer
+    parameters — named after their gcc 4.2 counterparts.  A {!setting}
+    assigns every dimension a value index; the machine-learning model
+    treats each dimension as one multinomial variable (the y_l of
+    equation 4), and {!decode} turns a setting into the typed
+    configuration the pass pipeline consumes. *)
+
+type kind =
+  | Flag of { o3 : bool }  (** On/off pass; [o3] is its -O3 default. *)
+  | Param of { values : int array; o3_index : int }
+      (** Integer parameter with its admissible values and -O3 default. *)
+
+type dim = {
+  name : string;  (** gcc-style name, as on figure 8's axis. *)
+  kind : kind;
+  gate : string option;
+      (** Flag that must be on for this dimension to have any effect. *)
+}
+
+val dims : dim array
+(** The 39 dimensions, in figure 8's order (top to bottom reversed). *)
+
+val n_dims : int
+
+val cardinality : dim -> int
+(** Number of values a dimension can take (2 for flags). *)
+
+val index_of_name : string -> int
+(** Dimension index by gcc-style name.  Raises [Invalid_argument] on an
+    unknown name. *)
+
+type setting = int array
+(** [setting.(l)] is the value index chosen for dimension [l]. *)
+
+val o3 : setting
+(** The -O3 baseline: every flag at its gcc 4.2 default. *)
+
+val all_off : setting
+(** Every flag off, every parameter at its first value. *)
+
+val random : Prelude.Rng.t -> setting
+(** Uniform random point of the full space (section 4.3's sampling). *)
+
+val validate : setting -> unit
+(** Raises [Invalid_argument] when a value index is out of range. *)
+
+val flag_value : setting -> string -> bool
+(** Whether a named flag is on.  Raises on parameters. *)
+
+val param_value : setting -> string -> int
+(** Actual integer value of a named parameter.  Raises on flags. *)
+
+val active : setting -> int -> bool
+(** Whether dimension [l] can influence code generation under the setting
+    (its gate flag, if any, is on). *)
+
+val canonical : setting -> setting
+(** Canonical form with inactive dimensions zeroed, so settings with
+    identical semantics compare equal; the profile cache keys on this. *)
+
+val equal_semantics : setting -> setting -> bool
+
+val space_size_flags : float
+(** Cardinality of the flag-only space (paper: 642 million). *)
+
+val space_size_total : float
+(** Cardinality including parameters (paper: 1.69e17). *)
+
+val space_size_distinct : float
+(** Semantically distinct settings, collapsing gated dimensions. *)
+
+val to_string : setting -> string
+(** Human-readable rendering: enabled flags and non-default parameters. *)
+
+(** Typed view consumed by {!Driver}. *)
+type config = {
+  vrp : bool;
+  pre : bool;
+  inline : bool;
+  max_inline_insns_auto : int;
+  inline_call_cost : int;
+  inline_unit_growth : int;
+  large_function_growth : int;
+  large_function_insns : int;
+  large_unit_insns : int;
+  unswitch : bool;
+  unroll : bool;
+  max_unroll_times : int;
+  max_unrolled_insns : int;
+  strength_reduce : bool;
+  cse_follow_jumps : bool;
+  cse_skip_blocks : bool;
+  rerun_cse_after_loop : bool;
+  rerun_loop_opt : bool;
+  gcse : bool;
+  gcse_lm : bool;
+  gcse_sm : bool;
+  gcse_las : bool;
+  gcse_after_reload : bool;
+  max_gcse_passes : int;
+  regmove : bool;
+  peephole2 : bool;
+  sched : bool;
+  sched_interblock : bool;
+  sched_spec : bool;
+  caller_saves : bool;
+  sibling_calls : bool;
+  thread_jumps : bool;
+  crossjump : bool;
+  reorder_blocks : bool;
+  align_functions : bool;
+  align_jumps : bool;
+  align_loops : bool;
+  align_labels : bool;
+  expensive : bool;
+}
+
+val decode : setting -> config
+(** Validate and decode; negative flags ([fno_...]) are returned in
+    positive sense. *)

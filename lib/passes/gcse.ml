@@ -1,0 +1,196 @@
+(** Global common-subexpression elimination — [fgcse] and its variants.
+
+    The base pass walks the dominator tree carrying available pure
+    expressions over single-definition registers: an expression computed in
+    a dominating block is replaced by a copy from its previous holder
+    (single-definedness of operands and holder makes this sound without a
+    dataflow availability solve, exactly the property value numbering
+    exploits in SSA compilers).
+
+    Variants:
+    - [fgcse-lm] (on unless [fno_gcse_lm]): loads join the global table when
+      the function is entirely store- and call-free, plus block-local
+      redundant-load elimination is already handled by CSE;
+    - [fgcse-las]: block-local store-to-load forwarding;
+    - [fgcse-sm]: block-local dead-store elimination (the degenerate but
+      sound core of store motion);
+    - [max-gcse-passes]: the pass iterates, with copy propagation between
+      iterations so second-order redundancies surface. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let has_memory_side_effects (func : func) =
+  List.exists
+    (fun (b : block) ->
+      List.exists
+        (fun i ->
+          match i with
+          | Store _ | Call _ | Spill_store _ | Spill_load _ -> true
+          | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ | Load _ -> false)
+        b.insts
+      || match b.term with Tail_call _ -> true | _ -> false)
+    func.blocks
+
+type key =
+  | Expr of
+      [ `Alu of alu_op * operand * operand
+      | `Cmp of cmp_op * operand * operand
+      | `Mac of operand * operand * operand
+      | `Shift of shift_op * operand * operand ]
+  | Loc of operand * operand
+
+let global_pass ~loads_ok (func : func) =
+  let single = Rewrite.single_def_regs func in
+  let is_single r = Hashtbl.mem single r in
+  let cfg = Cfg.build func in
+  let n = Cfg.n_blocks cfg in
+  let children = Array.make n [] in
+  for i = n - 1 downto 1 do
+    if Cfg.reachable cfg i then begin
+      let d = cfg.Cfg.idom.(i) in
+      if d >= 0 && d <> i then children.(d) <- i :: children.(d)
+    end
+  done;
+  let table : (key, reg) Hashtbl.t = Hashtbl.create 128 in
+  let blocks = Array.of_list func.blocks in
+  let result = Array.copy blocks in
+  let rec walk bi =
+    let b = blocks.(bi) in
+    let added = ref [] in
+    let insts =
+      List.map
+        (fun inst ->
+          let candidate_key =
+            match Rewrite.expr_key inst with
+            | Some e when List.for_all is_single (inst_uses inst) -> (
+              match inst_def inst with
+              | Some d when is_single d -> Some (Expr e)
+              | _ -> None)
+            | _ -> (
+              match inst with
+              | Load { dst; base; offset }
+                when loads_ok && is_single dst
+                     && List.for_all is_single (inst_uses inst) ->
+                ignore dst;
+                Some (Loc (base, offset))
+              | _ -> None)
+          in
+          match candidate_key with
+          | None -> inst
+          | Some key -> (
+            let dst = Option.get (inst_def inst) in
+            match Hashtbl.find_opt table key with
+            | Some holder when holder <> dst ->
+              Mov { dst; src = Reg holder }
+            | Some _ -> inst
+            | None ->
+              Hashtbl.replace table key dst;
+              added := key :: !added;
+              inst))
+        b.insts
+    in
+    result.(bi) <- { b with insts };
+    List.iter walk children.(bi);
+    List.iter (Hashtbl.remove table) !added
+  in
+  if n > 0 && Cfg.reachable cfg 0 then walk 0;
+  { func with blocks = Array.to_list result }
+
+(* Block-local store-to-load forwarding: a load from the same literal
+   (base, offset) as a preceding store reads the stored value.  Any other
+   memory write or call invalidates everything (conservative aliasing);
+   redefinition of a mentioned register invalidates the entry. *)
+let forward_stores (b : block) =
+  let avail : ((operand * operand) * operand) list ref = ref [] in
+  let kill_all () = avail := [] in
+  let kill_reg r =
+    let mentions (((base, offset), src) : (operand * operand) * operand) =
+      let uses o = match o with Reg x -> x = r | Imm _ -> false in
+      uses base || uses offset || uses src
+    in
+    avail := List.filter (fun e -> not (mentions e)) !avail
+  in
+  let insts =
+    List.map
+      (fun inst ->
+        match inst with
+        | Store { src; base; offset } ->
+          kill_all ();
+          (* only this address is known fresh *)
+          avail := [ ((base, offset), src) ];
+          inst
+        | Load { dst; base; offset } -> (
+          match List.assoc_opt (base, offset) !avail with
+          | Some src ->
+            (match inst_def inst with Some d -> kill_reg d | None -> ());
+            Mov { dst; src }
+          | None -> inst)
+        | Call _ | Spill_store _ | Spill_load _ ->
+          kill_all ();
+          inst
+        | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ ->
+          (match inst_def inst with Some d -> kill_reg d | None -> ());
+          inst)
+      b.insts
+  in
+  { b with insts }
+
+(* Block-local dead-store elimination: a store overwritten by a later store
+   to the same literal address with no possibly-aliasing read, write or
+   call in between is removed. *)
+let eliminate_dead_stores (b : block) =
+  let insts = Array.of_list b.insts in
+  let n = Array.length insts in
+  let dead = Array.make n false in
+  let pending : ((operand * operand) * int) list ref = ref [] in
+  let kill_all () = pending := [] in
+  let kill_reg r =
+    let mentions ((base, offset), _) =
+      let uses o = match o with Reg x -> x = r | Imm _ -> false in
+      uses base || uses offset
+    in
+    pending := List.filter (fun e -> not (mentions e)) !pending
+  in
+  Array.iteri
+    (fun i inst ->
+      match inst with
+      | Store { base; offset; _ } ->
+        (match List.assoc_opt (base, offset) !pending with
+        | Some j -> dead.(j) <- true
+        | None -> ());
+        (* Another store may alias other pending addresses: drop them. *)
+        pending := [ ((base, offset), i) ]
+      | Load _ | Call _ | Spill_store _ | Spill_load _ -> kill_all ()
+      | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ -> (
+        match inst_def inst with Some d -> kill_reg d | None -> ()))
+    insts;
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if not dead.(i) then kept := insts.(i) :: !kept
+  done;
+  { b with insts = !kept }
+
+let run (cfg : Flags.config) program =
+  let once program =
+    map_funcs program (fun func ->
+        let loads_ok = cfg.gcse_lm && not (has_memory_side_effects func) in
+        let func = global_pass ~loads_ok func in
+        let func =
+          if cfg.gcse_las then
+            { func with blocks = List.map forward_stores func.blocks }
+          else func
+        in
+        if cfg.gcse_sm then
+          { func with blocks = List.map eliminate_dead_stores func.blocks }
+        else func)
+  in
+  let rec iterate k program =
+    if k = 0 then program
+    else begin
+      let program = once program in
+      if k > 1 then iterate (k - 1) (Regmove.run program)
+      else program
+    end
+  in
+  iterate (max 1 cfg.max_gcse_passes) program

@@ -1,0 +1,8 @@
+(** Global common-subexpression elimination — [fgcse] and variants:
+    dominator-tree value sharing over single-definition registers, plus
+    [fgcse-lm] (global load sharing in memory-effect-free functions),
+    [fgcse-las] (store-to-load forwarding), [fgcse-sm] (dead-store
+    elimination) and [max-gcse-passes] iteration with copy propagation
+    between rounds. *)
+
+val run : Flags.config -> Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,215 @@
+(** Function inlining — [finline_functions] and its six parameters.
+
+    The acceptance logic mirrors gcc 4.2's growth accounting:
+    - a callee is eligible when its size is at most
+      [max_inline_insns_auto], or below [inline_call_cost] (so small that
+      the call overhead alone pays for it);
+    - the caller may not grow past
+      [max(large_function_insns, original * (1 + large_function_growth/100))];
+    - the whole unit may not grow past
+      [max(program, large_unit_insns) * (1 + inline_unit_growth/100)].
+
+    Inlining removes call/return overhead and the caller-save traffic that
+    lowering would insert, and exposes the callee to the caller's later
+    passes — at the price of code growth, which is exactly the I-cache
+    trade-off the paper's section 6 analyses. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+type budget = {
+  mutable unit_size : int;
+  unit_cap : int;
+  caller_caps : (string, int) Hashtbl.t;
+  mutable caller_sizes : (string, int) Hashtbl.t;
+}
+
+let make_budget program (cfg : Flags.config) =
+  let unit0 = program_size program in
+  let base = max unit0 cfg.large_unit_insns in
+  let caller_caps = Hashtbl.create 16 in
+  let caller_sizes = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let s = func_size f in
+      Hashtbl.replace caller_sizes f.name s;
+      let cap =
+        max cfg.large_function_insns
+          (s * (100 + cfg.large_function_growth) / 100)
+      in
+      Hashtbl.replace caller_caps f.name cap)
+    program.funcs;
+  {
+    unit_size = unit0;
+    unit_cap = base * (100 + cfg.inline_unit_growth) / 100;
+    caller_caps;
+    caller_sizes;
+  }
+
+(** Splice [callee]'s body into [caller] at the call site located in block
+    [blabel] at instruction position [pos].  Returns the updated caller. *)
+let splice caller callee ~blabel ~pos =
+  let fresh_reg = Rewrite.reg_supply caller in
+  let fresh_label = Rewrite.label_supply caller ("inl_" ^ callee.name ^ "_") in
+  (* Rename every callee register and label to fresh names. *)
+  let reg_map = Hashtbl.create 32 in
+  let map_reg r =
+    match Hashtbl.find_opt reg_map r with
+    | Some r' -> r'
+    | None ->
+      let r' = fresh_reg () in
+      Hashtbl.replace reg_map r r';
+      r'
+  in
+  let label_map = Hashtbl.create 16 in
+  List.iter
+    (fun (b : block) -> Hashtbl.replace label_map b.label (fresh_label ()))
+    callee.blocks;
+  let map_label l = Hashtbl.find label_map l in
+  let site_block = Option.get (find_block caller blabel) in
+  let before = List.filteri (fun i _ -> i < pos) site_block.insts in
+  let call_inst = List.nth site_block.insts pos in
+  let after = List.filteri (fun i _ -> i > pos) site_block.insts in
+  let dst, args =
+    match call_inst with
+    | Call { dst; args; _ } -> (dst, args)
+    | _ -> invalid_arg "Inline.splice: not a call site"
+  in
+  let cont_label = fresh_label () in
+  (* Argument copies feed the renamed parameters. *)
+  let param_movs =
+    List.mapi
+      (fun i p ->
+        let src = try List.nth args i with _ -> Imm 0 in
+        Mov { dst = map_reg p; src })
+      callee.params
+  in
+  let entry_label = map_label (entry_block callee).label in
+  let head_block =
+    {
+      site_block with
+      insts = before @ param_movs;
+      term = Jump entry_label;
+    }
+  in
+  let cont_block =
+    { label = cont_label; insts = after; term = site_block.term; balign = 0 }
+  in
+  let body =
+    List.map
+      (fun (b : block) ->
+        let insts = List.map (Rewrite.rename_regs map_reg) b.insts in
+        let term =
+          Rewrite.rename_labels_term map_label
+            (Rewrite.rename_regs_term map_reg b.term)
+        in
+        match term with
+        | Return v ->
+          let epilogue =
+            match (dst, v) with
+            | Some d, Some o -> [ Mov { dst = d; src = o } ]
+            | Some d, None -> [ Mov { dst = d; src = Imm 0 } ]
+            | None, _ -> []
+          in
+          {
+            label = map_label b.label;
+            insts = insts @ epilogue;
+            term = Jump cont_label;
+            balign = 0;
+          }
+        | Tail_call { callee = tc; args = targs } ->
+          (* A tail call inside the inlined body returns to our caller's
+             continuation: it becomes an ordinary call plus the epilogue. *)
+          let tmp = fresh_reg () in
+          let call = Call { dst = Some tmp; callee = tc; args = targs } in
+          let epilogue =
+            match dst with
+            | Some d -> [ call; Mov { dst = d; src = Reg tmp } ]
+            | None -> [ call ]
+          in
+          {
+            label = map_label b.label;
+            insts = insts @ epilogue;
+            term = Jump cont_label;
+            balign = 0;
+          }
+        | t -> { label = map_label b.label; insts; term = t; balign = 0 })
+      callee.blocks
+  in
+  (* Keep the inlined body and continuation contiguous with the site. *)
+  let rec replace = function
+    | [] -> []
+    | (b : block) :: rest when b.label = blabel ->
+      (head_block :: body) @ (cont_block :: rest)
+    | b :: rest -> b :: replace rest
+  in
+  { caller with blocks = replace caller.blocks }
+
+let find_call_site (func : func) ~eligible =
+  let found = ref None in
+  List.iter
+    (fun (b : block) ->
+      if !found = None then
+        List.iteri
+          (fun i inst ->
+            if !found = None then
+              match inst with
+              | Call { callee; _ }
+                when callee <> func.name && eligible callee ->
+                found := Some (b.label, i, callee)
+              | _ -> ())
+          b.insts)
+    func.blocks;
+  !found
+
+let run (cfg : Flags.config) program =
+  let budget = make_budget program cfg in
+  let program = ref program in
+  let callee_size name =
+    match find_func !program name with
+    | Some f -> func_size f
+    | None -> max_int
+  in
+  let rounds = ref 0 in
+  let progress = ref true in
+  (* Outer rounds let newly exposed call sites (from already-inlined
+     bodies) be considered, with a hard cap to bound compile time. *)
+  while !progress && !rounds < 4 do
+    progress := false;
+    incr rounds;
+    List.iter
+      (fun fname ->
+        let continue_ = ref true in
+        let steps = ref 0 in
+        while !continue_ && !steps < 32 do
+          incr steps;
+          continue_ := false;
+          match find_func !program fname with
+          | None -> ()
+          | Some caller ->
+            let caller_size = func_size caller in
+            let caller_cap = Hashtbl.find budget.caller_caps fname in
+            let eligible callee_name =
+              let size = callee_size callee_name in
+              let small_enough =
+                size <= cfg.max_inline_insns_auto
+                || size <= cfg.inline_call_cost
+              in
+              small_enough
+              && caller_size + size <= caller_cap
+              && budget.unit_size + size <= budget.unit_cap
+            in
+            (match find_call_site caller ~eligible with
+            | None -> ()
+            | Some (blabel, pos, callee_name) ->
+              let callee = Option.get (find_func !program callee_name) in
+              let caller' = splice caller callee ~blabel ~pos in
+              program :=
+                map_func !program fname (fun _ -> caller');
+              budget.unit_size <- budget.unit_size + func_size callee;
+              progress := true;
+              continue_ := true)
+        done)
+      (List.map (fun f -> f.name) !program.funcs)
+  done;
+  !program

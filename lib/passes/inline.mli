@@ -1,0 +1,7 @@
+(** Function inlining — [finline_functions] and its six parameters, with
+    gcc-4.2-style eligibility and growth accounting (callee size vs
+    [max-inline-insns-auto]/[inline-call-cost]; caller growth vs
+    [large-function-*]; unit growth vs [inline-unit-growth]/
+    [large-unit-insns]).  Self-recursive calls are never inlined. *)
+
+val run : Flags.config -> Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,166 @@
+(** Loop-invariant code motion with partial-redundancy flavour — the
+    reproduction's [ftree_pre].
+
+    For each natural loop, pure instructions whose operands are defined
+    outside the loop (or by already-hoisted instructions) move to a
+    freshly inserted preheader.  Loads are hoisted too when the loop body
+    contains no store or call.  Because every loop in our IR is do-while
+    shaped (the body executes at least once), speculative hoisting of pure
+    code is always safe.
+
+    Only single-definition registers are moved, which guarantees that no
+    other definition of the target exists anywhere in the function. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let hoistable_in_loop (func : func) cfg (loop : Cfg.loop) =
+  let single = Rewrite.single_def_regs func in
+  let in_loop = Hashtbl.create 16 in
+  List.iter (fun bi -> Hashtbl.replace in_loop bi ()) loop.Cfg.body;
+  let loop_blocks =
+    List.map (fun bi -> (Cfg.label cfg bi, bi)) loop.Cfg.body
+  in
+  let has_side_effects =
+    List.exists
+      (fun (l, _) ->
+        let b = Option.get (find_block func l) in
+        List.exists
+          (fun i ->
+            match i with
+            | Store _ | Call _ | Spill_store _ | Spill_load _ -> true
+            | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ | Load _ -> false)
+          b.insts
+        || match b.term with Tail_call _ -> true | _ -> false)
+      loop_blocks
+  in
+  (* Registers defined inside the loop. *)
+  let defined_in_loop = Hashtbl.create 64 in
+  List.iter
+    (fun (l, _) ->
+      let b = Option.get (find_block func l) in
+      List.iter
+        (fun i ->
+          match inst_def i with
+          | Some d -> Hashtbl.replace defined_in_loop d ()
+          | None -> ())
+        b.insts)
+    loop_blocks;
+  (* Fixpoint: an instruction is invariant when its operands are defined
+     outside the loop or by instructions already marked invariant. *)
+  let invariant_defs = Hashtbl.create 16 in
+  let operand_invariant = function
+    | Imm _ -> true
+    | Reg r ->
+      (not (Hashtbl.mem defined_in_loop r)) || Hashtbl.mem invariant_defs r
+  in
+  let is_candidate inst =
+    match inst_def inst with
+    | Some d when Hashtbl.mem single d -> (
+      let ok_class =
+        match inst with
+        | Alu _ | Cmp _ | Mac _ | Shift _ | Mov _ -> true
+        | Load _ -> not has_side_effects
+        | Store _ | Call _ | Spill_store _ | Spill_load _ -> false
+      in
+      ok_class && List.for_all (fun r -> operand_invariant (Reg r)) (inst_uses inst))
+    | _ -> false
+  in
+  let changed = ref true in
+  let order = ref [] in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (l, _) ->
+        let b = Option.get (find_block func l) in
+        List.iter
+          (fun inst ->
+            match inst_def inst with
+            | Some d when not (Hashtbl.mem invariant_defs d) ->
+              if is_candidate inst then begin
+                Hashtbl.replace invariant_defs d ();
+                order := inst :: !order;
+                changed := true
+              end
+            | _ -> ())
+          b.insts)
+      loop_blocks
+  done;
+  (List.rev !order, invariant_defs)
+
+let run_func (func : func) =
+  let cfg = Cfg.build func in
+  let loops = Cfg.natural_loops cfg in
+  if loops = [] then func
+  else begin
+    let fresh_label = Rewrite.label_supply func "preheader" in
+    List.fold_left
+      (fun func loop ->
+        (* The CFG indices refer to the original function; labels are
+           stable across our edits, so re-resolve through labels. *)
+        if loop.Cfg.header = 0 then func (* entry-block loops are not handled *)
+        else begin
+          let hoisted, defs = hoistable_in_loop func cfg loop in
+          if hoisted = [] then func
+          else begin
+            let header_label = Cfg.label cfg loop.Cfg.header in
+            let in_loop_labels =
+              List.map (fun bi -> Cfg.label cfg bi) loop.Cfg.body
+            in
+            (* Remove the hoisted instructions from the loop body. *)
+            let blocks =
+              List.map
+                (fun (b : block) ->
+                  if List.mem b.label in_loop_labels then
+                    {
+                      b with
+                      insts =
+                        List.filter
+                          (fun i ->
+                            match inst_def i with
+                            | Some d -> not (Hashtbl.mem defs d)
+                            | None -> true)
+                          b.insts;
+                    }
+                  else b)
+                func.blocks
+            in
+            (* Insert the preheader and retarget entry edges (all edges into
+               the header from outside the loop). *)
+            let ph_label = fresh_label () in
+            let preheader =
+              { label = ph_label; insts = hoisted; term = Jump header_label;
+                balign = 0 }
+            in
+            let latch_labels =
+              List.map (fun bi -> Cfg.label cfg bi) loop.Cfg.latches
+            in
+            let blocks =
+              List.map
+                (fun (b : block) ->
+                  if List.mem b.label latch_labels then b
+                  else
+                    {
+                      b with
+                      term =
+                        Rewrite.rename_labels_term
+                          (fun l -> if l = header_label then ph_label else l)
+                          b.term;
+                    })
+                blocks
+            in
+            (* Place the preheader just before the header to preserve the
+               fall-through chain. *)
+            let rec insert = function
+              | [] -> [ preheader ]
+              | b :: rest when b.label = header_label ->
+                preheader :: b :: rest
+              | b :: rest -> b :: insert rest
+            in
+            { func with blocks = insert blocks }
+          end
+        end)
+      func loops
+  end
+
+let run program = map_funcs program run_func

@@ -1,0 +1,6 @@
+(** Loop-invariant code motion with partial-redundancy flavour — the
+    reproduction's [ftree_pre].  Hoists invariant pure instructions (and
+    loads, when the loop is store- and call-free) into a fresh preheader;
+    safe speculatively because every loop is do-while shaped. *)
+
+val run : Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,71 @@
+(** Peephole cleanups — [fpeephole2].
+
+    Algebraic identities and local window rewrites over each block:
+    - [mov r, r] disappears;
+    - [add/sub x, #0], [mul x, #1], [or/xor x, #0], [and x, #-1],
+      shifts by [#0] become plain moves;
+    - [mul x, #0] and [and x, #0] become [mov #0];
+    - [cmp.eq x, #0] of a fresh [cmp] result is folded into the inverted
+      compare (the classic branch-condition cleanup). *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let invert_cmp = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let simplify inst =
+  match inst with
+  | Mov { dst; src = Reg s } when dst = s -> None
+  | Alu { dst; op = Add | Sub | Or | Xor; a; b = Imm 0 } ->
+    Some (Mov { dst; src = a })
+  | Alu { dst; op = Add | Or | Xor; a = Imm 0; b } ->
+    Some (Mov { dst; src = b })
+  | Alu { dst; op = Mul; a; b = Imm 1 } -> Some (Mov { dst; src = a })
+  | Alu { dst; op = Mul; a = Imm 1; b } -> Some (Mov { dst; src = b })
+  | Alu { dst; op = Mul | And; a = _; b = Imm 0 } ->
+    Some (Mov { dst; src = Imm 0 })
+  | Alu { dst; op = Mul | And; a = Imm 0; b = _ } ->
+    Some (Mov { dst; src = Imm 0 })
+  | Alu { dst; op = And; a; b = Imm -1 } -> Some (Mov { dst; src = a })
+  | Shift { dst; op = _; a; amount = Imm 0 } -> Some (Mov { dst; src = a })
+  | _ -> Some inst
+
+let process_block (b : block) =
+  let insts = List.filter_map simplify b.insts in
+  (* Window of two: [c = cmp.op a, b; z = cmp.eq c, #0] inverts into
+     [z = cmp.!op a, b] when [c] is not reused later in the block. *)
+  let arr = Array.of_list insts in
+  let n = Array.length arr in
+  let dead = Array.make n false in
+  let used_later r from_ =
+    let found = ref false in
+    for j = from_ to n - 1 do
+      if List.mem r (inst_uses arr.(j)) then found := true
+    done;
+    !found || List.mem r (term_uses b.term)
+  in
+  for i = 0 to n - 2 do
+    match (arr.(i), arr.(i + 1)) with
+    | ( Cmp { dst = c; op; a; b = cb },
+        Cmp { dst = z; op = Eq; a = Reg c'; b = Imm 0 } )
+      when c = c' && not (used_later c (i + 2)) ->
+      arr.(i + 1) <- Cmp { dst = z; op = invert_cmp op; a; b = cb };
+      dead.(i) <- true
+    | _ -> ()
+  done;
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if not dead.(i) then kept := arr.(i) :: !kept
+  done;
+  { b with insts = !kept }
+
+let run_func (func : func) =
+  { func with blocks = List.map process_block func.blocks }
+
+let run program = map_funcs program run_func

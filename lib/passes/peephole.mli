@@ -1,0 +1,5 @@
+(** Peephole cleanups — [fpeephole2]: algebraic identities
+    (x+0, x*1, shifts by 0, mov r,r, ...) and the compare-of-compare
+    inversion window. *)
+
+val run : Ir.Types.program -> Ir.Types.program

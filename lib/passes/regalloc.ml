@@ -1,0 +1,169 @@
+(** Register-pressure lowering: spill code and calling-convention traffic.
+
+    The IR uses unbounded virtual registers; this always-on pass charges
+    the cost of mapping them onto the machine's {!phys_regs} allocatable
+    registers, in two ways:
+
+    - {b Pressure spills}: a block whose maximal live set exceeds the
+      register file picks pass-through values (live in and out, not
+      referenced inside) and carries them through memory: a save at the
+      top, a clobber of the register (it is reused for another value) and a
+      reload at the bottom.  Aggressive scheduling lengthens live ranges
+      and therefore raises this cost — the spill interaction of
+      section 5.4.
+
+    - {b Caller saves} ([fcaller_saves] flag): values live across a call
+      must survive the callee.  With the flag on, the allocator keeps up to
+      {!callee_preserved} of them in callee-saved registers and only the
+      rest travel through the stack; with it off, every live value is
+      saved and restored around the call, as gcc does without
+      [-fcaller-saves].
+
+    - {b Post-reload cleanup} ([fgcse_after_reload]): redundant stack
+      traffic between consecutive call sites (reload followed by an
+      identical save, with the register untouched) is removed within
+      extended basic blocks.
+
+    Spill slots below {!pressure_slot_base} belong to the calling
+    convention and are eligible for cleanup; pressure slots are not (their
+    register really is clobbered in between). *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+module S = Set.Make (Int)
+
+let phys_regs = 14
+let callee_preserved = 6
+let max_saves_per_call = 8
+let pressure_slot_base = 128
+
+(* Per-position live sets within a block, walking backward from live-out:
+   [live.(i)] is the live set just before instruction [i]. *)
+let block_liveness (b : block) ~live_out =
+  let insts = Array.of_list b.insts in
+  let n = Array.length insts in
+  let live = Array.make (n + 1) S.empty in
+  let after_term =
+    List.fold_left (fun s r -> S.add r s) live_out (term_uses b.term)
+  in
+  live.(n) <- after_term;
+  for i = n - 1 downto 0 do
+    let s = live.(i + 1) in
+    let s =
+      match inst_def insts.(i) with Some d -> S.remove d s | None -> s
+    in
+    live.(i) <- List.fold_left (fun s r -> S.add r s) s (inst_uses insts.(i))
+  done;
+  live
+
+let max_pressure live = Array.fold_left (fun m s -> max m (S.cardinal s)) 0 live
+
+let lower_func ~caller_saves ~after_reload (func : func) =
+  let liveness = Rewrite.liveness func in
+  let next_cc_slot = ref 0 in
+  let next_pressure_slot = ref pressure_slot_base in
+  let cc_slot_of = Hashtbl.create 16 in
+  let pressure_slot_of = Hashtbl.create 16 in
+  let slot_for_save r =
+    match Hashtbl.find_opt cc_slot_of r with
+    | Some s -> s
+    | None ->
+      let s = !next_cc_slot in
+      incr next_cc_slot;
+      if s >= pressure_slot_base then invalid_arg "Regalloc: slot overflow";
+      Hashtbl.replace cc_slot_of r s;
+      s
+  in
+  let slot_for_pressure r =
+    match Hashtbl.find_opt pressure_slot_of r with
+    | Some s -> s
+    | None ->
+      let s = !next_pressure_slot in
+      incr next_pressure_slot;
+      if s >= Ir.Builder.frame_words then invalid_arg "Regalloc: frame overflow";
+      Hashtbl.replace pressure_slot_of r s;
+      s
+  in
+  let blocks =
+    List.map
+      (fun (b : block) ->
+        let live_in, live_out =
+          Option.value
+            (Hashtbl.find_opt liveness b.label)
+            ~default:(S.empty, S.empty)
+        in
+        let live = block_liveness b ~live_out in
+        (* Caller-save traffic around each call. *)
+        let insts_rev = ref [] in
+        List.iteri
+          (fun i inst ->
+            match inst with
+            | Call { dst; _ } ->
+              let after = live.(i + 1) in
+              let across =
+                match dst with Some d -> S.remove d after | None -> after
+              in
+              let candidates = S.elements across in
+              let n_live = List.length candidates in
+              let n_saved =
+                let wanted =
+                  if caller_saves then max 0 (n_live - callee_preserved)
+                  else n_live
+                in
+                min wanted max_saves_per_call
+              in
+              let saved = List.filteri (fun k _ -> k < n_saved) candidates in
+              List.iter
+                (fun r ->
+                  insts_rev :=
+                    Spill_store { src = r; slot = slot_for_save r }
+                    :: !insts_rev)
+                saved;
+              insts_rev := inst :: !insts_rev;
+              List.iter
+                (fun r ->
+                  insts_rev :=
+                    Spill_load { dst = r; slot = slot_for_save r }
+                    :: !insts_rev)
+                saved
+            | _ -> insts_rev := inst :: !insts_rev)
+          b.insts;
+        let insts = List.rev !insts_rev in
+        (* Pressure spills for pass-through values. *)
+        let pressure = max_pressure live in
+        let excess = pressure - phys_regs in
+        if excess <= 0 then { b with insts }
+        else begin
+          let referenced =
+            List.fold_left
+              (fun s inst ->
+                let s = List.fold_left (fun s r -> S.add r s) s (inst_uses inst) in
+                match inst_def inst with Some d -> S.add d s | None -> s)
+              (List.fold_left (fun s r -> S.add r s) S.empty (term_uses b.term))
+              b.insts
+          in
+          let pass_through =
+            S.elements (S.diff (S.inter live_in live_out) referenced)
+          in
+          let victims = List.filteri (fun k _ -> k < excess) pass_through in
+          let saves =
+            List.map
+              (fun r -> Spill_store { src = r; slot = slot_for_pressure r })
+              victims
+          in
+          let reloads =
+            List.map
+              (fun r -> Spill_load { dst = r; slot = slot_for_pressure r })
+              victims
+          in
+          { b with insts = saves @ insts @ reloads }
+        end)
+      func.blocks
+  in
+  let func =
+    { func with blocks; stack_slots = max !next_cc_slot !next_pressure_slot }
+  in
+  if after_reload then Cleanup_reload.run_func func else func
+
+let run ~caller_saves ~after_reload program =
+  map_funcs program (lower_func ~caller_saves ~after_reload)

@@ -1,0 +1,15 @@
+(** Register-pressure lowering (always on): spill code for blocks whose
+    live sets exceed the machine's register file, calling-convention
+    save/restore traffic around calls ([fcaller_saves] keeps some values
+    in callee-saved registers), and the post-reload redundancy cleanup
+    gated by [fgcse_after_reload]. *)
+
+val phys_regs : int
+val callee_preserved : int
+val pressure_slot_base : int
+(** Slots at or above this index are pressure spills (whose register is
+    genuinely reused in between) and are exempt from cleanup. *)
+
+val run :
+  caller_saves:bool -> after_reload:bool -> Ir.Types.program ->
+  Ir.Types.program

@@ -1,0 +1,50 @@
+(** Copy propagation — the reproduction's [fregmove].
+
+    Block-local: a [Mov dst, src] lets later uses of [dst] read [src]
+    directly while neither register is redefined.  Combined with the
+    always-on dead-code sweep this erases the copies CSE and GCSE leave
+    behind, the way gcc's regmove coalesces the pseudos its RTL passes
+    introduce. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let process_block (b : block) =
+  let copy : (reg, operand) Hashtbl.t = Hashtbl.create 16 in
+  (* Registers that appear as the source of an active copy, so a
+     redefinition can invalidate the forward entry too. *)
+  let rev : (reg, reg list ref) Hashtbl.t = Hashtbl.create 16 in
+  let invalidate r =
+    Hashtbl.remove copy r;
+    match Hashtbl.find_opt rev r with
+    | None -> ()
+    | Some dsts ->
+      List.iter (fun d -> Hashtbl.remove copy d) !dsts;
+      Hashtbl.remove rev r
+  in
+  let lookup r =
+    match Hashtbl.find_opt copy r with Some o -> o | None -> Reg r
+  in
+  let insts =
+    List.map
+      (fun inst ->
+        let inst = Rewrite.subst_uses lookup inst in
+        (match inst_def inst with Some d -> invalidate d | None -> ());
+        (match inst with
+        | Mov { dst; src = Reg s } when dst <> s ->
+          Hashtbl.replace copy dst (Reg s);
+          (match Hashtbl.find_opt rev s with
+          | Some l -> l := dst :: !l
+          | None -> Hashtbl.replace rev s (ref [ dst ]))
+        | Mov { dst; src = Imm _ as src } -> Hashtbl.replace copy dst src
+        | _ -> ());
+        inst)
+      b.insts
+  in
+  let term = Rewrite.subst_uses_term lookup b.term in
+  { b with insts; term }
+
+let run_func (func : func) =
+  { func with blocks = List.map process_block func.blocks }
+
+let run program = map_funcs program run_func

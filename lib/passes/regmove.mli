@@ -1,0 +1,4 @@
+(** Block-local copy propagation — the reproduction's [fregmove];
+    combined with DCE it erases the copies CSE/GCSE leave behind. *)
+
+val run : Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,6 @@
+(** Basic-block reordering — [freorder_blocks]: inverts branches whose
+    hot (deeper-nested) target is the taken edge — never back edges, a
+    backward target cannot fall through — and lays blocks out in greedy
+    fall-through chains with cold blocks pushed to the end. *)
+
+val run : Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,220 @@
+(** Shared rewriting helpers for the optimisation passes: operand and
+    register substitution, label renaming, expression keys for value
+    numbering, single-definition analysis and liveness. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let map_operands f inst =
+  match inst with
+  | Alu r -> Alu { r with a = f r.a; b = f r.b }
+  | Cmp r -> Cmp { r with a = f r.a; b = f r.b }
+  | Mac r -> Mac { r with acc = f r.acc; a = f r.a; b = f r.b }
+  | Shift r -> Shift { r with a = f r.a; amount = f r.amount }
+  | Mov r -> Mov { r with src = f r.src }
+  | Load r -> Load { r with base = f r.base; offset = f r.offset }
+  | Store r -> Store { src = f r.src; base = f r.base; offset = f r.offset }
+  | Call r -> Call { r with args = List.map f r.args }
+  | Spill_store _ | Spill_load _ -> inst
+
+(** Substitute register {e uses} (not definitions). *)
+let subst_uses lookup inst =
+  let f = function Reg r -> lookup r | (Imm _ as o) -> o in
+  match inst with
+  | Spill_store _ | Spill_load _ -> inst
+  | _ -> map_operands f inst
+
+let subst_uses_term lookup term =
+  match term with
+  | Branch ({ cond; _ } as r) -> (
+    match lookup cond with
+    | Reg c -> Branch { r with cond = c }
+    | Imm _ -> term (* caller folds constant branches separately *))
+  | Return (Some o) ->
+    Return (Some (match o with Reg r -> lookup r | Imm _ -> o))
+  | Tail_call r ->
+    Tail_call
+      {
+        r with
+        args =
+          List.map (function Reg x -> lookup x | (Imm _ as o) -> o) r.args;
+      }
+  | Jump _ | Return None -> term
+
+(** Rewrite the destination register. *)
+let rename_def f inst =
+  match inst with
+  | Alu r -> Alu { r with dst = f r.dst }
+  | Cmp r -> Cmp { r with dst = f r.dst }
+  | Mac r -> Mac { r with dst = f r.dst }
+  | Shift r -> Shift { r with dst = f r.dst }
+  | Mov r -> Mov { r with dst = f r.dst }
+  | Load r -> Load { r with dst = f r.dst }
+  | Call r -> Call { r with dst = Option.map f r.dst }
+  | Spill_load r -> Spill_load { r with dst = f r.dst }
+  | Store _ | Spill_store _ -> inst
+
+(** Rename every register, uses and definitions alike (inliner, cloning). *)
+let rename_regs f inst =
+  let op = function Reg r -> Reg (f r) | (Imm _ as o) -> o in
+  let inst = map_operands op inst in
+  let inst =
+    match inst with
+    | Spill_store r -> Spill_store { r with src = f r.src }
+    | _ -> inst
+  in
+  rename_def f inst
+
+let rename_regs_term f term =
+  match term with
+  | Branch r -> Branch { r with cond = f r.cond }
+  | Return (Some (Reg r)) -> Return (Some (Reg (f r)))
+  | Tail_call r ->
+    Tail_call
+      {
+        r with
+        args =
+          List.map (function Reg x -> Reg (f x) | (Imm _ as o) -> o) r.args;
+      }
+  | Jump _ | Return _ -> term
+
+let rename_labels_term f term =
+  match term with
+  | Jump l -> Jump (f l)
+  | Branch r -> Branch { r with ifso = f r.ifso; ifnot = f r.ifnot }
+  | Return _ | Tail_call _ -> term
+
+(** Retarget every edge of [func] that points at [from] to [to_]. *)
+let retarget_edges func ~from ~to_ =
+  {
+    func with
+    blocks =
+      List.map
+        (fun b ->
+          {
+            b with
+            term =
+              rename_labels_term (fun l -> if l = from then to_ else l) b.term;
+          })
+        func.blocks;
+  }
+
+(** Structural key identifying the value computed by a pure instruction;
+    commutative operators are canonicalised.  [None] for instructions that
+    are not pure computations. *)
+let expr_key inst =
+  let canon op a b =
+    let commutative =
+      match op with
+      | Add | Mul | And | Or | Xor | Min | Max -> true
+      | Sub | Div | Rem -> false
+    in
+    if commutative && compare a b > 0 then (b, a) else (a, b)
+  in
+  match inst with
+  | Alu { op; a; b; _ } ->
+    let a, b = canon op a b in
+    Some (`Alu (op, a, b))
+  | Cmp { op; a; b; _ } -> Some (`Cmp (op, a, b))
+  | Mac { acc; a; b; _ } ->
+    let a, b = if compare a b > 0 then (b, a) else (a, b) in
+    Some (`Mac (acc, a, b))
+  | Shift { op; a; amount; _ } -> Some (`Shift (op, a, amount))
+  | Mov _ | Load _ | Store _ | Call _ | Spill_store _ | Spill_load _ -> None
+
+(** Key for a memory location named by literal operands. *)
+let location_key ~base ~offset = (base, offset)
+
+(** Registers with exactly one static definition in the function.
+    Parameters count as a definition. *)
+let single_def_regs (func : func) =
+  let counts = Hashtbl.create 64 in
+  let bump r =
+    Hashtbl.replace counts r (1 + Option.value (Hashtbl.find_opt counts r) ~default:0)
+  in
+  List.iter bump func.params;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i -> match inst_def i with Some d -> bump d | None -> ())
+        b.insts)
+    func.blocks;
+  let single = Hashtbl.create 64 in
+  Hashtbl.iter (fun r c -> if c = 1 then Hashtbl.replace single r ()) counts;
+  single
+
+(** Block-level liveness by backward dataflow.  Returns per-label
+    (live-in, live-out) sets of registers. *)
+let liveness (func : func) =
+  let module S = Set.Make (Int) in
+  let blocks = Array.of_list func.blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i b -> Hashtbl.replace index b.label i) blocks;
+  let use = Array.make n S.empty and def = Array.make n S.empty in
+  Array.iteri
+    (fun i b ->
+      let u = ref S.empty and d = ref S.empty in
+      List.iter
+        (fun inst ->
+          List.iter
+            (fun r -> if not (S.mem r !d) then u := S.add r !u)
+            (inst_uses inst);
+          match inst_def inst with
+          | Some x -> d := S.add x !d
+          | None -> ())
+        b.insts;
+      List.iter
+        (fun r -> if not (S.mem r !d) then u := S.add r !u)
+        (term_uses b.term);
+      use.(i) <- !u;
+      def.(i) <- !d)
+    blocks;
+  let live_in = Array.make n S.empty and live_out = Array.make n S.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc l -> S.union acc live_in.(Hashtbl.find index l))
+          S.empty
+          (successors blocks.(i).term)
+      in
+      let inn = S.union use.(i) (S.diff out def.(i)) in
+      if not (S.equal out live_out.(i) && S.equal inn live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  let result = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i b -> Hashtbl.replace result b.label (live_in.(i), live_out.(i)))
+    blocks;
+  result
+
+(** Fresh-name generators seeded past everything already used. *)
+let reg_supply (func : func) =
+  let next = ref (max_reg func + 1) in
+  fun () ->
+    let r = !next in
+    incr next;
+    r
+
+let label_supply (func : func) prefix =
+  let used = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace used b.label ()) func.blocks;
+  let next = ref 0 in
+  fun () ->
+    let rec fresh () =
+      let l = Printf.sprintf "%s%d" prefix !next in
+      incr next;
+      if Hashtbl.mem used l then fresh ()
+      else begin
+        Hashtbl.replace used l ();
+        l
+      end
+    in
+    fresh ()

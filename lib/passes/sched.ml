@@ -1,0 +1,239 @@
+(** Instruction scheduling — [fschedule_insns], with [fno_sched_interblock]
+    and [fno_sched_spec] as negative sub-flags.
+
+    Within each block, a latency-aware list scheduler reorders instructions
+    to separate producers from consumers (loads and multiplies are modelled
+    at three cycles), which shrinks the load-use and long-op stall counts
+    the timing model charges.  The cost is longer live ranges: the register
+    pressure lowering that follows may have to insert spill code, growing
+    both the dynamic memory traffic and the code footprint — the
+    interaction section 5.4 of the paper observes on small instruction
+    caches.
+
+    Interblock scheduling merges a block into its unique [Jump]
+    predecessor, enlarging the scheduling region.  Speculative scheduling
+    hoists pure long-latency instructions from a branch target into the
+    branching block; the hoisted work executes on both paths (extra dynamic
+    instructions) in exchange for hidden latency. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let latency inst =
+  match inst with
+  | Load _ | Spill_load _ -> 3
+  | Alu { op = Mul | Div | Rem; _ } | Mac _ -> 3
+  | _ -> 1
+
+(* ---- Region formation ---------------------------------------------- *)
+
+(* Merge S into B when B ends [Jump S] and S has no other predecessor.
+   This is gcc's block merging, enabled here as part of interblock
+   scheduling so the flag controls region size. *)
+let merge_chains (func : func) =
+  let rec go func =
+    let cfg = Cfg.build func in
+    let candidate =
+      List.find_map
+        (fun (b : block) ->
+          match b.term with
+          | Jump s when s <> b.label -> (
+            let si = Cfg.index cfg s in
+            match cfg.Cfg.pred.(si) with
+            | [ _ ] when si <> 0 -> Some (b.label, s)
+            | _ -> None)
+          | _ -> None)
+        func.blocks
+    in
+    match candidate with
+    | None -> func
+    | Some (bl, sl) ->
+      let sb = Option.get (find_block func sl) in
+      let blocks =
+        List.filter_map
+          (fun (blk : block) ->
+            if blk.label = sl then None
+            else if blk.label = bl then
+              Some { blk with insts = blk.insts @ sb.insts; term = sb.term }
+            else Some blk)
+          func.blocks
+      in
+      go { func with blocks }
+  in
+  go func
+
+(* ---- Speculative hoisting ------------------------------------------ *)
+
+let is_speculable inst =
+  (* Multiplies only: divisions are never speculated (they can trap on
+     real targets), loads can fault. *)
+  match inst with Alu { op = Mul; _ } | Mac _ -> true | _ -> false
+
+module S = Set.Make (Int)
+
+let hoist_speculative (func : func) =
+  let live = Rewrite.liveness func in
+  let cfg = Cfg.build func in
+  let hoist_from (b : block) =
+    match b.term with
+    | Branch { cond; ifso; ifnot } ->
+      let try_side src other =
+        match find_block func src with
+        | Some sb when List.length (cfg.Cfg.pred.(Cfg.index cfg src)) = 1 -> (
+          (* Candidates are at the head of [sb], before any other def of
+             their operands; their target must be dead on the other path
+             and unused by this block's terminator. *)
+          let other_live_in =
+            match Hashtbl.find_opt live other with
+            | Some (i, _) -> i
+            | None -> S.empty
+          in
+          match sb.insts with
+          | first :: rest
+            when is_speculable first
+                 && (match inst_def first with
+                    | Some d ->
+                      (not (S.mem d other_live_in)) && d <> cond
+                    | None -> false) ->
+            Some (first, { sb with insts = rest }, src)
+          | _ -> None)
+        | _ -> None
+      in
+      (match try_side ifso ifnot with
+      | Some r -> Some r
+      | None -> try_side ifnot ifso)
+    | _ -> None
+  in
+  let rec go func budget =
+    if budget = 0 then func
+    else begin
+      let change =
+        List.find_map
+          (fun (b : block) ->
+            match hoist_from b with
+            | Some (inst, stripped, _) -> Some (b.label, inst, stripped)
+            | None -> None)
+          func.blocks
+      in
+      match change with
+      | None -> func
+      | Some (bl, inst, stripped) ->
+        let blocks =
+          List.map
+            (fun (blk : block) ->
+              if blk.label = bl then { blk with insts = blk.insts @ [ inst ] }
+              else if blk.label = stripped.label then stripped
+              else blk)
+            func.blocks
+        in
+        go { func with blocks } (budget - 1)
+    end
+  in
+  go func 8
+
+(* ---- List scheduling ------------------------------------------------ *)
+
+let is_memory inst =
+  match inst with
+  | Load _ | Store _ | Spill_load _ | Spill_store _ -> true
+  | _ -> false
+
+let is_store inst =
+  match inst with Store _ | Spill_store _ -> true | _ -> false
+
+let is_barrier inst = match inst with Call _ -> true | _ -> false
+
+let schedule_block (b : block) =
+  let insts = Array.of_list b.insts in
+  let n = Array.length insts in
+  if n < 2 then b
+  else begin
+    let uses = Array.map inst_uses insts in
+    let defs = Array.map inst_def insts in
+    (* Dependence edges i -> j (i must precede j). *)
+    let preds = Array.make n [] in
+    let succs = Array.make n [] in
+    let edge i j =
+      if not (List.mem i preds.(j)) then begin
+        preds.(j) <- i :: preds.(j);
+        succs.(i) <- j :: succs.(i)
+      end
+    in
+    for j = 0 to n - 1 do
+      let uses_j = uses.(j) and def_j = defs.(j) in
+      for i = 0 to j - 1 do
+        let def_i = defs.(i) in
+        let raw =
+          match def_i with Some d -> List.mem d uses_j | None -> false
+        in
+        let war =
+          match def_j with Some d -> List.mem d uses.(i) | None -> false
+        in
+        let waw =
+          match (def_i, def_j) with Some a, Some b -> a = b | _ -> false
+        in
+        let mem =
+          is_memory insts.(i) && is_memory insts.(j)
+          && (is_store insts.(i) || is_store insts.(j))
+        in
+        let barrier = is_barrier insts.(i) || is_barrier insts.(j) in
+        if raw || war || waw || mem || barrier then edge i j
+      done
+    done;
+    (* Critical-path heights break ties. *)
+    let height = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      height.(i) <-
+        List.fold_left
+          (fun acc j -> max acc (height.(j) + latency insts.(i)))
+          (latency insts.(i))
+          succs.(i)
+    done;
+    (* Greedy selection directly minimising interlock stalls: at each
+       issue slot, among the dependence-ready instructions pick one whose
+       operands have had time to complete (stall 0), preferring the
+       longest critical path; if every candidate would stall, take the
+       cheapest.  This mirrors what an in-order pipeline rewards. *)
+    let n_preds = Array.map List.length preds in
+    let producer_ready = Array.make n 0 in
+    let scheduled = Array.make n false in
+    let order = ref [] in
+    let remaining = ref n in
+    let slot = ref 0 in
+    while !remaining > 0 do
+      (* Minimise lexicographically: the stall this instruction would take
+         now, then prefer long-latency producers (issue loads and
+         multiplies as early as possible so their consumers' gaps grow),
+         then the critical path, then program order. *)
+      let best = ref (-1) in
+      let best_key = ref (max_int, max_int, max_int, max_int) in
+      for i = 0 to n - 1 do
+        if (not scheduled.(i)) && n_preds.(i) = 0 then begin
+          let stall = max 0 (producer_ready.(i) - !slot) in
+          let key = (stall, -latency insts.(i), -height.(i), i) in
+          if !best = -1 || key < !best_key then begin
+            best := i;
+            best_key := key
+          end
+        end
+      done;
+      let i = !best in
+      scheduled.(i) <- true;
+      order := i :: !order;
+      decr remaining;
+      List.iter
+        (fun j ->
+          n_preds.(j) <- n_preds.(j) - 1;
+          producer_ready.(j) <-
+            max producer_ready.(j) (!slot + latency insts.(i)))
+        succs.(i);
+      incr slot
+    done;
+    { b with insts = List.rev_map (fun i -> insts.(i)) !order }
+  end
+
+let run ~interblock ~spec program =
+  map_funcs program (fun func ->
+      let func = if interblock then merge_chains func else func in
+      let func = if spec then hoist_speculative func else func in
+      { func with blocks = List.map schedule_block func.blocks })

@@ -1,0 +1,8 @@
+(** Instruction scheduling — [fschedule_insns] with the negative
+    sub-flags [fno_sched_interblock] (region merging) and
+    [fno_sched_spec] (speculative hoisting of multiplies).  The
+    list scheduler greedily minimises the in-order pipeline's
+    load-use/long-op interlocks; the register-pressure cost of the
+    longer live ranges is charged by {!Regalloc}. *)
+
+val run : interblock:bool -> spec:bool -> Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,25 @@
+(** Sibling (tail) call optimisation — [foptimize_sibling_calls].
+
+    A call in tail position — the block's last instruction, whose result is
+    immediately returned — becomes a [Tail_call] terminator: the callee
+    reuses the caller's activation, eliminating the return trip and any
+    caller-save traffic lowering would have placed around the site.  The
+    entry function is exempt so the program always returns to the harness
+    through a real return. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let process_block (b : block) =
+  match (List.rev b.insts, b.term) with
+  | Call { dst = Some d; callee; args } :: before, Return (Some (Reg r))
+    when r = d ->
+    { b with insts = List.rev before; term = Tail_call { callee; args } }
+  | Call { dst = None; callee; args } :: before, Return None ->
+    { b with insts = List.rev before; term = Tail_call { callee; args } }
+  | _ -> b
+
+let run program =
+  map_funcs program (fun func ->
+      if func.name = program.entry_func then func
+      else { func with blocks = List.map process_block func.blocks })

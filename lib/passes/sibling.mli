@@ -1,0 +1,6 @@
+(** Sibling (tail) call conversion — [foptimize_sibling_calls]: a call
+    whose result is immediately returned becomes a [Tail_call]
+    terminator, eliminating the return trip and the caller-save traffic
+    around the site.  The entry function is exempt. *)
+
+val run : Ir.Types.program -> Ir.Types.program

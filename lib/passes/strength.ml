@@ -1,0 +1,65 @@
+(** Strength reduction — [fstrength_reduce].
+
+    Rewrites expensive multiply-class operations into shifter/ALU
+    sequences, which the XScale-like pipeline executes without the
+    multi-cycle multiplier:
+    - [mul x, #2^k]  ->  [lsl x, #k]
+    - [mul x, #(2^k + 1)] (3, 5, 9, 17) -> [lsl] + [add]
+    - [mac acc, x, #2^k] -> [lsl] + [add]
+
+    On the counter side, this moves work from the MAC unit to the shifter,
+    which is how the model's MAC/shifter usage features react to the
+    flag. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let log2_exact v =
+  if v <= 0 then None
+  else begin
+    let rec go v k = if v = 1 then Some k else if v land 1 = 1 then None else go (v lsr 1) (k + 1) in
+    go v 0
+  end
+
+let shift_add v =
+  (* v = 2^k + 1 *)
+  match log2_exact (v - 1) with Some k when k > 0 -> Some k | _ -> None
+
+let process_block fresh (b : block) =
+  let insts =
+    List.concat_map
+      (fun inst ->
+        match inst with
+        | Alu { dst; op = Mul; a; b = Imm v }
+        | Alu { dst; op = Mul; a = Imm v; b = a } -> (
+          match log2_exact v with
+          | Some k -> [ Shift { dst; op = Lsl; a; amount = Imm k } ]
+          | None -> (
+            match shift_add v with
+            | Some k ->
+              let t = fresh () in
+              [
+                Shift { dst = t; op = Lsl; a; amount = Imm k };
+                Alu { dst; op = Add; a = Reg t; b = a };
+              ]
+            | None -> [ inst ]))
+        | Mac { dst; acc; a; b = Imm v } | Mac { dst; acc; a = Imm v; b = a }
+          -> (
+          match log2_exact v with
+          | Some k ->
+            let t = fresh () in
+            [
+              Shift { dst = t; op = Lsl; a; amount = Imm k };
+              Alu { dst; op = Add; a = acc; b = Reg t };
+            ]
+          | None -> [ inst ])
+        | _ -> [ inst ])
+      b.insts
+  in
+  { b with insts }
+
+let run_func (func : func) =
+  let fresh = Rewrite.reg_supply func in
+  { func with blocks = List.map (process_block fresh) func.blocks }
+
+let run program = map_funcs program run_func

@@ -1,0 +1,5 @@
+(** Strength reduction — [fstrength_reduce]: multiplies (and MACs) by
+    powers of two and 2^k+1 constants become shifter/ALU sequences,
+    moving work off the multi-cycle multiplier. *)
+
+val run : Ir.Types.program -> Ir.Types.program

@@ -1,0 +1,55 @@
+(** Jump threading — [fthread_jumps].
+
+    - Edges into an empty block that only jumps onwards are retargeted past
+      it (chains are collapsed to their final destination).
+    - A branch whose two targets coincide becomes a jump.
+    - Unreachable blocks left behind are pruned.
+
+    This shortens dynamic jump chains and removes trampoline blocks other
+    passes create. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let final_target (func : func) start =
+  (* Follow empty-jump blocks, guarding against cycles. *)
+  let rec follow l seen =
+    if List.mem l seen then l
+    else begin
+      match find_block func l with
+      | Some { insts = []; term = Jump next; _ } -> follow next (l :: seen)
+      | _ -> l
+    end
+  in
+  follow start []
+
+let run_func (func : func) =
+  let rec fixpoint func rounds =
+    if rounds = 0 then func
+    else begin
+      let changed = ref false in
+      let retarget l =
+        let t = final_target func l in
+        if t <> l then changed := true;
+        t
+      in
+      let blocks =
+        List.map
+          (fun (b : block) ->
+            let term =
+              match Rewrite.rename_labels_term retarget b.term with
+              | Branch { ifso; ifnot; _ } when ifso = ifnot ->
+                changed := true;
+                Jump ifso
+              | t -> t
+            in
+            { b with term })
+          func.blocks
+      in
+      let func = Cfg.prune_unreachable { func with blocks } in
+      if !changed then fixpoint func (rounds - 1) else func
+    end
+  in
+  fixpoint func 8
+
+let run program = map_funcs program run_func

@@ -1,0 +1,5 @@
+(** Jump threading — [fthread_jumps]: collapses empty-jump chains,
+    rewrites branches whose targets coincide and prunes the blocks left
+    unreachable. *)
+
+val run : Ir.Types.program -> Ir.Types.program

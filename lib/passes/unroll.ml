@@ -1,0 +1,247 @@
+(** Loop unrolling — [funroll_loops], [max-unroll-times],
+    [max-unrolled-insns].
+
+    Handles the canonical single-block do-while loops produced by the
+    workload builder's [counted_loop] (and by inlining/unswitching of the
+    same):
+
+    {v
+      loop:  body...
+             i = add i, #step
+             c = cmp.lt i, limit
+             branch c ? loop : exit
+    v}
+
+    Two modes, as in gcc:
+    - {b clean unroll} when the trip count is a compile-time constant
+      divisible by the chosen factor: the intermediate compare/branch pairs
+      disappear entirely;
+    - {b exit-retained unroll} otherwise: the body is replicated with the
+      exit test kept per copy but inverted so the continuing path falls
+      through, converting taken back-edges into not-taken forward tests.
+
+    The factor is the largest value within [max_unroll_times] that keeps
+    the unrolled body within [max_unrolled_insns].  Unrolling multiplies
+    the loop's code footprint, which is what makes it poisonous on small
+    instruction caches (sections 5.4 and 6.2 of the paper). *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+type loop_shape = {
+  header : label;
+  exit : label;
+  cond : reg;
+  cmp_index : int;  (** Position of the compare in the block. *)
+  ivar : reg;
+  step : int;
+  limit : operand;
+  body_len : int;
+}
+
+let invert_cmp = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+(* Recognise the canonical shape; [None] when anything is off-pattern. *)
+let recognise (func : func) (b : block) =
+  match b.term with
+  | Branch { cond; ifso; ifnot } when ifso = b.label ->
+    let insts = Array.of_list b.insts in
+    let n = Array.length insts in
+    let cmp_index = ref (-1) in
+    let ivar = ref (-1) in
+    let step = ref 0 in
+    let limit = ref (Imm 0) in
+    (* The compare must be the unique definition of [cond] in the block,
+       and [cond] must not be read by any instruction. *)
+    let cond_defs = ref 0 and cond_uses = ref 0 in
+    Array.iteri
+      (fun i inst ->
+        if inst_def inst = Some cond then begin
+          incr cond_defs;
+          match inst with
+          | Cmp { op = Lt; a = Reg iv; b = lim; _ } ->
+            cmp_index := i;
+            ivar := iv;
+            limit := lim
+          | _ -> cmp_index := -1
+        end;
+        if List.mem cond (inst_uses inst) then incr cond_uses)
+      insts;
+    if !cmp_index < 0 || !cond_defs <> 1 || !cond_uses > 0 then None
+    else begin
+      (* The induction variable must be bumped by a constant, exactly once. *)
+      let bumps = ref 0 in
+      Array.iter
+        (fun inst ->
+          match inst with
+          | Alu { dst; op = Add; a = Reg r; b = Imm s }
+            when dst = !ivar && r = !ivar ->
+            incr bumps;
+            step := s
+          | _ -> if inst_def inst = Some !ivar then bumps := 1000)
+        insts;
+      if !bumps <> 1 || !step = 0 then None
+      else if
+        (* No other block may read the exit condition: exit-retained
+           unrolling leaves [cond] holding the inverted sense, and clean
+           unrolling changes how often it is recomputed.  Definitions
+           elsewhere (the preheader init of the induction variable, reuse
+           of the registers after the loop) are harmless. *)
+        List.exists
+          (fun (ob : block) ->
+            ob.label <> b.label
+            && (List.exists (fun i -> List.mem cond (inst_uses i)) ob.insts
+               || List.mem cond (term_uses ob.term)))
+          func.blocks
+      then None
+      else
+        Some
+          {
+            header = b.label;
+            exit = ifnot;
+            cond;
+            cmp_index = !cmp_index;
+            ivar = !ivar;
+            step = !step;
+            limit = !limit;
+            body_len = n;
+          }
+    end
+  | _ -> None
+
+(* Constant trip count when the initial value is a visible [Mov #init] in
+   the unique outside predecessor and the limit is an immediate. *)
+let trip_count (func : func) shape =
+  match shape.limit with
+  | Reg _ -> None
+  | Imm n ->
+    let preds =
+      List.filter
+        (fun (b : block) ->
+          b.label <> shape.header
+          && List.mem shape.header (successors b.term))
+        func.blocks
+    in
+    (match preds with
+    | [ p ] ->
+      let init = ref None in
+      List.iter
+        (fun inst ->
+          match inst with
+          | Mov { dst; src = Imm v } when dst = shape.ivar -> init := Some v
+          | _ -> if inst_def inst = Some shape.ivar then init := None)
+        p.insts;
+      (match !init with
+      | Some init when shape.step > 0 && n > init ->
+        let span = n - init in
+        let k = (span + shape.step - 1) / shape.step in
+        Some (max 1 k)
+      | Some _ -> Some 1
+      | None -> None)
+    | _ -> None)
+
+let unroll_block (cfg : Flags.config) (func : func) (b : block) shape =
+  let f_size = cfg.max_unrolled_insns / max 1 shape.body_len in
+  let f_max = min cfg.max_unroll_times f_size in
+  if f_max < 2 then None
+  else begin
+    let trips = trip_count func shape in
+    let clean_factor =
+      match trips with
+      | Some t when t >= 2 ->
+        let rec best f = if f < 2 then None else if t mod f = 0 then Some f else best (f - 1) in
+        best f_max
+      | _ -> None
+    in
+    match clean_factor with
+    | Some f ->
+      (* One fat block; intermediate compares removed. *)
+      let insts = Array.of_list b.insts in
+      let copy drop_cmp =
+        Array.to_list insts
+        |> List.filteri (fun i _ -> not (drop_cmp && i = shape.cmp_index))
+      in
+      let body =
+        List.concat (List.init f (fun k -> copy (k < f - 1)))
+      in
+      Some ([ { b with insts = body } ], [])
+    | None ->
+      (* Exit-retained: f copies in separate blocks, tests inverted so the
+         continuing path falls through. *)
+      let f = f_max in
+      let fresh_label = Rewrite.label_supply func (b.label ^ "_u") in
+      let labels =
+        Array.init f (fun k -> if k = 0 then b.label else fresh_label ())
+      in
+      let insts = Array.of_list b.insts in
+      let blocks =
+        List.init f (fun k ->
+            let last = k = f - 1 in
+            let body =
+              Array.to_list insts
+              |> List.mapi (fun i inst ->
+                     if i = shape.cmp_index && not last then begin
+                       match inst with
+                       | Cmp c -> Cmp { c with op = invert_cmp c.op }
+                       | _ -> inst
+                     end
+                     else inst)
+            in
+            let term =
+              if last then
+                Branch
+                  { cond = shape.cond; ifso = b.label; ifnot = shape.exit }
+              else
+                Branch
+                  {
+                    cond = shape.cond;
+                    ifso = shape.exit;
+                    ifnot = labels.(k + 1);
+                  }
+            in
+            { label = labels.(k); insts = body; term; balign = 0 })
+      in
+      (match blocks with
+      | first :: rest -> Some ([ first ], rest)
+      | [] -> None)
+  end
+
+let run_func (cfg : Flags.config) (func : func) =
+  let cfg_graph = Cfg.build func in
+  let loops = Cfg.natural_loops cfg_graph in
+  let single_block_headers =
+    List.filter_map
+      (fun l ->
+        match l.Cfg.body with
+        | [ h ] when h = l.Cfg.header -> Some (Cfg.label cfg_graph h)
+        | _ -> None)
+      loops
+  in
+  List.fold_left
+    (fun func header_label ->
+      match find_block func header_label with
+      | None -> func
+      | Some b -> (
+        match recognise func b with
+        | None -> func
+        | Some shape -> (
+          match unroll_block cfg func b shape with
+          | None -> func
+          | Some (replacement, extra) ->
+            let rec rebuild = function
+              | [] -> []
+              | (blk : block) :: rest when blk.label = header_label ->
+                replacement @ extra @ rest
+              | blk :: rest -> blk :: rebuild rest
+            in
+            { func with blocks = rebuild func.blocks })))
+    func single_block_headers
+
+let run (cfg : Flags.config) program =
+  map_funcs program (run_func cfg)

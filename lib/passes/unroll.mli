@@ -1,0 +1,8 @@
+(** Loop unrolling — [funroll_loops] with [max-unroll-times] and
+    [max-unrolled-insns].  Recognises the canonical single-block do-while
+    counted loop; clean unrolling (intermediate exit tests removed) when
+    the trip count is a known constant divisible by the factor,
+    exit-retained unrolling (tests kept, inverted so the continuing path
+    falls through) otherwise. *)
+
+val run : Flags.config -> Ir.Types.program -> Ir.Types.program

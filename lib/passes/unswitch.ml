@@ -1,0 +1,142 @@
+(** Loop unswitching — [funswitch_loops].
+
+    A loop containing a branch on a loop-invariant condition is duplicated
+    into a "condition true" and a "condition false" version; a dispatch
+    block outside the loop picks the version once.  The per-iteration
+    branch disappears at the cost of doubling the loop's code, the same
+    footprint-versus-work trade the other expanding passes make. *)
+
+open Ir.Types
+module Cfg = Ir.Cfg
+
+let max_loop_insts = 60
+let max_unswitch_per_func = 2
+
+(* Find, in [loop], a block whose terminator branches on a register not
+   defined inside the loop, with both targets inside the loop. *)
+let find_invariant_branch (func : func) cfg (loop : Cfg.loop) =
+  let labels = List.map (Cfg.label cfg) loop.Cfg.body in
+  let defined_in_loop = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      let b = Option.get (find_block func l) in
+      List.iter
+        (fun i ->
+          match inst_def i with
+          | Some d -> Hashtbl.replace defined_in_loop d ()
+          | None -> ())
+        b.insts)
+    labels;
+  List.find_map
+    (fun l ->
+      let b = Option.get (find_block func l) in
+      match b.term with
+      | Branch { cond; ifso; ifnot }
+        when (not (Hashtbl.mem defined_in_loop cond))
+             && List.mem ifso labels && List.mem ifnot labels
+             && ifso <> ifnot ->
+        Some (b.label, cond, ifso, ifnot)
+      | _ -> None)
+    labels
+
+let loop_size (func : func) cfg (loop : Cfg.loop) =
+  List.fold_left
+    (fun acc bi ->
+      let b = Option.get (find_block func (Cfg.label cfg bi)) in
+      acc + List.length b.insts + 1)
+    0 loop.Cfg.body
+
+let unswitch_loop (func : func) cfg (loop : Cfg.loop) site =
+  let branch_label, cond, br_so, br_not = site in
+  let labels = List.map (Cfg.label cfg) loop.Cfg.body in
+  let fresh = Rewrite.label_supply func "usw" in
+  let map_t = Hashtbl.create 16 and map_f = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace map_t l (fresh ());
+      Hashtbl.replace map_f l (fresh ()))
+    labels;
+  let clone map pick (b : block) =
+    let rename l = Option.value (Hashtbl.find_opt map l) ~default:l in
+    let term =
+      if b.label = branch_label then Jump (rename pick)
+      else Rewrite.rename_labels_term rename b.term
+    in
+    { b with label = Hashtbl.find map b.label; term }
+  in
+  let header_label = Cfg.label cfg loop.Cfg.header in
+  let loop_blocks = List.map (fun l -> Option.get (find_block func l)) labels in
+  let copies =
+    List.map (clone map_t br_so) loop_blocks
+    @ List.map (clone map_f br_not) loop_blocks
+  in
+  let dispatch_label = fresh () in
+  let dispatch =
+    {
+      label = dispatch_label;
+      insts = [];
+      term =
+        Branch
+          {
+            cond;
+            ifso = Hashtbl.find map_t header_label;
+            ifnot = Hashtbl.find map_f header_label;
+          };
+      balign = 0;
+    }
+  in
+  (* Entry edges (all edges to the header from outside the loop) go to the
+     dispatch; the original loop blocks are replaced in place so the copies
+     keep the loop's position in the layout. *)
+  let replaced = ref false in
+  let blocks =
+    List.concat_map
+      (fun (b : block) ->
+        if List.mem b.label labels then begin
+          if !replaced then []
+          else begin
+            replaced := true;
+            dispatch :: copies
+          end
+        end
+        else
+          [
+            {
+              b with
+              term =
+                Rewrite.rename_labels_term
+                  (fun l -> if l = header_label then dispatch_label else l)
+                  b.term;
+            };
+          ])
+      func.blocks
+  in
+  { func with blocks }
+
+let run_func (func : func) =
+  let budget = ref max_unswitch_per_func in
+  let rec go func =
+    if !budget = 0 then func
+    else begin
+      let cfg = Cfg.build func in
+      let candidate =
+        List.find_map
+          (fun loop ->
+            if loop.Cfg.header = 0 then None
+            else if loop_size func cfg loop > max_loop_insts then None
+            else
+              match find_invariant_branch func cfg loop with
+              | Some site -> Some (loop, site)
+              | None -> None)
+          (Cfg.natural_loops cfg)
+      in
+      match candidate with
+      | None -> func
+      | Some (loop, site) ->
+        decr budget;
+        go (unswitch_loop func cfg loop site)
+    end
+  in
+  go func
+
+let run program = map_funcs program run_func

@@ -1,0 +1,6 @@
+(** Loop unswitching — [funswitch_loops]: a loop branching on an
+    invariant condition is duplicated into per-outcome versions behind a
+    dispatch block, removing the per-iteration branch at the price of
+    doubled loop code.  Bounded per function. *)
+
+val run : Ir.Types.program -> Ir.Types.program

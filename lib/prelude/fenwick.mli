@@ -1,0 +1,26 @@
+(** Fenwick (binary-indexed) tree over integer counts.
+
+    Used by {!Reuse} to compute LRU stack distances in O(log n) per memory
+    reference: positions hold 1 when they are the most recent access to some
+    block, and a prefix sum counts the distinct blocks touched since a given
+    time. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a tree over positions [0 .. n-1], all zero. *)
+
+val length : t -> int
+(** Number of positions. *)
+
+val add : t -> int -> int -> unit
+(** [add t i delta] adds [delta] to position [i]. *)
+
+val prefix_sum : t -> int -> int
+(** [prefix_sum t i] is the sum of positions [0 .. i] ([0] when [i < 0]). *)
+
+val range_sum : t -> int -> int -> int
+(** [range_sum t lo hi] is the sum of positions [lo .. hi] inclusive. *)
+
+val total : t -> int
+(** Sum of all positions. *)

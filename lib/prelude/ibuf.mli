@@ -1,0 +1,23 @@
+(** Growable buffer of unboxed integers.
+
+    The interpreter records address and branch traces through this; it is the
+    innermost allocation path of the whole pipeline, hence kept free of boxing
+    and of per-push closures. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+
+val get : t -> int -> int
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val last : t -> int option
+(** Most recently pushed element. *)
+
+val to_array : t -> int array
+(** Copy the contents into a fresh array of exactly [length] elements. *)
+
+val clear : t -> unit
+(** Reset to empty, keeping the allocated storage. *)

@@ -1,0 +1,162 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int n
+  end
+
+let std xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+type boxplot = { low : float; q1 : float; med : float; q3 : float; high : float }
+
+let boxplot xs =
+  let low, high = min_max xs in
+  { low; q1 = percentile xs 25.0; med = median xs; q3 = percentile xs 75.0; high }
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n = 0 then 0.0
+  else begin
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0
+    else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+let log2 x = log x /. log 2.0
+
+let entropy counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let t = float_of_int total in
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else begin
+          let p = float_of_int c /. t in
+          acc -. (p *. log2 p)
+        end)
+      0.0 counts
+  end
+
+let marginals joint =
+  let rows = Array.length joint in
+  let cols = if rows = 0 then 0 else Array.length joint.(0) in
+  let row_sum = Array.make rows 0 and col_sum = Array.make cols 0 in
+  let total = ref 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let c = joint.(i).(j) in
+      row_sum.(i) <- row_sum.(i) + c;
+      col_sum.(j) <- col_sum.(j) + c;
+      total := !total + c
+    done
+  done;
+  (row_sum, col_sum, !total)
+
+let mutual_information joint =
+  let row_sum, col_sum, total = marginals joint in
+  if total = 0 then 0.0
+  else begin
+    let t = float_of_int total in
+    let mi = ref 0.0 in
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j c ->
+            if c > 0 then begin
+              let pxy = float_of_int c /. t in
+              let px = float_of_int row_sum.(i) /. t in
+              let py = float_of_int col_sum.(j) /. t in
+              mi := !mi +. (pxy *. log2 (pxy /. (px *. py)))
+            end)
+          row)
+      joint;
+    Float.max 0.0 !mi
+  end
+
+let normalised_mutual_information joint =
+  let row_sum, col_sum, total = marginals joint in
+  if total = 0 then 0.0
+  else begin
+    let hx = entropy row_sum and hy = entropy col_sum in
+    let h = Float.min hx hy in
+    if h = 0.0 then 0.0 else mutual_information joint /. h
+  end
+
+let quantile_edges xs k =
+  if k < 1 then invalid_arg "Stats.quantile_edges: k must be >= 1";
+  Array.init (k - 1) (fun i ->
+      percentile xs (100.0 *. float_of_int (i + 1) /. float_of_int k))
+
+let bin_index edges x =
+  let n = Array.length edges in
+  let rec go i = if i >= n || x < edges.(i) then i else go (i + 1) in
+  go 0
+
+let zscore_fit rows =
+  if Array.length rows = 0 then invalid_arg "Stats.zscore_fit: no rows";
+  let dims = Array.length rows.(0) in
+  let means =
+    Array.init dims (fun d -> mean (Array.map (fun r -> r.(d)) rows))
+  in
+  let stds =
+    Array.init dims (fun d ->
+        let s = std (Array.map (fun r -> r.(d)) rows) in
+        if s = 0.0 then 1.0 else s)
+  in
+  (means, stds)
+
+let zscore_apply (means, stds) row =
+  Array.mapi (fun d x -> (x -. means.(d)) /. stds.(d)) row

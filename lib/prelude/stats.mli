@@ -1,0 +1,70 @@
+(** Descriptive statistics and information-theoretic measures.
+
+    Everything the evaluation needs: means, quantiles, box-plot summaries
+    (figure 4), Pearson correlation (the 0.93 of section 5.2), and the
+    entropy/mutual-information machinery behind the Hinton diagrams
+    (figures 8 and 9). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive values. *)
+
+val variance : float array -> float
+(** Population variance. *)
+
+val std : float array -> float
+(** Population standard deviation. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]], with linear interpolation
+    between order statistics.  Raises [Invalid_argument] on an empty array. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element.  Raises [Invalid_argument] if empty. *)
+
+type boxplot = {
+  low : float;  (** Lower whisker (minimum). *)
+  q1 : float;  (** 25th percentile. *)
+  med : float;  (** Median. *)
+  q3 : float;  (** 75th percentile. *)
+  high : float;  (** Upper whisker (maximum). *)
+}
+
+val boxplot : float array -> boxplot
+(** Five-number summary as drawn in figure 4. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length samples; 0 if either
+    sample has zero variance. *)
+
+val entropy : int array -> float
+(** Shannon entropy, in bits, of an empirical distribution given as counts. *)
+
+val mutual_information : int array array -> float
+(** Mutual information, in bits, of the joint distribution given as a count
+    matrix [joint.(i).(j)]. *)
+
+val normalised_mutual_information : int array array -> float
+(** [mutual_information] divided by [min(H(X), H(Y))]; 0 when either marginal
+    entropy is 0.  This is the normalisation used for the Hinton diagrams. *)
+
+val quantile_edges : float array -> int -> float array
+(** [quantile_edges xs k] returns the [k - 1] inner quantile cut points that
+    split [xs] into [k] roughly equal-population bins. *)
+
+val bin_index : float array -> float -> int
+(** [bin_index edges x] is the index of the bin [x] falls into, i.e. the
+    number of edges [<= x]. *)
+
+val zscore_fit : float array array -> float array * float array
+(** [zscore_fit rows] returns per-column (means, stds) over a matrix given as
+    an array of equal-length rows.  Columns with zero variance get std 1 so
+    that normalisation leaves them at 0. *)
+
+val zscore_apply : float array * float array -> float array -> float array
+(** Normalise one row with previously fitted statistics. *)

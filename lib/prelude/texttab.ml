@@ -1,0 +1,80 @@
+let render_table ~header rows =
+  let all = header :: rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < cols - 1 then
+          Buffer.add_string buf
+            (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  let rule =
+    List.init (List.length header) (fun i -> String.make widths.(i) '-')
+  in
+  emit rule;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let bar ~width value max_value =
+  let n =
+    if max_value <= 0.0 then 0
+    else begin
+      let scaled = value /. max_value *. float_of_int width in
+      min width (max 0 (int_of_float (Float.round scaled)))
+    end
+  in
+  String.make n '#'
+
+let hinton_cell v =
+  let v = Float.max 0.0 (Float.min 1.0 v) in
+  if v < 0.05 then "   "
+  else if v < 0.2 then " . "
+  else if v < 0.4 then " o "
+  else if v < 0.6 then " O "
+  else if v < 0.8 then "(O)"
+  else "[#]"
+
+let heat_cell v =
+  let v = Float.max 0.0 (Float.min 1.0 v) in
+  let ladder = [| " "; "."; ":"; "-"; "="; "+"; "*"; "#"; "%"; "@" |] in
+  ladder.(min 9 (int_of_float (v *. 10.0)))
+
+let boxplot_line ~width ~lo ~hi box =
+  let open Stats in
+  let span = hi -. lo in
+  let pos v =
+    if span <= 0.0 then 0
+    else begin
+      let p = (v -. lo) /. span *. float_of_int (width - 1) in
+      min (width - 1) (max 0 (int_of_float (Float.round p)))
+    end
+  in
+  let line = Bytes.make width ' ' in
+  let p_low = pos box.low and p_hi = pos box.high in
+  for i = p_low to p_hi do
+    Bytes.set line i '-'
+  done;
+  let p_q1 = pos box.q1 and p_q3 = pos box.q3 in
+  for i = p_q1 to p_q3 do
+    Bytes.set line i '='
+  done;
+  Bytes.set line p_low '|';
+  Bytes.set line p_hi '|';
+  Bytes.set line (pos box.med) 'M';
+  Bytes.to_string line
+
+let fixed ?(digits = 2) v = Printf.sprintf "%.*f" digits v

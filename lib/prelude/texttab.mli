@@ -1,0 +1,26 @@
+(** Plain-text rendering of tables, bar charts, box plots, heat maps and
+    Hinton diagrams.
+
+    The benchmark harness regenerates the paper's figures as text; these
+    helpers keep all that rendering in one place. *)
+
+val render_table : header:string list -> string list list -> string
+(** Monospace table with column alignment and a separator under the header. *)
+
+val bar : width:int -> float -> float -> string
+(** [bar ~width value max] is a left-aligned bar of [#] characters scaled so
+    that [max] fills [width]. *)
+
+val hinton_cell : float -> string
+(** Map a magnitude in [\[0, 1\]] to a fixed-width glyph ladder
+    (["   "], [" . "], [" o "], [" O "], ["(O)"], ["[#]"]) used for Hinton
+    diagrams. *)
+
+val heat_cell : float -> string
+(** Map a magnitude in [\[0, 1\]] to a single density character. *)
+
+val boxplot_line : width:int -> lo:float -> hi:float -> Stats.boxplot -> string
+(** ASCII rendering of one box plot row spanning [\[lo, hi\]]. *)
+
+val fixed : ?digits:int -> float -> string
+(** Fixed-point float formatting, default 2 digits. *)

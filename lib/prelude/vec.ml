@@ -1,0 +1,39 @@
+let check_len a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: length mismatch (%d vs %d)" name
+        (Array.length a) (Array.length b))
+
+let add a b =
+  check_len a b "add";
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_len a b "sub";
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale k a = Array.map (fun x -> k *. x) a
+
+let dot a b =
+  check_len a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let l2_distance a b =
+  check_len a b "l2_distance";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let concat = Array.append
+
+let axpy a x y =
+  check_len x y "axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done

@@ -1,0 +1,22 @@
+(** Small dense float-vector helpers for the feature space of the model. *)
+
+val add : float array -> float array -> float array
+(** Elementwise sum.  Raises [Invalid_argument] on length mismatch. *)
+
+val sub : float array -> float array -> float array
+(** Elementwise difference. *)
+
+val scale : float -> float array -> float array
+(** Scalar multiple. *)
+
+val dot : float array -> float array -> float
+(** Inner product. *)
+
+val l2_distance : float array -> float array -> float
+(** Euclidean distance, the metric of equation (6). *)
+
+val concat : float array -> float array -> float array
+(** [concat c d] forms the paper's feature vector x = (c, d). *)
+
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)

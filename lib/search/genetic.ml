@@ -1,0 +1,79 @@
+(** Genetic search over optimisation settings (Cooper et al. / Kulkarni et
+    al. style, section 8).
+
+    Steady generational GA: tournament selection, uniform crossover,
+    per-dimension mutation, elitism of one. *)
+
+open Prelude
+
+type params = {
+  population : int;
+  mutation_rate : float;
+  tournament : int;
+}
+
+let default_params = { population = 20; mutation_rate = 0.05; tournament = 3 }
+
+type result = {
+  best : Passes.Flags.setting;
+  best_seconds : float;
+  evaluations : int;
+  generations : int;
+}
+
+let crossover rng a b =
+  Array.init (Array.length a) (fun i -> if Rng.bool rng then a.(i) else b.(i))
+
+let mutate rng rate (s : Passes.Flags.setting) =
+  Array.mapi
+    (fun l v ->
+      if Rng.float rng 1.0 < rate then
+        Rng.int rng (Passes.Flags.cardinality Passes.Flags.dims.(l))
+      else v)
+    s
+
+let search ?(params = default_params) ~rng ~budget ~evaluate () =
+  let evals = ref 0 in
+  let eval s =
+    incr evals;
+    evaluate s
+  in
+  let pop =
+    Array.init params.population (fun _ ->
+        let s = Passes.Flags.random rng in
+        (s, eval s))
+  in
+  let best = ref pop.(0) in
+  let consider (s, t) = if t < snd !best then best := (s, t) in
+  Array.iter consider pop;
+  let generations = ref 0 in
+  let tournament () =
+    let w = ref pop.(Rng.int rng params.population) in
+    for _ = 2 to params.tournament do
+      let c = pop.(Rng.int rng params.population) in
+      if snd c < snd !w then w := c
+    done;
+    fst !w
+  in
+  while !evals + params.population <= budget do
+    incr generations;
+    let next =
+      Array.init params.population (fun i ->
+          if i = 0 then !best (* elitism *)
+          else begin
+            let child =
+              mutate rng params.mutation_rate
+                (crossover rng (tournament ()) (tournament ()))
+            in
+            (child, eval child)
+          end)
+    in
+    Array.blit next 0 pop 0 params.population;
+    Array.iter consider pop
+  done;
+  {
+    best = fst !best;
+    best_seconds = snd !best;
+    evaluations = !evals;
+    generations = !generations;
+  }

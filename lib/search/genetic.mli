@@ -1,0 +1,27 @@
+(** Genetic search over optimisation settings (Cooper et al. / Kulkarni
+    et al. style): generational GA with tournament selection, uniform
+    crossover, per-dimension mutation and single elitism. *)
+
+type params = {
+  population : int;
+  mutation_rate : float;
+  tournament : int;
+}
+
+val default_params : params
+(** 20 individuals, 5% mutation, tournaments of 3. *)
+
+type result = {
+  best : Passes.Flags.setting;
+  best_seconds : float;
+  evaluations : int;
+  generations : int;
+}
+
+val search :
+  ?params:params ->
+  rng:Prelude.Rng.t ->
+  budget:int ->
+  evaluate:(Passes.Flags.setting -> float) ->
+  unit ->
+  result

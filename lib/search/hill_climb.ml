@@ -1,0 +1,79 @@
+(** Hill climbing over the optimisation space (Almagor et al., referenced
+    in section 8's iterative-compilation discussion).
+
+    First-improvement climbing over the one-change neighbourhood (flip one
+    flag or move one parameter to an adjacent value), with random restarts
+    until the evaluation budget is spent. *)
+
+open Prelude
+
+type result = {
+  best : Passes.Flags.setting;
+  best_seconds : float;
+  evaluations : int;
+  restarts : int;
+}
+
+let neighbours rng (s : Passes.Flags.setting) =
+  (* All one-step moves, shuffled so climbing is not biased by dimension
+     order. *)
+  let moves = ref [] in
+  Array.iteri
+    (fun l dim ->
+      let k = Passes.Flags.cardinality dim in
+      let current = s.(l) in
+      List.iter
+        (fun v ->
+          if v >= 0 && v < k && v <> current then begin
+            let s' = Array.copy s in
+            s'.(l) <- v;
+            moves := s' :: !moves
+          end)
+        (match dim.Passes.Flags.kind with
+        | Passes.Flags.Flag _ -> [ 1 - current ]
+        | Passes.Flags.Param _ -> [ current - 1; current + 1 ]))
+    Passes.Flags.dims;
+  let arr = Array.of_list !moves in
+  Rng.shuffle rng arr;
+  arr
+
+let search ~rng ~budget ~evaluate =
+  let evals = ref 0 in
+  let restarts = ref 0 in
+  let eval s =
+    incr evals;
+    evaluate s
+  in
+  let best = ref None in
+  let consider s t =
+    match !best with
+    | Some (_, bt) when bt <= t -> ()
+    | _ -> best := Some (s, t)
+  in
+  while !evals < budget do
+    incr restarts;
+    let current = ref (Passes.Flags.random rng) in
+    let current_t = ref (eval !current) in
+    consider !current !current_t;
+    let improved = ref true in
+    while !improved && !evals < budget do
+      improved := false;
+      let ns = neighbours rng !current in
+      let i = ref 0 in
+      while (not !improved) && !i < Array.length ns && !evals < budget do
+        let cand = ns.(!i) in
+        incr i;
+        let t = eval cand in
+        consider cand t;
+        if t < !current_t then begin
+          current := cand;
+          current_t := t;
+          improved := true
+        end
+      done
+    done
+  done;
+  match !best with
+  | Some (s, t) ->
+    { best = s; best_seconds = t; evaluations = !evals; restarts = !restarts }
+  | None -> invalid_arg "Hill_climb.search: empty budget"

@@ -1,0 +1,22 @@
+(** Hill climbing over the optimisation space (Almagor et al., referenced
+    in the paper's iterative-compilation discussion): first-improvement
+    climbing over the one-change neighbourhood, with random restarts
+    until the evaluation budget is spent. *)
+
+type result = {
+  best : Passes.Flags.setting;
+  best_seconds : float;
+  evaluations : int;
+  restarts : int;
+}
+
+val neighbours :
+  Prelude.Rng.t -> Passes.Flags.setting -> Passes.Flags.setting array
+(** All one-step moves (flip one flag, move one parameter to an adjacent
+    value), shuffled. *)
+
+val search :
+  rng:Prelude.Rng.t ->
+  budget:int ->
+  evaluate:(Passes.Flags.setting -> float) ->
+  result

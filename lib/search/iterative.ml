@@ -1,0 +1,63 @@
+(** Iterative compilation by uniform random sampling — the paper's upper
+    bound (section 4.3: 1000 evaluations, uniform random, near-converged)
+    and the baseline of the section 5.3 comparison ("roughly 50 iterations
+    to match the model").
+
+    [search] drives an arbitrary evaluator; [convergence] computes the
+    expected best-so-far curve over a set of already-evaluated times by
+    Monte-Carlo permutation, which is how the convergence experiment
+    reuses the dataset instead of re-running the compiler. *)
+
+open Prelude
+
+type result = {
+  best : Passes.Flags.setting;
+  best_seconds : float;
+  curve : float array;  (** Best seconds after each evaluation. *)
+}
+
+(** Random search with [budget] evaluations of [evaluate] (seconds; lower
+    is better). *)
+let search ~rng ~budget ~evaluate =
+  if budget < 1 then invalid_arg "Iterative.search: empty budget";
+  let curve = Array.make budget infinity in
+  let best = ref None in
+  for i = 0 to budget - 1 do
+    let s = Passes.Flags.random rng in
+    let t = evaluate s in
+    (match !best with
+    | Some (_, bt) when bt <= t -> ()
+    | _ -> best := Some (s, t));
+    curve.(i) <- (match !best with Some (_, bt) -> bt | None -> t)
+  done;
+  match !best with
+  | Some (s, t) -> { best = s; best_seconds = t; curve }
+  | None -> assert false
+
+(** Expected best-so-far curve when drawing without replacement from
+    [times], averaged over [trials] random permutations. *)
+let convergence ~rng ~trials times =
+  let n = Array.length times in
+  if n = 0 then [||]
+  else begin
+    let acc = Array.make n 0.0 in
+    let order = Array.init n Fun.id in
+    for _ = 1 to trials do
+      Rng.shuffle rng order;
+      let best = ref infinity in
+      Array.iteri
+        (fun i j ->
+          if times.(j) < !best then best := times.(j);
+          acc.(i) <- acc.(i) +. !best)
+        order
+    done;
+    Array.map (fun s -> s /. float_of_int trials) acc
+  end
+
+(** First index at which [curve] reaches [target] or better, or [None]. *)
+let evaluations_to_reach curve target =
+  let n = Array.length curve in
+  let rec go i =
+    if i >= n then None else if curve.(i) <= target then Some (i + 1) else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,29 @@
+(** Iterative compilation by uniform random sampling — the paper's upper
+    bound (section 4.3: 1000 evaluations, near-converged) and the
+    baseline of the section 5.3 comparison ("roughly 50 iterations to
+    match the model"). *)
+
+type result = {
+  best : Passes.Flags.setting;
+  best_seconds : float;
+  curve : float array;  (** Best seconds after each evaluation. *)
+}
+
+val search :
+  rng:Prelude.Rng.t ->
+  budget:int ->
+  evaluate:(Passes.Flags.setting -> float) ->
+  result
+(** Random search: [budget] fresh uniform settings through [evaluate]
+    (seconds; lower is better). *)
+
+val convergence :
+  rng:Prelude.Rng.t -> trials:int -> float array -> float array
+(** Expected best-so-far curve when drawing without replacement from an
+    already-evaluated time vector, averaged over [trials] random
+    permutations — how the convergence experiment reuses the dataset
+    instead of recompiling. *)
+
+val evaluations_to_reach : float array -> float -> int option
+(** First 1-based position at which the curve reaches the target time or
+    better. *)

@@ -1,0 +1,45 @@
+(** Branch direction and target (BTB) models.
+
+    Direction: each static branch site is predicted by a 2-bit saturating
+    counter; under an IID per-site taken probability [p] the counter's
+    stationary distribution is a birth–death chain with ratio
+    [p/(1-p)], giving a closed-form steady-state misprediction rate.
+
+    Target: the BTB is modelled as a set-associative cache over branch
+    sites using the same reuse-distance machinery as the memory caches; a
+    taken branch whose site misses in the BTB redirects fetch late and
+    pays a bubble even when the direction was right. *)
+
+open Prelude
+
+(** Steady-state misprediction probability of a 2-bit saturating counter
+    for a branch taken with probability [p]. *)
+let two_bit_mispredict p =
+  if p <= 0.0 || p >= 1.0 then 0.0
+  else begin
+    let rho = p /. (1.0 -. p) in
+    let pi0 = 1.0 in
+    let pi1 = rho in
+    let pi2 = rho *. rho in
+    let pi3 = rho *. rho *. rho in
+    let z = pi0 +. pi1 +. pi2 +. pi3 in
+    (* States 0,1 predict not-taken; 2,3 predict taken. *)
+    ((pi0 +. pi1) /. z *. p) +. ((pi2 +. pi3) /. z *. (1.0 -. p))
+  end
+
+(** Expected direction mispredictions over a run, from per-site execution
+    and taken counts. *)
+let direction_mispredictions (sites : (int * int) array) =
+  Array.fold_left
+    (fun acc (execs, takens) ->
+      if execs = 0 then acc
+      else begin
+        let p = float_of_int takens /. float_of_int execs in
+        acc +. (two_bit_mispredict p *. float_of_int execs)
+      end)
+    0.0 sites
+
+(** Expected BTB misses given the branch-site reuse histogram. *)
+let btb_misses (hist : Reuse.histogram) (u : Uarch.Config.t) =
+  Reuse.expected_misses hist ~sets:(Uarch.Config.btb_sets u)
+    ~ways:u.Uarch.Config.btb_assoc

@@ -1,0 +1,43 @@
+(** Cache behaviour of a profiled run on a concrete configuration.
+
+    Thin adapter from execution profiles (reuse histograms per block size,
+    precomputed by the interpreter) to expected miss counts under the
+    Hill–Smith set-associative model in {!Prelude.Reuse}. *)
+
+open Prelude
+
+type result = {
+  accesses : float;
+  misses : float;
+  miss_rate : float;  (** misses / accesses; 0 when there are no accesses. *)
+}
+
+let evaluate hist ~accesses ~sets ~ways =
+  let capacity_blocks = sets * ways in
+  let misses =
+    Reuse.expected_misses_capacity hist ~capacity_blocks ~ways
+  in
+  let accesses = float_of_int accesses in
+  {
+    accesses;
+    misses;
+    miss_rate = (if accesses > 0.0 then misses /. accesses else 0.0);
+  }
+
+(** Data-cache behaviour: every load and store (spills included) is one
+    access. *)
+let dcache (p : Ir.Profile.t) (u : Uarch.Config.t) =
+  let hist = Ir.Profile.d_hist p ~block_bytes:u.Uarch.Config.dl1_block in
+  evaluate hist
+    ~accesses:(Ir.Profile.mem_accesses p)
+    ~sets:(Uarch.Config.dl1_sets u)
+    ~ways:u.Uarch.Config.dl1_assoc
+
+(** Instruction-cache behaviour: one access per fetched instruction; the
+    reuse histogram is over fetch blocks, which is exactly where misses
+    can occur. *)
+let icache (p : Ir.Profile.t) (u : Uarch.Config.t) =
+  let hist = Ir.Profile.i_hist p ~block_bytes:u.Uarch.Config.il1_block in
+  evaluate hist ~accesses:p.Ir.Profile.dyn_insts
+    ~sets:(Uarch.Config.il1_sets u)
+    ~ways:u.Uarch.Config.il1_assoc

@@ -1,0 +1,89 @@
+(** Exact set-associative LRU cache simulation over raw address traces.
+
+    The production path prices caches analytically from reuse-distance
+    histograms ({!Cache}); this reference simulator replays the actual
+    trace through a modelled cache, so tests and the validation
+    experiment can quantify the analytic approximation instead of
+    trusting it.  O(accesses * ways): only for validation runs. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  block_bytes : int;
+  tags : int array array;  (** [tags.(set)], most-recently-used first. *)
+  sizes : int array;  (** Valid lines per set. *)
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ~sets ~ways ~block_bytes =
+  if sets < 1 || ways < 1 then invalid_arg "Cache_sim.create";
+  if block_bytes land (block_bytes - 1) <> 0 then
+    invalid_arg "Cache_sim.create: block size must be a power of two";
+  {
+    sets;
+    ways;
+    block_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    sizes = Array.make sets 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  let block = addr / t.block_bytes in
+  let set = block mod t.sets in
+  let tag = block / t.sets in
+  t.accesses <- t.accesses + 1;
+  let line = t.tags.(set) in
+  let n = t.sizes.(set) in
+  (* Find the tag; move to front (LRU). *)
+  let rec find i = if i >= n then -1 else if line.(i) = tag then i else find (i + 1) in
+  let pos = find 0 in
+  if pos >= 0 then begin
+    (* Hit: rotate [0, pos] right by one. *)
+    for j = pos downto 1 do
+      line.(j) <- line.(j - 1)
+    done;
+    line.(0) <- tag
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let new_size = min t.ways (n + 1) in
+    for j = new_size - 1 downto 1 do
+      line.(j) <- line.(j - 1)
+    done;
+    line.(0) <- tag;
+    t.sizes.(set) <- new_size
+  end
+
+let run ~sets ~ways ~block_bytes addrs =
+  let t = create ~sets ~ways ~block_bytes in
+  Array.iter (access t) addrs;
+  t
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses
+
+(** Compare the analytic D-cache model against exact simulation of a
+    program's data stream on a configuration; returns
+    (exact misses, model misses, accesses). *)
+let validate_dcache program (u : Uarch.Config.t) =
+  let _, daddrs, _ = Ir.Interp.run_traces program in
+  let exact =
+    run
+      ~sets:(Uarch.Config.dl1_sets u)
+      ~ways:u.Uarch.Config.dl1_assoc ~block_bytes:u.Uarch.Config.dl1_block
+      daddrs
+  in
+  let hist =
+    Prelude.Reuse.histogram_of_addresses
+      ~block_bytes:u.Uarch.Config.dl1_block daddrs
+  in
+  let model =
+    Prelude.Reuse.expected_misses_capacity hist
+      ~capacity_blocks:(Uarch.Config.dl1_sets u * u.Uarch.Config.dl1_assoc)
+      ~ways:u.Uarch.Config.dl1_assoc
+  in
+  (exact.misses, model, Array.length daddrs)

@@ -1,0 +1,36 @@
+(** The eleven performance counters of table 1.
+
+    These are the program/microarchitecture characterisation [c] the model
+    is trained on: rates normalised by cycles (usage/access counters) or by
+    accesses (miss rates), as produced by a profiling run of the binary on
+    the simulated configuration. *)
+
+type t = {
+  ipc : float;
+  decode_rate : float;  (** Decoder accesses per cycle. *)
+  regfile_rate : float;  (** Register-file reads+writes per cycle. *)
+  bpred_rate : float;  (** Branch-predictor lookups per cycle. *)
+  icache_rate : float;  (** I-cache accesses per cycle. *)
+  icache_miss_rate : float;
+  dcache_rate : float;  (** D-cache accesses per cycle. *)
+  dcache_miss_rate : float;
+  alu_usage : float;  (** ALU operations per cycle. *)
+  mac_usage : float;  (** Multiply-accumulate operations per cycle. *)
+  shift_usage : float;  (** Shifter operations per cycle. *)
+}
+
+let names =
+  [|
+    "IPC"; "dec_acc_rate"; "reg_acc_rate"; "bpred_acc_rate";
+    "icache_acc_rate"; "icache_miss_rate"; "dcache_acc_rate";
+    "dcache_miss_rate"; "ALU_usg"; "MAC_usg"; "Shft_usg";
+  |]
+
+let to_array c =
+  [|
+    c.ipc; c.decode_rate; c.regfile_rate; c.bpred_rate; c.icache_rate;
+    c.icache_miss_rate; c.dcache_rate; c.dcache_miss_rate; c.alu_usage;
+    c.mac_usage; c.shift_usage;
+  |]
+
+let dim = 11

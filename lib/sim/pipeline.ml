@@ -1,0 +1,131 @@
+(** First-order in-order pipeline timing model (Karkhanis–Smith style),
+    standing in for the cycle-accurate Xtrem simulator the paper used.
+
+    Cycle count decomposition for one profiled run on one configuration:
+
+    - {b issue}: one instruction per cycle at width 1; at width 2 a pair
+      issues together unless the second depends on the first
+      ([adjacent_dep_pairs] from the profile) — the dual-issue upside is
+      bounded by the program's adjacent-instruction parallelism;
+    - {b dependence stalls}: load-use and long-op-use interlocks from the
+      profile's gap histograms, priced against the configuration's actual
+      load latency (address generation + D-cache access time from the
+      Cacti model);
+    - {b cache misses}: expected I- and D-miss counts from the reuse
+      histograms, each costing the off-chip latency in cycles at the
+      configuration's frequency;
+    - {b control}: 2-bit-predictor direction mispredictions flush the
+      front end; taken-branch BTB misses, unconditional jumps, calls and
+      returns pay fetch-redirect bubbles scaled by the I-cache access
+      latency.
+
+    The same run therefore gets slower on a high-frequency core (more
+    cycles per miss) and on very large or highly associative caches
+    (longer hit latency), producing the non-monotone trade-offs the design
+    space is about. *)
+
+type verdict = {
+  cycles : float;
+  seconds : float;
+  counters : Counters.t;
+  icache : Cache.result;
+  dcache : Cache.result;
+  mispredicts : float;
+  btb_misses : float;
+  stall_cycles : float;
+}
+
+let mispredict_penalty = 5.0
+
+let evaluate (p : Ir.Profile.t) (u : Uarch.Config.t) =
+  let dyn = float_of_int p.Ir.Profile.dyn_insts in
+  let freq = u.Uarch.Config.freq_mhz in
+  (* Cache access latencies in cycles at this frequency. *)
+  let d_hit_cycles =
+    Uarch.Cacti.access_cycles ~size:u.Uarch.Config.dl1_size
+      ~assoc:u.Uarch.Config.dl1_assoc ~block:u.Uarch.Config.dl1_block
+      ~freq_mhz:freq
+  in
+  let i_hit_cycles =
+    Uarch.Cacti.access_cycles ~size:u.Uarch.Config.il1_size
+      ~assoc:u.Uarch.Config.il1_assoc ~block:u.Uarch.Config.il1_block
+      ~freq_mhz:freq
+  in
+  let mem_cycles = float_of_int (Uarch.Cacti.memory_cycles ~freq_mhz:freq) in
+  (* Issue cycles. *)
+  let issue =
+    match u.Uarch.Config.issue_width with
+    | 1 -> dyn
+    | _ ->
+      let adjacent = float_of_int p.Ir.Profile.adjacent_dep_pairs in
+      (* Every adjacent dependent pair breaks one potential dual issue. *)
+      Float.max (dyn /. 2.0) ((dyn /. 2.0) +. (adjacent /. 2.0))
+  in
+  (* Dependence stalls: producer latency minus the gap the schedule left. *)
+  let load_latency = 1 + d_hit_cycles + 1 in
+  let long_latency = 3 in
+  let gap_stalls hist latency =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun g count ->
+        let stall = latency - 1 - g in
+        if stall > 0 then acc := !acc +. float_of_int (stall * count))
+      hist;
+    !acc
+  in
+  let stall_cycles =
+    gap_stalls p.Ir.Profile.gap_load load_latency
+    +. gap_stalls p.Ir.Profile.gap_long long_latency
+  in
+  (* Cache misses. *)
+  let icache = Cache.icache p u in
+  let dcache = Cache.dcache p u in
+  let miss_cycles = (icache.Cache.misses +. dcache.Cache.misses) *. mem_cycles in
+  (* Control. *)
+  let mispredicts =
+    Branch.direction_mispredictions p.Ir.Profile.branch_sites
+  in
+  let btb_misses = Branch.btb_misses p.Ir.Profile.btb_hist u in
+  (* Fetch-redirect bubble: every non-sequential fetch restarts the
+     front end through the I-cache, so its access latency is the floor.
+     Calls and returns additionally push/pop the return linkage. *)
+  let redirect = float_of_int i_hit_cycles in
+  let control_cycles =
+    (mispredicts *. mispredict_penalty)
+    +. (btb_misses *. (1.0 +. redirect))
+    +. (float_of_int p.Ir.Profile.taken_branches *. redirect)
+    +. (float_of_int p.Ir.Profile.jumps *. redirect)
+    +. (float_of_int p.Ir.Profile.calls *. (2.0 +. redirect))
+    +. (float_of_int p.Ir.Profile.rets *. (2.0 +. redirect))
+    +. (float_of_int p.Ir.Profile.tail_calls *. redirect)
+  in
+  let cycles = issue +. stall_cycles +. miss_cycles +. control_cycles in
+  let seconds = cycles /. (float_of_int freq *. 1e6) in
+  let per_cycle x = float_of_int x /. cycles in
+  let counters =
+    {
+      Counters.ipc = dyn /. cycles;
+      decode_rate = dyn /. cycles;
+      regfile_rate =
+        per_cycle (p.Ir.Profile.reg_reads + p.Ir.Profile.reg_writes);
+      bpred_rate = per_cycle p.Ir.Profile.branches;
+      icache_rate = dyn /. cycles;
+      icache_miss_rate = icache.Cache.miss_rate;
+      dcache_rate = per_cycle (Ir.Profile.mem_accesses p);
+      dcache_miss_rate = dcache.Cache.miss_rate;
+      alu_usage =
+        per_cycle (p.Ir.Profile.alu + p.Ir.Profile.cmp + p.Ir.Profile.mov);
+      mac_usage = per_cycle p.Ir.Profile.mac;
+      shift_usage = per_cycle p.Ir.Profile.shift;
+    }
+  in
+  {
+    cycles;
+    seconds;
+    counters;
+    icache;
+    dcache;
+    mispredicts;
+    btb_misses;
+    stall_cycles;
+  }

@@ -1,0 +1,29 @@
+(** First-order in-order pipeline timing model (Karkhanis–Smith style),
+    standing in for the cycle-accurate Xtrem simulator the paper used.
+
+    Cycle decomposition for one profiled run on one configuration: issue
+    (width-limited by the profile's adjacent-dependence density),
+    dependence interlocks (load-use and long-op gaps priced against the
+    configuration's actual latencies), cache misses (expected counts from
+    the reuse histograms, each costing the off-chip latency in cycles at
+    the configuration's frequency) and control (mispredictions, BTB
+    misses, fetch redirects).  See DESIGN.md for why a first-order model
+    preserves the paper's relevant behaviour. *)
+
+type verdict = {
+  cycles : float;
+  seconds : float;
+  counters : Counters.t;  (** The 11 counters of table 1. *)
+  icache : Cache.result;
+  dcache : Cache.result;
+  mispredicts : float;
+  btb_misses : float;
+  stall_cycles : float;
+}
+
+val mispredict_penalty : float
+(** Front-end flush cost of a direction misprediction, in cycles. *)
+
+val evaluate : Ir.Profile.t -> Uarch.Config.t -> verdict
+(** Price one profile on one configuration.  Microsecond-scale: the
+    trace-once/model-many pivot of the reproduction. *)

@@ -1,0 +1,57 @@
+(** Top level of the simulator: compile, run once, time anywhere.
+
+    [profile_of] compiles a program under a flag setting, places it and
+    interprets it once; [time] evaluates the resulting profile on any
+    microarchitecture.  The expensive step (interpretation) is independent
+    of the microarchitecture, so callers cache profiles per
+    (program, canonical setting) and reuse them across the whole design
+    space — the trace-once/model-many structure that makes the paper's
+    7-million-point sample tractable here. *)
+
+type run = {
+  setting : Passes.Flags.setting;
+  profile : Ir.Profile.t;
+  checksum : int;
+}
+
+let profile_of ?setting program =
+  let image = Passes.Driver.compile_to_image ?setting program in
+  let checksum, profile = Ir.Interp.run image in
+  {
+    setting = Option.value setting ~default:Passes.Flags.o3;
+    profile;
+    checksum;
+  }
+
+let time run u = Pipeline.evaluate run.profile u
+
+let seconds run u = (time run u).Pipeline.seconds
+
+(** Energy estimate in millijoules: dynamic cache/access energy plus
+    leakage over the run, from the Cacti-style model.  Used by the power
+    example (the paper notes some configurations trade 21% power). *)
+let energy_mj run (u : Uarch.Config.t) =
+  let v = time run u in
+  let p = run.profile in
+  let cache_energy accesses ~size ~assoc ~block =
+    accesses *. Uarch.Cacti.access_energy_nj ~size ~assoc ~block *. 1e-6
+  in
+  let ienergy =
+    cache_energy
+      (float_of_int p.Ir.Profile.dyn_insts)
+      ~size:u.Uarch.Config.il1_size ~assoc:u.Uarch.Config.il1_assoc
+      ~block:u.Uarch.Config.il1_block
+  in
+  let denergy =
+    cache_energy
+      (float_of_int (Ir.Profile.mem_accesses p))
+      ~size:u.Uarch.Config.dl1_size ~assoc:u.Uarch.Config.dl1_assoc
+      ~block:u.Uarch.Config.dl1_block
+  in
+  let core_energy = float_of_int p.Ir.Profile.dyn_insts *. 0.12 *. 1e-6 in
+  let leakage =
+    (Uarch.Cacti.leakage_mw ~size:u.Uarch.Config.il1_size
+    +. Uarch.Cacti.leakage_mw ~size:u.Uarch.Config.dl1_size)
+    *. v.Pipeline.seconds
+  in
+  ienergy +. denergy +. core_energy +. leakage

@@ -1,0 +1,27 @@
+(** Top level of the simulator: compile, run once, time anywhere.
+
+    The expensive step (interpretation) is independent of the
+    microarchitecture, so callers cache {!run} values per
+    (program, canonical setting) and reuse them across the whole design
+    space — the trace-once/model-many structure that makes the paper's
+    7-million-point sample tractable here. *)
+
+type run = {
+  setting : Passes.Flags.setting;
+  profile : Ir.Profile.t;
+  checksum : int;  (** Functional result; identical across settings. *)
+}
+
+val profile_of : ?setting:Passes.Flags.setting -> Ir.Types.program -> run
+(** Compile under [setting] (default -O3), place and interpret once. *)
+
+val time : run -> Uarch.Config.t -> Pipeline.verdict
+(** Price the profiled run on a configuration (microseconds). *)
+
+val seconds : run -> Uarch.Config.t -> float
+
+val energy_mj : run -> Uarch.Config.t -> float
+(** Energy estimate from the Cacti-style model: dynamic cache and core
+    energy plus leakage over the run.  Used by the design-space
+    exploration example (the paper notes some configurations trade 21%
+    power). *)

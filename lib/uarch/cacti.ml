@@ -1,0 +1,47 @@
+(** Cache timing and energy model in the spirit of Cacti 4 (the paper uses
+    Cacti to derive access latencies, section 4.2).
+
+    We fit a smooth synthetic model with the qualitative properties of the
+    real tool at a 90 nm node: access time grows with capacity (wordline/
+    bitline length), with associativity (way muxing and comparators) and
+    mildly with block size; energy per access follows the same shape.  The
+    absolute values are representative, not calibrated — the reproduction
+    evaluates relative behaviour across the space, where only the shape
+    matters. *)
+
+let log2f v = log (float_of_int v) /. log 2.0
+
+(** Access time in nanoseconds for a [size]-byte, [assoc]-way cache with
+    [block]-byte lines. *)
+let access_time_ns ~size ~assoc ~block =
+  let kb = float_of_int size /. 1024.0 in
+  0.55
+  +. (0.22 *. (log kb /. log 2.0))
+  +. (0.12 *. log2f assoc)
+  +. (0.02 *. log2f block)
+
+(** Dynamic energy per access, in nanojoules. *)
+let access_energy_nj ~size ~assoc ~block =
+  let kb = float_of_int size /. 1024.0 in
+  0.05
+  +. (0.030 *. (log kb /. log 2.0))
+  +. (0.012 *. log2f assoc)
+  +. (0.004 *. log2f block)
+
+(** Leakage power in milliwatts. *)
+let leakage_mw ~size = 0.4 *. (float_of_int size /. 1024.0)
+
+(** Access latency in whole cycles at [freq_mhz]. *)
+let access_cycles ~size ~assoc ~block ~freq_mhz =
+  let t = access_time_ns ~size ~assoc ~block in
+  let cycle_ns = 1000.0 /. float_of_int freq_mhz in
+  max 1 (int_of_float (ceil (t /. cycle_ns)))
+
+(** Off-chip memory latency: fixed in wall-clock time, so faster cores pay
+    more cycles per miss — the lever behind the extended space's frequency
+    sensitivity. *)
+let memory_latency_ns = 120.0
+
+let memory_cycles ~freq_mhz =
+  let cycle_ns = 1000.0 /. float_of_int freq_mhz in
+  max 1 (int_of_float (ceil (memory_latency_ns /. cycle_ns)))

@@ -1,0 +1,105 @@
+(** Microarchitecture configurations — table 2 of the paper.
+
+    Eight parameters around the Intel XScale: instruction and data L1
+    size/associativity/block size, and BTB entries/associativity, each a
+    power of two, for 288,000 configurations.  Section 7's extended space
+    adds core frequency (200–600 MHz) and issue width (1 or 2); the base
+    space pins both at the XScale values. *)
+
+type t = {
+  il1_size : int;  (** Instruction cache capacity in bytes. *)
+  il1_assoc : int;
+  il1_block : int;  (** Line size in bytes. *)
+  dl1_size : int;
+  dl1_assoc : int;
+  dl1_block : int;
+  btb_entries : int;
+  btb_assoc : int;
+  freq_mhz : int;
+  issue_width : int;
+}
+
+let il1_sizes = [| 4096; 8192; 16384; 32768; 65536; 131072 |]
+let assocs = [| 4; 8; 16; 32; 64 |]
+let blocks = [| 8; 16; 32; 64 |]
+let btb_entries_values = [| 128; 256; 512; 1024; 2048 |]
+let btb_assocs = [| 1; 2; 4; 8 |]
+let freqs_mhz = [| 200; 300; 400; 500; 600 |]
+let issue_widths = [| 1; 2 |]
+
+let xscale =
+  {
+    il1_size = 32768;
+    il1_assoc = 32;
+    il1_block = 32;
+    dl1_size = 32768;
+    dl1_assoc = 32;
+    dl1_block = 32;
+    btb_entries = 512;
+    btb_assoc = 1;
+    freq_mhz = 400;
+    issue_width = 1;
+  }
+
+let validate t =
+  let mem what v values =
+    if not (Array.exists (( = ) v) values) then
+      invalid_arg (Printf.sprintf "Uarch.Config: invalid %s = %d" what v)
+  in
+  mem "il1_size" t.il1_size il1_sizes;
+  mem "il1_assoc" t.il1_assoc assocs;
+  mem "il1_block" t.il1_block blocks;
+  mem "dl1_size" t.dl1_size il1_sizes;
+  mem "dl1_assoc" t.dl1_assoc assocs;
+  mem "dl1_block" t.dl1_block blocks;
+  mem "btb_entries" t.btb_entries btb_entries_values;
+  mem "btb_assoc" t.btb_assoc btb_assocs;
+  mem "freq_mhz" t.freq_mhz freqs_mhz;
+  mem "issue_width" t.issue_width issue_widths;
+  if t.il1_size / (t.il1_block * t.il1_assoc) < 1 then
+    invalid_arg "Uarch.Config: I-cache smaller than one set";
+  if t.dl1_size / (t.dl1_block * t.dl1_assoc) < 1 then
+    invalid_arg "Uarch.Config: D-cache smaller than one set"
+
+let il1_sets t = max 1 (t.il1_size / (t.il1_block * t.il1_assoc))
+let dl1_sets t = max 1 (t.dl1_size / (t.dl1_block * t.dl1_assoc))
+let btb_sets t = max 1 (t.btb_entries / t.btb_assoc)
+
+let log2f v = log (float_of_int v) /. log 2.0
+
+(** The 8 microarchitecture descriptors d of the feature vector
+    (section 3.2), log2-scaled so euclidean distances treat each doubling
+    equally. *)
+let descriptors t =
+  [|
+    log2f t.il1_size;
+    log2f t.il1_assoc;
+    log2f t.il1_block;
+    log2f t.dl1_size;
+    log2f t.dl1_assoc;
+    log2f t.dl1_block;
+    log2f t.btb_entries;
+    log2f t.btb_assoc;
+  |]
+
+(** Ten descriptors for the extended space of section 7 (adds frequency and
+    issue width). *)
+let descriptors_extended t =
+  Array.append (descriptors t)
+    [| float_of_int t.freq_mhz /. 100.0; float_of_int t.issue_width |]
+
+let descriptor_names =
+  [|
+    "i_size"; "i_assoc"; "i_block"; "d_size"; "d_assoc"; "d_block";
+    "btb_size"; "btb_assoc";
+  |]
+
+let descriptor_names_extended =
+  Array.append descriptor_names [| "freq"; "width" |]
+
+let to_string t =
+  Printf.sprintf
+    "I$ %dK/%dw/%dB  D$ %dK/%dw/%dB  BTB %d/%dw  %dMHz w%d"
+    (t.il1_size / 1024) t.il1_assoc t.il1_block (t.dl1_size / 1024)
+    t.dl1_assoc t.dl1_block t.btb_entries t.btb_assoc t.freq_mhz
+    t.issue_width

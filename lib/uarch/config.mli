@@ -1,0 +1,69 @@
+(** Microarchitecture configurations — table 2 of the paper.
+
+    Eight parameters around the Intel XScale: instruction and data L1
+    size/associativity/block size and BTB entries/associativity, each
+    ranging over powers of two for 288,000 configurations.  Section 7's
+    extended space additionally varies core frequency (200–600 MHz) and
+    issue width (1 or 2); the base space pins both at XScale values. *)
+
+type t = {
+  il1_size : int;  (** Instruction-cache capacity in bytes. *)
+  il1_assoc : int;
+  il1_block : int;  (** Line size in bytes. *)
+  dl1_size : int;
+  dl1_assoc : int;
+  dl1_block : int;
+  btb_entries : int;
+  btb_assoc : int;
+  freq_mhz : int;
+  issue_width : int;
+}
+
+(** {2 Admissible parameter values (table 2)} *)
+
+val il1_sizes : int array
+(** 4K .. 128K, also used for the data cache. *)
+
+val assocs : int array
+(** 4 .. 64. *)
+
+val blocks : int array
+(** 8 .. 64 bytes. *)
+
+val btb_entries_values : int array
+(** 128 .. 2048. *)
+
+val btb_assocs : int array
+(** 1 .. 8. *)
+
+val freqs_mhz : int array
+(** 200 .. 600 (extended space, section 7). *)
+
+val issue_widths : int array
+(** 1 or 2 (extended space). *)
+
+val xscale : t
+(** The reference point: 32K/32w/32B caches, 512-entry direct-mapped
+    BTB, 400 MHz, single issue. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] when any parameter is off the grid or a
+    cache has less than one set. *)
+
+val il1_sets : t -> int
+val dl1_sets : t -> int
+val btb_sets : t -> int
+
+val descriptors : t -> float array
+(** The 8 microarchitecture descriptors d of the feature vector
+    (section 3.2), log2-scaled so euclidean distance treats each doubling
+    equally. *)
+
+val descriptors_extended : t -> float array
+(** 10 descriptors for the extended space (adds frequency and width). *)
+
+val descriptor_names : string array
+val descriptor_names_extended : string array
+
+val to_string : t -> string
+(** Compact rendering, e.g. ["I$ 32K/32w/32B  D$ ... 400MHz w1"]. *)

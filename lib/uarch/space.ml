@@ -1,0 +1,100 @@
+(** Enumeration and sampling of the design space.
+
+    The base space is the full cross product of table 2 (288,000
+    configurations); the extended space of section 7 additionally varies
+    frequency and issue width.  The paper samples 200 configurations with
+    uniform random sampling; {!sample} reproduces that protocol with a
+    deterministic generator. *)
+
+open Prelude
+
+type kind = Base | Extended
+
+let base_dims =
+  [|
+    Array.length Config.il1_sizes;
+    Array.length Config.assocs;
+    Array.length Config.blocks;
+    Array.length Config.il1_sizes;
+    Array.length Config.assocs;
+    Array.length Config.blocks;
+    Array.length Config.btb_entries_values;
+    Array.length Config.btb_assocs;
+  |]
+
+let extended_dims =
+  Array.append base_dims
+    [| Array.length Config.freqs_mhz; Array.length Config.issue_widths |]
+
+let dims = function Base -> base_dims | Extended -> extended_dims
+
+let cardinality kind =
+  Array.fold_left (fun acc n -> acc * n) 1 (dims kind)
+
+let config_of_indices kind idx =
+  let get i = idx.(i) in
+  let base =
+    {
+      Config.il1_size = Config.il1_sizes.(get 0);
+      il1_assoc = Config.assocs.(get 1);
+      il1_block = Config.blocks.(get 2);
+      dl1_size = Config.il1_sizes.(get 3);
+      dl1_assoc = Config.assocs.(get 4);
+      dl1_block = Config.blocks.(get 5);
+      btb_entries = Config.btb_entries_values.(get 6);
+      btb_assoc = Config.btb_assocs.(get 7);
+      freq_mhz = Config.xscale.Config.freq_mhz;
+      issue_width = Config.xscale.Config.issue_width;
+    }
+  in
+  match kind with
+  | Base -> base
+  | Extended ->
+    {
+      base with
+      Config.freq_mhz = Config.freqs_mhz.(get 8);
+      issue_width = Config.issue_widths.(get 9);
+    }
+
+(** The [i]-th point of the row-major enumeration. *)
+let nth kind i =
+  if i < 0 || i >= cardinality kind then invalid_arg "Space.nth";
+  let d = dims kind in
+  let idx = Array.make (Array.length d) 0 in
+  let rest = ref i in
+  for k = Array.length d - 1 downto 0 do
+    idx.(k) <- !rest mod d.(k);
+    rest := !rest / d.(k)
+  done;
+  config_of_indices kind idx
+
+(** Uniform random sample of [n] configurations (with the XScale never
+    forced in: the paper samples uniformly).  Distinct by construction. *)
+let sample kind ~seed n =
+  let total = cardinality kind in
+  if n > total then invalid_arg "Space.sample: more points than the space";
+  let rng = Rng.create seed in
+  let picks = Rng.sample_without_replacement rng total n in
+  Array.map (nth kind) picks
+
+(** Random single configuration. *)
+let random kind rng = nth kind (Rng.int rng (cardinality kind))
+
+(** The three example microarchitectures of figure 1: the XScale itself,
+    the XScale with a small instruction cache, and with small instruction
+    and data caches. *)
+let figure1_configs =
+  let xscale = Config.xscale in
+  [|
+    ("A: XScale", xscale);
+    ( "B: XScale, small I-cache",
+      { xscale with Config.il1_size = 4096; il1_assoc = 4 } );
+    ( "C: XScale, small I+D caches",
+      {
+        xscale with
+        Config.il1_size = 4096;
+        il1_assoc = 4;
+        dl1_size = 4096;
+        dl1_assoc = 4;
+      } );
+  |]

@@ -1,0 +1,28 @@
+(** Enumeration and sampling of the design space.
+
+    The base space is the full cross product of table 2 (288,000
+    configurations); the extended space of section 7 additionally varies
+    frequency and issue width.  The paper samples 200 configurations
+    uniformly at random; {!sample} reproduces that protocol
+    deterministically. *)
+
+type kind = Base | Extended
+
+val cardinality : kind -> int
+(** 288,000 for {!Base}; ten times that for {!Extended}. *)
+
+val nth : kind -> int -> Config.t
+(** The [i]-th point of the row-major enumeration.  Raises
+    [Invalid_argument] out of range. *)
+
+val sample : kind -> seed:int -> int -> Config.t array
+(** [sample kind ~seed n] draws [n] distinct configurations uniformly.
+    Raises if [n] exceeds the space. *)
+
+val random : kind -> Prelude.Rng.t -> Config.t
+(** One uniform configuration. *)
+
+val figure1_configs : (string * Config.t) array
+(** The three example microarchitectures of figure 1: the XScale, the
+    XScale with a small instruction cache, and with small instruction and
+    data caches. *)

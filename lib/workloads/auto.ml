@@ -1,0 +1,150 @@
+(** The "automotive" suite: basicmath, bitcnts, qsort and the three susan
+    variants.
+
+    basicmath and qsort are the paper's examples of library/ALU-bound
+    programs with little headroom over -O3 (figure 4's leftmost entries);
+    bitcnts is shifter-bound; the susan image filters stream over a frame
+    buffer with a data-dependent brightness test. *)
+
+open Ir.Types
+module B = Ir.Builder
+module K = Kernels
+
+let basicmath =
+  Spec.make ~name:"basicmath" ~suite:"auto"
+    ~description:
+      "Cubic-solver style arithmetic: long dependent ALU/multiply chains \
+       over small data, no memory pressure, little for pass selection to \
+       win — models MiBench basicmath's library-bound profile."
+    (fun () ->
+      let b = B.create () in
+      let coeffs =
+        B.array b "coeffs" ~words:256
+          ~init:(Pseudo_random { seed = 11; bound = 4096 })
+      in
+      let out = B.array b "out" ~words:256 ~init:Zeros in
+      K.def_leaf_scale b "scale_root" ~m:7 ~a:129 ~s:3;
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          B.counted_loop fb ~from:0 ~limit:(Imm 256) ~step:1 (fun i ->
+              let base, off = K.word_addr fb ~base:coeffs i in
+              let a = B.load fb base off in
+              (* Dependent chain standing in for the iterative solver. *)
+              let r = ref a in
+              for k = 1 to 6 do
+                let sq = B.alu fb Mul (Reg !r) (Reg !r) in
+                let d = B.alu fb Div (Reg sq) (Imm (k + 2)) in
+                r := B.alu fb Add (Reg d) (Reg a)
+              done;
+              let s = B.call fb "scale_root" [ Reg !r ] in
+              let base', off' = K.word_addr fb ~base:out i in
+              B.store fb (Reg s) base' off');
+          let acc = K.reduce_xor fb ~base:out ~words:256 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let bitcnts =
+  Spec.make ~name:"bitcnts" ~suite:"auto"
+    ~description:
+      "Population counts with several counting strategies: shift/mask \
+       heavy, tiny data footprint, counted inner loops that reward \
+       unrolling — models MiBench bitcount."
+    (fun () ->
+      let b = B.create () in
+      let data =
+        B.array b "data" ~words:768
+          ~init:(Pseudo_random { seed = 17; bound = 1 lsl 30 })
+      in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          let c1 = K.bitcount_loop fb ~src:data ~words:768 in
+          (* Second strategy: nibble table emulated arithmetically. *)
+          let c2 = B.mov fb (Imm 0) in
+          B.counted_loop fb ~from:0 ~limit:(Imm 768) ~step:1 (fun i ->
+              let base, off = K.word_addr fb ~base:data i in
+              let v = B.load fb base off in
+              let lo = B.alu fb And (Reg v) (Imm 0xFF) in
+              let hi = B.shift fb Lsr (Reg v) (Imm 24) in
+              let m = B.alu fb Add (Reg lo) (Reg hi) in
+              B.emit fb (Alu { dst = c2; op = Add; a = Reg c2; b = Reg m }));
+          let r = B.alu fb Xor (Reg c1) (Reg c2) in
+          B.terminate fb (Return (Some (Reg r))));
+      B.finish b ~entry:"main")
+
+let qsort =
+  Spec.make ~name:"qsort" ~suite:"auto"
+    ~description:
+      "Repeated compare-and-swap passes over a large random array: \
+       branch-misprediction bound with data-dependent 50/50 branches, so \
+       almost no optimisation headroom — matches qsort's flat box in \
+       figure 4."
+    (fun () ->
+      let b = B.create () in
+      let data =
+        B.array b "data" ~words:1536
+          ~init:(Pseudo_random { seed = 23; bound = 1000000 })
+      in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          B.counted_loop fb ~from:0 ~limit:(Imm 8) ~step:1 (fun _ ->
+              K.compare_swap_pass fb ~buf:data ~words:1536);
+          let acc = K.reduce_xor fb ~base:data ~words:1536 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let susan ~name ~seed ~threshold_mod ~extra_work ~description =
+  Spec.make ~name ~suite:"auto" ~description (fun () ->
+      let b = B.create () in
+      let frame =
+        B.array b "frame" ~words:4096
+          ~init:(Pseudo_random { seed; bound = 256 })
+      in
+      let out = B.array b "out" ~words:4096 ~init:Zeros in
+      K.def_leaf_scale b "usan_weight" ~m:5 ~a:37 ~s:2;
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          (* Brightness comparison against a threshold with neighbourhood
+             accumulation; the branch bias depends on the threshold. *)
+          let acc = B.mov fb (Imm 0) in
+          B.counted_loop fb ~from:1 ~limit:(Imm 4095) ~step:1 (fun i ->
+              let base, off = K.word_addr fb ~base:frame i in
+              let centre = B.load fb base off in
+              let j = B.alu fb Sub (Reg i) (Imm 1) in
+              let base2, off2 = K.word_addr fb ~base:frame j in
+              let left = B.load fb base2 off2 in
+              let diff = B.alu fb Sub (Reg centre) (Reg left) in
+              let r = B.alu fb Rem (Reg diff) (Imm threshold_mod) in
+              let c = B.cmp fb Eq (Reg r) (Imm 0) in
+              B.if_ fb c
+                ~then_:(fun () ->
+                  let w = B.call fb "usan_weight" [ Reg diff ] in
+                  let x = ref w in
+                  for k = 1 to extra_work do
+                    x := B.alu fb Add (Reg !x) (Imm k)
+                  done;
+                  B.emit fb
+                    (Alu { dst = acc; op = Add; a = Reg acc; b = Reg !x });
+                  let ob, oo = K.word_addr fb ~base:out i in
+                  B.store fb (Reg !x) ob oo)
+                ~else_:(fun () ->
+                  B.emit fb
+                    (Alu { dst = acc; op = Xor; a = Reg acc; b = Reg centre })));
+          let sum = K.reduce_xor fb ~base:out ~words:4096 (Reg acc) in
+          B.terminate fb (Return (Some (Reg sum))));
+      B.finish b ~entry:"main")
+
+let susan_s =
+  susan ~name:"susan_s" ~seed:31 ~threshold_mod:3 ~extra_work:2
+    ~description:
+      "SUSAN smoothing: streaming frame filter, frequent threshold hits, \
+       small per-pixel work — memory-streaming bound."
+
+let susan_c =
+  susan ~name:"susan_c" ~seed:37 ~threshold_mod:7 ~extra_work:5
+    ~description:
+      "SUSAN corner detection: rarer threshold hits with heavier per-hit \
+       work than smoothing."
+
+let susan_e =
+  susan ~name:"susan_e" ~seed:41 ~threshold_mod:13 ~extra_work:9
+    ~description:
+      "SUSAN edge detection: rare, bulky hit path — reordering and \
+       inlining choices matter, matching its high best-case speedups."
+
+let all = [ qsort; basicmath; bitcnts; susan_s; susan_c; susan_e ]

@@ -1,0 +1,241 @@
+(** The "consumer" suite: JPEG codec pair, lame, madplay, the four tiff
+    filters and the lout typesetter.
+
+    The media codecs are MAC/table bound with mid-sized inner kernels;
+    madplay carries a big switch-like decoder body (unrolled huffman
+    stages) that makes it I-cache sensitive on small configurations, as in
+    the paper's figure 1 example; the tiff filters are short streaming
+    kernels, each with one signature optimisation opportunity. *)
+
+open Ir.Types
+module B = Ir.Builder
+module K = Kernels
+
+let dct_block fb ~src ~dst ~words =
+  (* 8-point butterfly-ish transform per group, MAC heavy. *)
+  B.counted_loop fb ~from:0 ~limit:(Imm (words / 8)) ~step:1 (fun g ->
+      let base = B.shift fb Lsl (Reg g) (Imm 5) in
+      let acc = ref (B.mov fb (Imm 0)) in
+      for k = 0 to 7 do
+        let off = B.alu fb Add (Reg base) (Imm (4 * k)) in
+        let v = B.load fb (Imm src) (Reg off) in
+        let m = B.mac fb (Reg !acc) (Reg v) (Imm (3 + (2 * k))) in
+        acc := m
+      done;
+      let off = B.shift fb Lsl (Reg g) (Imm 2) in
+      B.store fb (Reg !acc) (Imm dst) (Reg off))
+
+let cjpeg =
+  Spec.make ~name:"cjpeg" ~suite:"consumer"
+    ~description:
+      "JPEG compression: blocked DCT-style MAC kernels feeding a \
+       quantisation map with redundant address arithmetic (CSE fodder)."
+    (fun () ->
+      let b = B.create () in
+      let img =
+        B.array b "img" ~words:4096 ~init:(Pseudo_random { seed = 5; bound = 256 })
+      in
+      let coef = B.array b "coef" ~words:512 ~init:Zeros in
+      let quant = B.array b "quant" ~words:512 ~init:Zeros in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          dct_block fb ~src:img ~dst:coef ~words:4096;
+          K.redundant_expr_loop fb ~src:coef ~dst:quant ~words:512;
+          let acc = K.reduce_xor fb ~base:quant ~words:512 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let djpeg =
+  Spec.make ~name:"djpeg" ~suite:"consumer"
+    ~description:
+      "JPEG decompression: inverse-transform MACs plus a clamping pass \
+       with foldable range checks (VRP fodder); larger output than input."
+    (fun () ->
+      let b = B.create () in
+      let coef =
+        B.array b "coef" ~words:2048
+          ~init:(Pseudo_random { seed = 7; bound = 2048 })
+      in
+      let img = B.array b "img" ~words:2048 ~init:Zeros in
+      let final = B.array b "final" ~words:2048 ~init:Zeros in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          dct_block fb ~src:coef ~dst:img ~words:2048;
+          K.range_checked_loop fb ~src:img ~dst:final ~words:2048;
+          let acc = K.reduce_xor fb ~base:final ~words:2048 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let lame =
+  Spec.make ~name:"lame" ~suite:"consumer"
+    ~description:
+      "MP3 encoding: long MAC-bound filterbank (dot products over sliding \
+       windows) with a helper-function psychoacoustic model — call and \
+       MAC heavy with a mid-sized data set."
+    (fun () ->
+      let b = B.create () in
+      let pcm =
+        B.array b "pcm" ~words:3072
+          ~init:(Pseudo_random { seed = 13; bound = 65536 })
+      in
+      let win =
+        B.array b "win" ~words:512 ~init:(Ramp { start = 3; step = 7 })
+      in
+      let sub = B.array b "sub" ~words:512 ~init:Zeros in
+      K.def_helper_mix b "psy_model";
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          B.counted_loop fb ~from:0 ~limit:(Imm 512) ~step:1 (fun i ->
+              let base, off = K.word_addr fb ~base:pcm i in
+              let x = B.load fb base off in
+              let wb, wo = K.word_addr fb ~base:win i in
+              let w = B.load fb wb wo in
+              let m = B.mac fb (Reg x) (Reg w) (Reg x) in
+              let p = B.call fb "psy_model" [ Reg m; Reg w ] in
+              let ob, oo = K.word_addr fb ~base:sub i in
+              B.store fb (Reg p) ob oo);
+          let d = K.mac_dot fb ~a:sub ~b:win ~words:512 in
+          let acc = K.reduce_xor fb ~base:sub ~words:512 (Reg d) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let madplay =
+  Spec.make ~name:"madplay" ~suite:"consumer"
+    ~description:
+      "MP3 decoding: two fat source-unrolled huffman/synthesis stages \
+       (large straight-line bodies) over a lookup table — the program is \
+       I-cache sensitive, so code-expanding flags must be picked per \
+       configuration, as in figure 1."
+    (fun () ->
+      let b = B.create () in
+      let state =
+        B.array b "state" ~words:256
+          ~init:(Pseudo_random { seed = 19; bound = 4096 })
+      in
+      let huff =
+        B.array b "huff" ~words:1024
+          ~init:(Pseudo_random { seed = 29; bound = 1 lsl 20 })
+      in
+      let pcmout = B.array b "pcmout" ~words:1024 ~init:Zeros in
+      K.def_helper_mix ~steps:10 b "synth_filter";
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          let a1 =
+            K.crypto_rounds_with_calls fb ~state ~sbox:huff ~sbox_words:1024
+              ~rounds:96 ~unroll:64 ~helper:"synth_filter" ~calls:9
+          in
+          K.stream_map fb ~src:huff ~dst:pcmout ~words:1024 ~stride:1 ~work:2;
+          let acc = K.reduce_xor fb ~base:pcmout ~words:1024 (Reg a1) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let tiff2bw =
+  Spec.make ~name:"tiff2bw" ~suite:"consumer"
+    ~description:
+      "TIFF to black-and-white: in-place luminance threshold with a \
+       redundant double store per pixel (dead-store/store-motion fodder)."
+    (fun () ->
+      let b = B.create () in
+      let pix =
+        B.array b "pix" ~words:6144
+          ~init:(Pseudo_random { seed = 43; bound = 1 lsl 24 })
+      in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          K.double_store_loop fb ~buf:pix ~words:6144;
+          let acc = K.reduce_xor fb ~base:pix ~words:6144 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let tiff2rgba =
+  Spec.make ~name:"tiff2rgba" ~suite:"consumer"
+    ~description:
+      "TIFF to RGBA: pure channel-expansion streaming over a large frame \
+       — D-cache bandwidth bound, little compute, flat optimisation \
+       response (figure 4's left group)."
+    (fun () ->
+      let b = B.create () in
+      let src =
+        B.array b "src" ~words:8192
+          ~init:(Pseudo_random { seed = 47; bound = 1 lsl 24 })
+      in
+      let dst = B.array b "dst" ~words:8192 ~init:Zeros in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          K.stream_map fb ~src ~dst ~words:8192 ~stride:1 ~work:1;
+          let acc = K.reduce_xor fb ~base:dst ~words:8192 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let tiffdither =
+  Spec.make ~name:"tiffdither" ~suite:"consumer"
+    ~description:
+      "TIFF dithering: error-diffusion over pixels with a per-pixel \
+       mode test on an invariant flag — prime unswitching fodder."
+    (fun () ->
+      let b = B.create () in
+      let src =
+        B.array b "src" ~words:4096
+          ~init:(Pseudo_random { seed = 53; bound = 256 })
+      in
+      let dst = B.array b "dst" ~words:4096 ~init:Zeros in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          K.mode_switched_loop fb ~src ~dst ~words:4096 ~mode:1;
+          K.mode_switched_loop fb ~src:dst ~dst:src ~words:4096 ~mode:0;
+          let acc = K.reduce_xor fb ~base:src ~words:4096 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let tiffmedian =
+  Spec.make ~name:"tiffmedian" ~suite:"consumer"
+    ~description:
+      "TIFF median-cut quantisation: histogram construction with indirect \
+       table updates — poor spatial locality in a mid-sized table, \
+       unpredictable D-cache behaviour."
+    (fun () ->
+      let b = B.create () in
+      let src =
+        B.array b "src" ~words:4096
+          ~init:(Pseudo_random { seed = 59; bound = 1 lsl 16 })
+      in
+      let hist = B.array b "hist" ~words:2048 ~init:Zeros in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          let acc = K.table_lookup fb ~index:src ~table:hist ~table_words:2048 ~count:4096 in
+          K.stream_map fb ~src:hist ~dst:hist ~words:2048 ~stride:1 ~work:2;
+          let sum = K.reduce_xor fb ~base:hist ~words:2048 (Reg acc) in
+          B.terminate fb (Return (Some (Reg sum))));
+      B.finish b ~entry:"main")
+
+let lout =
+  Spec.make ~name:"lout" ~suite:"consumer"
+    ~description:
+      "Typesetting: call-tree heavy layout computation with many small \
+       helpers and redundant metric recomputation — the inlining and \
+       GCSE flags carry this program."
+    (fun () ->
+      let b = B.create () in
+      let text =
+        B.array b "text" ~words:2048
+          ~init:(Pseudo_random { seed = 61; bound = 128 })
+      in
+      let metrics = B.array b "metrics" ~words:2048 ~init:Zeros in
+      K.def_leaf_scale b "glyph_width" ~m:11 ~a:3 ~s:2;
+      K.def_leaf_scale b "kern_adjust" ~m:5 ~a:1 ~s:1;
+      K.def_helper_mix ~steps:14 b "line_break_cost";
+      B.func b "measure" ~nparams:1 (fun fb params ->
+          let x = List.nth params 0 in
+          let w = B.call fb "glyph_width" [ Reg x ] in
+          let k = B.call fb "kern_adjust" [ Reg w ] in
+          let r = B.alu fb Add (Reg w) (Reg k) in
+          B.terminate fb (Return (Some (Reg r))));
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          B.counted_loop fb ~from:0 ~limit:(Imm 2048) ~step:1 (fun i ->
+              let base, off = K.word_addr fb ~base:text i in
+              let ch = B.load fb base off in
+              let m = B.call fb "measure" [ Reg ch ] in
+              let c = B.call fb "line_break_cost" [ Reg m; Reg ch ] in
+              let ob, oo = K.word_addr fb ~base:metrics i in
+              B.store fb (Reg c) ob oo);
+          let acc = K.reduce_xor fb ~base:metrics ~words:2048 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let all =
+  [
+    cjpeg; djpeg; lame; madplay; tiff2bw; tiff2rgba; tiffdither; tiffmedian;
+    lout;
+  ]

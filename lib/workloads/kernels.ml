@@ -1,0 +1,329 @@
+(** Kernel combinators for the synthetic MiBench-like workloads.
+
+    Each combinator emits a self-contained code pattern through
+    {!Ir.Builder} that exposes a specific optimisation opportunity or
+    microarchitectural behaviour (streaming reuse, table lookups, biased or
+    balanced branches, redundant subexpressions, loop-invariant work,
+    removable range checks, call overhead, source-level unrolling...).
+    Programs in the suite modules compose these with program-specific
+    parameters so the 35 workloads cover distinct points of the
+    covariance structure the model must learn. *)
+
+open Ir.Types
+module B = Ir.Builder
+
+let word_addr fb ~base i =
+  let off = B.shift fb Lsl (Reg i) (Imm 2) in
+  (Imm base, Reg off)
+
+(** Sum an array into a register (the canonical checksum reduction). *)
+let reduce_xor fb ~base ~words acc0 =
+  let acc = B.mov fb acc0 in
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base i in
+      let v = B.load fb b o in
+      B.emit fb (Alu { dst = acc; op = Xor; a = Reg acc; b = Reg v }));
+  acc
+
+(** Streaming map: dst[i] = f(src[i]) with [work] extra ALU ops per
+    element.  High spatial locality; rewards unrolling when [trips] is a
+    known constant. *)
+let stream_map fb ~src ~dst ~words ~stride ~work =
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:stride (fun i ->
+      let b, o = word_addr fb ~base:src i in
+      let v = B.load fb b o in
+      let r = ref v in
+      for k = 1 to work do
+        r := B.alu fb (if k mod 2 = 0 then Add else Xor) (Reg !r) (Imm (k * 77))
+      done;
+      let b', o' = word_addr fb ~base:dst i in
+      B.store fb (Reg !r) b' o')
+
+(** Dot product with the MAC unit: acc += a[i]*b[i]. *)
+let mac_dot fb ~a ~b ~words =
+  let acc = B.mov fb (Imm 0) in
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let ab, ao = word_addr fb ~base:a i in
+      let va = B.load fb ab ao in
+      let bb, bo = word_addr fb ~base:b i in
+      let vb = B.load fb bb bo in
+      let m = B.mac fb (Reg acc) (Reg va) (Reg vb) in
+      B.emit fb (Mov { dst = acc; src = Reg m }));
+  acc
+
+(** Indirect table walk: acc ^= table[index[i] & mask].  Poor spatial
+    locality in the table; footprint controlled by [table_words]. *)
+let table_lookup fb ~index ~table ~table_words ~count =
+  let acc = B.mov fb (Imm 0) in
+  let mask = table_words - 1 in
+  assert (table_words land mask = 0);
+  B.counted_loop fb ~from:0 ~limit:(Imm count) ~step:1 (fun i ->
+      let ib, io = word_addr fb ~base:index i in
+      let idx = B.load fb ib io in
+      let masked = B.alu fb And (Reg idx) (Imm mask) in
+      let tb, to_ = word_addr fb ~base:table masked in
+      let v = B.load fb tb to_ in
+      B.emit fb (Alu { dst = acc; op = Xor; a = Reg acc; b = Reg v }));
+  acc
+
+(** One source-level-unrolled crypto-style round: [unroll] copies of a
+    shift/xor/table mix per iteration, emitted straight-line the way
+    rijndael's reference implementation writes its rounds.  Big code body,
+    so compiler unrolling adds little and code-expanding flags are
+    poisonous on small I-caches. *)
+let crypto_rounds fb ~state ~sbox ~sbox_words ~rounds ~unroll =
+  let mask = sbox_words - 1 in
+  let acc = B.mov fb (Imm 0x5A5A) in
+  B.counted_loop fb ~from:0 ~limit:(Imm rounds) ~step:1 (fun i ->
+      for k = 0 to unroll - 1 do
+        let s = B.load fb (Imm state) (Imm (4 * (k land 7))) in
+        let x1 = B.alu fb Xor (Reg s) (Reg acc) in
+        let r1 = B.shift fb Lsr (Reg x1) (Imm ((k mod 5) + 1)) in
+        let idx = B.alu fb And (Reg r1) (Imm mask) in
+        let tb, to_ = word_addr fb ~base:sbox idx in
+        let t = B.load fb tb to_ in
+        let r2 = B.shift fb Lsl (Reg t) (Imm ((k mod 3) + 1)) in
+        let m = B.alu fb Or (Reg r2) (Reg x1) in
+        B.emit fb (Alu { dst = acc; op = Xor; a = Reg acc; b = Reg m })
+      done;
+      let sb, so = word_addr fb ~base:state i in
+      B.store fb (Reg acc) sb so);
+  acc
+
+(** Data-dependent branching: per element take one of two paths decided by
+    a data bit; [bias_mod] of 2 gives ~50/50 (hard to predict), high
+    values give biased, predictable branches. *)
+let branchy_scan fb ~src ~words ~bias_mod =
+  let acc = B.mov fb (Imm 0) in
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base:src i in
+      let v = B.load fb b o in
+      let r = B.alu fb Rem (Reg v) (Imm bias_mod) in
+      let c = B.cmp fb Eq (Reg r) (Imm 0) in
+      B.if_ fb c
+        ~then_:(fun () ->
+          let t = B.alu fb Mul (Reg v) (Imm 3) in
+          B.emit fb (Alu { dst = acc; op = Add; a = Reg acc; b = Reg t }))
+        ~else_:(fun () ->
+          let t = B.shift fb Lsr (Reg v) (Imm 2) in
+          B.emit fb (Alu { dst = acc; op = Xor; a = Reg acc; b = Reg t })));
+  acc
+
+(** Loop body containing work that is invariant across iterations (LICM
+    fodder): scale[] elements recomputed from parameters every iteration. *)
+let invariant_heavy_loop fb ~src ~dst ~words ~param =
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      (* All of this is loop-invariant and hoistable. *)
+      let p1 = B.alu fb Mul (Imm param) (Imm 13) in
+      let p2 = B.alu fb Add (Reg p1) (Imm 297) in
+      let p3 = B.shift fb Lsr (Reg p2) (Imm 3) in
+      let b, o = word_addr fb ~base:src i in
+      let v = B.load fb b o in
+      let w = B.alu fb Add (Reg v) (Reg p3) in
+      let b', o' = word_addr fb ~base:dst i in
+      B.store fb (Reg w) b' o')
+
+(** Redundant subexpressions across a block (CSE/GCSE fodder): the same
+    address arithmetic and scaling recomputed several times per element,
+    the shape unoptimised front ends emit for repeated C array accesses. *)
+let redundant_expr_loop fb ~src ~dst ~words =
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let o1 = B.shift fb Lsl (Reg i) (Imm 2) in
+      let v1 = B.load fb (Imm src) (Reg o1) in
+      (* Same shift recomputed — global CSE removes these. *)
+      let o2 = B.shift fb Lsl (Reg i) (Imm 2) in
+      let v2 = B.load fb (Imm src) (Reg o2) in
+      let s1 = B.alu fb Mul (Reg v1) (Imm 9) in
+      let s2 = B.alu fb Mul (Reg v2) (Imm 9) in
+      let sum = B.alu fb Add (Reg s1) (Reg s2) in
+      let o3 = B.shift fb Lsl (Reg i) (Imm 2) in
+      B.store fb (Reg sum) (Imm dst) (Reg o3))
+
+(** Range-checked access: every element access is guarded by a bounds
+    compare against a constant that always holds — constant propagation
+    plus branch folding (our VRP) deletes the checks. *)
+let range_checked_loop fb ~src ~dst ~words =
+  let bound = B.mov fb (Imm words) in
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let ok = B.cmp fb Lt (Reg i) (Reg bound) in
+      B.if_ fb ok
+        ~then_:(fun () ->
+          let b, o = word_addr fb ~base:src i in
+          let v = B.load fb b o in
+          let w = B.alu fb Add (Reg v) (Imm 1) in
+          let b', o' = word_addr fb ~base:dst i in
+          B.store fb (Reg w) b' o')
+        ~else_:(fun () -> ()))
+
+(** Loop with a mode flag tested every iteration — unswitching fodder. *)
+let mode_switched_loop fb ~src ~dst ~words ~mode =
+  let m = B.mov fb (Imm mode) in
+  let flag = B.cmp fb Ne (Reg m) (Imm 0) in
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base:src i in
+      let v = B.load fb b o in
+      B.if_ fb flag
+        ~then_:(fun () ->
+          let t = B.alu fb Mul (Reg v) (Imm 5) in
+          let b', o' = word_addr fb ~base:dst i in
+          B.store fb (Reg t) b' o')
+        ~else_:(fun () ->
+          let t = B.shift fb Asr (Reg v) (Imm 1) in
+          let b', o' = word_addr fb ~base:dst i in
+          B.store fb (Reg t) b' o'))
+
+(** In-place read–modify–write with a dead first store (store-motion /
+    dead-store-elimination fodder): the running value is stored, updated
+    and stored again at the same address each iteration. *)
+let double_store_loop fb ~buf ~words =
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base:buf i in
+      let v = B.load fb b o in
+      let t1 = B.alu fb Add (Reg v) (Imm 7) in
+      B.store fb (Reg t1) b o;
+      let t2 = B.alu fb Xor (Reg t1) (Imm 0x33) in
+      B.store fb (Reg t2) b o)
+
+(** Bit-twiddling population-count style loop (shift/and heavy). *)
+let bitcount_loop fb ~src ~words =
+  let acc = B.mov fb (Imm 0) in
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base:src i in
+      let v = B.load fb b o in
+      let cur = ref v in
+      for _ = 1 to 8 do
+        let bit = B.alu fb And (Reg !cur) (Imm 1) in
+        B.emit fb (Alu { dst = acc; op = Add; a = Reg acc; b = Reg bit });
+        cur := B.shift fb Lsr (Reg !cur) (Imm 4)
+      done);
+  acc
+
+(** Sorting-network style pass over adjacent pairs: compare, conditionally
+    swap through memory.  Unpredictable branches on random data. *)
+let compare_swap_pass fb ~buf ~words =
+  B.counted_loop fb ~from:0 ~limit:(Imm (words - 1)) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base:buf i in
+      let a = B.load fb b o in
+      let j = B.alu fb Add (Reg i) (Imm 1) in
+      let b2, o2 = word_addr fb ~base:buf j in
+      let c = B.load fb b2 o2 in
+      let swap = B.cmp fb Gt (Reg a) (Reg c) in
+      B.if_ fb swap
+        ~then_:(fun () ->
+          B.store fb (Reg c) b o;
+          B.store fb (Reg a) b2 o2)
+        ~else_:(fun () -> ()))
+
+(** String-search style inner loop: scan for a sentinel with an early-out
+    branch; highly biased (rarely taken) exit. *)
+let scan_for_sentinel fb ~src ~words ~sentinel =
+  let found = B.mov fb (Imm 0) in
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base:src i in
+      let v = B.load fb b o in
+      let hit = B.cmp fb Eq (Reg v) (Imm sentinel) in
+      B.if_ fb hit
+        ~then_:(fun () ->
+          B.emit fb (Alu { dst = found; op = Add; a = Reg found; b = Reg i }))
+        ~else_:(fun () -> ()));
+  found
+
+(** Emit a tiny leaf function: y = ((x * m) + a) >> s — classic inlining
+    fodder (size well under the default inline threshold). *)
+let def_leaf_scale b name ~m ~a ~s =
+  B.func b name ~nparams:1 (fun fb params ->
+      let x = List.nth params 0 in
+      let t1 = B.alu fb Mul (Reg x) (Imm m) in
+      let t2 = B.alu fb Add (Reg t1) (Imm a) in
+      let t3 = B.shift fb Lsr (Reg t2) (Imm s) in
+      B.terminate fb (Return (Some (Reg t3))))
+
+(** Emit a medium helper ([steps] rounds of a 3-op mix, ~3*steps+2
+    instructions): sized around the inline thresholds, so the inline
+    parameters decide its fate. *)
+let def_helper_mix ?(steps = 8) b name =
+  B.func b name ~nparams:2 (fun fb params ->
+      let x = List.nth params 0 and y = List.nth params 1 in
+      let r = ref (B.alu fb Xor (Reg x) (Reg y)) in
+      for k = 1 to steps do
+        let t = B.alu fb (if k mod 3 = 0 then Add else Xor) (Reg !r) (Imm (k * 31)) in
+        let u = B.shift fb (if k mod 2 = 0 then Lsl else Lsr) (Reg t) (Imm (k mod 5)) in
+        r := B.alu fb Or (Reg u) (Reg t)
+      done;
+      B.terminate fb (Return (Some (Reg !r))))
+
+(** Like {!crypto_rounds}, with [calls] invocations of the binary helper
+    [helper] per round.  With the helper sized at the default inline
+    threshold, -O3 splices [calls] copies into the already-large loop
+    body — the code-growth lever behind the paper's small-I-cache
+    behaviour (sections 5.4, 6.2). *)
+let crypto_rounds_with_calls fb ~state ~sbox ~sbox_words ~rounds ~unroll
+    ~helper ~calls =
+  let mask = sbox_words - 1 in
+  let acc = B.mov fb (Imm 0x3C3C) in
+  B.counted_loop fb ~from:0 ~limit:(Imm rounds) ~step:1 (fun i ->
+      for k = 0 to unroll - 1 do
+        let s = B.load fb (Imm state) (Imm (4 * (k land 7))) in
+        let x1 = B.alu fb Xor (Reg s) (Reg acc) in
+        let r1 = B.shift fb Lsr (Reg x1) (Imm ((k mod 5) + 1)) in
+        let idx = B.alu fb And (Reg r1) (Imm mask) in
+        let tb, to_ = word_addr fb ~base:sbox idx in
+        let t = B.load fb tb to_ in
+        let r2 = B.shift fb Lsl (Reg t) (Imm ((k mod 3) + 1)) in
+        let m = B.alu fb Or (Reg r2) (Reg x1) in
+        B.emit fb (Alu { dst = acc; op = Xor; a = Reg acc; b = Reg m })
+      done;
+      for _ = 1 to calls do
+        let r = B.call fb helper [ Reg acc; Reg i ] in
+        B.emit fb (Mov { dst = acc; src = Reg r })
+      done;
+      let sb, so = word_addr fb ~base:state i in
+      B.store fb (Reg acc) sb so);
+  acc
+
+(** Call a unary helper over every element (call-overhead heavy). *)
+let map_with_call fb ~callee ~src ~dst ~words =
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base:src i in
+      let v = B.load fb b o in
+      let r = B.call fb callee [ Reg v ] in
+      let b', o' = word_addr fb ~base:dst i in
+      B.store fb (Reg r) b' o')
+
+(** Cold error-path check: a rarely-true condition whose handling code is
+    bulky — block reordering pushes it out of the hot path. *)
+let with_cold_path fb ~src ~words ~sentinel ~cold_work =
+  let err = B.mov fb (Imm 0) in
+  B.counted_loop fb ~from:0 ~limit:(Imm words) ~step:1 (fun i ->
+      let b, o = word_addr fb ~base:src i in
+      let v = B.load fb b o in
+      let bad = B.cmp fb Eq (Reg v) (Imm sentinel) in
+      B.if_ fb bad
+        ~then_:(fun () ->
+          (* Bulky, essentially never executed. *)
+          let r = ref (B.mov fb (Reg v)) in
+          for k = 1 to cold_work do
+            r := B.alu fb Add (Reg !r) (Imm k)
+          done;
+          B.emit fb (Alu { dst = err; op = Add; a = Reg err; b = Reg !r }))
+        ~else_:(fun () ->
+          B.emit fb (Alu { dst = err; op = Xor; a = Reg err; b = Reg v })));
+  err
+
+(** Pointer-increment walk in the style of crc's inner loop: the address
+    lives in memory and is loaded, dereferenced, bumped and stored back
+    every iteration — the pattern the paper's crc discussion singles out
+    (inlining plus a large growth factor turns it into a register add). *)
+let pointer_walk fb ~cursor ~buf ~words ~count =
+  let acc = B.mov fb (Imm 0) in
+  B.store fb (Imm buf) (Imm cursor) (Imm 0);
+  B.counted_loop fb ~from:0 ~limit:(Imm count) ~step:1 (fun _ ->
+      let p = B.load fb (Imm cursor) (Imm 0) in
+      let v = B.load fb (Reg p) (Imm 0) in
+      B.emit fb (Alu { dst = acc; op = Xor; a = Reg acc; b = Reg v });
+      let p' = B.alu fb Add (Reg p) (Imm 4) in
+      let wrap = B.cmp fb Ge (Reg p') (Imm (buf + (4 * words))) in
+      B.if_ fb wrap
+        ~then_:(fun () -> B.store fb (Imm buf) (Imm cursor) (Imm 0))
+        ~else_:(fun () -> B.store fb (Reg p') (Imm cursor) (Imm 0)));
+  acc

@@ -1,0 +1,112 @@
+(** Kernel combinators for the synthetic MiBench-like workloads.
+
+    Each combinator emits a self-contained code pattern through
+    {!Ir.Builder} exposing a specific optimisation opportunity or
+    microarchitectural behaviour.  The suite modules compose these with
+    program-specific parameters so the 35 workloads cover distinct points
+    of the covariance structure the model must learn; the property-test
+    program generator reuses them to build random valid programs. *)
+
+open Ir.Types
+
+val word_addr : Ir.Builder.fb -> base:int -> reg -> operand * operand
+(** Address pair (base, offset) for the [i]-th word of the array at byte
+    address [base]; emits the scaling shift. *)
+
+val reduce_xor : Ir.Builder.fb -> base:int -> words:int -> operand -> reg
+(** Xor-reduce an array into a register seeded with the given operand —
+    the canonical checksum reduction ending every workload. *)
+
+val stream_map :
+  Ir.Builder.fb -> src:int -> dst:int -> words:int -> stride:int ->
+  work:int -> unit
+(** dst[i] = f(src[i]) with [work] extra ALU ops per element: high
+    spatial locality, rewards unrolling. *)
+
+val mac_dot : Ir.Builder.fb -> a:int -> b:int -> words:int -> reg
+(** Dot product through the MAC unit. *)
+
+val table_lookup :
+  Ir.Builder.fb -> index:int -> table:int -> table_words:int -> count:int ->
+  reg
+(** Indirect table walk (poor spatial locality); [table_words] must be a
+    power of two. *)
+
+val crypto_rounds :
+  Ir.Builder.fb -> state:int -> sbox:int -> sbox_words:int -> rounds:int ->
+  unroll:int -> reg
+(** Source-level-unrolled crypto round: [unroll] straight-line copies of
+    a shift/xor/table mix per iteration — the big-body pattern behind
+    rijndael's I-cache behaviour. *)
+
+val crypto_rounds_with_calls :
+  Ir.Builder.fb -> state:int -> sbox:int -> sbox_words:int -> rounds:int ->
+  unroll:int -> helper:string -> calls:int -> reg
+(** {!crypto_rounds} plus [calls] invocations of the binary [helper] per
+    round — the code-growth lever the inliner pulls. *)
+
+val branchy_scan :
+  Ir.Builder.fb -> src:int -> words:int -> bias_mod:int -> reg
+(** Data-dependent two-way branching; [bias_mod] = 2 is ~50/50 (hard to
+    predict), larger values are biased. *)
+
+val invariant_heavy_loop :
+  Ir.Builder.fb -> src:int -> dst:int -> words:int -> param:int -> unit
+(** Loop whose body recomputes loop-invariant work every iteration — LICM
+    fodder. *)
+
+val redundant_expr_loop :
+  Ir.Builder.fb -> src:int -> dst:int -> words:int -> unit
+(** Repeated address arithmetic and scaling per element — CSE/GCSE
+    fodder, the shape naive front ends emit. *)
+
+val range_checked_loop :
+  Ir.Builder.fb -> src:int -> dst:int -> words:int -> unit
+(** Every access guarded by an always-true bounds compare — removable by
+    constant propagation plus branch folding (our VRP). *)
+
+val mode_switched_loop :
+  Ir.Builder.fb -> src:int -> dst:int -> words:int -> mode:int -> unit
+(** Loop testing an invariant mode flag every iteration — unswitching
+    fodder. *)
+
+val double_store_loop : Ir.Builder.fb -> buf:int -> words:int -> unit
+(** Read–modify–write with a dead intermediate store per element —
+    store-motion/dead-store fodder. *)
+
+val bitcount_loop : Ir.Builder.fb -> src:int -> words:int -> reg
+(** Shift/mask population-count loop. *)
+
+val compare_swap_pass : Ir.Builder.fb -> buf:int -> words:int -> unit
+(** Adjacent compare-and-swap sweep (bubble pass): memory-swapping
+    branches on data. *)
+
+val scan_for_sentinel :
+  Ir.Builder.fb -> src:int -> words:int -> sentinel:int -> reg
+(** Scan with a rarely-taken hit branch. *)
+
+val def_leaf_scale :
+  Ir.Builder.t -> string -> m:int -> a:int -> s:int -> unit
+(** Define a tiny leaf function y = ((x*m)+a) >> s — always below the
+    inline threshold. *)
+
+val def_helper_mix : ?steps:int -> Ir.Builder.t -> string -> unit
+(** Define a binary mix helper of ~3*steps+2 instructions (default 8
+    steps).  Sizing it just above [max-inline-insns-auto]'s default makes
+    the inline parameters decide its fate — the ispell/pgp/say story of
+    figure 8. *)
+
+val map_with_call :
+  Ir.Builder.fb -> callee:string -> src:int -> dst:int -> words:int -> unit
+(** Apply a unary function over an array through real calls. *)
+
+val with_cold_path :
+  Ir.Builder.fb -> src:int -> words:int -> sentinel:int -> cold_work:int ->
+  reg
+(** Scan with a bulky, essentially-never-taken error path — block
+    reordering pushes it out of the hot stream. *)
+
+val pointer_walk :
+  Ir.Builder.fb -> cursor:int -> buf:int -> words:int -> count:int -> reg
+(** The crc pattern of section 5.3: the walk pointer lives in memory and
+    is loaded, dereferenced, bumped and stored back every iteration. *)

@@ -1,0 +1,29 @@
+(** The full 35-program MiBench-like suite (section 4.1 of the paper).
+
+    Programs are grouped in the original MiBench categories; every
+    benchmark named in figure 4's x-axis is present.  [program_of] caches
+    built programs — they are immutable, and builders are deterministic. *)
+
+let all : Spec.t array =
+  Array.of_list
+    (Auto.all @ Consumer.all @ Network.all @ Office.all @ Security.all
+   @ Telecomm.all)
+
+let () = assert (Array.length all = 35)
+
+let names = Array.map (fun s -> s.Spec.name) all
+
+let by_name name =
+  match Array.find_opt (fun s -> s.Spec.name = name) all with
+  | Some s -> s
+  | None -> invalid_arg ("Mibench.by_name: unknown benchmark " ^ name)
+
+let cache : (string, Ir.Types.program) Hashtbl.t = Hashtbl.create 64
+
+let program_of (spec : Spec.t) =
+  match Hashtbl.find_opt cache spec.Spec.name with
+  | Some p -> p
+  | None ->
+    let p = spec.Spec.build () in
+    Hashtbl.replace cache spec.Spec.name p;
+    p

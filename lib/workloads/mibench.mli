@@ -1,0 +1,21 @@
+(** The full 35-program MiBench-like suite (section 4.1 of the paper).
+
+    Every benchmark named on figure 4's x-axis is present, grouped in the
+    original MiBench categories (automotive, consumer, network, office,
+    security, telecomm).  Each program's docstring — [Spec.description] —
+    records which real MiBench behaviour it models; the test suite
+    enforces the characteristics the paper's narrative relies on
+    (rijndael's multi-KB straight-line rounds, fft's MAC density, say's
+    call pressure, ...). *)
+
+val all : Spec.t array
+(** The 35 workloads. *)
+
+val names : string array
+
+val by_name : string -> Spec.t
+(** Raises [Invalid_argument] on an unknown benchmark. *)
+
+val program_of : Spec.t -> Ir.Types.program
+(** Build (memoised — builders are deterministic and programs are
+    immutable). *)

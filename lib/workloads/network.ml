@@ -1,0 +1,94 @@
+(** The "network" suite: dijkstra and patricia.
+
+    Both are pointer/table-walk programs: short dependent load chains,
+    unpredictable access patterns, frequent branches — the class where the
+    data cache configuration dominates and compiler headroom is moderate. *)
+
+open Ir.Types
+module B = Ir.Builder
+module K = Kernels
+
+let dijkstra =
+  Spec.make ~name:"dijkstra" ~suite:"network"
+    ~description:
+      "Shortest path relaxation: repeated scans selecting a minimum and \
+       relaxing neighbours through an adjacency table — load-compare \
+       bound with biased branches and a removable bounds check."
+    (fun () ->
+      let b = B.create () in
+      let dist =
+        B.array b "dist" ~words:512
+          ~init:(Pseudo_random { seed = 67; bound = 100000 })
+      in
+      let adj =
+        B.array b "adj" ~words:1024
+          ~init:(Pseudo_random { seed = 71; bound = 512 })
+      in
+      let weight =
+        B.array b "weight" ~words:1024
+          ~init:(Pseudo_random { seed = 73; bound = 64 })
+      in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          B.counted_loop fb ~from:0 ~limit:(Imm 6) ~step:1 (fun _ ->
+              B.counted_loop fb ~from:0 ~limit:(Imm 1024) ~step:1 (fun e ->
+                  let ab, ao = K.word_addr fb ~base:adj e in
+                  let node = B.load fb ab ao in
+                  let masked = B.alu fb And (Reg node) (Imm 511) in
+                  let db, dodo = K.word_addr fb ~base:dist masked in
+                  let d = B.load fb db dodo in
+                  let wb, wo = K.word_addr fb ~base:weight e in
+                  let w = B.load fb wb wo in
+                  let cand = B.alu fb Add (Reg d) (Reg w) in
+                  let em = B.alu fb And (Reg e) (Imm 511) in
+                  let db2, do2 = K.word_addr fb ~base:dist em in
+                  let cur = B.load fb db2 do2 in
+                  let better = B.cmp fb Lt (Reg cand) (Reg cur) in
+                  B.if_ fb better
+                    ~then_:(fun () -> B.store fb (Reg cand) db2 do2)
+                    ~else_:(fun () -> ())));
+          let acc = K.reduce_xor fb ~base:dist ~words:512 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let patricia =
+  Spec.make ~name:"patricia" ~suite:"network"
+    ~description:
+      "Patricia-trie route lookups: bit-tested pointer walks through a \
+       node table — dependent loads with data-driven branching; trie \
+       footprint sized to stress small data caches."
+    (fun () ->
+      let b = B.create () in
+      (* Node table: next pointers packed as indices. *)
+      let trie =
+        B.array b "trie" ~words:4096
+          ~init:(Pseudo_random { seed = 79; bound = 2048 })
+      in
+      let keys =
+        B.array b "keys" ~words:1024
+          ~init:(Pseudo_random { seed = 83; bound = 1 lsl 24 })
+      in
+      B.func b "lookup" ~nparams:1 (fun fb params ->
+          let key = List.nth params 0 in
+          let node = B.mov fb (Imm 0) in
+          B.counted_loop fb ~from:0 ~limit:(Imm 8) ~step:1 (fun d ->
+              let bit0 = B.shift fb Lsr (Reg key) (Reg d) in
+              let bit = B.alu fb And (Reg bit0) (Imm 1) in
+              let two = B.shift fb Lsl (Reg node) (Imm 1) in
+              let slot = B.alu fb Add (Reg two) (Reg bit) in
+              let masked = B.alu fb And (Reg slot) (Imm 4095) in
+              let tb, to_ = K.word_addr fb ~base:trie masked in
+              let next = B.load fb tb to_ in
+              let nm = B.alu fb And (Reg next) (Imm 2047) in
+              B.emit fb (Mov { dst = node; src = Reg nm }));
+          B.terminate fb (Return (Some (Reg node))));
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          let acc = B.mov fb (Imm 0) in
+          B.counted_loop fb ~from:0 ~limit:(Imm 1024) ~step:1 (fun i ->
+              let kb, ko = K.word_addr fb ~base:keys i in
+              let key = B.load fb kb ko in
+              let hit = B.call fb "lookup" [ Reg key ] in
+              B.emit fb (Alu { dst = acc; op = Add; a = Reg acc; b = Reg hit }));
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let all = [ dijkstra; patricia ]

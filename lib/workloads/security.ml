@@ -1,0 +1,193 @@
+(** The "security" suite: blowfish (both directions), pgp, pgp_sa,
+    rijndael (both directions) and sha.
+
+    The rijndael pair is the paper's headline case: the reference source
+    ships hand-unrolled rounds, so the kernels are big straight-line
+    bodies close to a small I-cache's capacity.  Compiler unrolling buys
+    nothing (the source is already unrolled — section 5.2), while
+    code-expanding flags (inlining, alignment, scheduling spills) push the
+    hot footprint over small caches and cost multiples.  pgp/pgp_sa are
+    multiprecision-arithmetic call towers where the inlining parameters
+    dominate (figure 8). *)
+
+open Ir.Types
+module B = Ir.Builder
+module K = Kernels
+
+let blowfish ~name ~seed ~rounds ~description =
+  Spec.make ~name ~suite:"security" ~description (fun () ->
+      let b = B.create () in
+      let sbox =
+        B.array b "sbox" ~words:1024
+          ~init:(Pseudo_random { seed; bound = 1 lsl 24 })
+      in
+      let data =
+        B.array b "data" ~words:512
+          ~init:(Pseudo_random { seed = seed + 1; bound = 1 lsl 24 })
+      in
+      B.func b "feistel" ~nparams:2 (fun fb params ->
+          let x = List.nth params 0 and key = List.nth params 1 in
+          let a = B.shift fb Lsr (Reg x) (Imm 8) in
+          let am = B.alu fb And (Reg a) (Imm 1023) in
+          let ab, ao = K.word_addr fb ~base:sbox am in
+          let sa = B.load fb ab ao in
+          let bm = B.alu fb And (Reg x) (Imm 1023) in
+          let bb, bo = K.word_addr fb ~base:sbox bm in
+          let sb = B.load fb bb bo in
+          let t = B.alu fb Add (Reg sa) (Reg sb) in
+          let r = B.alu fb Xor (Reg t) (Reg key) in
+          B.terminate fb (Return (Some (Reg r))));
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          B.counted_loop fb ~from:0 ~limit:(Imm 512) ~step:1 (fun i ->
+              let db, dofs = K.word_addr fb ~base:data i in
+              let v0 = B.load fb db dofs in
+              let v = ref v0 in
+              for r = 1 to rounds do
+                let f = B.call fb "feistel" [ Reg !v; Imm (r * 0x9E37) ] in
+                v := B.alu fb Xor (Reg f) (Reg !v)
+              done;
+              B.store fb (Reg !v) db dofs);
+          let acc = K.reduce_xor fb ~base:data ~words:512 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let bf_e =
+  blowfish ~name:"bf_e" ~seed:109 ~rounds:6
+    ~description:
+      "Blowfish encryption: Feistel rounds through a helper with two \
+       S-box lookups per round — call-bound until inlined, then \
+       load/shift bound."
+
+let bf_d =
+  blowfish ~name:"bf_d" ~seed:113 ~rounds:5
+    ~description:
+      "Blowfish decryption: same structure as bf_e with a shorter round \
+       chain, slightly lower call pressure."
+
+let pgp_like ~name ~seed ~limbs ~description =
+  Spec.make ~name ~suite:"security" ~description (fun () ->
+      let b = B.create () in
+      let nums =
+        B.array b "nums" ~words:1024
+          ~init:(Pseudo_random { seed; bound = 1 lsl 16 })
+      in
+      let out = B.array b "out" ~words:1024 ~init:Zeros in
+      (* Multiprecision arithmetic tower: the carry-normalisation helper
+         sits just above the default inline threshold, so the inline
+         parameters decide whether each limb pays a call. *)
+      K.def_helper_mix ~steps:12 b "add_carry";
+      B.func b "mul_limb" ~nparams:2 (fun fb params ->
+          let x = List.nth params 0 and y = List.nth params 1 in
+          let p = B.alu fb Mul (Reg x) (Reg y) in
+          let hi = B.shift fb Lsr (Reg p) (Imm 16) in
+          let lo = B.alu fb And (Reg p) (Imm 0xFFFF) in
+          let r = B.call fb "add_carry" [ Reg hi; Reg lo ] in
+          B.terminate fb (Return (Some (Reg r))));
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          B.counted_loop fb ~from:0 ~limit:(Imm 1024) ~step:1 (fun i ->
+              let nb, no = K.word_addr fb ~base:nums i in
+              let x = B.load fb nb no in
+              let acc = ref (B.mov fb (Imm 1)) in
+              for _ = 1 to limbs do
+                acc := B.call fb "mul_limb" [ Reg !acc; Reg x ]
+              done;
+              let ob, oo = K.word_addr fb ~base:out i in
+              B.store fb (Reg !acc) ob oo);
+          let acc = K.reduce_xor fb ~base:out ~words:1024 (Imm 0) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let pgp =
+  pgp_like ~name:"pgp" ~seed:127 ~limbs:3
+    ~description:
+      "PGP encryption: multiprecision modular arithmetic as a tower of \
+       limb helpers — the inlining parameters are this program's \
+       highest-impact flags (figure 8)."
+
+let pgp_sa =
+  pgp_like ~name:"pgp_sa" ~seed:131 ~limbs:2
+    ~description:
+      "PGP sign/authenticate: the same limb tower with shorter chains \
+       and proportionally higher call overhead."
+
+let rijndael ~name ~seed ~unroll ~calls ~rounds ~description =
+  Spec.make ~name ~suite:"security" ~description (fun () ->
+      let b = B.create () in
+      let sbox =
+        B.array b "sbox" ~words:512
+          ~init:(Pseudo_random { seed; bound = 1 lsl 24 })
+      in
+      let state =
+        B.array b "state" ~words:256
+          ~init:(Pseudo_random { seed = seed + 1; bound = 1 lsl 24 })
+      in
+      (* Key-mix helper sized right at the default inline threshold. *)
+      K.def_helper_mix ~steps:10 b "key_mix";
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          (* One hand-unrolled round kernel, as in the reference source: a
+             straight-line body sitting just under a 4K instruction cache,
+             with per-round key-mix calls that -O3's inliner splices in —
+             pushing the hot loop over small caches. *)
+          let a1 =
+            K.crypto_rounds_with_calls fb ~state ~sbox ~sbox_words:512
+              ~rounds ~unroll ~helper:"key_mix" ~calls
+          in
+          let acc = K.reduce_xor fb ~base:state ~words:256 (Reg a1) in
+          B.terminate fb (Return (Some (Reg acc))));
+      B.finish b ~entry:"main")
+
+let rijndael_e =
+  rijndael ~name:"rijndael_e" ~seed:137 ~unroll:76 ~calls:10 ~rounds:88
+    ~description:
+      "AES encryption with source-unrolled rounds: a ~650-instruction \
+       straight-line kernel iterated many times, with key-mix helper \
+       calls per round.  Compiler unrolling is useless (the source is \
+       already unrolled); code growth from inlining, alignment and spills \
+       pushes the hot loop past a small I-cache and costs multiples — \
+       the paper's 4.85x best case."
+
+let rijndael_d =
+  rijndael ~name:"rijndael_d" ~seed:139 ~unroll:72 ~calls:9 ~rounds:80
+    ~description:
+      "AES decryption: same structure as rijndael_e with slightly \
+       smaller inverse-round bodies."
+
+let sha =
+  Spec.make ~name:"sha" ~suite:"security"
+    ~description:
+      "SHA-1-like hashing: shift/xor rotation rounds with a moderately \
+       unrolled compression body and a small message schedule buffer — \
+       shifter bound, mildly I-cache sensitive."
+    (fun () ->
+      let b = B.create () in
+      let msg =
+        B.array b "msg" ~words:2048
+          ~init:(Pseudo_random { seed = 149; bound = 1 lsl 24 })
+      in
+      let sched = B.array b "sched" ~words:80 ~init:Zeros in
+      B.func b "main" ~nparams:0 (fun fb _ ->
+          let h = B.mov fb (Imm 0x67452301) in
+          B.counted_loop fb ~from:0 ~limit:(Imm 2048) ~step:16 (fun blk ->
+              (* Message schedule expansion. *)
+              B.counted_loop fb ~from:0 ~limit:(Imm 80) ~step:1 (fun t ->
+                  let src = B.alu fb And (Reg t) (Imm 15) in
+                  let idx = B.alu fb Add (Reg blk) (Reg src) in
+                  let mb, mo = K.word_addr fb ~base:msg idx in
+                  let w = B.load fb mb mo in
+                  let rot = B.shift fb Lsl (Reg w) (Imm 1) in
+                  let sb, so = K.word_addr fb ~base:sched t in
+                  B.store fb (Reg rot) sb so);
+              (* Source-unrolled compression rounds. *)
+              for r = 0 to 19 do
+                let w = B.load fb (Imm sched) (Imm (4 * r)) in
+                let r5 = B.shift fb Lsl (Reg h) (Imm 5) in
+                let r27 = B.shift fb Lsr (Reg h) (Imm 27) in
+                let rot = B.alu fb Or (Reg r5) (Reg r27) in
+                let t1 = B.alu fb Add (Reg rot) (Reg w) in
+                let t2 = B.alu fb Xor (Reg t1) (Imm (0x5A827999 + r)) in
+                B.emit fb (Alu { dst = h; op = Add; a = Reg h; b = Reg t2 })
+              done);
+          B.terminate fb (Return (Some (Reg h))));
+      B.finish b ~entry:"main")
+
+let all = [ bf_e; bf_d; pgp; pgp_sa; rijndael_d; rijndael_e; sha ]

@@ -1,0 +1,15 @@
+(** Workload descriptor: one MiBench-like benchmark.
+
+    [build] constructs the program fresh each time (programs are immutable
+    once built, so callers may also cache).  [description] records which
+    real MiBench behaviour the synthetic program models — the contract that
+    keeps the suite honest. *)
+
+type t = {
+  name : string;
+  suite : string;
+  description : string;
+  build : unit -> Ir.Types.program;
+}
+
+let make ~name ~suite ~description build = { name; suite; description; build }

@@ -1,0 +1,115 @@
+(** Random well-formed program generator for property-based testing.
+
+    Programs are built through {!Ir.Builder} by composing the workload
+    kernel combinators with randomised parameters, so every generated
+    program is valid by construction, terminates, and exercises loops,
+    branches, calls, memory and the MAC/shifter units.  The central
+    property tested against it: {e every pass pipeline preserves the
+    checksum}. *)
+
+open Ir.Types
+module B = Ir.Builder
+module K = Workloads.Kernels
+
+(* One random kernel appended to the entry function; returns an
+   accumulator register when it produces one. *)
+let random_kernel rng fb ~arrays =
+  let pick () = Prelude.Rng.choose rng arrays in
+  let words_of (_, w) = w in
+  let base_of (b, _) = b in
+  let small_words a = min 64 (words_of a) in
+  match Prelude.Rng.int rng 10 with
+  | 0 ->
+    let a = pick () in
+    K.stream_map fb ~src:(base_of a) ~dst:(base_of (pick ()))
+      ~words:(small_words a) ~stride:(1 + Prelude.Rng.int rng 2)
+      ~work:(Prelude.Rng.int rng 4);
+    None
+  | 1 ->
+    let a = pick () and b = pick () in
+    Some (K.mac_dot fb ~a:(base_of a) ~b:(base_of b)
+            ~words:(min (small_words a) (small_words b)))
+  | 2 ->
+    let a = pick () in
+    Some
+      (K.table_lookup fb ~index:(base_of a) ~table:(base_of (pick ()))
+         ~table_words:64 ~count:(small_words a))
+  | 3 ->
+    let a = pick () in
+    Some
+      (K.branchy_scan fb ~src:(base_of a) ~words:(small_words a)
+         ~bias_mod:(2 + Prelude.Rng.int rng 7))
+  | 4 ->
+    let a = pick () in
+    K.invariant_heavy_loop fb ~src:(base_of a) ~dst:(base_of (pick ()))
+      ~words:(small_words a) ~param:(Prelude.Rng.int rng 100);
+    None
+  | 5 ->
+    let a = pick () in
+    K.redundant_expr_loop fb ~src:(base_of a) ~dst:(base_of (pick ()))
+      ~words:(small_words a);
+    None
+  | 6 ->
+    let a = pick () in
+    K.range_checked_loop fb ~src:(base_of a) ~dst:(base_of (pick ()))
+      ~words:(small_words a);
+    None
+  | 7 ->
+    let a = pick () in
+    K.mode_switched_loop fb ~src:(base_of a) ~dst:(base_of (pick ()))
+      ~words:(small_words a) ~mode:(Prelude.Rng.int rng 2);
+    None
+  | 8 ->
+    let a = pick () in
+    K.double_store_loop fb ~buf:(base_of a) ~words:(small_words a);
+    None
+  | _ ->
+    let a = pick () in
+    Some
+      (K.crypto_rounds fb ~state:(base_of a) ~sbox:(base_of (pick ()))
+         ~sbox_words:64
+         ~rounds:(min 16 (small_words a))
+         ~unroll:(1 + Prelude.Rng.int rng 6))
+
+let generate rng =
+  let b = B.create () in
+  let n_arrays = 2 + Prelude.Rng.int rng 3 in
+  let arrays =
+    Array.init n_arrays (fun i ->
+        let words = 64 + Prelude.Rng.int rng 129 in
+        let init =
+          match Prelude.Rng.int rng 3 with
+          | 0 -> Zeros
+          | 1 ->
+            Ramp
+              { start = Prelude.Rng.int rng 100; step = 1 + Prelude.Rng.int rng 7 }
+          | _ ->
+            Pseudo_random
+              { seed = Prelude.Rng.int rng 10000; bound = 1 lsl 16 }
+        in
+        (B.array b (Printf.sprintf "a%d" i) ~words ~init, words))
+  in
+  (* A couple of callable helpers so inlining and sibling calls fire. *)
+  K.def_leaf_scale b "h_scale" ~m:(1 + Prelude.Rng.int rng 15)
+    ~a:(Prelude.Rng.int rng 64) ~s:(Prelude.Rng.int rng 4);
+  K.def_helper_mix ~steps:(3 + Prelude.Rng.int rng 8) b "h_mix";
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let accs = ref [] in
+      let n_kernels = 1 + Prelude.Rng.int rng 4 in
+      for _ = 1 to n_kernels do
+        match random_kernel rng fb ~arrays with
+        | Some r -> accs := r :: !accs
+        | None -> ()
+      done;
+      (* Fold helper calls and array contents into the checksum. *)
+      let z = B.call fb "h_scale" [ Imm (Prelude.Rng.int rng 1000) ] in
+      let z2 = B.call fb "h_mix" [ Reg z; Imm 3 ] in
+      let acc =
+        List.fold_left
+          (fun acc r -> B.alu fb Xor (Reg acc) (Reg r))
+          z2 !accs
+      in
+      let base, words = arrays.(0) in
+      let total = K.reduce_xor fb ~base ~words (Reg acc) in
+      B.terminate fb (Return (Some (Reg total))));
+  B.finish b ~entry:"main"

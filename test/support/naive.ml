@@ -1,0 +1,63 @@
+(** Slow reference implementations used as oracles in property tests. *)
+
+(** Exact stack distances by linear scan: distance of each access =
+    number of distinct blocks since the previous access to the same block,
+    or [-1] for a cold access.  O(n^2), for short traces only. *)
+let stack_distances trace =
+  let n = Array.length trace in
+  Array.init n (fun t ->
+      let b = trace.(t) in
+      let rec find_prev i = if i < 0 then -1 else if trace.(i) = b then i else find_prev (i - 1) in
+      let p = find_prev (t - 1) in
+      if p < 0 then -1
+      else begin
+        let seen = Hashtbl.create 16 in
+        for i = p + 1 to t - 1 do
+          Hashtbl.replace seen trace.(i) ()
+        done;
+        Hashtbl.length seen
+      end)
+
+(** Exact fully-associative LRU miss count on a block trace. *)
+let lru_misses ~capacity trace =
+  let order = ref [] in
+  let misses = ref 0 in
+  Array.iter
+    (fun b ->
+      let rec remove = function
+        | [] -> (false, [])
+        | x :: rest ->
+          if x = b then (true, rest)
+          else begin
+            let found, rest' = remove rest in
+            (found, x :: rest')
+          end
+      in
+      let found, rest = remove !order in
+      if not found then incr misses;
+      let rest =
+        if List.length rest >= capacity then
+          List.filteri (fun i _ -> i < capacity - 1) rest
+        else rest
+      in
+      order := b :: rest)
+    trace;
+  !misses
+
+(** Binomial tail by direct summation over the full support (float),
+    oracle for {!Prelude.Reuse.binomial_tail_ge}. *)
+let binomial_tail_ge ~n ~p ~k =
+  let ln_choose n r =
+    let rec lf x acc = if x <= 1 then acc else lf (x - 1) (acc +. log (float_of_int x)) in
+    lf n 0.0 -. lf r 0.0 -. lf (n - r) 0.0
+  in
+  let acc = ref 0.0 in
+  for j = k to n do
+    acc :=
+      !acc
+      +. exp
+           (ln_choose n j
+           +. (float_of_int j *. log p)
+           +. (float_of_int (n - j) *. log (1.0 -. p)))
+  done;
+  !acc

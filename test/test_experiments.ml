@@ -1,0 +1,133 @@
+(* Smoke tests for the experiment drivers at a tiny scale: every figure
+   must render non-trivially and report internally consistent numbers. *)
+
+let check = Alcotest.check
+
+let tiny_scale space =
+  {
+    Ml_model.Dataset.n_uarchs = 3;
+    n_opts = 10;
+    seed = 23;
+    space;
+    good_fraction = 0.1;
+  }
+
+let ctx =
+  lazy
+    (Experiments.Context.create ~scale:(tiny_scale Ml_model.Features.Base) ())
+
+let ctx_ext =
+  lazy
+    (Experiments.Context.create
+       ~scale:(tiny_scale Ml_model.Features.Extended)
+       ())
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let rendered name render =
+  let s = render () in
+  if String.length s < 100 then Alcotest.failf "%s rendered almost nothing" name;
+  s
+
+let test_fig1 () =
+  let s = rendered "fig1" (fun () -> Experiments.Fig1.render (Lazy.force ctx)) in
+  check Alcotest.bool "mentions rijndael" true (contains s "rijndael_e")
+
+let test_fig4 () =
+  let s = rendered "fig4" (fun () -> Experiments.Fig4.render (Lazy.force ctx)) in
+  check Alcotest.bool "has AVERAGE" true (contains s "AVERAGE")
+
+let test_fig5 () =
+  let s = rendered "fig5" (fun () -> Experiments.Fig5.render (Lazy.force ctx)) in
+  check Alcotest.bool "reports correlation" true (contains s "Correlation");
+  let r = Experiments.Fig5.correlation (Lazy.force ctx) in
+  check Alcotest.bool "correlation in range" true (r >= -1.0 && r <= 1.0)
+
+let test_fig6 () =
+  let s = rendered "fig6" (fun () -> Experiments.Fig6.render (Lazy.force ctx)) in
+  check Alcotest.bool "lists search" true (contains s "search");
+  let model, best = Experiments.Fig6.averages (Lazy.force ctx) in
+  check Alcotest.bool "model <= best + eps" true (model <= best +. 0.05);
+  check Alcotest.bool "positive speedups" true (model > 0.5 && best > 0.5)
+
+let test_fig7 () =
+  let s = rendered "fig7" (fun () -> Experiments.Fig7.render (Lazy.force ctx)) in
+  check Alcotest.bool "mentions model range" true (contains s "Model range")
+
+let test_fig8 () =
+  let s = rendered "fig8" (fun () -> Experiments.Fig8.render (Lazy.force ctx)) in
+  check Alcotest.bool "mentions schedule flag" true (contains s "fschedule_insns")
+
+let test_fig9 () =
+  let s = rendered "fig9" (fun () -> Experiments.Fig9.render (Lazy.force ctx)) in
+  check Alcotest.bool "mentions i_size" true (contains s "i_size")
+
+let test_fig10 () =
+  let s =
+    rendered "fig10" (fun () -> Experiments.Fig10.render (Lazy.force ctx_ext))
+  in
+  check Alcotest.bool "has AVERAGE" true (contains s "AVERAGE")
+
+let test_convergence () =
+  let s =
+    rendered "convergence" (fun () ->
+        Experiments.Convergence.render (Lazy.force ctx))
+  in
+  check Alcotest.bool "reports average" true (contains s "Average over all pairs")
+
+let test_summary () =
+  let s =
+    rendered "summary" (fun () -> Experiments.Summary.render (Lazy.force ctx))
+  in
+  check Alcotest.bool "headline table" true (contains s "fraction of headroom");
+  check Alcotest.bool "space table" true (contains s "288000")
+
+let test_ablation_schemes_agree_on_validity () =
+  let d = Experiments.Context.dataset (Lazy.force ctx) in
+  let outcomes =
+    Experiments.Ablation.crossval_with d Experiments.Ablation.iid_scheme ~k:3
+      ~beta:1.0 ~good_fraction:0.1 ~mask:None
+  in
+  check Alcotest.int "one per pair" (35 * 3) (Array.length outcomes);
+  let chain =
+    Experiments.Ablation.crossval_with d Experiments.Ablation.chain_scheme
+      ~k:3 ~beta:1.0 ~good_fraction:0.1 ~mask:None
+  in
+  check Alcotest.int "chain too" (35 * 3) (Array.length chain)
+
+let test_csv_export () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "portopt_csv_test" in
+  let paths = Experiments.Export.all (Lazy.force ctx) ~dir in
+  check Alcotest.int "four files" 4 (List.length paths);
+  List.iter
+    (fun p ->
+      let ic = open_in p in
+      let header = input_line ic in
+      close_in ic;
+      check Alcotest.bool "has header" true (String.length header > 5))
+    paths
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "experiments"
+    [
+      ( "figures",
+        [
+          quick "fig1" test_fig1;
+          quick "fig4" test_fig4;
+          quick "fig5" test_fig5;
+          quick "fig6" test_fig6;
+          quick "fig7" test_fig7;
+          quick "fig8" test_fig8;
+          quick "fig9" test_fig9;
+          quick "fig10" test_fig10;
+          quick "convergence" test_convergence;
+          quick "summary" test_summary;
+        ] );
+      ( "ablation",
+        [ quick "schemes run" test_ablation_schemes_agree_on_validity ] );
+      ( "export", [ quick "csv files" test_csv_export ] );
+    ]

@@ -1,0 +1,517 @@
+(* Tests for the IR: builder, validation, CFG analyses, layout and the
+   interpreter's semantics. *)
+
+open Ir.Types
+module B = Ir.Builder
+
+let check = Alcotest.check
+
+(* Small hand-built programs. *)
+
+let straight_line ret =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      B.terminate fb (Return (Some (Imm ret))));
+  B.finish b ~entry:"main"
+
+let run_checksum program = fst (Ir.Interp.run_program program)
+
+(* ---- Builder & Validate --------------------------------------------- *)
+
+let test_builder_minimal () =
+  let p = straight_line 42 in
+  check Alcotest.int "one function" 1 (List.length p.funcs);
+  check Alcotest.int "checksum" 42 (run_checksum p)
+
+let test_builder_open_block_rejected () =
+  let b = B.create () in
+  let fb = B.begin_func b "main" ~nparams:0 in
+  Alcotest.check_raises "open block"
+    (Invalid_argument "Builder.end_func: open block left in main")
+    (fun () -> B.end_func fb)
+
+let test_builder_double_terminate_rejected () =
+  let b = B.create () in
+  let fb = B.begin_func b "main" ~nparams:0 in
+  B.terminate fb (Return None);
+  Alcotest.check_raises "no open block"
+    (Invalid_argument "Builder.terminate: no open block in main")
+    (fun () -> B.terminate fb (Return None))
+
+let test_validate_catches_dangling_label () =
+  let bad =
+    {
+      funcs =
+        [
+          {
+            name = "main";
+            params = [];
+            blocks =
+              [ { label = "entry"; insts = []; term = Jump "nowhere"; balign = 0 } ];
+            falign = 0;
+            stack_slots = 0;
+          };
+        ];
+      entry_func = "main";
+      data = [];
+      mem_words = 64;
+      stack_base = 0;
+    }
+  in
+  check Alcotest.bool "error reported" true (Ir.Validate.check bad <> [])
+
+let test_validate_catches_unknown_callee () =
+  let bad =
+    {
+      funcs =
+        [
+          {
+            name = "main";
+            params = [];
+            blocks =
+              [
+                {
+                  label = "entry";
+                  insts = [ Call { dst = None; callee = "ghost"; args = [] } ];
+                  term = Return None;
+                  balign = 0;
+                };
+              ];
+            falign = 0;
+            stack_slots = 0;
+          };
+        ];
+      entry_func = "main";
+      data = [];
+      mem_words = 64;
+      stack_base = 0;
+    }
+  in
+  check Alcotest.bool "error reported" true (Ir.Validate.check bad <> [])
+
+let test_validate_catches_overlapping_data () =
+  let bad =
+    {
+      funcs =
+        [
+          {
+            name = "main";
+            params = [];
+            blocks = [ { label = "e"; insts = []; term = Return None; balign = 0 } ];
+            falign = 0;
+            stack_slots = 0;
+          };
+        ];
+      entry_func = "main";
+      data =
+        [
+          { dname = "a"; base = 0; words = 10; init = Zeros };
+          { dname = "b"; base = 16; words = 10; init = Zeros };
+        ];
+      mem_words = 64;
+      stack_base = 128;
+    }
+  in
+  check Alcotest.bool "overlap reported" true (Ir.Validate.check bad <> [])
+
+(* ---- Interpreter semantics ------------------------------------------ *)
+
+let eval_expr build =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let r = build fb in
+      B.terminate fb (Return (Some (Reg r))));
+  run_checksum (B.finish b ~entry:"main")
+
+let test_arithmetic () =
+  check Alcotest.int "add" 7 (eval_expr (fun fb -> B.alu fb Add (Imm 3) (Imm 4)));
+  check Alcotest.int "sub" (-1) (eval_expr (fun fb -> B.alu fb Sub (Imm 3) (Imm 4)));
+  check Alcotest.int "mul" 12 (eval_expr (fun fb -> B.alu fb Mul (Imm 3) (Imm 4)));
+  check Alcotest.int "div" 3 (eval_expr (fun fb -> B.alu fb Div (Imm 13) (Imm 4)));
+  check Alcotest.int "div by zero" 0
+    (eval_expr (fun fb -> B.alu fb Div (Imm 13) (Imm 0)));
+  check Alcotest.int "rem" 1 (eval_expr (fun fb -> B.alu fb Rem (Imm 13) (Imm 4)));
+  check Alcotest.int "rem by zero" 0
+    (eval_expr (fun fb -> B.alu fb Rem (Imm 13) (Imm 0)));
+  check Alcotest.int "min" 3 (eval_expr (fun fb -> B.alu fb Min (Imm 3) (Imm 4)));
+  check Alcotest.int "max" 4 (eval_expr (fun fb -> B.alu fb Max (Imm 3) (Imm 4)))
+
+let test_32bit_wraparound () =
+  check Alcotest.int "overflow wraps" (-2147483648)
+    (eval_expr (fun fb -> B.alu fb Add (Imm 2147483647) (Imm 1)));
+  check Alcotest.int "mul wraps" 0
+    (eval_expr (fun fb -> B.alu fb Mul (Imm 65536) (Imm 65536)))
+
+let test_shifts () =
+  check Alcotest.int "lsl" 40 (eval_expr (fun fb -> B.shift fb Lsl (Imm 5) (Imm 3)));
+  check Alcotest.int "lsr" 5 (eval_expr (fun fb -> B.shift fb Lsr (Imm 40) (Imm 3)));
+  check Alcotest.int "asr negative" (-1)
+    (eval_expr (fun fb -> B.shift fb Asr (Imm (-1)) (Imm 5)));
+  check Alcotest.int "lsr of negative is logical on 32 bits" 1
+    (eval_expr (fun fb -> B.shift fb Lsr (Imm (-1)) (Imm 31)));
+  check Alcotest.int "amount mod 32" 10
+    (eval_expr (fun fb -> B.shift fb Lsl (Imm 5) (Imm 33)))
+
+let test_cmp () =
+  check Alcotest.int "lt true" 1 (eval_expr (fun fb -> B.cmp fb Lt (Imm 1) (Imm 2)));
+  check Alcotest.int "lt false" 0 (eval_expr (fun fb -> B.cmp fb Lt (Imm 2) (Imm 2)));
+  check Alcotest.int "ge" 1 (eval_expr (fun fb -> B.cmp fb Ge (Imm 2) (Imm 2)))
+
+let test_mac () =
+  check Alcotest.int "mac" 23
+    (eval_expr (fun fb -> B.mac fb (Imm 3) (Imm 4) (Imm 5)))
+
+let test_memory_roundtrip () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:4 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      B.store fb (Imm 77) (Imm a) (Imm 8);
+      let v = B.load fb (Imm a) (Imm 8) in
+      B.terminate fb (Return (Some (Reg v))));
+  check Alcotest.int "store/load" 77 (run_checksum (B.finish b ~entry:"main"))
+
+let test_data_initialisers () =
+  let b = B.create () in
+  let r = B.array b "r" ~words:4 ~init:(Ramp { start = 10; step = 3 }) in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let v = B.load fb (Imm r) (Imm 12) in
+      B.terminate fb (Return (Some (Reg v))));
+  check Alcotest.int "ramp[3]" 19 (run_checksum (B.finish b ~entry:"main"))
+
+let test_out_of_bounds_fault () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let v = B.load fb (Imm 99999999) (Imm 0) in
+      B.terminate fb (Return (Some (Reg v))));
+  let p = B.finish b ~entry:"main" in
+  (try
+     ignore (Ir.Interp.run_program p);
+     Alcotest.fail "expected fault"
+   with Ir.Interp.Runtime_error _ -> ())
+
+let test_call_and_return () =
+  let b = B.create () in
+  B.func b "double" ~nparams:1 (fun fb params ->
+      let x = List.nth params 0 in
+      let r = B.alu fb Add (Reg x) (Reg x) in
+      B.terminate fb (Return (Some (Reg r))));
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let r = B.call fb "double" [ Imm 21 ] in
+      B.terminate fb (Return (Some (Reg r))));
+  check Alcotest.int "call" 42 (run_checksum (B.finish b ~entry:"main"))
+
+let test_tail_call () =
+  let b = B.create () in
+  B.func b "finish" ~nparams:1 (fun fb params ->
+      let x = List.nth params 0 in
+      let r = B.alu fb Add (Reg x) (Imm 1) in
+      B.terminate fb (Return (Some (Reg r))));
+  B.func b "hop" ~nparams:1 (fun fb params ->
+      let x = List.nth params 0 in
+      B.terminate fb (Tail_call { callee = "finish"; args = [ Reg x ] }));
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let r = B.call fb "hop" [ Imm 41 ] in
+      B.terminate fb (Return (Some (Reg r))));
+  check Alcotest.int "tail call returns to original caller" 42
+    (run_checksum (B.finish b ~entry:"main"))
+
+let test_counted_loop () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let acc = B.mov fb (Imm 0) in
+      B.counted_loop fb ~from:0 ~limit:(Imm 10) ~step:1 (fun i ->
+          B.emit fb (Alu { dst = acc; op = Add; a = Reg acc; b = Reg i }));
+      B.terminate fb (Return (Some (Reg acc))));
+  check Alcotest.int "sum 0..9" 45 (run_checksum (B.finish b ~entry:"main"))
+
+let test_if_both_branches () =
+  let branchy cond =
+    let b = B.create () in
+    B.func b "main" ~nparams:0 (fun fb _ ->
+        let c = B.cmp fb Eq (Imm cond) (Imm 1) in
+        let out = B.mov fb (Imm 0) in
+        B.if_ fb c
+          ~then_:(fun () -> B.emit fb (Mov { dst = out; src = Imm 10 }))
+          ~else_:(fun () -> B.emit fb (Mov { dst = out; src = Imm 20 }));
+        B.terminate fb (Return (Some (Reg out))));
+    run_checksum (B.finish b ~entry:"main")
+  in
+  check Alcotest.int "then" 10 (branchy 1);
+  check Alcotest.int "else" 20 (branchy 0)
+
+let test_fuel_exhaustion () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      B.terminate fb (Jump "spin");
+      B.start_block fb "spin";
+      B.terminate fb (Jump "spin"));
+  let p = B.finish b ~entry:"main" in
+  (try
+     ignore (Ir.Interp.run ~fuel:1000 (Ir.Layout.place p));
+     Alcotest.fail "expected fuel exhaustion"
+   with Ir.Interp.Fuel_exhausted -> ())
+
+(* ---- CFG ------------------------------------------------------------ *)
+
+let diamond () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let c = B.cmp fb Eq (Imm 0) (Imm 1) in
+      let out = B.mov fb (Imm 0) in
+      B.if_ fb c
+        ~then_:(fun () -> B.emit fb (Mov { dst = out; src = Imm 1 }))
+        ~else_:(fun () -> B.emit fb (Mov { dst = out; src = Imm 2 }));
+      B.terminate fb (Return (Some (Reg out))));
+  List.hd (B.finish b ~entry:"main").funcs
+
+let test_cfg_dominators_diamond () =
+  let f = diamond () in
+  let cfg = Ir.Cfg.build f in
+  let entry = 0 in
+  for i = 0 to Ir.Cfg.n_blocks cfg - 1 do
+    check Alcotest.bool "entry dominates all" true (Ir.Cfg.dominates cfg entry i)
+  done;
+  (* Neither branch side dominates the join. *)
+  let idx l = Ir.Cfg.index cfg l in
+  let join =
+    List.find (fun b -> String.length b.label > 4 && String.sub b.label 0 4 = "join") f.blocks
+  in
+  let then_ =
+    List.find (fun b -> String.length b.label > 4 && String.sub b.label 0 4 = "then") f.blocks
+  in
+  check Alcotest.bool "then does not dominate join" false
+    (Ir.Cfg.dominates cfg (idx then_.label) (idx join.label))
+
+let test_cfg_natural_loop () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let acc = B.mov fb (Imm 0) in
+      B.counted_loop fb ~from:0 ~limit:(Imm 5) ~step:1 (fun i ->
+          B.emit fb (Alu { dst = acc; op = Add; a = Reg acc; b = Reg i }));
+      B.terminate fb (Return (Some (Reg acc))));
+  let f = List.hd (B.finish b ~entry:"main").funcs in
+  let cfg = Ir.Cfg.build f in
+  let loops = Ir.Cfg.natural_loops cfg in
+  check Alcotest.int "one loop" 1 (List.length loops);
+  let loop = List.hd loops in
+  check Alcotest.int "single block body" 1 (List.length loop.Ir.Cfg.body)
+
+let test_prune_unreachable () =
+  let f =
+    {
+      name = "f";
+      params = [];
+      blocks =
+        [
+          { label = "a"; insts = []; term = Return None; balign = 0 };
+          { label = "dead"; insts = []; term = Jump "a"; balign = 0 };
+        ];
+      falign = 0;
+      stack_slots = 0;
+    }
+  in
+  let f' = Ir.Cfg.prune_unreachable f in
+  check Alcotest.int "pruned" 1 (List.length f'.blocks)
+
+(* ---- Layout ---------------------------------------------------------- *)
+
+let test_layout_fallthrough_elision () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      B.terminate fb (Jump "next");
+      B.start_block fb "next";
+      B.terminate fb (Return (Some (Imm 1))));
+  let image = Ir.Layout.place (B.finish b ~entry:"main") in
+  let pf = Ir.Layout.func_of_name image "main" in
+  check Alcotest.bool "jump elided" true
+    pf.Ir.Layout.pf_blocks.(0).Ir.Layout.p_term_elided;
+  (* Elided jump occupies no space: only the return is encoded. *)
+  check Alcotest.int "code bytes" 4 image.Ir.Layout.code_bytes
+
+let test_layout_alignment_padding () =
+  let p = straight_line 1 in
+  let aligned =
+    map_funcs p (fun f ->
+        { f with blocks = List.map (fun b -> { b with balign = 16 }) f.blocks;
+                 falign = 16 })
+  in
+  let base = (Ir.Layout.place p).Ir.Layout.code_bytes in
+  let padded = (Ir.Layout.place aligned).Ir.Layout.code_bytes in
+  check Alcotest.bool "alignment never shrinks code" true (padded >= base)
+
+let test_layout_branch_companion_jump () =
+  (* A branch whose ifnot target is not the next block needs a companion
+     jump slot. *)
+  let f =
+    {
+      name = "main";
+      params = [];
+      blocks =
+        [
+          {
+            label = "e";
+            insts = [ Cmp { dst = 0; op = Eq; a = Imm 0; b = Imm 0 } ];
+            term = Branch { cond = 0; ifso = "t"; ifnot = "x" };
+            balign = 0;
+          };
+          { label = "t"; insts = []; term = Return (Some (Imm 1)); balign = 0 };
+          { label = "x"; insts = []; term = Return (Some (Imm 2)); balign = 0 };
+        ];
+      falign = 0;
+      stack_slots = 0;
+    }
+  in
+  let p =
+    { funcs = [ f ]; entry_func = "main"; data = []; mem_words = 64;
+      stack_base = 0 }
+  in
+  let image = Ir.Layout.place p in
+  let pf = Ir.Layout.func_of_name image "main" in
+  check Alcotest.bool "companion jump present" true
+    (pf.Ir.Layout.pf_blocks.(0).Ir.Layout.p_extra_jump_addr >= 0);
+  (* And the interpreter must still compute the right value. *)
+  check Alcotest.int "semantics" 1 (fst (Ir.Interp.run image))
+
+let test_interp_profile_counts () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:8 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      B.store fb (Imm 5) (Imm a) (Imm 0);
+      let v = B.load fb (Imm a) (Imm 0) in
+      let m = B.mac fb (Reg v) (Reg v) (Imm 2) in
+      let s = B.shift fb Lsl (Reg m) (Imm 1) in
+      B.terminate fb (Return (Some (Reg s))));
+  let _, profile = Ir.Interp.run_program (B.finish b ~entry:"main") in
+  check Alcotest.int "loads" 1 profile.Ir.Profile.loads;
+  check Alcotest.int "stores" 1 profile.Ir.Profile.stores;
+  check Alcotest.int "mac" 1 profile.Ir.Profile.mac;
+  check Alcotest.int "shift" 1 profile.Ir.Profile.shift;
+  check Alcotest.int "rets" 1 profile.Ir.Profile.rets;
+  check Alcotest.int "dyn" 5 profile.Ir.Profile.dyn_insts
+
+let test_interp_gap_histogram () =
+  (* load immediately consumed: gap 0; with one instruction in between:
+     gap 1. *)
+  let b = B.create () in
+  let a = B.array b "a" ~words:8 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let v = B.load fb (Imm a) (Imm 0) in
+      let r = B.alu fb Add (Reg v) (Imm 1) in
+      let v2 = B.load fb (Imm a) (Imm 4) in
+      let _pad = B.mov fb (Imm 0) in
+      let r2 = B.alu fb Add (Reg v2) (Reg r) in
+      B.terminate fb (Return (Some (Reg r2))));
+  let _, profile = Ir.Interp.run_program (B.finish b ~entry:"main") in
+  check Alcotest.int "gap 0 uses" 1 profile.Ir.Profile.gap_load.(0);
+  check Alcotest.int "gap 1 uses" 1 profile.Ir.Profile.gap_load.(1)
+
+
+(* ---- Pretty/Parse round trip ------------------------------------------ *)
+
+let test_parse_roundtrip_simple () =
+  let p = straight_line 42 in
+  let p' = Ir.Parse.program (Ir.Pretty.program p) in
+  check Alcotest.bool "structurally equal" true (p = p');
+  check Alcotest.int "same checksum" 42 (run_checksum p')
+
+let test_parse_roundtrip_suite () =
+  Array.iter
+    (fun spec ->
+      let p = Workloads.Mibench.program_of spec in
+      let p' = Ir.Parse.program (Ir.Pretty.program p) in
+      if p <> p' then
+        Alcotest.failf "%s: round trip not structural" spec.Workloads.Spec.name;
+      check Alcotest.int
+        (spec.Workloads.Spec.name ^ " semantics")
+        (run_checksum p) (run_checksum p'))
+    Workloads.Mibench.all
+
+let test_parse_roundtrip_compiled () =
+  (* Post-O3 programs exercise spills, alignment and slots. *)
+  List.iter
+    (fun name ->
+      let p =
+        Passes.Driver.compile
+          (Workloads.Mibench.program_of (Workloads.Mibench.by_name name))
+      in
+      let p' = Ir.Parse.program (Ir.Pretty.program p) in
+      if p <> p' then Alcotest.failf "%s: compiled round trip differs" name;
+      check Alcotest.int (name ^ " semantics") (run_checksum p)
+        (run_checksum p'))
+    [ "crc"; "rijndael_e"; "say"; "qsort" ]
+
+let prop_parse_roundtrip_random =
+  QCheck.Test.make ~name:"parse . pretty is the identity on random programs"
+    ~count:80
+    (QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let p = Testsupport.Gen_program.generate (Prelude.Rng.create seed) in
+      let p' = Ir.Parse.program (Ir.Pretty.program p) in
+      p = p' && run_checksum p = run_checksum p')
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun text ->
+      try
+        ignore (Ir.Parse.program text);
+        Alcotest.failf "accepted %S" text
+      with Ir.Parse.Error _ -> ())
+    [
+      "nonsense";
+      "entry main\nfunc main():\nentry:\n    r1 = frob r2, r3\n    return\n";
+      "entry main\nfunc main():\n    return\n" (* instruction outside block *);
+      "func main():\nentry:\n    return\n" (* missing entry decl *);
+    ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ir"
+    [
+      ( "builder+validate",
+        [
+          quick "minimal program" test_builder_minimal;
+          quick "open block rejected" test_builder_open_block_rejected;
+          quick "double terminate rejected" test_builder_double_terminate_rejected;
+          quick "dangling label" test_validate_catches_dangling_label;
+          quick "unknown callee" test_validate_catches_unknown_callee;
+          quick "overlapping data" test_validate_catches_overlapping_data;
+        ] );
+      ( "interp",
+        [
+          quick "arithmetic" test_arithmetic;
+          quick "32-bit wraparound" test_32bit_wraparound;
+          quick "shifts" test_shifts;
+          quick "compares" test_cmp;
+          quick "mac" test_mac;
+          quick "memory roundtrip" test_memory_roundtrip;
+          quick "data initialisers" test_data_initialisers;
+          quick "out of bounds faults" test_out_of_bounds_fault;
+          quick "call/return" test_call_and_return;
+          quick "tail call" test_tail_call;
+          quick "counted loop" test_counted_loop;
+          quick "if both branches" test_if_both_branches;
+          quick "fuel exhaustion" test_fuel_exhaustion;
+          quick "profile counts" test_interp_profile_counts;
+          quick "gap histogram" test_interp_gap_histogram;
+        ] );
+      ( "cfg",
+        [
+          quick "diamond dominators" test_cfg_dominators_diamond;
+          quick "natural loop" test_cfg_natural_loop;
+          quick "prune unreachable" test_prune_unreachable;
+        ] );
+      ( "parse",
+        [
+          quick "round trip simple" test_parse_roundtrip_simple;
+          quick "round trip suite" test_parse_roundtrip_suite;
+          quick "round trip compiled" test_parse_roundtrip_compiled;
+          QCheck_alcotest.to_alcotest prop_parse_roundtrip_random;
+          quick "rejects garbage" test_parse_rejects_garbage;
+        ] );
+      ( "layout",
+        [
+          quick "fallthrough elision" test_layout_fallthrough_elision;
+          quick "alignment padding" test_layout_alignment_padding;
+          quick "companion jump" test_layout_branch_companion_jump;
+        ] );
+    ]

@@ -1,0 +1,325 @@
+(* Tests for the machine-learning model: distribution fitting (eq. 5),
+   mixtures (eq. 6), mode (eq. 1), KNN prediction, the Markov variant,
+   features and a tiny end-to-end cross-validation. *)
+
+module F = Passes.Flags
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let setting_with pairs =
+  let s = Array.copy F.o3 in
+  List.iter (fun (name, v) -> s.(F.index_of_name name) <- v) pairs;
+  s
+
+(* ---- Distribution (IID multinomial) ----------------------------------- *)
+
+let test_fit_is_frequency_counting () =
+  (* eq. 5: theta is the frequency of each value among the good set. *)
+  let l = F.index_of_name "funroll_loops" in
+  let good =
+    [|
+      setting_with [ ("funroll_loops", 1) ];
+      setting_with [ ("funroll_loops", 1) ];
+      setting_with [ ("funroll_loops", 1) ];
+      setting_with [ ("funroll_loops", 0) ];
+    |]
+  in
+  let g = Ml_model.Distribution.fit good in
+  checkf "p(on) = 3/4" 0.75 g.(l).(1);
+  checkf "p(off) = 1/4" 0.25 g.(l).(0)
+
+let test_fit_rows_normalised () =
+  let rng = Prelude.Rng.create 3 in
+  let good = Array.init 10 (fun _ -> F.random rng) in
+  let g = Ml_model.Distribution.fit good in
+  Array.iter
+    (fun row ->
+      let z = Array.fold_left ( +. ) 0.0 row in
+      if Float.abs (z -. 1.0) > 1e-9 then Alcotest.failf "row sums to %f" z)
+    g
+
+let test_mode_picks_argmax () =
+  let good =
+    [|
+      setting_with [ ("funroll_loops", 1); ("fgcse", 0) ];
+      setting_with [ ("funroll_loops", 1); ("fgcse", 0) ];
+      setting_with [ ("funroll_loops", 0); ("fgcse", 0) ];
+    |]
+  in
+  let m = Ml_model.Distribution.mode (Ml_model.Distribution.fit good) in
+  check Alcotest.int "unroll on" 1 m.(F.index_of_name "funroll_loops");
+  check Alcotest.int "gcse off" 0 m.(F.index_of_name "fgcse")
+
+let test_mix_weights () =
+  let a = Ml_model.Distribution.fit [| setting_with [ ("fgcse", 1) ] |] in
+  let b = Ml_model.Distribution.fit [| setting_with [ ("fgcse", 0) ] |] in
+  let l = F.index_of_name "fgcse" in
+  let m = Ml_model.Distribution.mix [ (3.0, a); (1.0, b) ] in
+  checkf "weighted 3:1" 0.75 m.(l).(1);
+  (* Mixing preserves normalisation. *)
+  Array.iter
+    (fun row ->
+      let z = Array.fold_left ( +. ) 0.0 row in
+      if Float.abs (z -. 1.0) > 1e-9 then Alcotest.failf "row sums to %f" z)
+    m
+
+let test_mix_rejects_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Distribution.mix: empty mixture") (fun () ->
+      ignore (Ml_model.Distribution.mix []))
+
+let test_log_likelihood_orders_settings () =
+  let good = Array.make 5 (setting_with [ ("funroll_loops", 1) ]) in
+  let g = Ml_model.Distribution.fit ~alpha:0.1 good in
+  let yes = Ml_model.Distribution.log_likelihood g (setting_with [ ("funroll_loops", 1) ]) in
+  let no = Ml_model.Distribution.log_likelihood g (setting_with [ ("funroll_loops", 0) ]) in
+  check Alcotest.bool "good setting more likely" true (yes > no)
+
+let test_sample_respects_support () =
+  let good = Array.make 4 (setting_with []) in
+  let g = Ml_model.Distribution.fit good in
+  let rng = Prelude.Rng.create 5 in
+  for _ = 1 to 20 do
+    let s = Ml_model.Distribution.sample rng g in
+    (* Zero-probability values can never be drawn. *)
+    check Alcotest.bool "drawn from support" true (s = F.o3)
+  done
+
+(* ---- Chain model ------------------------------------------------------ *)
+
+let test_chain_mode_matches_training_consensus () =
+  let good = Array.make 6 (setting_with [ ("funroll_loops", 1) ]) in
+  let m = Ml_model.Chain_model.fit good in
+  let mode = Ml_model.Chain_model.mode m in
+  check Alcotest.int "viterbi recovers the consensus" 1
+    mode.(F.index_of_name "funroll_loops")
+
+let test_chain_mix () =
+  let a = Ml_model.Chain_model.fit [| setting_with [ ("fgcse", 1) ] |] in
+  let b = Ml_model.Chain_model.fit [| setting_with [ ("fgcse", 0) ] |] in
+  let m = Ml_model.Chain_model.mix [ (1.0, a); (1.0, b) ] in
+  let mode = Ml_model.Chain_model.mode m in
+  F.validate mode
+
+(* ---- Features ---------------------------------------------------------- *)
+
+let test_feature_dimensions () =
+  check Alcotest.int "base" 19 (Ml_model.Features.dim Ml_model.Features.Base);
+  check Alcotest.int "extended" 21
+    (Ml_model.Features.dim Ml_model.Features.Extended);
+  check Alcotest.int "names match" 19
+    (Array.length (Ml_model.Features.names Ml_model.Features.Base))
+
+let test_normaliser_roundtrip () =
+  let rows = [| [| 1.0; 5.0 |]; [| 3.0; 9.0 |] |] in
+  let n = Ml_model.Features.fit_normaliser rows in
+  let z = Ml_model.Features.normalise n [| 2.0; 7.0 |] in
+  checkf "centred x" 0.0 z.(0);
+  checkf "centred y" 0.0 z.(1)
+
+(* ---- End-to-end on a tiny dataset -------------------------------------- *)
+
+let tiny_dataset =
+  lazy
+    (Ml_model.Dataset.generate
+       {
+         Ml_model.Dataset.n_uarchs = 3;
+         n_opts = 12;
+         seed = 17;
+         space = Ml_model.Features.Base;
+         good_fraction = 0.1;
+       })
+
+let test_dataset_shape () =
+  let d = Lazy.force tiny_dataset in
+  check Alcotest.int "pairs" (35 * 3) (Array.length d.Ml_model.Dataset.pairs);
+  Array.iter
+    (fun (p : Ml_model.Dataset.pair) ->
+      check Alcotest.int "times per pair" 12
+        (Array.length p.Ml_model.Dataset.times);
+      check Alcotest.bool "best is fastest" true
+        (Array.for_all
+           (fun t -> t >= p.Ml_model.Dataset.best_seconds)
+           p.Ml_model.Dataset.times);
+      check Alcotest.bool "o3 positive" true (p.Ml_model.Dataset.o3_seconds > 0.0))
+    d.Ml_model.Dataset.pairs
+
+let test_good_set_selection () =
+  let times = [| 5.0; 1.0; 3.0; 2.0; 4.0; 6.0; 7.0; 8.0; 9.0; 10.0 |] in
+  let good = Ml_model.Dataset.good_set ~good_fraction:0.2 times in
+  check Alcotest.(array int) "two best indices" [| 1; 3 |] good;
+  (* At least one setting survives even with a tiny fraction. *)
+  check Alcotest.int "never empty" 1
+    (Array.length (Ml_model.Dataset.good_set ~good_fraction:0.001 times))
+
+let test_model_prediction_valid () =
+  let d = Lazy.force tiny_dataset in
+  let model = Ml_model.Model.train d in
+  Array.iter
+    (fun (p : Ml_model.Dataset.pair) ->
+      F.validate (Ml_model.Model.predict model p.Ml_model.Dataset.features_raw))
+    d.Ml_model.Dataset.pairs
+
+let test_model_k1_returns_neighbour_mode () =
+  let d = Lazy.force tiny_dataset in
+  let model = Ml_model.Model.train ~k:1 d in
+  (* Predicting at a training point with K=1 returns that point's own
+     distribution mode. *)
+  let p = d.Ml_model.Dataset.pairs.(0) in
+  let predicted = Ml_model.Model.predict model p.Ml_model.Dataset.features_raw in
+  check
+    Alcotest.(array int)
+    "self nearest neighbour"
+    (Ml_model.Distribution.mode p.Ml_model.Dataset.distribution)
+    predicted
+
+let test_crossval_excludes_test_pair () =
+  let d = Lazy.force tiny_dataset in
+  let outcomes = Ml_model.Crossval.run d in
+  check Alcotest.int "one outcome per pair" (35 * 3) (Array.length outcomes);
+  Array.iter
+    (fun (o : Ml_model.Crossval.outcome) ->
+      check Alcotest.bool "positive seconds" true (o.predicted_seconds > 0.0);
+      F.validate o.predicted)
+    outcomes
+
+let test_fraction_of_best_bounds () =
+  let d = Lazy.force tiny_dataset in
+  let outcomes = Ml_model.Crossval.run d in
+  let f = Ml_model.Crossval.fraction_of_best outcomes in
+  check Alcotest.bool "fraction sane" true (f > -1.0 && f <= 1.5)
+
+let test_mutual_info_nonnegative () =
+  let d = Lazy.force tiny_dataset in
+  let mi = Ml_model.Mutual_info.pass_impact d ~prog:0 in
+  Array.iter
+    (fun v ->
+      if v < 0.0 || v > 1.0 then Alcotest.failf "normalised MI out of range: %f" v)
+    mi;
+  let rel = Ml_model.Mutual_info.feature_pass_relation d in
+  check Alcotest.int "one row per dimension" F.n_dims (Array.length rel);
+  Array.iter
+    (Array.iter (fun v ->
+         if v < 0.0 || v > 1.0 then Alcotest.failf "MI out of range: %f" v))
+    rel
+
+let test_evaluate_caches_settings () =
+  let d = Lazy.force tiny_dataset in
+  let t1 = Ml_model.Dataset.evaluate d ~prog:0 ~uarch:0 F.o3 in
+  let t2 = Ml_model.Dataset.evaluate d ~prog:0 ~uarch:0 F.o3 in
+  checkf "cached evaluation deterministic" t1 t2
+
+(* ---- Extensions: clustering and static features ----------------------- *)
+
+let test_kmeans_separates_clusters () =
+  let rng = Prelude.Rng.create 7 in
+  let rows =
+    Array.init 60 (fun i ->
+        let base = if i < 30 then 0.0 else 100.0 in
+        [| base +. Prelude.Rng.float rng 1.0; base +. Prelude.Rng.float rng 1.0 |])
+  in
+  let t = Ml_model.Clustering.kmeans ~rng ~k:2 rows in
+  (* Both natural clusters must be pure. *)
+  let first = t.Ml_model.Clustering.assignment.(0) in
+  for i = 1 to 29 do
+    check Alcotest.int "first cluster pure" first
+      t.Ml_model.Clustering.assignment.(i)
+  done;
+  let second = t.Ml_model.Clustering.assignment.(30) in
+  check Alcotest.bool "clusters differ" true (second <> first);
+  for i = 31 to 59 do
+    check Alcotest.int "second cluster pure" second
+      t.Ml_model.Clustering.assignment.(i)
+  done
+
+let test_kmeans_medoids_are_members () =
+  let rng = Prelude.Rng.create 8 in
+  let rows = Array.init 40 (fun i -> [| float_of_int i; 0.0 |]) in
+  let t = Ml_model.Clustering.kmeans ~rng ~k:4 rows in
+  let m = Ml_model.Clustering.medoids t rows in
+  check Alcotest.bool "some medoids" true (Array.length m > 0);
+  Array.iter (fun i -> check Alcotest.bool "in range" true (i >= 0 && i < 40)) m
+
+let test_clustering_selects_pairs () =
+  let d = Lazy.force tiny_dataset in
+  let rng = Prelude.Rng.create 9 in
+  let subset = Ml_model.Clustering.select_training_pairs ~rng ~k:10 d in
+  check Alcotest.bool "nonempty" true (Array.length subset > 0);
+  check Alcotest.bool "not everything" true
+    (Array.length subset <= 10);
+  Array.iter
+    (fun i ->
+      check Alcotest.bool "valid index" true
+        (i >= 0 && i < Array.length d.Ml_model.Dataset.pairs))
+    subset
+
+let test_static_features_shape () =
+  let program =
+    Passes.Driver.compile ~setting:F.o3
+      (Workloads.Mibench.program_of (Workloads.Mibench.by_name "crc"))
+  in
+  let f = Ml_model.Static_features.of_program program in
+  check Alcotest.int "dimension" Ml_model.Static_features.dim (Array.length f);
+  check Alcotest.int "names match" Ml_model.Static_features.dim
+    (Array.length Ml_model.Static_features.names);
+  (* Fractions are fractions. *)
+  for i = 1 to 6 do
+    check Alcotest.bool "fraction in range" true (f.(i) >= 0.0 && f.(i) <= 1.0)
+  done
+
+let test_static_features_distinguish_programs () =
+  let feat name =
+    Ml_model.Static_features.of_program
+      (Passes.Driver.compile ~setting:F.o3
+         (Workloads.Mibench.program_of (Workloads.Mibench.by_name name)))
+  in
+  let a = feat "rijndael_e" and b = feat "qsort" in
+  check Alcotest.bool "different programs, different features" true
+    (Prelude.Vec.l2_distance a b > 0.5)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ml"
+    [
+      ( "distribution",
+        [
+          quick "fit counts frequencies (eq 5)" test_fit_is_frequency_counting;
+          quick "rows normalised" test_fit_rows_normalised;
+          quick "mode argmax (eq 1)" test_mode_picks_argmax;
+          quick "mixture weights (eq 6)" test_mix_weights;
+          quick "empty mixture rejected" test_mix_rejects_empty;
+          quick "log likelihood" test_log_likelihood_orders_settings;
+          quick "sampling support" test_sample_respects_support;
+        ] );
+      ( "chain",
+        [
+          quick "viterbi consensus" test_chain_mode_matches_training_consensus;
+          quick "mixture" test_chain_mix;
+        ] );
+      ( "features",
+        [
+          quick "dimensions" test_feature_dimensions;
+          quick "normaliser" test_normaliser_roundtrip;
+        ] );
+      ( "extensions",
+        [
+          quick "kmeans separates clusters" test_kmeans_separates_clusters;
+          quick "medoids are members" test_kmeans_medoids_are_members;
+          quick "clustering selects pairs" test_clustering_selects_pairs;
+          quick "static feature shape" test_static_features_shape;
+          quick "static features distinguish" test_static_features_distinguish_programs;
+        ] );
+      ( "dataset+model",
+        [
+          quick "dataset shape" test_dataset_shape;
+          quick "good set selection" test_good_set_selection;
+          quick "predictions valid" test_model_prediction_valid;
+          quick "k=1 self neighbour" test_model_k1_returns_neighbour_mode;
+          quick "crossval outcomes" test_crossval_excludes_test_pair;
+          quick "fraction of best" test_fraction_of_best_bounds;
+          quick "mutual information ranges" test_mutual_info_nonnegative;
+          quick "evaluation cache" test_evaluate_caches_settings;
+        ] );
+    ]
+

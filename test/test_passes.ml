@@ -1,0 +1,940 @@
+(* Tests for the optimisation passes: the flag space, each pass's specific
+   transformation, and the central property that every pipeline preserves
+   program semantics (checksums). *)
+
+open Ir.Types
+module B = Ir.Builder
+module F = Passes.Flags
+
+let check = Alcotest.check
+
+let run_checksum program = fst (Ir.Interp.run_program program)
+
+let compile_checksum setting program =
+  fst (Ir.Interp.run (Passes.Driver.compile_to_image ~setting program))
+
+let count_insts pred program =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc b -> acc + List.length (List.filter pred b.insts))
+        acc f.blocks)
+    0 program.funcs
+
+let count_blocks program =
+  List.fold_left (fun acc f -> acc + List.length f.blocks) 0 program.funcs
+
+let setting_with pairs =
+  let s = Array.copy F.o3 in
+  List.iter (fun (name, v) -> s.(F.index_of_name name) <- v) pairs;
+  s
+
+(* ---- Flags ----------------------------------------------------------- *)
+
+let test_flags_dimensions () =
+  check Alcotest.int "39 dimensions" 39 F.n_dims;
+  let flags, params =
+    Array.fold_left
+      (fun (f, p) d ->
+        match d.F.kind with F.Flag _ -> (f + 1, p) | F.Param _ -> (f, p + 1))
+      (0, 0) F.dims
+  in
+  check Alcotest.int "30 on/off flags" 30 flags;
+  check Alcotest.int "9 parameters" 9 params
+
+let test_flags_space_sizes () =
+  (* 2^30 flag combinations; with 8-valued parameters the total reaches
+     the paper's order of magnitude (1.69e17). *)
+  check (Alcotest.float 1.0) "flags" (2.0 ** 30.0) F.space_size_flags;
+  check Alcotest.bool "total magnitude" true
+    (F.space_size_total > 1e17 /. 2.0 && F.space_size_total < 2e17);
+  check Alcotest.bool "distinct below total" true
+    (F.space_size_distinct < F.space_size_total)
+
+let test_flags_o3_defaults () =
+  check Alcotest.bool "gcse on" true (F.flag_value F.o3 "fgcse");
+  check Alcotest.bool "unroll off" false (F.flag_value F.o3 "funroll_loops");
+  check Alcotest.bool "inline on" true (F.flag_value F.o3 "finline_functions");
+  check Alcotest.int "gcse passes default" 1
+    (F.param_value F.o3 "param_max_gcse_passes")
+
+let test_flags_random_valid () =
+  let rng = Prelude.Rng.create 1 in
+  for _ = 1 to 200 do
+    F.validate (F.random rng)
+  done
+
+let test_flags_canonical_gating () =
+  let a = setting_with [ ("funroll_loops", 0); ("param_max_unroll_times", 3) ] in
+  let b = setting_with [ ("funroll_loops", 0); ("param_max_unroll_times", 6) ] in
+  check Alcotest.bool "gated params collapse" true (F.equal_semantics a b);
+  let c = setting_with [ ("funroll_loops", 1); ("param_max_unroll_times", 3) ] in
+  let d = setting_with [ ("funroll_loops", 1); ("param_max_unroll_times", 6) ] in
+  check Alcotest.bool "active params distinguish" false (F.equal_semantics c d)
+
+let test_flags_decode_negative_flags () =
+  let cfg = F.decode (setting_with [ ("fno_gcse_lm", 1) ]) in
+  check Alcotest.bool "fno_gcse_lm disables lm" false cfg.F.gcse_lm;
+  let cfg = F.decode F.o3 in
+  check Alcotest.bool "lm on at O3" true cfg.F.gcse_lm
+
+(* ---- Individual passes ----------------------------------------------- *)
+
+let is_mul = function Alu { op = Mul; _ } -> true | _ -> false
+let is_load = function Load _ -> true | _ -> false
+let is_store = function Store _ -> true | _ -> false
+let is_call = function Call _ -> true | _ -> false
+
+let test_constprop_folds_branches () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let c = B.cmp fb Lt (Imm 3) (Imm 5) in
+      let out = B.mov fb (Imm 0) in
+      B.if_ fb c
+        ~then_:(fun () -> B.emit fb (Mov { dst = out; src = Imm 1 }))
+        ~else_:(fun () -> B.emit fb (Mov { dst = out; src = Imm 2 }));
+      B.terminate fb (Return (Some (Reg out))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Constprop.run p in
+  check Alcotest.int "same result" (run_checksum p) (run_checksum p');
+  check Alcotest.bool "branch folded away: fewer blocks" true
+    (count_blocks p' < count_blocks p)
+
+let test_constprop_respects_dominance () =
+  (* The constant definition sits on one branch side; a use at the join
+     must NOT be folded. *)
+  let f =
+    {
+      name = "main";
+      params = [];
+      blocks =
+        [
+          {
+            label = "e";
+            insts = [ Cmp { dst = 0; op = Eq; a = Imm 1; b = Imm 1 } ];
+            term = Branch { cond = 0; ifso = "t"; ifnot = "j" };
+            balign = 0;
+          };
+          {
+            label = "t";
+            insts = [ Mov { dst = 1; src = Imm 5 } ];
+            term = Jump "j";
+            balign = 0;
+          };
+          { label = "j"; insts = []; term = Return (Some (Reg 1)); balign = 0 };
+        ];
+      falign = 0;
+      stack_slots = 0;
+    }
+  in
+  let p =
+    { funcs = [ f ]; entry_func = "main"; data = []; mem_words = 64;
+      stack_base = 0 }
+  in
+  let p' = Passes.Constprop.run p in
+  check Alcotest.int "semantics preserved" (run_checksum p) (run_checksum p')
+
+let test_dce_removes_dead_code () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let _dead = B.alu fb Mul (Imm 3) (Imm 4) in
+      B.terminate fb (Return (Some (Imm 7))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Dce.run p in
+  check Alcotest.int "dead mul removed" 0 (count_insts is_mul p');
+  check Alcotest.int "semantics" 7 (run_checksum p')
+
+let test_dce_keeps_stores_and_calls () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:4 ~init:Zeros in
+  B.func b "side" ~nparams:0 (fun fb _ ->
+      B.store fb (Imm 9) (Imm a) (Imm 0);
+      B.terminate fb (Return None));
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      B.call_void fb "side" [];
+      let v = B.load fb (Imm a) (Imm 0) in
+      B.terminate fb (Return (Some (Reg v))));
+  let p = Passes.Dce.run (B.finish b ~entry:"main") in
+  check Alcotest.int "store kept" 1 (count_insts is_store p);
+  check Alcotest.int "result through side effect" 9 (run_checksum p)
+
+let test_cse_shares_expressions () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let x = B.mov fb (Imm 6) in
+      let m1 = B.alu fb Mul (Reg x) (Imm 7) in
+      let m2 = B.alu fb Mul (Reg x) (Imm 7) in
+      let r = B.alu fb Add (Reg m1) (Reg m2) in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Cse.run p in
+  check Alcotest.int "one multiply left" 1 (count_insts is_mul p');
+  check Alcotest.int "semantics" 84 (run_checksum p')
+
+let test_cse_commutative_keys () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let x = B.mov fb (Imm 6) in
+      let y = B.mov fb (Imm 7) in
+      let m1 = B.alu fb Mul (Reg x) (Reg y) in
+      let m2 = B.alu fb Mul (Reg y) (Reg x) in
+      let r = B.alu fb Add (Reg m1) (Reg m2) in
+      B.terminate fb (Return (Some (Reg r))));
+  let p' = Passes.Cse.run (B.finish b ~entry:"main") in
+  check Alcotest.int "commuted operands shared" 1 (count_insts is_mul p')
+
+let test_cse_load_killed_by_store () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:4 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let v1 = B.load fb (Imm a) (Imm 0) in
+      B.store fb (Imm 5) (Imm a) (Imm 0);
+      let v2 = B.load fb (Imm a) (Imm 0) in
+      let r = B.alu fb Add (Reg v1) (Reg v2) in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Cse.run p in
+  check Alcotest.int "both loads survive" 2 (count_insts is_load p');
+  check Alcotest.int "semantics" 5 (run_checksum p')
+
+let test_licm_hoists_invariants () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:64 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      Workloads.Kernels.invariant_heavy_loop fb ~src:a ~dst:a ~words:32
+        ~param:3;
+      B.terminate fb (Return (Some (Imm 0))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Licm.run p in
+  check Alcotest.int "checksum preserved" (run_checksum p) (run_checksum p');
+  (* The invariant multiply must execute far fewer times. *)
+  let dyn prog = (snd (Ir.Interp.run_program prog)).Ir.Profile.dyn_insts in
+  check Alcotest.bool "fewer dynamic instructions" true (dyn p' < dyn p - 50)
+
+let test_unroll_clean_divisible () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:64 ~init:(Ramp { start = 1; step = 1 }) in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let acc = Workloads.Kernels.reduce_xor fb ~base:a ~words:64 (Imm 0) in
+      B.terminate fb (Return (Some (Reg acc))));
+  let p = B.finish b ~entry:"main" in
+  let cfg = F.decode (setting_with [ ("funroll_loops", 1) ]) in
+  let p' = Passes.Unroll.run cfg p in
+  check Alcotest.int "semantics" (run_checksum p) (run_checksum p');
+  let branches prog = (snd (Ir.Interp.run_program prog)).Ir.Profile.branches in
+  (* Clean unroll by 8 divides the branch count by ~8. *)
+  check Alcotest.bool "far fewer branches" true (branches p' * 4 < branches p)
+
+let test_unroll_exit_retained () =
+  (* Trip count unknown (limit in a register loaded from memory). *)
+  let b = B.create () in
+  let a = B.array b "a" ~words:64 ~init:(Ramp { start = 17; step = 0 }) in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let n = B.load fb (Imm a) (Imm 0) in
+      let acc = B.mov fb (Imm 0) in
+      B.counted_loop fb ~from:0 ~limit:(Reg n) ~step:1 (fun i ->
+          B.emit fb (Alu { dst = acc; op = Add; a = Reg acc; b = Reg i }));
+      B.terminate fb (Return (Some (Reg acc))));
+  let p = B.finish b ~entry:"main" in
+  let cfg = F.decode (setting_with [ ("funroll_loops", 1) ]) in
+  let p' = Passes.Unroll.run cfg p in
+  check Alcotest.bool "blocks duplicated" true
+    (count_blocks p' > count_blocks p);
+  check Alcotest.int "semantics (sum 0..16)" 136 (run_checksum p')
+
+let test_unroll_respects_size_limit () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:64 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let acc =
+        Workloads.Kernels.crypto_rounds fb ~state:a ~sbox:a ~sbox_words:64
+          ~rounds:8 ~unroll:40
+      in
+      B.terminate fb (Return (Some (Reg acc))));
+  let p = B.finish b ~entry:"main" in
+  let cfg =
+    F.decode
+      (setting_with [ ("funroll_loops", 1); ("param_max_unrolled_insns", 0) ])
+  in
+  (* Body is ~320 instructions, limit 16: no unrolling may happen. *)
+  let p' = Passes.Unroll.run cfg p in
+  check Alcotest.int "unchanged size" (program_size p) (program_size p')
+
+let test_inline_splices_callee () =
+  let b = B.create () in
+  Workloads.Kernels.def_leaf_scale b "leaf" ~m:3 ~a:1 ~s:0;
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let r = B.call fb "leaf" [ Imm 5 ] in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Inline.run (F.decode F.o3) p in
+  check Alcotest.int "call gone" 0
+    (count_insts is_call
+       { p' with funcs = List.filter (fun f -> f.name = "main") p'.funcs });
+  check Alcotest.int "semantics" 16 (run_checksum p')
+
+let test_inline_respects_size_threshold () =
+  let b = B.create () in
+  Workloads.Kernels.def_helper_mix ~steps:30 b "big" (* ~92 instructions *);
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let r = B.call fb "big" [ Imm 5; Imm 7 ] in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = B.finish b ~entry:"main" in
+  let small = F.decode (setting_with [ ("param_max_inline_insns_auto", 0) ]) in
+  let p' = Passes.Inline.run small p in
+  check Alcotest.int "call kept" 1
+    (count_insts is_call
+       { p' with funcs = List.filter (fun f -> f.name = "main") p'.funcs })
+
+let test_inline_recursive_not_inlined () =
+  let b = B.create () in
+  let fb = B.begin_func b "fact" ~nparams:1 in
+  let n = 0 in
+  let c = B.cmp fb Le (Reg n) (Imm 1) in
+  B.terminate fb (Branch { cond = c; ifso = "base"; ifnot = "rec" });
+  B.start_block fb "rec";
+  let n1 = B.alu fb Sub (Reg n) (Imm 1) in
+  let r = B.call fb "fact" [ Reg n1 ] in
+  let m = B.alu fb Mul (Reg n) (Reg r) in
+  B.terminate fb (Return (Some (Reg m)));
+  B.start_block fb "base";
+  B.terminate fb (Return (Some (Imm 1)));
+  B.end_func fb;
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let r = B.call fb "fact" [ Imm 5 ] in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = B.finish b ~entry:"main" in
+  check Alcotest.int "factorial" 120 (run_checksum p);
+  let p' = Passes.Inline.run (F.decode F.o3) p in
+  check Alcotest.int "still 120" 120 (run_checksum p')
+
+let test_strength_reduce_pow2 () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let x = B.mov fb (Imm 5) in
+      let r = B.alu fb Mul (Reg x) (Imm 8) in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = Passes.Strength.run (B.finish b ~entry:"main") in
+  check Alcotest.int "mul gone" 0 (count_insts is_mul p);
+  check Alcotest.int "semantics" 40 (run_checksum p)
+
+let test_strength_reduce_shift_add () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let x = B.mov fb (Imm 7) in
+      let r = B.alu fb Mul (Reg x) (Imm 9) in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = Passes.Strength.run (B.finish b ~entry:"main") in
+  check Alcotest.int "mul gone" 0 (count_insts is_mul p);
+  check Alcotest.int "semantics" 63 (run_checksum p)
+
+let test_peephole_identities () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let x = B.mov fb (Imm 11) in
+      let a = B.alu fb Add (Reg x) (Imm 0) in
+      let m = B.alu fb Mul (Reg a) (Imm 1) in
+      let s = B.shift fb Lsl (Reg m) (Imm 0) in
+      B.terminate fb (Return (Some (Reg s))));
+  let p = Passes.Peephole.run (B.finish b ~entry:"main") in
+  check Alcotest.int "no alu left" 0
+    (count_insts (function Alu _ | Shift _ -> true | _ -> false) p);
+  check Alcotest.int "semantics" 11 (run_checksum p)
+
+let test_regmove_copy_propagation () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let x = B.mov fb (Imm 4) in
+      let y = B.mov fb (Reg x) in
+      let r = B.alu fb Add (Reg y) (Reg y) in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = Passes.Dce.run (Passes.Regmove.run (B.finish b ~entry:"main")) in
+  (* Constants propagate through both movs, leaving them dead. *)
+  check Alcotest.int "movs gone" 0
+    (count_insts (function Mov _ -> true | _ -> false) p);
+  check Alcotest.int "semantics" 8 (run_checksum p)
+
+let test_sibling_call_conversion () =
+  let b = B.create () in
+  Workloads.Kernels.def_leaf_scale b "leaf" ~m:2 ~a:0 ~s:0;
+  B.func b "wrap" ~nparams:1 (fun fb params ->
+      let x = List.nth params 0 in
+      let r = B.call fb "leaf" [ Reg x ] in
+      B.terminate fb (Return (Some (Reg r))));
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let r = B.call fb "wrap" [ Imm 21 ] in
+      B.terminate fb (Return (Some (Reg r))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Sibling.run p in
+  let tail_calls prog =
+    List.fold_left
+      (fun acc f ->
+        List.fold_left
+          (fun acc bl -> match bl.term with Tail_call _ -> acc + 1 | _ -> acc)
+          acc f.blocks)
+      0 prog.funcs
+  in
+  check Alcotest.int "tail call introduced" 1 (tail_calls p');
+  check Alcotest.int "semantics" 42 (run_checksum p')
+
+let test_thread_jumps_collapses_chains () =
+  let f =
+    {
+      name = "main";
+      params = [];
+      blocks =
+        [
+          { label = "a"; insts = []; term = Jump "b"; balign = 0 };
+          { label = "b"; insts = []; term = Jump "c"; balign = 0 };
+          { label = "c"; insts = []; term = Return (Some (Imm 3)); balign = 0 };
+        ];
+      falign = 0;
+      stack_slots = 0;
+    }
+  in
+  let p =
+    { funcs = [ f ]; entry_func = "main"; data = []; mem_words = 64;
+      stack_base = 0 }
+  in
+  let p' = Passes.Thread_jumps.run p in
+  check Alcotest.bool "chain collapsed" true (count_blocks p' < count_blocks p);
+  check Alcotest.int "semantics" 3 (run_checksum p')
+
+let test_crossjump_merges_tails () =
+  let shared_tail =
+    [
+      Alu { dst = 10; op = Add; a = Imm 1; b = Imm 2 };
+      Alu { dst = 11; op = Mul; a = Reg 10; b = Imm 3 };
+      Store { src = Reg 11; base = Imm 64; offset = Imm 0 };
+    ]
+  in
+  let f =
+    {
+      name = "main";
+      params = [];
+      blocks =
+        [
+          {
+            label = "e";
+            insts = [ Cmp { dst = 0; op = Eq; a = Imm 1; b = Imm 1 } ];
+            term = Branch { cond = 0; ifso = "x"; ifnot = "y" };
+            balign = 0;
+          };
+          {
+            label = "x";
+            insts = Mov { dst = 1; src = Imm 5 } :: shared_tail;
+            term = Jump "z";
+            balign = 0;
+          };
+          {
+            label = "y";
+            insts = Mov { dst = 1; src = Imm 6 } :: shared_tail;
+            term = Jump "z";
+            balign = 0;
+          };
+          {
+            label = "z";
+            insts = [ Load { dst = 2; base = Imm 64; offset = Imm 0 } ];
+            term = Return (Some (Reg 2));
+            balign = 0;
+          };
+        ];
+      falign = 0;
+      stack_slots = 0;
+    }
+  in
+  let p =
+    {
+      funcs = [ f ];
+      entry_func = "main";
+      data = [ { dname = "d"; base = 64; words = 4; init = Zeros } ];
+      mem_words = 128;
+      stack_base = 256;
+    }
+  in
+  let p' = Passes.Crossjump.run p in
+  check Alcotest.bool "code shrank" true (program_size p' < program_size p);
+  check Alcotest.int "semantics" (run_checksum p) (run_checksum p')
+
+let test_unswitch_versions_loop () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:64 ~init:(Ramp { start = 1; step = 1 }) in
+  let d = B.array b "d" ~words:64 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      Workloads.Kernels.mode_switched_loop fb ~src:a ~dst:d ~words:32 ~mode:1;
+      let acc = Workloads.Kernels.reduce_xor fb ~base:d ~words:32 (Imm 0) in
+      B.terminate fb (Return (Some (Reg acc))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Unswitch.run p in
+  check Alcotest.bool "loop duplicated" true (count_blocks p' > count_blocks p);
+  check Alcotest.int "semantics" (run_checksum p) (run_checksum p');
+  (* The invariant branch no longer executes per iteration. *)
+  let branches prog = (snd (Ir.Interp.run_program prog)).Ir.Profile.branches in
+  check Alcotest.bool "fewer dynamic branches" true
+    (branches p' < branches p - 20)
+
+let test_sched_reduces_stalls () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:64 ~init:(Ramp { start = 1; step = 1 }) in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let acc = B.mov fb (Imm 0) in
+      B.counted_loop fb ~from:0 ~limit:(Imm 32) ~step:1 (fun i ->
+          let base, off = Workloads.Kernels.word_addr fb ~base:a i in
+          let v = B.load fb base off in
+          (* Immediate use: a stall the scheduler can hide. *)
+          B.emit fb (Alu { dst = acc; op = Add; a = Reg acc; b = Reg v });
+          let x = B.alu fb Xor (Reg i) (Imm 3) in
+          let y = B.alu fb Add (Reg x) (Imm 1) in
+          B.emit fb (Alu { dst = acc; op = Xor; a = Reg acc; b = Reg y }));
+      B.terminate fb (Return (Some (Reg acc))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Sched.run ~interblock:false ~spec:false p in
+  check Alcotest.int "semantics" (run_checksum p) (run_checksum p');
+  let stalls prog =
+    let _, profile = Ir.Interp.run_program prog in
+    let v = Sim.Pipeline.evaluate profile Uarch.Config.xscale in
+    v.Sim.Pipeline.stall_cycles
+  in
+  check Alcotest.bool "stalls reduced" true (stalls p' < stalls p)
+
+let test_sched_never_increases_stalls_on_suite () =
+  (* The greedy selection should never do worse than program order on the
+     real workloads. *)
+  List.iter
+    (fun name ->
+      let program =
+        Workloads.Mibench.program_of (Workloads.Mibench.by_name name)
+      in
+      let base = setting_with [ ("fschedule_insns", 0) ] in
+      let sched = setting_with [ ("fschedule_insns", 1) ] in
+      let stalls s =
+        let _, profile =
+          Ir.Interp.run (Passes.Driver.compile_to_image ~setting:s program)
+        in
+        (Sim.Pipeline.evaluate profile Uarch.Config.xscale)
+          .Sim.Pipeline.stall_cycles
+      in
+      let without = stalls base and with_ = stalls sched in
+      if with_ > without +. 1.0 then
+        Alcotest.failf "%s: scheduling increased stalls %.0f -> %.0f" name
+          without with_)
+    [ "qsort"; "crc"; "susan_s"; "fft" ]
+
+let test_regalloc_inserts_caller_saves () =
+  let b = B.create () in
+  Workloads.Kernels.def_leaf_scale b "leaf" ~m:1 ~a:0 ~s:0;
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      (* Many values live across the call. *)
+      let live = List.init 12 (fun i -> B.mov fb (Imm i)) in
+      let r = B.call fb "leaf" [ Imm 1 ] in
+      let acc =
+        List.fold_left (fun acc v -> B.alu fb Add (Reg acc) (Reg v)) r live
+      in
+      B.terminate fb (Return (Some (Reg acc))));
+  let p = B.finish b ~entry:"main" in
+  let with_cs = Passes.Regalloc.run ~caller_saves:true ~after_reload:false p in
+  let without_cs =
+    Passes.Regalloc.run ~caller_saves:false ~after_reload:false p
+  in
+  let spills prog =
+    count_insts
+      (function Spill_store _ | Spill_load _ -> true | _ -> false)
+      prog
+  in
+  check Alcotest.bool "saves inserted" true (spills without_cs > 0);
+  check Alcotest.bool "caller-saves allocation reduces traffic" true
+    (spills with_cs < spills without_cs);
+  check Alcotest.int "semantics with saves" (run_checksum p)
+    (run_checksum without_cs)
+
+let test_after_reload_cleans_redundant_traffic () =
+  let b = B.create () in
+  Workloads.Kernels.def_leaf_scale b "leaf" ~m:1 ~a:0 ~s:0;
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let live = List.init 12 (fun i -> B.mov fb (Imm i)) in
+      (* Two consecutive calls: the second save set is redundant. *)
+      let r1 = B.call fb "leaf" [ Imm 1 ] in
+      let r2 = B.call fb "leaf" [ Imm 2 ] in
+      let acc =
+        List.fold_left
+          (fun acc v -> B.alu fb Add (Reg acc) (Reg v))
+          (B.alu fb Add (Reg r1) (Reg r2))
+          live
+      in
+      B.terminate fb (Return (Some (Reg acc))));
+  let p = B.finish b ~entry:"main" in
+  let plain = Passes.Regalloc.run ~caller_saves:false ~after_reload:false p in
+  let cleaned = Passes.Regalloc.run ~caller_saves:false ~after_reload:true p in
+  let spills prog =
+    count_insts
+      (function Spill_store _ | Spill_load _ -> true | _ -> false)
+      prog
+  in
+  check Alcotest.bool "cleanup removes traffic" true
+    (spills cleaned < spills plain);
+  check Alcotest.int "semantics" (run_checksum plain) (run_checksum cleaned)
+
+let test_reorder_no_backedge_inversion () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:64 ~init:(Ramp { start = 1; step = 1 }) in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let acc = Workloads.Kernels.reduce_xor fb ~base:a ~words:64 (Imm 0) in
+      B.terminate fb (Return (Some (Reg acc))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Reorder.run p in
+  check Alcotest.int "semantics" (run_checksum p) (run_checksum p');
+  (* The back edge must stay a taken branch, costing no companion jumps. *)
+  let jumps prog = (snd (Ir.Interp.run_program prog)).Ir.Profile.jumps in
+  check Alcotest.bool "no jump explosion" true (jumps p' <= jumps p + 2)
+
+let test_align_sets_alignment () =
+  let p = Workloads.Mibench.program_of (Workloads.Mibench.by_name "crc") in
+  let p' = Passes.Align.run (F.decode F.o3) p in
+  let has_aligned =
+    List.exists
+      (fun f ->
+        f.falign = 16 || List.exists (fun bl -> bl.balign > 0) f.blocks)
+      p'.funcs
+  in
+  check Alcotest.bool "alignment requested" true has_aligned;
+  let grow prog = (Ir.Layout.place prog).Ir.Layout.code_bytes in
+  check Alcotest.bool "padding grows code" true (grow p' >= grow p)
+
+let test_gcse_global_sharing () =
+  (* The same expression computed in a dominating block and again in a
+     successor. *)
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let x = B.mov fb (Imm 9) in
+      let m1 = B.alu fb Mul (Reg x) (Imm 11) in
+      let c = B.cmp fb Gt (Reg m1) (Imm 0) in
+      let out = B.mov fb (Imm 0) in
+      B.if_ fb c
+        ~then_:(fun () ->
+          let m2 = B.alu fb Mul (Reg x) (Imm 11) in
+          B.emit fb (Mov { dst = out; src = Reg m2 }))
+        ~else_:(fun () -> ());
+      B.terminate fb (Return (Some (Reg out))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Gcse.run (F.decode F.o3) p in
+  check Alcotest.int "one multiply" 1 (count_insts is_mul p');
+  check Alcotest.int "semantics" 99 (run_checksum p')
+
+let test_gcse_las_forwards_stores () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:4 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let x = B.mov fb (Imm 33) in
+      B.store fb (Reg x) (Imm a) (Imm 0);
+      let v = B.load fb (Imm a) (Imm 0) in
+      B.terminate fb (Return (Some (Reg v))));
+  let p = B.finish b ~entry:"main" in
+  let cfg = F.decode (setting_with [ ("fgcse_las", 1) ]) in
+  let p' = Passes.Gcse.run cfg p in
+  check Alcotest.int "load forwarded" 0 (count_insts is_load p');
+  check Alcotest.int "semantics" 33 (run_checksum p')
+
+let test_gcse_sm_removes_dead_stores () =
+  let b = B.create () in
+  let a = B.array b "a" ~words:4 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      B.store fb (Imm 1) (Imm a) (Imm 0);
+      B.store fb (Imm 2) (Imm a) (Imm 0);
+      let v = B.load fb (Imm a) (Imm 0) in
+      B.terminate fb (Return (Some (Reg v))));
+  let p = B.finish b ~entry:"main" in
+  let cfg = F.decode (setting_with [ ("fgcse_sm", 1) ]) in
+  let p' = Passes.Gcse.run cfg p in
+  check Alcotest.int "one store left" 1 (count_insts is_store p');
+  check Alcotest.int "semantics" 2 (run_checksum p')
+
+
+(* ---- Sub-flag behaviours ---------------------------------------------- *)
+
+let test_cse_follow_jumps_extends_scope () =
+  (* The same expression on both sides of an unconditional jump: only
+     shared when follow_jumps carries availability across the edge. *)
+  let build () =
+    let b = B.create () in
+    let fb = B.begin_func b "main" ~nparams:0 in
+    let x = B.mov fb (Imm 6) in
+    let m1 = B.alu fb Mul (Reg x) (Imm 7) in
+    B.terminate fb (Jump "next");
+    B.start_block fb "next";
+    let m2 = B.alu fb Mul (Reg x) (Imm 7) in
+    let r = B.alu fb Add (Reg m1) (Reg m2) in
+    B.terminate fb (Return (Some (Reg r)));
+    B.end_func fb;
+    B.finish b ~entry:"main"
+  in
+  let without = Passes.Cse.run ~follow_jumps:false (build ()) in
+  let with_ = Passes.Cse.run ~follow_jumps:true (build ()) in
+  check Alcotest.int "kept without" 2 (count_insts is_mul without);
+  check Alcotest.int "shared with" 1 (count_insts is_mul with_);
+  check Alcotest.int "semantics" 84 (run_checksum with_)
+
+let test_sched_interblock_merges_chains () =
+  let b = B.create () in
+  let fb = B.begin_func b "main" ~nparams:0 in
+  let x = B.mov fb (Imm 3) in
+  B.terminate fb (Jump "tail");
+  B.start_block fb "tail";
+  let r = B.alu fb Add (Reg x) (Imm 4) in
+  B.terminate fb (Return (Some (Reg r)));
+  B.end_func fb;
+  let p = B.finish b ~entry:"main" in
+  let merged = Passes.Sched.run ~interblock:true ~spec:false p in
+  let kept = Passes.Sched.run ~interblock:false ~spec:false p in
+  check Alcotest.bool "merged fewer blocks" true
+    (count_blocks merged < count_blocks kept);
+  check Alcotest.int "semantics" 7 (run_checksum merged)
+
+let test_sched_spec_hoists_multiplies () =
+  (* A multiply at the head of a single-predecessor branch target whose
+     result is dead on the other path: speculable. *)
+  let b = B.create () in
+  let fb = B.begin_func b "main" ~nparams:0 in
+  let x = B.mov fb (Imm 5) in
+  let c = B.cmp fb Gt (Reg x) (Imm 0) in
+  B.terminate fb (Branch { cond = c; ifso = "hot"; ifnot = "cold" });
+  B.start_block fb "hot";
+  let m = B.alu fb Mul (Reg x) (Imm 11) in
+  B.terminate fb (Return (Some (Reg m)));
+  B.start_block fb "cold";
+  B.terminate fb (Return (Some (Imm 0)));
+  B.end_func fb;
+  let p = B.finish b ~entry:"main" in
+  let spec = Passes.Sched.run ~interblock:false ~spec:true p in
+  (* The multiply moved into the branching block. *)
+  let entry_has_mul prog =
+    let f = List.hd prog.funcs in
+    List.exists is_mul (List.hd f.blocks).insts
+  in
+  check Alcotest.bool "hoisted" true (entry_has_mul spec);
+  check Alcotest.int "semantics" 55 (run_checksum spec)
+
+let test_inline_unit_growth_cap () =
+  (* Many call sites to a mid-sized callee: a tiny unit-growth budget
+     must stop inlining before all of them are spliced. *)
+  let build () =
+    let b = B.create () in
+    Workloads.Kernels.def_helper_mix ~steps:8 b "mid";
+    B.func b "main" ~nparams:0 (fun fb _ ->
+        let acc = ref (B.mov fb (Imm 1)) in
+        for _ = 1 to 12 do
+          acc := B.call fb "mid" [ Reg !acc; Imm 3 ]
+        done;
+        B.terminate fb (Return (Some (Reg !acc))));
+    B.finish b ~entry:"main"
+  in
+  let tight =
+    F.decode
+      (setting_with
+         [ ("param_inline_unit_growth", 0); ("param_large_unit_insns", 0) ])
+  in
+  let loose = F.decode (setting_with [ ("param_inline_unit_growth", 7) ]) in
+  let calls_left cfg =
+    let p = Passes.Inline.run cfg (build ()) in
+    count_insts is_call
+      { p with funcs = List.filter (fun f -> f.name = "main") p.funcs }
+  in
+  check Alcotest.bool "tight budget inlines less" true
+    (calls_left tight > calls_left loose);
+  check Alcotest.int "semantics preserved under tight budget"
+    (run_checksum (build ()))
+    (run_checksum (Passes.Inline.run tight (build ())))
+
+let test_thread_jumps_folds_same_target_branch () =
+  let f =
+    {
+      name = "main";
+      params = [];
+      blocks =
+        [
+          {
+            label = "e";
+            insts = [ Cmp { dst = 0; op = Eq; a = Imm 1; b = Imm 2 } ];
+            term = Branch { cond = 0; ifso = "x"; ifnot = "x" };
+            balign = 0;
+          };
+          { label = "x"; insts = []; term = Return (Some (Imm 9)); balign = 0 };
+        ];
+      falign = 0;
+      stack_slots = 0;
+    }
+  in
+  let p =
+    { funcs = [ f ]; entry_func = "main"; data = []; mem_words = 64;
+      stack_base = 0 }
+  in
+  let p' = Passes.Thread_jumps.run p in
+  let has_branch =
+    List.exists
+      (fun (b : block) -> match b.term with Branch _ -> true | _ -> false)
+      (List.hd p'.funcs).blocks
+  in
+  check Alcotest.bool "branch folded to jump" false has_branch;
+  check Alcotest.int "semantics" 9 (run_checksum p')
+
+let test_peephole_cmp_inversion () =
+  let b = B.create () in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      let c = B.cmp fb Lt (Imm 3) (Imm 5) in
+      let z = B.cmp fb Eq (Reg c) (Imm 0) in
+      B.terminate fb (Return (Some (Reg z))));
+  let p = Passes.Peephole.run (B.finish b ~entry:"main") in
+  check Alcotest.int "one compare left" 1
+    (count_insts (function Cmp _ -> true | _ -> false) p);
+  check Alcotest.int "semantics (not (3<5))" 0 (run_checksum p)
+
+let test_unswitch_budget_bounded () =
+  (* A function with many unswitchable loops must not blow up
+     unboundedly: the per-function budget caps duplication. *)
+  let b = B.create () in
+  let a = B.array b "a" ~words:64 ~init:Zeros in
+  B.func b "main" ~nparams:0 (fun fb _ ->
+      for k = 1 to 5 do
+        Workloads.Kernels.mode_switched_loop fb ~src:a ~dst:a ~words:8
+          ~mode:(k mod 2)
+      done;
+      B.terminate fb (Return (Some (Imm 0))));
+  let p = B.finish b ~entry:"main" in
+  let p' = Passes.Unswitch.run p in
+  check Alcotest.bool "bounded growth" true
+    (program_size p' < 3 * program_size p);
+  check Alcotest.int "semantics" (run_checksum p) (run_checksum p')
+
+let test_driver_idempotent_on_o3 () =
+  (* Compiling an already-compiled program must still preserve
+     semantics (passes see spill code and lowered conventions). *)
+  let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name "crc") in
+  let once = Passes.Driver.compile ~setting:F.o3 program in
+  let twice = Passes.Driver.compile ~setting:F.o3 once in
+  check Alcotest.int "semantics after recompilation" (run_checksum once)
+    (run_checksum twice)
+
+(* ---- The big property: semantics preservation ------------------------ *)
+
+let prop_pipeline_preserves_checksum =
+  QCheck.Test.make ~name:"random setting preserves checksum on random program"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (pseed, sseed) ->
+         Printf.sprintf "prog seed %d, setting seed %d" pseed sseed)
+       QCheck.Gen.(pair (int_bound 100000) (int_bound 100000)))
+    (fun (pseed, sseed) ->
+      let rng = Prelude.Rng.create pseed in
+      let program = Testsupport.Gen_program.generate rng in
+      let setting = F.random (Prelude.Rng.create sseed) in
+      let reference = run_checksum program in
+      compile_checksum setting program = reference)
+
+let test_o3_preserves_suite_checksums () =
+  Array.iter
+    (fun spec ->
+      let program = Workloads.Mibench.program_of spec in
+      let reference = run_checksum program in
+      if compile_checksum F.o3 program <> reference then
+        Alcotest.failf "%s miscompiled at O3" spec.Workloads.Spec.name)
+    Workloads.Mibench.all
+
+let test_extreme_settings_preserve_suite_checksums () =
+  let all_on = Array.mapi (fun i _ -> F.cardinality F.dims.(i) - 1) F.dims in
+  List.iter
+    (fun setting ->
+      List.iter
+        (fun name ->
+          let program =
+            Workloads.Mibench.program_of (Workloads.Mibench.by_name name)
+          in
+          let reference = run_checksum program in
+          if compile_checksum setting program <> reference then
+            Alcotest.failf "%s miscompiled" name)
+        [ "rijndael_e"; "search"; "say"; "crc"; "tiffdither" ])
+    [ F.all_off; all_on ]
+
+let test_validate_after_every_o3_compile () =
+  Array.iter
+    (fun spec ->
+      let program = Workloads.Mibench.program_of spec in
+      Ir.Validate.check_exn (Passes.Driver.compile ~setting:F.o3 program))
+    Workloads.Mibench.all
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "passes"
+    [
+      ( "flags",
+        [
+          quick "dimensions" test_flags_dimensions;
+          quick "space sizes" test_flags_space_sizes;
+          quick "O3 defaults" test_flags_o3_defaults;
+          quick "random settings valid" test_flags_random_valid;
+          quick "canonical gating" test_flags_canonical_gating;
+          quick "negative flags" test_flags_decode_negative_flags;
+        ] );
+      ( "scalar passes",
+        [
+          quick "constprop folds branches" test_constprop_folds_branches;
+          quick "constprop respects dominance" test_constprop_respects_dominance;
+          quick "dce removes dead code" test_dce_removes_dead_code;
+          quick "dce keeps side effects" test_dce_keeps_stores_and_calls;
+          quick "cse shares expressions" test_cse_shares_expressions;
+          quick "cse commutative keys" test_cse_commutative_keys;
+          quick "cse load killed by store" test_cse_load_killed_by_store;
+          quick "strength reduce pow2" test_strength_reduce_pow2;
+          quick "strength reduce shift+add" test_strength_reduce_shift_add;
+          quick "peephole identities" test_peephole_identities;
+          quick "regmove copy propagation" test_regmove_copy_propagation;
+          quick "gcse global sharing" test_gcse_global_sharing;
+          quick "gcse-las store forwarding" test_gcse_las_forwards_stores;
+          quick "gcse-sm dead stores" test_gcse_sm_removes_dead_stores;
+        ] );
+      ( "loop passes",
+        [
+          quick "licm hoists invariants" test_licm_hoists_invariants;
+          quick "unroll clean divisible" test_unroll_clean_divisible;
+          quick "unroll exit retained" test_unroll_exit_retained;
+          quick "unroll size limit" test_unroll_respects_size_limit;
+          quick "unswitch versions loop" test_unswitch_versions_loop;
+        ] );
+      ( "interprocedural",
+        [
+          quick "inline splices callee" test_inline_splices_callee;
+          quick "inline size threshold" test_inline_respects_size_threshold;
+          quick "recursion not inlined" test_inline_recursive_not_inlined;
+          quick "sibling call conversion" test_sibling_call_conversion;
+        ] );
+      ( "cfg passes",
+        [
+          quick "thread jumps" test_thread_jumps_collapses_chains;
+          quick "crossjump merges tails" test_crossjump_merges_tails;
+          quick "reorder keeps back edges" test_reorder_no_backedge_inversion;
+          quick "alignment" test_align_sets_alignment;
+        ] );
+      ( "lowering",
+        [
+          quick "sched reduces stalls" test_sched_reduces_stalls;
+          quick "sched never hurts on suite" test_sched_never_increases_stalls_on_suite;
+          quick "caller saves" test_regalloc_inserts_caller_saves;
+          quick "after-reload cleanup" test_after_reload_cleans_redundant_traffic;
+        ] );
+      ( "sub-flags",
+        [
+          quick "cse follow-jumps scope" test_cse_follow_jumps_extends_scope;
+          quick "interblock merging" test_sched_interblock_merges_chains;
+          quick "speculative hoist" test_sched_spec_hoists_multiplies;
+          quick "inline unit growth cap" test_inline_unit_growth_cap;
+          quick "branch with equal targets" test_thread_jumps_folds_same_target_branch;
+          quick "peephole cmp inversion" test_peephole_cmp_inversion;
+          quick "unswitch budget" test_unswitch_budget_bounded;
+          quick "driver idempotent" test_driver_idempotent_on_o3;
+        ] );
+      ( "semantics preservation",
+        [
+          QCheck_alcotest.to_alcotest prop_pipeline_preserves_checksum;
+          quick "O3 on the whole suite" test_o3_preserves_suite_checksums;
+          quick "extreme settings" test_extreme_settings_preserve_suite_checksums;
+          quick "validate after O3" test_validate_after_every_o3_compile;
+        ] );
+    ]

@@ -1,0 +1,341 @@
+(* Tests for the prelude: RNG, Fenwick tree, reuse-distance analysis,
+   statistics, vectors, text rendering and the int buffer. *)
+
+open Prelude
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+let checkf_loose msg = Alcotest.check (Alcotest.float 1e-6) msg
+
+(* ---- Rng ------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  let xs = Array.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = Array.init 50 (fun _ -> Rng.int b 1000) in
+  if xs = ys then Alcotest.fail "split streams identical"
+
+let test_rng_float_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 1.0 in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 5 in
+  let picks = Rng.sample_without_replacement rng 1000 100 in
+  check Alcotest.int "count" 100 (Array.length picks);
+  let seen = Hashtbl.create 128 in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= 1000 then Alcotest.failf "out of range: %d" p;
+      if Hashtbl.mem seen p then Alcotest.failf "duplicate: %d" p;
+      Hashtbl.add seen p ())
+    picks
+
+let test_sample_full_population () =
+  let rng = Rng.create 6 in
+  let picks = Rng.sample_without_replacement rng 10 10 in
+  let sorted = Array.copy picks in
+  Array.sort compare sorted;
+  check
+    Alcotest.(array int)
+    "permutation" (Array.init 10 Fun.id) sorted
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 8 in
+  let a = Array.init 30 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 30 Fun.id) sorted
+
+let test_gaussian_moments () =
+  let rng = Rng.create 10 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng) in
+  let m = Stats.mean xs and s = Stats.std xs in
+  if Float.abs m > 0.05 then Alcotest.failf "gaussian mean %f" m;
+  if Float.abs (s -. 1.0) > 0.05 then Alcotest.failf "gaussian std %f" s
+
+(* ---- Fenwick -------------------------------------------------------- *)
+
+let test_fenwick_against_naive () =
+  let rng = Rng.create 11 in
+  let n = 200 in
+  let reference = Array.make n 0 in
+  let fen = Fenwick.create n in
+  for _ = 1 to 500 do
+    let i = Rng.int rng n in
+    let delta = Rng.int rng 10 - 5 in
+    reference.(i) <- reference.(i) + delta;
+    Fenwick.add fen i delta
+  done;
+  for i = 0 to n - 1 do
+    let expected = Array.fold_left ( + ) 0 (Array.sub reference 0 (i + 1)) in
+    check Alcotest.int "prefix" expected (Fenwick.prefix_sum fen i)
+  done;
+  check Alcotest.int "total" (Array.fold_left ( + ) 0 reference)
+    (Fenwick.total fen)
+
+let test_fenwick_range () =
+  let fen = Fenwick.create 10 in
+  Fenwick.add fen 3 5;
+  Fenwick.add fen 7 2;
+  check Alcotest.int "range" 7 (Fenwick.range_sum fen 0 9);
+  check Alcotest.int "range" 5 (Fenwick.range_sum fen 3 3);
+  check Alcotest.int "range" 0 (Fenwick.range_sum fen 4 6);
+  check Alcotest.int "empty" 0 (Fenwick.range_sum fen 5 4)
+
+(* ---- Reuse ---------------------------------------------------------- *)
+
+let qcheck_trace =
+  QCheck.make
+    ~print:(fun t -> String.concat "," (List.map string_of_int (Array.to_list t)))
+    (QCheck.Gen.map Array.of_list
+       QCheck.Gen.(list_size (int_range 1 120) (int_range 0 20)))
+
+let prop_histogram_matches_naive =
+  QCheck.Test.make ~name:"reuse histogram matches naive stack distances"
+    ~count:200 qcheck_trace (fun trace ->
+      let h = Reuse.histogram_of_blocks trace in
+      let naive = Testsupport.Naive.stack_distances trace in
+      let cold = Array.fold_left (fun a d -> if d < 0 then a + 1 else a) 0 naive in
+      let total_entries =
+        Array.fold_left (fun a (_, c) -> a + c) 0 h.Reuse.entries
+      in
+      h.Reuse.cold = cold
+      && h.Reuse.total = Array.length trace
+      && total_entries + cold = Array.length trace)
+
+let prop_fully_assoc_matches_lru =
+  QCheck.Test.make
+    ~name:"sets=1 miss count equals a real LRU simulation" ~count:200
+    (QCheck.pair qcheck_trace (QCheck.int_range 1 16))
+    (fun (trace, capacity) ->
+      (* Distances below the quantisation threshold are exact, which holds
+         for these small traces. *)
+      let h = Reuse.histogram_of_blocks trace in
+      let expected = Testsupport.Naive.lru_misses ~capacity trace in
+      let got = Reuse.expected_misses h ~sets:1 ~ways:capacity in
+      Float.abs (got -. float_of_int expected) < 1e-6)
+
+let test_binomial_tail_against_naive () =
+  List.iter
+    (fun (n, p, k) ->
+      checkf_loose
+        (Printf.sprintf "tail n=%d p=%f k=%d" n p k)
+        (Testsupport.Naive.binomial_tail_ge ~n ~p ~k)
+        (Reuse.binomial_tail_ge ~n ~p ~k))
+    [
+      (10, 0.5, 3); (10, 0.1, 1); (50, 0.03125, 4); (200, 0.125, 8);
+      (5, 0.9, 5); (1, 0.5, 1);
+    ]
+
+let test_binomial_tail_edges () =
+  checkf "k=0" 1.0 (Reuse.binomial_tail_ge ~n:10 ~p:0.3 ~k:0);
+  checkf "k>n" 0.0 (Reuse.binomial_tail_ge ~n:5 ~p:0.3 ~k:6);
+  checkf "p=0" 0.0 (Reuse.binomial_tail_ge ~n:5 ~p:0.0 ~k:1);
+  checkf "huge n" 1.0 (Reuse.binomial_tail_ge ~n:1_000_000 ~p:0.25 ~k:4)
+
+let test_capacity_model_monotone () =
+  let rng = Rng.create 12 in
+  let trace = Array.init 2000 (fun _ -> Rng.int rng 300) in
+  let h = Reuse.histogram_of_blocks trace in
+  let prev = ref infinity in
+  List.iter
+    (fun cap ->
+      let m = Reuse.miss_fraction_capacity h ~capacity_blocks:cap ~ways:4 in
+      if m > !prev +. 1e-9 then
+        Alcotest.failf "miss fraction not monotone at capacity %d" cap;
+      prev := m)
+    [ 8; 16; 32; 64; 128; 256; 512 ]
+
+let test_capacity_model_loop_cliff () =
+  (* A loop over F blocks: fits when capacity is comfortably above F,
+     thrashes when it is below. *)
+  let f = 100 in
+  let trace = Array.init (f * 20) (fun i -> i mod f) in
+  let h = Reuse.histogram_of_blocks trace in
+  let fits = Reuse.miss_fraction_capacity h ~capacity_blocks:(2 * f) ~ways:32 in
+  let thrash = Reuse.miss_fraction_capacity h ~capacity_blocks:(f / 2) ~ways:32 in
+  if fits > 0.1 then Alcotest.failf "loop should fit: %f" fits;
+  if thrash < 0.9 then Alcotest.failf "loop should thrash: %f" thrash
+
+let test_merge_histograms () =
+  let a = Reuse.histogram_of_blocks [| 1; 2; 1 |] in
+  let b = Reuse.histogram_of_blocks [| 3; 3 |] in
+  let m = Reuse.merge a b in
+  check Alcotest.int "total" 5 m.Reuse.total;
+  check Alcotest.int "cold" 3 m.Reuse.cold
+
+let test_blocks_of_addresses () =
+  let blocks = Reuse.blocks_of_addresses ~block_bytes:32 [| 0; 31; 32; 64 |] in
+  check Alcotest.(array int) "blocks" [| 0; 0; 1; 2 |] blocks;
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument
+       "Reuse.blocks_of_addresses: block size must be a power of two")
+    (fun () -> ignore (Reuse.blocks_of_addresses ~block_bytes:24 [| 0 |]))
+
+(* ---- Stats ---------------------------------------------------------- *)
+
+let test_mean_median_percentile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  checkf "mean" 2.5 (Stats.mean xs);
+  checkf "median" 2.5 (Stats.median xs);
+  checkf "p0" 1.0 (Stats.percentile xs 0.0);
+  checkf "p100" 4.0 (Stats.percentile xs 100.0);
+  checkf "p25" 1.75 (Stats.percentile xs 25.0)
+
+let test_geomean () =
+  checkf_loose "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_variance_std () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  checkf "variance" 4.0 (Stats.variance xs);
+  checkf "std" 2.0 (Stats.std xs)
+
+let test_pearson () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf_loose "self" 1.0 (Stats.pearson xs xs);
+  checkf_loose "negated" (-1.0) (Stats.pearson xs (Array.map (fun x -> -.x) xs));
+  checkf "constant" 0.0 (Stats.pearson xs [| 1.0; 1.0; 1.0; 1.0 |])
+
+let test_boxplot () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let b = Stats.boxplot xs in
+  checkf "low" 0.0 b.Stats.low;
+  checkf "q1" 25.0 b.Stats.q1;
+  checkf "med" 50.0 b.Stats.med;
+  checkf "q3" 75.0 b.Stats.q3;
+  checkf "high" 100.0 b.Stats.high
+
+let test_entropy () =
+  checkf "uniform 4" 2.0 (Stats.entropy [| 5; 5; 5; 5 |]);
+  checkf "deterministic" 0.0 (Stats.entropy [| 10; 0; 0 |]);
+  checkf "empty" 0.0 (Stats.entropy [| 0; 0 |])
+
+let test_mutual_information () =
+  (* Perfectly dependent: MI = H = 1 bit. *)
+  checkf_loose "dependent" 1.0
+    (Stats.mutual_information [| [| 10; 0 |]; [| 0; 10 |] |]);
+  checkf_loose "independent" 0.0
+    (Stats.mutual_information [| [| 5; 5 |]; [| 5; 5 |] |]);
+  checkf_loose "normalised dependent" 1.0
+    (Stats.normalised_mutual_information [| [| 10; 0 |]; [| 0; 10 |] |])
+
+let test_quantile_bins () =
+  let xs = Array.init 100 (fun i -> float_of_int i) in
+  let edges = Stats.quantile_edges xs 4 in
+  check Alcotest.int "edges" 3 (Array.length edges);
+  check Alcotest.int "bin of 0" 0 (Stats.bin_index edges 0.0);
+  check Alcotest.int "bin of 99" 3 (Stats.bin_index edges 99.0)
+
+let test_zscore () =
+  let rows = [| [| 1.0; 10.0 |]; [| 3.0; 10.0 |] |] in
+  let n = Stats.zscore_fit rows in
+  let z = Stats.zscore_apply n [| 2.0; 10.0 |] in
+  checkf "centre" 0.0 z.(0);
+  checkf "constant column" 0.0 z.(1)
+
+(* ---- Vec ------------------------------------------------------------ *)
+
+let test_vec_ops () =
+  checkf "dot" 11.0 (Vec.dot [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  checkf "l2" 5.0 (Vec.l2_distance [| 0.0; 0.0 |] [| 3.0; 4.0 |]);
+  check Alcotest.int "concat" 4
+    (Array.length (Vec.concat [| 1.0 |] [| 2.0; 3.0; 4.0 |]));
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Vec.dot: length mismatch (2 vs 1)") (fun () ->
+      ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0 |]))
+
+(* ---- Texttab / Ibuf -------------------------------------------------- *)
+
+let test_table_render () =
+  let s = Texttab.render_table ~header:[ "a"; "bb" ] [ [ "1"; "2" ] ] in
+  if not (String.length s > 0 && String.contains s 'a') then
+    Alcotest.fail "table rendering broken"
+
+let test_hinton_ladder () =
+  check Alcotest.string "zero" "   " (Texttab.hinton_cell 0.0);
+  check Alcotest.string "one" "[#]" (Texttab.hinton_cell 1.0);
+  check Alcotest.string "clamped" "[#]" (Texttab.hinton_cell 2.0)
+
+let test_ibuf () =
+  let b = Ibuf.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Ibuf.push b i
+  done;
+  check Alcotest.int "length" 100 (Ibuf.length b);
+  check Alcotest.int "get" 57 (Ibuf.get b 57);
+  check Alcotest.(option int) "last" (Some 99) (Ibuf.last b);
+  check Alcotest.(array int) "to_array" (Array.init 100 Fun.id) (Ibuf.to_array b);
+  Ibuf.clear b;
+  check Alcotest.int "cleared" 0 (Ibuf.length b)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "prelude"
+    [
+      ( "rng",
+        [
+          quick "determinism" test_rng_determinism;
+          quick "bounds" test_rng_bounds;
+          quick "split" test_rng_split_independent;
+          quick "float range" test_rng_float_range;
+          quick "sample without replacement" test_sample_without_replacement;
+          quick "sample full population" test_sample_full_population;
+          quick "shuffle is a permutation" test_shuffle_permutation;
+          quick "gaussian moments" test_gaussian_moments;
+        ] );
+      ( "fenwick",
+        [
+          quick "against naive" test_fenwick_against_naive;
+          quick "ranges" test_fenwick_range;
+        ] );
+      ( "reuse",
+        [
+          QCheck_alcotest.to_alcotest prop_histogram_matches_naive;
+          QCheck_alcotest.to_alcotest prop_fully_assoc_matches_lru;
+          quick "binomial tail vs naive" test_binomial_tail_against_naive;
+          quick "binomial tail edge cases" test_binomial_tail_edges;
+          quick "capacity model monotone" test_capacity_model_monotone;
+          quick "capacity model loop cliff" test_capacity_model_loop_cliff;
+          quick "merge" test_merge_histograms;
+          quick "blocks of addresses" test_blocks_of_addresses;
+        ] );
+      ( "stats",
+        [
+          quick "mean/median/percentile" test_mean_median_percentile;
+          quick "geomean" test_geomean;
+          quick "variance/std" test_variance_std;
+          quick "pearson" test_pearson;
+          quick "boxplot" test_boxplot;
+          quick "entropy" test_entropy;
+          quick "mutual information" test_mutual_information;
+          quick "quantile bins" test_quantile_bins;
+          quick "zscore" test_zscore;
+        ] );
+      ( "vec",
+        [ quick "operations" test_vec_ops ] );
+      ( "render",
+        [
+          quick "table" test_table_render;
+          quick "hinton ladder" test_hinton_ladder;
+          quick "ibuf" test_ibuf;
+        ] );
+    ]

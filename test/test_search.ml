@@ -1,0 +1,112 @@
+(* Tests for the iterative-compilation baselines. *)
+
+module F = Passes.Flags
+
+let check = Alcotest.check
+
+(* A cheap synthetic objective: counts how many dimensions match a hidden
+   target; deterministic, minimised at the target. *)
+let hidden_target =
+  let rng = Prelude.Rng.create 99 in
+  F.random rng
+
+let objective s =
+  let mismatches = ref 0 in
+  Array.iteri (fun i v -> if v <> hidden_target.(i) then incr mismatches) s;
+  float_of_int !mismatches
+
+let test_random_search_curve_monotone () =
+  let rng = Prelude.Rng.create 1 in
+  let r = Search.Iterative.search ~rng ~budget:200 ~evaluate:objective in
+  let prev = ref infinity in
+  Array.iter
+    (fun v ->
+      if v > !prev then Alcotest.fail "best-so-far increased";
+      prev := v)
+    r.Search.Iterative.curve;
+  check (Alcotest.float 1e-9) "last is best" r.Search.Iterative.best_seconds
+    r.Search.Iterative.curve.(199)
+
+let test_random_search_deterministic () =
+  let run seed =
+    let rng = Prelude.Rng.create seed in
+    (Search.Iterative.search ~rng ~budget:50 ~evaluate:objective)
+      .Search.Iterative.best_seconds
+  in
+  check (Alcotest.float 1e-9) "same seed same result" (run 5) (run 5)
+
+let test_convergence_expected_curve () =
+  let rng = Prelude.Rng.create 2 in
+  let times = [| 4.0; 3.0; 2.0; 1.0 |] in
+  let curve = Search.Iterative.convergence ~rng ~trials:2000 times in
+  check Alcotest.int "length" 4 (Array.length curve);
+  (* After all draws the best is certain. *)
+  check (Alcotest.float 1e-9) "converged" 1.0 curve.(3);
+  (* Expected first draw is the mean. *)
+  check (Alcotest.float 0.05) "first draw mean" 2.5 curve.(0);
+  let prev = ref infinity in
+  Array.iter
+    (fun v ->
+      if v > !prev +. 1e-9 then Alcotest.fail "not monotone";
+      prev := v)
+    curve
+
+let test_evaluations_to_reach () =
+  let curve = [| 5.0; 4.0; 2.0; 2.0; 1.0 |] in
+  check Alcotest.(option int) "reach 2.5" (Some 3)
+    (Search.Iterative.evaluations_to_reach curve 2.5);
+  check Alcotest.(option int) "reach 0.5" None
+    (Search.Iterative.evaluations_to_reach curve 0.5)
+
+let test_hill_climb_improves () =
+  let rng = Prelude.Rng.create 3 in
+  let r = Search.Hill_climb.search ~rng ~budget:300 ~evaluate:objective in
+  (* Random start averages ~mismatch on most dimensions; climbing must get
+     much closer to the target. *)
+  check Alcotest.bool "close to target" true (r.Search.Hill_climb.best_seconds < 10.0);
+  check Alcotest.bool "budget respected" true
+    (r.Search.Hill_climb.evaluations <= 300)
+
+let test_hill_climb_beats_random () =
+  let budget = 300 in
+  let rngr = Prelude.Rng.create 4 and rngh = Prelude.Rng.create 4 in
+  let r = Search.Iterative.search ~rng:rngr ~budget ~evaluate:objective in
+  let h = Search.Hill_climb.search ~rng:rngh ~budget ~evaluate:objective in
+  check Alcotest.bool "hill climbing at least as good" true
+    (h.Search.Hill_climb.best_seconds <= r.Search.Iterative.best_seconds)
+
+let test_genetic_improves () =
+  let rng = Prelude.Rng.create 5 in
+  let g = Search.Genetic.search ~rng ~budget:400 ~evaluate:objective () in
+  check Alcotest.bool "below random start" true
+    (g.Search.Genetic.best_seconds < 15.0);
+  check Alcotest.bool "budget respected" true
+    (g.Search.Genetic.evaluations <= 400)
+
+let test_genetic_valid_settings () =
+  let rng = Prelude.Rng.create 6 in
+  let g = Search.Genetic.search ~rng ~budget:100 ~evaluate:objective () in
+  F.validate g.Search.Genetic.best
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "search"
+    [
+      ( "iterative",
+        [
+          quick "curve monotone" test_random_search_curve_monotone;
+          quick "deterministic" test_random_search_deterministic;
+          quick "convergence curve" test_convergence_expected_curve;
+          quick "evaluations to reach" test_evaluations_to_reach;
+        ] );
+      ( "hill climb",
+        [
+          quick "improves" test_hill_climb_improves;
+          quick "beats random" test_hill_climb_beats_random;
+        ] );
+      ( "genetic",
+        [
+          quick "improves" test_genetic_improves;
+          quick "valid settings" test_genetic_valid_settings;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the simulator: branch models, cache adapters, the pipeline
+   timing model and the Xtrem top level. *)
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let crc_run =
+  lazy
+    (Sim.Xtrem.profile_of ~setting:Passes.Flags.o3
+       (Workloads.Mibench.program_of (Workloads.Mibench.by_name "crc")))
+
+(* ---- Branch models ---------------------------------------------------- *)
+
+let test_two_bit_extremes () =
+  checkf "never taken" 0.0 (Sim.Branch.two_bit_mispredict 0.0);
+  checkf "always taken" 0.0 (Sim.Branch.two_bit_mispredict 1.0);
+  let m = Sim.Branch.two_bit_mispredict 0.5 in
+  check Alcotest.bool "50/50 mispredicts half" true (Float.abs (m -. 0.5) < 1e-9)
+
+let test_two_bit_biased_better_than_one_bit () =
+  (* At 90% taken a 2-bit counter should beat the 2p(1-p) of a 1-bit
+     predictor. *)
+  let p = 0.9 in
+  let two = Sim.Branch.two_bit_mispredict p in
+  let one = 2.0 *. p *. (1.0 -. p) in
+  check Alcotest.bool "2-bit better" true (two < one);
+  check Alcotest.bool "worse than perfect" true (two > 0.0)
+
+let test_two_bit_symmetry () =
+  checkf "symmetric" (Sim.Branch.two_bit_mispredict 0.3)
+    (Sim.Branch.two_bit_mispredict 0.7)
+
+let test_direction_mispredictions_counts () =
+  let sites = [| (100, 100); (100, 0); (100, 50) |] in
+  let m = Sim.Branch.direction_mispredictions sites in
+  (* Only the 50/50 site mispredicts: ~50 events. *)
+  check Alcotest.bool "about 50" true (Float.abs (m -. 50.0) < 1.0)
+
+let test_btb_fewer_misses_with_more_entries () =
+  let p = (Lazy.force crc_run).Sim.Xtrem.profile in
+  let small =
+    Sim.Branch.btb_misses p.Ir.Profile.btb_hist
+      { Uarch.Config.xscale with Uarch.Config.btb_entries = 128 }
+  in
+  let large =
+    Sim.Branch.btb_misses p.Ir.Profile.btb_hist
+      { Uarch.Config.xscale with Uarch.Config.btb_entries = 2048 }
+  in
+  check Alcotest.bool "monotone" true (large <= small)
+
+(* ---- Cache adapters --------------------------------------------------- *)
+
+let test_dcache_monotone_in_size () =
+  let p = (Lazy.force crc_run).Sim.Xtrem.profile in
+  let prev = ref infinity in
+  Array.iter
+    (fun size ->
+      let r =
+        Sim.Cache.dcache p { Uarch.Config.xscale with Uarch.Config.dl1_size = size }
+      in
+      if r.Sim.Cache.misses > !prev +. 1e-6 then
+        Alcotest.failf "misses increased at %d" size;
+      prev := r.Sim.Cache.misses)
+    Uarch.Config.il1_sizes
+
+let test_icache_accesses_equal_instructions () =
+  let run = Lazy.force crc_run in
+  let p = run.Sim.Xtrem.profile in
+  let r = Sim.Cache.icache p Uarch.Config.xscale in
+  checkf "one access per instruction"
+    (float_of_int p.Ir.Profile.dyn_insts)
+    r.Sim.Cache.accesses
+
+(* ---- Pipeline --------------------------------------------------------- *)
+
+let test_cycles_bounded_below_by_instructions () =
+  let run = Lazy.force crc_run in
+  let v = Sim.Xtrem.time run Uarch.Config.xscale in
+  check Alcotest.bool "at least one cycle per instruction" true
+    (v.Sim.Pipeline.cycles
+    >= float_of_int run.Sim.Xtrem.profile.Ir.Profile.dyn_insts)
+
+let test_ipc_at_most_width () =
+  let run = Lazy.force crc_run in
+  let v1 = Sim.Xtrem.time run Uarch.Config.xscale in
+  check Alcotest.bool "ipc <= 1" true
+    (v1.Sim.Pipeline.counters.Sim.Counters.ipc <= 1.0);
+  let v2 =
+    Sim.Xtrem.time run { Uarch.Config.xscale with Uarch.Config.issue_width = 2 }
+  in
+  check Alcotest.bool "ipc <= 2" true
+    (v2.Sim.Pipeline.counters.Sim.Counters.ipc <= 2.0);
+  check Alcotest.bool "dual issue at least as fast" true
+    (v2.Sim.Pipeline.cycles <= v1.Sim.Pipeline.cycles)
+
+let test_frequency_tradeoff () =
+  (* Higher frequency: fewer seconds overall, more cycles (misses cost
+     more of them). *)
+  let run = Lazy.force crc_run in
+  let v400 = Sim.Xtrem.time run Uarch.Config.xscale in
+  let v600 =
+    Sim.Xtrem.time run { Uarch.Config.xscale with Uarch.Config.freq_mhz = 600 }
+  in
+  check Alcotest.bool "more cycles at 600MHz" true
+    (v600.Sim.Pipeline.cycles >= v400.Sim.Pipeline.cycles);
+  check Alcotest.bool "less time at 600MHz" true
+    (v600.Sim.Pipeline.seconds < v400.Sim.Pipeline.seconds)
+
+let test_counters_consistency () =
+  let run = Lazy.force crc_run in
+  let v = Sim.Xtrem.time run Uarch.Config.xscale in
+  let c = v.Sim.Pipeline.counters in
+  check Alcotest.int "11 counters" 11 (Array.length (Sim.Counters.to_array c));
+  check Alcotest.bool "miss rates within [0,1]" true
+    (c.Sim.Counters.icache_miss_rate >= 0.0
+    && c.Sim.Counters.icache_miss_rate <= 1.0
+    && c.Sim.Counters.dcache_miss_rate >= 0.0
+    && c.Sim.Counters.dcache_miss_rate <= 1.0);
+  checkf "decode rate equals ipc" c.Sim.Counters.ipc c.Sim.Counters.decode_rate
+
+let test_small_icache_hurts_big_code () =
+  (* rijndael_e's hot loop exceeds a 4K I-cache at -O3: the miss rate and
+     cycles must rise sharply relative to the XScale's 32K. *)
+  let run =
+    Sim.Xtrem.profile_of ~setting:Passes.Flags.o3
+      (Workloads.Mibench.program_of (Workloads.Mibench.by_name "rijndael_e"))
+  in
+  let base = Sim.Xtrem.time run Uarch.Config.xscale in
+  let small =
+    Sim.Xtrem.time run
+      { Uarch.Config.xscale with Uarch.Config.il1_size = 4096; il1_assoc = 4 }
+  in
+  check Alcotest.bool "thrash costs at least 1.5x" true
+    (small.Sim.Pipeline.cycles > 1.5 *. base.Sim.Pipeline.cycles)
+
+let test_stalls_respond_to_load_latency () =
+  let run = Lazy.force crc_run in
+  let fast = Sim.Xtrem.time run Uarch.Config.xscale in
+  (* A large high-associativity D-cache has a longer hit latency. *)
+  let slow =
+    Sim.Xtrem.time run
+      { Uarch.Config.xscale with Uarch.Config.dl1_size = 131072; dl1_assoc = 64 }
+  in
+  check Alcotest.bool "more stalls with slower hits" true
+    (slow.Sim.Pipeline.stall_cycles >= fast.Sim.Pipeline.stall_cycles)
+
+let test_energy_positive_and_scales () =
+  let run = Lazy.force crc_run in
+  let small = Sim.Xtrem.energy_mj run Uarch.Config.xscale in
+  let big =
+    Sim.Xtrem.energy_mj run
+      { Uarch.Config.xscale with Uarch.Config.il1_size = 131072;
+        dl1_size = 131072 }
+  in
+  check Alcotest.bool "positive" true (small > 0.0);
+  check Alcotest.bool "bigger caches burn more" true (big > small)
+
+let test_deterministic_verdicts () =
+  let run = Lazy.force crc_run in
+  let a = Sim.Xtrem.time run Uarch.Config.xscale in
+  let b = Sim.Xtrem.time run Uarch.Config.xscale in
+  checkf "deterministic" a.Sim.Pipeline.cycles b.Sim.Pipeline.cycles
+
+
+(* ---- Exact cache simulation (validation reference) -------------------- *)
+
+let test_cache_sim_fully_assoc_matches_naive () =
+  let rng = Prelude.Rng.create 21 in
+  for _ = 1 to 20 do
+    let trace = Array.init 300 (fun _ -> Prelude.Rng.int rng 40 * 8) in
+    let capacity = 1 + Prelude.Rng.int rng 12 in
+    let t = Sim.Cache_sim.run ~sets:1 ~ways:capacity ~block_bytes:8 trace in
+    let blocks = Array.map (fun a -> a / 8) trace in
+    let expected = Testsupport.Naive.lru_misses ~capacity blocks in
+    check Alcotest.int "exact LRU" expected t.Sim.Cache_sim.misses
+  done
+
+let test_cache_sim_set_mapping () =
+  (* Two blocks mapping to different sets never evict each other. *)
+  let t = Sim.Cache_sim.create ~sets:2 ~ways:1 ~block_bytes:8 in
+  Sim.Cache_sim.access t 0;   (* set 0 *)
+  Sim.Cache_sim.access t 8;   (* set 1 *)
+  Sim.Cache_sim.access t 0;
+  Sim.Cache_sim.access t 8;
+  check Alcotest.int "only cold misses" 2 t.Sim.Cache_sim.misses
+
+let test_analytic_model_close_to_exact () =
+  let program =
+    Passes.Driver.compile ~setting:Passes.Flags.o3
+      (Workloads.Mibench.program_of (Workloads.Mibench.by_name "crc"))
+  in
+  List.iter
+    (fun u ->
+      let exact, model, accesses = Sim.Cache_sim.validate_dcache program u in
+      let err =
+        Float.abs (model -. float_of_int exact) /. float_of_int (max 1 accesses)
+      in
+      if err > 0.05 then
+        Alcotest.failf "analytic model off by %.3f miss rate" err)
+    [
+      Uarch.Config.xscale;
+      { Uarch.Config.xscale with Uarch.Config.dl1_size = 4096; dl1_assoc = 4 };
+    ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sim"
+    [
+      ( "branch",
+        [
+          quick "two-bit extremes" test_two_bit_extremes;
+          quick "two-bit vs one-bit" test_two_bit_biased_better_than_one_bit;
+          quick "two-bit symmetry" test_two_bit_symmetry;
+          quick "direction counts" test_direction_mispredictions_counts;
+          quick "btb monotone" test_btb_fewer_misses_with_more_entries;
+        ] );
+      ( "cache",
+        [
+          quick "dcache monotone in size" test_dcache_monotone_in_size;
+          quick "icache access count" test_icache_accesses_equal_instructions;
+        ] );
+      ( "exact simulation",
+        [
+          quick "fully-assoc matches naive LRU" test_cache_sim_fully_assoc_matches_naive;
+          quick "set mapping" test_cache_sim_set_mapping;
+          quick "analytic close to exact" test_analytic_model_close_to_exact;
+        ] );
+      ( "pipeline",
+        [
+          quick "cycles lower bound" test_cycles_bounded_below_by_instructions;
+          quick "ipc bounded by width" test_ipc_at_most_width;
+          quick "frequency trade-off" test_frequency_tradeoff;
+          quick "counters consistent" test_counters_consistency;
+          quick "small icache thrash" test_small_icache_hurts_big_code;
+          quick "load latency stalls" test_stalls_respond_to_load_latency;
+          quick "energy model" test_energy_positive_and_scales;
+          quick "deterministic" test_deterministic_verdicts;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Tests for the microarchitecture space and the Cacti-style model. *)
+
+let check = Alcotest.check
+
+let test_space_cardinality () =
+  check Alcotest.int "table 2: 288000 configurations" 288000
+    (Uarch.Space.cardinality Uarch.Space.Base);
+  check Alcotest.int "extended space" (288000 * 10)
+    (Uarch.Space.cardinality Uarch.Space.Extended)
+
+let test_xscale_valid () = Uarch.Config.validate Uarch.Config.xscale
+
+let test_all_enumerated_valid () =
+  (* A systematic stride through the full space. *)
+  let n = Uarch.Space.cardinality Uarch.Space.Base in
+  let i = ref 0 in
+  while !i < n do
+    Uarch.Config.validate (Uarch.Space.nth Uarch.Space.Base !i);
+    i := !i + 997
+  done
+
+let test_nth_bounds () =
+  Alcotest.check_raises "negative" (Invalid_argument "Space.nth") (fun () ->
+      ignore (Uarch.Space.nth Uarch.Space.Base (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Space.nth") (fun () ->
+      ignore (Uarch.Space.nth Uarch.Space.Base 288000))
+
+let test_sample_deterministic_and_distinct () =
+  let a = Uarch.Space.sample Uarch.Space.Base ~seed:42 50 in
+  let b = Uarch.Space.sample Uarch.Space.Base ~seed:42 50 in
+  check Alcotest.bool "deterministic" true (a = b);
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      let key = Uarch.Config.to_string c in
+      if Hashtbl.mem seen key then Alcotest.failf "duplicate sample %s" key;
+      Hashtbl.add seen key ())
+    a
+
+let test_sample_covers_space () =
+  (* Uniform sampling over 200 points should hit small and large caches. *)
+  let sample = Uarch.Space.sample Uarch.Space.Base ~seed:1 200 in
+  let has p = Array.exists p sample in
+  check Alcotest.bool "some small I$" true
+    (has (fun c -> c.Uarch.Config.il1_size = 4096));
+  check Alcotest.bool "some large I$" true
+    (has (fun c -> c.Uarch.Config.il1_size = 131072))
+
+let test_descriptors () =
+  let d = Uarch.Config.descriptors Uarch.Config.xscale in
+  check Alcotest.int "8 descriptors" 8 (Array.length d);
+  check (Alcotest.float 1e-9) "log2 of 32K" 15.0 d.(0);
+  let e = Uarch.Config.descriptors_extended Uarch.Config.xscale in
+  check Alcotest.int "10 extended" 10 (Array.length e)
+
+let test_sets_computation () =
+  let u = Uarch.Config.xscale in
+  (* 32K / (32B * 32 ways) = 32 sets. *)
+  check Alcotest.int "il1 sets" 32 (Uarch.Config.il1_sets u);
+  check Alcotest.int "btb sets" 512 (Uarch.Config.btb_sets u)
+
+let test_cacti_monotone_in_size () =
+  let prev = ref 0.0 in
+  Array.iter
+    (fun size ->
+      let t = Uarch.Cacti.access_time_ns ~size ~assoc:4 ~block:32 in
+      if t <= !prev then Alcotest.failf "access time not increasing at %d" size;
+      prev := t)
+    Uarch.Config.il1_sizes
+
+let test_cacti_monotone_in_assoc () =
+  let prev = ref 0.0 in
+  Array.iter
+    (fun assoc ->
+      let t = Uarch.Cacti.access_time_ns ~size:32768 ~assoc ~block:32 in
+      if t <= !prev then Alcotest.failf "access time not increasing at %d ways" assoc;
+      prev := t)
+    Uarch.Config.assocs
+
+let test_cacti_cycles_scale_with_frequency () =
+  let c400 = Uarch.Cacti.memory_cycles ~freq_mhz:400 in
+  let c600 = Uarch.Cacti.memory_cycles ~freq_mhz:600 in
+  check Alcotest.bool "faster core pays more cycles per miss" true (c600 > c400)
+
+let test_figure1_configs () =
+  check Alcotest.int "three configurations" 3
+    (Array.length Uarch.Space.figure1_configs);
+  Array.iter
+    (fun (_, u) -> Uarch.Config.validate u)
+    Uarch.Space.figure1_configs
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "uarch"
+    [
+      ( "space",
+        [
+          quick "cardinality" test_space_cardinality;
+          quick "xscale valid" test_xscale_valid;
+          quick "enumeration valid" test_all_enumerated_valid;
+          quick "nth bounds" test_nth_bounds;
+          quick "sampling" test_sample_deterministic_and_distinct;
+          quick "sample coverage" test_sample_covers_space;
+          quick "descriptors" test_descriptors;
+          quick "set computation" test_sets_computation;
+          quick "figure 1 configs" test_figure1_configs;
+        ] );
+      ( "cacti",
+        [
+          quick "monotone in size" test_cacti_monotone_in_size;
+          quick "monotone in assoc" test_cacti_monotone_in_assoc;
+          quick "frequency scaling" test_cacti_cycles_scale_with_frequency;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Tests for the MiBench-like workload suite: completeness, validity,
+   determinism, and the program characteristics the paper's narrative
+   relies on. *)
+
+let check = Alcotest.check
+
+(* The 35 names of figure 4's x-axis. *)
+let figure4_names =
+  [
+    "qsort"; "rawcaudio"; "tiff2rgba"; "gs"; "djpeg"; "patricia"; "basicmath";
+    "lout"; "fft_i"; "fft"; "susan_s"; "susan_c"; "tiffmedian"; "ispell";
+    "pgp"; "tiffdither"; "bf_e"; "bf_d"; "rawdaudio"; "pgp_sa"; "tiff2bw";
+    "cjpeg"; "lame"; "dijkstra"; "susan_e"; "toast"; "madplay"; "untoast";
+    "sha"; "bitcnts"; "say"; "rijndael_d"; "crc"; "rijndael_e"; "search";
+  ]
+
+let test_suite_complete () =
+  check Alcotest.int "35 programs" 35 (Array.length Workloads.Mibench.all);
+  List.iter
+    (fun name -> ignore (Workloads.Mibench.by_name name))
+    figure4_names
+
+let test_unknown_benchmark_rejected () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Mibench.by_name: unknown benchmark gcc") (fun () ->
+      ignore (Workloads.Mibench.by_name "gcc"))
+
+let test_all_programs_valid () =
+  Array.iter
+    (fun spec ->
+      Ir.Validate.check_exn (Workloads.Mibench.program_of spec))
+    Workloads.Mibench.all
+
+let test_builds_deterministic () =
+  Array.iter
+    (fun spec ->
+      let a = spec.Workloads.Spec.build () in
+      let b = spec.Workloads.Spec.build () in
+      let cks p = fst (Ir.Interp.run_program p) in
+      check Alcotest.int
+        (spec.Workloads.Spec.name ^ " deterministic")
+        (cks a) (cks b))
+    Workloads.Mibench.all
+
+let test_dynamic_size_bounds () =
+  Array.iter
+    (fun spec ->
+      let program = Workloads.Mibench.program_of spec in
+      let _, p = Ir.Interp.run_program program in
+      let d = p.Ir.Profile.dyn_insts in
+      if d < 5_000 || d > 600_000 then
+        Alcotest.failf "%s runs %d instructions (outside sane bounds)"
+          spec.Workloads.Spec.name d)
+    Workloads.Mibench.all
+
+let test_suites_partition () =
+  let count suite =
+    Array.to_list Workloads.Mibench.all
+    |> List.filter (fun s -> s.Workloads.Spec.suite = suite)
+    |> List.length
+  in
+  check Alcotest.int "auto" 6 (count "auto");
+  check Alcotest.int "consumer" 9 (count "consumer");
+  check Alcotest.int "network" 2 (count "network");
+  check Alcotest.int "office" 4 (count "office");
+  check Alcotest.int "security" 7 (count "security");
+  check Alcotest.int "telecomm" 7 (count "telecomm")
+
+let profile_of name =
+  snd
+    (Ir.Interp.run_program
+       (Workloads.Mibench.program_of (Workloads.Mibench.by_name name)))
+
+(* Character checks backing the paper's narrative. *)
+
+let test_rijndael_has_big_straightline_body () =
+  let p = profile_of "rijndael_e" in
+  check Alcotest.bool "multi-KB code" true (p.Ir.Profile.code_bytes > 2500)
+
+let test_fft_is_mac_heavy () =
+  let p = profile_of "fft" in
+  check Alcotest.bool "macs present" true
+    (p.Ir.Profile.mac * 10 > p.Ir.Profile.dyn_insts / 10)
+
+let test_sha_is_shift_heavy () =
+  let p = profile_of "sha" in
+  let q = profile_of "qsort" in
+  let rate x =
+    float_of_int x.Ir.Profile.shift /. float_of_int x.Ir.Profile.dyn_insts
+  in
+  check Alcotest.bool "sha shifter-bound" true (rate p > 0.12);
+  check Alcotest.bool "more than qsort" true (rate p > rate q)
+
+let test_say_is_call_heavy () =
+  let p = profile_of "say" in
+  check Alcotest.bool "calls frequent" true
+    (p.Ir.Profile.calls + p.Ir.Profile.tail_calls
+    > p.Ir.Profile.dyn_insts / 40)
+
+let test_qsort_branches_unpredictable_structure () =
+  let p = profile_of "qsort" in
+  check Alcotest.bool "branchy" true
+    (p.Ir.Profile.branches > p.Ir.Profile.dyn_insts / 12)
+
+let test_descriptions_present () =
+  Array.iter
+    (fun s ->
+      if String.length s.Workloads.Spec.description < 40 then
+        Alcotest.failf "%s lacks a rationale" s.Workloads.Spec.name)
+    Workloads.Mibench.all
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "workloads"
+    [
+      ( "suite",
+        [
+          quick "complete and named as figure 4" test_suite_complete;
+          quick "unknown rejected" test_unknown_benchmark_rejected;
+          quick "all valid" test_all_programs_valid;
+          quick "deterministic builds" test_builds_deterministic;
+          quick "dynamic size bounds" test_dynamic_size_bounds;
+          quick "suite partition" test_suites_partition;
+          quick "descriptions" test_descriptions_present;
+        ] );
+      ( "character",
+        [
+          quick "rijndael code size" test_rijndael_has_big_straightline_body;
+          quick "fft mac-heavy" test_fft_is_mac_heavy;
+          quick "sha shift-heavy" test_sha_is_shift_heavy;
+          quick "say call-heavy" test_say_is_call_heavy;
+          quick "qsort branchy" test_qsort_branches_unpredictable_structure;
+        ] );
+    ]

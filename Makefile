@@ -1,0 +1,20 @@
+# Developer entry points.  `check` is the tier-1 gate; `bench-smoke`
+# exercises the domain-parallel engine at tiny scale on both the
+# sequential and the 4-domain path so parallel regressions surface in
+# seconds rather than in a full bench run.
+
+.PHONY: check bench-smoke bench clean
+
+check:
+	dune build @all
+	dune runtest
+
+bench-smoke:
+	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=1 dune exec bench/main.exe -- summary
+	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=4 dune exec bench/main.exe -- summary
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

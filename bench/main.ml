@@ -9,8 +9,10 @@
       bench/main.exe --list          list experiment names
 
     Scale is controlled by REPRO_UARCHS / REPRO_OPTS / REPRO_SEED
-    (defaults 24 / 120 / 42; the paper used 200 / 1000).  Experiments
-    sharing a context reuse one dataset and one cross-validation sweep. *)
+    (defaults 24 / 120 / 42; the paper used 200 / 1000) and parallelism
+    by REPRO_JOBS (default: recommended domain count; results are
+    bit-identical at any job count).  Experiments sharing a context
+    reuse one dataset and one cross-validation sweep. *)
 
 let progress msg = Printf.eprintf "[bench] %s\n%!" msg
 
@@ -91,6 +93,9 @@ let () =
           names;
         List.filter (fun (name, _, _) -> List.mem name names) experiments
     in
+    progress
+      (Printf.sprintf "parallelism: %d domain(s) (REPRO_JOBS to change)"
+         (Prelude.Pool.jobs ()));
     List.iter
       (fun (name, doc, run) ->
         let t0 = Unix.gettimeofday () in

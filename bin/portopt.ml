@@ -206,8 +206,22 @@ let predict_cmd =
     Term.(const run $ prog_arg $ uarch_term $ uarchs $ opts)
 
 let () =
+  let envs =
+    [
+      Cmd.Env.info "REPRO_UARCHS"
+        ~doc:"Microarchitectures sampled when training (default 24).";
+      Cmd.Env.info "REPRO_OPTS"
+        ~doc:"Optimisation settings sampled when training (default 120).";
+      Cmd.Env.info "REPRO_SEED" ~doc:"Sampling seed (default 42).";
+      Cmd.Env.info "REPRO_JOBS"
+        ~doc:
+          "Worker domains for dataset generation and cross-validation \
+           (default: recommended domain count).  Results are bit-identical \
+           at any value; 1 is fully sequential.";
+    ]
+  in
   let info =
-    Cmd.info "portopt" ~version:"1.0.0"
+    Cmd.info "portopt" ~version:"1.0.0" ~envs
       ~doc:"Portable compiler optimisation across programs and microarchitectures"
   in
   exit

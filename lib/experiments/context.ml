@@ -16,7 +16,11 @@ let create ?(space = Ml_model.Features.Base) ?scale
     | Some s -> s
     | None -> Ml_model.Dataset.default_scale ~space ()
   in
-  { scale; dataset = None; outcomes = None; progress }
+  (* Dataset generation and cross-validation run the callback from
+     worker domains; serialise it once here so every figure driver
+     inherits a domain-safe printer. *)
+  { scale; dataset = None; outcomes = None;
+    progress = Prelude.Pool.serialised progress }
 
 let dataset t =
   match t.dataset with

@@ -29,9 +29,16 @@ let fraction_of_best outcomes =
   let best = mean best_speedup -. 1.0 in
   if best <= 0.0 then 1.0 else model /. best
 
-let run ?k ?beta ?mask ?(progress = fun (_ : string) -> ()) (d : Dataset.t) =
+let run ?k ?beta ?mask ?pool ?(progress = fun (_ : string) -> ())
+    (d : Dataset.t) =
+  let pool = match pool with Some p -> p | None -> Prelude.Pool.default () in
+  let progress = Prelude.Pool.serialised progress in
   let n_prog = Dataset.n_programs d and n_uarch = Dataset.n_uarchs d in
-  Array.init (n_prog * n_uarch) (fun idx ->
+  (* One task per held-out pair.  Training only reads the dataset;
+     evaluating the prediction goes through the mutex-guarded
+     [Dataset.run_for] cache, whose entries are deterministic — so the
+     outcome array is bit-identical at any job count. *)
+  Prelude.Pool.init pool (n_prog * n_uarch) (fun idx ->
       let prog = idx / n_uarch and uarch = idx mod n_uarch in
       if uarch = 0 then
         progress

@@ -31,7 +31,11 @@ val run :
   ?k:int ->
   ?beta:float ->
   ?mask:bool array ->
+  ?pool:Prelude.Pool.t ->
   ?progress:(string -> unit) ->
   Dataset.t ->
   outcome array
-(** One outcome per dataset pair, in row-major pair order. *)
+(** One outcome per dataset pair, in row-major pair order.  The
+    train/predict/evaluate loop is fanned out over [pool] (default: the
+    shared [Prelude.Pool] sized by [REPRO_JOBS]); the result is
+    bit-identical at any job count, and [progress] is serialised. *)

@@ -15,9 +15,13 @@
     - [REPRO_UARCHS]  microarchitectures sampled (default 24, paper 200)
     - [REPRO_OPTS]    optimisation settings sampled (default 120, paper 1000)
     - [REPRO_SEED]    sampling seed (default 42)
+    - [REPRO_JOBS]    worker domains (default: recommended count; 1 = serial)
 
     The [settings] sample is shared by every pair, matching the uniform
-    random sampling protocol of section 4.3. *)
+    random sampling protocol of section 4.3.  Generation fans the
+    per-program interpretation and the per-pair pricing over a
+    [Prelude.Pool]; both loops are index-pure, so the result is
+    bit-identical at any [REPRO_JOBS]. *)
 
 open Prelude
 
@@ -69,6 +73,9 @@ type t = {
   pairs : pair array;  (** Row-major: prog * n_uarchs + uarch. *)
   extra_runs : (int * Passes.Flags.setting, Sim.Xtrem.run) Hashtbl.t;
       (** Cache for settings outside the sample (model predictions). *)
+  extra_mutex : Mutex.t;
+      (** Guards [extra_runs]: cross-validation evaluates predictions
+          from several domains at once. *)
 }
 
 let n_programs t = Array.length t.specs
@@ -84,11 +91,13 @@ let best_speedup p = p.o3_seconds /. p.best_seconds
 let good_set ~good_fraction times =
   let n = Array.length times in
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare times.(a) times.(b)) order;
+  Array.sort (fun a b -> Float.compare times.(a) times.(b)) order;
   let k = max 1 (int_of_float (Float.round (good_fraction *. float_of_int n))) in
   Array.sub order 0 k
 
-let generate ?(progress = fun (_ : string) -> ()) scale =
+let generate ?pool ?(progress = fun (_ : string) -> ()) scale =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let progress = Pool.serialised progress in
   let specs = Workloads.Mibench.all in
   let uarchs =
     Uarch.Space.sample
@@ -101,29 +110,34 @@ let generate ?(progress = fun (_ : string) -> ()) scale =
   let settings =
     Array.init scale.n_opts (fun _ -> Passes.Flags.random rng)
   in
-  let o3_runs = Array.make (Array.length specs) None in
-  let runs = Array.make (Array.length specs) [||] in
-  Array.iteri
-    (fun pi spec ->
-      progress (Printf.sprintf "profiling %s" spec.Workloads.Spec.name);
-      let program = Workloads.Mibench.program_of spec in
-      let o3 = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
-      o3_runs.(pi) <- Some o3;
-      runs.(pi) <-
-        Array.map
-          (fun s ->
-            let r = Sim.Xtrem.profile_of ~setting:s program in
-            if r.Sim.Xtrem.checksum <> o3.Sim.Xtrem.checksum then
-              failwith
-                (Printf.sprintf
-                   "Dataset.generate: %s miscompiled under %s"
-                   spec.Workloads.Spec.name (Passes.Flags.to_string s));
-            r)
-          settings)
-    specs;
-  let o3_runs = Array.map Option.get o3_runs in
+  (* Interpretation fan-out: one task per program, each compiling and
+     running the -O3 baseline plus every sampled setting. *)
+  let profiles =
+    Pool.init pool (Array.length specs) (fun pi ->
+        let spec = specs.(pi) in
+        progress (Printf.sprintf "profiling %s" spec.Workloads.Spec.name);
+        let program = Workloads.Mibench.program_of spec in
+        let o3 = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+        let rs =
+          Array.map
+            (fun s ->
+              let r = Sim.Xtrem.profile_of ~setting:s program in
+              if r.Sim.Xtrem.checksum <> o3.Sim.Xtrem.checksum then
+                failwith
+                  (Printf.sprintf
+                     "Dataset.generate: %s miscompiled under %s"
+                     spec.Workloads.Spec.name (Passes.Flags.to_string s));
+              r)
+            settings
+        in
+        (o3, rs))
+  in
+  let o3_runs = Array.map fst profiles in
+  let runs = Array.map snd profiles in
+  (* Pricing/good-set fan-out: one task per (program, uarch) pair, all
+     reading the shared immutable profiles. *)
   let pairs =
-    Array.init
+    Pool.init pool
       (Array.length specs * Array.length uarchs)
       (fun idx ->
         let prog_index = idx / Array.length uarchs in
@@ -161,18 +175,36 @@ let generate ?(progress = fun (_ : string) -> ()) scale =
     runs;
     pairs;
     extra_runs = Hashtbl.create 256;
+    extra_mutex = Mutex.create ();
   }
 
 (** Profile of [prog] compiled under an arbitrary setting, cached by
-    canonical (semantic) form. *)
+    canonical (semantic) form.  Safe to call from several domains: the
+    table is mutex-guarded, and because profiling is deterministic a
+    lost insertion race returns the same value either way.  The
+    expensive profiling runs outside the lock. *)
 let run_for t ~prog (setting : Passes.Flags.setting) =
   let key = (prog, Passes.Flags.canonical setting) in
-  match Hashtbl.find_opt t.extra_runs key with
+  let find () =
+    Mutex.lock t.extra_mutex;
+    let r = Hashtbl.find_opt t.extra_runs key in
+    Mutex.unlock t.extra_mutex;
+    r
+  in
+  match find () with
   | Some r -> r
   | None ->
     let program = Workloads.Mibench.program_of t.specs.(prog) in
     let r = Sim.Xtrem.profile_of ~setting program in
-    Hashtbl.replace t.extra_runs key r;
+    Mutex.lock t.extra_mutex;
+    let r =
+      match Hashtbl.find_opt t.extra_runs key with
+      | Some winner -> winner
+      | None ->
+        Hashtbl.replace t.extra_runs key r;
+        r
+    in
+    Mutex.unlock t.extra_mutex;
     r
 
 (** Seconds of [prog] under [setting] on microarchitecture [uarch]. *)

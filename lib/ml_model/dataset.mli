@@ -45,12 +45,16 @@ type t = {
   runs : Sim.Xtrem.run array array;  (** [runs.(prog).(setting)]. *)
   pairs : pair array;  (** Row-major: [prog * n_uarchs + uarch]. *)
   extra_runs : (int * Passes.Flags.setting, Sim.Xtrem.run) Hashtbl.t;
+  extra_mutex : Mutex.t;  (** Guards [extra_runs] across domains. *)
 }
 
-val generate : ?progress:(string -> unit) -> scale -> t
+val generate : ?pool:Prelude.Pool.t -> ?progress:(string -> unit) -> scale -> t
 (** Build the dataset.  Every compiled binary is checksum-checked against
     the -O3 baseline; a mismatch raises [Failure] (it would indicate a
-    miscompilation). *)
+    miscompilation).  The interpretation and pricing loops are fanned out
+    over [pool] (default: the shared [Prelude.Pool] sized by
+    [REPRO_JOBS]); results are bit-identical at any job count, and
+    [progress] is serialised so it never runs concurrently. *)
 
 val n_programs : t -> int
 val n_uarchs : t -> int

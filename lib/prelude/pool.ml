@@ -1,0 +1,166 @@
+(** Fixed-size domain work pool — see pool.mli for the contract.
+
+    One mutex guards all batch state.  Workers sleep on [work_ready]
+    until the generation counter moves, claim indices from a shared
+    cursor, and run tasks outside the lock; the submitting domain
+    participates in the batch and then sleeps on [work_done] until the
+    completion count reaches the batch size.  Results land in a
+    per-batch array slot keyed by index, so scheduling order can never
+    reorder output. *)
+
+type batch = { run : int -> unit; n : int }
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (** New batch published, or shutdown. *)
+  work_done : Condition.t;  (** Completion count reached the batch size. *)
+  mutable batch : batch option;
+  mutable next : int;  (** Next unclaimed index of the current batch. *)
+  mutable completed : int;
+  mutable generation : int;  (** Bumped per batch so workers detect it. *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Claim-and-run loop shared by workers and the submitting domain.
+   Called and returns with [t.mutex] held. *)
+let drain t (b : batch) =
+  let continue = ref true in
+  while !continue do
+    if t.next >= b.n then continue := false
+    else begin
+      let i = t.next in
+      t.next <- i + 1;
+      Mutex.unlock t.mutex;
+      b.run i;
+      Mutex.lock t.mutex;
+      t.completed <- t.completed + 1;
+      if t.completed = b.n then Condition.broadcast t.work_done
+    end
+  done
+
+(* [initial_gen] is the generation at spawn time, captured before the
+   domain starts: a batch published while the worker is still booting
+   must not be skipped. *)
+let worker t initial_gen =
+  Mutex.lock t.mutex;
+  let seen = ref initial_gen in
+  while not t.stop do
+    if t.generation = !seen then Condition.wait t.work_ready t.mutex
+    else begin
+      seen := t.generation;
+      match t.batch with None -> () | Some b -> drain t b
+    end
+  done;
+  Mutex.unlock t.mutex
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      size = jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      batch = None;
+      next = 0;
+      completed = 0;
+      generation = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let init t n f =
+  if n = 0 then [||]
+  else if t.domains = [] || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    (* First-by-index exception wins, so failures are deterministic. *)
+    let err_mutex = Mutex.create () in
+    let err = ref None in
+    let run i =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock err_mutex;
+        (match !err with
+        | Some (j, _, _) when j <= i -> ()
+        | _ -> err := Some (i, e, bt));
+        Mutex.unlock err_mutex
+    in
+    let b = { run; n } in
+    Mutex.lock t.mutex;
+    if t.batch <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.init: nested use of a fixed-size pool"
+    end;
+    t.batch <- Some b;
+    t.next <- 0;
+    t.completed <- 0;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    drain t b;
+    while t.completed < n do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex;
+    match !err with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map Option.get results
+  end
+
+let map t f xs = init t (Array.length xs) (fun i -> f xs.(i))
+
+let jobs_env () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v when v > 0 -> v
+    | _ -> invalid_arg "REPRO_JOBS must be a positive integer"
+  )
+  | None -> Domain.recommended_domain_count ()
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create ~jobs:(jobs_env ()) in
+      default_pool := Some p;
+      at_exit (fun () -> shutdown p);
+      p
+  in
+  Mutex.unlock default_mutex;
+  p
+
+let jobs () = size (default ())
+
+let parallel_init n f = init (default ()) n f
+let parallel_map f xs = map (default ()) f xs
+
+let serialised f =
+  let m = Mutex.create () in
+  fun x ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)

@@ -1,0 +1,63 @@
+(** Deterministic fixed-size domain work pool.
+
+    The training-data and cross-validation sweeps are embarrassingly
+    parallel over independent indices, so the pool exposes exactly the
+    two shapes they need — [init] (indexed fan-out) and [map] — with a
+    hard determinism guarantee: results are stored by index, so the
+    output array is bit-identical to the sequential [Array.init] /
+    [Array.map] whenever the task function is pure per index.  Workers
+    only affect {e which domain} computes an index, never the result.
+
+    Parallelism is controlled by the [REPRO_JOBS] environment variable
+    (default: [Domain.recommended_domain_count ()]).  [REPRO_JOBS=1]
+    spawns no domains at all and runs every task inline in the calling
+    domain — exactly the historical sequential behaviour.
+
+    Exceptions raised by tasks are re-raised in the submitting domain;
+    when several tasks fail, the one with the {e lowest index} wins, so
+    failure behaviour is deterministic too. *)
+
+type t
+(** A pool of worker domains plus the submitting domain. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1]; the
+    submitting domain participates in every batch, so total parallelism
+    is [jobs]).  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val size : t -> int
+(** Total parallelism of the pool, including the submitting domain. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must be idle; further use after
+    shutdown falls back to inline sequential execution. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** [init t n f] is [Array.init n f] with the [n] calls distributed
+    over the pool.  [f] must be safe to call from any domain and pure
+    per index for the determinism guarantee to hold.  Nested use of the
+    same pool from inside a task raises [Invalid_argument] (it would
+    deadlock a fixed-size pool). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] is [Array.map f xs] distributed over the pool. *)
+
+val jobs : unit -> int
+(** Resolved parallelism of the shared default pool: [REPRO_JOBS] if
+    set (must be a positive integer), else
+    [Domain.recommended_domain_count ()]. *)
+
+val default : unit -> t
+(** The process-wide pool used when callers don't pass their own, sized
+    by [jobs ()].  Created on first use; joined automatically at exit. *)
+
+val parallel_init : int -> (int -> 'a) -> 'a array
+(** [init] on the default pool. *)
+
+val parallel_map : ('a -> 'b) -> 'a array -> 'b array
+(** [map] on the default pool. *)
+
+val serialised : ('a -> unit) -> 'a -> unit
+(** [serialised f] wraps callback [f] (typically a progress printer)
+    with a fresh mutex so concurrent domains never interleave inside
+    it.  Identity-like for single-domain use. *)

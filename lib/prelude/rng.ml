@@ -24,9 +24,17 @@ let split t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Keep 62 bits so the value fits OCaml's 63-bit native int. *)
-  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
-  r mod bound
+  (* Rejection sampling: a draw from the final, incomplete bucket of
+     the 62-bit range would make low residues more likely than high
+     ones, so redraw instead.  At most one extra draw per ~2^62/bound
+     calls, and none at all when bound is a power of two. *)
+  let rec draw () =
+    (* Keep 62 bits so the value fits OCaml's 63-bit native int. *)
+    let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
 
 let float t bound =
   (* 53 random bits scaled into [0, 1). *)

@@ -20,10 +20,28 @@ let by_name name =
 
 let cache : (string, Ir.Types.program) Hashtbl.t = Hashtbl.create 64
 
+(* The cache is shared by every domain of the work pool; builders are
+   deterministic, so a lost insertion race returns an equal program. *)
+let cache_mutex = Mutex.create ()
+
 let program_of (spec : Spec.t) =
-  match Hashtbl.find_opt cache spec.Spec.name with
+  let find () =
+    Mutex.lock cache_mutex;
+    let p = Hashtbl.find_opt cache spec.Spec.name in
+    Mutex.unlock cache_mutex;
+    p
+  in
+  match find () with
   | Some p -> p
   | None ->
     let p = spec.Spec.build () in
-    Hashtbl.replace cache spec.Spec.name p;
+    Mutex.lock cache_mutex;
+    let p =
+      match Hashtbl.find_opt cache spec.Spec.name with
+      | Some winner -> winner
+      | None ->
+        Hashtbl.replace cache spec.Spec.name p;
+        p
+    in
+    Mutex.unlock cache_mutex;
     p

@@ -210,6 +210,87 @@ let test_evaluate_caches_settings () =
   let t2 = Ml_model.Dataset.evaluate d ~prog:0 ~uarch:0 F.o3 in
   checkf "cached evaluation deterministic" t1 t2
 
+(* ---- Parallel engine: trace-once/model-many over a domain pool -------- *)
+
+let with_pool jobs f =
+  let pool = Prelude.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Prelude.Pool.shutdown pool) (fun () -> f pool)
+
+let tiny_scale =
+  {
+    Ml_model.Dataset.n_uarchs = 3;
+    n_opts = 10;
+    seed = 23;
+    space = Ml_model.Features.Base;
+    good_fraction = 0.1;
+  }
+
+let check_pairs_identical (a : Ml_model.Dataset.pair) (b : Ml_model.Dataset.pair) =
+  check Alcotest.int "prog" a.prog_index b.prog_index;
+  check Alcotest.int "uarch" a.uarch_index b.uarch_index;
+  check Alcotest.bool "features bit-identical" true
+    (a.features_raw = b.features_raw);
+  check Alcotest.bool "o3 seconds bit-identical" true
+    (a.o3_seconds = b.o3_seconds);
+  check Alcotest.bool "times bit-identical" true (a.times = b.times);
+  check Alcotest.int "best" a.best b.best;
+  check Alcotest.bool "good set identical" true (a.good = b.good);
+  check Alcotest.bool "distribution bit-identical" true
+    (a.distribution = b.distribution)
+
+let test_dataset_identical_across_jobs () =
+  with_pool 1 (fun p1 ->
+      with_pool 4 (fun p4 ->
+          let d1 = Ml_model.Dataset.generate ~pool:p1 tiny_scale in
+          let d4 = Ml_model.Dataset.generate ~pool:p4 tiny_scale in
+          check Alcotest.bool "settings identical" true
+            (d1.Ml_model.Dataset.settings = d4.Ml_model.Dataset.settings);
+          check Alcotest.int "pair count"
+            (Array.length d1.Ml_model.Dataset.pairs)
+            (Array.length d4.Ml_model.Dataset.pairs);
+          Array.iteri
+            (fun i a -> check_pairs_identical a d4.Ml_model.Dataset.pairs.(i))
+            d1.Ml_model.Dataset.pairs))
+
+let test_crossval_identical_across_jobs () =
+  let d = Lazy.force tiny_dataset in
+  let o1 = with_pool 1 (fun p -> Ml_model.Crossval.run ~pool:p d) in
+  let o4 = with_pool 4 (fun p -> Ml_model.Crossval.run ~pool:p d) in
+  check Alcotest.int "outcome count" (Array.length o1) (Array.length o4);
+  Array.iteri
+    (fun i (a : Ml_model.Crossval.outcome) ->
+      let b = o4.(i) in
+      check Alcotest.int "prog" a.prog b.prog;
+      check Alcotest.int "uarch" a.uarch b.uarch;
+      check Alcotest.bool "predicted setting identical" true
+        (a.predicted = b.predicted);
+      check Alcotest.bool "seconds bit-identical" true
+        (a.predicted_seconds = b.predicted_seconds))
+    o1
+
+let test_run_for_concurrent_stress () =
+  (* Hammer the mutex-guarded profile cache from four domains with
+     overlapping (prog, setting) keys and compare against a sequential
+     reference evaluated on a fresh dataset. *)
+  let d = Ml_model.Dataset.generate tiny_scale in
+  let rng = Prelude.Rng.create 99 in
+  let extra = Array.init 6 (fun _ -> F.random rng) in
+  let task i =
+    let setting = extra.(i mod Array.length extra) in
+    let prog = i mod Ml_model.Dataset.n_programs d in
+    Ml_model.Dataset.evaluate d ~prog ~uarch:(i mod 3) setting
+  in
+  let parallel = with_pool 4 (fun p -> Prelude.Pool.init p 120 task) in
+  let reference =
+    let fresh = Ml_model.Dataset.generate tiny_scale in
+    Array.init 120 (fun i ->
+        let setting = extra.(i mod Array.length extra) in
+        let prog = i mod Ml_model.Dataset.n_programs fresh in
+        Ml_model.Dataset.evaluate fresh ~prog ~uarch:(i mod 3) setting)
+  in
+  check Alcotest.bool "concurrent cache bit-identical to sequential" true
+    (parallel = reference)
+
 (* ---- Extensions: clustering and static features ----------------------- *)
 
 let test_kmeans_separates_clusters () =
@@ -320,6 +401,12 @@ let () =
           quick "fraction of best" test_fraction_of_best_bounds;
           quick "mutual information ranges" test_mutual_info_nonnegative;
           quick "evaluation cache" test_evaluate_caches_settings;
+        ] );
+      ( "parallel",
+        [
+          quick "dataset identical across jobs" test_dataset_identical_across_jobs;
+          quick "crossval identical across jobs" test_crossval_identical_across_jobs;
+          quick "run_for concurrent stress" test_run_for_concurrent_stress;
         ] );
     ]
 

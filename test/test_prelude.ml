@@ -65,12 +65,117 @@ let test_shuffle_permutation () =
   Array.sort compare sorted;
   check Alcotest.(array int) "permutation" (Array.init 30 Fun.id) sorted
 
+let test_rng_chi_square_uniform () =
+  (* Pearson chi-square against uniformity for the rejection-sampled
+     [Rng.int].  bound = 13 is coprime with the 62-bit draw range, the
+     case where plain [mod] would be biased.  df = 12; the 0.001
+     critical value is 32.9, so 40 gives slack while still failing for
+     any real bias (deterministic seed, so no flakiness either way). *)
+  let bound = 13 in
+  let n = 130_000 in
+  let rng = Rng.create 2024 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to n do
+    let v = Rng.int rng bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int n /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  if chi2 > 40.0 then Alcotest.failf "chi-square too high: %f" chi2
+
+let test_rng_int_huge_bound () =
+  (* Near the top of the representable range the rejection path is
+     actually reachable; values must still be in bounds. *)
+  let rng = Rng.create 13 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int rng max_int in
+    if v < 0 then Alcotest.failf "negative draw: %d" v
+  done
+
 let test_gaussian_moments () =
   let rng = Rng.create 10 in
   let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng) in
   let m = Stats.mean xs and s = Stats.std xs in
   if Float.abs m > 0.05 then Alcotest.failf "gaussian mean %f" m;
   if Float.abs (s -. 1.0) > 0.05 then Alcotest.failf "gaussian std %f" s
+
+(* ---- Pool ----------------------------------------------------------- *)
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_pool_matches_sequential () =
+  with_pool 4 (fun pool ->
+      let f i = (i * i) + 1 in
+      check
+        Alcotest.(array int)
+        "init preserves index order" (Array.init 100 f) (Pool.init pool 100 f);
+      let xs = Array.init 37 string_of_int in
+      check
+        Alcotest.(array string)
+        "map preserves order"
+        (Array.map (fun s -> s ^ "!") xs)
+        (Pool.map pool (fun s -> s ^ "!") xs))
+
+let test_pool_sequential_size_one () =
+  with_pool 1 (fun pool ->
+      check Alcotest.int "size" 1 (Pool.size pool);
+      check
+        Alcotest.(array int)
+        "jobs=1 inline" (Array.init 10 succ) (Pool.init pool 10 succ))
+
+let test_pool_empty_and_reuse () =
+  with_pool 3 (fun pool ->
+      check Alcotest.(array int) "empty" [||] (Pool.init pool 0 Fun.id);
+      (* Several batches through the same fixed pool. *)
+      for n = 1 to 20 do
+        check
+          Alcotest.(array int)
+          "batch" (Array.init n Fun.id) (Pool.init pool n Fun.id)
+      done)
+
+let test_pool_exception_lowest_index () =
+  with_pool 4 (fun pool ->
+      Alcotest.check_raises "first failing index wins" (Failure "task 3")
+        (fun () ->
+          ignore
+            (Pool.init pool 64 (fun i ->
+                 if i >= 3 then failwith (Printf.sprintf "task %d" i);
+                 i))))
+
+let test_pool_nested_use_rejected () =
+  with_pool 2 (fun pool ->
+      Alcotest.check_raises "nested init refused"
+        (Invalid_argument "Pool.init: nested use of a fixed-size pool")
+        (fun () ->
+          ignore
+            (Pool.init pool 2 (fun _ -> ignore (Pool.init pool 2 Fun.id)))))
+
+let test_pool_parallel_work_is_deterministic () =
+  (* Same work, three pool widths: bit-identical float results. *)
+  let f i =
+    let rng = Rng.create i in
+    let acc = ref 0.0 in
+    for _ = 1 to 500 do
+      acc := !acc +. Rng.float rng 1.0
+    done;
+    !acc
+  in
+  let reference = Array.init 50 f in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let got = Pool.init pool 50 f in
+          if got <> reference then
+            Alcotest.failf "results differ at jobs=%d" jobs))
+    [ 1; 2; 4 ]
 
 (* ---- Fenwick -------------------------------------------------------- *)
 
@@ -301,6 +406,17 @@ let () =
           quick "sample full population" test_sample_full_population;
           quick "shuffle is a permutation" test_shuffle_permutation;
           quick "gaussian moments" test_gaussian_moments;
+          quick "chi-square uniformity" test_rng_chi_square_uniform;
+          quick "huge bound in range" test_rng_int_huge_bound;
+        ] );
+      ( "pool",
+        [
+          quick "matches sequential" test_pool_matches_sequential;
+          quick "size one is inline" test_pool_sequential_size_one;
+          quick "empty and reuse" test_pool_empty_and_reuse;
+          quick "exception lowest index" test_pool_exception_lowest_index;
+          quick "nested use rejected" test_pool_nested_use_rejected;
+          quick "deterministic across widths" test_pool_parallel_work_is_deterministic;
         ] );
       ( "fenwick",
         [

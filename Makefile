@@ -1,17 +1,25 @@
 # Developer entry points.  `check` is the tier-1 gate; `bench-smoke`
 # exercises the domain-parallel engine at tiny scale on both the
 # sequential and the 4-domain path so parallel regressions surface in
-# seconds rather than in a full bench run.
+# seconds rather than in a full bench run; `trace-smoke` runs a tiny
+# traced bench and validates the JSONL against the schema via
+# `portopt report` (see docs/observability.md).
 
-.PHONY: check bench-smoke bench clean
+.PHONY: check bench-smoke trace-smoke bench clean
 
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) trace-smoke
 
 bench-smoke:
 	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=1 dune exec bench/main.exe -- summary
 	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=4 dune exec bench/main.exe -- summary
+
+trace-smoke:
+	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=4 dune exec bench/main.exe -- \
+	  summary --trace trace_smoke.jsonl --json BENCH_smoke.json
+	dune exec bin/portopt.exe -- report trace_smoke.jsonl
 
 bench:
 	dune exec bench/main.exe

@@ -8,6 +8,13 @@
       bench/main.exe fig4 fig6 ...   run selected experiments
       bench/main.exe --list          list experiment names
 
+    Options:
+      --trace FILE       write a JSONL run trace (readable by
+                         `portopt report FILE`)
+      --json FILE        write a BENCH_*.json machine-readable summary
+                         (per-experiment wall times + metrics snapshot)
+      --log-level LEVEL  quiet | info | debug (default info)
+
     Scale is controlled by REPRO_UARCHS / REPRO_OPTS / REPRO_SEED
     (defaults 24 / 120 / 42; the paper used 200 / 1000) and parallelism
     by REPRO_JOBS (default: recommended domain count; results are
@@ -71,15 +78,93 @@ let experiments : (string * string * (unit -> unit)) list =
         List.iter (Printf.printf "wrote %s\n") paths );
   ]
 
+(* Hand-rolled option parsing: the harness predates cmdliner use in
+   bin/portopt and keeps its positional experiment-name interface. *)
+let parse_args args =
+  let trace = ref None and json = ref None and list = ref false in
+  let names = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--list" :: rest ->
+      list := true;
+      go rest
+    | "--trace" :: file :: rest ->
+      trace := Some file;
+      go rest
+    | "--json" :: file :: rest ->
+      json := Some file;
+      go rest
+    | "--log-level" :: level :: rest ->
+      (match Obs.Trace.level_of_string level with
+      | Ok l -> Obs.Trace.set_level l
+      | Error msg ->
+        Printf.eprintf "bench: %s\n" msg;
+        exit 2);
+      go rest
+    | (("--trace" | "--json" | "--log-level") as opt) :: [] ->
+      Printf.eprintf "bench: %s needs an argument\n" opt;
+      exit 2
+    | name :: rest ->
+      names := name :: !names;
+      go rest
+  in
+  go args;
+  (!trace, !json, !list, List.rev !names)
+
+(** BENCH_*.json summary: schema "portopt-bench/1" — run provenance,
+    scale knobs, per-experiment wall seconds and the final metrics
+    snapshot, one self-contained JSON object. *)
+let bench_json ~timings () =
+  let scale = Ml_model.Dataset.default_scale () in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "portopt-bench/1");
+      ("unix_time", Obs.Json.Float (Unix.gettimeofday ()));
+      ("git", Obs.Json.Str (Obs.Trace.git_describe ()));
+      ("ocaml", Obs.Json.Str Sys.ocaml_version);
+      ( "scale",
+        Obs.Json.Obj
+          [
+            ("uarchs", Obs.Json.Int scale.Ml_model.Dataset.n_uarchs);
+            ("opts", Obs.Json.Int scale.Ml_model.Dataset.n_opts);
+            ("seed", Obs.Json.Int scale.Ml_model.Dataset.seed);
+            ("jobs", Obs.Json.Int (Prelude.Pool.jobs ()));
+          ] );
+      ( "experiments",
+        Obs.Json.List
+          (List.rev_map
+             (fun (name, seconds) ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.Str name);
+                   ("seconds", Obs.Json.Float seconds);
+                 ])
+             timings) );
+      ("metrics", Obs.Metrics.snapshot ());
+    ]
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--list" args then
+  let trace, json, list, names =
+    parse_args (List.tl (Array.to_list Sys.argv))
+  in
+  if list then
     List.iter
       (fun (name, doc, _) -> Printf.printf "%-12s %s\n" name doc)
       experiments
   else begin
+    Obs.Span.set_printer (Some progress);
+    Option.iter
+      (fun file ->
+        Obs.Trace.start
+          ~manifest:
+            [
+              ("cmd", Obs.Json.Str "bench");
+              ("jobs", Obs.Json.Int (Prelude.Pool.jobs ()));
+            ]
+          file)
+      trace;
     let selected =
-      match args with
+      match names with
       | [] -> experiments
       | names ->
         List.iter
@@ -96,14 +181,24 @@ let () =
     progress
       (Printf.sprintf "parallelism: %d domain(s) (REPRO_JOBS to change)"
          (Prelude.Pool.jobs ()));
+    let timings = ref [] in
     List.iter
       (fun (name, doc, run) ->
         let t0 = Unix.gettimeofday () in
         Printf.printf "==================================================\n";
         Printf.printf "== %s — %s\n" name doc;
         Printf.printf "==================================================\n";
-        run ();
-        Printf.printf "(%s took %.1fs)\n\n%!" name
-          (Unix.gettimeofday () -. t0))
-      selected
+        Obs.Span.with_ ("bench." ^ name) run;
+        let dt = Unix.gettimeofday () -. t0 in
+        timings := (name, dt) :: !timings;
+        Printf.printf "(%s took %.1fs)\n\n%!" name dt)
+      selected;
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        output_string oc (Obs.Json.to_string (bench_json ~timings:!timings ()));
+        output_char oc '\n';
+        close_out oc;
+        progress (Printf.sprintf "wrote %s" file))
+      json
   end

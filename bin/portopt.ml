@@ -8,13 +8,62 @@
     - [spaces]   the optimisation and design space cardinalities
     - [predict]  train the model and predict the best passes for a
                  workload on a configuration described on the command line
-    - [flags]    show the optimisation dimensions and the -O3 defaults *)
+    - [flags]    show the optimisation dimensions and the -O3 defaults
+    - [report]   validate and summarise a JSONL run trace
+
+    The pipeline subcommands (run, exec, predict) accept [--trace FILE]
+    to record a structured JSONL trace of the run (manifest, nested
+    spans, per-pass timings, final metric totals) and [--log-level] to
+    control both stderr progress lines and trace verbosity.  Tracing is
+    observational only: results are bit-identical with it on or off. *)
 
 open Cmdliner
 
 let prog_arg =
   let doc = "Benchmark name (see the list subcommand)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+(* Telemetry options shared by the pipeline subcommands.  The term
+   evaluates to a thunk so option errors surface through cmdliner
+   before any side effect happens. *)
+let obs_term cmd =
+  let trace =
+    let doc =
+      "Write a JSONL run trace to $(docv): a manifest event (seed, \
+       scale, git describe, argv), nested spans for every pipeline \
+       stage (dataset generation, cross-validation, per-pass compile, \
+       simulation) and the final counter/histogram totals.  Inspect it \
+       with the $(b,report) subcommand."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let level =
+    let doc =
+      "Verbosity for stderr progress lines and the trace: $(b,quiet), \
+       $(b,info) (default) or $(b,debug) (adds per-fold and per-pair \
+       events and progress ticks)."
+    in
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let setup trace level =
+    (match Obs.Trace.level_of_string level with
+    | Ok l -> Obs.Trace.set_level l
+    | Error e -> (
+      Printf.eprintf "portopt: %s\n" e;
+      exit 2));
+    Obs.Span.set_printer (Some (fun line -> Printf.eprintf "%s\n%!" line));
+    match trace with
+    | None -> ()
+    | Some path ->
+      Obs.Trace.start
+        ~manifest:
+          [
+            ("cmd", Obs.Json.Str cmd);
+            ("jobs", Obs.Json.Int (Prelude.Pool.jobs ()));
+          ]
+        path
+  in
+  Term.(const setup $ trace $ level)
 
 (* Microarchitecture options shared by run/predict. *)
 let uarch_term =
@@ -82,7 +131,7 @@ let dump_cmd =
     Term.(const run $ prog_arg $ o3)
 
 let run_cmd =
-  let run name u =
+  let run () name u =
     let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name name) in
     let r = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
     let v = Sim.Xtrem.time r u in
@@ -102,7 +151,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, interpret and time a workload")
-    Term.(const run $ prog_arg $ uarch_term)
+    Term.(const run $ obs_term "run" $ prog_arg $ uarch_term)
 
 let spaces_cmd =
   let run () = print_string (Experiments.Summary.spaces ()) in
@@ -134,7 +183,7 @@ let flags_cmd =
     Term.(const run $ const ())
 
 let exec_cmd =
-  let run file u =
+  let run () file u =
     let ic = open_in file in
     let n = in_channel_length ic in
     let text = really_input_string ic n in
@@ -156,10 +205,10 @@ let exec_cmd =
   in
   Cmd.v
     (Cmd.info "exec" ~doc:"Parse a textual IR file, compile at -O3 and run")
-    Term.(const run $ file $ uarch_term)
+    Term.(const run $ obs_term "exec" $ file $ uarch_term)
 
 let predict_cmd =
-  let run name u uarchs opts =
+  let run () name u uarchs opts =
     let scale =
       {
         (Ml_model.Dataset.default_scale ()) with
@@ -167,17 +216,21 @@ let predict_cmd =
         n_opts = opts;
       }
     in
-    Printf.eprintf "training (%d configurations x %d settings)...\n%!" uarchs
-      opts;
-    let dataset = Ml_model.Dataset.generate scale in
+    Obs.Span.log
+      (Printf.sprintf "training (%d configurations x %d settings)..." uarchs
+         opts);
+    let dataset =
+      Ml_model.Dataset.generate ~progress:(fun m -> Obs.Span.log m) scale
+    in
     let exclude = ref (-1) in
     Array.iteri
       (fun i s -> if s.Workloads.Spec.name = name then exclude := i)
       dataset.Ml_model.Dataset.specs;
     let model =
-      Ml_model.Model.train
-        ~include_pair:(fun ~prog ~uarch:_ -> prog <> !exclude)
-        dataset
+      Obs.Span.with_ "model.train" (fun () ->
+          Ml_model.Model.train
+            ~include_pair:(fun ~prog ~uarch:_ -> prog <> !exclude)
+            dataset)
     in
     let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name name) in
     let o3_run = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
@@ -185,7 +238,10 @@ let predict_cmd =
     let features =
       Ml_model.Features.raw Ml_model.Features.Base o3.Sim.Pipeline.counters u
     in
-    let predicted = Ml_model.Model.predict model features in
+    let predicted =
+      Obs.Span.with_ "model.predict" (fun () ->
+          Ml_model.Model.predict model features)
+    in
     let tuned_run = Sim.Xtrem.profile_of ~setting:predicted program in
     let tuned = Sim.Xtrem.time tuned_run u in
     Printf.printf "predicted passes for %s on %s:\n  %s\n\n" name
@@ -203,7 +259,27 @@ let predict_cmd =
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict the best passes for a new pair")
-    Term.(const run $ prog_arg $ uarch_term $ uarchs $ opts)
+    Term.(const run $ obs_term "predict" $ prog_arg $ uarch_term $ uarchs $ opts)
+
+let report_cmd =
+  let run file =
+    match Obs.Trace.validate_file file with
+    | Error e ->
+      Printf.eprintf "%s: invalid trace: %s\n" file e;
+      exit 1
+    | Ok events -> print_string (Obs.Trace.summarise events)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+           ~doc:"JSONL trace produced by --trace (or bench --trace).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Validate a JSONL run trace against the event schema and print \
+          a summary: manifest, per-span wall/CPU aggregates, and final \
+          counters and histograms")
+    Term.(const run $ file)
 
 let () =
   let envs =
@@ -227,4 +303,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; dump_cmd; run_cmd; exec_cmd; spaces_cmd; flags_cmd; predict_cmd ]))
+          [ list_cmd; dump_cmd; run_cmd; exec_cmd; spaces_cmd; flags_cmd;
+            predict_cmd; report_cmd ]))

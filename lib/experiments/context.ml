@@ -18,9 +18,12 @@ let create ?(space = Ml_model.Features.Base) ?scale
   in
   (* Dataset generation and cross-validation run the callback from
      worker domains; serialise it once here so every figure driver
-     inherits a domain-safe printer. *)
+     inherits a domain-safe printer.  Every line is stamped with
+     elapsed seconds ([Obs.Span.stamp]) before it reaches the caller's
+     printer — the callback signature stays [string -> unit]. *)
+  let progress = Prelude.Pool.serialised progress in
   { scale; dataset = None; outcomes = None;
-    progress = Prelude.Pool.serialised progress }
+    progress = (fun msg -> progress (Obs.Span.stamp msg)) }
 
 let dataset t =
   match t.dataset with
@@ -61,7 +64,7 @@ let program_order t =
                Ml_model.Dataset.best_speedup (Ml_model.Dataset.pair d ~prog:p ~uarch:u))))
   in
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare means.(a) means.(b)) order;
+  Array.sort (fun a b -> Float.compare means.(a) means.(b)) order;
   order
 
 (** Figure 5/7's microarchitecture order: by mean best speedup ascending. *)
@@ -76,7 +79,7 @@ let uarch_order t =
                Ml_model.Dataset.best_speedup (Ml_model.Dataset.pair d ~prog:p ~uarch:u))))
   in
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare means.(a) means.(b)) order;
+  Array.sort (fun a b -> Float.compare means.(a) means.(b)) order;
   order
 
 (** Mean speedups (model, best) for one program across configurations. *)

@@ -29,34 +29,61 @@ let fraction_of_best outcomes =
   let best = mean best_speedup -. 1.0 in
   if best <= 0.0 then 1.0 else model /. best
 
+let m_folds = Obs.Metrics.counter "crossval.folds"
+
 let run ?k ?beta ?mask ?pool ?(progress = fun (_ : string) -> ())
     (d : Dataset.t) =
   let pool = match pool with Some p -> p | None -> Prelude.Pool.default () in
   let progress = Prelude.Pool.serialised progress in
   let n_prog = Dataset.n_programs d and n_uarch = Dataset.n_uarchs d in
-  (* One task per held-out pair.  Training only reads the dataset;
-     evaluating the prediction goes through the mutex-guarded
-     [Dataset.run_for] cache, whose entries are deterministic — so the
-     outcome array is bit-identical at any job count. *)
-  Prelude.Pool.init pool (n_prog * n_uarch) (fun idx ->
-      let prog = idx / n_uarch and uarch = idx mod n_uarch in
-      if uarch = 0 then
-        progress
-          (Printf.sprintf "cross-validating %s"
-             d.Dataset.specs.(prog).Workloads.Spec.name);
-      let model =
-        Model.train ?k ?beta ?mask
-          ~include_pair:(fun ~prog:p ~uarch:u -> p <> prog && u <> uarch)
-          d
+  let fold_seconds = Obs.Metrics.hist "crossval.fold.seconds" in
+  Obs.Span.with_ "crossval.run"
+    ~attrs:
+      [
+        ("programs", Obs.Json.Int n_prog);
+        ("uarchs", Obs.Json.Int n_uarch);
+        ("folds", Obs.Json.Int (n_prog * n_uarch));
+      ]
+    (fun () ->
+      let parent = Obs.Span.current_id () in
+      (* One ETA line per completed program's worth of folds, matching
+         the historical per-program progress cadence. *)
+      let tick =
+        Obs.Span.ticker ~print:progress ~every:n_uarch
+          ~total:(n_prog * n_uarch) "cross-validated"
       in
-      let test = Dataset.pair d ~prog ~uarch in
-      let predicted = Model.predict model test.Dataset.features_raw in
-      let predicted_seconds = Dataset.evaluate d ~prog ~uarch predicted in
-      {
-        prog;
-        uarch;
-        predicted;
-        o3_seconds = test.Dataset.o3_seconds;
-        predicted_seconds;
-        best_seconds = test.Dataset.best_seconds;
-      })
+      (* One task per held-out pair.  Training only reads the dataset;
+         evaluating the prediction goes through the mutex-guarded
+         [Dataset.run_for] cache, whose entries are deterministic — so the
+         outcome array is bit-identical at any job count. *)
+      Prelude.Pool.init pool (n_prog * n_uarch) (fun idx ->
+          let prog = idx / n_uarch and uarch = idx mod n_uarch in
+          let t0 = Obs.Clock.now_s () in
+          let model =
+            Model.train ?k ?beta ?mask
+              ~include_pair:(fun ~prog:p ~uarch:u -> p <> prog && u <> uarch)
+              d
+          in
+          let train_done = Obs.Clock.now_s () in
+          let test = Dataset.pair d ~prog ~uarch in
+          let predicted = Model.predict model test.Dataset.features_raw in
+          let predicted_seconds = Dataset.evaluate d ~prog ~uarch predicted in
+          let dur = Obs.Clock.now_s () -. t0 in
+          Obs.Metrics.add m_folds 1;
+          Obs.Metrics.observe fold_seconds dur;
+          Obs.Span.event ~level:Obs.Trace.Debug ~parent "crossval.fold"
+            [
+              ("prog", Obs.Json.Int prog);
+              ("uarch", Obs.Json.Int uarch);
+              ("dur_s", Obs.Json.Float dur);
+              ("train_s", Obs.Json.Float (train_done -. t0));
+            ];
+          tick d.Dataset.specs.(prog).Workloads.Spec.name;
+          {
+            prog;
+            uarch;
+            predicted;
+            o3_seconds = test.Dataset.o3_seconds;
+            predicted_seconds;
+            best_seconds = test.Dataset.best_seconds;
+          }))

@@ -95,88 +95,144 @@ let good_set ~good_fraction times =
   let k = max 1 (int_of_float (Float.round (good_fraction *. float_of_int n))) in
   Array.sub order 0 k
 
+let m_pairs = Obs.Metrics.counter "dataset.pairs"
+let m_extra_hits = Obs.Metrics.counter "dataset.extra_run_hits"
+let m_extra_misses = Obs.Metrics.counter "dataset.extra_run_misses"
+
+let space_name = function
+  | Features.Base -> "base"
+  | Features.Extended -> "extended"
+
 let generate ?pool ?(progress = fun (_ : string) -> ()) scale =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let progress = Pool.serialised progress in
   let specs = Workloads.Mibench.all in
-  let uarchs =
-    Uarch.Space.sample
-      (match scale.space with
-      | Features.Base -> Uarch.Space.Base
-      | Features.Extended -> Uarch.Space.Extended)
-      ~seed:scale.seed scale.n_uarchs
-  in
-  let rng = Rng.create (scale.seed * 7919) in
-  let settings =
-    Array.init scale.n_opts (fun _ -> Passes.Flags.random rng)
-  in
-  (* Interpretation fan-out: one task per program, each compiling and
-     running the -O3 baseline plus every sampled setting. *)
-  let profiles =
-    Pool.init pool (Array.length specs) (fun pi ->
-        let spec = specs.(pi) in
-        progress (Printf.sprintf "profiling %s" spec.Workloads.Spec.name);
-        let program = Workloads.Mibench.program_of spec in
-        let o3 = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
-        let rs =
-          Array.map
-            (fun s ->
-              let r = Sim.Xtrem.profile_of ~setting:s program in
-              if r.Sim.Xtrem.checksum <> o3.Sim.Xtrem.checksum then
-                failwith
-                  (Printf.sprintf
-                     "Dataset.generate: %s miscompiled under %s"
-                     spec.Workloads.Spec.name (Passes.Flags.to_string s));
-              r)
-            settings
-        in
-        (o3, rs))
-  in
-  let o3_runs = Array.map fst profiles in
-  let runs = Array.map snd profiles in
-  (* Pricing/good-set fan-out: one task per (program, uarch) pair, all
-     reading the shared immutable profiles. *)
-  let pairs =
-    Pool.init pool
-      (Array.length specs * Array.length uarchs)
-      (fun idx ->
-        let prog_index = idx / Array.length uarchs in
-        let uarch_index = idx mod Array.length uarchs in
-        let u = uarchs.(uarch_index) in
-        let o3_verdict = Sim.Xtrem.time o3_runs.(prog_index) u in
-        let times =
-          Array.map
-            (fun r -> (Sim.Xtrem.time r u).Sim.Pipeline.seconds)
-            runs.(prog_index)
-        in
-        let best = ref 0 in
-        Array.iteri (fun i s -> if s < times.(!best) then best := i) times;
-        let good = good_set ~good_fraction:scale.good_fraction times in
-        let good_settings = Array.map (fun i -> settings.(i)) good in
-        {
-          prog_index;
-          uarch_index;
-          features_raw =
-            Features.raw scale.space o3_verdict.Sim.Pipeline.counters u;
-          o3_seconds = o3_verdict.Sim.Pipeline.seconds;
-          times;
-          best = !best;
-          best_seconds = times.(!best);
-          good;
-          distribution = Distribution.fit good_settings;
-        })
-  in
-  {
-    scale;
-    specs;
-    uarchs;
-    settings;
-    o3_runs;
-    runs;
-    pairs;
-    extra_runs = Hashtbl.create 256;
-    extra_mutex = Mutex.create ();
-  }
+  Obs.Span.with_ "dataset.generate"
+    ~attrs:
+      [
+        ("programs", Obs.Json.Int (Array.length specs));
+        ("uarchs", Obs.Json.Int scale.n_uarchs);
+        ("opts", Obs.Json.Int scale.n_opts);
+        ("seed", Obs.Json.Int scale.seed);
+        ("space", Obs.Json.Str (space_name scale.space));
+        ("jobs", Obs.Json.Int (Pool.size pool));
+      ]
+    (fun () ->
+      let uarchs =
+        Uarch.Space.sample
+          (match scale.space with
+          | Features.Base -> Uarch.Space.Base
+          | Features.Extended -> Uarch.Space.Extended)
+          ~seed:scale.seed scale.n_uarchs
+      in
+      let rng = Rng.create (scale.seed * 7919) in
+      let settings =
+        Array.init scale.n_opts (fun _ -> Passes.Flags.random rng)
+      in
+      (* Interpretation fan-out: one task per program, each compiling and
+         running the -O3 baseline plus every sampled setting. *)
+      let profiles =
+        Obs.Span.with_ "dataset.profile" (fun () ->
+            let parent = Obs.Span.current_id () in
+            let tick =
+              Obs.Span.ticker ~print:progress ~total:(Array.length specs)
+                "profiled"
+            in
+            Pool.init pool (Array.length specs) (fun pi ->
+                let spec = specs.(pi) in
+                let t0 = Obs.Clock.now_s () in
+                let program = Workloads.Mibench.program_of spec in
+                let o3 =
+                  Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program
+                in
+                let rs =
+                  Array.map
+                    (fun s ->
+                      let r = Sim.Xtrem.profile_of ~setting:s program in
+                      if r.Sim.Xtrem.checksum <> o3.Sim.Xtrem.checksum then
+                        failwith
+                          (Printf.sprintf
+                             "Dataset.generate: %s miscompiled under %s"
+                             spec.Workloads.Spec.name
+                             (Passes.Flags.to_string s));
+                      r)
+                    settings
+                in
+                Obs.Span.event ~parent "dataset.program"
+                  [
+                    ("program", Obs.Json.Str spec.Workloads.Spec.name);
+                    ("dur_s", Obs.Json.Float (Obs.Clock.now_s () -. t0));
+                    ("runs", Obs.Json.Int (1 + Array.length settings));
+                  ];
+                tick spec.Workloads.Spec.name;
+                (o3, rs)))
+      in
+      let o3_runs = Array.map fst profiles in
+      let runs = Array.map snd profiles in
+      (* Pricing/good-set fan-out: one task per (program, uarch) pair, all
+         reading the shared immutable profiles. *)
+      let pairs =
+        Obs.Span.with_ "dataset.price"
+          ~attrs:
+            [
+              ( "pairs",
+                Obs.Json.Int (Array.length specs * Array.length uarchs) );
+            ]
+          (fun () ->
+            let parent = Obs.Span.current_id () in
+            Pool.init pool
+              (Array.length specs * Array.length uarchs)
+              (fun idx ->
+                let prog_index = idx / Array.length uarchs in
+                let uarch_index = idx mod Array.length uarchs in
+                let t0 = Obs.Clock.now_s () in
+                let u = uarchs.(uarch_index) in
+                let o3_verdict = Sim.Xtrem.time o3_runs.(prog_index) u in
+                let times =
+                  Array.map
+                    (fun r -> (Sim.Xtrem.time r u).Sim.Pipeline.seconds)
+                    runs.(prog_index)
+                in
+                let best = ref 0 in
+                Array.iteri
+                  (fun i s -> if s < times.(!best) then best := i)
+                  times;
+                let good =
+                  good_set ~good_fraction:scale.good_fraction times
+                in
+                let good_settings = Array.map (fun i -> settings.(i)) good in
+                Obs.Metrics.add m_pairs 1;
+                Obs.Span.event ~level:Obs.Trace.Debug ~parent "dataset.pair"
+                  [
+                    ("prog", Obs.Json.Int prog_index);
+                    ("uarch", Obs.Json.Int uarch_index);
+                    ("dur_s", Obs.Json.Float (Obs.Clock.now_s () -. t0));
+                  ];
+                {
+                  prog_index;
+                  uarch_index;
+                  features_raw =
+                    Features.raw scale.space o3_verdict.Sim.Pipeline.counters
+                      u;
+                  o3_seconds = o3_verdict.Sim.Pipeline.seconds;
+                  times;
+                  best = !best;
+                  best_seconds = times.(!best);
+                  good;
+                  distribution = Distribution.fit good_settings;
+                }))
+      in
+      {
+        scale;
+        specs;
+        uarchs;
+        settings;
+        o3_runs;
+        runs;
+        pairs;
+        extra_runs = Hashtbl.create 256;
+        extra_mutex = Mutex.create ();
+      })
 
 (** Profile of [prog] compiled under an arbitrary setting, cached by
     canonical (semantic) form.  Safe to call from several domains: the
@@ -192,8 +248,11 @@ let run_for t ~prog (setting : Passes.Flags.setting) =
     r
   in
   match find () with
-  | Some r -> r
+  | Some r ->
+    Obs.Metrics.add m_extra_hits 1;
+    r
   | None ->
+    Obs.Metrics.add m_extra_misses 1;
     let program = Workloads.Mibench.program_of t.specs.(prog) in
     let r = Sim.Xtrem.profile_of ~setting program in
     Mutex.lock t.extra_mutex;

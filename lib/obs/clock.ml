@@ -1,0 +1,3 @@
+let now_s = Unix.gettimeofday
+
+let cpu_s = Sys.time

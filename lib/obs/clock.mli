@@ -1,0 +1,12 @@
+(** Clocks for the telemetry layer.
+
+    [now_s] is the wall clock used for every span duration and trace
+    timestamp; [cpu_s] is process CPU time, recorded alongside wall time
+    in span-end events so a trace shows where the domains actually
+    burned cycles.  Both are safe to call from any domain. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds (sub-microsecond resolution). *)
+
+val cpu_s : unit -> float
+(** Process CPU seconds consumed so far. *)

@@ -1,0 +1,35 @@
+(** Minimal JSON values for the telemetry layer.
+
+    Hand-rolled (no external dependency) and deliberately small: enough
+    to print one trace event per line ({!to_string} never emits
+    newlines) and to read a trace back for validation and reporting.
+    Printing uses the shortest float representation that round-trips,
+    so [of_string (to_string v)] reconstructs [v] exactly; non-finite
+    floats, which JSON cannot represent, print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line JSON rendering with full string escaping. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; [Error] carries a message with the byte
+    offset of the failure.  Numbers without [.], [e] or [E] parse as
+    {!Int}, everything else as {!Float}. *)
+
+val member : string -> t -> t option
+(** Field lookup in an {!Obj}; [None] for other constructors. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] accepts both {!Float} and {!Int}. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,116 @@
+(** Instrument registry — see metrics.mli for the contract. *)
+
+type counter = int Atomic.t
+
+type gauge = { mutable level : float }
+
+type hist = {
+  m : Mutex.t;
+  mutable count : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type entry = C of counter | G of gauge | H of hist
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let mismatch name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s already registered as another kind" name)
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C c) -> c
+      | Some _ -> mismatch name
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.replace registry name (C c);
+        c)
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (G g) -> g
+      | Some _ -> mismatch name
+      | None ->
+        let g = { level = 0.0 } in
+        Hashtbl.replace registry name (G g);
+        g)
+
+let set g v = g.level <- v
+
+let hist name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (H h) -> h
+      | Some _ -> mismatch name
+      | None ->
+        let h =
+          { m = Mutex.create (); count = 0; sum = 0.0;
+            lo = infinity; hi = neg_infinity }
+        in
+        Hashtbl.replace registry name (H h);
+        h)
+
+let observe h v =
+  Mutex.lock h.m;
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.lo then h.lo <- v;
+  if v > h.hi then h.hi <- v;
+  Mutex.unlock h.m
+
+let hist_count h = h.count
+let hist_sum h = h.sum
+
+let snapshot () =
+  let entries =
+    locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [])
+  in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  let pick f = List.filter_map f entries in
+  let counters =
+    pick (function n, C c -> Some (n, Json.Int (Atomic.get c)) | _ -> None)
+  in
+  let gauges =
+    pick (function n, G g -> Some (n, Json.Float g.level) | _ -> None)
+  in
+  let hists =
+    pick (function
+      | n, H h ->
+        Mutex.lock h.m;
+        let count = h.count and sum = h.sum and lo = h.lo and hi = h.hi in
+        Mutex.unlock h.m;
+        let stats =
+          if count = 0 then [ ("count", Json.Int 0) ]
+          else
+            [
+              ("count", Json.Int count);
+              ("sum", Json.Float sum);
+              ("mean", Json.Float (sum /. float_of_int count));
+              ("min", Json.Float lo);
+              ("max", Json.Float hi);
+            ]
+        in
+        Some (n, Json.Obj stats)
+      | _ -> None)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj hists);
+    ]

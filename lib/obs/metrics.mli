@@ -1,0 +1,44 @@
+(** Named counters, gauges and histograms.
+
+    A process-wide registry maps names to instruments; registration is
+    idempotent, so modules hoist their instruments at initialisation
+    and hot paths touch only the instrument itself:
+
+    - {b counters} are [Atomic.t] ints — an increment is one
+      fetch-and-add, safe and exact under any number of domains;
+    - {b gauges} are single float cells (last write wins);
+    - {b histograms} keep count/sum/min/max under a private mutex, the
+      same discipline as [Prelude.Pool].
+
+    Instruments are never unregistered: {!snapshot} renders everything
+    registered so far as one JSON object, which the trace sink embeds
+    in its final [metrics] event and the bench harness writes into
+    [BENCH_*.json].  Metrics only observe the computation — they never
+    feed back into it — so they cannot perturb golden numbers. *)
+
+type counter
+type gauge
+type hist
+
+val counter : string -> counter
+(** Find or register the counter [name].  Raises [Invalid_argument] if
+    [name] is already registered as a different instrument kind. *)
+
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+
+val hist : string -> hist
+
+val observe : hist -> float -> unit
+(** Record one sample (count, sum, min, max). *)
+
+val hist_count : hist -> int
+val hist_sum : hist -> float
+
+val snapshot : unit -> Json.t
+(** All registered instruments, sorted by name:
+    [{"counters":{..}, "gauges":{..}, "histograms":{name:{count,sum,
+    mean,min,max}}}]. *)

@@ -1,0 +1,110 @@
+(** Spans and progress rendering — see span.mli for the contract. *)
+
+let next_id = Atomic.make 1
+
+(* Innermost-first stack of open span ids, per domain. *)
+let stack : int list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let current_id () =
+  match Domain.DLS.get stack with [] -> None | id :: _ -> Some id
+
+let parent_json = function Some id -> Json.Int id | None -> Json.Null
+
+let with_ ?(level = Trace.Info) ?(attrs = []) name f =
+  let emitting = Trace.on level in
+  let id = ref 0 in
+  if emitting then begin
+    id := Atomic.fetch_and_add next_id 1;
+    Trace.emit ~level "span_begin"
+      ([
+         ("id", Json.Int !id);
+         ("parent", parent_json (current_id ()));
+         ("name", Json.Str name);
+       ]
+      @ (match attrs with [] -> [] | _ -> [ ("attrs", Json.Obj attrs) ]));
+    Domain.DLS.set stack (!id :: Domain.DLS.get stack)
+  end;
+  let t0 = Clock.now_s () and c0 = Clock.cpu_s () in
+  let finish ok =
+    let dur = Clock.now_s () -. t0 in
+    Metrics.observe (Metrics.hist ("span." ^ name ^ ".seconds")) dur;
+    if emitting then begin
+      (match Domain.DLS.get stack with
+      | top :: rest when top = !id -> Domain.DLS.set stack rest
+      | _ -> ());
+      Trace.emit ~level "span_end"
+        [
+          ("id", Json.Int !id);
+          ("name", Json.Str name);
+          ("dur_s", Json.Float dur);
+          ("cpu_s", Json.Float (Clock.cpu_s () -. c0));
+          ("ok", Json.Bool ok);
+        ]
+    end
+  in
+  match f () with
+  | v ->
+    finish true;
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    finish false;
+    Printexc.raise_with_backtrace e bt
+
+let event ?(level = Trace.Info) ?parent name fields =
+  if Trace.on level then
+    let parent = match parent with Some p -> p | None -> current_id () in
+    Trace.emit ~level "event"
+      (("name", Json.Str name) :: ("parent", parent_json parent) :: fields)
+
+(* ---- progress rendering ---------------------------------------------- *)
+
+let printer : (string -> unit) option ref = ref None
+let printer_mutex = Mutex.create ()
+
+let set_printer p =
+  Mutex.lock printer_mutex;
+  printer := p;
+  Mutex.unlock printer_mutex
+
+let print_line msg =
+  Mutex.lock printer_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock printer_mutex)
+    (fun () -> match !printer with Some f -> f msg | None -> ())
+
+let stamp msg = Printf.sprintf "[%7.1fs] %s" (Trace.elapsed ()) msg
+
+let log ?(level = Trace.Info) msg =
+  if Trace.verbose level then print_line (stamp msg);
+  Trace.emit ~level "log" [ ("msg", Json.Str msg) ]
+
+let ticker ?print ?(every = 1) ~total name =
+  let m = Mutex.create () in
+  let count = ref 0 in
+  let t0 = Clock.now_s () in
+  let parent = current_id () in
+  fun detail ->
+    Mutex.lock m;
+    incr count;
+    let k = !count in
+    Mutex.unlock m;
+    if k mod every = 0 || k = total then begin
+      let spent = Clock.now_s () -. t0 in
+      let eta = spent /. float_of_int k *. float_of_int (total - k) in
+      let line =
+        Printf.sprintf "%s %d/%d (eta %.1fs)%s" name k total eta
+          (if detail = "" then "" else ": " ^ detail)
+      in
+      (match print with
+      | Some f -> if Trace.verbose Trace.Info then f line
+      | None -> log line);
+      Trace.emit ~level:Trace.Debug "tick"
+        [
+          ("name", Json.Str name);
+          ("done", Json.Int k);
+          ("total", Json.Int total);
+          ("eta_s", Json.Float eta);
+          ("parent", parent_json parent);
+        ]
+    end

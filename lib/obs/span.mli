@@ -1,0 +1,64 @@
+(** Nested timed spans and human-readable progress rendering.
+
+    A span is a named, timed region: [with_ name f] runs [f], records
+    its wall duration in the [span.<name>.seconds] histogram, and — when
+    a trace sink is open at the span's level — emits paired
+    [span_begin]/[span_end] events carrying a fresh id and the id of
+    the innermost enclosing span {e of the same domain} (a domain-local
+    stack; work fanned out over a [Prelude.Pool] passes the submitting
+    span's id explicitly via [?parent]).
+
+    The same module renders progress for humans: {!stamp} prefixes a
+    message with elapsed seconds, {!log} prints a stamped line through
+    the process-wide printer (serialised, so domains never interleave),
+    and {!ticker} turns "k of n done" into rate-based ETA lines. *)
+
+val with_ :
+  ?level:Trace.level ->
+  ?attrs:(string * Json.t) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Run a function inside a span.  Timing and the histogram update
+    always happen; trace events only when [Trace.on level].  The end
+    event carries wall and CPU duration and [ok = false] when [f]
+    raised (the exception is re-raised with its backtrace). *)
+
+val current_id : unit -> int option
+(** Id of the innermost open span in this domain, if a sink is open.
+    Capture it before a pool fan-out and hand it to {!event} in tasks
+    so cross-domain events stay parented. *)
+
+val event :
+  ?level:Trace.level ->
+  ?parent:int option ->
+  string ->
+  (string * Json.t) list ->
+  unit
+(** Emit a leaf [event] record (no begin/end pair) with the given
+    fields; [?parent] defaults to {!current_id}. *)
+
+val set_printer : (string -> unit) option -> unit
+(** Install the process-wide progress printer (e.g. a stderr writer).
+    [None] (the default) silences {!log} and printerless tickers. *)
+
+val stamp : string -> string
+(** ["[  12.3s] msg"] — elapsed seconds since process start. *)
+
+val log : ?level:Trace.level -> string -> unit
+(** Print a stamped line through the printer when the level passes the
+    current verbosity, and record it as a [log] trace event. *)
+
+val ticker :
+  ?print:(string -> unit) ->
+  ?every:int ->
+  total:int ->
+  string ->
+  string ->
+  unit
+(** [ticker ~total name] returns a thread-safe completion callback:
+    each call [tick detail] counts one unit done and, every [every]
+    completions (default 1), renders ["name k/n (eta 9.8s): detail"] —
+    through [print] when given ({e unstamped}: callers that own a
+    progress channel stamp themselves), else through {!log} — and
+    emits a [tick] trace event at [Debug]. *)

@@ -1,0 +1,344 @@
+(** JSONL event sink and reader — see trace.mli for the contract. *)
+
+type level = Quiet | Info | Debug
+
+let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
+
+let level_to_string = function
+  | Quiet -> "quiet"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string = function
+  | "quiet" -> Ok Quiet
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | s -> Error (Printf.sprintf "unknown log level %S (quiet|info|debug)" s)
+
+let current_level = Atomic.make (rank Info)
+
+let set_level l = Atomic.set current_level (rank l)
+
+let level () =
+  match Atomic.get current_level with 0 -> Quiet | 1 -> Info | _ -> Debug
+
+let verbose l = rank l <= Atomic.get current_level
+
+let t0 = Clock.now_s ()
+
+let elapsed () = Clock.now_s () -. t0
+
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    let status = try Unix.close_process_in ic with _ -> Unix.WEXITED 1 in
+    (match (status, line) with
+    | Unix.WEXITED 0, l when l <> "" -> l
+    | _ -> "unknown")
+
+(* ---- the sink -------------------------------------------------------- *)
+
+type sink = { oc : out_channel; mutable seq : int; opened_at : float }
+
+let sink_mutex = Mutex.create ()
+let sink : sink option ref = ref None
+let sink_open = Atomic.make false  (* lock-free fast path for [active] *)
+
+let active () = Atomic.get sink_open
+
+let on l = active () && verbose l
+
+(* Called with [sink_mutex] held. *)
+let emit_locked s ev fields =
+  let record =
+    Json.Obj
+      (("ev", Json.Str ev)
+      :: ("ts", Json.Float (elapsed ()))
+      :: ("seq", Json.Int s.seq)
+      :: fields)
+  in
+  s.seq <- s.seq + 1;
+  output_string s.oc (Json.to_string record);
+  output_char s.oc '\n'
+
+let stop () =
+  Mutex.lock sink_mutex;
+  (match !sink with
+  | None -> ()
+  | Some s ->
+    Atomic.set sink_open false;
+    sink := None;
+    emit_locked s "metrics" [ ("metrics", Metrics.snapshot ()) ];
+    emit_locked s "stop"
+      [
+        ("dur_s", Json.Float (elapsed () -. s.opened_at));
+        ("cpu_s", Json.Float (Clock.cpu_s ()));
+      ];
+    close_out s.oc);
+  Mutex.unlock sink_mutex
+
+let stop_at_exit_registered = ref false  (* guarded by sink_mutex *)
+
+let repro_env () =
+  List.filter_map
+    (fun k -> Option.map (fun v -> (k, Json.Str v)) (Sys.getenv_opt k))
+    [ "REPRO_UARCHS"; "REPRO_OPTS"; "REPRO_SEED"; "REPRO_JOBS" ]
+
+let start ?(manifest = []) path =
+  stop ();
+  let oc = open_out path in
+  Mutex.lock sink_mutex;
+  let s = { oc; seq = 0; opened_at = elapsed () } in
+  emit_locked s "manifest"
+    ([
+       ("version", Json.Int 1);
+       ("unix_time", Json.Float (Unix.gettimeofday ()));
+       ("git", Json.Str (git_describe ()));
+       ("ocaml", Json.Str Sys.ocaml_version);
+       ( "argv",
+         Json.List
+           (Array.to_list (Array.map (fun a -> Json.Str a) Sys.argv)) );
+       ("env", Json.Obj (repro_env ()));
+     ]
+    @ manifest);
+  sink := Some s;
+  Atomic.set sink_open true;
+  if not !stop_at_exit_registered then begin
+    stop_at_exit_registered := true;
+    at_exit stop
+  end;
+  Mutex.unlock sink_mutex
+
+let emit ?(level = Info) ev fields =
+  if on level then begin
+    Mutex.lock sink_mutex;
+    (match !sink with
+    | Some s when verbose level -> emit_locked s ev fields
+    | _ -> ());
+    Mutex.unlock sink_mutex
+  end
+
+(* ---- reading --------------------------------------------------------- *)
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let result =
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | "" -> go (lineno + 1) acc
+        | line -> (
+          match Json.of_string line with
+          | Ok v -> go (lineno + 1) (v :: acc)
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+      in
+      go 1 []
+    in
+    close_in ic;
+    result
+
+(* ---- schema ---------------------------------------------------------- *)
+
+type fieldspec = Fint | Ffloat | Fstr | Fbool | Flist | Fobj | Fint_or_null
+
+let check_field record (name, spec) =
+  match (Json.member name record, spec) with
+  | None, _ -> Error (Printf.sprintf "missing field %S" name)
+  | Some (Json.Int _), (Fint | Fint_or_null) -> Ok ()
+  | Some Json.Null, Fint_or_null -> Ok ()
+  | Some (Json.Float _), Ffloat | Some (Json.Int _), Ffloat -> Ok ()
+  | Some (Json.Str _), Fstr -> Ok ()
+  | Some (Json.Bool _), Fbool -> Ok ()
+  | Some (Json.List _), Flist -> Ok ()
+  | Some (Json.Obj _), Fobj -> Ok ()
+  | Some _, _ -> Error (Printf.sprintf "field %S has the wrong type" name)
+
+(* Required fields per event type, beyond the common ev/ts/seq. *)
+let schema =
+  [
+    ("manifest", [ ("version", Fint); ("unix_time", Ffloat); ("git", Fstr);
+                   ("argv", Flist); ("env", Fobj) ]);
+    ("span_begin", [ ("id", Fint); ("parent", Fint_or_null); ("name", Fstr) ]);
+    ("span_end", [ ("id", Fint); ("name", Fstr); ("dur_s", Ffloat);
+                   ("cpu_s", Ffloat); ("ok", Fbool) ]);
+    ("event", [ ("name", Fstr); ("parent", Fint_or_null) ]);
+    ("tick", [ ("name", Fstr); ("done", Fint); ("total", Fint);
+               ("eta_s", Ffloat) ]);
+    ("log", [ ("msg", Fstr) ]);
+    ("metrics", [ ("metrics", Fobj) ]);
+    ("stop", [ ("dur_s", Ffloat); ("cpu_s", Ffloat) ]);
+  ]
+
+let validate_event record =
+  let common = [ ("ev", Fstr); ("ts", Ffloat); ("seq", Fint) ] in
+  let rec all = function
+    | [] -> Ok ()
+    | f :: rest -> (
+      match check_field record f with Ok () -> all rest | Error _ as e -> e)
+  in
+  match all common with
+  | Error _ as e -> e
+  | Ok () -> (
+    let ev = Option.get (Json.to_str (Option.get (Json.member "ev" record))) in
+    match List.assoc_opt ev schema with
+    | None -> Error (Printf.sprintf "unknown event type %S" ev)
+    | Some fields -> (
+      match all fields with
+      | Ok () -> Ok ()
+      | Error e -> Error (Printf.sprintf "%s: %s" ev e)))
+
+let validate_file path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty trace"
+  | Ok (first :: _ as events) ->
+    if Json.member "ev" first <> Some (Json.Str "manifest") then
+      Error "first event is not a manifest"
+    else
+      let rec go i = function
+        | [] -> Ok events
+        | record :: rest -> (
+          match validate_event record with
+          | Error e -> Error (Printf.sprintf "event %d: %s" i e)
+          | Ok () ->
+            if Json.member "seq" record <> Some (Json.Int i) then
+              Error (Printf.sprintf "event %d: seq out of order" i)
+            else go (i + 1) rest)
+      in
+      go 0 events
+
+(* ---- summarising ----------------------------------------------------- *)
+
+type agg = { mutable n : int; mutable total : float; mutable top : float }
+
+let summarise events =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let aggregate tbl name dur =
+    let a =
+      match Hashtbl.find_opt tbl name with
+      | Some a -> a
+      | None ->
+        let a = { n = 0; total = 0.0; top = 0.0 } in
+        Hashtbl.replace tbl name a;
+        a
+    in
+    a.n <- a.n + 1;
+    a.total <- a.total +. dur;
+    if dur > a.top then a.top <- dur
+  in
+  let spans = Hashtbl.create 16 and leaves = Hashtbl.create 16 in
+  let manifest = ref None and metrics = ref None and stop_dur = ref None in
+  List.iter
+    (fun record ->
+      let ev = Json.member "ev" record in
+      let name () =
+        Option.value ~default:"?"
+          (Option.bind (Json.member "name" record) Json.to_str)
+      in
+      let dur () =
+        Option.value ~default:0.0
+          (Option.bind (Json.member "dur_s" record) Json.to_float)
+      in
+      match ev with
+      | Some (Json.Str "manifest") -> manifest := Some record
+      | Some (Json.Str "span_end") -> aggregate spans (name ()) (dur ())
+      | Some (Json.Str "event") -> aggregate leaves (name ()) (dur ())
+      | Some (Json.Str "metrics") -> metrics := Json.member "metrics" record
+      | Some (Json.Str "stop") ->
+        stop_dur := Option.bind (Json.member "dur_s" record) Json.to_float
+      | _ -> ())
+    events;
+  (match !manifest with
+  | None -> out "no manifest\n"
+  | Some m ->
+    let str k =
+      Option.value ~default:"?" (Option.bind (Json.member k m) Json.to_str)
+    in
+    let argv =
+      match Json.member "argv" m with
+      | Some (Json.List items) ->
+        String.concat " " (List.filter_map Json.to_str items)
+      | _ -> "?"
+    in
+    out "trace of: %s\n" argv;
+    out "git %s, ocaml %s, %d events" (str "git") (str "ocaml")
+      (List.length events);
+    (match !stop_dur with
+    | Some d -> out ", wall %.2fs\n" d
+    | None -> out " (no stop event: truncated trace)\n");
+    match Json.member "env" m with
+    | Some (Json.Obj ((_ :: _) as env)) ->
+      out "env: %s\n"
+        (String.concat " "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s=%s" k (Option.value ~default:"?" (Json.to_str v)))
+              env))
+    | _ -> ());
+  let render title tbl =
+    if Hashtbl.length tbl > 0 then begin
+      let rows = Hashtbl.fold (fun k a acc -> (k, a) :: acc) tbl [] in
+      let rows =
+        List.sort
+          (fun (ka, a) (kb, b) ->
+            match compare b.total a.total with
+            | 0 -> String.compare ka kb
+            | c -> c)
+          rows
+      in
+      out "\n%s\n" title;
+      out "  %-28s %8s %10s %10s %10s\n" "name" "count" "total_s" "mean_s"
+        "max_s";
+      List.iter
+        (fun (name, a) ->
+          out "  %-28s %8d %10.3f %10.6f %10.6f\n" name a.n a.total
+            (a.total /. float_of_int a.n)
+            a.top)
+        rows
+    end
+  in
+  render "spans (from span_end):" spans;
+  render "leaf events:" leaves;
+  (match !metrics with
+  | None -> ()
+  | Some m ->
+    (match Json.member "counters" m with
+    | Some (Json.Obj ((_ :: _) as counters)) ->
+      out "\ncounters:\n";
+      List.iter
+        (fun (k, v) ->
+          out "  %-40s %d\n" k (Option.value ~default:0 (Json.to_int v)))
+        counters
+    | _ -> ());
+    (match Json.member "gauges" m with
+    | Some (Json.Obj ((_ :: _) as gauges)) ->
+      out "\ngauges:\n";
+      List.iter
+        (fun (k, v) ->
+          out "  %-40s %.3f\n" k (Option.value ~default:0.0 (Json.to_float v)))
+        gauges
+    | _ -> ());
+    match Json.member "histograms" m with
+    | Some (Json.Obj ((_ :: _) as hists)) ->
+      out "\nhistograms:\n";
+      out "  %-36s %8s %10s %12s\n" "name" "count" "sum" "mean";
+      List.iter
+        (fun (k, v) ->
+          let f field =
+            Option.value ~default:0.0
+              (Option.bind (Json.member field v) Json.to_float)
+          in
+          let count =
+            Option.value ~default:0
+              (Option.bind (Json.member "count" v) Json.to_int)
+          in
+          if count > 0 then
+            out "  %-36s %8d %10.3f %12.6f\n" k count (f "sum") (f "mean"))
+        hists
+    | _ -> ());
+  Buffer.contents buf

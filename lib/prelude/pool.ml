@@ -21,22 +21,39 @@ type t = {
   mutable generation : int;  (** Bumped per batch so workers detect it. *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  busy : float array;
+      (** Cumulative task seconds per participant (0 = submitter);
+          written under [mutex] in [drain], read at [shutdown]. *)
 }
 
 let size t = t.size
 
+(* Telemetry: batches/tasks ever submitted, per-task wall seconds, and
+   the live depth of the unclaimed-work queue.  All observational —
+   which domain runs a task never affects its result. *)
+let m_batches = Obs.Metrics.counter "pool.batches"
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+let m_task_seconds = Obs.Metrics.hist "pool.task_seconds"
+let m_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
+
 (* Claim-and-run loop shared by workers and the submitting domain.
-   Called and returns with [t.mutex] held. *)
-let drain t (b : batch) =
+   [who] is the participant index (0 = submitter) for busy-time
+   accounting.  Called and returns with [t.mutex] held. *)
+let drain t ~who (b : batch) =
   let continue = ref true in
   while !continue do
     if t.next >= b.n then continue := false
     else begin
       let i = t.next in
       t.next <- i + 1;
+      Obs.Metrics.set m_queue_depth (float_of_int (b.n - t.next));
       Mutex.unlock t.mutex;
+      let t0 = Obs.Clock.now_s () in
       b.run i;
+      let dur = Obs.Clock.now_s () -. t0 in
+      Obs.Metrics.observe m_task_seconds dur;
       Mutex.lock t.mutex;
+      t.busy.(who) <- t.busy.(who) +. dur;
       t.completed <- t.completed + 1;
       if t.completed = b.n then Condition.broadcast t.work_done
     end
@@ -45,14 +62,14 @@ let drain t (b : batch) =
 (* [initial_gen] is the generation at spawn time, captured before the
    domain starts: a batch published while the worker is still booting
    must not be skipped. *)
-let worker t initial_gen =
+let worker t ~who initial_gen =
   Mutex.lock t.mutex;
   let seen = ref initial_gen in
   while not t.stop do
     if t.generation = !seen then Condition.wait t.work_ready t.mutex
     else begin
       seen := t.generation;
-      match t.batch with None -> () | Some b -> drain t b
+      match t.batch with None -> () | Some b -> drain t ~who b
     end
   done;
   Mutex.unlock t.mutex
@@ -71,10 +88,12 @@ let create ~jobs =
       generation = 0;
       stop = false;
       domains = [];
+      busy = Array.make jobs 0.0;
     }
   in
   t.domains <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+    List.init (jobs - 1)
+      (fun i -> Domain.spawn (fun () -> worker t ~who:(i + 1) 0));
   t
 
 let shutdown t =
@@ -83,7 +102,15 @@ let shutdown t =
   Condition.broadcast t.work_ready;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.domains;
-  t.domains <- []
+  t.domains <- [];
+  Array.iteri
+    (fun i b ->
+      Obs.Metrics.set
+        (Obs.Metrics.gauge (Printf.sprintf "pool.domain%d.busy_s" i))
+        b)
+    t.busy
+
+let busy_seconds t = Array.copy t.busy
 
 let init t n f =
   if n = 0 then [||]
@@ -110,12 +137,14 @@ let init t n f =
       Mutex.unlock t.mutex;
       invalid_arg "Pool.init: nested use of a fixed-size pool"
     end;
+    Obs.Metrics.add m_batches 1;
+    Obs.Metrics.add m_tasks n;
     t.batch <- Some b;
     t.next <- 0;
     t.completed <- 0;
     t.generation <- t.generation + 1;
     Condition.broadcast t.work_ready;
-    drain t b;
+    drain t ~who:0 b;
     while t.completed < n do
       Condition.wait t.work_done t.mutex
     done;
@@ -147,6 +176,7 @@ let default () =
     | Some p -> p
     | None ->
       let p = create ~jobs:(jobs_env ()) in
+      Obs.Metrics.set (Obs.Metrics.gauge "pool.jobs") (float_of_int p.size);
       default_pool := Some p;
       at_exit (fun () -> shutdown p);
       p

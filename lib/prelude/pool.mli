@@ -30,7 +30,16 @@ val size : t -> int
 
 val shutdown : t -> unit
 (** Join the worker domains.  The pool must be idle; further use after
-    shutdown falls back to inline sequential execution. *)
+    shutdown falls back to inline sequential execution.  Publishes the
+    per-domain busy times as [pool.domain<i>.busy_s] gauges in
+    {!Obs.Metrics}. *)
+
+val busy_seconds : t -> float array
+(** Cumulative wall seconds each participant (index 0 = the submitting
+    domain) spent running tasks, for load-balance diagnostics.  The
+    pool also feeds the [pool.batches] / [pool.tasks] counters, the
+    [pool.task_seconds] histogram and the [pool.queue_depth] gauge —
+    all in {!Obs.Metrics}, all purely observational. *)
 
 val init : t -> int -> (int -> 'a) -> 'a array
 (** [init t n f] is [Array.init n f] with the [n] calls distributed

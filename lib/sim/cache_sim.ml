@@ -30,11 +30,17 @@ let create ~sets ~ways ~block_bytes =
     misses = 0;
   }
 
+(* Total accesses replayed through exact simulation, across all
+   instances — validation-only volume, but it shows up in run traces
+   so the cost of a validation pass is visible. *)
+let m_accesses = Obs.Metrics.counter "cache_sim.accesses"
+
 let access t addr =
   let block = addr / t.block_bytes in
   let set = block mod t.sets in
   let tag = block / t.sets in
   t.accesses <- t.accesses + 1;
+  Obs.Metrics.add m_accesses 1;
   let line = t.tags.(set) in
   let n = t.sizes.(set) in
   (* Find the tag; move to front (LRU). *)

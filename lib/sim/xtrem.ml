@@ -14,16 +14,39 @@ type run = {
   checksum : int;
 }
 
-let profile_of ?setting program =
-  let image = Passes.Driver.compile_to_image ?setting program in
-  let checksum, profile = Ir.Interp.run image in
-  {
-    setting = Option.value setting ~default:Passes.Flags.o3;
-    profile;
-    checksum;
-  }
+(* Telemetry: interpreted runs with their dynamic instruction and
+   memory-access volume, and timing-model evaluations.  Counters are
+   atomic (several domains profile and price concurrently) and purely
+   observational — recorded from the finished profile, so the
+   interpreter's hot loop is untouched. *)
+let m_runs = Obs.Metrics.counter "interp.runs"
+let m_insts = Obs.Metrics.counter "interp.dyn_insts"
+let m_mem = Obs.Metrics.counter "interp.mem_accesses"
+let m_evals = Obs.Metrics.counter "sim.evals"
 
-let time run u = Pipeline.evaluate run.profile u
+let profile_of ?setting program =
+  Obs.Span.with_ "sim.profile" (fun () ->
+      let image = Passes.Driver.compile_to_image ?setting program in
+      let t0 = Obs.Clock.now_s () in
+      let checksum, profile = Ir.Interp.run image in
+      let dur = Obs.Clock.now_s () -. t0 in
+      Obs.Metrics.add m_runs 1;
+      Obs.Metrics.add m_insts profile.Ir.Profile.dyn_insts;
+      Obs.Metrics.add m_mem (Ir.Profile.mem_accesses profile);
+      Obs.Span.event "interp"
+        [
+          ("dur_s", Obs.Json.Float dur);
+          ("dyn_insts", Obs.Json.Int profile.Ir.Profile.dyn_insts);
+        ];
+      {
+        setting = Option.value setting ~default:Passes.Flags.o3;
+        profile;
+        checksum;
+      })
+
+let time run u =
+  Obs.Metrics.add m_evals 1;
+  Pipeline.evaluate run.profile u
 
 let seconds run u = (time run u).Pipeline.seconds
 

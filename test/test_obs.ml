@@ -1,0 +1,335 @@
+(* Tests for the telemetry layer: JSON round-trips, counter atomicity
+   under the domain pool, span nesting in trace files, trace-file
+   validation, and the bit-identity guarantee — instrumentation must
+   never change computed results. *)
+
+let check = Alcotest.check
+
+(* ---- Json -------------------------------------------------------------- *)
+
+let round_trip v =
+  let s = Obs.Json.to_string v in
+  match Obs.Json.of_string s with
+  | Ok v' -> check Alcotest.bool (Printf.sprintf "round-trip %s" s) true (v = v')
+  | Error e -> Alcotest.failf "reparse of %s failed: %s" s e
+
+let test_json_round_trip () =
+  List.iter round_trip
+    [
+      Obs.Json.Null;
+      Obs.Json.Bool true;
+      Obs.Json.Bool false;
+      Obs.Json.Int 0;
+      Obs.Json.Int (-42);
+      Obs.Json.Int max_int;
+      Obs.Json.Float 0.0;
+      Obs.Json.Float 1.5;
+      Obs.Json.Float 3.14159265358979312;
+      Obs.Json.Float 1e-300;
+      Obs.Json.Float 1785955230.1727901;
+      Obs.Json.Str "";
+      Obs.Json.Str "plain";
+      Obs.Json.Str "quotes \" backslash \\ newline \n tab \t";
+      Obs.Json.Str "unicode: \xc3\xa9\xe2\x82\xac";
+      Obs.Json.List [];
+      Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Str "two"; Obs.Json.Null ];
+      Obs.Json.Obj [];
+      Obs.Json.Obj
+        [
+          ("a", Obs.Json.Int 1);
+          ("nested", Obs.Json.Obj [ ("b", Obs.Json.List [ Obs.Json.Bool false ]) ]);
+        ];
+    ]
+
+let test_json_parse_forms () =
+  (* Numbers without . / e / E parse as Int, everything else as Float. *)
+  check Alcotest.bool "int form" true
+    (Obs.Json.of_string "12" = Ok (Obs.Json.Int 12));
+  check Alcotest.bool "float form" true
+    (Obs.Json.of_string "1.5e3" = Ok (Obs.Json.Float 1500.0));
+  check Alcotest.bool "unicode escape" true
+    (Obs.Json.of_string "\"\\u0041\"" = Ok (Obs.Json.Str "A"));
+  (* Non-finite floats print as null (JSON has no representation). *)
+  check Alcotest.string "nan is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  check Alcotest.string "inf is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity));
+  (match Obs.Json.of_string "{\"a\":" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated object should not parse");
+  match Obs.Json.of_string "[1, 2] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage should not parse"
+
+(* ---- Metrics under the domain pool ------------------------------------- *)
+
+let with_pool jobs f =
+  let pool = Prelude.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Prelude.Pool.shutdown pool) (fun () -> f pool)
+
+let test_counter_atomic_under_pool () =
+  (* 4 domains hammering one counter: every increment must land.  The
+     registry is process-wide and never resets, so measure the delta. *)
+  let c = Obs.Metrics.counter "test.obs.atomic" in
+  let h = Obs.Metrics.hist "test.obs.hist" in
+  let before = Obs.Metrics.value c in
+  let hn = Obs.Metrics.hist_count h in
+  let hs = Obs.Metrics.hist_sum h in
+  let n = 10_000 in
+  let _ =
+    with_pool 4 (fun pool ->
+        Prelude.Pool.init pool n (fun i ->
+            Obs.Metrics.add c 1;
+            Obs.Metrics.observe h 0.5;
+            i))
+  in
+  check Alcotest.int "all increments landed" (before + n) (Obs.Metrics.value c);
+  check Alcotest.int "all observations landed" (hn + n)
+    (Obs.Metrics.hist_count h);
+  check (Alcotest.float 1e-6) "sum exact" (hs +. (0.5 *. float_of_int n))
+    (Obs.Metrics.hist_sum h)
+
+let test_metrics_kind_mismatch () =
+  let _ = Obs.Metrics.counter "test.obs.kind" in
+  match Obs.Metrics.gauge "test.obs.kind" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "reusing a counter name as a gauge should raise"
+
+(* ---- Spans and trace files --------------------------------------------- *)
+
+let field name r = Option.get (Obs.Json.member name r)
+let str_field name r = Option.get (Obs.Json.to_str (field name r))
+let int_field name r = Option.get (Obs.Json.to_int (field name r))
+
+let events_of_kind kind events =
+  List.filter (fun r -> Obs.Json.member "ev" r = Some (Obs.Json.Str kind)) events
+
+let with_trace f =
+  (* Route a fresh trace through a temp file and hand the validated,
+     parsed events to the caller. *)
+  let path = Filename.temp_file "test_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Trace.start ~manifest:[ ("cmd", Obs.Json.Str "test") ] path;
+      Fun.protect ~finally:Obs.Trace.stop f;
+      Obs.Trace.stop ();
+      match Obs.Trace.validate_file path with
+      | Ok events -> events
+      | Error e -> Alcotest.failf "trace did not validate: %s" e)
+
+let test_span_nesting () =
+  let events =
+    with_trace (fun () ->
+        Obs.Span.with_ "test.outer" (fun () ->
+            Obs.Span.with_ "test.inner" (fun () ->
+                Obs.Span.event "test.leaf" [ ("k", Obs.Json.Int 7) ])))
+  in
+  let begins = events_of_kind "span_begin" events in
+  let ends = events_of_kind "span_end" events in
+  check Alcotest.int "two begins" 2 (List.length begins);
+  check Alcotest.int "two ends" 2 (List.length ends);
+  let find_begin name =
+    List.find (fun r -> str_field "name" r = name) begins
+  in
+  let outer = find_begin "test.outer" and inner = find_begin "test.inner" in
+  check Alcotest.bool "outer is a root span" true
+    (field "parent" outer = Obs.Json.Null);
+  check Alcotest.int "inner nests under outer" (int_field "id" outer)
+    (int_field "parent" inner);
+  let leaf = List.hd (events_of_kind "event" events) in
+  check Alcotest.int "leaf parented to innermost span" (int_field "id" inner)
+    (int_field "parent" leaf);
+  check Alcotest.int "leaf keeps its fields" 7 (int_field "k" leaf);
+  (* Begin/end ordering by seq: outer opens first, closes last. *)
+  let seq name kind =
+    int_field "seq"
+      (List.find
+         (fun r -> str_field "name" r = name)
+         (events_of_kind kind events))
+  in
+  check Alcotest.bool "outer begins before inner" true
+    (seq "test.outer" "span_begin" < seq "test.inner" "span_begin");
+  check Alcotest.bool "inner ends before outer" true
+    (seq "test.inner" "span_end" < seq "test.outer" "span_end");
+  let ender = List.find (fun r -> str_field "name" r = "test.outer") ends in
+  check Alcotest.bool "clean exit" true (field "ok" ender = Obs.Json.Bool true);
+  (* Well-formed tail: metrics snapshot then stop. *)
+  check Alcotest.int "one metrics event" 1
+    (List.length (events_of_kind "metrics" events));
+  check Alcotest.int "one stop event" 1
+    (List.length (events_of_kind "stop" events))
+
+let test_span_failure_recorded () =
+  let events =
+    with_trace (fun () ->
+        try Obs.Span.with_ "test.fails" (fun () -> failwith "boom")
+        with Failure _ -> ())
+  in
+  let e =
+    List.find
+      (fun r -> str_field "name" r = "test.fails")
+      (events_of_kind "span_end" events)
+  in
+  check Alcotest.bool "failure recorded" true
+    (field "ok" e = Obs.Json.Bool false)
+
+let test_pool_events_keep_parent () =
+  (* Fan-out over the pool: tasks run on other domains, whose DLS span
+     stacks are empty — events stay parented via the explicit id. *)
+  let events =
+    with_trace (fun () ->
+        Obs.Span.with_ "test.fanout" (fun () ->
+            let parent = Obs.Span.current_id () in
+            let _ =
+              with_pool 4 (fun pool ->
+                  Prelude.Pool.init pool 16 (fun i ->
+                      Obs.Span.event ~parent "test.task"
+                        [ ("i", Obs.Json.Int i) ];
+                      i))
+            in
+            ()))
+  in
+  let begins = events_of_kind "span_begin" events in
+  let fanout =
+    List.find (fun r -> str_field "name" r = "test.fanout") begins
+  in
+  let tasks =
+    List.filter
+      (fun r -> str_field "name" r = "test.task")
+      (events_of_kind "event" events)
+  in
+  check Alcotest.int "all task events recorded" 16 (List.length tasks);
+  List.iter
+    (fun t ->
+      check Alcotest.int "task parented across domains"
+        (int_field "id" fanout) (int_field "parent" t))
+    tasks
+
+let test_validate_rejects_malformed () =
+  let write lines =
+    let path = Filename.temp_file "test_obs_bad" ".jsonl" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    let r = Obs.Trace.validate_file path in
+    Sys.remove path;
+    r
+  in
+  let manifest =
+    {|{"ev":"manifest","ts":0.0,"seq":0,"version":1,"unix_time":0.0,"git":"g","argv":[],"env":{}}|}
+  in
+  let expect_error what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should not validate" what
+  in
+  expect_error "empty file" (write []);
+  expect_error "missing manifest"
+    (write [ {|{"ev":"log","ts":0.0,"seq":0,"msg":"hi"}|} ]);
+  expect_error "seq gap"
+    (write [ manifest; {|{"ev":"log","ts":0.0,"seq":5,"msg":"hi"}|} ]);
+  expect_error "unknown event type"
+    (write [ manifest; {|{"ev":"mystery","ts":0.0,"seq":1}|} ]);
+  expect_error "missing required field"
+    (write
+       [ manifest; {|{"ev":"span_end","ts":0.0,"seq":1,"id":1,"name":"x"}|} ]);
+  expect_error "wrong field type"
+    (write [ manifest; {|{"ev":"log","ts":0.0,"seq":1,"msg":12}|} ]);
+  match write [ manifest; {|{"ev":"log","ts":0.1,"seq":1,"msg":"hi"}|} ] with
+  | Ok events -> check Alcotest.int "valid file parses" 2 (List.length events)
+  | Error e -> Alcotest.failf "valid file rejected: %s" e
+
+let test_ticker_renders_eta () =
+  let lines = ref [] in
+  let tick =
+    Obs.Span.ticker
+      ~print:(fun l -> lines := l :: !lines)
+      ~every:2 ~total:4 "test-ticks"
+  in
+  tick "a";
+  tick "b";
+  tick "c";
+  tick "d";
+  match List.rev !lines with
+  | [ first; second ] ->
+    let has_prefix p s =
+      String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    in
+    check Alcotest.bool "halfway line" true (has_prefix "test-ticks 2/4" first);
+    check Alcotest.bool "final line" true (has_prefix "test-ticks 4/4" second);
+    check Alcotest.bool "detail carried" true
+      (String.length second >= 1
+      && String.sub second (String.length second - 1) 1 = "d")
+  | other -> Alcotest.failf "expected 2 lines every=2, got %d" (List.length other)
+
+(* ---- Bit-identity: tracing must not change results --------------------- *)
+
+let micro_scale =
+  {
+    Ml_model.Dataset.n_uarchs = 2;
+    n_opts = 6;
+    seed = 31;
+    space = Ml_model.Features.Base;
+    good_fraction = 0.2;
+  }
+
+let test_tracing_preserves_golden_numbers () =
+  (* The acceptance bar for the whole layer: a traced run at Debug
+     verbosity produces bit-identical datasets and cross-validation
+     outcomes to an untraced run. *)
+  let quiet =
+    with_pool 4 (fun pool ->
+        let d = Ml_model.Dataset.generate ~pool micro_scale in
+        (d, Ml_model.Crossval.run ~pool d))
+  in
+  let path = Filename.temp_file "test_obs_identity" ".jsonl" in
+  let traced =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_level Obs.Trace.Info;
+        try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Obs.Trace.start path;
+        Obs.Trace.set_level Obs.Trace.Debug;
+        Fun.protect ~finally:Obs.Trace.stop (fun () ->
+            with_pool 4 (fun pool ->
+                let d = Ml_model.Dataset.generate ~pool micro_scale in
+                (d, Ml_model.Crossval.run ~pool d))))
+  in
+  let (d0, o0) = quiet and (d1, o1) = traced in
+  check Alcotest.bool "pairs bit-identical" true
+    (d0.Ml_model.Dataset.pairs = d1.Ml_model.Dataset.pairs);
+  check Alcotest.bool "settings identical" true
+    (d0.Ml_model.Dataset.settings = d1.Ml_model.Dataset.settings);
+  check Alcotest.bool "outcomes bit-identical" true (o0 = o1)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "parse forms" `Quick test_json_parse_forms;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter atomic under pool" `Quick
+            test_counter_atomic_under_pool;
+          Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span failure" `Quick test_span_failure_recorded;
+          Alcotest.test_case "pool parentage" `Quick
+            test_pool_events_keep_parent;
+          Alcotest.test_case "validation negatives" `Quick
+            test_validate_rejects_malformed;
+          Alcotest.test_case "ticker eta" `Quick test_ticker_renders_eta;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "tracing preserves golden numbers" `Slow
+            test_tracing_preserves_golden_numbers;
+        ] );
+    ]

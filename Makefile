@@ -3,23 +3,32 @@
 # sequential and the 4-domain path so parallel regressions surface in
 # seconds rather than in a full bench run; `trace-smoke` runs a tiny
 # traced bench and validates the JSONL against the schema via
-# `portopt report` (see docs/observability.md).
+# `portopt report` (see docs/observability.md); `serve-smoke` does a
+# full train -> serve -> concurrent query -> shutdown round trip
+# against a real server process (see docs/serving.md).  Smoke outputs
+# land under results/ (gitignored), never in the repo root.
 
-.PHONY: check bench-smoke trace-smoke bench clean
+.PHONY: check bench-smoke trace-smoke serve-smoke bench clean
 
 check:
 	dune build @all
 	dune runtest
 	$(MAKE) trace-smoke
+	$(MAKE) serve-smoke
 
 bench-smoke:
 	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=1 dune exec bench/main.exe -- summary
 	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=4 dune exec bench/main.exe -- summary
 
 trace-smoke:
+	mkdir -p results
 	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=4 dune exec bench/main.exe -- \
-	  summary --trace trace_smoke.jsonl --json BENCH_smoke.json
-	dune exec bin/portopt.exe -- report trace_smoke.jsonl
+	  summary --trace results/trace_smoke.jsonl --json results/BENCH_smoke.json
+	dune exec bin/portopt.exe -- report results/trace_smoke.jsonl
+
+serve-smoke:
+	dune build bin/portopt.exe
+	sh scripts/serve_smoke.sh
 
 bench:
 	dune exec bench/main.exe

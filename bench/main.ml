@@ -71,6 +71,10 @@ let experiments : (string * string * (unit -> unit)) list =
       "substrate validation: analytic cache model vs exact LRU simulation",
       fun () -> print_string (Experiments.Validation.render ()) );
     ("micro", "bechamel micro-benchmarks of the pipeline", Micro.run);
+    ( "serve",
+      "serving: artifact save/load + server latency/throughput \
+       (results/BENCH_serve.json)",
+      fun () -> Serve_bench.run (Lazy.force base) );
     ( "csv",
       "export the figure data series to results/*.csv",
       fun () ->

@@ -1,0 +1,197 @@
+(** Serving benchmark: artifact save/load cost versus retraining, then
+    client-observed latency (cold vs cache-hit) and multi-client
+    throughput against an in-process server on a Unix-domain socket.
+    Writes a machine-readable summary to results/BENCH_serve.json
+    (schema "portopt-serve/1"). *)
+
+module J = Obs.Json
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let latency_stats samples =
+  let s = Array.copy samples in
+  Array.sort compare s;
+  let mean =
+    if Array.length s = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 s /. float_of_int (Array.length s)
+  in
+  J.Obj
+    [
+      ("n", J.Int (Array.length s));
+      ("mean_ms", J.Float (mean *. 1e3));
+      ("p50_ms", J.Float (percentile s 0.5 *. 1e3));
+      ("p99_ms", J.Float (percentile s 0.99 *. 1e3));
+      ("max_ms", J.Float (percentile s 1.0 *. 1e3));
+    ]
+
+let ensure_results () =
+  if not (Sys.file_exists "results") then Unix.mkdir "results" 0o755
+
+let run ctx =
+  ensure_results ();
+  let dataset = Experiments.Context.dataset ctx in
+  let scale = dataset.Ml_model.Dataset.scale in
+
+  (* Artifact: train, save, load; loading must beat retraining by a
+     couple of orders of magnitude. *)
+  let t0 = Unix.gettimeofday () in
+  let model = Ml_model.Model.train dataset in
+  let train_s = Unix.gettimeofday () -. t0 in
+  let artifact =
+    {
+      Serve.Artifact.model;
+      space = scale.Ml_model.Dataset.space;
+      meta = [ ("bench", J.Bool true) ];
+    }
+  in
+  let path = Filename.concat "results" "model_bench.pcm" in
+  let t0 = Unix.gettimeofday () in
+  Serve.Artifact.save ~path artifact;
+  let save_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let loaded =
+    match Serve.Artifact.load ~path with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let load_s = Unix.gettimeofday () -. t0 in
+  let bytes = (Unix.stat path).Unix.st_size in
+  Printf.printf
+    "artifact: %d pairs, %d bytes; train %.3fs, save %.1fms, load %.1fms \
+     (%.0fx faster than training)\n"
+    (Ml_model.Model.n_points model)
+    bytes train_s (save_s *. 1e3) (load_s *. 1e3) (train_s /. load_s);
+
+  (* Query set: one (counters, uarch) per dataset pair — the realistic
+     request mix a deployment would see. *)
+  let n_progs = Ml_model.Dataset.n_programs dataset in
+  let n_uarchs = Ml_model.Dataset.n_uarchs dataset in
+  let queries =
+    Array.init
+      (min 64 (n_progs * n_uarchs))
+      (fun i ->
+        let p = i / n_uarchs and u = i mod n_uarchs in
+        let uarch = dataset.Ml_model.Dataset.uarchs.(u) in
+        let v = Sim.Xtrem.time dataset.Ml_model.Dataset.o3_runs.(p) uarch in
+        (v.Sim.Pipeline.counters, uarch))
+  in
+
+  let socket = Filename.concat "results" "serve_bench.sock" in
+  let config =
+    {
+      (Serve.Server.default_config (Serve.Protocol.Unix_path socket)) with
+      Serve.Server.jobs = Prelude.Pool.jobs ();
+      cache_capacity = 1024;
+    }
+  in
+  let server = Serve.Server.start ~artifact:loaded config in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.Server.wait server)
+    (fun () ->
+      let address = Serve.Server.address server in
+      let round_trip client (counters, uarch) =
+        let t0 = Unix.gettimeofday () in
+        match Serve.Client.predict client ~counters ~uarch with
+        | Ok _ -> Unix.gettimeofday () -. t0
+        | Error (code, msg) ->
+          failwith (Printf.sprintf "serve bench: error %d: %s" code msg)
+      in
+      (* Latency, single client: first pass is all cache misses, second
+         pass all hits. *)
+      let client = Serve.Client.connect address in
+      let cold = Array.map (round_trip client) queries in
+      let cached = Array.map (round_trip client) queries in
+      Serve.Client.close client;
+
+      (* Throughput: several clients hammering the cached working set
+         concurrently — measures the socket + dispatch path. *)
+      let threads = 4 and per_thread = 250 in
+      let t0 = Unix.gettimeofday () in
+      let workers =
+        Array.init threads (fun ti ->
+            Thread.create
+              (fun () ->
+                let client = Serve.Client.connect address in
+                for i = 0 to per_thread - 1 do
+                  ignore
+                    (round_trip client
+                       queries.((ti + i) mod Array.length queries))
+                done;
+                Serve.Client.close client)
+              ())
+      in
+      Array.iter Thread.join workers;
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let rps = float_of_int (threads * per_thread) /. wall_s in
+      Printf.printf
+        "latency: cold p50 %.2fms, cached p50 %.2fms; throughput: %.0f \
+         req/s (%d clients x %d requests)\n"
+        (percentile (let s = Array.copy cold in Array.sort compare s; s) 0.5
+        *. 1e3)
+        (percentile
+           (let s = Array.copy cached in Array.sort compare s; s)
+           0.5
+        *. 1e3)
+        rps threads per_thread;
+
+      let health =
+        let c = Serve.Client.connect address in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            match Serve.Client.health c with
+            | Ok j -> j
+            | Error (_, e) -> failwith ("serve bench: health: " ^ e))
+      in
+      let out =
+        J.Obj
+          [
+            ("schema", J.Str "portopt-serve/1");
+            ("unix_time", J.Float (Unix.gettimeofday ()));
+            ("git", J.Str (Obs.Trace.git_describe ()));
+            ("ocaml", J.Str Sys.ocaml_version);
+            ( "scale",
+              J.Obj
+                [
+                  ("uarchs", J.Int scale.Ml_model.Dataset.n_uarchs);
+                  ("opts", J.Int scale.Ml_model.Dataset.n_opts);
+                  ("seed", J.Int scale.Ml_model.Dataset.seed);
+                  ("jobs", J.Int (Prelude.Pool.jobs ()));
+                ] );
+            ( "artifact",
+              J.Obj
+                [
+                  ("bytes", J.Int bytes);
+                  ("pairs", J.Int (Ml_model.Model.n_points model));
+                  ("train_s", J.Float train_s);
+                  ("save_s", J.Float save_s);
+                  ("load_s", J.Float load_s);
+                  ("load_speedup", J.Float (train_s /. load_s));
+                ] );
+            ( "latency",
+              J.Obj
+                [
+                  ("cold", latency_stats cold); ("cached", latency_stats cached);
+                ] );
+            ( "throughput",
+              J.Obj
+                [
+                  ("clients", J.Int threads);
+                  ("requests", J.Int (threads * per_thread));
+                  ("wall_s", J.Float wall_s);
+                  ("requests_per_s", J.Float rps);
+                ] );
+            ("health", health);
+          ]
+      in
+      let out_path = Filename.concat "results" "BENCH_serve.json" in
+      let oc = open_out out_path in
+      output_string oc (J.to_string out);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" out_path)

@@ -6,8 +6,12 @@
     - [run]      compile, interpret and time a workload on a configuration
     - [exec]     parse a textual IR file (dump's format) and run it
     - [spaces]   the optimisation and design space cardinalities
-    - [predict]  train the model and predict the best passes for a
-                 workload on a configuration described on the command line
+    - [predict]  train the model (or load a saved one) and predict the
+                 best passes for a workload on a configuration described
+                 on the command line
+    - [train]    train the model and freeze it to a .pcm artifact
+    - [serve]    serve predictions from a .pcm artifact over a socket
+    - [query]    ask a running server for a prediction (or health)
     - [flags]    show the optimisation dimensions and the -O3 defaults
     - [report]   validate and summarise a JSONL run trace
 
@@ -207,37 +211,51 @@ let exec_cmd =
     (Cmd.info "exec" ~doc:"Parse a textual IR file, compile at -O3 and run")
     Term.(const run $ obs_term "exec" $ file $ uarch_term)
 
+(* Loads a .pcm artifact or dies with its diagnostic. *)
+let load_artifact path =
+  match Serve.Artifact.load ~path with
+  | Ok artifact -> artifact
+  | Error e ->
+    Printf.eprintf "portopt: %s\n" e;
+    exit 1
+
 let predict_cmd =
-  let run () name u uarchs opts =
-    let scale =
-      {
-        (Ml_model.Dataset.default_scale ()) with
-        Ml_model.Dataset.n_uarchs = uarchs;
-        n_opts = opts;
-      }
-    in
-    Obs.Span.log
-      (Printf.sprintf "training (%d configurations x %d settings)..." uarchs
-         opts);
-    let dataset =
-      Ml_model.Dataset.generate ~progress:(fun m -> Obs.Span.log m) scale
-    in
-    let exclude = ref (-1) in
-    Array.iteri
-      (fun i s -> if s.Workloads.Spec.name = name then exclude := i)
-      dataset.Ml_model.Dataset.specs;
-    let model =
-      Obs.Span.with_ "model.train" (fun () ->
-          Ml_model.Model.train
-            ~include_pair:(fun ~prog ~uarch:_ -> prog <> !exclude)
-            dataset)
+  let run () name u uarchs opts model_path =
+    let model, space =
+      match model_path with
+      | Some path ->
+        let a = load_artifact path in
+        (a.Serve.Artifact.model, a.Serve.Artifact.space)
+      | None ->
+        let scale =
+          {
+            (Ml_model.Dataset.default_scale ()) with
+            Ml_model.Dataset.n_uarchs = uarchs;
+            n_opts = opts;
+          }
+        in
+        Obs.Span.log
+          (Printf.sprintf "training (%d configurations x %d settings)..."
+             uarchs opts);
+        let dataset =
+          Ml_model.Dataset.generate ~progress:(fun m -> Obs.Span.log m) scale
+        in
+        let exclude = ref (-1) in
+        Array.iteri
+          (fun i s -> if s.Workloads.Spec.name = name then exclude := i)
+          dataset.Ml_model.Dataset.specs;
+        let model =
+          Obs.Span.with_ "model.train" (fun () ->
+              Ml_model.Model.train
+                ~include_pair:(fun ~prog ~uarch:_ -> prog <> !exclude)
+                dataset)
+        in
+        (model, scale.Ml_model.Dataset.space)
     in
     let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name name) in
     let o3_run = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
     let o3 = Sim.Xtrem.time o3_run u in
-    let features =
-      Ml_model.Features.raw Ml_model.Features.Base o3.Sim.Pipeline.counters u
-    in
+    let features = Ml_model.Features.raw space o3.Sim.Pipeline.counters u in
     let predicted =
       Obs.Span.with_ "model.predict" (fun () ->
           Ml_model.Model.predict model features)
@@ -257,9 +275,275 @@ let predict_cmd =
   let opts =
     Arg.(value & opt int 60 & info [ "train-opts" ] ~doc:"Training settings.")
   in
+  let model =
+    Arg.(value & opt (some file) None
+         & info [ "model" ] ~docv:"FILE"
+             ~doc:
+               "Load a trained model from a $(b,.pcm) artifact (see the \
+                $(b,train) subcommand) instead of training in-process — \
+                orders of magnitude faster, bit-identical predictions.")
+  in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict the best passes for a new pair")
-    Term.(const run $ obs_term "predict" $ prog_arg $ uarch_term $ uarchs $ opts)
+    Term.(const run $ obs_term "predict" $ prog_arg $ uarch_term $ uarchs
+          $ opts $ model)
+
+let train_cmd =
+  let run () out uarchs opts =
+    let scale = Ml_model.Dataset.default_scale () in
+    let scale =
+      {
+        scale with
+        Ml_model.Dataset.n_uarchs =
+          Option.value ~default:scale.Ml_model.Dataset.n_uarchs uarchs;
+        n_opts = Option.value ~default:scale.Ml_model.Dataset.n_opts opts;
+      }
+    in
+    Obs.Span.log
+      (Printf.sprintf "training (%d configurations x %d settings)..."
+         scale.Ml_model.Dataset.n_uarchs scale.Ml_model.Dataset.n_opts);
+    let dataset =
+      Ml_model.Dataset.generate ~progress:(fun m -> Obs.Span.log m) scale
+    in
+    let model =
+      Obs.Span.with_ "model.train" (fun () -> Ml_model.Model.train dataset)
+    in
+    let meta =
+      [
+        ("seed", Obs.Json.Int scale.Ml_model.Dataset.seed);
+        ("n_uarchs", Obs.Json.Int scale.Ml_model.Dataset.n_uarchs);
+        ("n_opts", Obs.Json.Int scale.Ml_model.Dataset.n_opts);
+        ( "programs",
+          Obs.Json.Int (Array.length dataset.Ml_model.Dataset.specs) );
+        ("created_unix", Obs.Json.Float (Unix.time ()));
+      ]
+    in
+    Serve.Artifact.save ~path:out
+      { Serve.Artifact.model; space = scale.Ml_model.Dataset.space; meta };
+    Printf.printf "wrote %s: %d training pairs, k=%d, beta=%g\n" out
+      (Ml_model.Model.n_points model)
+      (Ml_model.Model.k model) (Ml_model.Model.beta model)
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the model artifact (conventionally .pcm).")
+  in
+  let uarchs =
+    Arg.(value & opt (some int) None
+         & info [ "train-uarchs" ]
+             ~doc:"Training configurations (default: \\$REPRO_UARCHS or 24).")
+  in
+  let opts =
+    Arg.(value & opt (some int) None
+         & info [ "train-opts" ]
+             ~doc:"Training settings (default: \\$REPRO_OPTS or 120).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates the training dataset (section 3.2 of the paper), fits \
+         the per-pair multinomial distributions and freezes the model — \
+         distributions, normalised feature rows, feature scaler, K and \
+         beta — into a versioned, checksummed two-line JSON artifact.";
+      `P
+        "Loading the artifact ($(b,predict --model), $(b,serve --model)) \
+         reproduces the in-process model bit-identically while skipping \
+         dataset generation and training entirely.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train the model and save a .pcm artifact" ~man)
+    Term.(const run $ obs_term "train" $ out $ uarchs $ opts)
+
+(* Server/client addressing shared by serve and query. *)
+let address_term =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket path (overrides --host/--port).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"TCP host to bind/connect.")
+  in
+  let port =
+    Arg.(value & opt int 7979
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"TCP port; 0 lets the kernel pick one (serve prints it).")
+  in
+  let mk socket host port =
+    match socket with
+    | Some path -> Serve.Protocol.Unix_path path
+    | None -> Serve.Protocol.Tcp (host, port)
+  in
+  Term.(const mk $ socket $ host $ port)
+
+let serve_cmd =
+  let run () model_path address jobs queue cache admin =
+    let artifact = load_artifact model_path in
+    let config =
+      { Serve.Server.address; jobs; queue; cache_capacity = cache; admin }
+    in
+    let server = Serve.Server.start ~artifact config in
+    let on_signal _ = Serve.Server.stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Printf.printf
+      "portopt serve: listening on %s (%d training pairs, jobs %d, queue \
+       %d, cache %d%s)\n\
+       %!"
+      (Serve.Protocol.address_to_string (Serve.Server.address server))
+      (Ml_model.Model.n_points artifact.Serve.Artifact.model)
+      jobs queue cache
+      (if admin then ", admin" else "");
+    Serve.Server.wait server;
+    Printf.printf "portopt serve: drained, bye\n%!"
+  in
+  let model =
+    Arg.(required & opt (some file) None
+         & info [ "model" ] ~docv:"FILE"
+             ~doc:"Model artifact to serve (the train subcommand's output).")
+  in
+  let jobs =
+    Arg.(value & opt int 2
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Worker domains computing predictions in parallel.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:
+               "Admitted requests tolerated beyond --jobs before the \
+                server sheds load with a 429 error.")
+  in
+  let cache =
+    Arg.(value & opt int 512
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"LRU prediction-cache capacity; 0 disables the cache.")
+  in
+  let admin =
+    Arg.(value & flag
+         & info [ "admin" ]
+             ~doc:"Honour the shutdown and sleep ops (otherwise 403).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads a trained model artifact and answers newline-delimited \
+         JSON requests ($(b,{\"op\":\"predict\",\"counters\":[...],\
+         \"uarch\":{...}})) over a TCP or Unix-domain socket.  Repeated \
+         queries hit an LRU cache keyed on the quantised feature vector; \
+         beyond $(b,--jobs) + $(b,--queue) concurrently admitted \
+         requests the server answers 429 instead of queueing unboundedly.";
+      `P
+        "SIGINT/SIGTERM (or an admin $(b,shutdown) op) start a graceful \
+         drain: in-flight requests complete and are answered before the \
+         process exits.  $(b,{\"op\":\"health\"}) reports uptime, \
+         request/shed counts, cache statistics and queue depth.  See \
+         docs/serving.md for the full protocol.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve predictions from a model artifact" ~man)
+    Term.(const run $ obs_term "serve" $ model $ address_term $ jobs $ queue
+          $ cache $ admin)
+
+let query_cmd =
+  let run () prog u address health shutdown sleep_s =
+    let client =
+      try Serve.Client.connect address
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "portopt: cannot connect to %s: %s\n"
+          (Serve.Protocol.address_to_string address)
+          (Unix.error_message e);
+        exit 1
+    in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close client)
+      (fun () ->
+        let raw r =
+          match r with
+          | Ok j -> print_endline (Obs.Json.to_string j)
+          | Error (code, msg) ->
+            Printf.eprintf "portopt: server error %d: %s\n" code msg;
+            exit 1
+        in
+        if health then raw (Serve.Client.health client)
+        else if shutdown then raw (Serve.Client.shutdown client)
+        else
+          match sleep_s with
+          | Some s -> raw (Serve.Client.sleep client s)
+          | None -> (
+            let name =
+              match prog with
+              | Some name -> name
+              | None ->
+                Printf.eprintf
+                  "portopt: query needs a PROGRAM (or --health, \
+                   --shutdown, --sleep)\n";
+                exit 2
+            in
+            let program =
+              Workloads.Mibench.program_of (Workloads.Mibench.by_name name)
+            in
+            let r = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+            let v = Sim.Xtrem.time r u in
+            match
+              Serve.Client.predict client ~counters:v.Sim.Pipeline.counters
+                ~uarch:u
+            with
+            | Error (code, msg) ->
+              Printf.eprintf "portopt: server error %d: %s\n" code msg;
+              exit (if code = 429 then 3 else 1)
+            | Ok p ->
+              Printf.printf "predicted passes for %s on %s:\n  %s\n" name
+                (Uarch.Config.to_string u)
+                p.Serve.Protocol.flags;
+              Printf.printf
+                "served in %.2f ms (%s, %d neighbours)\n"
+                p.Serve.Protocol.latency_ms
+                (if p.Serve.Protocol.cached then "cache hit" else "computed")
+                (Array.length p.Serve.Protocol.neighbours)))
+  in
+  let prog =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM"
+             ~doc:"Benchmark to profile locally and query for.")
+  in
+  let health =
+    Arg.(value & flag
+         & info [ "health" ] ~doc:"Print the server's health document.")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Ask the server to drain and exit (needs --admin there).")
+  in
+  let sleep_s =
+    Arg.(value & opt (some float) None
+         & info [ "sleep" ] ~docv:"SECONDS"
+             ~doc:
+               "Hold a server worker for the duration (needs --admin \
+                there); test aid for exercising load shedding.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Profiles the named workload locally at -O3 on the given \
+         microarchitecture to obtain its performance counters, sends \
+         them to a running $(b,portopt serve) instance and prints the \
+         predicted optimisation setting.  Exit status 3 means the \
+         server shed the request (429).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a running prediction server" ~man)
+    Term.(const run $ obs_term "query" $ prog $ uarch_term $ address_term
+          $ health $ shutdown $ sleep_s)
 
 let report_cmd =
   let run file =
@@ -304,4 +588,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; dump_cmd; run_cmd; exec_cmd; spaces_cmd; flags_cmd;
-            predict_cmd; report_cmd ]))
+            predict_cmd; train_cmd; serve_cmd; query_cmd; report_cmd ]))

@@ -54,26 +54,124 @@ let train ?(k = default_k) ?(beta = default_beta) ?mask
     distributions = Array.map (fun p -> p.Dataset.distribution) selected;
   }
 
+(** Full prediction (neighbours, mixture, mode) for raw features [x].
+    The kNN/softmax math lives in {!Predict}; this is the single entry
+    every consumer — cross-validation, CLI, server — funnels through. *)
+let predict_full t x =
+  let xn = Features.normalise t.normaliser (apply_mask t.mask x) in
+  Predict.run ~k:t.k ~beta:t.beta ~points:t.features
+    ~distributions:t.distributions xn
+
 (** The predictive distribution q(y|x) at the test point, for raw
     features [x]. *)
-let predictive_distribution t x =
-  let xn = Features.normalise t.normaliser (apply_mask t.mask x) in
-  let n = Array.length t.features in
-  let dist = Array.init n (fun i -> (Features.distance t.features.(i) xn, i)) in
-  Array.sort compare dist;
-  let k = min t.k n in
-  let neighbours = Array.sub dist 0 k in
-  (* Softmax weights of equation (6); shift by the minimum distance for
-     numerical stability (cancels in the normalisation). *)
-  let dmin = fst neighbours.(0) in
-  let weighted =
-    Array.to_list
-      (Array.map
-         (fun (dst, i) ->
-           (exp (-.t.beta *. (dst -. dmin)), t.distributions.(i)))
-         neighbours)
-  in
-  Distribution.mix weighted
+let predictive_distribution t x = (predict_full t x).Predict.distribution
 
 (** Equation (1): predicted-best optimisation setting for raw features. *)
-let predict t x = Distribution.mode (predictive_distribution t x)
+let predict t x = (predict_full t x).Predict.setting
+
+(* ---- serialisable representation (model artifacts) ------------------- *)
+
+type repr = {
+  r_k : int;
+  r_beta : float;
+  r_mask : bool array option;
+  r_normaliser : Features.normaliser;
+  r_features : float array array;
+  r_distributions : Distribution.t array;
+}
+
+let export t =
+  {
+    r_k = t.k;
+    r_beta = t.beta;
+    r_mask = t.mask;
+    r_normaliser = t.normaliser;
+    r_features = t.features;
+    r_distributions = t.distributions;
+  }
+
+(** Validate a deserialised representation and rebuild the model.
+    Checks every structural invariant a corrupt or hand-edited artifact
+    could violate; the error strings surface verbatim from
+    [Serve.Artifact.load]. *)
+let import r =
+  let fail fmt = Printf.ksprintf (fun m -> Error ("model: " ^ m)) fmt in
+  let n = Array.length r.r_features in
+  if r.r_k < 1 then fail "k must be >= 1 (got %d)" r.r_k
+  else if not (Float.is_finite r.r_beta) then fail "beta must be finite"
+  else if n = 0 then fail "no training points"
+  else if Array.length r.r_distributions <> n then
+    fail "%d feature rows but %d distributions" n
+      (Array.length r.r_distributions)
+  else begin
+    let dim = Array.length r.r_features.(0) in
+    let means, stds = r.r_normaliser in
+    if Array.exists (fun row -> Array.length row <> dim) r.r_features then
+      fail "ragged feature matrix"
+    else if Array.length means <> dim || Array.length stds <> dim then
+      fail "normaliser dimension %d does not match features (%d)"
+        (Array.length means) dim
+    else if
+      Array.exists
+        (fun row -> Array.exists (fun v -> not (Float.is_finite v)) row)
+        r.r_features
+    then fail "non-finite feature value"
+    else begin
+      let dist_err = ref None in
+      Array.iteri
+        (fun p (g : Distribution.t) ->
+          if !dist_err = None then
+            if Array.length g <> Passes.Flags.n_dims then
+              dist_err :=
+                Some
+                  (Printf.sprintf
+                     "distribution %d has %d dimensions (expected %d)" p
+                     (Array.length g) Passes.Flags.n_dims)
+            else
+              Array.iteri
+                (fun l row ->
+                  let card = Passes.Flags.cardinality Passes.Flags.dims.(l) in
+                  if !dist_err = None && Array.length row <> card then
+                    dist_err :=
+                      Some
+                        (Printf.sprintf
+                           "distribution %d dimension %d has %d values \
+                            (expected %d)"
+                           p l (Array.length row) card)
+                  else if
+                    !dist_err = None
+                    && Array.exists
+                         (fun v -> not (Float.is_finite v) || v < 0.0)
+                         row
+                  then
+                    dist_err :=
+                      Some
+                        (Printf.sprintf
+                           "distribution %d dimension %d has an invalid \
+                            probability"
+                           p l))
+                g)
+        r.r_distributions;
+      match !dist_err with
+      | Some m -> Error ("model: " ^ m)
+      | None ->
+        (match r.r_mask with
+        | Some m when Array.length m <> Features.dim Features.Base
+                      && Array.length m <> Features.dim Features.Extended ->
+          fail "mask length %d matches no feature space" (Array.length m)
+        | _ ->
+          Ok
+            {
+              k = r.r_k;
+              beta = r.r_beta;
+              mask = r.r_mask;
+              normaliser = r.r_normaliser;
+              features = r.r_features;
+              distributions = r.r_distributions;
+            })
+    end
+  end
+
+let n_points t = Array.length t.features
+let k t = t.k
+let beta t = t.beta

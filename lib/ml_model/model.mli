@@ -30,6 +30,12 @@ val train :
     normalised against the selected training pairs.  Raises
     [Invalid_argument] if no pair is selected. *)
 
+val predict_full : t -> float array -> Predict.result
+(** Full prediction — nearest neighbours, mixture distribution and its
+    mode — for {e raw} (unnormalised) features [x].  The single shared
+    kNN/softmax implementation ({!Predict}) behind {!predict},
+    cross-validation and the prediction server. *)
+
 val predictive_distribution : t -> float array -> Distribution.t
 (** The predictive distribution q(y|x) for {e raw} (unnormalised)
     features [x], as produced by {!Features.raw}. *)
@@ -37,3 +43,30 @@ val predictive_distribution : t -> float array -> Distribution.t
 val predict : t -> float array -> Passes.Flags.setting
 (** Equation (1): the mode of the predictive distribution — the
     predicted-best optimisation setting for the pair described by [x]. *)
+
+(** {2 Serialisable representation}
+
+    The exact training state, exposed so [Serve.Artifact] can freeze a
+    trained model to disk and reload it bit-identically. *)
+
+type repr = {
+  r_k : int;
+  r_beta : float;
+  r_mask : bool array option;
+  r_normaliser : Features.normaliser;
+  r_features : float array array;  (** Normalised rows, one per pair. *)
+  r_distributions : Distribution.t array;
+}
+
+val export : t -> repr
+
+val import : repr -> (t, string) result
+(** Validate every structural invariant (shapes, cardinalities against
+    {!Passes.Flags.dims}, finiteness) and rebuild the model; the error
+    carries a human-readable reason for artifact-load diagnostics. *)
+
+val n_points : t -> int
+(** Training pairs retained (rows of the feature matrix). *)
+
+val k : t -> int
+val beta : t -> float

@@ -21,6 +21,9 @@ type t = {
   mutable generation : int;  (** Bumped per batch so workers detect it. *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  tasks : (unit -> unit) Queue.t;
+      (** Async single tasks ([submit]); serviced by workers between
+          batches, drained under [mutex]. *)
   busy : float array;
       (** Cumulative task seconds per participant (0 = submitter);
           written under [mutex] in [drain], read at [shutdown]. *)
@@ -35,6 +38,8 @@ let m_batches = Obs.Metrics.counter "pool.batches"
 let m_tasks = Obs.Metrics.counter "pool.tasks"
 let m_task_seconds = Obs.Metrics.hist "pool.task_seconds"
 let m_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
+let m_async = Obs.Metrics.counter "pool.async_tasks"
+let m_async_errors = Obs.Metrics.counter "pool.async_errors"
 
 (* Claim-and-run loop shared by workers and the submitting domain.
    [who] is the participant index (0 = submitter) for busy-time
@@ -59,6 +64,20 @@ let drain t ~who (b : batch) =
     end
   done
 
+(* Run one async task outside the lock.  Exceptions cannot be
+   re-raised anywhere meaningful from a detached worker, so they are
+   counted and swallowed: [submit] callers that care thread their own
+   error channel through the closure.  Called and returns with
+   [t.mutex] held. *)
+let run_async t ~who task =
+  Mutex.unlock t.mutex;
+  let t0 = Obs.Clock.now_s () in
+  (try task () with _ -> Obs.Metrics.add m_async_errors 1);
+  let dur = Obs.Clock.now_s () -. t0 in
+  Obs.Metrics.observe m_task_seconds dur;
+  Mutex.lock t.mutex;
+  t.busy.(who) <- t.busy.(who) +. dur
+
 (* [initial_gen] is the generation at spawn time, captured before the
    domain starts: a batch published while the worker is still booting
    must not be skipped. *)
@@ -66,11 +85,13 @@ let worker t ~who initial_gen =
   Mutex.lock t.mutex;
   let seen = ref initial_gen in
   while not t.stop do
-    if t.generation = !seen then Condition.wait t.work_ready t.mutex
-    else begin
+    if t.generation <> !seen then begin
       seen := t.generation;
       match t.batch with None -> () | Some b -> drain t ~who b
     end
+    else if not (Queue.is_empty t.tasks) then
+      run_async t ~who (Queue.pop t.tasks)
+    else Condition.wait t.work_ready t.mutex
   done;
   Mutex.unlock t.mutex
 
@@ -88,6 +109,7 @@ let create ~jobs =
       generation = 0;
       stop = false;
       domains = [];
+      tasks = Queue.create ();
       busy = Array.make jobs 0.0;
     }
   in
@@ -156,6 +178,27 @@ let init t n f =
   end
 
 let map t f xs = init t (Array.length xs) (fun i -> f xs.(i))
+
+let submit t task =
+  Obs.Metrics.add m_async 1;
+  Mutex.lock t.mutex;
+  if t.domains = [] || t.stop then begin
+    (* No workers (jobs = 1, or already shut down): run inline in the
+       submitting thread, preserving the sequential fallback contract. *)
+    Mutex.unlock t.mutex;
+    task ()
+  end
+  else begin
+    Queue.push task t.tasks;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex
+  end
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.tasks in
+  Mutex.unlock t.mutex;
+  n
 
 let jobs_env () =
   match Sys.getenv_opt "REPRO_JOBS" with

@@ -51,6 +51,23 @@ val init : t -> int -> (int -> 'a) -> 'a array
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map t f xs] is [Array.map f xs] distributed over the pool. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** [submit t task] enqueues a single closure for asynchronous
+    execution on a worker domain — the request-dispatch shape used by
+    the serving subsystem, complementing the batch-shaped [init]/[map].
+    Returns immediately; tasks run in submission order between batches.
+    If the pool has no worker domains (jobs = 1, or after [shutdown]),
+    the task runs inline in the calling thread before [submit] returns.
+    A task must not raise: escaping exceptions are counted in the
+    [pool.async_errors] metric and otherwise swallowed (a detached
+    worker has nowhere meaningful to re-raise), so callers thread their
+    own error channel through the closure.  Tasks still queued when
+    [shutdown] runs are dropped — quiesce submitters first. *)
+
+val pending : t -> int
+(** Number of [submit]ted tasks not yet claimed by a worker — the
+    queue-depth signal the server's load-shedding admission reads. *)
+
 val jobs : unit -> int
 (** Resolved parallelism of the shared default pool: [REPRO_JOBS] if
     set (must be a positive integer), else

@@ -1,0 +1,235 @@
+(** Versioned, checksummed model artifacts.
+
+    Freezes a trained {!Ml_model.Model} — per-pair multinomial
+    distributions (equations 2–5), normalised feature rows, the feature
+    scaler and the K/beta hyperparameters — into a two-line file:
+
+    {v
+    {"magic":"portopt-model","version":1,"checksum":"fnv1a64:...","bytes":N}
+    {"k":7,"beta":1.0,"space":"base","mask":null,"normaliser":...}
+    v}
+
+    The header carries an FNV-1a 64 checksum and the byte length of the
+    payload line, so truncation and corruption are detected before the
+    payload is even parsed; the payload is one {!Obs.Json} object whose
+    floats round-trip bit-exactly (shortest-representation printing),
+    making a loaded model's predictions bit-identical to the model that
+    was saved.  [load] validates the schema version, the checksum and
+    every structural invariant ({!Ml_model.Model.import}) and returns a
+    human-readable error on any mismatch. *)
+
+module J = Obs.Json
+
+type t = {
+  model : Ml_model.Model.t;
+  space : Ml_model.Features.space;
+  meta : (string * J.t) list;
+      (** Provenance (seed, scale, git, creation time) — carried along,
+          echoed by the server's health endpoint, never interpreted. *)
+}
+
+let magic = "portopt-model"
+let version = 1
+
+(* ---- checksum --------------------------------------------------------- *)
+
+(** FNV-1a, 64-bit: tiny, dependency-free, and plenty to detect the
+    bit-rot and truncation an artifact file can suffer (not a
+    cryptographic signature). *)
+let fnv1a64 (s : string) =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "fnv1a64:%016Lx" !h
+
+(* ---- encoding --------------------------------------------------------- *)
+
+let space_to_string = function
+  | Ml_model.Features.Base -> "base"
+  | Ml_model.Features.Extended -> "extended"
+
+let space_of_string = function
+  | "base" -> Ok Ml_model.Features.Base
+  | "extended" -> Ok Ml_model.Features.Extended
+  | s -> Error (Printf.sprintf "unknown feature space %S" s)
+
+let floats a = J.List (Array.to_list (Array.map (fun f -> J.Float f) a))
+let float_rows m = J.List (Array.to_list (Array.map floats m))
+
+let payload_json t =
+  let r = Ml_model.Model.export t.model in
+  let means, stds = r.Ml_model.Model.r_normaliser in
+  J.Obj
+    [
+      ("k", J.Int r.Ml_model.Model.r_k);
+      ("beta", J.Float r.Ml_model.Model.r_beta);
+      ("space", J.Str (space_to_string t.space));
+      ( "mask",
+        match r.Ml_model.Model.r_mask with
+        | None -> J.Null
+        | Some m -> J.List (Array.to_list (Array.map (fun b -> J.Bool b) m)) );
+      ("normaliser", J.Obj [ ("mean", floats means); ("std", floats stds) ]);
+      ("features", float_rows r.Ml_model.Model.r_features);
+      ( "distributions",
+        J.List
+          (Array.to_list
+             (Array.map float_rows r.Ml_model.Model.r_distributions)) );
+      ("meta", J.Obj t.meta);
+    ]
+
+let save ~path t =
+  let payload = J.to_string (payload_json t) in
+  let header =
+    J.to_string
+      (J.Obj
+         [
+           ("magic", J.Str magic);
+           ("version", J.Int version);
+           ("checksum", J.Str (fnv1a64 payload));
+           ("bytes", J.Int (String.length payload));
+         ])
+  in
+  (* Write-then-rename so a crash mid-save never leaves a half-written
+     artifact under the final name. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc header;
+      output_char oc '\n';
+      output_string oc payload;
+      output_char oc '\n');
+  Sys.rename tmp path
+
+(* ---- decoding --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or malformed %S field" name)
+
+let float_array j =
+  match J.to_list j with
+  | None -> None
+  | Some items ->
+    let a = Array.of_list items in
+    let out = Array.make (Array.length a) 0.0 in
+    let ok = ref true in
+    Array.iteri
+      (fun i v ->
+        match J.to_float v with Some f -> out.(i) <- f | None -> ok := false)
+      a;
+    if !ok then Some out else None
+
+let float_matrix j =
+  match J.to_list j with
+  | None -> None
+  | Some rows ->
+    let out = List.filter_map float_array rows in
+    if List.length out = List.length rows then Some (Array.of_list out)
+    else None
+
+let parse_payload text =
+  let* j =
+    Result.map_error (fun e -> "payload is not valid JSON: " ^ e)
+      (J.of_string text)
+  in
+  let* k = field "k" J.to_int j in
+  let* beta = field "beta" J.to_float j in
+  let* space_s = field "space" J.to_str j in
+  let* space = space_of_string space_s in
+  let* mask =
+    match J.member "mask" j with
+    | None -> Error "missing \"mask\" field"
+    | Some J.Null -> Ok None
+    | Some (J.List bs) ->
+      let bools =
+        List.filter_map (function J.Bool b -> Some b | _ -> None) bs
+      in
+      if List.length bools = List.length bs then
+        Ok (Some (Array.of_list bools))
+      else Error "malformed \"mask\" field"
+    | Some _ -> Error "malformed \"mask\" field"
+  in
+  let* norm = field "normaliser" Option.some j in
+  let* means = field "mean" float_array norm in
+  let* stds = field "std" float_array norm in
+  let* features = field "features" float_matrix j in
+  let* distributions =
+    match Option.bind (J.member "distributions" j) J.to_list with
+    | None -> Error "missing or malformed \"distributions\" field"
+    | Some rows ->
+      let out = List.filter_map float_matrix rows in
+      if List.length out = List.length rows then Ok (Array.of_list out)
+      else Error "malformed \"distributions\" field"
+  in
+  let meta =
+    match J.member "meta" j with Some (J.Obj fields) -> fields | _ -> []
+  in
+  let* model =
+    Ml_model.Model.import
+      {
+        Ml_model.Model.r_k = k;
+        r_beta = beta;
+        r_mask = mask;
+        r_normaliser = (means, stds);
+        r_features = features;
+        r_distributions = distributions;
+      }
+  in
+  Ok { model; space; meta }
+
+let load ~path =
+  let* text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+  in
+  let err fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
+  match String.index_opt text '\n' with
+  | None -> err "truncated file (no header line)"
+  | Some nl -> (
+    let header_line = String.sub text 0 nl in
+    let rest = String.sub text (nl + 1) (String.length text - nl - 1) in
+    let payload =
+      match String.index_opt rest '\n' with
+      | Some nl2 -> String.sub rest 0 nl2
+      | None -> rest
+    in
+    match J.of_string header_line with
+    | Error e -> err "malformed header: %s" e
+    | Ok header -> (
+      match
+        let* m = field "magic" J.to_str header in
+        let* v = field "version" J.to_int header in
+        let* sum = field "checksum" J.to_str header in
+        let* bytes = field "bytes" J.to_int header in
+        Ok (m, v, sum, bytes)
+      with
+      | Error e -> err "malformed header: %s" e
+      | Ok (m, _, _, _) when m <> magic ->
+        err "not a portopt model artifact (magic %S)" m
+      | Ok (_, v, _, _) when v <> version ->
+        err "unsupported artifact version %d (this build reads version %d)" v
+          version
+      | Ok (_, _, _, bytes) when String.length payload < bytes ->
+        err "truncated file (header promises %d payload bytes, found %d)"
+          bytes (String.length payload)
+      | Ok (_, _, sum, bytes) ->
+        let payload = String.sub payload 0 bytes in
+        let actual = fnv1a64 payload in
+        if actual <> sum then
+          err "checksum mismatch (file corrupt?): header %s, payload %s" sum
+            actual
+        else
+          Result.map_error (fun e -> path ^ ": " ^ e) (parse_payload payload)))

@@ -1,0 +1,35 @@
+(** Versioned, checksummed on-disk model artifacts.
+
+    A `.pcm` (portable compiler model) file freezes one trained
+    {!Ml_model.Model} — per-pair multinomial distributions, normalised
+    feature rows, the feature scaler and K/beta — as two JSON lines: a
+    header carrying magic, schema version, FNV-1a 64 checksum and
+    payload byte length, then the payload itself.  Floats round-trip
+    bit-exactly, so a loaded model predicts bit-identically to the one
+    that was saved; loading is pure deserialisation and runs orders of
+    magnitude faster than retraining. *)
+
+type t = {
+  model : Ml_model.Model.t;
+  space : Ml_model.Features.space;
+      (** Feature space the model was trained in — the server needs it
+          to assemble query vectors from counters + descriptors. *)
+  meta : (string * Obs.Json.t) list;
+      (** Provenance (seed, scale, git, creation time); echoed by the
+          server's health endpoint, never interpreted. *)
+}
+
+val magic : string
+val version : int
+
+val fnv1a64 : string -> string
+(** ["fnv1a64:<16 hex digits>"] — exposed for tests. *)
+
+val save : path:string -> t -> unit
+(** Serialise atomically (write to [path ^ ".tmp"], then rename). *)
+
+val load : path:string -> (t, string) result
+(** Strict load: rejects missing files, truncation, checksum
+    mismatches, wrong magic or schema version, malformed JSON and any
+    structural invariant violation ({!Ml_model.Model.import}), each
+    with a distinct human-readable message prefixed by the path. *)

@@ -1,0 +1,80 @@
+(** Blocking client for the prediction server: one request line out,
+    one response line back, over a TCP or Unix-domain stream socket.
+    Used by [portopt query], the serve benchmark and the tests. *)
+
+module J = Obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (** Bytes read past the last newline. *)
+}
+
+let connect address =
+  let sa = Protocol.sockaddr address in
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; pending = "" }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let read_line t =
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match String.index_opt t.pending '\n' with
+    | Some nl ->
+      let line = String.sub t.pending 0 nl in
+      t.pending <-
+        String.sub t.pending (nl + 1) (String.length t.pending - nl - 1);
+      Ok line
+    | None -> (
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed by server"
+      | n ->
+        t.pending <- t.pending ^ Bytes.sub_string chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error ("read failed: " ^ Unix.error_message e))
+  in
+  go ()
+
+let request t (j : J.t) : (J.t, string) result =
+  match write_all t.fd (J.to_string j ^ "\n") with
+  | () -> (
+    match read_line t with
+    | Error e -> Error e
+    | Ok line ->
+      Result.map_error (fun e -> "malformed response: " ^ e) (J.of_string line))
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("write failed: " ^ Unix.error_message e)
+
+(* Typed helpers.  Errors carry the server's HTTP-style code, or 0 for
+   transport/parse failures — so callers can distinguish a 429 shed from
+   a dead socket. *)
+
+let ( let* ) = Result.bind
+
+let checked t req =
+  let* j =
+    Result.map_error (fun e -> (0, e)) (request t (Protocol.request_to_json req))
+  in
+  Protocol.check_response j
+
+let predict t ~counters ~uarch =
+  let* j = checked t (Protocol.Predict { counters; uarch }) in
+  Result.map_error (fun e -> (0, e)) (Protocol.prediction_of_json j)
+
+let health t = checked t Protocol.Health
+let shutdown t = checked t Protocol.Shutdown
+let sleep t seconds = checked t (Protocol.Sleep seconds)

@@ -1,0 +1,34 @@
+(** Blocking client for the prediction server ([portopt query], the
+    serve benchmark and the tests).  Not thread-safe: use one client
+    per thread. *)
+
+type t
+
+val connect : Protocol.address -> t
+(** Raises [Unix.Unix_error] if the server is unreachable. *)
+
+val close : t -> unit
+
+val request : t -> Obs.Json.t -> (Obs.Json.t, string) result
+(** Raw round-trip: send one JSON line, read one JSON line back. *)
+
+(** The typed helpers return [Error (code, message)] with the server's
+    HTTP-style code (429 = shed, 403 = admin op refused, ...), or code
+    [0] for transport and parse failures. *)
+
+val predict :
+  t ->
+  counters:Sim.Counters.t ->
+  uarch:Uarch.Config.t ->
+  (Protocol.prediction, int * string) result
+
+val health : t -> (Obs.Json.t, int * string) result
+(** The server's health document (uptime, request/shed counts, cache
+    stats, queue depth, model shape). *)
+
+val shutdown : t -> (Obs.Json.t, int * string) result
+(** Ask the server to drain and exit (requires [--admin]). *)
+
+val sleep : t -> float -> (Obs.Json.t, int * string) result
+(** Hold a worker for the duration (requires [--admin]); test/ops aid
+    for exercising load shedding. *)

@@ -1,0 +1,263 @@
+(** Newline-delimited JSON wire protocol shared by server and client.
+
+    One request per line, one response line per request, over a TCP or
+    Unix-domain stream socket:
+
+    {v
+    -> {"op":"predict","counters":[...11 floats...],"uarch":{...},"id":1}
+    <- {"ok":true,"id":1,"passes":[...],"flags":"...","neighbours":[...],
+        "latency_ms":0.8,"cached":false}
+    -> {"op":"health"}
+    <- {"ok":true,"uptime_s":12.3,"requests":42,"cache":{...},...}
+    v}
+
+    Errors come back as [{"ok":false,"code":400|429|...,"error":"..."}]
+    with the request's ["id"] echoed when one was given — 429 is the
+    load-shedding reply.  The admin ops ([shutdown], [sleep]) are only
+    honoured when the server was started with [--admin]. *)
+
+module J = Obs.Json
+
+type address = Tcp of string * int | Unix_path of string
+
+let sockaddr = function
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.ADDR_INET (ip, port)
+  | Unix_path path -> Unix.ADDR_UNIX path
+
+let address_to_string = function
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Unix_path path -> path
+
+(* ---- microarchitecture encoding --------------------------------------- *)
+
+let uarch_to_json (u : Uarch.Config.t) =
+  J.Obj
+    [
+      ("il1_size", J.Int u.Uarch.Config.il1_size);
+      ("il1_assoc", J.Int u.Uarch.Config.il1_assoc);
+      ("il1_block", J.Int u.Uarch.Config.il1_block);
+      ("dl1_size", J.Int u.Uarch.Config.dl1_size);
+      ("dl1_assoc", J.Int u.Uarch.Config.dl1_assoc);
+      ("dl1_block", J.Int u.Uarch.Config.dl1_block);
+      ("btb_entries", J.Int u.Uarch.Config.btb_entries);
+      ("btb_assoc", J.Int u.Uarch.Config.btb_assoc);
+      ("freq_mhz", J.Int u.Uarch.Config.freq_mhz);
+      ("issue_width", J.Int u.Uarch.Config.issue_width);
+    ]
+
+let uarch_of_json j =
+  let get name =
+    match Option.bind (J.member name j) J.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "uarch: missing or malformed %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* il1_size = get "il1_size" in
+  let* il1_assoc = get "il1_assoc" in
+  let* il1_block = get "il1_block" in
+  let* dl1_size = get "dl1_size" in
+  let* dl1_assoc = get "dl1_assoc" in
+  let* dl1_block = get "dl1_block" in
+  let* btb_entries = get "btb_entries" in
+  let* btb_assoc = get "btb_assoc" in
+  let* freq_mhz = get "freq_mhz" in
+  let* issue_width = get "issue_width" in
+  let u =
+    {
+      Uarch.Config.il1_size;
+      il1_assoc;
+      il1_block;
+      dl1_size;
+      dl1_assoc;
+      dl1_block;
+      btb_entries;
+      btb_assoc;
+      freq_mhz;
+      issue_width;
+    }
+  in
+  match Uarch.Config.validate u with
+  | () -> Ok u
+  | exception Invalid_argument e -> Error ("uarch: " ^ e)
+
+(* ---- requests --------------------------------------------------------- *)
+
+type request =
+  | Predict of { counters : Sim.Counters.t; uarch : Uarch.Config.t }
+  | Health
+  | Shutdown
+  | Sleep of float  (** Admin/test op: hold a worker for the duration. *)
+
+let counters_to_json c =
+  J.List
+    (Array.to_list
+       (Array.map (fun f -> J.Float f) (Sim.Counters.to_array c)))
+
+let request_to_json ?id req =
+  let id = match id with None -> [] | Some i -> [ ("id", J.Int i) ] in
+  let fields =
+    match req with
+    | Predict { counters; uarch } ->
+      [
+        ("op", J.Str "predict");
+        ("counters", counters_to_json counters);
+        ("uarch", uarch_to_json uarch);
+      ]
+    | Health -> [ ("op", J.Str "health") ]
+    | Shutdown -> [ ("op", J.Str "shutdown") ]
+    | Sleep s -> [ ("op", J.Str "sleep"); ("seconds", J.Float s) ]
+  in
+  J.Obj (fields @ id)
+
+(** The request's ["id"] field, echoed into every response so clients
+    can pipeline. *)
+let request_id j =
+  match J.member "id" j with Some (J.Int _ as i) -> Some i | _ -> None
+
+let request_of_json j =
+  let op =
+    match Option.bind (J.member "op" j) J.to_str with
+    | Some op -> op
+    | None -> "predict"
+  in
+  match op with
+  | "health" -> Ok Health
+  | "shutdown" -> Ok Shutdown
+  | "sleep" ->
+    let seconds =
+      match Option.bind (J.member "seconds" j) J.to_float with
+      | Some s when s >= 0.0 && s <= 60.0 -> s
+      | _ -> 0.1
+    in
+    Ok (Sleep seconds)
+  | "predict" -> (
+    match Option.bind (J.member "counters" j) J.to_list with
+    | None -> Error "predict: missing or malformed \"counters\" field"
+    | Some items -> (
+      let floats = List.filter_map J.to_float items in
+      if List.length floats <> List.length items then
+        Error "predict: non-numeric counter value"
+      else
+        match Sim.Counters.of_array (Array.of_list floats) with
+        | exception Invalid_argument e -> Error ("predict: " ^ e)
+        | counters -> (
+          match J.member "uarch" j with
+          | None -> Error "predict: missing \"uarch\" field"
+          | Some u -> (
+            match uarch_of_json u with
+            | Error e -> Error ("predict: " ^ e)
+            | Ok uarch -> Ok (Predict { counters; uarch })))))
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* ---- responses -------------------------------------------------------- *)
+
+type neighbour = { index : int; distance : float; weight : float }
+(** [weight] is the normalised softmax share (sums to 1 across the
+    response's neighbours) — a display form of
+    {!Ml_model.Predict.neighbour}'s unnormalised weight. *)
+
+type prediction = {
+  setting : Passes.Flags.setting;
+  flags : string;  (** Human-readable [Passes.Flags.to_string] form. *)
+  neighbours : neighbour array;
+  latency_ms : float;
+  cached : bool;
+}
+
+let with_id id fields =
+  match id with None -> fields | Some i -> ("id", i) :: fields
+
+let prediction_to_json ?id p =
+  J.Obj
+    (with_id id
+       [
+         ("ok", J.Bool true);
+         ( "passes",
+           J.List
+             (Array.to_list (Array.map (fun v -> J.Int v) p.setting)) );
+         ("flags", J.Str p.flags);
+         ( "neighbours",
+           J.List
+             (Array.to_list
+                (Array.map
+                   (fun nb ->
+                     J.Obj
+                       [
+                         ("index", J.Int nb.index);
+                         ("distance", J.Float nb.distance);
+                         ("weight", J.Float nb.weight);
+                       ])
+                   p.neighbours)) );
+         ("latency_ms", J.Float p.latency_ms);
+         ("cached", J.Bool p.cached);
+       ])
+
+let prediction_of_json j =
+  let ( let* ) = Result.bind in
+  let* setting =
+    match Option.bind (J.member "passes" j) J.to_list with
+    | None -> Error "response: missing \"passes\" field"
+    | Some items ->
+      let ints = List.filter_map J.to_int items in
+      if List.length ints <> List.length items then
+        Error "response: non-integer pass value"
+      else Ok (Array.of_list ints)
+  in
+  let* () =
+    match Passes.Flags.validate setting with
+    | () -> Ok ()
+    | exception Invalid_argument e -> Error ("response: " ^ e)
+  in
+  let flags =
+    Option.value ~default:"" (Option.bind (J.member "flags" j) J.to_str)
+  in
+  let neighbours =
+    match Option.bind (J.member "neighbours" j) J.to_list with
+    | None -> [||]
+    | Some items ->
+      Array.of_list
+        (List.filter_map
+           (fun nb ->
+             match
+               ( Option.bind (J.member "index" nb) J.to_int,
+                 Option.bind (J.member "distance" nb) J.to_float,
+                 Option.bind (J.member "weight" nb) J.to_float )
+             with
+             | Some index, Some distance, Some weight ->
+               Some { index; distance; weight }
+             | _ -> None)
+           items)
+  in
+  let latency_ms =
+    Option.value ~default:0.0
+      (Option.bind (J.member "latency_ms" j) J.to_float)
+  in
+  let cached =
+    match J.member "cached" j with Some (J.Bool b) -> b | _ -> false
+  in
+  Ok { setting; flags; neighbours; latency_ms; cached }
+
+let error_to_json ?id ~code msg =
+  J.Obj
+    (with_id id
+       [ ("ok", J.Bool false); ("code", J.Int code); ("error", J.Str msg) ])
+
+(** [Ok j] when the response line reports success, [Error (code, msg)]
+    otherwise. *)
+let check_response j =
+  match J.member "ok" j with
+  | Some (J.Bool true) -> Ok j
+  | _ ->
+    let code =
+      Option.value ~default:500 (Option.bind (J.member "code" j) J.to_int)
+    in
+    let msg =
+      Option.value ~default:"unknown error"
+        (Option.bind (J.member "error" j) J.to_str)
+    in
+    Error (code, msg)

@@ -1,0 +1,55 @@
+(** Newline-delimited JSON wire protocol shared by server and client —
+    one request per line, one response line per request.  See
+    docs/serving.md for the full schema. *)
+
+type address = Tcp of string * int | Unix_path of string
+
+val sockaddr : address -> Unix.sockaddr
+(** Resolves host names for [Tcp]. *)
+
+val address_to_string : address -> string
+
+val uarch_to_json : Uarch.Config.t -> Obs.Json.t
+val uarch_of_json : Obs.Json.t -> (Uarch.Config.t, string) result
+(** Validates with {!Uarch.Config.validate}. *)
+
+type request =
+  | Predict of { counters : Sim.Counters.t; uarch : Uarch.Config.t }
+  | Health
+  | Shutdown  (** Admin op: trigger a graceful drain. *)
+  | Sleep of float
+      (** Admin/test op: hold a worker for the duration (clamped to
+          [0, 60] seconds) — used to exercise load shedding. *)
+
+val counters_to_json : Sim.Counters.t -> Obs.Json.t
+val request_to_json : ?id:int -> request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, string) result
+(** Missing ["op"] defaults to ["predict"]. *)
+
+val request_id : Obs.Json.t -> Obs.Json.t option
+(** The ["id"] field to echo into the response, when present. *)
+
+type neighbour = {
+  index : int;  (** Training-pair row in the served model. *)
+  distance : float;  (** Normalised-feature-space distance (eq. 6). *)
+  weight : float;  (** Normalised softmax share; sums to 1. *)
+}
+
+type prediction = {
+  setting : Passes.Flags.setting;
+  flags : string;  (** Human-readable {!Passes.Flags.to_string} form. *)
+  neighbours : neighbour array;
+  latency_ms : float;  (** Server-side, receipt to response. *)
+  cached : bool;  (** Served from the LRU prediction cache. *)
+}
+
+val prediction_to_json : ?id:Obs.Json.t -> prediction -> Obs.Json.t
+val prediction_of_json : Obs.Json.t -> (prediction, string) result
+(** Validates the setting with {!Passes.Flags.validate}. *)
+
+val error_to_json : ?id:Obs.Json.t -> code:int -> string -> Obs.Json.t
+(** [code] follows HTTP conventions: 400 malformed, 403 admin op
+    without [--admin], 429 load-shed, 500 internal. *)
+
+val check_response : Obs.Json.t -> (Obs.Json.t, int * string) result
+(** [Ok] on [{"ok":true,...}], else the error code and message. *)

@@ -1,0 +1,493 @@
+(** Concurrent prediction server.
+
+    Architecture (one process, three kinds of execution context):
+
+    - an {b accept thread} polls the listening socket (250 ms select
+      ticks so it notices a stop request promptly) and spawns one
+      {b connection thread} per client;
+    - connection threads read newline-delimited JSON requests, answer
+      cheap control ops ([health]) inline, and dispatch prediction work
+      onto the {b worker pool} ([Prelude.Pool] domains — real
+      parallelism, since threads alone share one domain), blocking on a
+      one-shot ivar until the worker fills in the result;
+    - admission control bounds the number of simultaneously admitted
+      requests to [jobs + queue]; beyond that the server sheds load
+      with an immediate 429-style JSON error instead of queueing
+      unboundedly.
+
+    Repeated queries are answered from an LRU cache keyed on the
+    quantised raw feature vector (1e-6 grid — far below any physically
+    meaningful counter difference), bypassing admission entirely so a
+    saturated server still answers hot queries.
+
+    [stop] initiates a graceful drain: the listener closes, in-flight
+    requests run to completion and are answered, connection threads
+    exit; [wait] (polling, so SIGINT/SIGTERM handlers installed by the
+    CLI get a chance to run) returns once everything is down. *)
+
+module J = Obs.Json
+
+type config = {
+  address : Protocol.address;
+  jobs : int;  (** Worker-pool size (ignored when a pool is passed in). *)
+  queue : int;  (** Admitted requests beyond [jobs] before shedding. *)
+  cache_capacity : int;  (** LRU entries; 0 disables the cache. *)
+  admin : bool;  (** Honour [shutdown]/[sleep] ops. *)
+}
+
+let default_config address =
+  { address; jobs = 2; queue = 64; cache_capacity = 512; admin = false }
+
+type cached = {
+  c_setting : Passes.Flags.setting;
+  c_flags : string;
+  c_neighbours : Protocol.neighbour array;
+}
+
+type t = {
+  config : config;
+  artifact : Artifact.t;
+  pool : Prelude.Pool.t;
+  owns_pool : bool;
+  listen_fd : Unix.file_descr;
+  resolved : Protocol.address;  (** With the kernel-assigned TCP port. *)
+  stopping : bool Atomic.t;
+  inflight : int Atomic.t;  (** Admitted predict/sleep requests. *)
+  live_conns : int Atomic.t;
+  requests : int Atomic.t;  (** Per-server, for the health endpoint. *)
+  shed : int Atomic.t;
+  errors : int Atomic.t;
+  cache : (string, cached) Lru.t option;
+  cache_mutex : Mutex.t;
+  started : float;
+  mutable accept_thread : Thread.t option;
+}
+
+(* Process-wide metrics (shared across server instances; the health
+   endpoint reports per-instance numbers from the atomics above). *)
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_predictions = Obs.Metrics.counter "serve.predictions"
+let m_shed = Obs.Metrics.counter "serve.shed"
+let m_errors = Obs.Metrics.counter "serve.errors"
+let m_cache_hits = Obs.Metrics.counter "serve.cache.hits"
+let m_cache_misses = Obs.Metrics.counter "serve.cache.misses"
+let m_connections = Obs.Metrics.counter "serve.connections"
+let g_queue_depth = Obs.Metrics.gauge "serve.queue_depth"
+let h_request_seconds = Obs.Metrics.hist "serve.request.seconds"
+
+let address t = t.resolved
+
+(* ---- one-shot ivar ---------------------------------------------------- *)
+
+(* Connection threads block here while a pool domain computes. *)
+type 'a ivar = {
+  iv_mutex : Mutex.t;
+  iv_cond : Condition.t;
+  mutable iv_value : 'a option;
+}
+
+let ivar () =
+  { iv_mutex = Mutex.create (); iv_cond = Condition.create (); iv_value = None }
+
+let ivar_fill iv v =
+  Mutex.lock iv.iv_mutex;
+  iv.iv_value <- Some v;
+  Condition.signal iv.iv_cond;
+  Mutex.unlock iv.iv_mutex
+
+let ivar_await iv =
+  Mutex.lock iv.iv_mutex;
+  while iv.iv_value = None do
+    Condition.wait iv.iv_cond iv.iv_mutex
+  done;
+  let v = Option.get iv.iv_value in
+  Mutex.unlock iv.iv_mutex;
+  v
+
+(* ---- cache ------------------------------------------------------------ *)
+
+(** Cache key: the raw feature vector on a 1e-6 grid.  Counter rates
+    are O(1) and descriptors are log2-scaled (<= 17), so the grid is
+    ~7 significant digits — collisions require inputs closer than any
+    physically distinguishable pair of profiles. *)
+let quantise (features : float array) =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Int64.to_string (Int64.of_float (Float.round (f *. 1e6))));
+      Buffer.add_char buf ';')
+    features;
+  Buffer.contents buf
+
+let cache_get t key =
+  match t.cache with
+  | None -> None
+  | Some c ->
+    Mutex.lock t.cache_mutex;
+    let r = Lru.get c key in
+    Mutex.unlock t.cache_mutex;
+    (match r with
+    | Some _ -> Obs.Metrics.add m_cache_hits 1
+    | None -> Obs.Metrics.add m_cache_misses 1);
+    r
+
+let cache_put t key v =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+    Mutex.lock t.cache_mutex;
+    Lru.put c key v;
+    Mutex.unlock t.cache_mutex
+
+(* ---- admission control ------------------------------------------------ *)
+
+let admit_capacity t = t.config.jobs + t.config.queue
+
+let set_queue_gauge t n =
+  Obs.Metrics.set g_queue_depth
+    (float_of_int (max 0 (n - t.config.jobs)))
+
+(** Lock-free admission: optimistically take a slot, hand it back when
+    over capacity.  The transient overshoot is bounded by the number of
+    racing connection threads and never admits work. *)
+let try_admit t =
+  let n = Atomic.fetch_and_add t.inflight 1 in
+  if n >= admit_capacity t then begin
+    ignore (Atomic.fetch_and_add t.inflight (-1));
+    false
+  end
+  else begin
+    set_queue_gauge t (n + 1);
+    true
+  end
+
+let release t =
+  let n = Atomic.fetch_and_add t.inflight (-1) in
+  set_queue_gauge t (n - 1)
+
+(* ---- request handling ------------------------------------------------- *)
+
+let health_json t =
+  let cache_stats =
+    match t.cache with
+    | None -> J.Obj [ ("enabled", J.Bool false) ]
+    | Some c ->
+      J.Obj
+        [
+          ("enabled", J.Bool true);
+          ("size", J.Int (Lru.size c));
+          ("capacity", J.Int (Lru.capacity c));
+          ("hits", J.Int (Lru.hits c));
+          ("misses", J.Int (Lru.misses c));
+        ]
+  in
+  J.Obj
+    [
+      ("ok", J.Bool true);
+      ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+      ("requests", J.Int (Atomic.get t.requests));
+      ("shed", J.Int (Atomic.get t.shed));
+      ("errors", J.Int (Atomic.get t.errors));
+      ("inflight", J.Int (Atomic.get t.inflight));
+      ("queue_depth", J.Int (Prelude.Pool.pending t.pool));
+      ("jobs", J.Int t.config.jobs);
+      ("queue_limit", J.Int t.config.queue);
+      ("stopping", J.Bool (Atomic.get t.stopping));
+      ("cache", cache_stats);
+      ( "model",
+        J.Obj
+          [
+            ("pairs", J.Int (Ml_model.Model.n_points t.artifact.Artifact.model));
+            ("k", J.Int (Ml_model.Model.k t.artifact.Artifact.model));
+            ("beta", J.Float (Ml_model.Model.beta t.artifact.Artifact.model));
+            ( "space",
+              J.Str
+                (match t.artifact.Artifact.space with
+                | Ml_model.Features.Base -> "base"
+                | Ml_model.Features.Extended -> "extended") );
+          ] );
+      ("meta", J.Obj t.artifact.Artifact.meta);
+    ]
+
+(** Display neighbours: normalise the softmax weights into shares. *)
+let wire_neighbours (ns : Ml_model.Predict.neighbour array) =
+  let z =
+    Array.fold_left (fun acc nb -> acc +. nb.Ml_model.Predict.weight) 0.0 ns
+  in
+  let z = if z > 0.0 then z else 1.0 in
+  Array.map
+    (fun (nb : Ml_model.Predict.neighbour) ->
+      {
+        Protocol.index = nb.Ml_model.Predict.index;
+        distance = nb.Ml_model.Predict.distance;
+        weight = nb.Ml_model.Predict.weight /. z;
+      })
+    ns
+
+(** Run [compute] on a pool worker and wait; exceptions travel back to
+    the connection thread through the ivar. *)
+let on_pool t compute =
+  let iv = ivar () in
+  Prelude.Pool.submit t.pool (fun () ->
+      ivar_fill iv
+        (match compute () with v -> Ok v | exception e -> Error e));
+  ivar_await iv
+
+let predict_response t ~id ~t0 counters uarch =
+  let features =
+    Ml_model.Features.raw t.artifact.Artifact.space counters uarch
+  in
+  let key = quantise features in
+  let latency () = (Unix.gettimeofday () -. t0) *. 1e3 in
+  match cache_get t key with
+  | Some c ->
+    Protocol.prediction_to_json ?id
+      {
+        Protocol.setting = c.c_setting;
+        flags = c.c_flags;
+        neighbours = c.c_neighbours;
+        latency_ms = latency ();
+        cached = true;
+      }
+  | None ->
+    if not (try_admit t) then begin
+      Atomic.incr t.shed;
+      Obs.Metrics.add m_shed 1;
+      Protocol.error_to_json ?id ~code:429
+        "overloaded: admission queue full, retry later"
+    end
+    else
+      Fun.protect
+        ~finally:(fun () -> release t)
+        (fun () ->
+          match
+            on_pool t (fun () ->
+                Ml_model.Model.predict_full t.artifact.Artifact.model features)
+          with
+          | Ok r ->
+            Obs.Metrics.add m_predictions 1;
+            let c =
+              {
+                c_setting = r.Ml_model.Predict.setting;
+                c_flags = Passes.Flags.to_string r.Ml_model.Predict.setting;
+                c_neighbours = wire_neighbours r.Ml_model.Predict.neighbours;
+              }
+            in
+            cache_put t key c;
+            Protocol.prediction_to_json ?id
+              {
+                Protocol.setting = c.c_setting;
+                flags = c.c_flags;
+                neighbours = c.c_neighbours;
+                latency_ms = latency ();
+                cached = false;
+              }
+          | Error e ->
+            Atomic.incr t.errors;
+            Obs.Metrics.add m_errors 1;
+            Protocol.error_to_json ?id ~code:500
+              ("prediction failed: " ^ Printexc.to_string e))
+
+let stop t = Atomic.set t.stopping true
+
+let handle_line t line =
+  let t0 = Unix.gettimeofday () in
+  Atomic.incr t.requests;
+  Obs.Metrics.add m_requests 1;
+  let response, op =
+    match J.of_string line with
+    | Error e ->
+      ( Protocol.error_to_json ~code:400 ("malformed request: " ^ e),
+        "malformed" )
+    | Ok j -> (
+      let id = Protocol.request_id j in
+      match Protocol.request_of_json j with
+      | Error e -> (Protocol.error_to_json ?id ~code:400 e, "malformed")
+      | Ok Protocol.Health -> (health_json t, "health")
+      | Ok Protocol.Shutdown when not t.config.admin ->
+        ( Protocol.error_to_json ?id ~code:403
+            "shutdown is an admin op (start the server with --admin)",
+          "shutdown" )
+      | Ok Protocol.Shutdown ->
+        stop t;
+        (J.Obj [ ("ok", J.Bool true); ("stopping", J.Bool true) ], "shutdown")
+      | Ok (Protocol.Sleep _) when not t.config.admin ->
+        ( Protocol.error_to_json ?id ~code:403
+            "sleep is an admin op (start the server with --admin)",
+          "sleep" )
+      | Ok (Protocol.Sleep seconds) ->
+        if not (try_admit t) then begin
+          Atomic.incr t.shed;
+          Obs.Metrics.add m_shed 1;
+          ( Protocol.error_to_json ?id ~code:429
+              "overloaded: admission queue full, retry later",
+            "sleep" )
+        end
+        else
+          Fun.protect
+            ~finally:(fun () -> release t)
+            (fun () ->
+              ignore (on_pool t (fun () -> Thread.delay seconds));
+              let fields =
+                [ ("ok", J.Bool true); ("slept_s", J.Float seconds) ]
+              in
+              let fields =
+                match id with Some i -> ("id", i) :: fields | None -> fields
+              in
+              (J.Obj fields, "sleep"))
+      | Ok (Protocol.Predict { counters; uarch }) ->
+        (predict_response t ~id ~t0 counters uarch, "predict"))
+  in
+  let dur = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.observe h_request_seconds dur;
+  (* Leaf event rather than a span pair: connection threads share one
+     domain, so the span stack's domain-local nesting would interleave. *)
+  Obs.Span.event ~parent:None "serve.request"
+    [ ("op", J.Str op); ("dur_ms", J.Float (dur *. 1e3)) ];
+  response
+
+(* ---- connection plumbing ---------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(** Serve one connection: buffered line reads with 250 ms select ticks
+    so the thread notices [stop] even while idle; requests on a
+    connection are processed in order. *)
+let conn_loop t fd =
+  let chunk = Bytes.create 8192 in
+  let pending = Buffer.create 8192 in
+  let closed = ref false in
+  let process_buffered () =
+    let rec go () =
+      let s = Buffer.contents pending in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some nl ->
+        let line = String.sub s 0 nl in
+        Buffer.clear pending;
+        Buffer.add_string pending
+          (String.sub s (nl + 1) (String.length s - nl - 1));
+        let line = String.trim line in
+        if line <> "" then begin
+          let response = handle_line t line in
+          write_all fd (J.to_string response);
+          write_all fd "\n"
+        end;
+        go ()
+    in
+    go ()
+  in
+  (try
+     while not !closed do
+       (* Answer everything already buffered before blocking again. *)
+       process_buffered ();
+       if Atomic.get t.stopping then closed := true
+       else begin
+         match Unix.select [ fd ] [] [] 0.25 with
+         | [], _, _ -> ()
+         | _ -> (
+           match Unix.read fd chunk 0 (Bytes.length chunk) with
+           | 0 -> closed := true
+           | n -> Buffer.add_subbytes pending chunk 0 n)
+       end
+     done
+   with
+  | Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  ignore (Atomic.fetch_and_add t.live_conns (-1))
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listen_fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Obs.Metrics.add m_connections 1;
+        ignore (Atomic.fetch_and_add t.live_conns 1);
+        ignore (Thread.create (conn_loop t) fd)
+      | exception Unix.Unix_error _ -> ())
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  match t.config.address with
+  | Protocol.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ()
+
+(* ---- lifecycle -------------------------------------------------------- *)
+
+let start ?pool ~artifact config =
+  (* A client closing mid-response must surface as EPIPE, not kill the
+     process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd, resolved =
+    match config.address with
+    | Protocol.Unix_path path ->
+      if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, config.address)
+    | Protocol.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Protocol.sockaddr config.address);
+      Unix.listen fd 64;
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Protocol.Tcp (host, port))
+  in
+  let pool, owns_pool =
+    match pool with
+    | Some p -> (p, false)
+    | None -> (Prelude.Pool.create ~jobs:(max 1 config.jobs), true)
+  in
+  let config = { config with jobs = Prelude.Pool.size pool } in
+  let t =
+    {
+      config;
+      artifact;
+      pool;
+      owns_pool;
+      listen_fd;
+      resolved;
+      stopping = Atomic.make false;
+      inflight = Atomic.make 0;
+      live_conns = Atomic.make 0;
+      requests = Atomic.make 0;
+      shed = Atomic.make 0;
+      errors = Atomic.make 0;
+      cache =
+        (if config.cache_capacity > 0 then
+           Some (Lru.create ~capacity:config.cache_capacity)
+         else None);
+      cache_mutex = Mutex.create ();
+      started = Unix.gettimeofday ();
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+(** Poll-based so the calling (main) thread keeps hitting safe points —
+    OCaml signal handlers (the CLI's SIGINT/SIGTERM -> [stop]) only run
+    there; a thread parked in [Condition.wait] would never notice. *)
+let wait t =
+  (match t.accept_thread with
+  | Some th ->
+    Thread.join th;
+    t.accept_thread <- None
+  | None -> ());
+  while Atomic.get t.live_conns > 0 do
+    Thread.delay 0.02
+  done;
+  if t.owns_pool then Prelude.Pool.shutdown t.pool

@@ -1,0 +1,46 @@
+(** Concurrent prediction server: newline-delimited JSON over a TCP or
+    Unix-domain socket, prediction work dispatched onto a
+    {!Prelude.Pool} of worker domains, an LRU prediction cache keyed on
+    the quantised feature vector, and bounded admission with 429-style
+    load shedding.  See docs/serving.md for the wire protocol and
+    operational semantics. *)
+
+type config = {
+  address : Protocol.address;
+  jobs : int;
+      (** Worker-pool size; ignored when [start] is given a pool
+          (then the pool's size is used for admission too). *)
+  queue : int;
+      (** Admitted-but-waiting requests tolerated beyond [jobs] before
+          the server sheds load with a 429 error. *)
+  cache_capacity : int;  (** LRU entries; [0] disables the cache. *)
+  admin : bool;
+      (** Honour the [shutdown] and [sleep] ops (otherwise 403). *)
+}
+
+val default_config : Protocol.address -> config
+(** jobs 2, queue 64, cache 512 entries, admin off. *)
+
+type t
+
+val start : ?pool:Prelude.Pool.t -> artifact:Artifact.t -> config -> t
+(** Bind, listen and spawn the accept thread; returns immediately.
+    Without [?pool] the server creates (and on [wait] shuts down) its
+    own pool of [config.jobs] domains.  Raises [Unix.Unix_error] if the
+    address cannot be bound. *)
+
+val address : t -> Protocol.address
+(** The bound address — with the kernel-assigned port when the config
+    asked for TCP port 0, which is how tests get an ephemeral port. *)
+
+val stop : t -> unit
+(** Begin a graceful drain: stop accepting, let in-flight requests
+    complete and be answered, then let connection threads exit.
+    Idempotent, async-signal-safe in the OCaml sense (a single atomic
+    store), so it can be called from a signal handler. *)
+
+val wait : t -> unit
+(** Block until the drain completes: accept thread joined, all
+    connection threads finished, owned pool shut down.  Polls rather
+    than parking on a condition so the main thread keeps reaching safe
+    points where OCaml runs signal handlers. *)

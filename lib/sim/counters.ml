@@ -34,3 +34,25 @@ let to_array c =
   |]
 
 let dim = 11
+
+(** Inverse of {!to_array} — the serving wire protocol carries counter
+    vectors in table 1's order.  Raises [Invalid_argument] on a wrong
+    length. *)
+let of_array a =
+  if Array.length a <> dim then
+    invalid_arg
+      (Printf.sprintf "Counters.of_array: expected %d values, got %d" dim
+         (Array.length a));
+  {
+    ipc = a.(0);
+    decode_rate = a.(1);
+    regfile_rate = a.(2);
+    bpred_rate = a.(3);
+    icache_rate = a.(4);
+    icache_miss_rate = a.(5);
+    dcache_rate = a.(6);
+    dcache_miss_rate = a.(7);
+    alu_usage = a.(8);
+    mac_usage = a.(9);
+    shift_usage = a.(10);
+  }

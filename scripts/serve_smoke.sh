@@ -1,0 +1,56 @@
+#!/bin/sh
+# Serving smoke test: train a tiny model artifact, serve it on a
+# Unix-domain socket, hit it with concurrent queries, verify the cache
+# and health endpoints, then shut down cleanly and check the drain.
+#
+# Invokes the built binary directly rather than via `dune exec`:
+# concurrent `dune exec` processes would contend on the build lock.
+set -eu
+
+BIN=_build/default/bin/portopt.exe
+DIR=results/serve_smoke
+SOCK="$DIR/portopt.sock"
+MODEL="$DIR/model.pcm"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+echo "serve-smoke: training tiny model..."
+REPRO_UARCHS=2 REPRO_OPTS=8 "$BIN" train -o "$MODEL" --log-level quiet
+
+"$BIN" serve --model "$MODEL" --socket "$SOCK" --jobs 2 --admin \
+  >"$DIR/serve.log" 2>&1 &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -S "$SOCK" ] && [ $i -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ ! -S "$SOCK" ]; then
+  echo "serve-smoke: server never came up" >&2
+  cat "$DIR/serve.log" >&2
+  exit 1
+fi
+
+echo "serve-smoke: concurrent queries..."
+"$BIN" query --socket "$SOCK" qsort >"$DIR/q1.out" 2>&1 &
+Q1=$!
+"$BIN" query --socket "$SOCK" bitcnts >"$DIR/q2.out" 2>&1 &
+Q2=$!
+wait "$Q1"
+wait "$Q2"
+grep -q "predicted passes" "$DIR/q1.out"
+grep -q "predicted passes" "$DIR/q2.out"
+
+echo "serve-smoke: cache + health..."
+"$BIN" query --socket "$SOCK" qsort | grep -q "cache hit"
+"$BIN" query --socket "$SOCK" --health | grep -q '"ok":true'
+
+echo "serve-smoke: graceful shutdown..."
+"$BIN" query --socket "$SOCK" --shutdown | grep -q '"stopping":true'
+wait "$SERVER"
+trap - EXIT
+grep -q "drained, bye" "$DIR/serve.log"
+echo "serve-smoke: OK"

@@ -1,0 +1,580 @@
+(* Tests for the serving subsystem: the LRU cache, the async pool path,
+   model artifacts (round-trip bit-identity, strict load validation,
+   load-vs-retrain speed), the wire protocol, and the server itself —
+   concurrent end-to-end queries, the prediction cache, load shedding
+   and graceful drain. *)
+
+module J = Obs.Json
+
+let check = Alcotest.check
+
+(* ---- LRU --------------------------------------------------------------- *)
+
+let test_lru_capacity_and_eviction () =
+  let l = Serve.Lru.create ~capacity:3 in
+  Serve.Lru.put l "a" 1;
+  Serve.Lru.put l "b" 2;
+  Serve.Lru.put l "c" 3;
+  check Alcotest.int "size" 3 (Serve.Lru.size l);
+  Serve.Lru.put l "d" 4;
+  check Alcotest.int "still at capacity" 3 (Serve.Lru.size l);
+  check Alcotest.(option int) "oldest evicted" None (Serve.Lru.get l "a");
+  check Alcotest.(option int) "newest kept" (Some 4) (Serve.Lru.get l "d")
+
+let test_lru_get_promotes () =
+  let l = Serve.Lru.create ~capacity:2 in
+  Serve.Lru.put l "a" 1;
+  Serve.Lru.put l "b" 2;
+  (* Touch "a" so "b" becomes the eviction victim. *)
+  ignore (Serve.Lru.get l "a");
+  Serve.Lru.put l "c" 3;
+  check Alcotest.(option int) "promoted key kept" (Some 1) (Serve.Lru.get l "a");
+  check Alcotest.(option int) "lru evicted" None (Serve.Lru.get l "b");
+  check
+    Alcotest.(list string)
+    "most-recent first" [ "a"; "c" ]
+    (Serve.Lru.keys_by_recency l)
+
+let test_lru_overwrite () =
+  let l = Serve.Lru.create ~capacity:2 in
+  Serve.Lru.put l "a" 1;
+  Serve.Lru.put l "a" 9;
+  check Alcotest.int "no duplicate" 1 (Serve.Lru.size l);
+  check Alcotest.(option int) "newest value" (Some 9) (Serve.Lru.get l "a")
+
+let test_lru_counters () =
+  let l = Serve.Lru.create ~capacity:2 in
+  Serve.Lru.put l "a" 1;
+  ignore (Serve.Lru.get l "a");
+  ignore (Serve.Lru.get l "a");
+  ignore (Serve.Lru.get l "nope");
+  check Alcotest.int "hits" 2 (Serve.Lru.hits l);
+  check Alcotest.int "misses" 1 (Serve.Lru.misses l)
+
+let test_lru_bad_capacity () =
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Serve.Lru.create ~capacity:0))
+
+(* ---- Pool async path --------------------------------------------------- *)
+
+let await_atomic ?(timeout = 5.0) a expected =
+  let t0 = Unix.gettimeofday () in
+  while
+    Atomic.get a <> expected && Unix.gettimeofday () -. t0 < timeout
+  do
+    Thread.yield ()
+  done;
+  Atomic.get a
+
+let test_pool_submit_runs_tasks () =
+  let pool = Prelude.Pool.create ~jobs:3 in
+  Fun.protect
+    ~finally:(fun () -> Prelude.Pool.shutdown pool)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      for _ = 1 to 20 do
+        Prelude.Pool.submit pool (fun () -> Atomic.incr hits)
+      done;
+      check Alcotest.int "all async tasks ran" 20 (await_atomic hits 20);
+      check Alcotest.int "queue drained" 0 (Prelude.Pool.pending pool))
+
+let test_pool_submit_inline_when_sequential () =
+  let pool = Prelude.Pool.create ~jobs:1 in
+  Fun.protect
+    ~finally:(fun () -> Prelude.Pool.shutdown pool)
+    (fun () ->
+      let hit = Atomic.make 0 in
+      Prelude.Pool.submit pool (fun () -> Atomic.incr hit);
+      (* jobs=1 has no worker domains: the task ran before submit
+         returned. *)
+      check Alcotest.int "ran inline" 1 (Atomic.get hit))
+
+(* ---- datasets and artifacts -------------------------------------------- *)
+
+let tiny_scale seed =
+  {
+    Ml_model.Dataset.n_uarchs = 2;
+    n_opts = 8;
+    seed;
+    space = Ml_model.Features.Base;
+    good_fraction = 0.1;
+  }
+
+(* Wall seconds spent generating the seed-42 dataset — the honest
+   "retrain from nothing" cost the artifact load is measured against. *)
+let gen42_seconds = ref 0.0
+
+let dataset42 =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     let d = Ml_model.Dataset.generate (tiny_scale 42) in
+     gen42_seconds := Unix.gettimeofday () -. t0;
+     d)
+
+let dataset43 = lazy (Ml_model.Dataset.generate (tiny_scale 43))
+
+let artifact_of dataset =
+  let model = Ml_model.Model.train dataset in
+  {
+    Serve.Artifact.model;
+    space = dataset.Ml_model.Dataset.scale.Ml_model.Dataset.space;
+    meta = [ ("suite", J.Str "test") ];
+  }
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "portopt_test_%d_%s" (Unix.getpid ()) name)
+
+let all_raw_features dataset =
+  Array.map
+    (fun (p : Ml_model.Dataset.pair) -> p.Ml_model.Dataset.features_raw)
+    dataset.Ml_model.Dataset.pairs
+
+let check_models_bit_identical ~msg model loaded features =
+  Array.iteri
+    (fun i x ->
+      let a = Ml_model.Model.predict_full model x in
+      let b = Ml_model.Model.predict_full loaded x in
+      if a.Ml_model.Predict.setting <> b.Ml_model.Predict.setting then
+        Alcotest.failf "%s: setting differs on pair %d" msg i;
+      if a.Ml_model.Predict.distribution <> b.Ml_model.Predict.distribution
+      then Alcotest.failf "%s: distribution differs on pair %d" msg i;
+      if a.Ml_model.Predict.neighbours <> b.Ml_model.Predict.neighbours then
+        Alcotest.failf "%s: neighbours differ on pair %d" msg i)
+    features
+
+let test_artifact_roundtrip_bit_identical () =
+  List.iter
+    (fun (seed, dataset) ->
+      let dataset = Lazy.force dataset in
+      let artifact = artifact_of dataset in
+      let path = tmp_path (Printf.sprintf "roundtrip_%d.pcm" seed) in
+      Serve.Artifact.save ~path artifact;
+      let loaded =
+        match Serve.Artifact.load ~path with
+        | Ok a -> a
+        | Error e -> Alcotest.failf "load failed: %s" e
+      in
+      Sys.remove path;
+      check Alcotest.int "k survives"
+        (Ml_model.Model.k artifact.Serve.Artifact.model)
+        (Ml_model.Model.k loaded.Serve.Artifact.model);
+      check Alcotest.int "pairs survive"
+        (Ml_model.Model.n_points artifact.Serve.Artifact.model)
+        (Ml_model.Model.n_points loaded.Serve.Artifact.model);
+      check Alcotest.bool "meta survives" true
+        (loaded.Serve.Artifact.meta = artifact.Serve.Artifact.meta);
+      check_models_bit_identical
+        ~msg:(Printf.sprintf "seed %d" seed)
+        artifact.Serve.Artifact.model loaded.Serve.Artifact.model
+        (all_raw_features dataset))
+    [ (42, dataset42); (43, dataset43) ]
+
+let test_artifact_load_is_fast () =
+  let dataset = Lazy.force dataset42 in
+  let t0 = Unix.gettimeofday () in
+  let model = Ml_model.Model.train dataset in
+  let train_seconds = !gen42_seconds +. (Unix.gettimeofday () -. t0) in
+  let path = tmp_path "speed.pcm" in
+  Serve.Artifact.save ~path
+    { Serve.Artifact.model; space = Ml_model.Features.Base; meta = [] };
+  (* Warm the page cache, then time the load. *)
+  ignore (Serve.Artifact.load ~path);
+  let t0 = Unix.gettimeofday () in
+  (match Serve.Artifact.load ~path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  let load_seconds = Unix.gettimeofday () -. t0 in
+  Sys.remove path;
+  if train_seconds < 100.0 *. load_seconds then
+    Alcotest.failf
+      "artifact load must be >= 100x faster than retraining: train+gen \
+       %.3fs, load %.3fs (%.0fx)"
+      train_seconds load_seconds
+      (train_seconds /. load_seconds)
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let load_error path =
+  match Serve.Artifact.load ~path with
+  | Ok _ -> Alcotest.failf "%s: load unexpectedly succeeded" path
+  | Error e -> e
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_error_mentions ~msg needle err =
+  if not (contains ~needle err) then
+    Alcotest.failf "%s: error %S does not mention %S" msg err needle
+
+(* First-occurrence textual replacement (no Str dependency). *)
+let replace ~from ~into text =
+  let n = String.length text and fn = String.length from in
+  let rec find i =
+    if i + fn > n then None
+    else if String.sub text i fn = from then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> text
+  | Some i ->
+    String.sub text 0 i ^ into
+    ^ String.sub text (i + fn) (n - i - fn)
+
+let test_artifact_rejects_corruption () =
+  let dataset = Lazy.force dataset42 in
+  let artifact = artifact_of dataset in
+  let path = tmp_path "negative.pcm" in
+  Serve.Artifact.save ~path artifact;
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let header_len = String.index text '\n' in
+
+  (* Truncated: payload shorter than the header's byte count. *)
+  write_file path (String.sub text 0 (String.length text / 2));
+  check_error_mentions ~msg:"truncation" "truncated" (load_error path);
+
+  (* Corrupted payload: flip a digit after the header. *)
+  let corrupt = Bytes.of_string text in
+  let i = header_len + 100 in
+  Bytes.set corrupt i (if Bytes.get corrupt i = '1' then '2' else '1');
+  write_file path (Bytes.to_string corrupt);
+  check_error_mentions ~msg:"bit flip" "checksum mismatch" (load_error path);
+
+  (* Wrong schema version. *)
+  write_file path
+    (replace ~from:"\"version\":1" ~into:"\"version\":99" text);
+  check_error_mentions ~msg:"future version" "unsupported artifact version 99"
+    (load_error path);
+
+  (* Wrong magic. *)
+  write_file path (replace ~from:"portopt-model" ~into:"someone-elses" text);
+  check_error_mentions ~msg:"foreign file" "not a portopt model artifact"
+    (load_error path);
+
+  (* Not even JSON. *)
+  write_file path "ELF\x7f\x00\x00";
+  check_error_mentions ~msg:"garbage" "header" (load_error path);
+
+  (* Empty. *)
+  write_file path "";
+  check_error_mentions ~msg:"empty" "truncated" (load_error path);
+  Sys.remove path;
+
+  (* Missing entirely. *)
+  ignore (load_error (tmp_path "does_not_exist.pcm"))
+
+(* ---- protocol ---------------------------------------------------------- *)
+
+let some_uarch () =
+  (Lazy.force dataset42).Ml_model.Dataset.uarchs.(0)
+
+let some_counters () =
+  let d = Lazy.force dataset42 in
+  let v = Sim.Xtrem.time d.Ml_model.Dataset.o3_runs.(0) (some_uarch ()) in
+  v.Sim.Pipeline.counters
+
+let test_protocol_request_roundtrip () =
+  let counters = some_counters () in
+  let uarch = some_uarch () in
+  let j =
+    Serve.Protocol.request_to_json ~id:7
+      (Serve.Protocol.Predict { counters; uarch })
+  in
+  (* Through the printer and parser, as on the wire. *)
+  let j =
+    match J.of_string (J.to_string j) with Ok j -> j | Error e -> failwith e
+  in
+  (match Serve.Protocol.request_of_json j with
+  | Ok (Serve.Protocol.Predict { counters = c; uarch = u }) ->
+    check Alcotest.bool "counters survive" true
+      (Sim.Counters.to_array c = Sim.Counters.to_array counters);
+    check Alcotest.bool "uarch survives" true (u = uarch)
+  | Ok _ -> Alcotest.fail "decoded as a different op"
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  check Alcotest.bool "id echoed" true
+    (Serve.Protocol.request_id j = Some (J.Int 7))
+
+let test_protocol_rejects_bad_requests () =
+  let bad s =
+    match J.of_string s with
+    | Error _ -> ()
+    | Ok j -> (
+      match Serve.Protocol.request_of_json j with
+      | Ok _ -> Alcotest.failf "accepted %s" s
+      | Error _ -> ())
+  in
+  bad {|{"op":"frobnicate"}|};
+  bad {|{"op":"predict"}|};
+  bad {|{"op":"predict","counters":[1,2,3],"uarch":{}}|};
+  bad {|{"op":"predict","counters":"nope","uarch":{}}|}
+
+let test_protocol_error_responses () =
+  let e = Serve.Protocol.error_to_json ~code:429 "busy" in
+  match Serve.Protocol.check_response e with
+  | Ok _ -> Alcotest.fail "error response passed check_response"
+  | Error (code, msg) ->
+    check Alcotest.int "code" 429 code;
+    check Alcotest.string "message" "busy" msg
+
+(* ---- server end-to-end ------------------------------------------------- *)
+
+let with_server ?(jobs = 2) ?(queue = 8) ?(cache = 256) ?(admin = false)
+    artifact f =
+  let socket = tmp_path (Printf.sprintf "srv_%d.sock" (Random.bits ())) in
+  let config =
+    {
+      Serve.Server.address = Serve.Protocol.Unix_path socket;
+      jobs;
+      queue;
+      cache_capacity = cache;
+      admin;
+    }
+  in
+  let server = Serve.Server.start ~artifact config in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.Server.wait server;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () -> f server (Serve.Server.address server))
+
+let test_server_concurrent_bit_identical () =
+  let dataset = Lazy.force dataset42 in
+  let artifact = artifact_of dataset in
+  let model = artifact.Serve.Artifact.model in
+  let n_uarchs = Ml_model.Dataset.n_uarchs dataset in
+  let queries =
+    Array.init 8 (fun i ->
+        let p = i / n_uarchs and u = i mod n_uarchs in
+        let uarch = dataset.Ml_model.Dataset.uarchs.(u) in
+        let v = Sim.Xtrem.time dataset.Ml_model.Dataset.o3_runs.(p) uarch in
+        (v.Sim.Pipeline.counters, uarch))
+  in
+  with_server artifact (fun _server address ->
+      let failures = Atomic.make 0 in
+      let worker ti =
+        let client = Serve.Client.connect address in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close client)
+          (fun () ->
+            for i = 0 to Array.length queries - 1 do
+              let counters, uarch = queries.((ti + i) mod Array.length queries) in
+              match Serve.Client.predict client ~counters ~uarch with
+              | Error _ -> Atomic.incr failures
+              | Ok served ->
+                (* The served setting must be bit-identical to the
+                   in-process prediction for the same model. *)
+                let local =
+                  Ml_model.Model.predict model
+                    (Ml_model.Features.raw artifact.Serve.Artifact.space
+                       counters uarch)
+                in
+                if served.Serve.Protocol.setting <> local then
+                  Atomic.incr failures
+            done)
+      in
+      let threads = Array.init 4 (fun ti -> Thread.create worker ti) in
+      Array.iter Thread.join threads;
+      check Alcotest.int "no failed or divergent requests" 0
+        (Atomic.get failures);
+      (* Every query has been seen: a repeat must be a cache hit. *)
+      let client = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          let counters, uarch = queries.(0) in
+          (match Serve.Client.predict client ~counters ~uarch with
+          | Ok served ->
+            check Alcotest.bool "repeat served from cache" true
+              served.Serve.Protocol.cached
+          | Error (_, e) -> Alcotest.failf "repeat failed: %s" e);
+          (* Health reflects the traffic. *)
+          match Serve.Client.health client with
+          | Error (_, e) -> Alcotest.failf "health failed: %s" e
+          | Ok h ->
+            let int_field name =
+              match Option.bind (J.member name h) J.to_int with
+              | Some v -> v
+              | None -> Alcotest.failf "health lacks %s" name
+            in
+            check Alcotest.bool "served many requests" true
+              (int_field "requests" >= 4 * Array.length queries);
+            check Alcotest.int "nothing shed" 0 (int_field "shed");
+            check Alcotest.int "nothing in flight" 0 (int_field "inflight");
+            let cache = Option.get (J.member "cache" h) in
+            (match Option.bind (J.member "hits" cache) J.to_int with
+            | Some hits -> check Alcotest.bool "cache hits" true (hits >= 1)
+            | None -> Alcotest.fail "health lacks cache.hits");
+            (* Admin ops are refused without --admin. *)
+            (match Serve.Client.sleep client 0.01 with
+            | Error (403, _) -> ()
+            | Ok _ -> Alcotest.fail "sleep accepted without --admin"
+            | Error (code, e) ->
+              Alcotest.failf "expected 403, got %d: %s" code e)))
+
+let test_server_tcp_ephemeral_port () =
+  let artifact = artifact_of (Lazy.force dataset42) in
+  let config =
+    {
+      (Serve.Server.default_config (Serve.Protocol.Tcp ("127.0.0.1", 0))) with
+      Serve.Server.jobs = 1;
+    }
+  in
+  let server = Serve.Server.start ~artifact config in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.Server.wait server)
+    (fun () ->
+      let address = Serve.Server.address server in
+      (match address with
+      | Serve.Protocol.Tcp (_, port) ->
+        check Alcotest.bool "kernel assigned a real port" true (port > 0)
+      | _ -> Alcotest.fail "expected a TCP address");
+      let client = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          match Serve.Client.health client with
+          | Ok _ -> ()
+          | Error (_, e) -> Alcotest.failf "health over TCP failed: %s" e))
+
+let test_server_sheds_load () =
+  let artifact = artifact_of (Lazy.force dataset42) in
+  (* One worker, no queue: while a sleep occupies the slot, any predict
+     must be shed with a 429. *)
+  with_server ~jobs:1 ~queue:0 ~cache:0 ~admin:true artifact
+    (fun _server address ->
+      let sleeper =
+        Thread.create
+          (fun () ->
+            let c = Serve.Client.connect address in
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () -> ignore (Serve.Client.sleep c 0.6)))
+          ()
+      in
+      Thread.delay 0.2;
+      let counters = some_counters () and uarch = some_uarch () in
+      let client = Serve.Client.connect address in
+      let shed_code =
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close client)
+          (fun () ->
+            match Serve.Client.predict client ~counters ~uarch with
+            | Error (code, _) -> code
+            | Ok _ -> 0)
+      in
+      Thread.join sleeper;
+      check Alcotest.int "predict shed with 429" 429 shed_code;
+      (* Health still answers (it bypasses admission) and counts it. *)
+      let c = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          match Serve.Client.health c with
+          | Error (_, e) -> Alcotest.failf "health failed: %s" e
+          | Ok h -> (
+            match Option.bind (J.member "shed" h) J.to_int with
+            | Some shed -> check Alcotest.bool "shed counted" true (shed >= 1)
+            | None -> Alcotest.fail "health lacks shed")))
+
+let test_server_graceful_drain () =
+  let artifact = artifact_of (Lazy.force dataset42) in
+  let socket = tmp_path "drain.sock" in
+  let config =
+    {
+      Serve.Server.address = Serve.Protocol.Unix_path socket;
+      jobs = 1;
+      queue = 4;
+      cache_capacity = 0;
+      admin = true;
+    }
+  in
+  let server = Serve.Server.start ~artifact config in
+  let address = Serve.Server.address server in
+  let in_flight_ok = Atomic.make false in
+  let sleeper =
+    Thread.create
+      (fun () ->
+        let c = Serve.Client.connect address in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            match Serve.Client.sleep c 0.5 with
+            | Ok _ -> Atomic.set in_flight_ok true
+            | Error _ -> ()))
+      ()
+  in
+  Thread.delay 0.15;
+  (* Stop while the sleep is in flight: it must still be answered. *)
+  Serve.Server.stop server;
+  Serve.Server.wait server;
+  Thread.join sleeper;
+  check Alcotest.bool "in-flight request answered during drain" true
+    (Atomic.get in_flight_ok);
+  (* The listener is gone: new connections must fail. *)
+  (match Serve.Client.connect address with
+  | exception Unix.Unix_error _ -> ()
+  | c ->
+    Serve.Client.close c;
+    Alcotest.fail "connect succeeded after drain");
+  if Sys.file_exists socket then Alcotest.fail "socket file not cleaned up"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "capacity and eviction" `Quick
+            test_lru_capacity_and_eviction;
+          Alcotest.test_case "get promotes" `Quick test_lru_get_promotes;
+          Alcotest.test_case "overwrite" `Quick test_lru_overwrite;
+          Alcotest.test_case "hit/miss counters" `Quick test_lru_counters;
+          Alcotest.test_case "bad capacity" `Quick test_lru_bad_capacity;
+        ] );
+      ( "pool-async",
+        [
+          Alcotest.test_case "submit runs tasks" `Quick
+            test_pool_submit_runs_tasks;
+          Alcotest.test_case "inline when sequential" `Quick
+            test_pool_submit_inline_when_sequential;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "round-trip is bit-identical (seeds 42/43)"
+            `Slow test_artifact_roundtrip_bit_identical;
+          Alcotest.test_case "load is >=100x faster than retraining" `Slow
+            test_artifact_load_is_fast;
+          Alcotest.test_case "rejects corruption" `Slow
+            test_artifact_rejects_corruption;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Slow
+            test_protocol_request_roundtrip;
+          Alcotest.test_case "rejects bad requests" `Quick
+            test_protocol_rejects_bad_requests;
+          Alcotest.test_case "error responses" `Quick
+            test_protocol_error_responses;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "concurrent queries, bit-identical" `Slow
+            test_server_concurrent_bit_identical;
+          Alcotest.test_case "tcp ephemeral port" `Slow
+            test_server_tcp_ephemeral_port;
+          Alcotest.test_case "sheds load when saturated" `Slow
+            test_server_sheds_load;
+          Alcotest.test_case "graceful drain" `Slow
+            test_server_graceful_drain;
+        ] );
+    ]

@@ -1,20 +1,27 @@
-# Developer entry points.  `check` is the tier-1 gate; `bench-smoke`
+# Developer entry points.  `check` is the tier-1 gate; `ci` is the full
+# gate (`check` plus bench-smoke) as one script; `bench-smoke`
 # exercises the domain-parallel engine at tiny scale on both the
 # sequential and the 4-domain path so parallel regressions surface in
 # seconds rather than in a full bench run; `trace-smoke` runs a tiny
 # traced bench and validates the JSONL against the schema via
 # `portopt report` (see docs/observability.md); `serve-smoke` does a
 # full train -> serve -> concurrent query -> shutdown round trip
-# against a real server process (see docs/serving.md).  Smoke outputs
+# against a real server process (see docs/serving.md); `store-smoke`
+# proves a warm evaluation store reruns `train` incrementally with a
+# byte-identical artifact (see docs/architecture.md).  Smoke outputs
 # land under results/ (gitignored), never in the repo root.
 
-.PHONY: check bench-smoke trace-smoke serve-smoke bench clean
+.PHONY: check ci bench-smoke trace-smoke serve-smoke store-smoke bench clean
 
 check:
 	dune build @all
 	dune runtest
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) store-smoke
+
+ci:
+	sh scripts/ci.sh
 
 bench-smoke:
 	REPRO_UARCHS=4 REPRO_OPTS=20 REPRO_JOBS=1 dune exec bench/main.exe -- summary
@@ -29,6 +36,10 @@ trace-smoke:
 serve-smoke:
 	dune build bin/portopt.exe
 	sh scripts/serve_smoke.sh
+
+store-smoke:
+	dune build bin/portopt.exe
+	sh scripts/store_smoke.sh
 
 bench:
 	dune exec bench/main.exe

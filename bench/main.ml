@@ -75,6 +75,10 @@ let experiments : (string * string * (unit -> unit)) list =
       "serving: artifact save/load + server latency/throughput \
        (results/BENCH_serve.json)",
       fun () -> Serve_bench.run (Lazy.force base) );
+    ( "store",
+      "evaluation store: cold vs warm dataset generation \
+       (results/BENCH_store.json)",
+      fun () -> Store_bench.run () );
     ( "csv",
       "export the figure data series to results/*.csv",
       fun () ->

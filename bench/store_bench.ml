@@ -1,0 +1,112 @@
+(** Evaluation-store benchmark: the same dataset generated twice through
+    the content-addressed store — cold (every profile interpreted and
+    written) then warm (every profile read back, zero interpretations) —
+    with wall times, interpreter-run counts and store hit rates.  Writes
+    a machine-readable summary to results/BENCH_store.json (schema
+    "portopt-store/1"). *)
+
+module J = Obs.Json
+
+let ensure_results () =
+  if not (Sys.file_exists "results") then Unix.mkdir "results" 0o755
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Counters the two generations are measured by.  Registration is
+   idempotent, so these are the same instruments the store increments. *)
+let m_interp = Obs.Metrics.counter "interp.runs"
+let m_hits = Obs.Metrics.counter "store.hits"
+let m_misses = Obs.Metrics.counter "store.misses"
+let m_writes = Obs.Metrics.counter "store.writes"
+
+let measured f =
+  let before =
+    (Obs.Metrics.value m_interp, Obs.Metrics.value m_hits,
+     Obs.Metrics.value m_misses, Obs.Metrics.value m_writes)
+  in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let interp0, hits0, misses0, writes0 = before in
+  let counts =
+    [
+      ("wall_s", J.Float wall_s);
+      ("interp_runs", J.Int (Obs.Metrics.value m_interp - interp0));
+      ("store_hits", J.Int (Obs.Metrics.value m_hits - hits0));
+      ("store_misses", J.Int (Obs.Metrics.value m_misses - misses0));
+      ("store_writes", J.Int (Obs.Metrics.value m_writes - writes0));
+    ]
+  in
+  (result, wall_s, counts)
+
+let run () =
+  ensure_results ();
+  let dir = Filename.concat "results" "store_bench.portopt-store" in
+  if Sys.file_exists dir then rm_rf dir;
+  (* A deliberately small scale: the point is the cold/warm ratio, not
+     the absolute dataset cost the other experiments already measure. *)
+  let scale =
+    {
+      (Ml_model.Dataset.default_scale ()) with
+      Ml_model.Dataset.n_uarchs = 4;
+      n_opts = 30;
+    }
+  in
+  let generate () =
+    Ml_model.Dataset.generate ~store:(Store.open_ ~dir) scale
+  in
+  let d_cold, cold_s, cold_counts = measured generate in
+  let d_warm, warm_s, warm_counts = measured generate in
+  if
+    d_cold.Ml_model.Dataset.runs <> d_warm.Ml_model.Dataset.runs
+    || d_cold.Ml_model.Dataset.pairs <> d_warm.Ml_model.Dataset.pairs
+  then failwith "store bench: warm dataset differs from cold";
+  let stats = Store.stats (Store.open_ ~dir) in
+  Printf.printf
+    "cold %.2fs, warm %.2fs (%.0fx); store %d records, %.1f KiB; warm \
+     run interpreted %d programs (expect 0)\n"
+    cold_s warm_s
+    (cold_s /. Float.max warm_s 1e-9)
+    stats.Store.entries
+    (float_of_int stats.Store.bytes /. 1024.)
+    (match List.assoc "interp_runs" warm_counts with
+    | J.Int n -> n
+    | _ -> -1);
+  let out =
+    J.Obj
+      [
+        ("schema", J.Str "portopt-store/1");
+        ("unix_time", J.Float (Unix.gettimeofday ()));
+        ("git", J.Str (Obs.Trace.git_describe ()));
+        ("ocaml", J.Str Sys.ocaml_version);
+        ( "scale",
+          J.Obj
+            [
+              ("uarchs", J.Int scale.Ml_model.Dataset.n_uarchs);
+              ("opts", J.Int scale.Ml_model.Dataset.n_opts);
+              ("seed", J.Int scale.Ml_model.Dataset.seed);
+              ("jobs", J.Int (Prelude.Pool.jobs ()));
+            ] );
+        ("cold", J.Obj cold_counts);
+        ("warm", J.Obj warm_counts);
+        ("cold_over_warm", J.Float (cold_s /. Float.max warm_s 1e-9));
+        ( "store",
+          J.Obj
+            [
+              ("dir", J.Str dir);
+              ("entries", J.Int stats.Store.entries);
+              ("bytes", J.Int stats.Store.bytes);
+            ] );
+      ]
+  in
+  let out_path = Filename.concat "results" "BENCH_store.json" in
+  let oc = open_out out_path in
+  output_string oc (J.to_string out);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path

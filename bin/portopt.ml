@@ -10,16 +10,23 @@
                  best passes for a workload on a configuration described
                  on the command line
     - [train]    train the model and freeze it to a .pcm artifact
+    - [crossval] leave-one-out cross-validation summary
     - [serve]    serve predictions from a .pcm artifact over a socket
     - [query]    ask a running server for a prediction (or health)
     - [flags]    show the optimisation dimensions and the -O3 defaults
     - [report]   validate and summarise a JSONL run trace
+    - [store]    inspect and maintain an evaluation store (stats/gc/verify)
 
     The pipeline subcommands (run, exec, predict) accept [--trace FILE]
     to record a structured JSONL trace of the run (manifest, nested
     spans, per-pass timings, final metric totals) and [--log-level] to
     control both stderr progress lines and trace verbosity.  Tracing is
-    observational only: results are bit-identical with it on or off. *)
+    observational only: results are bit-identical with it on or off.
+
+    The expensive subcommands (run, predict, train, crossval) accept
+    [--store DIR], a content-addressed on-disk cache of interpreter
+    profiles: a warm store makes reruns incremental — identical
+    results, zero interpretations for anything already profiled. *)
 
 open Cmdliner
 
@@ -68,6 +75,21 @@ let obs_term cmd =
         path
   in
   Term.(const setup $ trace $ level)
+
+(* The content-addressed evaluation store, shared by the expensive
+   subcommands.  Opening creates the directory, so --store on a fresh
+   path starts a cold cache that the same command warms. *)
+let store_term =
+  let doc =
+    "Cache interpreter profiles in the content-addressed store at \
+     $(docv) (created if missing).  Profiles already in the store are \
+     read back instead of re-interpreted — results are bit-identical, \
+     reruns are incremental.  Inspect with the $(b,store) subcommand."
+  in
+  let dir =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  Term.(const (Option.map (fun dir -> Store.open_ ~dir)) $ dir)
 
 (* Microarchitecture options shared by run/predict. *)
 let uarch_term =
@@ -135,9 +157,9 @@ let dump_cmd =
     Term.(const run $ prog_arg $ o3)
 
 let run_cmd =
-  let run () name u =
+  let run () store name u =
     let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name name) in
-    let r = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+    let r = Store.profile ?store ~setting:Passes.Flags.o3 program in
     let v = Sim.Xtrem.time r u in
     let p = r.Sim.Xtrem.profile in
     Printf.printf "%s on %s (-O3)\n\n" name (Uarch.Config.to_string u);
@@ -155,7 +177,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, interpret and time a workload")
-    Term.(const run $ obs_term "run" $ prog_arg $ uarch_term)
+    Term.(const run $ obs_term "run" $ store_term $ prog_arg $ uarch_term)
 
 let spaces_cmd =
   let run () = print_string (Experiments.Summary.spaces ()) in
@@ -220,7 +242,7 @@ let load_artifact path =
     exit 1
 
 let predict_cmd =
-  let run () name u uarchs opts model_path =
+  let run () store name u uarchs opts model_path =
     let model, space =
       match model_path with
       | Some path ->
@@ -238,7 +260,9 @@ let predict_cmd =
           (Printf.sprintf "training (%d configurations x %d settings)..."
              uarchs opts);
         let dataset =
-          Ml_model.Dataset.generate ~progress:(fun m -> Obs.Span.log m) scale
+          Ml_model.Dataset.generate ?store
+            ~progress:(fun m -> Obs.Span.log m)
+            scale
         in
         let exclude = ref (-1) in
         Array.iteri
@@ -253,14 +277,14 @@ let predict_cmd =
         (model, scale.Ml_model.Dataset.space)
     in
     let program = Workloads.Mibench.program_of (Workloads.Mibench.by_name name) in
-    let o3_run = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+    let o3_run = Store.profile ?store ~setting:Passes.Flags.o3 program in
     let o3 = Sim.Xtrem.time o3_run u in
     let features = Ml_model.Features.raw space o3.Sim.Pipeline.counters u in
     let predicted =
       Obs.Span.with_ "model.predict" (fun () ->
           Ml_model.Model.predict model features)
     in
-    let tuned_run = Sim.Xtrem.profile_of ~setting:predicted program in
+    let tuned_run = Store.profile ?store ~setting:predicted program in
     let tuned = Sim.Xtrem.time tuned_run u in
     Printf.printf "predicted passes for %s on %s:\n  %s\n\n" name
       (Uarch.Config.to_string u)
@@ -285,11 +309,25 @@ let predict_cmd =
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict the best passes for a new pair")
-    Term.(const run $ obs_term "predict" $ prog_arg $ uarch_term $ uarchs
-          $ opts $ model)
+    Term.(const run $ obs_term "predict" $ store_term $ prog_arg $ uarch_term
+          $ uarchs $ opts $ model)
+
+(* Artifact timestamp: SOURCE_DATE_EPOCH (the reproducible-builds
+   convention) pins it, making `train` output byte-for-byte
+   deterministic — which is how the store smoke test proves a warm
+   rerun reproduces the cold artifact exactly. *)
+let created_unix () =
+  match Sys.getenv_opt "SOURCE_DATE_EPOCH" with
+  | None -> Unix.time ()
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f -> f
+    | None ->
+      Printf.eprintf "portopt: SOURCE_DATE_EPOCH is not a number: %s\n" s;
+      exit 2)
 
 let train_cmd =
-  let run () out uarchs opts =
+  let run () store out uarchs opts =
     let scale = Ml_model.Dataset.default_scale () in
     let scale =
       {
@@ -303,10 +341,15 @@ let train_cmd =
       (Printf.sprintf "training (%d configurations x %d settings)..."
          scale.Ml_model.Dataset.n_uarchs scale.Ml_model.Dataset.n_opts);
     let dataset =
-      Ml_model.Dataset.generate ~progress:(fun m -> Obs.Span.log m) scale
+      Ml_model.Dataset.generate ?store
+        ~progress:(fun m -> Obs.Span.log m)
+        scale
     in
     let model =
       Obs.Span.with_ "model.train" (fun () -> Ml_model.Model.train dataset)
+    in
+    let programs_digest, settings_digest, uarchs_digest =
+      Ml_model.Dataset.provenance_digests dataset
     in
     let meta =
       [
@@ -315,8 +358,11 @@ let train_cmd =
         ("n_opts", Obs.Json.Int scale.Ml_model.Dataset.n_opts);
         ( "programs",
           Obs.Json.Int (Array.length dataset.Ml_model.Dataset.specs) );
-        ("created_unix", Obs.Json.Float (Unix.time ()));
+        ("created_unix", Obs.Json.Float (created_unix ()));
       ]
+      @ Serve.Artifact.provenance
+          ?store_dir:(Option.map Store.dir store)
+          ~programs_digest ~settings_digest ~uarchs_digest ()
     in
     Serve.Artifact.save ~path:out
       { Serve.Artifact.model; space = scale.Ml_model.Dataset.space; meta };
@@ -351,11 +397,161 @@ let train_cmd =
         "Loading the artifact ($(b,predict --model), $(b,serve --model)) \
          reproduces the in-process model bit-identically while skipping \
          dataset generation and training entirely.";
+      `P
+        "With $(b,--store), every interpreter profile is read through \
+         the content-addressed evaluation store: a warm store retrains \
+         with zero interpretations, and the artifact's meta block \
+         records the store path plus digests of the training programs, \
+         settings and configurations for provenance.  Set \
+         $(b,SOURCE_DATE_EPOCH) to pin the artifact's timestamp and \
+         make the output byte-for-byte reproducible.";
     ]
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train the model and save a .pcm artifact" ~man)
-    Term.(const run $ obs_term "train" $ out $ uarchs $ opts)
+    Term.(const run $ obs_term "train" $ store_term $ out $ uarchs $ opts)
+
+let crossval_cmd =
+  let run () store uarchs opts =
+    let scale = Ml_model.Dataset.default_scale () in
+    let scale =
+      {
+        scale with
+        Ml_model.Dataset.n_uarchs =
+          Option.value ~default:scale.Ml_model.Dataset.n_uarchs uarchs;
+        n_opts = Option.value ~default:scale.Ml_model.Dataset.n_opts opts;
+      }
+    in
+    let progress m = Obs.Span.log m in
+    let dataset = Ml_model.Dataset.generate ?store ~progress scale in
+    let outcomes = Ml_model.Crossval.run ~progress dataset in
+    let mean f = Prelude.Stats.mean (Array.map f outcomes) in
+    Printf.printf "pairs               %d (%d programs x %d configurations)\n"
+      (Array.length outcomes)
+      (Ml_model.Dataset.n_programs dataset)
+      (Ml_model.Dataset.n_uarchs dataset);
+    Printf.printf "mean model speedup  %.4fx over -O3\n"
+      (mean Ml_model.Crossval.speedup);
+    Printf.printf "mean best sampled   %.4fx over -O3\n"
+      (mean Ml_model.Crossval.best_speedup);
+    Printf.printf "fraction of best    %.1f%%\n"
+      (100. *. Ml_model.Crossval.fraction_of_best outcomes)
+  in
+  let uarchs =
+    Arg.(value & opt (some int) None
+         & info [ "train-uarchs" ]
+             ~doc:"Training configurations (default: \\$REPRO_UARCHS or 24).")
+  in
+  let opts =
+    Arg.(value & opt (some int) None
+         & info [ "train-opts" ]
+             ~doc:"Training settings (default: \\$REPRO_OPTS or 120).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Leave-one-out cross-validation (section 5.1.1 of the paper): \
+         for every program/configuration pair, trains on the pairs \
+         involving neither, predicts, and times the prediction on the \
+         held-out pair.  Prints the mean model and iterative-compilation \
+         speedups and the fraction-of-best metric.";
+      `P
+        "With $(b,--store), interpreter profiles are read through the \
+         content-addressed evaluation store, making repeated sweeps \
+         (e.g. at different scales) incremental.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "crossval" ~doc:"Leave-one-out cross-validation summary" ~man)
+    Term.(const run $ obs_term "crossval" $ store_term $ uarchs $ opts)
+
+(* ---- store maintenance ------------------------------------------------ *)
+
+(* Maintenance opens an existing store: a typo'd path should diagnose,
+   not silently create an empty store and report zero entries. *)
+let open_existing_store dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "portopt: no store at %s\n" dir;
+    exit 1
+  end;
+  Store.open_ ~dir
+
+let store_dir_arg =
+  Arg.(value & opt string Store.default_dir
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Store directory (default .portopt-store); must exist.")
+
+let print_stats (s : Store.stats) =
+  Printf.printf "entries  %d\nbytes    %d (%.1f KiB)\n" s.Store.entries
+    s.Store.bytes
+    (float_of_int s.Store.bytes /. 1024.)
+
+let store_stats_cmd =
+  let run dir =
+    let store = open_existing_store dir in
+    Printf.printf "store    %s\n" (Store.dir store);
+    print_stats (Store.stats store)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show a store's entry count and size")
+    Term.(const run $ store_dir_arg)
+
+let store_gc_cmd =
+  let run dir max_mb =
+    let store = open_existing_store dir in
+    let max_bytes = int_of_float (max_mb *. 1024. *. 1024.) in
+    let evicted, stats = Store.gc store ~max_bytes in
+    Printf.printf "evicted  %d\n" evicted;
+    print_stats stats
+  in
+  let max_mb =
+    Arg.(value & opt float 64.
+         & info [ "max-mb" ] ~docv:"MB"
+             ~doc:
+               "Evict least-recently-used records until the store fits \
+                $(docv) mebibytes.")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Evict least-recently-used records down to a size bound")
+    Term.(const run $ store_dir_arg $ max_mb)
+
+let store_verify_cmd =
+  let run dir =
+    let store = open_existing_store dir in
+    let report = Store.verify store in
+    Printf.printf "checked  %d\nerrors   %d\n" report.Store.checked
+      (List.length report.Store.errors);
+    List.iter
+      (fun (_, reason) -> Printf.printf "  %s\n" reason)
+      report.Store.errors;
+    if report.Store.errors <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Strict-load every record and report corruption (truncation, \
+          checksum or key mismatches, foreign versions)")
+    Term.(const run $ store_dir_arg)
+
+let store_cmd =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The evaluation store ($(b,--store) on run/predict/train/\
+         crossval) is a content-addressed on-disk cache of interpreter \
+         profiles, keyed by digests of the program IR, the canonical \
+         optimisation setting and the pass-pipeline fingerprint.  \
+         Records are versioned, checksummed and written atomically; a \
+         crashed writer never corrupts a record, and $(b,gc) only ever \
+         deletes whole records, oldest-access first.";
+    ]
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and maintain an evaluation store" ~man)
+    [ store_stats_cmd; store_gc_cmd; store_verify_cmd ]
 
 (* Server/client addressing shared by serve and query. *)
 let address_term =
@@ -588,4 +784,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; dump_cmd; run_cmd; exec_cmd; spaces_cmd; flags_cmd;
-            predict_cmd; train_cmd; serve_cmd; query_cmd; report_cmd ]))
+            predict_cmd; train_cmd; crossval_cmd; serve_cmd; query_cmd;
+            report_cmd; store_cmd ]))

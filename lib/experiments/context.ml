@@ -4,12 +4,13 @@
 
 type t = {
   scale : Ml_model.Dataset.scale;
+  store : Store.t option;
   mutable dataset : Ml_model.Dataset.t option;
   mutable outcomes : Ml_model.Crossval.outcome array option;
   progress : string -> unit;
 }
 
-let create ?(space = Ml_model.Features.Base) ?scale
+let create ?store ?(space = Ml_model.Features.Base) ?scale
     ?(progress = fun (_ : string) -> ()) () =
   let scale =
     match scale with
@@ -22,7 +23,7 @@ let create ?(space = Ml_model.Features.Base) ?scale
      elapsed seconds ([Obs.Span.stamp]) before it reaches the caller's
      printer — the callback signature stays [string -> unit]. *)
   let progress = Prelude.Pool.serialised progress in
-  { scale; dataset = None; outcomes = None;
+  { scale; store; dataset = None; outcomes = None;
     progress = (fun msg -> progress (Obs.Span.stamp msg)) }
 
 let dataset t =
@@ -30,7 +31,9 @@ let dataset t =
   | Some d -> d
   | None ->
     t.progress "generating training data (compile + interpret, cached)";
-    let d = Ml_model.Dataset.generate ~progress:t.progress t.scale in
+    let d =
+      Ml_model.Dataset.generate ?store:t.store ~progress:t.progress t.scale
+    in
     t.dataset <- Some d;
     d
 

@@ -71,11 +71,14 @@ type t = {
   o3_runs : Sim.Xtrem.run array;  (** Per program. *)
   runs : Sim.Xtrem.run array array;  (** [runs.(prog).(setting)]. *)
   pairs : pair array;  (** Row-major: prog * n_uarchs + uarch. *)
-  extra_runs : (int * Passes.Flags.setting, Sim.Xtrem.run) Hashtbl.t;
-      (** Cache for settings outside the sample (model predictions). *)
-  extra_mutex : Mutex.t;
-      (** Guards [extra_runs]: cross-validation evaluates predictions
-          from several domains at once. *)
+  prog_digests : string array;
+      (** [Store.program_digest] per program, computed once during
+          generation so later lookups never re-render the IR. *)
+  cache : Store.Profile_cache.t;
+      (** Two-tier profile cache (bounded RAM LRU over the optional
+          disk store) for settings outside the sample — model
+          predictions during cross-validation, evaluated from several
+          domains at once. *)
 }
 
 let n_programs t = Array.length t.specs
@@ -96,17 +99,16 @@ let good_set ~good_fraction times =
   Array.sub order 0 k
 
 let m_pairs = Obs.Metrics.counter "dataset.pairs"
-let m_extra_hits = Obs.Metrics.counter "dataset.extra_run_hits"
-let m_extra_misses = Obs.Metrics.counter "dataset.extra_run_misses"
 
 let space_name = function
   | Features.Base -> "base"
   | Features.Extended -> "extended"
 
-let generate ?pool ?(progress = fun (_ : string) -> ()) scale =
+let generate ?store ?pool ?(progress = fun (_ : string) -> ()) scale =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let progress = Pool.serialised progress in
   let specs = Workloads.Mibench.all in
+  let cache = Store.Profile_cache.create ?disk:store () in
   Obs.Span.with_ "dataset.generate"
     ~attrs:
       [
@@ -116,6 +118,10 @@ let generate ?pool ?(progress = fun (_ : string) -> ()) scale =
         ("seed", Obs.Json.Int scale.seed);
         ("space", Obs.Json.Str (space_name scale.space));
         ("jobs", Obs.Json.Int (Pool.size pool));
+        ( "store",
+          match store with
+          | None -> Obs.Json.Null
+          | Some s -> Obs.Json.Str (Store.dir s) );
       ]
     (fun () ->
       let uarchs =
@@ -129,8 +135,10 @@ let generate ?pool ?(progress = fun (_ : string) -> ()) scale =
       let settings =
         Array.init scale.n_opts (fun _ -> Passes.Flags.random rng)
       in
-      (* Interpretation fan-out: one task per program, each compiling and
-         running the -O3 baseline plus every sampled setting. *)
+      (* Interpretation fan-out: one task per program, each resolving
+         the -O3 baseline plus every sampled setting through the
+         two-tier cache — a warm disk store satisfies all of them
+         without a single interpretation. *)
       let profiles =
         Obs.Span.with_ "dataset.profile" (fun () ->
             let parent = Obs.Span.current_id () in
@@ -142,13 +150,17 @@ let generate ?pool ?(progress = fun (_ : string) -> ()) scale =
                 let spec = specs.(pi) in
                 let t0 = Obs.Clock.now_s () in
                 let program = Workloads.Mibench.program_of spec in
-                let o3 =
-                  Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program
+                let program_digest = Store.program_digest program in
+                let resolve setting =
+                  Store.Profile_cache.find_or_compute cache ~program_digest
+                    ~setting (fun () ->
+                      Sim.Xtrem.profile_of ~setting program)
                 in
+                let o3 = resolve Passes.Flags.o3 in
                 let rs =
                   Array.map
                     (fun s ->
-                      let r = Sim.Xtrem.profile_of ~setting:s program in
+                      let r = resolve s in
                       if r.Sim.Xtrem.checksum <> o3.Sim.Xtrem.checksum then
                         failwith
                           (Printf.sprintf
@@ -165,10 +177,11 @@ let generate ?pool ?(progress = fun (_ : string) -> ()) scale =
                     ("runs", Obs.Json.Int (1 + Array.length settings));
                   ];
                 tick spec.Workloads.Spec.name;
-                (o3, rs)))
+                (program_digest, o3, rs)))
       in
-      let o3_runs = Array.map fst profiles in
-      let runs = Array.map snd profiles in
+      let prog_digests = Array.map (fun (d, _, _) -> d) profiles in
+      let o3_runs = Array.map (fun (_, o3, _) -> o3) profiles in
+      let runs = Array.map (fun (_, _, rs) -> rs) profiles in
       (* Pricing/good-set fan-out: one task per (program, uarch) pair, all
          reading the shared immutable profiles. *)
       let pairs =
@@ -230,41 +243,40 @@ let generate ?pool ?(progress = fun (_ : string) -> ()) scale =
         o3_runs;
         runs;
         pairs;
-        extra_runs = Hashtbl.create 256;
-        extra_mutex = Mutex.create ();
+        prog_digests;
+        cache;
       })
 
-(** Profile of [prog] compiled under an arbitrary setting, cached by
-    canonical (semantic) form.  Safe to call from several domains: the
-    table is mutex-guarded, and because profiling is deterministic a
-    lost insertion race returns the same value either way.  The
-    expensive profiling runs outside the lock. *)
+(** Profile of [prog] compiled under an arbitrary setting, resolved
+    through the two-tier cache by canonical (semantic) form.  Safe to
+    call from several domains; profiling is deterministic, so a lost
+    insertion race returns the same value either way, and the expensive
+    profiling runs outside the cache lock. *)
 let run_for t ~prog (setting : Passes.Flags.setting) =
-  let key = (prog, Passes.Flags.canonical setting) in
-  let find () =
-    Mutex.lock t.extra_mutex;
-    let r = Hashtbl.find_opt t.extra_runs key in
-    Mutex.unlock t.extra_mutex;
-    r
+  Store.Profile_cache.find_or_compute t.cache
+    ~program_digest:t.prog_digests.(prog) ~setting (fun () ->
+      let program = Workloads.Mibench.program_of t.specs.(prog) in
+      Sim.Xtrem.profile_of ~setting program)
+
+(** Combined digests of the generation inputs, for artifact
+    provenance. *)
+let provenance_digests t =
+  let fold add items =
+    let d = Prelude.Fnv.create () in
+    Array.iter
+      (fun x ->
+        add d x;
+        Prelude.Fnv.add_char d '|')
+      items;
+    Prelude.Fnv.to_hex d
   in
-  match find () with
-  | Some r ->
-    Obs.Metrics.add m_extra_hits 1;
-    r
-  | None ->
-    Obs.Metrics.add m_extra_misses 1;
-    let program = Workloads.Mibench.program_of t.specs.(prog) in
-    let r = Sim.Xtrem.profile_of ~setting program in
-    Mutex.lock t.extra_mutex;
-    let r =
-      match Hashtbl.find_opt t.extra_runs key with
-      | Some winner -> winner
-      | None ->
-        Hashtbl.replace t.extra_runs key r;
-        r
-    in
-    Mutex.unlock t.extra_mutex;
-    r
+  ( fold Prelude.Fnv.add_string t.prog_digests,
+    fold
+      (fun d s -> Prelude.Fnv.add_string d (Passes.Flags.cache_key s))
+      t.settings,
+    fold
+      (fun d u -> Prelude.Fnv.add_string d (Uarch.Config.cache_key u))
+      t.uarchs )
 
 (** Seconds of [prog] under [setting] on microarchitecture [uarch]. *)
 let evaluate t ~prog ~uarch setting =

@@ -44,17 +44,29 @@ type t = {
   o3_runs : Sim.Xtrem.run array;
   runs : Sim.Xtrem.run array array;  (** [runs.(prog).(setting)]. *)
   pairs : pair array;  (** Row-major: [prog * n_uarchs + uarch]. *)
-  extra_runs : (int * Passes.Flags.setting, Sim.Xtrem.run) Hashtbl.t;
-  extra_mutex : Mutex.t;  (** Guards [extra_runs] across domains. *)
+  prog_digests : string array;  (** [Store.program_digest] per program. *)
+  cache : Store.Profile_cache.t;
+      (** Two-tier (bounded RAM + optional disk) profile cache shared
+          across domains. *)
 }
 
-val generate : ?pool:Prelude.Pool.t -> ?progress:(string -> unit) -> scale -> t
+val generate :
+  ?store:Store.t ->
+  ?pool:Prelude.Pool.t ->
+  ?progress:(string -> unit) ->
+  scale ->
+  t
 (** Build the dataset.  Every compiled binary is checksum-checked against
     the -O3 baseline; a mismatch raises [Failure] (it would indicate a
     miscompilation).  The interpretation and pricing loops are fanned out
     over [pool] (default: the shared [Prelude.Pool] sized by
     [REPRO_JOBS]); results are bit-identical at any job count, and
-    [progress] is serialised so it never runs concurrently. *)
+    [progress] is serialised so it never runs concurrently.
+
+    With [store], every profile is resolved through the
+    content-addressed store first: a warm store rebuilds the dataset
+    bit-identically with {e zero} interpreter runs, and a cold run
+    writes every profile back for the next process. *)
 
 val n_programs : t -> int
 val n_uarchs : t -> int
@@ -78,3 +90,7 @@ val run_for : t -> prog:int -> Passes.Flags.setting -> Sim.Xtrem.run
 
 val evaluate : t -> prog:int -> uarch:int -> Passes.Flags.setting -> float
 (** Seconds of [prog] under a setting on configuration [uarch]. *)
+
+val provenance_digests : t -> string * string * string
+(** [(programs, settings, uarchs)] combined digests of the generation
+    inputs, recorded in saved model artifacts for provenance. *)

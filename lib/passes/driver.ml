@@ -79,6 +79,24 @@ let steps =
     { sname = "align"; enabled = always; apply = (fun c -> Align.run c) };
   |]
 
+(** Digest of the pipeline shape — the ordered step names plus the
+    optimisation-space fingerprint.  A cached profile is only valid for
+    the pipeline that produced it, so the evaluation store folds this
+    into every cache key: adding, removing or reordering a step (or
+    changing the flag space) silently invalidates stale entries instead
+    of serving them.  Pass {e implementations} are not fingerprinted —
+    a semantic change to an existing pass must bump the store's record
+    version (see [Store]). *)
+let fingerprint =
+  let d = Prelude.Fnv.create () in
+  Array.iter
+    (fun s ->
+      Prelude.Fnv.add_string d s.sname;
+      Prelude.Fnv.add_char d '|')
+    steps;
+  Prelude.Fnv.add_string d Flags.space_fingerprint;
+  Prelude.Fnv.to_hex d
+
 let m_compiles = Obs.Metrics.counter "passes.compiles"
 let m_applied = Obs.Metrics.counter "passes.applied"
 

@@ -9,6 +9,14 @@
     reordering and alignment.  Dead-code elimination runs unconditionally
     after the value-rewriting phases, as at every gcc -O level. *)
 
+val fingerprint : string
+(** Digest of the pipeline shape (ordered step names plus
+    {!Flags.space_fingerprint}).  The evaluation store folds it into
+    every cache key so profiles compiled by a different pipeline can
+    never be served.  Pass implementations are not fingerprinted; a
+    semantic change to an existing pass must bump the store's record
+    version instead. *)
+
 val compile :
   ?setting:Flags.setting -> Ir.Types.program -> Ir.Types.program
 (** [compile ~setting program] applies the pipeline selected by

@@ -149,6 +149,30 @@ let canonical (s : setting) : setting =
 
 let equal_semantics a b = canonical a = canonical b
 
+(** Stable textual cache key: the canonical value indices, joined with
+    commas.  Two settings share a key iff they are semantically equal,
+    and the rendering depends only on the dimension table — the
+    evaluation store digests this string (together with
+    {!space_fingerprint} via {!Driver.fingerprint}) to address cached
+    profiles across processes. *)
+let cache_key (s : setting) =
+  String.concat ","
+    (Array.to_list (Array.map string_of_int (canonical s)))
+
+(** Digest of the dimension table itself (names, cardinalities, gates):
+    reordering, renaming or resizing any dimension changes it, which
+    invalidates every content-addressed cache key built on top. *)
+let space_fingerprint =
+  let d = Prelude.Fnv.create () in
+  Array.iter
+    (fun dim ->
+      Prelude.Fnv.add_string d dim.name;
+      Prelude.Fnv.add_int d (cardinality dim);
+      Prelude.Fnv.add_string d (Option.value dim.gate ~default:"");
+      Prelude.Fnv.add_char d '|')
+    dims;
+  Prelude.Fnv.to_hex d
+
 (* Space cardinalities, as floats since they exceed 2^62. *)
 
 let space_size_flags =

@@ -62,6 +62,16 @@ val canonical : setting -> setting
 
 val equal_semantics : setting -> setting -> bool
 
+val cache_key : setting -> string
+(** Stable textual key of the canonical form (comma-joined value
+    indices): equal iff {!equal_semantics}.  The evaluation store
+    digests it to address cached profiles across processes. *)
+
+val space_fingerprint : string
+(** Digest of the dimension table (names, cardinalities, gates); any
+    change to the optimisation space changes it and thereby invalidates
+    content-addressed cache keys built on top. *)
+
 val space_size_flags : float
 (** Cardinality of the flag-only space (paper: 642 million). *)
 

@@ -1,0 +1,28 @@
+type t = { mutable h : int64 }
+
+let prime = 0x100000001b3L
+let basis = 0xcbf29ce484222325L
+
+let create () = { h = basis }
+
+let add_char t c =
+  t.h <- Int64.mul (Int64.logxor t.h (Int64.of_int (Char.code c))) prime
+
+let add_string t s = String.iter (add_char t) s
+
+let add_int t i =
+  add_string t (string_of_int i);
+  add_char t ';'
+
+let to_hex t = Printf.sprintf "%016Lx" t.h
+let tagged t = "fnv1a64:" ^ to_hex t
+
+let digest_string s =
+  let t = create () in
+  add_string t s;
+  to_hex t
+
+let tagged_string s =
+  let t = create () in
+  add_string t s;
+  tagged t

@@ -1,0 +1,95 @@
+(** Capacity-bounded LRU map.
+
+    Hashtbl for O(1) lookup plus an intrusive doubly-linked recency
+    list: [get] promotes to most-recent, [put] evicts the
+    least-recently-used entry once [capacity] is exceeded.  Hit and
+    miss counts accumulate in the structure (callers mirror them into
+    [Obs.Metrics]).  Not internally synchronised — owners guard their
+    instance with one mutex, matching the telemetry layer's locking
+    discipline.  Used as the serving layer's prediction cache and as
+    the in-RAM tier of the evaluation store's profile cache. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (** Towards most recent. *)
+  mutable next : ('k, 'v) node option;  (** Towards least recent. *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (** Most recently used. *)
+  mutable tail : ('k, 'v) node option;  (** Least recently used. *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let size t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+
+(* Splice a node out of the recency list (it must be in it). *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+(* Push a detached node at the most-recent end. *)
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let get t key =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some n ->
+    t.hits <- t.hits + 1;
+    if t.head != Some n then begin
+      unlink t n;
+      push_front t n
+    end;
+    Some n.value
+
+let put t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    n.value <- value;
+    if t.head != Some n then begin
+      unlink t n;
+      push_front t n
+    end
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then (
+      match t.tail with
+      | None -> ()
+      | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.table lru.key);
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key n;
+    push_front t n
+
+(** Keys from most to least recently used, for tests and debugging. *)
+let keys_by_recency t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

@@ -33,6 +33,11 @@ val empty : histogram
 val quantise_threshold : int
 (** Distances up to this value are kept exact. *)
 
+val bucket : int -> int
+(** Representative distance a raw stack distance is stored under:
+    identity up to {!quantise_threshold}, the nearest ~6% geometric
+    bucket representative above it.  Exposed for boundary testing. *)
+
 val histogram_of_blocks : int array -> histogram
 (** [histogram_of_blocks trace] computes the stack-distance histogram of a
     trace of block identifiers, in O(n log n). *)

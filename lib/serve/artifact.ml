@@ -33,18 +33,28 @@ let version = 1
 
 (* ---- checksum --------------------------------------------------------- *)
 
-(** FNV-1a, 64-bit: tiny, dependency-free, and plenty to detect the
-    bit-rot and truncation an artifact file can suffer (not a
-    cryptographic signature). *)
-let fnv1a64 (s : string) =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h prime)
-    s;
-  Printf.sprintf "fnv1a64:%016Lx" !h
+(** FNV-1a, 64-bit — the shared {!Prelude.Fnv} digest: tiny,
+    dependency-free, and plenty to detect the bit-rot and truncation an
+    artifact file can suffer (not a cryptographic signature). *)
+let fnv1a64 = Prelude.Fnv.tagged_string
+
+(* ---- provenance ------------------------------------------------------- *)
+
+(** Store-provenance meta fields recorded by [portopt train]: the
+    digests identify exactly which programs, sampled settings and
+    configurations produced the model, so a server (or a later train
+    run) can tell whether a given evaluation store was built from the
+    same inputs and warm-start from it.  Carried in [meta], echoed by
+    the health endpoint, never interpreted by the loader. *)
+let provenance ?store_dir ~programs_digest ~settings_digest ~uarchs_digest ()
+    =
+  [
+    ( "store",
+      match store_dir with None -> J.Null | Some d -> J.Str d );
+    ("programs_digest", J.Str programs_digest);
+    ("settings_digest", J.Str settings_digest);
+    ("uarchs_digest", J.Str uarchs_digest);
+  ]
 
 (* ---- encoding --------------------------------------------------------- *)
 

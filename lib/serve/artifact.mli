@@ -23,7 +23,20 @@ val magic : string
 val version : int
 
 val fnv1a64 : string -> string
-(** ["fnv1a64:<16 hex digits>"] — exposed for tests. *)
+(** ["fnv1a64:<16 hex digits>"] ({!Prelude.Fnv.tagged_string}) —
+    exposed for tests. *)
+
+val provenance :
+  ?store_dir:string ->
+  programs_digest:string ->
+  settings_digest:string ->
+  uarchs_digest:string ->
+  unit ->
+  (string * Obs.Json.t) list
+(** Store-provenance meta fields ([store], [programs_digest],
+    [settings_digest], [uarchs_digest]) recorded by [portopt train] so
+    a server can tell which evaluation store matches the model and
+    warm-start from it (see {!Ml_model.Dataset.provenance_digests}). *)
 
 val save : path:string -> t -> unit
 (** Serialise atomically (write to [path ^ ".tmp"], then rename). *)

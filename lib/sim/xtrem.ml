@@ -44,6 +44,221 @@ let profile_of ?setting program =
         checksum;
       })
 
+(* ---- disk round-trip -------------------------------------------------- *)
+
+(* A profile is counts all the way down — ints, int arrays and sparse
+   integer histograms — so a JSON rendering with [Obs.Json.Int]
+   everywhere round-trips bit-exactly.  [export]/[import] are the
+   serialisation boundary the content-addressed evaluation store
+   ([Store]) uses to persist interpreter output across processes:
+   [import (export r) = Ok r] for every run, enforced by the test
+   suite. *)
+
+module J = Obs.Json
+
+let ints a = J.List (Array.to_list (Array.map (fun i -> J.Int i) a))
+
+let hist_json (h : Prelude.Reuse.histogram) =
+  J.Obj
+    [
+      ( "entries",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun (d, c) -> J.List [ J.Int d; J.Int c ])
+                h.Prelude.Reuse.entries)) );
+      ("cold", J.Int h.Prelude.Reuse.cold);
+      ("total", J.Int h.Prelude.Reuse.total);
+    ]
+
+let hists_json hs =
+  J.List
+    (Array.to_list
+       (Array.map
+          (fun (bs, h) ->
+            J.Obj [ ("block", J.Int bs); ("hist", hist_json h) ])
+          hs))
+
+let export run =
+  let p = run.profile in
+  J.Obj
+    [
+      ("setting", ints run.setting);
+      ("checksum", J.Int run.checksum);
+      ( "profile",
+        J.Obj
+          [
+            ("dyn_insts", J.Int p.Ir.Profile.dyn_insts);
+            ("alu", J.Int p.Ir.Profile.alu);
+            ("mac", J.Int p.Ir.Profile.mac);
+            ("shift", J.Int p.Ir.Profile.shift);
+            ("cmp", J.Int p.Ir.Profile.cmp);
+            ("mov", J.Int p.Ir.Profile.mov);
+            ("loads", J.Int p.Ir.Profile.loads);
+            ("stores", J.Int p.Ir.Profile.stores);
+            ("spill_loads", J.Int p.Ir.Profile.spill_loads);
+            ("spill_stores", J.Int p.Ir.Profile.spill_stores);
+            ("calls", J.Int p.Ir.Profile.calls);
+            ("tail_calls", J.Int p.Ir.Profile.tail_calls);
+            ("rets", J.Int p.Ir.Profile.rets);
+            ("branches", J.Int p.Ir.Profile.branches);
+            ("taken_branches", J.Int p.Ir.Profile.taken_branches);
+            ("jumps", J.Int p.Ir.Profile.jumps);
+            ("reg_reads", J.Int p.Ir.Profile.reg_reads);
+            ("reg_writes", J.Int p.Ir.Profile.reg_writes);
+            ( "branch_sites",
+              J.List
+                (Array.to_list
+                   (Array.map
+                      (fun (e, t) -> J.List [ J.Int e; J.Int t ])
+                      p.Ir.Profile.branch_sites)) );
+            ("d_hists", hists_json p.Ir.Profile.d_hists);
+            ("i_hists", hists_json p.Ir.Profile.i_hists);
+            ("btb_hist", hist_json p.Ir.Profile.btb_hist);
+            ("gap_load", ints p.Ir.Profile.gap_load);
+            ("gap_long", ints p.Ir.Profile.gap_long);
+            ("adjacent_dep_pairs", J.Int p.Ir.Profile.adjacent_dep_pairs);
+            ("code_bytes", J.Int p.Ir.Profile.code_bytes);
+            ("checksum", J.Int p.Ir.Profile.checksum);
+          ] );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or malformed %S field" name)
+
+let int_array j =
+  match J.to_list j with
+  | None -> None
+  | Some items ->
+    let out = Array.make (List.length items) 0 in
+    let ok = ref true in
+    List.iteri
+      (fun i v ->
+        match v with J.Int n -> out.(i) <- n | _ -> ok := false)
+      items;
+    if !ok then Some out else None
+
+let int_pairs j =
+  match J.to_list j with
+  | None -> None
+  | Some items ->
+    let out =
+      List.filter_map
+        (function
+          | J.List [ J.Int a; J.Int b ] -> Some (a, b)
+          | _ -> None)
+        items
+    in
+    if List.length out = List.length items then Some (Array.of_list out)
+    else None
+
+let hist_of_json j =
+  match
+    let* entries = field "entries" int_pairs j in
+    let* cold = field "cold" (function J.Int n -> Some n | _ -> None) j in
+    let* total = field "total" (function J.Int n -> Some n | _ -> None) j in
+    Ok { Prelude.Reuse.entries; cold; total }
+  with
+  | Ok h -> Some h
+  | Error _ -> None
+
+let hists_of_json j =
+  match J.to_list j with
+  | None -> None
+  | Some items ->
+    let out =
+      List.filter_map
+        (fun item ->
+          match
+            ( Option.bind (J.member "block" item) (function
+                | J.Int n -> Some n
+                | _ -> None),
+              Option.bind (J.member "hist" item) hist_of_json )
+          with
+          | Some bs, Some h -> Some (bs, h)
+          | _ -> None)
+        items
+    in
+    if List.length out = List.length items then Some (Array.of_list out)
+    else None
+
+let import j =
+  let* setting = field "setting" int_array j in
+  let* () =
+    match Passes.Flags.validate setting with
+    | () -> Ok ()
+    | exception Invalid_argument e -> Error e
+  in
+  let* checksum = field "checksum" J.to_int j in
+  let* p = field "profile" Option.some j in
+  let i name = field name J.to_int p in
+  let* dyn_insts = i "dyn_insts" in
+  let* alu = i "alu" in
+  let* mac = i "mac" in
+  let* shift = i "shift" in
+  let* cmp = i "cmp" in
+  let* mov = i "mov" in
+  let* loads = i "loads" in
+  let* stores = i "stores" in
+  let* spill_loads = i "spill_loads" in
+  let* spill_stores = i "spill_stores" in
+  let* calls = i "calls" in
+  let* tail_calls = i "tail_calls" in
+  let* rets = i "rets" in
+  let* branches = i "branches" in
+  let* taken_branches = i "taken_branches" in
+  let* jumps = i "jumps" in
+  let* reg_reads = i "reg_reads" in
+  let* reg_writes = i "reg_writes" in
+  let* branch_sites = field "branch_sites" int_pairs p in
+  let* d_hists = field "d_hists" hists_of_json p in
+  let* i_hists = field "i_hists" hists_of_json p in
+  let* btb_hist = field "btb_hist" hist_of_json p in
+  let* gap_load = field "gap_load" int_array p in
+  let* gap_long = field "gap_long" int_array p in
+  let* adjacent_dep_pairs = i "adjacent_dep_pairs" in
+  let* code_bytes = i "code_bytes" in
+  let* profile_checksum = i "checksum" in
+  Ok
+    {
+      setting;
+      checksum;
+      profile =
+        {
+          Ir.Profile.dyn_insts;
+          alu;
+          mac;
+          shift;
+          cmp;
+          mov;
+          loads;
+          stores;
+          spill_loads;
+          spill_stores;
+          calls;
+          tail_calls;
+          rets;
+          branches;
+          taken_branches;
+          jumps;
+          reg_reads;
+          reg_writes;
+          branch_sites;
+          d_hists;
+          i_hists;
+          btb_hist;
+          gap_load;
+          gap_long;
+          adjacent_dep_pairs;
+          code_bytes;
+          checksum = profile_checksum;
+        };
+    }
+
 let time run u =
   Obs.Metrics.add m_evals 1;
   Pipeline.evaluate run.profile u

@@ -15,6 +15,16 @@ type run = {
 val profile_of : ?setting:Passes.Flags.setting -> Ir.Types.program -> run
 (** Compile under [setting] (default -O3), place and interpret once. *)
 
+val export : run -> Obs.Json.t
+(** JSON rendering of a run — all counts, so it round-trips bit-exactly:
+    [import (export r) = Ok r].  The serialisation boundary the
+    content-addressed evaluation store uses to persist interpreter
+    output across processes. *)
+
+val import : Obs.Json.t -> (run, string) result
+(** Strict inverse of {!export}: any missing or mistyped field, or an
+    out-of-range setting, yields a human-readable [Error]. *)
+
 val time : run -> Uarch.Config.t -> Pipeline.verdict
 (** Price the profiled run on a configuration (microseconds). *)
 

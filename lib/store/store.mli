@@ -1,0 +1,147 @@
+(** Crash-safe content-addressed evaluation store.
+
+    The trace-once/model-many engine pays one expensive axis: compiling
+    and interpreting each unique (program, semantic optimisation
+    setting).  This store persists those interpreter profiles on disk,
+    keyed by content digests, so every downstream consumer — dataset
+    generation, cross-validation, training, the CLI — becomes an
+    incremental computation over deltas: a warm rerun reads every
+    profile back bit-identically and performs {e zero} interpretations.
+
+    {b Keys.}  A record's key concatenates three {!Prelude.Fnv} digests:
+    the pretty-printed program IR, the canonical optimisation setting
+    ({!Passes.Flags.cache_key}) and the pass-pipeline fingerprint
+    ({!Passes.Driver.fingerprint}).  Changing the program, asking for a
+    semantically different setting, or rebuilding with a different
+    pipeline therefore misses instead of serving a stale profile.
+
+    {b Records} follow the [lib/serve] artifact conventions: a two-line
+    file — a JSON header carrying magic, version, FNV-1a 64 checksum
+    and payload byte length, then one JSON payload line
+    ({!Sim.Xtrem.export}) — written to a temporary name and atomically
+    renamed, so a crash mid-write never leaves a half-written record
+    under a live name.  Loads are strict, with distinct error cases for
+    truncation, corruption, wrong magic, future versions and key
+    mismatches; readers treat any unreadable record as a miss.
+
+    {b GC} is LRU-style: every hit touches the record's mtime, and
+    {!gc} deletes oldest-first until the store fits the byte bound.  It
+    only ever unlinks whole files, so it cannot corrupt a readable
+    record.
+
+    Telemetry: [store.{hits,misses,writes,evictions,errors}] counters
+    and [store.{bytes,entries}] gauges in {!Obs.Metrics}, plus
+    [store.*] trace events at debug level. *)
+
+val magic : string
+val version : int
+
+(** {1 Digests and keys} *)
+
+val program_digest : Ir.Types.program -> string
+(** Digest of the pretty-printed IR ({!Ir.Pretty.program}) — stable
+    across processes, sensitive to any semantic change. *)
+
+val setting_digest : Passes.Flags.setting -> string
+(** Digest of {!Passes.Flags.cache_key}: equal iff the settings are
+    semantically equal. *)
+
+val uarch_digest : Uarch.Config.t -> string
+(** Digest of {!Uarch.Config.cache_key}, used in provenance records
+    (profiles themselves are microarchitecture-independent). *)
+
+val profile_key : program_digest:string -> setting:Passes.Flags.setting -> string
+(** ["<pipeline fp>-<program digest>-<setting digest>"] — the key a
+    profile record is stored under. *)
+
+(** {1 The store} *)
+
+type t
+
+val default_dir : string
+(** [".portopt-store"] — the CLI's default for [--store] paths given as
+    a bare flag; gitignored. *)
+
+val open_ : dir:string -> t
+(** Open (creating directories as needed) and scan the existing records
+    once for the entry/byte gauges. *)
+
+val dir : t -> string
+
+val find_run : t -> key:string -> Sim.Xtrem.run option
+(** Read the record back, touch its mtime (LRU) and count a hit.  A
+    missing, unreadable or mismatched record counts a miss (unreadable
+    additionally [store.errors]) and returns [None] — the caller
+    recomputes and overwrites. *)
+
+val put_run : t -> key:string -> Sim.Xtrem.run -> unit
+(** Serialise and atomically install the record.  Re-putting an
+    existing key only touches its mtime.  Safe under concurrent
+    writers, in-process (mutex) and across processes (unique temp names
+    plus atomic rename). *)
+
+type stats = { entries : int; bytes : int }
+
+val stats : t -> stats
+(** Fresh scan of the object tree (also refreshes the gauges). *)
+
+val gc : t -> max_bytes:int -> int * stats
+(** Delete least-recently-used records (and any orphaned temp files)
+    until the store fits [max_bytes]; returns the number of records
+    evicted and the remaining stats.  Never corrupts a surviving
+    record. *)
+
+type verify_report = {
+  checked : int;
+  errors : (string * string) list;  (** (path, reason), path-sorted. *)
+}
+
+val verify : t -> verify_report
+(** Strict-load every record and report each failure with its distinct
+    reason (truncation, checksum mismatch, wrong magic, future version,
+    malformed payload, key mismatch). *)
+
+(** {1 Record IO (exposed for [verify], smoke tests and negatives)} *)
+
+val load_record : path:string -> (string * Sim.Xtrem.run, string) result
+(** [(key, run)] from one record file; [Error] carries the distinct
+    failure reason prefixed by the path. *)
+
+val profile : ?store:t -> setting:Passes.Flags.setting -> Ir.Types.program
+  -> Sim.Xtrem.run
+(** One-shot read-through used by the CLI: look the profile up in
+    [store] (when given), else compile and interpret via
+    {!Sim.Xtrem.profile_of} and write the record back.  The returned
+    run always carries the requested [setting]. *)
+
+(** {1 Two-tier read-through profile cache} *)
+
+type store := t
+
+(** The unified profile cache behind {!Ml_model.Dataset}: an in-RAM
+    {!Prelude.Lru} tier bounded by [ram_capacity] (the unbounded
+    [extra_runs] hashtable it replaces grew without limit under long
+    sweeps) over an optional on-disk store tier, shared across worker
+    domains behind one mutex.  Values are deterministic, so a lost
+    insertion race returns the same profile either way; the expensive
+    compute runs outside the lock. *)
+module Profile_cache : sig
+  type t
+
+  val create : ?ram_capacity:int -> ?disk:store -> unit -> t
+  (** [ram_capacity] defaults to 4096 entries; its occupancy is
+      exported as the [store.ram.entries] gauge. *)
+
+  val find_or_compute :
+    t ->
+    program_digest:string ->
+    setting:Passes.Flags.setting ->
+    (unit -> Sim.Xtrem.run) ->
+    Sim.Xtrem.run
+  (** RAM tier, then disk tier, then [compute] (outside the lock; the
+      result is written through to both tiers).  The returned run
+      always carries the requested [setting]. *)
+
+  val ram_size : t -> int
+  val disk : t -> store option
+end

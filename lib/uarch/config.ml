@@ -103,3 +103,11 @@ let to_string t =
     (t.il1_size / 1024) t.il1_assoc t.il1_block (t.dl1_size / 1024)
     t.dl1_assoc t.dl1_block t.btb_entries t.btb_assoc t.freq_mhz
     t.issue_width
+
+(* Every parameter in raw units, one per field, so two configurations
+   share a key iff they are equal — the evaluation store digests this
+   for provenance records. *)
+let cache_key t =
+  Printf.sprintf "il1=%d/%d/%d;dl1=%d/%d/%d;btb=%d/%d;f=%d;w=%d"
+    t.il1_size t.il1_assoc t.il1_block t.dl1_size t.dl1_assoc t.dl1_block
+    t.btb_entries t.btb_assoc t.freq_mhz t.issue_width

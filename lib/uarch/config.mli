@@ -67,3 +67,8 @@ val descriptor_names_extended : string array
 
 val to_string : t -> string
 (** Compact rendering, e.g. ["I$ 32K/32w/32B  D$ ... 400MHz w1"]. *)
+
+val cache_key : t -> string
+(** Stable textual key covering every parameter in raw units; equal iff
+    the configurations are equal.  The evaluation store digests it for
+    provenance records. *)

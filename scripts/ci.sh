@@ -1,0 +1,36 @@
+#!/bin/sh
+# Full CI gate, in dependency order: build everything, run the unit
+# suites, then the end-to-end smokes — bench (sequential and parallel
+# engine), trace (JSONL schema round-trip), serve (train -> serve ->
+# query -> drain against a real server) and store (cold -> warm
+# incremental rerun with byte-identical artifacts).  Each stage fails
+# fast; a green run is the tier-1 bar for merging.
+#
+# Usage: sh scripts/ci.sh   (or `make ci`)
+set -eu
+
+stage() {
+  echo
+  echo "== ci: $* =="
+}
+
+stage build
+dune build @all
+
+stage unit tests
+dune runtest
+
+stage bench-smoke
+make bench-smoke
+
+stage trace-smoke
+make trace-smoke
+
+stage serve-smoke
+make serve-smoke
+
+stage store-smoke
+make store-smoke
+
+echo
+echo "ci: OK"

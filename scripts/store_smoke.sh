@@ -1,0 +1,74 @@
+#!/bin/sh
+# Evaluation-store smoke test against the real binary: a cold `train
+# --store` populates the store, a warm rerun must reproduce the .pcm
+# artifact byte for byte, and the store subcommands (stats, verify, gc)
+# must maintain it without corrupting readable records.  Also regression
+# checks for graceful one-line CLI errors on missing or truncated input
+# files.
+#
+# Invokes the built binary directly rather than via `dune exec`:
+# concurrent `dune exec` processes would contend on the build lock.
+set -eu
+
+BIN=_build/default/bin/portopt.exe
+DIR=results/store_smoke
+STORE="$DIR/store"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+# SOURCE_DATE_EPOCH pins the artifact timestamp so cold and warm runs
+# can be compared byte for byte.
+echo "store-smoke: cold train..."
+env REPRO_UARCHS=2 REPRO_OPTS=8 SOURCE_DATE_EPOCH=0 \
+  "$BIN" train --store "$STORE" -o "$DIR/cold.pcm" --log-level quiet
+
+echo "store-smoke: warm train (must be incremental and bit-identical)..."
+env REPRO_UARCHS=2 REPRO_OPTS=8 SOURCE_DATE_EPOCH=0 \
+  "$BIN" train --store "$STORE" -o "$DIR/warm.pcm" --log-level quiet
+cmp "$DIR/cold.pcm" "$DIR/warm.pcm"
+
+echo "store-smoke: stats + verify..."
+"$BIN" store stats --store "$STORE" | grep -q "entries"
+"$BIN" store verify --store "$STORE" | grep -q "errors   0"
+
+echo "store-smoke: gc respects the bound and keeps records readable..."
+"$BIN" store gc --store "$STORE" --max-mb 0.1
+"$BIN" store verify --store "$STORE" | grep -q "errors   0"
+
+echo "store-smoke: graceful errors..."
+# Missing store directory: one-line diagnostic, nonzero exit.
+if "$BIN" store verify --store "$DIR/no_such_store" \
+  >"$DIR/err1.out" 2>&1; then
+  echo "store-smoke: verify of a missing store should fail" >&2
+  exit 1
+fi
+grep -q "no store at" "$DIR/err1.out"
+test "$(wc -l <"$DIR/err1.out")" -eq 1
+
+# Missing trace file: report must diagnose, not crash.
+if "$BIN" report "$DIR/no_such_trace.jsonl" >"$DIR/err2.out" 2>&1; then
+  echo "store-smoke: report of a missing trace should fail" >&2
+  exit 1
+fi
+
+# Truncated model artifact: predict --model must print one diagnostic
+# line and exit nonzero.
+head -c 40 "$DIR/cold.pcm" >"$DIR/truncated.pcm"
+if "$BIN" predict --model "$DIR/truncated.pcm" qsort \
+  >"$DIR/err3.out" 2>&1; then
+  echo "store-smoke: predict from a truncated artifact should fail" >&2
+  exit 1
+fi
+grep -qi "truncated" "$DIR/err3.out"
+test "$(wc -l <"$DIR/err3.out")" -eq 1
+
+# Empty model artifact.
+: >"$DIR/empty.pcm"
+if "$BIN" predict --model "$DIR/empty.pcm" qsort >"$DIR/err4.out" 2>&1; then
+  echo "store-smoke: predict from an empty artifact should fail" >&2
+  exit 1
+fi
+test "$(wc -l <"$DIR/err4.out")" -eq 1
+
+echo "store-smoke: OK"

@@ -368,6 +368,60 @@ let test_vec_ops () =
     (Invalid_argument "Vec.dot: length mismatch (2 vs 1)") (fun () ->
       ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0 |]))
 
+(* ---- Reuse quantisation boundaries ----------------------------------- *)
+
+let test_bucket_exact_below_threshold () =
+  let t = Reuse.quantise_threshold in
+  check Alcotest.int "threshold is 128" 128 t;
+  for d = 0 to t do
+    check Alcotest.int (Printf.sprintf "bucket %d exact" d) d (Reuse.bucket d)
+  done
+
+let test_bucket_boundary () =
+  (* The first quantised distances still round down onto the last exact
+     representative; the next bucket up is 136 (~6% step). *)
+  let t = Reuse.quantise_threshold in
+  check Alcotest.int "t-1" (t - 1) (Reuse.bucket (t - 1));
+  check Alcotest.int "t" t (Reuse.bucket t);
+  check Alcotest.int "t+1 merges down" t (Reuse.bucket (t + 1));
+  check Alcotest.int "133 rounds up" 136 (Reuse.bucket 133);
+  check Alcotest.int "next bucket" 136 (Reuse.bucket 136)
+
+let test_bucket_geometric_properties () =
+  (* Above the threshold: idempotent, monotone (never re-orders
+     distances) and within the ~6% design resolution. *)
+  let prev = ref 0 in
+  for d = 1 to 4096 do
+    let b = Reuse.bucket d in
+    check Alcotest.int (Printf.sprintf "idempotent %d" d) b (Reuse.bucket b);
+    if b < !prev then
+      Alcotest.failf "bucket not monotone: bucket %d = %d < %d" d b !prev;
+    prev := max !prev b;
+    let err = Float.abs (float_of_int b -. float_of_int d) /. float_of_int d in
+    if err > 0.0625 then
+      Alcotest.failf "bucket %d = %d off by %.1f%%" d b (100. *. err)
+  done
+
+let test_histogram_quantises_at_boundary () =
+  (* One access at stack distance d: touch d distinct blocks between two
+     accesses to block 10_000.  Distances 128 and 129 land in the same
+     entry; 127 stays separate. *)
+  let trace_with_distance d =
+    Array.concat
+      [ [| 10_000 |]; Array.init d Fun.id; [| 10_000 |] ]
+  in
+  let entry_of d =
+    let h = Reuse.histogram_of_blocks (trace_with_distance d) in
+    (* All accesses but the last are cold. *)
+    check Alcotest.int "cold" (d + 1) h.Reuse.cold;
+    check Alcotest.int "total" (d + 2) h.Reuse.total;
+    check Alcotest.int "one warm entry" 1 (Array.length h.Reuse.entries);
+    fst h.Reuse.entries.(0)
+  in
+  check Alcotest.int "127 exact" 127 (entry_of 127);
+  check Alcotest.int "128 exact" 128 (entry_of 128);
+  check Alcotest.int "129 merged into 128" 128 (entry_of 129)
+
 (* ---- Texttab / Ibuf -------------------------------------------------- *)
 
 let test_table_render () =
@@ -433,6 +487,10 @@ let () =
           quick "capacity model loop cliff" test_capacity_model_loop_cliff;
           quick "merge" test_merge_histograms;
           quick "blocks of addresses" test_blocks_of_addresses;
+          quick "bucket exact below threshold" test_bucket_exact_below_threshold;
+          quick "bucket threshold boundary" test_bucket_boundary;
+          quick "bucket geometric properties" test_bucket_geometric_properties;
+          quick "histogram boundary quantisation" test_histogram_quantises_at_boundary;
         ] );
       ( "stats",
         [

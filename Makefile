@@ -8,10 +8,14 @@
 # full train -> serve -> concurrent query -> shutdown round trip
 # against a real server process (see docs/serving.md); `store-smoke`
 # proves a warm evaluation store reruns `train` incrementally with a
-# byte-identical artifact (see docs/architecture.md).  Smoke outputs
+# byte-identical artifact (see docs/architecture.md); `cluster-smoke`
+# proves `train --workers N` over real worker processes is
+# byte-identical to single-process — including under chaos and with a
+# worker kill -9'd mid-run (see docs/cluster.md).  Smoke outputs
 # land under results/ (gitignored), never in the repo root.
 
-.PHONY: check ci bench-smoke trace-smoke serve-smoke store-smoke bench clean
+.PHONY: check ci bench-smoke trace-smoke serve-smoke store-smoke \
+	cluster-smoke bench clean
 
 check:
 	dune build @all
@@ -19,6 +23,7 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) store-smoke
+	$(MAKE) cluster-smoke
 
 ci:
 	sh scripts/ci.sh
@@ -40,6 +45,10 @@ serve-smoke:
 store-smoke:
 	dune build bin/portopt.exe
 	sh scripts/store_smoke.sh
+
+cluster-smoke:
+	dune build bin/portopt.exe
+	sh scripts/cluster_smoke.sh
 
 bench:
 	dune exec bench/main.exe

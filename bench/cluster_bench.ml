@@ -1,0 +1,164 @@
+(** Cluster benchmark: one profiling grid evaluated locally, then
+    through the coordinator/worker fabric with one worker, two workers
+    and two workers under chaos — asserting the merged runs are
+    bit-identical on every path and measuring the fabric's overhead and
+    recovery traffic.  Writes a machine-readable summary to
+    results/BENCH_cluster.json (schema "portopt-cluster/1"). *)
+
+module J = Obs.Json
+module F = Passes.Flags
+
+let ensure_results () =
+  if not (Sys.file_exists "results") then Unix.mkdir "results" 0o755
+
+(* The fabric's own instruments; registration is idempotent, so these
+   are the counters the coordinator increments. *)
+let m_tasks = Obs.Metrics.counter "cluster.tasks"
+let m_results = Obs.Metrics.counter "cluster.results"
+let m_leases = Obs.Metrics.counter "cluster.leases"
+let m_reassigned = Obs.Metrics.counter "cluster.reassigned"
+let m_retries = Obs.Metrics.counter "cluster.retries"
+let m_protocol = Obs.Metrics.counter "cluster.protocol_errors"
+
+let measured f =
+  let snap () =
+    [
+      ("tasks", m_tasks);
+      ("results", m_results);
+      ("leases", m_leases);
+      ("reassigned", m_reassigned);
+      ("retries", m_retries);
+      ("protocol_errors", m_protocol);
+    ]
+    |> List.map (fun (n, c) -> (n, Obs.Metrics.value c))
+  in
+  let before = snap () in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let counts =
+    ("wall_s", J.Float wall_s)
+    :: List.map2
+         (fun (n, b) (_, a) -> (n, J.Int (a - b)))
+         before (snap ())
+  in
+  (result, wall_s, counts)
+
+(* The grid: a handful of programs by a seeded sample of settings —
+   enough tasks for leases to interleave across workers, small enough
+   to finish in seconds. *)
+let grid () =
+  let rng = Prelude.Rng.create 42 in
+  let programs = [| "crc"; "sha"; "qsort"; "dijkstra" |] in
+  Array.map
+    (fun name ->
+      let spec = Workloads.Mibench.by_name name in
+      (spec, Array.init 6 (fun i -> if i = 0 then F.o3 else F.random rng)))
+    programs
+
+(* Run [n] in-process workers against a private coordinator for the
+   duration of one evaluation. *)
+let with_fabric ?(chaos = Cluster.Chaos.none) n f =
+  let cfg =
+    {
+      (Cluster.Coordinator.config ()) with
+      Cluster.Coordinator.lease_size = 4;
+      lease_timeout_s = 5.0;
+      heartbeat_timeout_s = 2.0;
+    }
+  in
+  let coord = Cluster.Coordinator.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Cluster.Coordinator.shutdown coord)
+    (fun () ->
+      let address = Cluster.Coordinator.address coord in
+      let stop = Atomic.make false in
+      let threads =
+        Array.init n (fun i ->
+            Thread.create
+              (fun () ->
+                ignore
+                  (Cluster.Worker.run
+                     ~stop:(fun () -> Atomic.get stop)
+                     {
+                       (Cluster.Worker.config ~connect:address
+                          ~name:(Printf.sprintf "bench-%d" i))
+                       with
+                       Cluster.Worker.chaos;
+                       heartbeat_s = 0.2;
+                     }))
+              ())
+      in
+      let result = f coord in
+      Atomic.set stop true;
+      Array.iter Thread.join threads;
+      result)
+
+let run () =
+  ensure_results ();
+  let groups = grid () in
+  let n_tasks =
+    Array.fold_left (fun acc (_, ss) -> acc + Array.length ss) 0 groups
+  in
+  Printf.printf "cluster bench: %d tasks over %d programs\n%!" n_tasks
+    (Array.length groups);
+  let reference, local_s, local_counts =
+    measured (fun () ->
+        Array.map
+          (fun (spec, settings) ->
+            let program = Workloads.Mibench.program_of spec in
+            Array.map
+              (fun setting -> Sim.Xtrem.profile_of ~setting program)
+              settings)
+          groups)
+  in
+  Printf.printf "  local (no fabric):      %.2fs\n%!" local_s;
+  let leg name ?chaos workers =
+    let got, wall_s, counts =
+      measured (fun () ->
+          with_fabric ?chaos workers (fun coord ->
+              Cluster.Coordinator.evaluate coord groups))
+    in
+    if got <> reference then
+      failwith
+        (Printf.sprintf "cluster bench: %s diverged from local evaluation"
+           name);
+    Printf.printf "  %-22s  %.2fs (bit-identical)\n%!" (name ^ ":") wall_s;
+    J.Obj
+      (("name", J.Str name) :: ("workers", J.Int workers) :: counts)
+  in
+  (* Explicit lets: list literals evaluate right to left, which would
+     run (and print) the legs backwards. *)
+  let one = leg "workers_1" 1 in
+  let two = leg "workers_2" 2 in
+  let chaotic =
+    leg "workers_2_chaos" 2
+      ~chaos:
+        {
+          Cluster.Chaos.seed = 7;
+          drop = 0.1;
+          delay = 0.2;
+          max_delay_s = 0.02;
+          garble = 0.1;
+          kill = 0.0;
+        }
+  in
+  let legs = [ one; two; chaotic ] in
+  let out =
+    J.Obj
+      [
+        ("schema", J.Str "portopt-cluster/1");
+        ("unix_time", J.Float (Unix.gettimeofday ()));
+        ("git", J.Str (Obs.Trace.git_describe ()));
+        ("tasks", J.Int n_tasks);
+        ("programs", J.Int (Array.length groups));
+        ("local", J.Obj local_counts);
+        ("legs", J.List legs);
+      ]
+  in
+  let out_path = Filename.concat "results" "BENCH_cluster.json" in
+  let oc = open_out out_path in
+  output_string oc (J.to_string out);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path

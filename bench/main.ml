@@ -79,6 +79,10 @@ let experiments : (string * string * (unit -> unit)) list =
       "evaluation store: cold vs warm dataset generation \
        (results/BENCH_store.json)",
       fun () -> Store_bench.run () );
+    ( "cluster",
+      "cluster fabric: local vs 1/2 workers vs chaos, bit-identical \
+       (results/BENCH_cluster.json)",
+      fun () -> Cluster_bench.run () );
     ( "csv",
       "export the figure data series to results/*.csv",
       fun () ->

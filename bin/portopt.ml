@@ -13,6 +13,8 @@
     - [crossval] leave-one-out cross-validation summary
     - [serve]    serve predictions from a .pcm artifact over a socket
     - [query]    ask a running server for a prediction (or health)
+    - [worker]   serve cluster evaluation leases for a train/crossval
+                 coordinator (see --workers on train/crossval)
     - [flags]    show the optimisation dimensions and the -O3 defaults
     - [report]   validate and summarise a JSONL run trace
     - [store]    inspect and maintain an evaluation store (stats/gc/verify)
@@ -326,8 +328,234 @@ let created_unix () =
       Printf.eprintf "portopt: SOURCE_DATE_EPOCH is not a number: %s\n" s;
       exit 2)
 
+(* ---- cluster plumbing -------------------------------------------------- *)
+
+type cluster_opts = {
+  c_workers : int;
+  c_listen : string option;
+  c_chaos : string option;
+  c_lease_size : int;
+  c_lease_timeout : float;
+}
+
+(* Sharding options shared by train and crossval.  [--workers 0] with no
+   [--cluster-listen] means everything stays in-process. *)
+let cluster_term =
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:
+               "Shard interpretation across $(docv) worker processes \
+                (spawned from this binary).  Results are byte-identical \
+                at any worker count; 0 (default) disables the cluster.")
+  in
+  let listen =
+    Arg.(value & opt (some string) None
+         & info [ "cluster-listen" ] ~docv:"ADDR"
+             ~doc:
+               "Coordinator listen address ($(i,host:port) or a Unix \
+                socket path containing '/'); implies cluster mode even \
+                with $(b,--workers) 0, so external workers can connect. \
+                Default: 127.0.0.1 on an ephemeral port.")
+  in
+  let chaos =
+    Arg.(value & opt (some string) None
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:
+               "Seeded fault injection for spawned workers, e.g. \
+                $(i,seed=7,drop=0.05,delay=0.1,garble=0.05,kill=0.01).  \
+                Results stay byte-identical; only timing and retries \
+                change.")
+  in
+  let lease_size =
+    Arg.(value & opt int 8
+         & info [ "lease-size" ] ~docv:"N"
+             ~doc:"Tasks handed to a worker per lease.")
+  in
+  let lease_timeout =
+    Arg.(value & opt float 30.0
+         & info [ "lease-timeout" ] ~docv:"SECONDS"
+             ~doc:"Lease deadline; an expired lease is reassigned.")
+  in
+  let mk c_workers c_listen c_chaos c_lease_size c_lease_timeout =
+    { c_workers; c_listen; c_chaos; c_lease_size; c_lease_timeout }
+  in
+  Term.(const mk $ workers $ listen $ chaos $ lease_size $ lease_timeout)
+
+let cluster_fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "portopt: %s\n" m;
+      exit 2)
+    fmt
+
+(* Run [f] with an optional cluster evaluation backend: start the
+   coordinator, spawn local workers, wire SIGINT/SIGTERM to a graceful
+   drain, and always tear everything down (quit workers, reap
+   children).  The backend only changes who interprets; every scheduling
+   artifact is merged by task key, so [f]'s output is byte-identical
+   with or without it. *)
+let with_cluster ?store opts f =
+  if opts.c_workers = 0 && opts.c_listen = None then f None
+  else begin
+    if opts.c_workers < 0 then cluster_fail "--workers must be >= 0";
+    let address =
+      match opts.c_listen with
+      | None -> Serve.Protocol.Tcp ("127.0.0.1", 0)
+      | Some s -> (
+        match Cluster.Worker.parse_connect s with
+        | Ok a -> a
+        | Error e -> cluster_fail "%s" e)
+    in
+    let chaos_spec =
+      match opts.c_chaos with
+      | None -> None
+      | Some s -> (
+        match Cluster.Chaos.of_string s with
+        | Ok _ -> Some s
+        | Error e -> cluster_fail "%s" e)
+    in
+    let config =
+      {
+        (Cluster.Coordinator.config ~address ()) with
+        Cluster.Coordinator.lease_size = opts.c_lease_size;
+        lease_timeout_s = opts.c_lease_timeout;
+      }
+    in
+    let coord = Cluster.Coordinator.create ?store config in
+    let stop_signal _ = Cluster.Coordinator.stop coord in
+    let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_signal) in
+    let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal) in
+    let connect =
+      Serve.Protocol.address_to_string (Cluster.Coordinator.address coord)
+    in
+    Obs.Span.log
+      (Printf.sprintf "cluster: coordinator listening on %s" connect);
+    let spawn i =
+      let args =
+        [ "portopt"; "worker"; "--connect"; connect;
+          "--name"; Printf.sprintf "local-%d" i ]
+        @ (match store with Some s -> [ "--store"; Store.dir s ] | None -> [])
+        @ (match chaos_spec with Some s -> [ "--chaos"; s ] | None -> [])
+      in
+      (* Workers share stderr for progress; stdout stays the parent's
+         report channel. *)
+      Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
+        Unix.stderr Unix.stderr
+    in
+    let children = List.init opts.c_workers spawn in
+    let cleanup () =
+      Cluster.Coordinator.shutdown coord;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        children;
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+        let last = ref (-1) in
+        let tick ~done_ ~total =
+          (* At most ~20 progress lines per evaluation round. *)
+          let step = max 1 (total / 20) in
+          if done_ = total || done_ / step > !last / step then begin
+            last := done_;
+            Obs.Span.log
+              (Printf.sprintf "cluster: %d of %d tasks evaluated" done_ total)
+          end
+        in
+        f
+          (Some
+             (Ml_model.Dataset.Offload
+                (fun groups ->
+                  Cluster.Coordinator.evaluate ~tick coord groups))))
+  end
+
+let worker_cmd =
+  let run () connect store chaos name =
+    let connect =
+      match Cluster.Worker.parse_connect connect with
+      | Ok a -> a
+      | Error e -> cluster_fail "%s" e
+    in
+    let chaos =
+      match chaos with
+      | None -> Cluster.Chaos.none
+      | Some s -> (
+        match Cluster.Chaos.of_string s with
+        | Ok c -> c
+        | Error e -> cluster_fail "%s" e)
+    in
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Printf.sprintf "%s-%d" (Unix.gethostname ()) (Unix.getpid ())
+    in
+    let stop = ref false in
+    let handler _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+    let cfg =
+      { (Cluster.Worker.config ~connect ~name) with Cluster.Worker.store; chaos }
+    in
+    let outcome = Cluster.Worker.run ~stop:(fun () -> !stop) cfg in
+    Obs.Span.log
+      (Printf.sprintf "worker %s: %s" name
+         (Cluster.Worker.outcome_to_string outcome));
+    match outcome with
+    | Cluster.Worker.Drained -> ()
+    | Cluster.Worker.Killed -> exit 3
+    | Cluster.Worker.Lost -> exit 1
+  in
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:
+               "Coordinator address: $(i,host:port) or a Unix socket \
+                path (recognised by containing '/').")
+  in
+  let chaos =
+    Arg.(value & opt (some string) None
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:
+               "Seeded fault injection on this worker's send path, e.g. \
+                $(i,seed=7,drop=0.05,garble=0.05,kill=0.01).")
+  in
+  let name_arg =
+    Arg.(value & opt (some string) None
+         & info [ "name" ] ~docv:"NAME"
+             ~doc:
+               "Worker name for registration, logs and the chaos seed \
+                salt (default: $(i,hostname-pid)).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects to a $(b,train --workers)/$(b,crossval --workers) \
+         coordinator (or one listening on $(b,--cluster-listen)), \
+         registers with this binary's pipeline fingerprint, and \
+         evaluates leased (program, setting) profiling tasks, streaming \
+         checksummed results back.  With $(b,--store), profiles are \
+         read through (and written to) the content-addressed store, so \
+         a warm store answers leases without interpreting.";
+      `P
+        "The worker retries lost connections with exponential backoff \
+         and exits once the coordinator drains it (exit 0), chaos kills \
+         it (exit 3), or its retries are exhausted (exit 1).  SIGINT and \
+         SIGTERM trigger a graceful stop; the coordinator reassigns \
+         whatever was left of the lease.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Serve cluster evaluation leases for a train/crossval coordinator"
+       ~man)
+    Term.(const run $ obs_term "worker" $ connect $ store_term $ chaos $ name_arg)
+
 let train_cmd =
-  let run () store out uarchs opts =
+  let run () store out uarchs opts cluster =
     let scale = Ml_model.Dataset.default_scale () in
     let scale =
       {
@@ -340,8 +568,9 @@ let train_cmd =
     Obs.Span.log
       (Printf.sprintf "training (%d configurations x %d settings)..."
          scale.Ml_model.Dataset.n_uarchs scale.Ml_model.Dataset.n_opts);
+    with_cluster ?store cluster @@ fun backend ->
     let dataset =
-      Ml_model.Dataset.generate ?store
+      Ml_model.Dataset.generate ?store ?backend
         ~progress:(fun m -> Obs.Span.log m)
         scale
     in
@@ -405,14 +634,22 @@ let train_cmd =
          settings and configurations for provenance.  Set \
          $(b,SOURCE_DATE_EPOCH) to pin the artifact's timestamp and \
          make the output byte-for-byte reproducible.";
+      `P
+        "With $(b,--workers), interpretation is sharded across worker \
+         processes under leases with retry, reassignment and circuit \
+         breaking; results merge by content key, so the artifact is \
+         byte-identical to a single-process run at any worker count — \
+         even under $(b,--chaos) fault injection or with a worker \
+         killed mid-run (see $(b,portopt worker)).";
     ]
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train the model and save a .pcm artifact" ~man)
-    Term.(const run $ obs_term "train" $ store_term $ out $ uarchs $ opts)
+    Term.(const run $ obs_term "train" $ store_term $ out $ uarchs $ opts
+          $ cluster_term)
 
 let crossval_cmd =
-  let run () store uarchs opts =
+  let run () store uarchs opts cluster =
     let scale = Ml_model.Dataset.default_scale () in
     let scale =
       {
@@ -423,8 +660,9 @@ let crossval_cmd =
       }
     in
     let progress m = Obs.Span.log m in
-    let dataset = Ml_model.Dataset.generate ?store ~progress scale in
-    let outcomes = Ml_model.Crossval.run ~progress dataset in
+    with_cluster ?store cluster @@ fun backend ->
+    let dataset = Ml_model.Dataset.generate ?store ?backend ~progress scale in
+    let outcomes = Ml_model.Crossval.run ?backend ~progress dataset in
     let mean f = Prelude.Stats.mean (Array.map f outcomes) in
     Printf.printf "pairs               %d (%d programs x %d configurations)\n"
       (Array.length outcomes)
@@ -460,11 +698,16 @@ let crossval_cmd =
         "With $(b,--store), interpreter profiles are read through the \
          content-addressed evaluation store, making repeated sweeps \
          (e.g. at different scales) incremental.";
+      `P
+        "With $(b,--workers), interpretation (dataset profiles and the \
+         folds' predicted settings) is sharded across worker processes; \
+         outcomes are identical to the in-process run.";
     ]
   in
   Cmd.v
     (Cmd.info "crossval" ~doc:"Leave-one-out cross-validation summary" ~man)
-    Term.(const run $ obs_term "crossval" $ store_term $ uarchs $ opts)
+    Term.(const run $ obs_term "crossval" $ store_term $ uarchs $ opts
+          $ cluster_term)
 
 (* ---- store maintenance ------------------------------------------------ *)
 
@@ -498,12 +741,22 @@ let store_stats_cmd =
     Term.(const run $ store_dir_arg)
 
 let store_gc_cmd =
-  let run dir max_mb =
+  let run dir max_mb dry_run =
     let store = open_existing_store dir in
+    let before = Store.stats store in
     let max_bytes = int_of_float (max_mb *. 1024. *. 1024.) in
-    let evicted, stats = Store.gc store ~max_bytes in
-    Printf.printf "evicted  %d\n" evicted;
-    print_stats stats
+    let evicted, stats = Store.gc ~dry_run store ~max_bytes in
+    if dry_run then begin
+      Printf.printf "would evict  %d records (%d bytes, %.1f KiB)\n" evicted
+        (before.Store.bytes - stats.Store.bytes)
+        (float_of_int (before.Store.bytes - stats.Store.bytes) /. 1024.);
+      Printf.printf "would keep   %d records (%d bytes)\n" stats.Store.entries
+        stats.Store.bytes
+    end
+    else begin
+      Printf.printf "evicted  %d\n" evicted;
+      print_stats stats
+    end
   in
   let max_mb =
     Arg.(value & opt float 64.
@@ -512,10 +765,17 @@ let store_gc_cmd =
                "Evict least-recently-used records until the store fits \
                 $(docv) mebibytes.")
   in
+  let dry_run =
+    Arg.(value & flag
+         & info [ "dry-run" ]
+             ~doc:
+               "Report what would be evicted (record count and bytes) \
+                without deleting anything — not even orphaned temp files.")
+  in
   Cmd.v
     (Cmd.info "gc"
        ~doc:"Evict least-recently-used records down to a size bound")
-    Term.(const run $ store_dir_arg $ max_mb)
+    Term.(const run $ store_dir_arg $ max_mb $ dry_run)
 
 let store_verify_cmd =
   let run dir =
@@ -785,4 +1045,4 @@ let () =
        (Cmd.group info
           [ list_cmd; dump_cmd; run_cmd; exec_cmd; spaces_cmd; flags_cmd;
             predict_cmd; train_cmd; crossval_cmd; serve_cmd; query_cmd;
-            report_cmd; store_cmd ]))
+            worker_cmd; report_cmd; store_cmd ]))

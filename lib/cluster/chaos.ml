@@ -1,0 +1,118 @@
+(** Seeded fault injection — see chaos.mli for semantics. *)
+
+type t = {
+  seed : int;
+  drop : float;
+  delay : float;
+  max_delay_s : float;
+  garble : float;
+  kill : float;
+}
+
+let none =
+  { seed = 1; drop = 0.0; delay = 0.0; max_delay_s = 0.05; garble = 0.0;
+    kill = 0.0 }
+
+let is_none c =
+  c.drop = 0.0 && c.delay = 0.0 && c.garble = 0.0 && c.kill = 0.0
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let parts =
+    List.filter (fun p -> p <> "") (String.split_on_char ',' (String.trim s))
+  in
+  let prob name v =
+    if v >= 0.0 && v <= 1.0 then Ok v
+    else Error (Printf.sprintf "chaos: %s must lie in [0, 1] (got %g)" name v)
+  in
+  List.fold_left
+    (fun acc part ->
+      let* c = acc in
+      match String.index_opt part '=' with
+      | None -> Error (Printf.sprintf "chaos: expected key=value, got %S" part)
+      | Some eq -> (
+        let key = String.trim (String.sub part 0 eq) in
+        let value =
+          String.trim (String.sub part (eq + 1) (String.length part - eq - 1))
+        in
+        let* f =
+          match float_of_string_opt value with
+          | Some f -> Ok f
+          | None ->
+            Error (Printf.sprintf "chaos: %s is not a number: %S" key value)
+        in
+        match key with
+        | "seed" -> Ok { c with seed = int_of_float f }
+        | "drop" ->
+          let* p = prob key f in
+          Ok { c with drop = p }
+        | "delay" ->
+          let* p = prob key f in
+          Ok { c with delay = p }
+        | "max_delay_s" ->
+          if f < 0.0 then Error "chaos: max_delay_s must be >= 0"
+          else Ok { c with max_delay_s = f }
+        | "garble" ->
+          let* p = prob key f in
+          Ok { c with garble = p }
+        | "kill" ->
+          let* p = prob key f in
+          Ok { c with kill = p }
+        | _ -> Error (Printf.sprintf "chaos: unknown key %S" key)))
+    (Ok none) parts
+
+let to_string c =
+  Printf.sprintf "seed=%d,drop=%g,delay=%g,max_delay_s=%g,garble=%g,kill=%g"
+    c.seed c.drop c.delay c.max_delay_s c.garble c.kill
+
+type instance = {
+  config : t;
+  rng : Prelude.Rng.t;
+  mutex : Mutex.t;  (** Heartbeat and lease threads share the stream. *)
+}
+
+let instance config ~salt =
+  let seed =
+    (config.seed * 0x9E3779B1)
+    lxor int_of_string ("0x" ^ String.sub (Prelude.Fnv.digest_string salt) 0 15)
+  in
+  { config; rng = Prelude.Rng.create (seed land max_int); mutex = Mutex.create () }
+
+let with_rng i f =
+  Mutex.lock i.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock i.mutex) (fun () -> f i.rng)
+
+let hit rng p = p > 0.0 && Prelude.Rng.float rng 1.0 < p
+
+let should_kill i = with_rng i (fun rng -> hit rng i.config.kill)
+
+(* Corrupt 1-3 bytes with printable junk; '\n' never appears, so the
+   line stays one frame and the receiver fails cleanly on checksum or
+   parse. *)
+let garble_line rng line =
+  let n = String.length line in
+  if n = 0 then line
+  else begin
+    let b = Bytes.of_string line in
+    let hits = 1 + Prelude.Rng.int rng 3 in
+    for _ = 1 to hits do
+      let pos = Prelude.Rng.int rng n in
+      Bytes.set b pos (Char.chr (33 + Prelude.Rng.int rng 94))
+    done;
+    Bytes.to_string b
+  end
+
+let transform i line =
+  with_rng i (fun rng ->
+      if hit rng i.config.drop then `Drop
+      else begin
+        let line =
+          if hit rng i.config.garble then garble_line rng line else line
+        in
+        let delay =
+          if hit rng i.config.delay then
+            Prelude.Rng.float rng i.config.max_delay_s
+          else 0.0
+        in
+        `Send (line, delay)
+      end)

@@ -1,0 +1,59 @@
+(** Seeded fault injection for the cluster's worker send path.
+
+    Chaos makes the coordinator's recovery machinery — lease expiry,
+    reassignment, retry with backoff, circuit breaking — testable
+    without real network failures: a worker wraps every message it
+    sends in {!transform}, which (per the configured probabilities)
+    drops it, delays it, or garbles its bytes, and {!should_kill}
+    simulates the worker dying mid-lease.
+
+    Every decision comes from a {!Prelude.Rng} stream seeded by the
+    config's [seed] salted with the worker's name, so a failure
+    schedule replays exactly: the determinism criterion ("byte-identical
+    artifact under chaos") is checked against {e reproducible} chaos.
+
+    Chaos corrupts only message {e content}, never the newline framing
+    — a garbled line is still one line, so the peer sees a clean
+    protocol error (checksum or parse failure), not a desynchronised
+    stream.  Killing a stream is a separate, honest failure (the socket
+    closes). *)
+
+type t = {
+  seed : int;
+  drop : float;  (** Probability a message is silently dropped. *)
+  delay : float;  (** Probability a message is delayed before sending. *)
+  max_delay_s : float;  (** Delay is uniform in [[0, max_delay_s]]. *)
+  garble : float;  (** Probability a message's bytes are corrupted. *)
+  kill : float;
+      (** Probability, checked before each task, that the worker dies
+          (closes its socket) mid-lease. *)
+}
+
+val none : t
+(** All probabilities zero — the default, and a no-op. *)
+
+val is_none : t -> bool
+
+val of_string : string -> (t, string) result
+(** Parse a spec like ["seed=7,drop=0.05,delay=0.1,max_delay_s=0.05,\
+    garble=0.05,kill=0.01"].  Unknown keys, malformed numbers and
+    probabilities outside [[0, 1]] are errors. *)
+
+val to_string : t -> string
+(** Round-trips through {!of_string}. *)
+
+type instance
+(** One worker's seeded chaos stream; thread-safe (the worker's
+    heartbeat and lease threads share it). *)
+
+val instance : t -> salt:string -> instance
+(** Derive the worker's stream from [seed] and [salt] (its name), so
+    distinct workers under one config fail differently but
+    reproducibly. *)
+
+val should_kill : instance -> bool
+
+val transform : instance -> string -> [ `Drop | `Send of string * float ]
+(** Apply drop/garble/delay to one outgoing line (newline excluded).
+    [`Send (line, delay_s)] asks the caller to sleep [delay_s] (possibly
+    0) and then write [line]. *)

@@ -1,0 +1,39 @@
+(** Cluster task = (program name, optimisation setting) — see task.mli. *)
+
+module J = Obs.Json
+
+type t = {
+  program : string;
+  setting : Passes.Flags.setting;
+}
+
+let key ~program_digest t =
+  Store.profile_key ~program_digest ~setting:t.setting
+
+let to_json t =
+  J.Obj
+    [
+      ("program", J.Str t.program);
+      ( "setting",
+        J.List (Array.to_list (Array.map (fun v -> J.Int v) t.setting)) );
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* program =
+    match Option.bind (J.member "program" j) J.to_str with
+    | Some p -> Ok p
+    | None -> Error "task: missing or malformed \"program\" field"
+  in
+  let* setting =
+    match Option.bind (J.member "setting" j) J.to_list with
+    | None -> Error "task: missing or malformed \"setting\" field"
+    | Some items ->
+      let ints = List.filter_map J.to_int items in
+      if List.length ints <> List.length items then
+        Error "task: non-integer setting value"
+      else Ok (Array.of_list ints)
+  in
+  match Passes.Flags.validate setting with
+  | () -> Ok { program; setting }
+  | exception Invalid_argument e -> Error ("task: " ^ e)

@@ -1,0 +1,24 @@
+(** The cluster's unit of work: profile one program under one
+    optimisation setting.
+
+    This is exactly the expensive, microarchitecture-independent axis
+    the evaluation store already keys — so a task's identity {e is} its
+    store key ({!Store.profile_key}: pipeline fingerprint, program
+    digest, setting digest), results merge by key rather than arrival
+    order, and any store-warmed task never ships at all.  Programs
+    travel by workload name (both sides embed the same workload table;
+    shipping IR would only re-serialise what the digest already pins). *)
+
+type t = {
+  program : string;  (** Workload name ({!Workloads.Mibench.by_name}). *)
+  setting : Passes.Flags.setting;
+}
+
+val key : program_digest:string -> t -> string
+(** The store key the task's result lands under. *)
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Validates the setting with {!Passes.Flags.validate}; the program
+    name is resolved (and may fail) worker-side. *)

@@ -1,0 +1,255 @@
+(** Cluster worker — see worker.mli for the contract. *)
+
+module J = Obs.Json
+module Frame = Serve.Frame
+
+type config = {
+  connect : Serve.Protocol.address;
+  name : string;
+  store : Store.t option;
+  chaos : Chaos.t;
+  reconnect : Prelude.Backoff.policy;
+  heartbeat_s : float;
+}
+
+let config ~connect ~name =
+  {
+    connect;
+    name;
+    store = None;
+    chaos = Chaos.none;
+    reconnect = Prelude.Backoff.default;
+    heartbeat_s = 0.5;
+  }
+
+type outcome = Drained | Killed | Lost
+
+let outcome_to_string = function
+  | Drained -> "drained"
+  | Killed -> "killed"
+  | Lost -> "lost"
+
+let m_tasks = Obs.Metrics.counter "cluster.worker.tasks"
+let m_leases = Obs.Metrics.counter "cluster.worker.leases"
+let m_heartbeats = Obs.Metrics.counter "cluster.worker.heartbeats"
+let m_task_errors = Obs.Metrics.counter "cluster.worker.task_errors"
+let g_busy = Obs.Metrics.gauge "cluster.worker.busy"
+
+exception Killed_mid_lease
+
+(* The heartbeat thread and the lease loop share the socket's write
+   side; chaos delay happens outside the lock so a delayed result never
+   blocks a heartbeat. *)
+let send ~chaos ~wmutex fd msg =
+  let line = J.to_string (Wire.to_coordinator_to_json msg) in
+  match Chaos.transform chaos line with
+  | `Drop -> ()
+  | `Send (line, delay_s) ->
+    if delay_s > 0.0 then Thread.delay delay_s;
+    Mutex.lock wmutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock wmutex)
+      (fun () -> Frame.write_line fd line)
+
+(* Registration bypasses chaos: a worker that cannot even join tests
+   nothing. *)
+let send_raw ~wmutex fd msg =
+  Mutex.lock wmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock wmutex)
+    (fun () -> Frame.write_line fd (J.to_string (Wire.to_coordinator_to_json msg)))
+
+let run_task cfg digests (task : Task.t) =
+  match Workloads.Mibench.by_name task.Task.program with
+  | exception Invalid_argument e -> Error e
+  | spec -> (
+    let program = Workloads.Mibench.program_of spec in
+    let program_digest =
+      match Hashtbl.find_opt digests task.Task.program with
+      | Some d -> d
+      | None ->
+        let d = Store.program_digest program in
+        Hashtbl.add digests task.Task.program d;
+        d
+    in
+    match Store.profile ?store:cfg.store ~setting:task.Task.setting program with
+    | run ->
+      let run_json = Sim.Xtrem.export run in
+      let checksum = Prelude.Fnv.tagged_string (J.to_string run_json) in
+      Ok (Task.key ~program_digest task, run_json, checksum)
+    | exception e -> Error (Printexc.to_string e))
+
+let process_lease cfg ~chaos ~wmutex ~stop ~digests fd ~job ~lease tasks =
+  Obs.Metrics.add m_leases 1;
+  Obs.Metrics.set g_busy 1.0;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set g_busy 0.0)
+    (fun () ->
+      List.iter
+        (fun (index, task) ->
+          if stop () then raise Exit;
+          if Chaos.should_kill chaos then raise Killed_mid_lease;
+          (match run_task cfg digests task with
+          | Ok (key, run, checksum) ->
+            send ~chaos ~wmutex fd
+              (Wire.Result { job; lease; task = index; key; checksum; run })
+          | Error error ->
+            Obs.Metrics.add m_task_errors 1;
+            send ~chaos ~wmutex fd
+              (Wire.Task_error { job; lease; task = index; error }));
+          Obs.Metrics.add m_tasks 1)
+        tasks;
+      send ~chaos ~wmutex fd (Wire.Lease_done { job; lease }))
+
+(* One connected session: register, heartbeat, serve leases.  Returns
+   how it ended; [registered] lets the caller reset its reconnect
+   budget once the coordinator accepted us. *)
+let session cfg ~stop ~chaos ~registered fd =
+  let reader = Frame.reader ~max_frame:Wire.max_frame fd in
+  let wmutex = Mutex.create () in
+  let digests = Hashtbl.create 16 in
+  send_raw ~wmutex fd
+    (Wire.Register
+       {
+         name = cfg.name;
+         pid = Unix.getpid ();
+         fingerprint = Passes.Driver.fingerprint;
+       });
+  (* Registration handshake, bounded so a wedged coordinator cannot
+     hold an unregistered worker forever. *)
+  let rec handshake budget =
+    if budget <= 0.0 then `Eof
+    else
+      match Frame.poll reader ~timeout:0.25 with
+      | Ok None -> if stop () then `Stop else handshake (budget -. 0.25)
+      | Error _ -> `Eof
+      | Ok (Some line) -> (
+        match
+          Result.bind (J.of_string line) Wire.to_worker_of_json
+        with
+        | Ok (Wire.Welcome _) -> `Welcome
+        | Ok (Wire.Reject { reason }) -> `Rejected reason
+        | Ok _ | Error _ -> handshake budget)
+  in
+  match handshake 30.0 with
+  | (`Eof | `Stop | `Rejected _) as r -> r
+  | `Welcome ->
+    registered := true;
+    let hb_stop = Atomic.make false in
+    let hb =
+      Thread.create
+        (fun () ->
+          while not (Atomic.get hb_stop) do
+            Thread.delay cfg.heartbeat_s;
+            if not (Atomic.get hb_stop) then (
+              try
+                send ~chaos ~wmutex fd Wire.Heartbeat;
+                Obs.Metrics.add m_heartbeats 1
+              with _ -> Atomic.set hb_stop true)
+          done)
+        ()
+    in
+    let finish r =
+      Atomic.set hb_stop true;
+      Thread.join hb;
+      r
+    in
+    let rec loop () =
+      if stop () then `Stop
+      else
+        match Frame.poll reader ~timeout:0.25 with
+        | Ok None -> loop ()
+        | Error _ -> `Eof
+        | Ok (Some line) -> (
+          match Result.bind (J.of_string line) Wire.to_worker_of_json with
+          | Error e ->
+            Obs.Span.log ~level:Obs.Trace.Debug
+              (Printf.sprintf "worker %s: bad frame: %s" cfg.name e);
+            loop ()
+          | Ok Wire.Quit -> `Quit
+          | Ok (Wire.Welcome _ | Wire.Reject _) -> loop ()
+          | Ok (Wire.Lease { job; lease; deadline_s = _; tasks }) -> (
+            match
+              process_lease cfg ~chaos ~wmutex ~stop ~digests fd ~job ~lease
+                tasks
+            with
+            | () -> loop ()
+            | exception Exit -> `Stop
+            | exception Unix.Unix_error _ -> `Eof))
+    in
+    (match loop () with
+    | r -> finish r
+    | exception Killed_mid_lease -> finish `Killed)
+
+let connect_fd address =
+  let sa = Serve.Protocol.sockaddr address in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd sa with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  fd
+
+let run ?(stop = fun () -> false) cfg =
+  Prelude.Backoff.validate cfg.reconnect;
+  (* Timing-only jitter source for the reconnect backoff — outside the
+     determinism contract, like the serve client's. *)
+  let rng =
+    Prelude.Rng.create
+      ((Unix.getpid () * 1_000_003)
+       lxor (int_of_float (Unix.gettimeofday () *. 1e6) land max_int))
+  in
+  let chaos = Chaos.instance cfg.chaos ~salt:cfg.name in
+  let attempt = ref 0 in
+  let outcome = ref None in
+  let give_up_or_backoff () =
+    if !attempt > cfg.reconnect.Prelude.Backoff.max_retries then
+      outcome := Some Lost
+    else begin
+      Thread.delay (Prelude.Backoff.delay cfg.reconnect ~rng ~attempt:!attempt);
+      incr attempt
+    end
+  in
+  while !outcome = None do
+    if stop () then outcome := Some Drained
+    else
+      match connect_fd cfg.connect with
+      | exception Unix.Unix_error _ -> give_up_or_backoff ()
+      | fd -> (
+        let registered = ref false in
+        let r =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> session cfg ~stop ~chaos ~registered fd)
+        in
+        if !registered then attempt := 0;
+        match r with
+        | `Quit | `Stop -> outcome := Some Drained
+        | `Killed -> outcome := Some Killed
+        | `Rejected reason ->
+          Obs.Span.log
+            (Printf.sprintf "worker %s: rejected by coordinator: %s" cfg.name
+               reason);
+          outcome := Some Lost
+        | `Eof -> give_up_or_backoff ())
+  done;
+  Option.get !outcome
+
+let parse_connect s =
+  let s = String.trim s in
+  if s = "" then Error "empty --connect address"
+  else if String.contains s '/' then Ok (Serve.Protocol.Unix_path s)
+  else
+    match String.rindex_opt s ':' with
+    | None ->
+      Error
+        (Printf.sprintf
+           "--connect %S: expected host:port or a socket path containing '/'" s)
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Serve.Protocol.Tcp (host, p))
+      | _ -> Error (Printf.sprintf "--connect %S: bad port %S" s port))

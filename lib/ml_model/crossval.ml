@@ -31,8 +31,41 @@ let fraction_of_best outcomes =
 
 let m_folds = Obs.Metrics.counter "crossval.folds"
 
-let run ?k ?beta ?mask ?pool ?(progress = fun (_ : string) -> ())
-    (d : Dataset.t) =
+(* With an offload backend, predictions for all folds are computed
+   first, their settings deduplicated per program by canonical form,
+   and one batched call evaluates the lot — the runs then preload the
+   dataset's two-tier cache so outcome assembly is pure pricing. *)
+let offload_predictions (d : Dataset.t) evaluate predictions =
+  let n_uarch = Dataset.n_uarchs d in
+  let groups =
+    Array.mapi
+      (fun prog spec ->
+        let seen = Hashtbl.create 16 in
+        let settings = ref [] in
+        for uarch = 0 to n_uarch - 1 do
+          let s = predictions.((prog * n_uarch) + uarch) in
+          let ck = Passes.Flags.cache_key s in
+          if not (Hashtbl.mem seen ck) then begin
+            Hashtbl.add seen ck ();
+            settings := s :: !settings
+          end
+        done;
+        (spec, Array.of_list (List.rev !settings)))
+      d.Dataset.specs
+  in
+  let results = evaluate groups in
+  Array.iteri
+    (fun prog runs ->
+      Array.iter
+        (fun r ->
+          Store.Profile_cache.preload d.Dataset.cache
+            ~program_digest:d.Dataset.prog_digests.(prog)
+            ~setting:r.Sim.Xtrem.setting r)
+        runs)
+    results
+
+let run ?k ?beta ?mask ?pool ?(backend = Dataset.In_process)
+    ?(progress = fun (_ : string) -> ()) (d : Dataset.t) =
   let pool = match pool with Some p -> p | None -> Prelude.Pool.default () in
   let progress = Prelude.Pool.serialised progress in
   let n_prog = Dataset.n_programs d and n_uarch = Dataset.n_uarchs d in
@@ -43,6 +76,11 @@ let run ?k ?beta ?mask ?pool ?(progress = fun (_ : string) -> ())
         ("programs", Obs.Json.Int n_prog);
         ("uarchs", Obs.Json.Int n_uarch);
         ("folds", Obs.Json.Int (n_prog * n_uarch));
+        ( "backend",
+          Obs.Json.Str
+            (match backend with
+            | Dataset.In_process -> "in-process"
+            | Dataset.Offload _ -> "offload") );
       ]
     (fun () ->
       let parent = Obs.Span.current_id () in
@@ -52,21 +90,44 @@ let run ?k ?beta ?mask ?pool ?(progress = fun (_ : string) -> ())
         Obs.Span.ticker ~print:progress ~every:n_uarch
           ~total:(n_prog * n_uarch) "cross-validated"
       in
+      let predict idx =
+        let prog = idx / n_uarch and uarch = idx mod n_uarch in
+        let model =
+          Model.train ?k ?beta ?mask
+            ~include_pair:(fun ~prog:p ~uarch:u -> p <> prog && u <> uarch)
+            d
+        in
+        let test = Dataset.pair d ~prog ~uarch in
+        Model.predict model test.Dataset.features_raw
+      in
+      (* Batched prediction evaluation: the expensive fold step (the
+         predicted setting's profile) is either computed inline through
+         the cache or fetched in one offloaded round first. *)
+      let precomputed =
+        match backend with
+        | Dataset.In_process -> None
+        | Dataset.Offload evaluate ->
+          let predictions =
+            Obs.Span.with_ "crossval.predict" (fun () ->
+                Prelude.Pool.init pool (n_prog * n_uarch) predict)
+          in
+          offload_predictions d evaluate predictions;
+          Some predictions
+      in
       (* One task per held-out pair.  Training only reads the dataset;
          evaluating the prediction goes through the mutex-guarded
          [Dataset.run_for] cache, whose entries are deterministic — so the
-         outcome array is bit-identical at any job count. *)
+         outcome array is bit-identical at any job count (and identical
+         with or without an offload backend, which only warms the
+         cache). *)
       Prelude.Pool.init pool (n_prog * n_uarch) (fun idx ->
           let prog = idx / n_uarch and uarch = idx mod n_uarch in
           let t0 = Obs.Clock.now_s () in
-          let model =
-            Model.train ?k ?beta ?mask
-              ~include_pair:(fun ~prog:p ~uarch:u -> p <> prog && u <> uarch)
-              d
+          let predicted =
+            match precomputed with Some p -> p.(idx) | None -> predict idx
           in
           let train_done = Obs.Clock.now_s () in
           let test = Dataset.pair d ~prog ~uarch in
-          let predicted = Model.predict model test.Dataset.features_raw in
           let predicted_seconds = Dataset.evaluate d ~prog ~uarch predicted in
           let dur = Obs.Clock.now_s () -. t0 in
           Obs.Metrics.add m_folds 1;

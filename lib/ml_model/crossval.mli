@@ -32,10 +32,18 @@ val run :
   ?beta:float ->
   ?mask:bool array ->
   ?pool:Prelude.Pool.t ->
+  ?backend:Dataset.backend ->
   ?progress:(string -> unit) ->
   Dataset.t ->
   outcome array
 (** One outcome per dataset pair, in row-major pair order.  The
     train/predict/evaluate loop is fanned out over [pool] (default: the
     shared [Prelude.Pool] sized by [REPRO_JOBS]); the result is
-    bit-identical at any job count, and [progress] is serialised. *)
+    bit-identical at any job count, and [progress] is serialised.
+
+    With [backend = Offload f], every fold's prediction is computed
+    first, the predicted settings are deduplicated per program by
+    canonical form and evaluated in one batched [f] call, and the
+    resulting profiles preload the dataset's cache — outcome assembly
+    then prices pure cache hits, so the outcomes are identical to the
+    in-process path. *)

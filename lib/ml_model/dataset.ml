@@ -104,7 +104,14 @@ let space_name = function
   | Features.Base -> "base"
   | Features.Extended -> "extended"
 
-let generate ?store ?pool ?(progress = fun (_ : string) -> ()) scale =
+type backend =
+  | In_process
+  | Offload of
+      ((Workloads.Spec.t * Passes.Flags.setting array) array ->
+       Sim.Xtrem.run array array)
+
+let generate ?store ?pool ?(backend = In_process)
+    ?(progress = fun (_ : string) -> ()) scale =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let progress = Pool.serialised progress in
   let specs = Workloads.Mibench.all in
@@ -118,6 +125,11 @@ let generate ?store ?pool ?(progress = fun (_ : string) -> ()) scale =
         ("seed", Obs.Json.Int scale.seed);
         ("space", Obs.Json.Str (space_name scale.space));
         ("jobs", Obs.Json.Int (Pool.size pool));
+        ( "backend",
+          Obs.Json.Str
+            (match backend with
+            | In_process -> "in-process"
+            | Offload _ -> "offload") );
         ( "store",
           match store with
           | None -> Obs.Json.Null
@@ -146,38 +158,92 @@ let generate ?store ?pool ?(progress = fun (_ : string) -> ()) scale =
               Obs.Span.ticker ~print:progress ~total:(Array.length specs)
                 "profiled"
             in
-            Pool.init pool (Array.length specs) (fun pi ->
-                let spec = specs.(pi) in
-                let t0 = Obs.Clock.now_s () in
-                let program = Workloads.Mibench.program_of spec in
-                let program_digest = Store.program_digest program in
-                let resolve setting =
-                  Store.Profile_cache.find_or_compute cache ~program_digest
-                    ~setting (fun () ->
-                      Sim.Xtrem.profile_of ~setting program)
-                in
-                let o3 = resolve Passes.Flags.o3 in
-                let rs =
-                  Array.map
-                    (fun s ->
-                      let r = resolve s in
+            let miscompiled spec s =
+              failwith
+                (Printf.sprintf "Dataset.generate: %s miscompiled under %s"
+                   spec.Workloads.Spec.name
+                   (Passes.Flags.to_string s))
+            in
+            match backend with
+            | In_process ->
+              Pool.init pool (Array.length specs) (fun pi ->
+                  let spec = specs.(pi) in
+                  let t0 = Obs.Clock.now_s () in
+                  let program = Workloads.Mibench.program_of spec in
+                  let program_digest = Store.program_digest program in
+                  let resolve setting =
+                    Store.Profile_cache.find_or_compute cache ~program_digest
+                      ~setting (fun () ->
+                        Sim.Xtrem.profile_of ~setting program)
+                  in
+                  let o3 = resolve Passes.Flags.o3 in
+                  let rs =
+                    Array.map
+                      (fun s ->
+                        let r = resolve s in
+                        if r.Sim.Xtrem.checksum <> o3.Sim.Xtrem.checksum then
+                          miscompiled spec s;
+                        r)
+                      settings
+                  in
+                  Obs.Span.event ~parent "dataset.program"
+                    [
+                      ("program", Obs.Json.Str spec.Workloads.Spec.name);
+                      ("dur_s", Obs.Json.Float (Obs.Clock.now_s () -. t0));
+                      ("runs", Obs.Json.Int (1 + Array.length settings));
+                    ];
+                  tick spec.Workloads.Spec.name;
+                  (program_digest, o3, rs))
+            | Offload evaluate ->
+              (* One call covers the whole grid, so the evaluator can
+                 dedupe, batch and schedule however it likes; results
+                 come back in request order, setting 0 being the -O3
+                 baseline.  Everything downstream of the profiles is
+                 computed locally either way. *)
+              let wanted = Array.append [| Passes.Flags.o3 |] settings in
+              let groups =
+                Array.map (fun spec -> (spec, wanted)) specs
+              in
+              let evaluated = evaluate groups in
+              if Array.length evaluated <> Array.length specs then
+                failwith "Dataset.generate: offload backend dropped programs";
+              Array.mapi
+                (fun pi spec ->
+                  let all = evaluated.(pi) in
+                  if Array.length all <> Array.length wanted then
+                    failwith
+                      (Printf.sprintf
+                         "Dataset.generate: offload backend returned %d runs \
+                          for %s, wanted %d"
+                         (Array.length all) spec.Workloads.Spec.name
+                         (Array.length wanted));
+                  let program_digest =
+                    Store.program_digest (Workloads.Mibench.program_of spec)
+                  in
+                  let o3 = all.(0) in
+                  let rs = Array.sub all 1 (Array.length all - 1) in
+                  Array.iteri
+                    (fun i r ->
                       if r.Sim.Xtrem.checksum <> o3.Sim.Xtrem.checksum then
-                        failwith
-                          (Printf.sprintf
-                             "Dataset.generate: %s miscompiled under %s"
-                             spec.Workloads.Spec.name
-                             (Passes.Flags.to_string s));
-                      r)
-                    settings
-                in
-                Obs.Span.event ~parent "dataset.program"
-                  [
-                    ("program", Obs.Json.Str spec.Workloads.Spec.name);
-                    ("dur_s", Obs.Json.Float (Obs.Clock.now_s () -. t0));
-                    ("runs", Obs.Json.Int (1 + Array.length settings));
-                  ];
-                tick spec.Workloads.Spec.name;
-                (program_digest, o3, rs)))
+                        miscompiled spec settings.(i))
+                    rs;
+                  (* Preload the two-tier cache so cross-validation's
+                     out-of-sample lookups and artifact reruns are pure
+                     hits. *)
+                  Array.iter
+                    (fun r ->
+                      Store.Profile_cache.preload cache ~program_digest
+                        ~setting:r.Sim.Xtrem.setting r)
+                    all;
+                  Obs.Span.event ~parent "dataset.program"
+                    [
+                      ("program", Obs.Json.Str spec.Workloads.Spec.name);
+                      ("runs", Obs.Json.Int (Array.length all));
+                      ("offloaded", Obs.Json.Bool true);
+                    ];
+                  tick spec.Workloads.Spec.name;
+                  (program_digest, o3, rs))
+                specs)
       in
       let prog_digests = Array.map (fun (d, _, _) -> d) profiles in
       let o3_runs = Array.map (fun (_, o3, _) -> o3) profiles in

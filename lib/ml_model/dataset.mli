@@ -50,9 +50,23 @@ type t = {
           across domains. *)
 }
 
+type backend =
+  | In_process
+      (** Interpret locally over the domain pool (the default). *)
+  | Offload of
+      ((Workloads.Spec.t * Passes.Flags.setting array) array ->
+       Sim.Xtrem.run array array)
+      (** Delegate the whole interpretation grid to an external
+          evaluator (the cluster coordinator, in practice): called once
+          with every (program, settings-to-profile) group, it must
+          return runs in request order, each carrying the requested
+          setting.  The function type keeps the dependency arrow
+          pointing downward — this library knows nothing of sockets. *)
+
 val generate :
   ?store:Store.t ->
   ?pool:Prelude.Pool.t ->
+  ?backend:backend ->
   ?progress:(string -> unit) ->
   scale ->
   t
@@ -66,7 +80,13 @@ val generate :
     With [store], every profile is resolved through the
     content-addressed store first: a warm store rebuilds the dataset
     bit-identically with {e zero} interpreter runs, and a cold run
-    writes every profile back for the next process. *)
+    writes every profile back for the next process.
+
+    With [backend = Offload f], interpretation goes through [f] instead
+    of the local pool, and the returned runs preload the two-tier cache
+    — the rest of generation (pricing, good sets, distributions) then
+    proceeds locally and bit-identically, so the artifact cannot depend
+    on who evaluated the profiles. *)
 
 val n_programs : t -> int
 val n_uarchs : t -> int

@@ -1,0 +1,47 @@
+(** Exponential backoff with jitter — see backoff.mli for the policy
+    semantics.  Pure arithmetic over an explicit RNG so retry schedules
+    are replayable under a fixed seed. *)
+
+type policy = {
+  base_s : float;
+  factor : float;
+  max_s : float;
+  jitter : float;
+  max_retries : int;
+}
+
+let default =
+  { base_s = 0.05; factor = 2.0; max_s = 2.0; jitter = 0.1; max_retries = 6 }
+
+let validate p =
+  if not (p.base_s > 0.0) then
+    invalid_arg "Backoff: base_s must be positive";
+  if not (p.factor > 0.0) then
+    invalid_arg "Backoff: factor must be positive";
+  if not (p.jitter >= 0.0 && p.jitter <= 1.0) then
+    invalid_arg "Backoff: jitter must lie in [0, 1]";
+  if p.max_retries < 0 then
+    invalid_arg "Backoff: max_retries must be >= 0"
+
+let delay p ~rng ~attempt =
+  validate p;
+  let d = Float.min p.max_s (p.base_s *. (p.factor ** float_of_int attempt)) in
+  let d =
+    if p.jitter = 0.0 then d
+    else d *. (1.0 -. p.jitter +. Rng.float rng (2.0 *. p.jitter))
+  in
+  Float.max 0.0 (Float.min p.max_s d)
+
+let retry p ~rng ~sleep ?(retryable = fun _ -> true) f =
+  validate p;
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+      if attempt >= p.max_retries || not (retryable e) then err
+      else begin
+        sleep (delay p ~rng ~attempt);
+        go (attempt + 1)
+      end
+  in
+  go 0

@@ -1,0 +1,48 @@
+(** Bounded retry with exponential backoff and jitter.
+
+    One policy record shared by every layer that retries — the serve
+    client's 429 handling, the cluster coordinator's task reassignment
+    and the cluster worker's reconnect loop — so "how we back off" is
+    decided once.  Delays are computed from an explicit {!Rng.t}: the
+    jitter stream is as deterministic as its seed, which is what lets
+    the fault-injection tests replay a failure schedule exactly.
+
+    Jitter only perturbs {e when} work is retried, never {e what} it
+    computes, so it sits outside the repository's determinism contract
+    for results. *)
+
+type policy = {
+  base_s : float;  (** Delay before the first retry. *)
+  factor : float;  (** Growth per retry (2.0 = classic doubling). *)
+  max_s : float;  (** Ceiling on any single delay. *)
+  jitter : float;
+      (** Fraction of the delay randomised: the sleep is uniform in
+          [[d*(1-jitter), d*(1+jitter)]], clamped to [max_s].  0 turns
+          jitter off; must lie in [[0, 1]]. *)
+  max_retries : int;  (** Retries after the initial attempt. *)
+}
+
+val default : policy
+(** 50 ms base, doubling, 2 s ceiling, 10% jitter, 6 retries — a few
+    seconds of patience in total, suited to transient overload. *)
+
+val validate : policy -> unit
+(** Raises [Invalid_argument] on non-positive [base_s]/[factor], a
+    [jitter] outside [[0, 1]] or a negative [max_retries]. *)
+
+val delay : policy -> rng:Rng.t -> attempt:int -> float
+(** Sleep before retry number [attempt] (0-based): [base_s * factor^attempt],
+    capped at [max_s], then jittered.  Always >= 0. *)
+
+val retry :
+  policy ->
+  rng:Rng.t ->
+  sleep:(float -> unit) ->
+  ?retryable:('e -> bool) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** [retry policy ~rng ~sleep f] runs [f ~attempt:0]; on [Error e] with
+    [retryable e] (default: everything) it sleeps [delay ~attempt] and
+    tries again, up to [max_retries] retries, returning the last error.
+    [sleep] is explicit because this layer has no clock of its own
+    (callers pass [Thread.delay] or [Unix.sleepf]). *)

@@ -118,6 +118,8 @@ let create ~jobs =
       (fun i -> Domain.spawn (fun () -> worker t ~who:(i + 1) 0));
   t
 
+exception Closed
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.stop <- true;
@@ -125,6 +127,21 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join t.domains;
   t.domains <- [];
+  (* Workers exit on [stop] without draining the async queue; run any
+     leftovers inline so work accepted before shutdown is never
+     silently dropped (same swallow-and-count error semantics as
+     [run_async]). *)
+  let rec drain_rest () =
+    Mutex.lock t.mutex;
+    let task = Queue.take_opt t.tasks in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+      (try task () with _ -> Obs.Metrics.add m_async_errors 1);
+      drain_rest ()
+  in
+  drain_rest ();
   Array.iteri
     (fun i b ->
       Obs.Metrics.set
@@ -182,9 +199,16 @@ let map t f xs = init t (Array.length xs) (fun i -> f xs.(i))
 let submit t task =
   Obs.Metrics.add m_async 1;
   Mutex.lock t.mutex;
-  if t.domains = [] || t.stop then begin
-    (* No workers (jobs = 1, or already shut down): run inline in the
-       submitting thread, preserving the sequential fallback contract. *)
+  if t.stop then begin
+    (* A drained pool refusing work must be loud: silently dropping (or
+       silently running inline) hides lifecycle bugs in callers that
+       race shutdown — the cluster drain path depends on this raise. *)
+    Mutex.unlock t.mutex;
+    raise Closed
+  end
+  else if t.domains = [] then begin
+    (* No workers (jobs = 1): run inline in the submitting thread,
+       preserving the sequential fallback contract. *)
     Mutex.unlock t.mutex;
     task ()
   end

@@ -28,11 +28,17 @@ val create : jobs:int -> t
 val size : t -> int
 (** Total parallelism of the pool, including the submitting domain. *)
 
+exception Closed
+(** Raised by {!submit} after {!shutdown}: a drained pool refuses new
+    work loudly instead of silently dropping or inlining it. *)
+
 val shutdown : t -> unit
-(** Join the worker domains.  The pool must be idle; further use after
-    shutdown falls back to inline sequential execution.  Publishes the
-    per-domain busy times as [pool.domain<i>.busy_s] gauges in
-    {!Obs.Metrics}. *)
+(** Join the worker domains, then run any still-queued {!submit} tasks
+    inline — work accepted before shutdown always executes.  The pool
+    must be idle (no batch in flight); batch use after shutdown falls
+    back to inline sequential execution, while {!submit} raises
+    {!Closed}.  Publishes the per-domain busy times as
+    [pool.domain<i>.busy_s] gauges in {!Obs.Metrics}. *)
 
 val busy_seconds : t -> float array
 (** Cumulative wall seconds each participant (index 0 = the submitting
@@ -56,13 +62,14 @@ val submit : t -> (unit -> unit) -> unit
     execution on a worker domain — the request-dispatch shape used by
     the serving subsystem, complementing the batch-shaped [init]/[map].
     Returns immediately; tasks run in submission order between batches.
-    If the pool has no worker domains (jobs = 1, or after [shutdown]),
-    the task runs inline in the calling thread before [submit] returns.
-    A task must not raise: escaping exceptions are counted in the
-    [pool.async_errors] metric and otherwise swallowed (a detached
-    worker has nowhere meaningful to re-raise), so callers thread their
-    own error channel through the closure.  Tasks still queued when
-    [shutdown] runs are dropped — quiesce submitters first. *)
+    If the pool has no worker domains (jobs = 1), the task runs inline
+    in the calling thread before [submit] returns; after [shutdown] it
+    raises {!Closed} instead.  A task must not raise: escaping
+    exceptions are counted in the [pool.async_errors] metric and
+    otherwise swallowed (a detached worker has nowhere meaningful to
+    re-raise), so callers thread their own error channel through the
+    closure.  Tasks still queued when [shutdown] runs are executed
+    inline by [shutdown] itself before it returns. *)
 
 val pending : t -> int
 (** Number of [submit]ted tasks not yet claimed by a worker — the

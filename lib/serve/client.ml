@@ -6,7 +6,7 @@ module J = Obs.Json
 
 type t = {
   fd : Unix.file_descr;
-  mutable pending : string;  (** Bytes read past the last newline. *)
+  reader : Frame.reader;  (** Bounded line framing over [fd]. *)
 }
 
 let connect address =
@@ -17,40 +17,18 @@ let connect address =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; pending = "" }
+  { fd; reader = Frame.reader fd }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
-  done
-
 let read_line t =
-  let chunk = Bytes.create 8192 in
-  let rec go () =
-    match String.index_opt t.pending '\n' with
-    | Some nl ->
-      let line = String.sub t.pending 0 nl in
-      t.pending <-
-        String.sub t.pending (nl + 1) (String.length t.pending - nl - 1);
-      Ok line
-    | None -> (
-      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
-      | 0 -> Error "connection closed by server"
-      | n ->
-        t.pending <- t.pending ^ Bytes.sub_string chunk 0 n;
-        go ()
-      | exception Unix.Unix_error (e, _, _) ->
-        Error ("read failed: " ^ Unix.error_message e))
-  in
-  go ()
+  match Frame.read t.reader with
+  | Ok line -> Ok line
+  | Error Frame.Closed -> Error "connection closed by server"
+  | Error e -> Error (Frame.error_to_string e)
 
 let request t (j : J.t) : (J.t, string) result =
-  match write_all t.fd (J.to_string j ^ "\n") with
+  match Frame.write_line t.fd (J.to_string j) with
   | () -> (
     match read_line t with
     | Error e -> Error e
@@ -71,9 +49,26 @@ let checked t req =
   in
   Protocol.check_response j
 
-let predict t ~counters ~uarch =
+let predict_once t ~counters ~uarch =
   let* j = checked t (Protocol.Predict { counters; uarch }) in
   Result.map_error (fun e -> (0, e)) (Protocol.prediction_of_json j)
+
+(* The retry jitter stream only decides *when* to knock again, never
+   what is computed, so seeding it from wall time and pid is outside
+   the determinism contract. *)
+let jitter_rng () =
+  Prelude.Rng.create
+    ((Unix.getpid () * 1_000_003)
+    lxor (int_of_float (Unix.gettimeofday () *. 1e6) land max_int))
+
+let predict ?backoff t ~counters ~uarch =
+  match backoff with
+  | None -> predict_once t ~counters ~uarch
+  | Some policy ->
+    let rng = jitter_rng () in
+    Prelude.Backoff.retry policy ~rng ~sleep:Thread.delay
+      ~retryable:(fun (code, _) -> code = 429)
+      (fun ~attempt:_ -> predict_once t ~counters ~uarch)
 
 let health t = checked t Protocol.Health
 let shutdown t = checked t Protocol.Shutdown

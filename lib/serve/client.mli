@@ -17,10 +17,17 @@ val request : t -> Obs.Json.t -> (Obs.Json.t, string) result
     [0] for transport and parse failures. *)
 
 val predict :
+  ?backoff:Prelude.Backoff.policy ->
   t ->
   counters:Sim.Counters.t ->
   uarch:Uarch.Config.t ->
   (Protocol.prediction, int * string) result
+(** With [backoff], a 429 load-shed reply is retried after an
+    exponentially backed-off, jittered sleep ({!Prelude.Backoff}), up
+    to the policy's retry budget; every other error — including
+    transport failures, which would desynchronise a half-read stream —
+    still returns immediately.  Without it, one shot (the historical
+    behaviour). *)
 
 val health : t -> (Obs.Json.t, int * string) result
 (** The server's health document (uptime, request/shed counts, cache

@@ -1,0 +1,90 @@
+(** Bounded newline framing — see frame.mli for the contract. *)
+
+type error =
+  | Oversized of int
+  | Eof_mid_frame
+  | Closed
+  | Io of string
+
+let error_to_string = function
+  | Oversized limit ->
+    Printf.sprintf "frame exceeds %d bytes without a newline" limit
+  | Eof_mid_frame -> "connection closed mid-frame"
+  | Closed -> "connection closed"
+  | Io e -> "read failed: " ^ e
+
+let default_max_frame = 1 lsl 20
+
+type reader = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+}
+
+let reader ?(max_frame = default_max_frame) fd =
+  if max_frame <= 0 then invalid_arg "Frame.reader: max_frame must be > 0";
+  { fd; max_frame; buf = Buffer.create 8192; chunk = Bytes.create 8192 }
+
+(* One complete line out of the buffer, if any; [Ok None] means more
+   bytes are needed.  The frame bound applies to the unterminated tail
+   (streaming case) and, defensively, to a complete line that arrived
+   in one gulp. *)
+let next_buffered r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | Some nl ->
+    if nl > r.max_frame then Error (Oversized r.max_frame)
+    else begin
+      let line = String.sub s 0 nl in
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (nl + 1) (String.length s - nl - 1);
+      Ok (Some line)
+    end
+  | None ->
+    if String.length s > r.max_frame then Error (Oversized r.max_frame)
+    else Ok None
+
+let eof r = if Buffer.length r.buf > 0 then Eof_mid_frame else Closed
+
+let rec read r =
+  match next_buffered r with
+  | Error e -> Error e
+  | Ok (Some line) -> Ok line
+  | Ok None -> (
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 -> Error (eof r)
+    | n ->
+      Buffer.add_subbytes r.buf r.chunk 0 n;
+      read r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read r
+    | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e)))
+
+let poll r ~timeout =
+  match next_buffered r with
+  | Error e -> Error e
+  | Ok (Some line) -> Ok (Some line)
+  | Ok None -> (
+    match Unix.select [ r.fd ] [] [] timeout with
+    | [], _, _ -> Ok None
+    | _ -> (
+      match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+      | 0 -> Error (eof r)
+      | n -> (
+        Buffer.add_subbytes r.buf r.chunk 0 n;
+        match next_buffered r with
+        | Error e -> Error e
+        | Ok line -> Ok line)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok None
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Io (Unix.error_message e)))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok None
+    | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e)))
+
+let write_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done

@@ -1,0 +1,50 @@
+(** Bounded newline framing over a stream socket, shared by the serve
+    protocol and the cluster wire protocol.
+
+    One frame = one line = one JSON document.  The reader buffers
+    partial reads, enforces a per-frame byte bound and turns the three
+    ways a stream can go wrong into distinct, typed errors instead of
+    exceptions — so a malformed peer produces a clean protocol error,
+    never a dead accept loop:
+
+    - {b oversized frame}: more than [max_frame] bytes arrive without a
+      newline (or a single line exceeds the bound);
+    - {b mid-frame EOF}: the peer closes with a partial frame buffered;
+    - {b clean close}: EOF exactly at a frame boundary.
+
+    A reader that has returned [Oversized] is poisoned — there is no
+    way to resynchronise on a stream whose framing was violated — so
+    callers must close the connection. *)
+
+type error =
+  | Oversized of int  (** Frame exceeds this byte bound. *)
+  | Eof_mid_frame  (** Peer closed with a partial frame buffered. *)
+  | Closed  (** Clean EOF at a frame boundary. *)
+  | Io of string  (** Transport error ([Unix] message). *)
+
+val error_to_string : error -> string
+
+val default_max_frame : int
+(** 1 MiB — generous for the serve protocol's largest documents. *)
+
+type reader
+
+val reader : ?max_frame:int -> Unix.file_descr -> reader
+(** A buffered line reader over [fd] (default bound
+    {!default_max_frame}).  The reader owns the read side's buffering,
+    not the descriptor: closing [fd] remains the caller's job. *)
+
+val read : reader -> (string, error) result
+(** Block until one full line is available and return it without its
+    newline.  [Error Closed] on clean EOF. *)
+
+val poll : reader -> timeout:float -> (string option, error) result
+(** Like {!read} but waits at most [timeout] seconds for the descriptor
+    to become readable: [Ok None] when no complete line arrived yet —
+    the select-tick shape the server and coordinator loops use to keep
+    noticing stop flags while idle. *)
+
+val write_line : Unix.file_descr -> string -> unit
+(** Write [line] plus the newline, looping over short writes.  Raises
+    [Unix.Unix_error] like [Unix.write]; the line must not itself
+    contain a newline (that would desynchronise the peer's framing). *)

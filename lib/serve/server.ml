@@ -357,46 +357,39 @@ let write_all fd s =
     off := !off + Unix.write fd b !off (n - !off)
   done
 
-(** Serve one connection: buffered line reads with 250 ms select ticks
-    so the thread notices [stop] even while idle; requests on a
-    connection are processed in order. *)
+(** Serve one connection: bounded line frames ({!Frame}) with 250 ms
+    poll ticks so the thread notices [stop] even while idle; requests
+    on a connection are processed in order.  Framing violations —
+    oversized frame, mid-frame EOF — are protocol errors: the client
+    gets a 400 (when it can still be written to) and the connection
+    closes, leaving the accept loop untouched. *)
 let conn_loop t fd =
-  let chunk = Bytes.create 8192 in
-  let pending = Buffer.create 8192 in
+  let reader = Frame.reader fd in
   let closed = ref false in
-  let process_buffered () =
-    let rec go () =
-      let s = Buffer.contents pending in
-      match String.index_opt s '\n' with
-      | None -> ()
-      | Some nl ->
-        let line = String.sub s 0 nl in
-        Buffer.clear pending;
-        Buffer.add_string pending
-          (String.sub s (nl + 1) (String.length s - nl - 1));
-        let line = String.trim line in
-        if line <> "" then begin
-          let response = handle_line t line in
-          write_all fd (J.to_string response);
-          write_all fd "\n"
-        end;
-        go ()
-    in
-    go ()
-  in
   (try
      while not !closed do
-       (* Answer everything already buffered before blocking again. *)
-       process_buffered ();
        if Atomic.get t.stopping then closed := true
-       else begin
-         match Unix.select [ fd ] [] [] 0.25 with
-         | [], _, _ -> ()
-         | _ -> (
-           match Unix.read fd chunk 0 (Bytes.length chunk) with
-           | 0 -> closed := true
-           | n -> Buffer.add_subbytes pending chunk 0 n)
-       end
+       else
+         match Frame.poll reader ~timeout:0.25 with
+         | Ok None -> ()
+         | Ok (Some line) ->
+           let line = String.trim line in
+           if line <> "" then begin
+             let response = handle_line t line in
+             write_all fd (J.to_string response);
+             write_all fd "\n"
+           end
+         | Error Frame.Closed -> closed := true
+         | Error e ->
+           Atomic.incr t.errors;
+           Obs.Metrics.add m_errors 1;
+           (try
+              write_all fd
+                (J.to_string
+                   (Protocol.error_to_json ~code:400 (Frame.error_to_string e))
+                ^ "\n")
+            with Unix.Unix_error _ | Sys_error _ -> ());
+           closed := true
      done
    with
   | Unix.Unix_error _ | Sys_error _ -> ());

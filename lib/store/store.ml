@@ -270,15 +270,17 @@ let put_run t ~key run =
 
 (* ---- maintenance ------------------------------------------------------ *)
 
-let gc t ~max_bytes =
+let gc ?(dry_run = false) t ~max_bytes =
   if max_bytes < 0 then invalid_arg "Store.gc: max_bytes must be >= 0";
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       let records, temps = scan t.root in
-      (* Orphaned temp files are crash debris: always swept. *)
-      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) temps;
+      (* Orphaned temp files are crash debris: always swept — except in
+         a dry run, which must not touch the filesystem at all. *)
+      if not dry_run then
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) temps;
       let total =
         List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 records
       in
@@ -293,23 +295,32 @@ let gc t ~max_bytes =
       let evicted = ref 0 and remaining = ref total in
       List.iter
         (fun (path, _, sz) ->
-          if !remaining > max_bytes then (
-            try
-              Sys.remove path;
+          if !remaining > max_bytes then
+            if dry_run then begin
               incr evicted;
               remaining := !remaining - sz
-            with Sys_error _ -> ()))
+            end
+            else (
+              try
+                Sys.remove path;
+                incr evicted;
+                remaining := !remaining - sz
+              with Sys_error _ -> ()))
         by_age;
-      t.entries <- List.length records - !evicted;
-      t.bytes <- !remaining;
-      publish t;
-      Obs.Metrics.add m_evictions !evicted;
+      if not dry_run then begin
+        t.entries <- List.length records - !evicted;
+        t.bytes <- !remaining;
+        publish t;
+        Obs.Metrics.add m_evictions !evicted
+      end;
       Obs.Span.event ~level:Obs.Trace.Debug "store.gc"
         [
           ("evicted", J.Int !evicted);
           ("remaining_bytes", J.Int !remaining);
+          ("dry_run", J.Bool dry_run);
         ];
-      (!evicted, { entries = t.entries; bytes = t.bytes }))
+      ( !evicted,
+        { entries = List.length records - !evicted; bytes = !remaining } ))
 
 type verify_report = {
   checked : int;
@@ -394,6 +405,14 @@ module Profile_cache = struct
     Obs.Metrics.set g_ram_entries (float_of_int (Prelude.Lru.size t.ram));
     Mutex.unlock t.mutex;
     kept
+
+  (* Seed both tiers with an externally computed run (a cluster worker's
+     result, say) so subsequent lookups are pure hits.  The stored value
+     is the deterministic profile; lookups rewrite the setting. *)
+  let preload t ~program_digest ~setting run =
+    let key = profile_key ~program_digest ~setting in
+    ignore (admit t key run);
+    Option.iter (fun d -> put_run d ~key run) t.disk
 
   let find_or_compute t ~program_digest ~setting compute =
     let key = profile_key ~program_digest ~setting in

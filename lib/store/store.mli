@@ -85,11 +85,14 @@ type stats = { entries : int; bytes : int }
 val stats : t -> stats
 (** Fresh scan of the object tree (also refreshes the gauges). *)
 
-val gc : t -> max_bytes:int -> int * stats
+val gc : ?dry_run:bool -> t -> max_bytes:int -> int * stats
 (** Delete least-recently-used records (and any orphaned temp files)
     until the store fits [max_bytes]; returns the number of records
     evicted and the remaining stats.  Never corrupts a surviving
-    record. *)
+    record.  With [~dry_run:true] (default false) nothing is deleted or
+    touched: the returned eviction count and stats describe what a real
+    run {e would} do, so operators can preview a bound before
+    committing to it. *)
 
 type verify_report = {
   checked : int;
@@ -141,6 +144,17 @@ module Profile_cache : sig
   (** RAM tier, then disk tier, then [compute] (outside the lock; the
       result is written through to both tiers).  The returned run
       always carries the requested [setting]. *)
+
+  val preload :
+    t ->
+    program_digest:string ->
+    setting:Passes.Flags.setting ->
+    Sim.Xtrem.run ->
+    unit
+  (** Seed both tiers with an externally computed run — how cluster
+      results are merged so the local pipeline then reruns as pure
+      cache hits.  Idempotent; on a race the first admission wins (the
+      values are deterministic and equal). *)
 
   val ram_size : t -> int
   val disk : t -> store option

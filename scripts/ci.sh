@@ -2,8 +2,10 @@
 # Full CI gate, in dependency order: build everything, run the unit
 # suites, then the end-to-end smokes — bench (sequential and parallel
 # engine), trace (JSONL schema round-trip), serve (train -> serve ->
-# query -> drain against a real server) and store (cold -> warm
-# incremental rerun with byte-identical artifacts).  Each stage fails
+# query -> drain against a real server), store (cold -> warm
+# incremental rerun with byte-identical artifacts) and cluster
+# (multi-process train with chaos and a mid-run worker kill, artifact
+# byte-identical to single-process).  Each stage fails
 # fast; a green run is the tier-1 bar for merging.
 #
 # Usage: sh scripts/ci.sh   (or `make ci`)
@@ -31,6 +33,9 @@ make serve-smoke
 
 stage store-smoke
 make store-smoke
+
+stage cluster-smoke
+make cluster-smoke
 
 echo
 echo "ci: OK"

@@ -177,6 +177,124 @@ let test_pool_parallel_work_is_deterministic () =
             Alcotest.failf "results differ at jobs=%d" jobs))
     [ 1; 2; 4 ]
 
+let test_pool_submit_after_shutdown_raises () =
+  let pool = Pool.create ~jobs:2 in
+  let ran = Atomic.make false in
+  Pool.submit pool (fun () -> Atomic.set ran true);
+  Pool.shutdown pool;
+  (* Work accepted before shutdown always executes... *)
+  check Alcotest.bool "queued task ran" true (Atomic.get ran);
+  (* ...but a drained pool refuses new work loudly. *)
+  Alcotest.check_raises "submit after shutdown" Pool.Closed (fun () ->
+      Pool.submit pool (fun () -> ()));
+  (* And keeps refusing: Closed is a permanent state, not a race. *)
+  Alcotest.check_raises "still closed" Pool.Closed (fun () ->
+      Pool.submit pool (fun () -> ()))
+
+let test_pool_shutdown_drains_queue () =
+  (* Saturate a tiny pool with slow tasks so some are still queued when
+     shutdown runs: they must execute inline before shutdown returns. *)
+  let pool = Pool.create ~jobs:2 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 30 do
+    Pool.submit pool (fun () ->
+        Thread.delay 0.005;
+        Atomic.incr hits)
+  done;
+  Pool.shutdown pool;
+  check Alcotest.int "every accepted task ran" 30 (Atomic.get hits);
+  check Alcotest.int "nothing left queued" 0 (Pool.pending pool)
+
+(* ---- Backoff -------------------------------------------------------- *)
+
+let policy ?(base_s = 0.1) ?(factor = 2.0) ?(max_s = 1.0) ?(jitter = 0.0)
+    ?(max_retries = 4) () =
+  { Backoff.base_s; factor; max_s; jitter; max_retries }
+
+let test_backoff_validate () =
+  Backoff.validate Backoff.default;
+  List.iter
+    (fun p ->
+      match Backoff.validate p with
+      | () -> Alcotest.fail "accepted an invalid policy"
+      | exception Invalid_argument _ -> ())
+    [
+      policy ~base_s:0.0 ();
+      policy ~factor:0.0 ();
+      policy ~jitter:1.5 ();
+      policy ~jitter:(-0.1) ();
+      policy ~max_retries:(-1) ();
+    ]
+
+let test_backoff_delay_schedule () =
+  (* Without jitter the schedule is exactly base * factor^attempt,
+     capped at max_s. *)
+  let p = policy () in
+  let rng = Rng.create 1 in
+  check (Alcotest.float 1e-9) "attempt 0" 0.1 (Backoff.delay p ~rng ~attempt:0);
+  check (Alcotest.float 1e-9) "attempt 1" 0.2 (Backoff.delay p ~rng ~attempt:1);
+  check (Alcotest.float 1e-9) "attempt 2" 0.4 (Backoff.delay p ~rng ~attempt:2);
+  check (Alcotest.float 1e-9) "capped" 1.0 (Backoff.delay p ~rng ~attempt:9)
+
+let test_backoff_jitter_bounded_and_deterministic () =
+  let p = policy ~jitter:0.5 () in
+  let play seed =
+    let rng = Rng.create seed in
+    List.init 100 (fun i -> Backoff.delay p ~rng ~attempt:(i mod 5))
+  in
+  List.iteri
+    (fun i d ->
+      let attempt = i mod 5 in
+      let base = Float.min (0.1 *. (2.0 ** float_of_int attempt)) 1.0 in
+      if d < 0.0 then Alcotest.failf "negative delay %f" d;
+      if d > 1.0 +. 1e-9 then Alcotest.failf "delay %f above max_s" d;
+      if Float.abs (d -. base) > (0.5 *. base) +. 1e-9 then
+        Alcotest.failf "delay %f outside jitter band of %f" d base)
+    (play 7);
+  check Alcotest.bool "same seed, same delays" true (play 7 = play 7);
+  check Alcotest.bool "different seed, different delays" true
+    (play 7 <> play 8)
+
+let test_backoff_retry_counts_attempts () =
+  let p = policy ~base_s:0.001 ~max_s:0.002 ~max_retries:3 () in
+  let rng = Rng.create 2 in
+  let slept = ref [] in
+  let sleep d = slept := d :: !slept in
+  (* Exhausting the budget: initial attempt + max_retries retries. *)
+  let calls = ref 0 in
+  (match
+     Backoff.retry p ~rng ~sleep (fun ~attempt ->
+         check Alcotest.int "attempt number" !calls attempt;
+         incr calls;
+         Error "nope")
+   with
+  | Ok () -> Alcotest.fail "cannot succeed"
+  | Error e -> check Alcotest.string "last error" "nope" e);
+  check Alcotest.int "initial + retries" 4 !calls;
+  check Alcotest.int "one sleep per retry" 3 (List.length !slept);
+  (* Success stops the retries immediately. *)
+  let calls = ref 0 in
+  (match
+     Backoff.retry p ~rng ~sleep (fun ~attempt:_ ->
+         incr calls;
+         if !calls < 3 then Error "transient" else Ok "done")
+   with
+  | Ok v -> check Alcotest.string "value" "done" v
+  | Error _ -> Alcotest.fail "should have succeeded");
+  check Alcotest.int "stopped on success" 3 !calls;
+  (* A non-retryable error returns without sleeping again. *)
+  let calls = ref 0 in
+  (match
+     Backoff.retry p ~rng ~sleep
+       ~retryable:(fun e -> e <> `Fatal)
+       (fun ~attempt:_ ->
+         incr calls;
+         Error `Fatal)
+   with
+  | Ok _ -> Alcotest.fail "cannot succeed"
+  | Error `Fatal -> ());
+  check Alcotest.int "fatal error not retried" 1 !calls
+
 (* ---- Fenwick -------------------------------------------------------- *)
 
 let test_fenwick_against_naive () =
@@ -471,6 +589,17 @@ let () =
           quick "exception lowest index" test_pool_exception_lowest_index;
           quick "nested use rejected" test_pool_nested_use_rejected;
           quick "deterministic across widths" test_pool_parallel_work_is_deterministic;
+          quick "submit after shutdown raises Closed"
+            test_pool_submit_after_shutdown_raises;
+          quick "shutdown drains the queue" test_pool_shutdown_drains_queue;
+        ] );
+      ( "backoff",
+        [
+          quick "validate" test_backoff_validate;
+          quick "delay schedule" test_backoff_delay_schedule;
+          quick "jitter bounded and deterministic"
+            test_backoff_jitter_bounded_and_deterministic;
+          quick "retry counts attempts" test_backoff_retry_counts_attempts;
         ] );
       ( "fenwick",
         [

@@ -447,6 +447,119 @@ let test_server_tcp_ephemeral_port () =
           | Ok _ -> ()
           | Error (_, e) -> Alcotest.failf "health over TCP failed: %s" e))
 
+(* ---- framing robustness ------------------------------------------------ *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let frame_error = function
+  | Ok (s : string) -> Printf.sprintf "ok %S" s
+  | Error e -> Serve.Frame.error_to_string e
+
+let test_frame_oversized () =
+  with_socketpair (fun a b ->
+      let reader = Serve.Frame.reader ~max_frame:16 a in
+      (* More than max_frame bytes without a newline: the reader must
+         report Oversized instead of buffering forever. *)
+      let writer =
+        Thread.create (fun () -> Serve.Frame.write_line b (String.make 64 'x')) ()
+      in
+      (match Serve.Frame.read reader with
+      | Error (Serve.Frame.Oversized n) ->
+        check Alcotest.int "reports its bound" 16 n
+      | other -> Alcotest.failf "expected oversized, got %s" (frame_error other));
+      Thread.join writer)
+
+let test_frame_eof_mid_frame () =
+  with_socketpair (fun a b ->
+      let reader = Serve.Frame.reader a in
+      (* A partial line then close: distinct from a clean close. *)
+      let n = Unix.write_substring b "partial without newline" 0 23 in
+      check Alcotest.int "wrote the fragment" 23 n;
+      Unix.close b;
+      match Serve.Frame.read reader with
+      | Error Serve.Frame.Eof_mid_frame -> ()
+      | other ->
+        Alcotest.failf "expected eof-mid-frame, got %s" (frame_error other))
+
+let test_frame_clean_close () =
+  with_socketpair (fun a b ->
+      let reader = Serve.Frame.reader a in
+      Serve.Frame.write_line b "one complete line";
+      Unix.close b;
+      (match Serve.Frame.read reader with
+      | Ok line -> check Alcotest.string "line" "one complete line" line
+      | Error e -> Alcotest.failf "read failed: %s" (Serve.Frame.error_to_string e));
+      match Serve.Frame.read reader with
+      | Error Serve.Frame.Closed -> ()
+      | other -> Alcotest.failf "expected closed, got %s" (frame_error other))
+
+let test_frame_poll_times_out () =
+  with_socketpair (fun a b ->
+      let reader = Serve.Frame.reader a in
+      (match Serve.Frame.poll reader ~timeout:0.05 with
+      | Ok None -> ()
+      | other -> Alcotest.failf "expected no line yet, got %s"
+                   (match other with
+                   | Ok (Some s) -> Printf.sprintf "ok %S" s
+                   | Ok None -> "ok none"
+                   | Error e -> Serve.Frame.error_to_string e));
+      Serve.Frame.write_line b "late";
+      match Serve.Frame.poll reader ~timeout:1.0 with
+      | Ok (Some line) -> check Alcotest.string "line arrives" "late" line
+      | Ok None -> Alcotest.fail "line not seen"
+      | Error e -> Alcotest.failf "poll failed: %s" (Serve.Frame.error_to_string e))
+
+let test_server_survives_garbage_and_oversized () =
+  (* A client that violates the protocol gets a clean error (or a
+     dropped connection for an oversized line) and the server keeps
+     serving everyone else. *)
+  let artifact = artifact_of (Lazy.force dataset42) in
+  with_server artifact (fun _server address ->
+      let raw line =
+        let fd =
+          Unix.socket
+            (Unix.domain_of_sockaddr (Serve.Protocol.sockaddr address))
+            Unix.SOCK_STREAM 0
+        in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Serve.Protocol.sockaddr address);
+            (try Serve.Frame.write_line fd line
+             with Unix.Unix_error _ -> ());
+            let reader = Serve.Frame.reader fd in
+            Serve.Frame.read reader)
+      in
+      (match raw "this is not json" with
+      | Ok reply ->
+        (match J.of_string reply with
+        | Ok j -> (
+          match Option.bind (J.member "code" j) J.to_int with
+          | Some code ->
+            check Alcotest.bool "4xx error" true (code >= 400 && code < 500)
+          | None -> Alcotest.fail "error reply lacks code")
+        | Error e -> Alcotest.failf "unparseable error reply: %s" e)
+      | Error e ->
+        Alcotest.failf "no reply to garbage: %s"
+          (Serve.Frame.error_to_string e));
+      (* An oversized line: the server must not die.  It may answer or
+         just drop the connection; either way the next client works. *)
+      ignore (raw (String.make (Serve.Frame.default_max_frame + 64) 'j'));
+      let client = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          match Serve.Client.health client with
+          | Ok _ -> ()
+          | Error (_, e) ->
+            Alcotest.failf "server died after protocol abuse: %s" e))
+
 let test_server_sheds_load () =
   let artifact = artifact_of (Lazy.force dataset42) in
   (* One worker, no queue: while a sleep occupies the slot, any predict
@@ -486,6 +599,49 @@ let test_server_sheds_load () =
             match Option.bind (J.member "shed" h) J.to_int with
             | Some shed -> check Alcotest.bool "shed counted" true (shed >= 1)
             | None -> Alcotest.fail "health lacks shed")))
+
+let test_client_retries_429_until_capacity () =
+  let artifact = artifact_of (Lazy.force dataset42) in
+  (* Saturate the single slot, then predict with a retry budget that
+     outlives the sleeper: the client must absorb the 429s and land the
+     request once capacity frees up. *)
+  with_server ~jobs:1 ~queue:0 ~cache:0 ~admin:true artifact
+    (fun _server address ->
+      let sleeper =
+        Thread.create
+          (fun () ->
+            let c = Serve.Client.connect address in
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () -> ignore (Serve.Client.sleep c 0.6)))
+          ()
+      in
+      Thread.delay 0.2;
+      let counters = some_counters () and uarch = some_uarch () in
+      let client = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close client;
+          Thread.join sleeper)
+        (fun () ->
+          (* Without a budget the saturated server sheds immediately. *)
+          (match Serve.Client.predict client ~counters ~uarch with
+          | Error (429, _) -> ()
+          | Ok _ -> Alcotest.fail "expected an immediate 429"
+          | Error (code, e) -> Alcotest.failf "expected 429, got %d: %s" code e);
+          let backoff =
+            {
+              Prelude.Backoff.base_s = 0.05;
+              factor = 2.0;
+              max_s = 0.4;
+              jitter = 0.1;
+              max_retries = 8;
+            }
+          in
+          match Serve.Client.predict ~backoff client ~counters ~uarch with
+          | Ok _ -> ()
+          | Error (code, e) ->
+            Alcotest.failf "retries never landed: %d %s" code e))
 
 let test_server_graceful_drain () =
   let artifact = artifact_of (Lazy.force dataset42) in
@@ -566,14 +722,26 @@ let () =
           Alcotest.test_case "error responses" `Quick
             test_protocol_error_responses;
         ] );
+      ( "frame",
+        [
+          Alcotest.test_case "oversized frame" `Quick test_frame_oversized;
+          Alcotest.test_case "eof mid-frame" `Quick test_frame_eof_mid_frame;
+          Alcotest.test_case "clean close" `Quick test_frame_clean_close;
+          Alcotest.test_case "poll times out" `Quick
+            test_frame_poll_times_out;
+        ] );
       ( "server",
         [
           Alcotest.test_case "concurrent queries, bit-identical" `Slow
             test_server_concurrent_bit_identical;
           Alcotest.test_case "tcp ephemeral port" `Slow
             test_server_tcp_ephemeral_port;
+          Alcotest.test_case "survives garbage and oversized frames" `Slow
+            test_server_survives_garbage_and_oversized;
           Alcotest.test_case "sheds load when saturated" `Slow
             test_server_sheds_load;
+          Alcotest.test_case "client retries 429 until capacity" `Slow
+            test_client_retries_429_until_capacity;
           Alcotest.test_case "graceful drain" `Slow
             test_server_graceful_drain;
         ] );

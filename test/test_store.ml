@@ -314,6 +314,21 @@ let test_concurrent_writers () =
 
 (* ---- garbage collection ----------------------------------------------- *)
 
+let distinct_settings n seed =
+  let rng = Prelude.Rng.create seed in
+  let seen = Hashtbl.create 16 in
+  Array.init n (fun _ ->
+      let rec fresh () =
+        let s = F.random rng in
+        if Hashtbl.mem seen (F.cache_key s) then fresh ()
+        else begin
+          Hashtbl.add seen (F.cache_key s) ();
+          s
+        end
+      in
+      fresh ())
+
+
 let test_gc_oldest_first () =
   let dir = tmp_dir "gc" in
   let st = Store.open_ ~dir in
@@ -374,21 +389,46 @@ let test_gc_oldest_first () =
   check Alcotest.int "gc to zero empties" 0 empty.Store.entries;
   check Alcotest.int "remaining evicted" (5 - evicted) evicted_all
 
-(* ---- two-tier profile cache ------------------------------------------- *)
+let test_gc_dry_run_deletes_nothing () =
+  let dir = tmp_dir "gc_dry" in
+  let st = Store.open_ ~dir in
+  let p = program "sha" in
+  let pd = Store.program_digest p in
+  let settings = distinct_settings 4 29 in
+  Array.iter
+    (fun s ->
+      Store.put_run st
+        ~key:(Store.profile_key ~program_digest:pd ~setting:s)
+        (X.profile_of ~setting:s p))
+    settings;
+  let before = Store.stats st in
+  let bound = before.Store.bytes / 2 in
+  let would_evict, projected = Store.gc ~dry_run:true st ~max_bytes:bound in
+  (* The dry run reports the plan... *)
+  check Alcotest.bool "would evict some" true (would_evict >= 1);
+  check Alcotest.int "projected entries"
+    (before.Store.entries - would_evict)
+    projected.Store.entries;
+  check Alcotest.bool "projected bytes under bound" true
+    (projected.Store.bytes <= bound);
+  (* ...but touches nothing on disk. *)
+  let after = Store.stats st in
+  check Alcotest.int "entries untouched" before.Store.entries
+    after.Store.entries;
+  check Alcotest.int "bytes untouched" before.Store.bytes after.Store.bytes;
+  Array.iter
+    (fun s ->
+      let key = Store.profile_key ~program_digest:pd ~setting:s in
+      check Alcotest.bool "record still present" true
+        (Store.find_run st ~key <> None))
+    settings;
+  (* A real gc then enacts exactly the dry run's plan. *)
+  let evicted, stats = Store.gc st ~max_bytes:bound in
+  check Alcotest.int "real gc evicts the planned count" would_evict evicted;
+  check Alcotest.int "real gc lands on the projection"
+    projected.Store.entries stats.Store.entries
 
-let distinct_settings n seed =
-  let rng = Prelude.Rng.create seed in
-  let seen = Hashtbl.create 16 in
-  Array.init n (fun _ ->
-      let rec fresh () =
-        let s = F.random rng in
-        if Hashtbl.mem seen (F.cache_key s) then fresh ()
-        else begin
-          Hashtbl.add seen (F.cache_key s) ();
-          s
-        end
-      in
-      fresh ())
+(* ---- two-tier profile cache ------------------------------------------- *)
 
 let test_profile_cache_ram_bound () =
   let cache = Store.Profile_cache.create ~ram_capacity:2 () in
@@ -510,7 +550,10 @@ let () =
           quick "concurrent writers" test_concurrent_writers;
         ] );
       ( "gc",
-        [ quick "oldest first, size bound" test_gc_oldest_first ] );
+        [
+          quick "oldest first, size bound" test_gc_oldest_first;
+          quick "dry run deletes nothing" test_gc_dry_run_deletes_nothing;
+        ] );
       ( "profile cache",
         [
           quick "RAM tier bounded" test_profile_cache_ram_bound;

@@ -6,7 +6,10 @@
 # traced bench and validates the JSONL against the schema via
 # `portopt report` (see docs/observability.md); `serve-smoke` does a
 # full train -> serve -> concurrent query -> shutdown round trip
-# against a real server process (see docs/serving.md); `store-smoke`
+# against a real server process (see docs/serving.md); `index-smoke`
+# serves the same model under --index scan and --index vptree and
+# diffs the predictions — the VP-tree path must be byte-identical to
+# the exhaustive scan (see docs/model.md); `store-smoke`
 # proves a warm evaluation store reruns `train` incrementally with a
 # byte-identical artifact (see docs/architecture.md); `cluster-smoke`
 # proves `train --workers N` over real worker processes is
@@ -14,14 +17,15 @@
 # worker kill -9'd mid-run (see docs/cluster.md).  Smoke outputs
 # land under results/ (gitignored), never in the repo root.
 
-.PHONY: check ci bench-smoke trace-smoke serve-smoke store-smoke \
-	cluster-smoke bench clean
+.PHONY: check ci bench-smoke trace-smoke serve-smoke index-smoke \
+	store-smoke cluster-smoke bench clean
 
 check:
 	dune build @all
 	dune runtest
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) index-smoke
 	$(MAKE) store-smoke
 	$(MAKE) cluster-smoke
 
@@ -41,6 +45,10 @@ trace-smoke:
 serve-smoke:
 	dune build bin/portopt.exe
 	sh scripts/serve_smoke.sh
+
+index-smoke:
+	dune build bin/portopt.exe
+	sh scripts/index_smoke.sh
 
 store-smoke:
 	dune build bin/portopt.exe

@@ -71,6 +71,10 @@ let experiments : (string * string * (unit -> unit)) list =
       "substrate validation: analytic cache model vs exact LRU simulation",
       fun () -> print_string (Experiments.Validation.render ()) );
     ("micro", "bechamel micro-benchmarks of the pipeline", Micro.run);
+    ( "predict",
+      "prediction core: legacy scan vs flat scan vs vptree vs batch, \
+       self-checking (results/BENCH_predict.json)",
+      fun () -> Predict_bench.run () );
     ( "serve",
       "serving: artifact save/load + server latency/throughput \
        (results/BENCH_serve.json)",

@@ -13,7 +13,7 @@ let percentile sorted p =
 
 let latency_stats samples =
   let s = Array.copy samples in
-  Array.sort compare s;
+  Array.sort Float.compare s;
   let mean =
     if Array.length s = 0 then 0.0
     else Array.fold_left ( +. ) 0.0 s /. float_of_int (Array.length s)
@@ -131,10 +131,12 @@ let run ctx =
       Printf.printf
         "latency: cold p50 %.2fms, cached p50 %.2fms; throughput: %.0f \
          req/s (%d clients x %d requests)\n"
-        (percentile (let s = Array.copy cold in Array.sort compare s; s) 0.5
+        (percentile
+           (let s = Array.copy cold in Array.sort Float.compare s; s)
+           0.5
         *. 1e3)
         (percentile
-           (let s = Array.copy cached in Array.sort compare s; s)
+           (let s = Array.copy cached in Array.sort Float.compare s; s)
            0.5
         *. 1e3)
         rps threads per_thread;

@@ -837,21 +837,29 @@ let address_term =
   Term.(const mk $ socket $ host $ port)
 
 let serve_cmd =
-  let run () model_path address jobs queue cache admin =
+  let run () model_path address jobs queue cache admin engine =
     let artifact = load_artifact model_path in
     let config =
-      { Serve.Server.address; jobs; queue; cache_capacity = cache; admin }
+      {
+        Serve.Server.address;
+        jobs;
+        queue;
+        cache_capacity = cache;
+        admin;
+        engine;
+      }
     in
     let server = Serve.Server.start ~artifact config in
     let on_signal _ = Serve.Server.stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
     Printf.printf
-      "portopt serve: listening on %s (%d training pairs, jobs %d, queue \
-       %d, cache %d%s)\n\
+      "portopt serve: listening on %s (%d training pairs, index %s, jobs \
+       %d, queue %d, cache %d%s)\n\
        %!"
       (Serve.Protocol.address_to_string (Serve.Server.address server))
       (Ml_model.Model.n_points artifact.Serve.Artifact.model)
+      (Ml_model.Predict.engine_to_string engine)
       jobs queue cache
       (if admin then ", admin" else "");
     Serve.Server.wait server;
@@ -884,6 +892,22 @@ let serve_cmd =
          & info [ "admin" ]
              ~doc:"Honour the shutdown and sleep ops (otherwise 403).")
   in
+  let engine =
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("vptree", Ml_model.Predict.Vptree);
+                  ("scan", Ml_model.Predict.Scan);
+                ])
+             Ml_model.Predict.Vptree
+         & info [ "index" ] ~docv:"KIND"
+             ~doc:
+               "k-nearest-neighbour engine: $(b,vptree) (the metric index \
+                frozen in the artifact; default) or $(b,scan) (flat linear \
+                scan fallback).  Answers are bit-identical either way; \
+                only throughput differs.")
+  in
   let man =
     [
       `S Manpage.s_description;
@@ -895,6 +919,13 @@ let serve_cmd =
          beyond $(b,--jobs) + $(b,--queue) concurrently admitted \
          requests the server answers 429 instead of queueing unboundedly.";
       `P
+        "Neighbour search runs on the VP-tree metric index frozen in the \
+         artifact ($(b,--index vptree), the default) or on a flat linear \
+         scan ($(b,--index scan)); the two are bit-identical, so the \
+         flag only trades throughput.  A $(b,predict_batch) request \
+         carries a vector of queries, occupies one admission slot and is \
+         computed as one worker-pool task.";
+      `P
         "SIGINT/SIGTERM (or an admin $(b,shutdown) op) start a graceful \
          drain: in-flight requests complete and are answered before the \
          process exits.  $(b,{\"op\":\"health\"}) reports uptime, \
@@ -905,10 +936,30 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve predictions from a model artifact" ~man)
     Term.(const run $ obs_term "serve" $ model $ address_term $ jobs $ queue
-          $ cache $ admin)
+          $ cache $ admin $ engine)
 
 let query_cmd =
-  let run () prog u address health shutdown sleep_s =
+  let print_prediction name u (p : Serve.Protocol.prediction) =
+    Printf.printf "predicted passes for %s on %s:\n  %s\n" name
+      (Uarch.Config.to_string u) p.Serve.Protocol.flags;
+    Printf.printf "served in %.2f ms (%s, %d neighbours)\n"
+      p.Serve.Protocol.latency_ms
+      (if p.Serve.Protocol.cached then "cache hit" else "computed")
+      (Array.length p.Serve.Protocol.neighbours)
+  in
+  let counters_of name u =
+    let program =
+      Workloads.Mibench.program_of (Workloads.Mibench.by_name name)
+    in
+    let r = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+    let v = Sim.Xtrem.time r u in
+    v.Sim.Pipeline.counters
+  in
+  let server_error (code, msg) =
+    Printf.eprintf "portopt: server error %d: %s\n" code msg;
+    exit (if code = 429 then 3 else 1)
+  in
+  let run () progs batch u address health shutdown sleep_s =
     let client =
       try Serve.Client.connect address
       with Unix.Unix_error (e, _, _) ->
@@ -933,41 +984,51 @@ let query_cmd =
           match sleep_s with
           | Some s -> raw (Serve.Client.sleep client s)
           | None -> (
-            let name =
-              match prog with
-              | Some name -> name
-              | None ->
-                Printf.eprintf
-                  "portopt: query needs a PROGRAM (or --health, \
-                   --shutdown, --sleep)\n";
-                exit 2
-            in
-            let program =
-              Workloads.Mibench.program_of (Workloads.Mibench.by_name name)
-            in
-            let r = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
-            let v = Sim.Xtrem.time r u in
-            match
-              Serve.Client.predict client ~counters:v.Sim.Pipeline.counters
-                ~uarch:u
-            with
-            | Error (code, msg) ->
-              Printf.eprintf "portopt: server error %d: %s\n" code msg;
-              exit (if code = 429 then 3 else 1)
-            | Ok p ->
-              Printf.printf "predicted passes for %s on %s:\n  %s\n" name
-                (Uarch.Config.to_string u)
-                p.Serve.Protocol.flags;
-              Printf.printf
-                "served in %.2f ms (%s, %d neighbours)\n"
-                p.Serve.Protocol.latency_ms
-                (if p.Serve.Protocol.cached then "cache hit" else "computed")
-                (Array.length p.Serve.Protocol.neighbours)))
+            match (progs, batch) with
+            | [], _ ->
+              Printf.eprintf
+                "portopt: query needs a PROGRAM (or --health, \
+                 --shutdown, --sleep)\n";
+              exit 2
+            | _ :: _ :: _, false ->
+              Printf.eprintf
+                "portopt: multiple programs need --batch\n";
+              exit 2
+            | [ name ], false -> (
+              match
+                Serve.Client.predict client ~counters:(counters_of name u)
+                  ~uarch:u
+              with
+              | Error e -> server_error e
+              | Ok p -> print_prediction name u p)
+            | names, true -> (
+              let names = Array.of_list names in
+              let queries =
+                Array.map (fun name -> (counters_of name u, u)) names
+              in
+              match Serve.Client.predict_batch client queries with
+              | Error e -> server_error e
+              | Ok results ->
+                Array.iteri
+                  (fun i p -> print_prediction names.(i) u p)
+                  results;
+                Printf.printf "batch of %d served in one request\n"
+                  (Array.length results))))
   in
-  let prog =
-    Arg.(value & pos 0 (some string) None
+  let progs =
+    Arg.(value & pos_all string []
          & info [] ~docv:"PROGRAM"
-             ~doc:"Benchmark to profile locally and query for.")
+             ~doc:
+               "Benchmark(s) to profile locally and query for; several \
+                need $(b,--batch).")
+  in
+  let batch =
+    Arg.(value & flag
+         & info [ "batch" ]
+             ~doc:
+               "Send all PROGRAMs as one $(b,predict_batch) request: one \
+                admission slot, one worker-pool task, one response line, \
+                answers bit-identical to querying one by one.")
   in
   let health =
     Arg.(value & flag
@@ -994,12 +1055,18 @@ let query_cmd =
          them to a running $(b,portopt serve) instance and prints the \
          predicted optimisation setting.  Exit status 3 means the \
          server shed the request (429).";
+      `P
+        "With $(b,--batch), several workloads are profiled locally and \
+         sent as a single $(b,predict_batch) request; the server \
+         computes the cache misses as one worker-pool task and answers \
+         in program order.  Predictions are bit-identical to querying \
+         each program separately.";
     ]
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Query a running prediction server" ~man)
-    Term.(const run $ obs_term "query" $ prog $ uarch_term $ address_term
-          $ health $ shutdown $ sleep_s)
+    Term.(const run $ obs_term "query" $ progs $ batch $ uarch_term
+          $ address_term $ health $ shutdown $ sleep_s)
 
 let report_cmd =
   let run file =

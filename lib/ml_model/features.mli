@@ -28,3 +28,13 @@ val normalise : normaliser -> float array -> float array
 
 val distance : float array -> float array -> float
 (** Euclidean — the d(.,.) of equation (6). *)
+
+val distance_to_row : float array -> dim:int -> row:int -> float array -> float
+(** [distance_to_row data ~dim ~row q] — {!distance} between the
+    [row]-th row of the row-major flattened matrix [data] and [q],
+    bit-identical to the unflattened form (same float-op order).  The
+    flat kernel behind {!Vptree}'s leaf visits and scan fallback: no
+    tuple allocation, no polymorphic compare, no per-row array
+    indirection.  Unsafe reads — the caller must guarantee
+    [Array.length q = dim] and [(row + 1) * dim <= Array.length data]
+    (the index validates both once per search). *)

@@ -16,6 +16,9 @@ type t = {
   normaliser : Features.normaliser;
   features : float array array;  (** Normalised; one row per point. *)
   distributions : Distribution.t array;
+  index : Vptree.t;
+      (** Metric index over [features], built once here (or reloaded
+          from the artifact) and shared by every prediction. *)
 }
 
 let default_k = 7
@@ -45,22 +48,36 @@ let train ?(k = default_k) ?(beta = default_beta) ?mask
     Array.map (fun p -> apply_mask mask p.Dataset.features_raw) selected
   in
   let normaliser = Features.fit_normaliser raw in
+  let features = Array.map (Features.normalise normaliser) raw in
   {
     k;
     beta;
     mask;
     normaliser;
-    features = Array.map (Features.normalise normaliser) raw;
+    features;
+    index = Vptree.build features;
     distributions = Array.map (fun p -> p.Dataset.distribution) selected;
   }
 
 (** Full prediction (neighbours, mixture, mode) for raw features [x].
     The kNN/softmax math lives in {!Predict}; this is the single entry
-    every consumer — cross-validation, CLI, server — funnels through. *)
-let predict_full t x =
+    every consumer — cross-validation, CLI, server — funnels through.
+    [engine] picks the neighbour search (default the VP-tree; [Scan] is
+    the linear fallback) — both are bit-identical by contract. *)
+let predict_full ?(engine = Predict.Vptree) t x =
   let xn = Features.normalise t.normaliser (apply_mask t.mask x) in
-  Predict.run ~k:t.k ~beta:t.beta ~points:t.features
+  Predict.run_indexed ~engine ~k:t.k ~beta:t.beta ~index:t.index
     ~distributions:t.distributions xn
+
+(** Batch prediction: one normalisation pass and one shared search
+    scratch over the whole query vector.  Element [i] is bit-identical
+    to [predict_full t xs.(i)]. *)
+let predict_batch ?(engine = Predict.Vptree) t xs =
+  let normalised =
+    Array.map (fun x -> Features.normalise t.normaliser (apply_mask t.mask x)) xs
+  in
+  Predict.run_batch ~engine ~k:t.k ~beta:t.beta ~index:t.index
+    ~distributions:t.distributions normalised
 
 (** The predictive distribution q(y|x) at the test point, for raw
     features [x]. *)
@@ -78,6 +95,11 @@ type repr = {
   r_normaliser : Features.normaliser;
   r_features : float array array;
   r_distributions : Distribution.t array;
+  r_index : Vptree.node option;
+      (** Frozen metric-tree shape.  [None] (a version-1 artifact, or a
+          hand-built repr) rebuilds the index deterministically from
+          [r_features] on import — structurally identical, just paying
+          the build again. *)
 }
 
 let export t =
@@ -88,6 +110,7 @@ let export t =
     r_normaliser = t.normaliser;
     r_features = t.features;
     r_distributions = t.distributions;
+    r_index = Some (Vptree.root t.index);
   }
 
 (** Validate a deserialised representation and rebuild the model.
@@ -159,19 +182,29 @@ let import r =
         | Some m when Array.length m <> Features.dim Features.Base
                       && Array.length m <> Features.dim Features.Extended ->
           fail "mask length %d matches no feature space" (Array.length m)
-        | _ ->
-          Ok
-            {
-              k = r.r_k;
-              beta = r.r_beta;
-              mask = r.r_mask;
-              normaliser = r.r_normaliser;
-              features = r.r_features;
-              distributions = r.r_distributions;
-            })
+        | _ -> (
+          let index =
+            match r.r_index with
+            | None -> Ok (Vptree.build r.r_features)
+            | Some root -> Vptree.of_root ~rows:r.r_features root
+          in
+          match index with
+          | Error m -> Error ("model: " ^ m)
+          | Ok index ->
+            Ok
+              {
+                k = r.r_k;
+                beta = r.r_beta;
+                mask = r.r_mask;
+                normaliser = r.r_normaliser;
+                features = r.r_features;
+                distributions = r.r_distributions;
+                index;
+              }))
     end
   end
 
 let n_points t = Array.length t.features
 let k t = t.k
 let beta t = t.beta
+let index t = t.index

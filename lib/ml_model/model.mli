@@ -30,11 +30,20 @@ val train :
     normalised against the selected training pairs.  Raises
     [Invalid_argument] if no pair is selected. *)
 
-val predict_full : t -> float array -> Predict.result
+val predict_full : ?engine:Predict.engine -> t -> float array -> Predict.result
 (** Full prediction — nearest neighbours, mixture distribution and its
     mode — for {e raw} (unnormalised) features [x].  The single shared
     kNN/softmax implementation ({!Predict}) behind {!predict},
-    cross-validation and the prediction server. *)
+    cross-validation and the prediction server.  [engine] selects the
+    neighbour search (default [Vptree]; [Scan] is the linear fallback);
+    results are bit-identical either way. *)
+
+val predict_batch :
+  ?engine:Predict.engine -> t -> float array array -> Predict.result array
+(** Predict a vector of raw feature queries, amortising the search
+    scratch across the batch.  Element [i] is bit-identical to
+    [predict_full t xs.(i)] — batching changes throughput, never
+    answers. *)
 
 val predictive_distribution : t -> float array -> Distribution.t
 (** The predictive distribution q(y|x) for {e raw} (unnormalised)
@@ -56,6 +65,10 @@ type repr = {
   r_normaliser : Features.normaliser;
   r_features : float array array;  (** Normalised rows, one per pair. *)
   r_distributions : Distribution.t array;
+  r_index : Vptree.node option;
+      (** Frozen metric-tree shape.  [None] — a version-1 artifact —
+          rebuilds the (deterministic, structurally identical) index
+          from [r_features] on import. *)
 }
 
 val export : t -> repr
@@ -70,3 +83,7 @@ val n_points : t -> int
 
 val k : t -> int
 val beta : t -> float
+
+val index : t -> Vptree.t
+(** The model's metric index — exposed for the prediction bench and the
+    scan-vs-tree property tests. *)

@@ -10,7 +10,15 @@
     as the historical in-model implementation produced them) and
     normalisation is left to {!Distribution.mix} — this keeps every
     float operation in the same order, so predictions stay bit-identical
-    to the pre-refactor code path. *)
+    to the pre-refactor code path.
+
+    Neighbour search runs on one of two engines over the model's
+    {!Vptree} index: [Scan], a flat linear sweep, and [Vptree], the
+    pruned metric-tree search.  Both rank candidates under the same
+    (distance, then index) total order and compute distances with the
+    same flat kernel, so their results — and therefore the predictions
+    built from them — are bit-identical; the property tests enforce
+    this on every tested query. *)
 
 type neighbour = {
   index : int;  (** Row into the training matrix / distribution array. *)
@@ -26,14 +34,30 @@ type result = {
   setting : Passes.Flags.setting;  (** Its mode — equation (1). *)
 }
 
-(** K nearest rows of [points] to the (already normalised) query [xn].
-    Distances tie-break on index via the same polymorphic sort the
-    model always used, so neighbour order is reproducible. *)
+type engine = Scan | Vptree
+
+let engine_to_string = function Scan -> "scan" | Vptree -> "vptree"
+
+let engine_of_string = function
+  | "scan" -> Some Scan
+  | "vptree" -> Some Vptree
+  | _ -> None
+
+(** K nearest rows of [points] to the (already normalised) query [xn] —
+    the row-matrix reference implementation the indexed engines are
+    tested against.  The sort tie-breaks on index with an explicit
+    [Float.compare]-then-index comparator: the order the historical
+    polymorphic [compare] on [(float, int)] tuples produced on finite
+    data, minus the NaN hazard and the boxing. *)
 let neighbours ~k ~beta (points : float array array) xn =
   let n = Array.length points in
   if n = 0 then invalid_arg "Predict.neighbours: no training points";
   let dist = Array.init n (fun i -> (Features.distance points.(i) xn, i)) in
-  Array.sort compare dist;
+  Array.sort
+    (fun (d1, i1) (d2, i2) ->
+      let c = Float.compare d1 d2 in
+      if c <> 0 then c else Int.compare i1 i2)
+    dist;
   let k = min k n in
   let sel = Array.sub dist 0 k in
   (* Shift by the minimum distance for numerical stability; the shift
@@ -49,8 +73,37 @@ let mixture ns (distributions : Distribution.t array) =
     (Array.to_list
        (Array.map (fun nb -> (nb.weight, distributions.(nb.index))) ns))
 
-(** Full prediction for a normalised query point. *)
-let run ~k ~beta ~points ~distributions xn =
-  let ns = neighbours ~k ~beta points xn in
+let result_of ns distributions =
   let distribution = mixture ns distributions in
   { neighbours = ns; distribution; setting = Distribution.mode distribution }
+
+(** Full prediction for a normalised query point (reference scan over
+    the row matrix). *)
+let run ~k ~beta ~points ~distributions xn =
+  result_of (neighbours ~k ~beta points xn) distributions
+
+(** Full prediction through the metric index: identical math as {!run},
+    with the neighbour search delegated to the chosen {!Vptree}
+    engine. *)
+let run_indexed ?scratch ~engine ~k ~beta ~index ~distributions xn =
+  let search = match engine with Scan -> Vptree.scan_knn | Vptree -> Vptree.knn in
+  let idxs, dists = search ?scratch index ~k xn in
+  let dmin = dists.(0) in
+  let ns =
+    Array.init (Array.length idxs) (fun j ->
+        let d = dists.(j) in
+        { index = idxs.(j); distance = d; weight = exp (-.beta *. (d -. dmin)) })
+  in
+  result_of ns distributions
+
+(** Predict a vector of queries, amortising the search scratch (the
+    candidate heap the engines fill) across the whole batch.  Each
+    query is predicted independently, so the results are bit-identical
+    to mapping {!run_indexed} — or {!run} — over the queries one by
+    one; the batch form exists to cut allocation here and, via the
+    server, to feed the worker pool one task instead of N. *)
+let run_batch ~engine ~k ~beta ~index ~distributions queries =
+  let scratch = Vptree.scratch () in
+  Array.map
+    (fun xn -> run_indexed ~scratch ~engine ~k ~beta ~index ~distributions xn)
+    queries

@@ -25,9 +25,14 @@ let compact counts =
       Hashtbl.replace merged b
         (c + Option.value (Hashtbl.find_opt merged b) ~default:0))
     counts;
+  (* Explicit int comparator on the distance key (the keys of a
+     hashtable, hence unique) — not polymorphic [compare] on the
+     tuples, which boxes through the generic path on this hot
+     histogram-merge loop. *)
   let entries =
     Hashtbl.fold (fun d c acc -> (d, c) :: acc) merged []
-    |> List.sort compare |> Array.of_list
+    |> List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
+    |> Array.of_list
   in
   entries
 

@@ -2,11 +2,12 @@
 
     Freezes a trained {!Ml_model.Model} — per-pair multinomial
     distributions (equations 2–5), normalised feature rows, the feature
-    scaler and the K/beta hyperparameters — into a two-line file:
+    scaler, the K/beta hyperparameters and (since version 2) the
+    VP-tree metric index — into a two-line file:
 
     {v
-    {"magic":"portopt-model","version":1,"checksum":"fnv1a64:...","bytes":N}
-    {"k":7,"beta":1.0,"space":"base","mask":null,"normaliser":...}
+    {"magic":"portopt-model","version":2,"checksum":"fnv1a64:...","bytes":N}
+    {"k":7,"beta":1.0,"space":"base","mask":null,"normaliser":...,"index":...}
     v}
 
     The header carries an FNV-1a 64 checksum and the byte length of the
@@ -16,7 +17,12 @@
     making a loaded model's predictions bit-identical to the model that
     was saved.  [load] validates the schema version, the checksum and
     every structural invariant ({!Ml_model.Model.import}) and returns a
-    human-readable error on any mismatch. *)
+    human-readable error on any mismatch.
+
+    Versioning is minor-compatible downwards: this build writes
+    version 2 and still loads version-1 files (no ["index"] field),
+    rebuilding the — deterministic, hence structurally identical —
+    index from the feature rows on load. *)
 
 module J = Obs.Json
 
@@ -29,7 +35,7 @@ type t = {
 }
 
 let magic = "portopt-model"
-let version = 1
+let version = 2
 
 (* ---- checksum --------------------------------------------------------- *)
 
@@ -70,6 +76,21 @@ let space_of_string = function
 let floats a = J.List (Array.to_list (Array.map (fun f -> J.Float f) a))
 let float_rows m = J.List (Array.to_list (Array.map floats m))
 
+(* The frozen VP-tree, shape-for-shape: a JSON list is a leaf (its row
+   indices), an object is a split.  Only the tree shape is stored — the
+   row data is the "features" matrix the tree indexes. *)
+let rec index_to_json = function
+  | Ml_model.Vptree.Leaf idxs ->
+    J.List (Array.to_list (Array.map (fun i -> J.Int i) idxs))
+  | Ml_model.Vptree.Split { vp; mu; inner; outer } ->
+    J.Obj
+      [
+        ("vp", J.Int vp);
+        ("mu", J.Float mu);
+        ("in", index_to_json inner);
+        ("out", index_to_json outer);
+      ]
+
 let payload_json t =
   let r = Ml_model.Model.export t.model in
   let means, stds = r.Ml_model.Model.r_normaliser in
@@ -88,6 +109,10 @@ let payload_json t =
         J.List
           (Array.to_list
              (Array.map float_rows r.Ml_model.Model.r_distributions)) );
+      ( "index",
+        match r.Ml_model.Model.r_index with
+        | None -> J.Null
+        | Some root -> index_to_json root );
       ("meta", J.Obj t.meta);
     ]
 
@@ -146,6 +171,26 @@ let float_matrix j =
     if List.length out = List.length rows then Some (Array.of_list out)
     else None
 
+let rec index_of_json j =
+  match j with
+  | J.List items ->
+    let idxs = List.filter_map J.to_int items in
+    if List.length idxs <> List.length items then
+      Error "malformed \"index\" leaf"
+    else Ok (Ml_model.Vptree.Leaf (Array.of_list idxs))
+  | J.Obj _ ->
+    let* vp = field "vp" J.to_int j in
+    let* mu = field "mu" J.to_float j in
+    let child name =
+      match J.member name j with
+      | None -> Error (Printf.sprintf "missing %S field in \"index\" split" name)
+      | Some c -> index_of_json c
+    in
+    let* inner = child "in" in
+    let* outer = child "out" in
+    Ok (Ml_model.Vptree.Split { vp; mu; inner; outer })
+  | _ -> Error "malformed \"index\" field"
+
 let parse_payload text =
   let* j =
     Result.map_error (fun e -> "payload is not valid JSON: " ^ e)
@@ -180,6 +225,14 @@ let parse_payload text =
       if List.length out = List.length rows then Ok (Array.of_list out)
       else Error "malformed \"distributions\" field"
   in
+  let* index =
+    (* Absent (version 1) and explicit null both mean "rebuild": the
+       build is deterministic, so the reloaded model is structurally
+       identical either way, it just pays the construction again. *)
+    match J.member "index" j with
+    | None | Some J.Null -> Ok None
+    | Some ij -> Result.map Option.some (index_of_json ij)
+  in
   let meta =
     match J.member "meta" j with Some (J.Obj fields) -> fields | _ -> []
   in
@@ -192,6 +245,7 @@ let parse_payload text =
         r_normaliser = (means, stds);
         r_features = features;
         r_distributions = distributions;
+        r_index = index;
       }
   in
   Ok { model; space; meta }
@@ -229,9 +283,9 @@ let load ~path =
       | Error e -> err "malformed header: %s" e
       | Ok (m, _, _, _) when m <> magic ->
         err "not a portopt model artifact (magic %S)" m
-      | Ok (_, v, _, _) when v <> version ->
-        err "unsupported artifact version %d (this build reads version %d)" v
-          version
+      | Ok (_, v, _, _) when v < 1 || v > version ->
+        err "unsupported artifact version %d (this build reads versions 1-%d)"
+          v version
       | Ok (_, _, _, bytes) when String.length payload < bytes ->
         err "truncated file (header promises %d payload bytes, found %d)"
           bytes (String.length payload)

@@ -2,12 +2,15 @@
 
     A `.pcm` (portable compiler model) file freezes one trained
     {!Ml_model.Model} — per-pair multinomial distributions, normalised
-    feature rows, the feature scaler and K/beta — as two JSON lines: a
-    header carrying magic, schema version, FNV-1a 64 checksum and
-    payload byte length, then the payload itself.  Floats round-trip
-    bit-exactly, so a loaded model predicts bit-identically to the one
-    that was saved; loading is pure deserialisation and runs orders of
-    magnitude faster than retraining. *)
+    feature rows, the feature scaler, K/beta and (since version 2) the
+    VP-tree metric index — as two JSON lines: a header carrying magic,
+    schema version, FNV-1a 64 checksum and payload byte length, then
+    the payload itself.  Floats round-trip bit-exactly, so a loaded
+    model predicts bit-identically to the one that was saved; loading
+    is pure deserialisation and runs orders of magnitude faster than
+    retraining.  Version-1 files (no frozen index) still load — the
+    index build is deterministic, so it is simply rebuilt from the
+    feature rows. *)
 
 type t = {
   model : Ml_model.Model.t;
@@ -20,7 +23,10 @@ type t = {
 }
 
 val magic : string
+
 val version : int
+(** The version [save] writes (2).  [load] accepts versions 1 to
+    [version]. *)
 
 val fnv1a64 : string -> string
 (** ["fnv1a64:<16 hex digits>"] ({!Prelude.Fnv.tagged_string}) —

@@ -13,7 +13,16 @@ let connect address =
   let sa = Protocol.sockaddr address in
   let domain = Unix.domain_of_sockaddr sa in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd sa
+  (try
+     Unix.connect fd sa;
+     (* Request/response framing: Nagle would stall each round trip on
+        a delayed ACK, so disable it on TCP (meaningless on Unix
+        sockets). *)
+     match address with
+     | Protocol.Tcp _ -> (
+       try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ())
+     | Protocol.Unix_path _ -> ()
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
@@ -69,6 +78,17 @@ let predict ?backoff t ~counters ~uarch =
     Prelude.Backoff.retry policy ~rng ~sleep:Thread.delay
       ~retryable:(fun (code, _) -> code = 429)
       (fun ~attempt:_ -> predict_once t ~counters ~uarch)
+
+let predict_batch t queries =
+  let* j = checked t (Protocol.Predict_batch { queries }) in
+  match Protocol.batch_of_json j with
+  | Error e -> Error (0, e)
+  | Ok results when Array.length results <> Array.length queries ->
+    Error
+      ( 0,
+        Printf.sprintf "batch response has %d results for %d queries"
+          (Array.length results) (Array.length queries) )
+  | Ok results -> Ok results
 
 let health t = checked t Protocol.Health
 let shutdown t = checked t Protocol.Shutdown

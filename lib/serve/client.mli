@@ -29,6 +29,17 @@ val predict :
     still returns immediately.  Without it, one shot (the historical
     behaviour). *)
 
+val predict_batch :
+  t ->
+  (Sim.Counters.t * Uarch.Config.t) array ->
+  (Protocol.prediction array, int * string) result
+(** One [predict_batch] round trip: the whole query vector in one
+    request line, answered in query order by one response line.  The
+    server admits the batch as a single slot and computes the cache
+    misses as a single pool task, so a batch costs one queue position
+    instead of N.  All-or-nothing: a malformed query or a shed batch
+    fails the whole call. *)
+
 val health : t -> (Obs.Json.t, int * string) result
 (** The server's health document (uptime, request/shed counts, cache
     stats, queue depth, model shape). *)

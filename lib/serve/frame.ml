@@ -15,47 +15,76 @@ let error_to_string = function
 
 let default_max_frame = 1 lsl 20
 
+(* Flat byte buffer with a scan cursor: live data occupies [0, len),
+   and [0, scanned) is known to hold no newline, so each arriving
+   chunk is scanned exactly once and the cost of a frame is linear in
+   its size — a Buffer.contents-per-chunk implementation re-copies and
+   re-scans the whole accumulation on every read, which turns the
+   multi-chunk frames of predict_batch quadratic. *)
 type reader = {
   fd : Unix.file_descr;
   max_frame : int;
-  buf : Buffer.t;
-  chunk : Bytes.t;
+  mutable buf : Bytes.t;
+  mutable len : int;  (** Bytes of live data at the front of [buf]. *)
+  mutable scanned : int;  (** No ['\n'] anywhere in [\[0, scanned)]. *)
 }
 
 let reader ?(max_frame = default_max_frame) fd =
   if max_frame <= 0 then invalid_arg "Frame.reader: max_frame must be > 0";
-  { fd; max_frame; buf = Buffer.create 8192; chunk = Bytes.create 8192 }
+  { fd; max_frame; buf = Bytes.create 8192; len = 0; scanned = 0 }
 
 (* One complete line out of the buffer, if any; [Ok None] means more
    bytes are needed.  The frame bound applies to the unterminated tail
    (streaming case) and, defensively, to a complete line that arrived
-   in one gulp. *)
+   in one gulp.  Stale bytes may linger at positions >= len, so a
+   newline found there does not count. *)
 let next_buffered r =
-  let s = Buffer.contents r.buf in
-  match String.index_opt s '\n' with
+  let nl =
+    match Bytes.index_from_opt r.buf r.scanned '\n' with
+    | Some p when p < r.len -> Some p
+    | Some _ | None -> None
+  in
+  match nl with
   | Some nl ->
     if nl > r.max_frame then Error (Oversized r.max_frame)
     else begin
-      let line = String.sub s 0 nl in
-      Buffer.clear r.buf;
-      Buffer.add_substring r.buf s (nl + 1) (String.length s - nl - 1);
+      let line = Bytes.sub_string r.buf 0 nl in
+      let rest = r.len - nl - 1 in
+      Bytes.blit r.buf (nl + 1) r.buf 0 rest;
+      r.len <- rest;
+      r.scanned <- 0;
       Ok (Some line)
     end
   | None ->
-    if String.length s > r.max_frame then Error (Oversized r.max_frame)
-    else Ok None
+    r.scanned <- r.len;
+    if r.len > r.max_frame then Error (Oversized r.max_frame) else Ok None
 
-let eof r = if Buffer.length r.buf > 0 then Eof_mid_frame else Closed
+let eof r = if r.len > 0 then Eof_mid_frame else Closed
+
+(* Make room for at least one more chunk at the tail.  Only reached
+   when the buffered tail is within the frame bound (next_buffered
+   errors first otherwise), so capacity stays <= max_frame + 8192. *)
+let chunk_size = 8192
+
+let ensure_space r =
+  if Bytes.length r.buf - r.len < chunk_size then begin
+    let nbuf = Bytes.create (max (2 * Bytes.length r.buf) (r.len + chunk_size)) in
+    Bytes.blit r.buf 0 nbuf 0 r.len;
+    r.buf <- nbuf
+  end
+
+let refill r n = r.len <- r.len + n
 
 let rec read r =
   match next_buffered r with
   | Error e -> Error e
   | Ok (Some line) -> Ok line
   | Ok None -> (
-    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    ensure_space r;
+    match Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
     | 0 -> Error (eof r)
     | n ->
-      Buffer.add_subbytes r.buf r.chunk 0 n;
+      refill r n;
       read r
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> read r
     | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e)))
@@ -68,10 +97,11 @@ let poll r ~timeout =
     match Unix.select [ r.fd ] [] [] timeout with
     | [], _, _ -> Ok None
     | _ -> (
-      match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+      ensure_space r;
+      match Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
       | 0 -> Error (eof r)
       | n -> (
-        Buffer.add_subbytes r.buf r.chunk 0 n;
+        refill r n;
         match next_buffered r with
         | Error e -> Error e
         | Ok line -> Ok line)

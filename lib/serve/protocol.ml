@@ -89,14 +89,25 @@ let uarch_of_json j =
 
 type request =
   | Predict of { counters : Sim.Counters.t; uarch : Uarch.Config.t }
+  | Predict_batch of { queries : (Sim.Counters.t * Uarch.Config.t) array }
+      (** One admission slot, one pool task, one response line for the
+          whole vector. *)
   | Health
   | Shutdown
   | Sleep of float  (** Admin/test op: hold a worker for the duration. *)
+
+(** Largest accepted [predict_batch] vector — keeps a single request
+    line (and the server's single-task pool occupancy) bounded. *)
+let max_batch = 512
 
 let counters_to_json c =
   J.List
     (Array.to_list
        (Array.map (fun f -> J.Float f) (Sim.Counters.to_array c)))
+
+let query_to_json (counters, uarch) =
+  J.Obj
+    [ ("counters", counters_to_json counters); ("uarch", uarch_to_json uarch) ]
 
 let request_to_json ?id req =
   let id = match id with None -> [] | Some i -> [ ("id", J.Int i) ] in
@@ -108,6 +119,11 @@ let request_to_json ?id req =
         ("counters", counters_to_json counters);
         ("uarch", uarch_to_json uarch);
       ]
+    | Predict_batch { queries } ->
+      [
+        ("op", J.Str "predict_batch");
+        ("queries", J.List (Array.to_list (Array.map query_to_json queries)));
+      ]
     | Health -> [ ("op", J.Str "health") ]
     | Shutdown -> [ ("op", J.Str "shutdown") ]
     | Sleep s -> [ ("op", J.Str "sleep"); ("seconds", J.Float s) ]
@@ -118,6 +134,32 @@ let request_to_json ?id req =
     can pipeline. *)
 let request_id j =
   match J.member "id" j with Some (J.Int _ as i) -> Some i | _ -> None
+
+(* Parse one (counters, uarch) query object — shared by "predict" and
+   each element of "predict_batch".  Rejects non-finite counter values
+   up front (JSON can smuggle an infinity in as e.g. 1e999): a NaN or
+   infinite feature vector would otherwise poison the prediction cache
+   and produce a garbage neighbour search, so it is a typed 400 here
+   rather than undefined behaviour downstream. *)
+let query_of_json j =
+  match Option.bind (J.member "counters" j) J.to_list with
+  | None -> Error "missing or malformed \"counters\" field"
+  | Some items -> (
+    let floats = List.filter_map J.to_float items in
+    if List.length floats <> List.length items then
+      Error "non-numeric counter value"
+    else if List.exists (fun f -> not (Float.is_finite f)) floats then
+      Error "non-finite counter value"
+    else
+      match Sim.Counters.of_array (Array.of_list floats) with
+      | exception Invalid_argument e -> Error e
+      | counters -> (
+        match J.member "uarch" j with
+        | None -> Error "missing \"uarch\" field"
+        | Some u -> (
+          match uarch_of_json u with
+          | Error e -> Error e
+          | Ok uarch -> Ok (counters, uarch))))
 
 let request_of_json j =
   let op =
@@ -136,22 +178,30 @@ let request_of_json j =
     in
     Ok (Sleep seconds)
   | "predict" -> (
-    match Option.bind (J.member "counters" j) J.to_list with
-    | None -> Error "predict: missing or malformed \"counters\" field"
-    | Some items -> (
-      let floats = List.filter_map J.to_float items in
-      if List.length floats <> List.length items then
-        Error "predict: non-numeric counter value"
-      else
-        match Sim.Counters.of_array (Array.of_list floats) with
-        | exception Invalid_argument e -> Error ("predict: " ^ e)
-        | counters -> (
-          match J.member "uarch" j with
-          | None -> Error "predict: missing \"uarch\" field"
-          | Some u -> (
-            match uarch_of_json u with
-            | Error e -> Error ("predict: " ^ e)
-            | Ok uarch -> Ok (Predict { counters; uarch })))))
+    match query_of_json j with
+    | Error e -> Error ("predict: " ^ e)
+    | Ok (counters, uarch) -> Ok (Predict { counters; uarch }))
+  | "predict_batch" -> (
+    match Option.bind (J.member "queries" j) J.to_list with
+    | None -> Error "predict_batch: missing or malformed \"queries\" field"
+    | Some [] -> Error "predict_batch: empty \"queries\" list"
+    | Some items when List.length items > max_batch ->
+      Error
+        (Printf.sprintf "predict_batch: %d queries, but a batch holds at \
+                         most %d"
+           (List.length items) max_batch)
+    | Some items ->
+      (* All-or-nothing: one malformed query fails the whole batch with
+         its position, so a client never has to match partial results
+         back to inputs. *)
+      let rec parse i acc = function
+        | [] -> Ok (Predict_batch { queries = Array.of_list (List.rev acc) })
+        | q :: rest -> (
+          match query_of_json q with
+          | Error e -> Error (Printf.sprintf "predict_batch: query %d: %s" i e)
+          | Ok pair -> parse (i + 1) (pair :: acc) rest)
+      in
+      parse 0 [] items)
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 (* ---- responses -------------------------------------------------------- *)
@@ -172,29 +222,41 @@ type prediction = {
 let with_id id fields =
   match id with None -> fields | Some i -> ("id", i) :: fields
 
+let prediction_fields p =
+  [
+    ( "passes",
+      J.List (Array.to_list (Array.map (fun v -> J.Int v) p.setting)) );
+    ("flags", J.Str p.flags);
+    ( "neighbours",
+      J.List
+        (Array.to_list
+           (Array.map
+              (fun nb ->
+                J.Obj
+                  [
+                    ("index", J.Int nb.index);
+                    ("distance", J.Float nb.distance);
+                    ("weight", J.Float nb.weight);
+                  ])
+              p.neighbours)) );
+    ("latency_ms", J.Float p.latency_ms);
+    ("cached", J.Bool p.cached);
+  ]
+
 let prediction_to_json ?id p =
+  J.Obj (with_id id (("ok", J.Bool true) :: prediction_fields p))
+
+(** Batch response: one ["results"] element per query, in query order,
+    each shaped like a single prediction response (minus [ok]/[id]). *)
+let batch_to_json ?id ps =
   J.Obj
     (with_id id
        [
          ("ok", J.Bool true);
-         ( "passes",
-           J.List
-             (Array.to_list (Array.map (fun v -> J.Int v) p.setting)) );
-         ("flags", J.Str p.flags);
-         ( "neighbours",
+         ( "results",
            J.List
              (Array.to_list
-                (Array.map
-                   (fun nb ->
-                     J.Obj
-                       [
-                         ("index", J.Int nb.index);
-                         ("distance", J.Float nb.distance);
-                         ("weight", J.Float nb.weight);
-                       ])
-                   p.neighbours)) );
-         ("latency_ms", J.Float p.latency_ms);
-         ("cached", J.Bool p.cached);
+                (Array.map (fun p -> J.Obj (prediction_fields p)) ps)) );
        ])
 
 let prediction_of_json j =
@@ -241,6 +303,19 @@ let prediction_of_json j =
     match J.member "cached" j with Some (J.Bool b) -> b | _ -> false
   in
   Ok { setting; flags; neighbours; latency_ms; cached }
+
+let batch_of_json j =
+  match Option.bind (J.member "results" j) J.to_list with
+  | None -> Error "response: missing \"results\" field"
+  | Some items ->
+    let rec parse i acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | r :: rest -> (
+        match prediction_of_json r with
+        | Error e -> Error (Printf.sprintf "result %d: %s" i e)
+        | Ok p -> parse (i + 1) (p :: acc) rest)
+    in
+    parse 0 [] items
 
 let error_to_json ?id ~code msg =
   J.Obj

@@ -15,16 +15,28 @@ val uarch_of_json : Obs.Json.t -> (Uarch.Config.t, string) result
 
 type request =
   | Predict of { counters : Sim.Counters.t; uarch : Uarch.Config.t }
+  | Predict_batch of { queries : (Sim.Counters.t * Uarch.Config.t) array }
+      (** A vector of queries answered as one response line ("results",
+          in query order) — the server admits the whole batch as one
+          slot and computes it as one pool task. *)
   | Health
   | Shutdown  (** Admin op: trigger a graceful drain. *)
   | Sleep of float
       (** Admin/test op: hold a worker for the duration (clamped to
           [0, 60] seconds) — used to exercise load shedding. *)
 
+val max_batch : int
+(** Largest accepted [predict_batch] vector (512); larger batches are
+    rejected with a 400. *)
+
 val counters_to_json : Sim.Counters.t -> Obs.Json.t
 val request_to_json : ?id:int -> request -> Obs.Json.t
+
 val request_of_json : Obs.Json.t -> (request, string) result
-(** Missing ["op"] defaults to ["predict"]. *)
+(** Missing ["op"] defaults to ["predict"].  Counter vectors containing
+    non-finite values (NaN or an infinity smuggled in as e.g. [1e999])
+    are rejected here, before they can reach the model or the
+    prediction cache. *)
 
 val request_id : Obs.Json.t -> Obs.Json.t option
 (** The ["id"] field to echo into the response, when present. *)
@@ -46,6 +58,12 @@ type prediction = {
 val prediction_to_json : ?id:Obs.Json.t -> prediction -> Obs.Json.t
 val prediction_of_json : Obs.Json.t -> (prediction, string) result
 (** Validates the setting with {!Passes.Flags.validate}. *)
+
+val batch_to_json : ?id:Obs.Json.t -> prediction array -> Obs.Json.t
+(** [{"ok":true,"results":[...]}] — one element per query, in query
+    order, each shaped like a single prediction response. *)
+
+val batch_of_json : Obs.Json.t -> (prediction array, string) result
 
 val error_to_json : ?id:Obs.Json.t -> code:int -> string -> Obs.Json.t
 (** [code] follows HTTP conventions: 400 malformed, 403 admin op

@@ -33,10 +33,20 @@ type config = {
   queue : int;  (** Admitted requests beyond [jobs] before shedding. *)
   cache_capacity : int;  (** LRU entries; 0 disables the cache. *)
   admin : bool;  (** Honour [shutdown]/[sleep] ops. *)
+  engine : Ml_model.Predict.engine;
+      (** Neighbour-search engine ([--index]); answers are bit-identical
+          either way, only throughput differs. *)
 }
 
 let default_config address =
-  { address; jobs = 2; queue = 64; cache_capacity = 512; admin = false }
+  {
+    address;
+    jobs = 2;
+    queue = 64;
+    cache_capacity = 512;
+    admin = false;
+    engine = Ml_model.Predict.Vptree;
+  }
 
 type cached = {
   c_setting : Passes.Flags.setting;
@@ -109,13 +119,33 @@ let ivar_await iv =
 (** Cache key: the raw feature vector on a 1e-6 grid.  Counter rates
     are O(1) and descriptors are log2-scaled (<= 17), so the grid is
     ~7 significant digits — collisions require inputs closer than any
-    physically distinguishable pair of profiles. *)
+    physically distinguishable pair of profiles.
+
+    Two audited edge cases: [-0.0] quantises to the same key as [0.0]
+    (both round to a zero whose [Int64] is [0L], so the same physical
+    point never splits into two LRU entries), and non-finite or
+    Int64-overflowing values — whose [Int64.of_float] is unspecified —
+    key on their exact bit pattern instead, so a hostile vector cannot
+    poison the cache with an unpredictable key.  (The protocol layer
+    already rejects non-finite counters with a 400; this is the defence
+    behind the defence.) *)
 let quantise (features : float array) =
   let buf = Buffer.create 128 in
   Array.iter
     (fun f ->
-      Buffer.add_string buf
-        (Int64.to_string (Int64.of_float (Float.round (f *. 1e6))));
+      (let scaled = Float.round (f *. 1e6) in
+       if Float.abs scaled < 9.2e18 then
+         (* In Int64 range: the 1e-6 grid cell.  Float.round maps both
+            0.0 and -0.0 (and their whole grid cell) to a zero whose
+            Int64 is 0L, so signed zeros share one key. *)
+         Buffer.add_string buf (Int64.to_string (Int64.of_float scaled))
+       else begin
+         (* NaN, infinities, or magnitudes beyond Int64 — conversion
+            would be unspecified, so key on the exact bit pattern
+            instead (deterministic, and still collision-free). *)
+         Buffer.add_char buf '#';
+         Buffer.add_string buf (Int64.to_string (Int64.bits_of_float f))
+       end);
       Buffer.add_char buf ';')
     features;
   Buffer.contents buf
@@ -206,6 +236,8 @@ let health_json t =
                 (match t.artifact.Artifact.space with
                 | Ml_model.Features.Base -> "base"
                 | Ml_model.Features.Extended -> "extended") );
+            ( "index",
+              J.Str (Ml_model.Predict.engine_to_string t.config.engine) );
           ] );
       ("meta", J.Obj t.artifact.Artifact.meta);
     ]
@@ -263,7 +295,8 @@ let predict_response t ~id ~t0 counters uarch =
         (fun () ->
           match
             on_pool t (fun () ->
-                Ml_model.Model.predict_full t.artifact.Artifact.model features)
+                Ml_model.Model.predict_full ~engine:t.config.engine
+                  t.artifact.Artifact.model features)
           with
           | Ok r ->
             Obs.Metrics.add m_predictions 1;
@@ -288,6 +321,97 @@ let predict_response t ~id ~t0 counters uarch =
             Obs.Metrics.add m_errors 1;
             Protocol.error_to_json ?id ~code:500
               ("prediction failed: " ^ Printexc.to_string e))
+
+(** Answer a query vector: per-query cache probes first, then the
+    cache misses as {e one} admission slot and {e one} pool task — the
+    batch amortisation the wire op exists for.  Results come back in
+    query order; each element is bit-identical to what the single-query
+    path would have produced (same model entry point). *)
+let predict_batch_response t ~id ~t0 queries =
+  let n = Array.length queries in
+  let features =
+    Array.map
+      (fun (counters, uarch) ->
+        Ml_model.Features.raw t.artifact.Artifact.space counters uarch)
+      queries
+  in
+  let keys = Array.map quantise features in
+  let hits = Array.map (cache_get t) keys in
+  let miss_idx = ref [] in
+  Array.iteri
+    (fun i hit -> if hit = None then miss_idx := i :: !miss_idx)
+    hits;
+  let miss_idx = Array.of_list (List.rev !miss_idx) in
+  if Array.length miss_idx = 0 then begin
+    let latency_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    Protocol.batch_to_json ?id
+      (Array.map
+         (fun hit ->
+           match hit with
+           | None -> assert false
+           | Some c ->
+             {
+               Protocol.setting = c.c_setting;
+               flags = c.c_flags;
+               neighbours = c.c_neighbours;
+               latency_ms;
+               cached = true;
+             })
+         hits)
+  end
+  else if not (try_admit t) then begin
+    Atomic.incr t.shed;
+    Obs.Metrics.add m_shed 1;
+    Protocol.error_to_json ?id ~code:429
+      "overloaded: admission queue full, retry later"
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> release t)
+      (fun () ->
+        let miss_features = Array.map (fun i -> features.(i)) miss_idx in
+        match
+          on_pool t (fun () ->
+              Ml_model.Model.predict_batch ~engine:t.config.engine
+                t.artifact.Artifact.model miss_features)
+        with
+        | Ok results ->
+          Obs.Metrics.add m_predictions (Array.length results);
+          Array.iteri
+            (fun slot (r : Ml_model.Predict.result) ->
+              let i = miss_idx.(slot) in
+              let c =
+                {
+                  c_setting = r.Ml_model.Predict.setting;
+                  c_flags = Passes.Flags.to_string r.Ml_model.Predict.setting;
+                  c_neighbours = wire_neighbours r.Ml_model.Predict.neighbours;
+                }
+              in
+              cache_put t keys.(i) c;
+              hits.(i) <- Some c)
+            results;
+          let latency_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          let was_hit = Array.make n true in
+          Array.iter (fun i -> was_hit.(i) <- false) miss_idx;
+          Protocol.batch_to_json ?id
+            (Array.mapi
+               (fun i hit ->
+                 match hit with
+                 | None -> assert false
+                 | Some c ->
+                   {
+                     Protocol.setting = c.c_setting;
+                     flags = c.c_flags;
+                     neighbours = c.c_neighbours;
+                     latency_ms;
+                     cached = was_hit.(i);
+                   })
+               hits)
+        | Error e ->
+          Atomic.incr t.errors;
+          Obs.Metrics.add m_errors 1;
+          Protocol.error_to_json ?id ~code:500
+            ("prediction failed: " ^ Printexc.to_string e))
 
 let stop t = Atomic.set t.stopping true
 
@@ -337,7 +461,9 @@ let handle_line t line =
               in
               (J.Obj fields, "sleep"))
       | Ok (Protocol.Predict { counters; uarch }) ->
-        (predict_response t ~id ~t0 counters uarch, "predict"))
+        (predict_response t ~id ~t0 counters uarch, "predict")
+      | Ok (Protocol.Predict_batch { queries }) ->
+        (predict_batch_response t ~id ~t0 queries, "predict_batch"))
   in
   let dur = Unix.gettimeofday () -. t0 in
   Obs.Metrics.observe h_request_seconds dur;
@@ -403,6 +529,14 @@ let accept_loop t =
     | _ -> (
       match Unix.accept t.listen_fd with
       | fd, _ ->
+        (* One request line, one response line: Nagle's algorithm only
+           adds delayed-ACK stalls (tens of ms per round trip) to this
+           traffic shape, so turn it off on TCP connections. *)
+        (match t.config.address with
+        | Protocol.Tcp _ -> (
+          try Unix.setsockopt fd Unix.TCP_NODELAY true
+          with Unix.Unix_error _ -> ())
+        | Protocol.Unix_path _ -> ());
         Obs.Metrics.add m_connections 1;
         ignore (Atomic.fetch_and_add t.live_conns 1);
         ignore (Thread.create (conn_loop t) fd)

@@ -16,10 +16,22 @@ type config = {
   cache_capacity : int;  (** LRU entries; [0] disables the cache. *)
   admin : bool;
       (** Honour the [shutdown] and [sleep] ops (otherwise 403). *)
+  engine : Ml_model.Predict.engine;
+      (** Neighbour-search engine behind predictions ([--index] on the
+          CLI): the VP-tree metric index or the flat linear scan.
+          Answers are bit-identical either way; only throughput
+          differs. *)
 }
 
 val default_config : Protocol.address -> config
-(** jobs 2, queue 64, cache 512 entries, admin off. *)
+(** jobs 2, queue 64, cache 512 entries, admin off, VP-tree engine. *)
+
+val quantise : float array -> string
+(** The LRU cache key: the raw feature vector on a 1e-6 grid.  [-0.0]
+    and [0.0] produce the same key; non-finite values (already rejected
+    at the protocol layer) fall back to the float's exact bit pattern
+    rather than an unspecified [Int64] conversion.  Exposed for
+    tests. *)
 
 type t
 

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Index smoke test: the VP-tree k-nearest-neighbour engine must serve
+# exactly the same predictions as the exhaustive scan, through the real
+# binary.  Trains a tiny model once, serves it twice (--index scan and
+# --index vptree), runs the same single and --batch queries against
+# each, and diffs the predicted pass lists.  Timing lines are filtered
+# out; everything else must be byte-identical.
+#
+# Invokes the built binary directly rather than via `dune exec`:
+# concurrent `dune exec` processes would contend on the build lock.
+set -eu
+
+BIN=_build/default/bin/portopt.exe
+DIR=results/index_smoke
+MODEL="$DIR/model.pcm"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+echo "index-smoke: training tiny model..."
+REPRO_UARCHS=2 REPRO_OPTS=8 "$BIN" train -o "$MODEL" --log-level quiet
+
+for ENGINE in scan vptree; do
+  SOCK="$DIR/$ENGINE.sock"
+  "$BIN" serve --model "$MODEL" --socket "$SOCK" --jobs 2 --admin \
+    --index "$ENGINE" >"$DIR/serve_$ENGINE.log" 2>&1 &
+  SERVER=$!
+  trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+
+  i=0
+  while [ ! -S "$SOCK" ] && [ $i -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ ! -S "$SOCK" ]; then
+    echo "index-smoke: $ENGINE server never came up" >&2
+    cat "$DIR/serve_$ENGINE.log" >&2
+    exit 1
+  fi
+
+  echo "index-smoke: querying $ENGINE engine..."
+  "$BIN" query --socket "$SOCK" --health \
+    | grep -q "\"index\":\"$ENGINE\""
+  {
+    "$BIN" query --socket "$SOCK" qsort
+    "$BIN" query --socket "$SOCK" --batch qsort bitcnts susan_e
+  } | grep -v "served in" >"$DIR/$ENGINE.out"
+
+  "$BIN" query --socket "$SOCK" --shutdown >/dev/null
+  wait "$SERVER"
+  trap - EXIT
+done
+
+echo "index-smoke: comparing predictions..."
+diff -u "$DIR/scan.out" "$DIR/vptree.out"
+grep -q "predicted passes" "$DIR/vptree.out"
+echo "index-smoke: OK"

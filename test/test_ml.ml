@@ -359,6 +359,272 @@ let test_static_features_distinguish_programs () =
   check Alcotest.bool "different programs, different features" true
     (Prelude.Vec.l2_distance a b > 0.5)
 
+(* ---- Prediction core: comparator regression, VP-tree vs scan ---------- *)
+
+module P = Ml_model.Predict
+module V = Ml_model.Vptree
+
+(* The pre-fix neighbour selection, verbatim: polymorphic [compare] on
+   (distance, index) tuples.  On finite data the explicit
+   Float.compare-then-index comparator must reproduce it bit-for-bit —
+   the regression the golden datasets below pin down. *)
+let reference_predict ~k ~beta (points : float array array) distributions xn =
+  let n = Array.length points in
+  let dist =
+    Array.init n (fun i -> (Ml_model.Features.distance points.(i) xn, i))
+  in
+  Array.sort compare dist;
+  let k = min k n in
+  let sel = Array.sub dist 0 k in
+  let dmin = fst sel.(0) in
+  let ns =
+    Array.map
+      (fun (d, i) ->
+        { P.index = i; distance = d; weight = exp (-.beta *. (d -. dmin)) })
+      sel
+  in
+  let distribution =
+    Ml_model.Distribution.mix
+      (Array.to_list
+         (Array.map (fun nb -> (nb.P.weight, distributions.(nb.P.index))) ns))
+  in
+  (ns, distribution, Ml_model.Distribution.mode distribution)
+
+let golden_scale seed =
+  {
+    Ml_model.Dataset.n_uarchs = 2;
+    n_opts = 8;
+    seed;
+    space = Ml_model.Features.Base;
+    good_fraction = 0.1;
+  }
+
+let golden42 = lazy (Ml_model.Dataset.generate (golden_scale 42))
+let golden43 = lazy (Ml_model.Dataset.generate (golden_scale 43))
+
+let check_same_result ~msg (got : P.result) ns distribution setting =
+  if got.P.neighbours <> ns then Alcotest.failf "%s: neighbours differ" msg;
+  if got.P.distribution <> distribution then
+    Alcotest.failf "%s: distribution differs" msg;
+  if got.P.setting <> setting then Alcotest.failf "%s: setting differs" msg
+
+let test_comparator_matches_historical_sort () =
+  List.iter
+    (fun (seed, dataset) ->
+      let d = Lazy.force dataset in
+      let model = Ml_model.Model.train d in
+      let r = Ml_model.Model.export model in
+      let points = r.Ml_model.Model.r_features in
+      let distributions = r.Ml_model.Model.r_distributions in
+      let k = Ml_model.Model.k model and beta = Ml_model.Model.beta model in
+      Array.iter
+        (fun (p : Ml_model.Dataset.pair) ->
+          let xn =
+            Ml_model.Features.normalise r.Ml_model.Model.r_normaliser
+              p.Ml_model.Dataset.features_raw
+          in
+          let ns, g, mode =
+            reference_predict ~k ~beta points distributions xn
+          in
+          check_same_result
+            ~msg:(Printf.sprintf "seed %d, scan" seed)
+            (P.run ~k ~beta ~points ~distributions xn)
+            ns g mode;
+          (* The golden answers hold straight through both engines and
+             the model entry point. *)
+          List.iter
+            (fun engine ->
+              check_same_result
+                ~msg:
+                  (Printf.sprintf "seed %d, %s" seed
+                     (P.engine_to_string engine))
+                (Ml_model.Model.predict_full ~engine model
+                   p.Ml_model.Dataset.features_raw)
+                ns g mode)
+            [ P.Scan; P.Vptree ])
+        d.Ml_model.Dataset.pairs)
+    [ (42, golden42); (43, golden43) ]
+
+(* Synthetic normalised-space rows with exact duplicates sprinkled in,
+   so distance ties — where only the index tie-break separates
+   candidates — actually occur. *)
+let rows_with_duplicates rng ~n ~dim =
+  let rows =
+    Array.init n (fun _ ->
+        Array.init dim (fun _ -> Prelude.Rng.float rng 2.0 -. 1.0))
+  in
+  for i = 0 to n - 1 do
+    if i mod 17 = 16 then rows.(i) <- Array.copy rows.(i - 1)
+  done;
+  rows
+
+let test_vptree_equals_scan_property () =
+  let rng = Prelude.Rng.create 123 in
+  let dim = Ml_model.Features.dim Ml_model.Features.Base in
+  List.iter
+    (fun n ->
+      let rows = rows_with_duplicates rng ~n ~dim in
+      let index = V.build rows in
+      let queries =
+        Array.init 50 (fun qi ->
+            (* Every fifth query sits exactly on a training row: zero
+               distance, maximal tie pressure. *)
+            if qi mod 5 = 0 then Array.copy rows.(qi * 13 mod n)
+            else Array.init dim (fun _ -> Prelude.Rng.float rng 2.0 -. 1.0))
+      in
+      List.iter
+        (fun k ->
+          Array.iteri
+            (fun qi q ->
+              let si, sd = V.scan_knn index ~k q in
+              let ti, td = V.knn index ~k q in
+              if si <> ti || sd <> td then
+                Alcotest.failf
+                  "n=%d k=%d query %d: vptree diverges from scan" n k qi)
+            queries)
+        [ 1; 2; 3; 7; 13; 40 ])
+    [ 10; 64; 300 ]
+
+(* Random per-row distributions with the real (dimension, cardinality)
+   shape, so mixtures do real work. *)
+let random_distribution rng =
+  Array.map
+    (fun row ->
+      let r = Array.map (fun _ -> 0.1 +. Prelude.Rng.float rng 1.0) row in
+      let s = Array.fold_left ( +. ) 0.0 r in
+      Array.map (fun v -> v /. s) r)
+    (Ml_model.Distribution.uniform ())
+
+let test_predict_engines_bit_identical () =
+  let rng = Prelude.Rng.create 321 in
+  let dim = Ml_model.Features.dim Ml_model.Features.Base in
+  let n = 120 in
+  let rows = rows_with_duplicates rng ~n ~dim in
+  let distributions = Array.init n (fun _ -> random_distribution rng) in
+  let index = V.build rows in
+  let queries =
+    Array.init 25 (fun qi ->
+        if qi mod 5 = 0 then Array.copy rows.(qi * 7 mod n)
+        else Array.init dim (fun _ -> Prelude.Rng.float rng 2.0 -. 1.0))
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun beta ->
+          Array.iteri
+            (fun qi q ->
+              let want = P.run ~k ~beta ~points:rows ~distributions q in
+              List.iter
+                (fun engine ->
+                  check_same_result
+                    ~msg:
+                      (Printf.sprintf "k=%d beta=%g query %d %s" k beta qi
+                         (P.engine_to_string engine))
+                    (P.run_indexed ~engine ~k ~beta ~index ~distributions q)
+                    want.P.neighbours want.P.distribution want.P.setting)
+                [ P.Scan; P.Vptree ])
+            queries)
+        [ 0.25; 1.0; 4.0 ])
+    [ 1; 3; 7 ]
+
+let test_run_batch_matches_singles () =
+  let rng = Prelude.Rng.create 555 in
+  let dim = Ml_model.Features.dim Ml_model.Features.Base in
+  let n = 90 in
+  let rows = rows_with_duplicates rng ~n ~dim in
+  let distributions = Array.init n (fun _ -> random_distribution rng) in
+  let index = V.build rows in
+  let queries =
+    Array.init 40 (fun qi ->
+        if qi mod 4 = 0 then Array.copy rows.(qi mod n)
+        else Array.init dim (fun _ -> Prelude.Rng.float rng 2.0 -. 1.0))
+  in
+  List.iter
+    (fun engine ->
+      let batch =
+        P.run_batch ~engine ~k:7 ~beta:1.0 ~index ~distributions queries
+      in
+      check Alcotest.int "one result per query" (Array.length queries)
+        (Array.length batch);
+      Array.iteri
+        (fun qi q ->
+          let single =
+            P.run_indexed ~engine ~k:7 ~beta:1.0 ~index ~distributions q
+          in
+          check_same_result
+            ~msg:
+              (Printf.sprintf "query %d %s" qi (P.engine_to_string engine))
+            batch.(qi) single.P.neighbours single.P.distribution
+            single.P.setting)
+        queries)
+    [ P.Scan; P.Vptree ]
+
+let test_model_batch_matches_predict_full () =
+  let d = Lazy.force tiny_dataset in
+  let model = Ml_model.Model.train d in
+  let xs =
+    Array.map
+      (fun (p : Ml_model.Dataset.pair) -> p.Ml_model.Dataset.features_raw)
+      d.Ml_model.Dataset.pairs
+  in
+  let batch = Ml_model.Model.predict_batch model xs in
+  Array.iteri
+    (fun i x ->
+      let single = Ml_model.Model.predict_full model x in
+      check_same_result
+        ~msg:(Printf.sprintf "pair %d" i)
+        batch.(i) single.P.neighbours single.P.distribution single.P.setting)
+    xs
+
+let test_vptree_build_deterministic_and_reloadable () =
+  let rng = Prelude.Rng.create 77 in
+  let rows = rows_with_duplicates rng ~n:100 ~dim:5 in
+  let a = V.build rows and b = V.build rows in
+  check Alcotest.bool "two builds, one structure" true (V.root a = V.root b);
+  (* of_root round-trips the frozen shape. *)
+  (match V.of_root ~rows (V.root a) with
+  | Error e -> Alcotest.failf "of_root rejected its own tree: %s" e
+  | Ok c ->
+    let q = rows.(3) in
+    check Alcotest.bool "reloaded tree answers identically" true
+      (V.knn a ~k:5 q = V.knn c ~k:5 q));
+  (* Structural validation catches bad frozen trees. *)
+  let reject ~msg root =
+    match V.of_root ~rows root with
+    | Ok _ -> Alcotest.failf "%s: accepted" msg
+    | Error _ -> ()
+  in
+  reject ~msg:"missing rows" (V.Leaf [| 0 |]);
+  reject ~msg:"duplicate row"
+    (V.Leaf (Array.init 101 (fun i -> if i = 100 then 0 else i)));
+  reject ~msg:"out of range" (V.Leaf (Array.init 100 (fun i -> i + 1)));
+  reject ~msg:"non-finite radius"
+    (V.Split
+       {
+         vp = 0;
+         mu = Float.nan;
+         inner = V.Leaf (Array.init 50 (fun i -> i + 1));
+         outer = V.Leaf (Array.init 49 (fun i -> i + 51));
+       })
+
+let test_vptree_rejects_bad_input () =
+  Alcotest.check_raises "empty matrix"
+    (Invalid_argument "Vptree.build: empty matrix") (fun () ->
+      ignore (V.build [||]));
+  Alcotest.check_raises "ragged matrix"
+    (Invalid_argument "Vptree.build: ragged matrix") (fun () ->
+      ignore (V.build [| [| 1.0 |]; [| 1.0; 2.0 |] |]));
+  let t = V.build [| [| 0.0 |]; [| 1.0 |] |] in
+  Alcotest.check_raises "k < 1"
+    (Invalid_argument "Vptree.knn: k must be >= 1 (got 0)") (fun () ->
+      ignore (V.knn t ~k:0 [| 0.5 |]));
+  Alcotest.check_raises "wrong query dimension"
+    (Invalid_argument "Vptree.knn: query dimension 2, index dimension 1")
+    (fun () -> ignore (V.knn t ~k:1 [| 0.5; 0.5 |]));
+  (* k > n clamps to n rather than erroring. *)
+  let idxs, _ = V.knn t ~k:10 [| 0.2 |] in
+  check Alcotest.(array int) "k clamps to n" [| 0; 1 |] idxs
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "ml"
@@ -407,6 +673,22 @@ let () =
           quick "dataset identical across jobs" test_dataset_identical_across_jobs;
           quick "crossval identical across jobs" test_crossval_identical_across_jobs;
           quick "run_for concurrent stress" test_run_for_concurrent_stress;
+        ] );
+      ( "predict-core",
+        [
+          Alcotest.test_case
+            "explicit comparator matches historical sort (seeds 42/43)"
+            `Slow test_comparator_matches_historical_sort;
+          quick "vptree equals scan (property sweep)"
+            test_vptree_equals_scan_property;
+          quick "engines bit-identical across k and beta"
+            test_predict_engines_bit_identical;
+          quick "run_batch matches singles" test_run_batch_matches_singles;
+          quick "model batch matches predict_full"
+            test_model_batch_matches_predict_full;
+          quick "vptree build deterministic and reloadable"
+            test_vptree_build_deterministic_and_reloadable;
+          quick "vptree rejects bad input" test_vptree_rejects_bad_input;
         ] );
     ]
 

@@ -406,6 +406,37 @@ let test_merge_histograms () =
   check Alcotest.int "total" 5 m.Reuse.total;
   check Alcotest.int "cold" 3 m.Reuse.cold
 
+(* Entries leave compact/merge sorted strictly ascending by distance:
+   the miss models fold over them assuming each bucket appears once,
+   and the analytic-vs-simulation comparisons assume a canonical
+   order.  (The sort key is the int distance — hashtable keys, hence
+   unique — under an explicit Int.compare.) *)
+let check_entries_strictly_increasing what (h : Reuse.histogram) =
+  Array.iteri
+    (fun i (d, c) ->
+      if c <= 0 then Alcotest.failf "%s: empty bucket at distance %d" what d;
+      if i > 0 && d <= fst h.Reuse.entries.(i - 1) then
+        Alcotest.failf "%s: entries not strictly increasing at %d" what i)
+    h.Reuse.entries
+
+let test_entries_sorted_and_unique () =
+  let rng = Rng.create 31 in
+  for trial = 1 to 20 do
+    (* Wide-ranging distances so both the exact range and several
+       geometric buckets are hit. *)
+    let trace = Array.init 3000 (fun _ -> Rng.int rng 700) in
+    let h = Reuse.histogram_of_blocks trace in
+    check_entries_strictly_increasing
+      (Printf.sprintf "trial %d, histogram" trial)
+      h;
+    let other =
+      Reuse.histogram_of_blocks (Array.init 500 (fun _ -> Rng.int rng 900))
+    in
+    check_entries_strictly_increasing
+      (Printf.sprintf "trial %d, merge" trial)
+      (Reuse.merge h other)
+  done
+
 let test_blocks_of_addresses () =
   let blocks = Reuse.blocks_of_addresses ~block_bytes:32 [| 0; 31; 32; 64 |] in
   check Alcotest.(array int) "blocks" [| 0; 0; 1; 2 |] blocks;
@@ -615,6 +646,7 @@ let () =
           quick "capacity model monotone" test_capacity_model_monotone;
           quick "capacity model loop cliff" test_capacity_model_loop_cliff;
           quick "merge" test_merge_histograms;
+          quick "entries sorted and unique" test_entries_sorted_and_unique;
           quick "blocks of addresses" test_blocks_of_addresses;
           quick "bucket exact below threshold" test_bucket_exact_below_threshold;
           quick "bucket threshold boundary" test_bucket_boundary;

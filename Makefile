@@ -14,11 +14,15 @@
 # byte-identical artifact (see docs/architecture.md); `cluster-smoke`
 # proves `train --workers N` over real worker processes is
 # byte-identical to single-process — including under chaos and with a
-# worker kill -9'd mid-run (see docs/cluster.md).  Smoke outputs
+# worker kill -9'd mid-run (see docs/cluster.md); `obs-smoke` runs
+# the telemetry plane end to end — a traced multi-process train
+# stitched to zero orphan spans, a live Prometheus scrape and the
+# `top` dashboard against a real server, with tracing proven not to
+# change the artifact (see docs/observability.md).  Smoke outputs
 # land under results/ (gitignored), never in the repo root.
 
 .PHONY: check ci bench-smoke trace-smoke serve-smoke index-smoke \
-	store-smoke cluster-smoke bench clean
+	store-smoke cluster-smoke obs-smoke bench clean
 
 check:
 	dune build @all
@@ -28,6 +32,7 @@ check:
 	$(MAKE) index-smoke
 	$(MAKE) store-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) obs-smoke
 
 ci:
 	sh scripts/ci.sh
@@ -57,6 +62,10 @@ store-smoke:
 cluster-smoke:
 	dune build bin/portopt.exe
 	sh scripts/cluster_smoke.sh
+
+obs-smoke:
+	dune build bin/portopt.exe
+	sh scripts/obs_smoke.sh
 
 bench:
 	dune exec bench/main.exe

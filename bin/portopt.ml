@@ -16,7 +16,11 @@
     - [worker]   serve cluster evaluation leases for a train/crossval
                  coordinator (see --workers on train/crossval)
     - [flags]    show the optimisation dimensions and the -O3 defaults
-    - [report]   validate and summarise a JSONL run trace
+    - [report]   validate and summarise JSONL run traces; several files
+                 stitch into one cross-process causal tree
+    - [metrics]  fetch a live metrics snapshot from a server or cluster
+                 coordinator (JSON or Prometheus text exposition)
+    - [top]      polling dashboard over a running prediction server
     - [store]    inspect and maintain an evaluation store (stats/gc/verify)
 
     The pipeline subcommands (run, exec, predict) accept [--trace FILE]
@@ -50,6 +54,16 @@ let obs_term cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let trace_id =
+    let doc =
+      "Trace id recorded in the manifest (default: generated).  A \
+       parent process passes its own id to children so the per-process \
+       files stitch into one causal tree ($(b,report) with several \
+       files)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "trace-id" ] ~docv:"ID" ~doc)
+  in
   let level =
     let doc =
       "Verbosity for stderr progress lines and the trace: $(b,quiet), \
@@ -58,7 +72,7 @@ let obs_term cmd =
     in
     Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
   in
-  let setup trace level =
+  let setup trace trace_id level =
     (match Obs.Trace.level_of_string level with
     | Ok l -> Obs.Trace.set_level l
     | Error e -> (
@@ -68,7 +82,7 @@ let obs_term cmd =
     match trace with
     | None -> ()
     | Some path ->
-      Obs.Trace.start
+      Obs.Trace.start ?trace_id
         ~manifest:
           [
             ("cmd", Obs.Json.Str cmd);
@@ -76,7 +90,7 @@ let obs_term cmd =
           ]
         path
   in
-  Term.(const setup $ trace $ level)
+  Term.(const setup $ trace $ trace_id $ level)
 
 (* The content-addressed evaluation store, shared by the expensive
    subcommands.  Opening creates the directory, so --store on a fresh
@@ -432,11 +446,24 @@ let with_cluster ?store opts f =
     Obs.Span.log
       (Printf.sprintf "cluster: coordinator listening on %s" connect);
     let spawn i =
+      (* When the parent traces, each worker traces too — a sibling
+         file under the parent's trace id, so `portopt report
+         parent.jsonl parent.worker-*.jsonl` stitches the whole run. *)
+      let trace_args =
+        match (Obs.Trace.path (), Obs.Trace.trace_id ()) with
+        | Some path, Some tid ->
+          [ "--trace";
+            Printf.sprintf "%s.worker-%d.jsonl"
+              (Filename.remove_extension path) i;
+            "--trace-id"; tid ]
+        | _ -> []
+      in
       let args =
         [ "portopt"; "worker"; "--connect"; connect;
           "--name"; Printf.sprintf "local-%d" i ]
         @ (match store with Some s -> [ "--store"; Store.dir s ] | None -> [])
         @ (match chaos_spec with Some s -> [ "--chaos"; s ] | None -> [])
+        @ trace_args
       in
       (* Workers share stderr for progress; stdout stays the parent's
          report channel. *)
@@ -1069,24 +1096,212 @@ let query_cmd =
           $ address_term $ health $ shutdown $ sleep_s)
 
 let report_cmd =
-  let run file =
-    match Obs.Trace.validate_file file with
-    | Error e ->
-      Printf.eprintf "%s: invalid trace: %s\n" file e;
-      exit 1
-    | Ok events -> print_string (Obs.Trace.summarise events)
+  let run files =
+    let load file =
+      match Obs.Trace.validate_file file with
+      | Error e ->
+        Printf.eprintf "%s: invalid trace: %s\n" file e;
+        exit 1
+      | Ok events -> (file, events)
+    in
+    match files with
+    | [] ->
+      Printf.eprintf "portopt: report needs at least one TRACE file\n";
+      exit 2
+    | [ file ] ->
+      let _, events = load file in
+      print_string (Obs.Trace.summarise events)
+    | files -> print_string (Obs.Stitch.render (Obs.Stitch.stitch (List.map load files)))
   in
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
-           ~doc:"JSONL trace produced by --trace (or bench --trace).")
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"TRACE"
+             ~doc:
+               "JSONL trace(s) produced by --trace (or bench --trace).  \
+                One file prints the single-process summary; several are \
+                stitched into one cross-process causal tree.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "With one file: validate it against the event schema and print \
+         the single-process summary (manifest, per-span wall/CPU \
+         aggregates, final counters and histogram quantiles).";
+      `P
+        "With several files — e.g. a traced $(b,train --workers 2) run's \
+         coordinator trace plus its $(i,*.worker-N.jsonl) siblings, or a \
+         traced server plus its traced clients — each file is validated, \
+         then the spans are stitched into one causal tree: spans are \
+         keyed by (process, id), local parents resolve within a file and \
+         $(i,remote) references (propagated through serve requests and \
+         cluster leases) attach a process's entry spans under their \
+         cross-process parent.  The report lists every process, any \
+         orphan spans (declared parents that resolve nowhere — zero on a \
+         healthy run), the bounded causal tree, the critical path, \
+         per-process self time and the merged histogram quantiles.";
+      `P
+        "Version-1 traces (written before trace ids) still load: the \
+         file name stands in as the process identity.";
+    ]
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Validate a JSONL run trace against the event schema and print \
-          a summary: manifest, per-span wall/CPU aggregates, and final \
-          counters and histograms")
-    Term.(const run $ file)
+         "Validate JSONL run traces and print a summary; several files \
+          are stitched into one cross-process causal tree"
+       ~man)
+    Term.(const run $ files)
+
+(* Shared by metrics/top: connect or die with a friendly message. *)
+let connect_or_exit address =
+  try Serve.Client.connect address
+  with Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "portopt: cannot connect to %s: %s\n"
+      (Serve.Protocol.address_to_string address)
+      (Unix.error_message e);
+    exit 1
+
+let metrics_cmd =
+  let run address cluster format =
+    let snapshot =
+      match cluster with
+      | Some spec -> (
+        let addr =
+          match Cluster.Worker.parse_connect spec with
+          | Ok a -> a
+          | Error e -> cluster_fail "%s" e
+        in
+        match Cluster.Coordinator.query_metrics addr with
+        | Ok s -> s
+        | Error e ->
+          Printf.eprintf "portopt: metrics query failed: %s\n" e;
+          exit 1)
+      | None -> (
+        let client = connect_or_exit address in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close client)
+          (fun () ->
+            match Serve.Client.metrics client with
+            | Ok s -> s
+            | Error (code, msg) ->
+              Printf.eprintf "portopt: server error %d: %s\n" code msg;
+              exit 1))
+    in
+    match format with
+    | `Json -> print_endline (Obs.Json.to_string snapshot)
+    | `Prom -> print_string (Obs.Prom.render snapshot)
+  in
+  let cluster =
+    Arg.(value & opt (some string) None
+         & info [ "cluster" ] ~docv:"ADDR"
+             ~doc:
+               "Query a cluster coordinator ($(i,host:port) or a socket \
+                path) instead of a prediction server; the poller never \
+                registers as a worker.")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:
+               "Output format: $(b,json) (the raw snapshot object) or \
+                $(b,prom) (Prometheus text exposition v0.0.4).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Fetches the live metrics snapshot of a running process — a \
+         $(b,portopt serve) instance (the $(b,metrics) op) or a \
+         $(b,train --workers)/$(b,crossval --workers) coordinator \
+         ($(b,--cluster), answered before registration so the poller \
+         never becomes a worker) — and prints it.";
+      `P
+        "$(b,--format json) prints the raw snapshot: monotonic counters, \
+         gauges, and log-bucketed latency histograms with p50/p90/p99 \
+         and the sparse bucket array.  $(b,--format prom) renders the \
+         same snapshot as a Prometheus scrape body: names mangled to the \
+         metric alphabet, histograms as a cumulative \
+         $(i,_bucket{le=...}) ladder plus $(i,_sum)/$(i,_count), and the \
+         quantiles as a sibling $(i,_quantile) gauge family.  See \
+         docs/observability.md for the exact mapping.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Fetch a running process's metrics snapshot (JSON or Prometheus)"
+       ~man)
+    Term.(const run $ address_term $ cluster $ format)
+
+let top_cmd =
+  let run address interval count no_clear =
+    if interval <= 0.0 then begin
+      Printf.eprintf "portopt: --interval must be > 0\n";
+      exit 2
+    end;
+    let client = connect_or_exit address in
+    let clear = (not no_clear) && Unix.isatty Unix.stdout in
+    let address = Serve.Protocol.address_to_string address in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close client)
+      (fun () ->
+        let rec loop prev i =
+          match Serve.Top.fetch client with
+          | Error (code, msg) ->
+            Printf.eprintf "portopt: server error %d: %s\n" code msg;
+            exit 1
+          | Ok cur ->
+            if clear then print_string "\027[2J\027[H";
+            print_string (Serve.Top.render ?prev cur ~address);
+            flush stdout;
+            if count = 0 || i + 1 < count then begin
+              Thread.delay interval;
+              loop (Some cur) (i + 1)
+            end
+        in
+        loop None 0)
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between polls.")
+  in
+  let count =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N"
+             ~doc:
+               "Stop after $(docv) polls (0 = run until interrupted); \
+                handy for scripts and CI.")
+  in
+  let no_clear =
+    Arg.(value & flag
+         & info [ "no-clear" ]
+             ~doc:
+               "Append panels instead of redrawing in place (the \
+                default when stdout is not a terminal).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Polls a running $(b,portopt serve) instance — one $(b,health) \
+         plus one $(b,metrics) round trip per tick — and renders a \
+         small dashboard: request/shed/error rates over the polling \
+         window, cache hit rate, queue depth and in-flight count, and \
+         request latency quantiles (p50/p90/p99/max) both over the \
+         server's lifetime and over just the window.";
+      `P
+        "Window quantiles subtract the previous poll's histogram \
+         buckets from the latest — exact bucket arithmetic on the \
+         mergeable log-bucketed histograms, no sampling.  On a \
+         terminal each tick redraws in place; use $(b,--no-clear) (or \
+         redirect stdout) to append panels instead, and $(b,--count) \
+         to stop after a fixed number of polls.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc:"Live dashboard over a running prediction server" ~man)
+    Term.(const run $ address_term $ interval $ count $ no_clear)
 
 let () =
   let envs =
@@ -1112,4 +1327,4 @@ let () =
        (Cmd.group info
           [ list_cmd; dump_cmd; run_cmd; exec_cmd; spaces_cmd; flags_cmd;
             predict_cmd; train_cmd; crossval_cmd; serve_cmd; query_cmd;
-            worker_cmd; report_cmd; store_cmd ]))
+            worker_cmd; report_cmd; metrics_cmd; top_cmd; store_cmd ]))

@@ -250,6 +250,10 @@ let handle_message t w line =
   | Ok Wire.Heartbeat ->
     Obs.Metrics.add m_heartbeats 1;
     locked t (fun () -> w.w_last_seen <- Unix.gettimeofday ())
+  | Ok Wire.Metrics_query ->
+    (* Registered workers have no business polling metrics; the admin
+       path is a bare pre-registration connection. *)
+    Obs.Metrics.add m_protocol_errors 1
   | Ok (Wire.Register _) -> Obs.Metrics.add m_protocol_errors 1
   | Ok (Wire.Result { job; lease = _; task; key; checksum; run }) ->
     handle_result t w ~job ~task ~key ~checksum ~run
@@ -319,6 +323,17 @@ let conn_main t fd =
         match Result.bind (J.of_string line) Wire.to_coordinator_of_json with
         | Ok (Wire.Register { name; pid; fingerprint }) ->
           Some (name, pid, fingerprint)
+        | Ok Wire.Metrics_query ->
+          (* Admin poll: answer with the live snapshot and keep
+             listening — the poller closes its end when satisfied,
+             without ever registering as a worker. *)
+          (try
+             Frame.write_line fd
+               (J.to_string
+                  (Wire.to_worker_to_json
+                     (Wire.Metrics { snapshot = Obs.Metrics.snapshot () })))
+           with Unix.Unix_error _ -> ());
+          await budget
         | Ok _ | Error _ ->
           Obs.Metrics.add m_protocol_errors 1;
           await budget)
@@ -531,6 +546,10 @@ let assign_leases_locked t j ~now =
               lease = l_id;
               deadline_s = t.cfg.lease_timeout_s;
               tasks = List.map (fun idx -> (idx, j.j_tasks.(idx))) idxs;
+              (* Assignment runs in [evaluate]'s thread, inside the
+                 cluster.evaluate span — its address lets the worker
+                 record the lease as a remote child. *)
+              trace = Obs.Span.current_context ();
             }
         in
         Some (w, l, msg))
@@ -705,3 +724,32 @@ let evaluate ?tick t groups =
           | None -> assert false)
         settings)
     groups
+
+(* ---- admin client ----------------------------------------------------- *)
+
+let query_metrics address =
+  match
+    let sa = Serve.Protocol.sockaddr address in
+    let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd sa with
+    | () -> ()
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Frame.write_line fd
+          (J.to_string (Wire.to_coordinator_to_json Wire.Metrics_query));
+        let reader = Frame.reader ~max_frame:Wire.max_frame fd in
+        match Frame.read reader with
+        | Error e -> Error ("cluster metrics: " ^ Frame.error_to_string e)
+        | Ok line -> (
+          match Result.bind (J.of_string line) Wire.to_worker_of_json with
+          | Ok (Wire.Metrics { snapshot }) -> Ok snapshot
+          | Ok _ -> Error "cluster metrics: unexpected reply"
+          | Error e -> Error ("cluster metrics: " ^ e)))
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("cluster metrics: " ^ Unix.error_message e)

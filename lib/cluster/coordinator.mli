@@ -79,3 +79,8 @@ val stop : t -> unit
 val shutdown : t -> unit
 (** Stop accepting, tell every worker to quit, join all background
     threads and release the socket.  Idempotent. *)
+
+val query_metrics : Serve.Protocol.address -> (Obs.Json.t, string) result
+(** Admin client for [portopt metrics --cluster]: connect to a running
+    coordinator, send a [metrics_query] and return the live
+    {!Obs.Metrics.snapshot} — without registering as a worker. *)

@@ -17,6 +17,7 @@ type to_coordinator =
     }
   | Task_error of { job : int; lease : int; task : int; error : string }
   | Lease_done of { job : int; lease : int }
+  | Metrics_query
 
 type to_worker =
   | Welcome of { worker : int }
@@ -26,7 +27,12 @@ type to_worker =
       lease : int;
       deadline_s : float;
       tasks : (int * Task.t) list;
+      trace : Obs.Span.context option;
+          (** Coordinator-side span address: workers record their lease
+              spans as remote children of it, so per-process traces
+              stitch into one tree. *)
     }
+  | Metrics of { snapshot : J.t }
   | Quit
 
 (* Shared field accessors: every message is an Obj tagged with "type". *)
@@ -51,6 +57,7 @@ let to_coordinator_to_json = function
         ("fingerprint", J.Str fingerprint);
       ]
   | Heartbeat -> J.Obj [ ("type", J.Str "heartbeat") ]
+  | Metrics_query -> J.Obj [ ("type", J.Str "metrics_query") ]
   | Result { job; lease; task; key; checksum; run } ->
     J.Obj
       [
@@ -84,6 +91,7 @@ let to_coordinator_of_json j =
     let* fingerprint = field "fingerprint" J.to_str j in
     Ok (Register { name; pid; fingerprint })
   | "heartbeat" -> Ok Heartbeat
+  | "metrics_query" -> Ok Metrics_query
   | "result" ->
     let* job = field "job" J.to_int j in
     let* lease = field "lease" J.to_int j in
@@ -109,20 +117,26 @@ let to_worker_to_json = function
     J.Obj [ ("type", J.Str "welcome"); ("worker", J.Int worker) ]
   | Reject { reason } ->
     J.Obj [ ("type", J.Str "reject"); ("reason", J.Str reason) ]
-  | Lease { job; lease; deadline_s; tasks } ->
+  | Lease { job; lease; deadline_s; tasks; trace } ->
     J.Obj
-      [
-        ("type", J.Str "lease");
-        ("job", J.Int job);
-        ("lease", J.Int lease);
-        ("deadline_s", J.Float deadline_s);
-        ( "tasks",
-          J.List
-            (List.map
-               (fun (index, task) ->
-                 J.Obj [ ("index", J.Int index); ("task", Task.to_json task) ])
-               tasks) );
-      ]
+      ([
+         ("type", J.Str "lease");
+         ("job", J.Int job);
+         ("lease", J.Int lease);
+         ("deadline_s", J.Float deadline_s);
+         ( "tasks",
+           J.List
+             (List.map
+                (fun (index, task) ->
+                  J.Obj [ ("index", J.Int index); ("task", Task.to_json task) ])
+                tasks) );
+       ]
+      @
+      match trace with
+      | None -> []
+      | Some ctx -> [ ("trace", Obs.Span.context_to_json ctx) ])
+  | Metrics { snapshot } ->
+    J.Obj [ ("type", J.Str "metrics"); ("metrics", snapshot) ]
   | Quit -> J.Obj [ ("type", J.Str "quit") ]
 
 let to_worker_of_json j =
@@ -152,7 +166,13 @@ let to_worker_of_json j =
           Ok ((index, task) :: acc))
         (Ok []) items
     in
-    Ok (Lease { job; lease; deadline_s; tasks = List.rev tasks })
+    let trace =
+      Option.bind (J.member "trace" j) Obs.Span.context_of_json
+    in
+    Ok (Lease { job; lease; deadline_s; tasks = List.rev tasks; trace })
+  | "metrics" ->
+    let* snapshot = field "metrics" Option.some j in
+    Ok (Metrics { snapshot })
   | "quit" -> Ok Quit
   | other ->
     Error (Printf.sprintf "cluster: unknown coordinator message %S" other)

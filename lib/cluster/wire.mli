@@ -6,11 +6,12 @@
     worker -> coordinator                 coordinator -> worker
     ---------------------                 ---------------------
     register {name,pid,fingerprint}       welcome {worker} | reject {error}
-    heartbeat                             lease {job,lease,deadline_s,tasks}
-    result {job,lease,task,key,           quit
-            checksum,run}
-    task_error {job,lease,task,error}
+    heartbeat                             lease {job,lease,deadline_s,tasks,
+    result {job,lease,task,key,                  trace?}
+            checksum,run}                 metrics {metrics}
+    task_error {job,lease,task,error}     quit
     lease_done {job,lease}
+    metrics_query
     v}
 
     Every result binds itself to a (job, lease, task-index) triple plus
@@ -39,6 +40,11 @@ type to_coordinator =
     }
   | Task_error of { job : int; lease : int; task : int; error : string }
   | Lease_done of { job : int; lease : int }
+  | Metrics_query
+      (** Admin query: ask for the coordinator's live
+          {!Obs.Metrics.snapshot}.  Answered with [Metrics] before
+          registration — a metrics poller connects, queries and leaves
+          without ever becoming a worker. *)
 
 type to_worker =
   | Welcome of { worker : int }
@@ -48,7 +54,12 @@ type to_worker =
       lease : int;
       deadline_s : float;  (** Duration budget, not an absolute time. *)
       tasks : (int * Task.t) list;  (** (global index, task). *)
+      trace : Obs.Span.context option;
+          (** The coordinator's evaluate-span address; workers record
+              their lease spans as remote children of it so the
+              per-process traces stitch into one causal tree. *)
     }
+  | Metrics of { snapshot : Obs.Json.t }
   | Quit
 
 val to_coordinator_to_json : to_coordinator -> Obs.Json.t

@@ -34,6 +34,7 @@ let m_leases = Obs.Metrics.counter "cluster.worker.leases"
 let m_heartbeats = Obs.Metrics.counter "cluster.worker.heartbeats"
 let m_task_errors = Obs.Metrics.counter "cluster.worker.task_errors"
 let g_busy = Obs.Metrics.gauge "cluster.worker.busy"
+let h_task_seconds = Obs.Metrics.hist "cluster.task.seconds"
 
 exception Killed_mid_lease
 
@@ -79,27 +80,42 @@ let run_task cfg digests (task : Task.t) =
       Ok (Task.key ~program_digest task, run_json, checksum)
     | exception e -> Error (Printexc.to_string e))
 
-let process_lease cfg ~chaos ~wmutex ~stop ~digests fd ~job ~lease tasks =
+let process_lease cfg ~chaos ~wmutex ~stop ~digests ?remote_parent fd ~job
+    ~lease tasks =
   Obs.Metrics.add m_leases 1;
   Obs.Metrics.set g_busy 1.0;
-  Fun.protect
-    ~finally:(fun () -> Obs.Metrics.set g_busy 0.0)
+  (* The lease span is the worker's root of this work unit: its
+     [remote_parent] is the coordinator's evaluate span, so stitched
+     traces hang every task under the coordinating process.  The span
+     runs in the session thread — the only one opening spans in this
+     process — so [Store.profile]'s compile/sim spans nest beneath it
+     naturally. *)
+  Obs.Span.with_ ?remote_parent "cluster.lease"
+    ~attrs:
+      [ ("job", J.Int job); ("lease", J.Int lease);
+        ("tasks", J.Int (List.length tasks)) ]
     (fun () ->
-      List.iter
-        (fun (index, task) ->
-          if stop () then raise Exit;
-          if Chaos.should_kill chaos then raise Killed_mid_lease;
-          (match run_task cfg digests task with
-          | Ok (key, run, checksum) ->
-            send ~chaos ~wmutex fd
-              (Wire.Result { job; lease; task = index; key; checksum; run })
-          | Error error ->
-            Obs.Metrics.add m_task_errors 1;
-            send ~chaos ~wmutex fd
-              (Wire.Task_error { job; lease; task = index; error }));
-          Obs.Metrics.add m_tasks 1)
-        tasks;
-      send ~chaos ~wmutex fd (Wire.Lease_done { job; lease }))
+      Fun.protect
+        ~finally:(fun () -> Obs.Metrics.set g_busy 0.0)
+        (fun () ->
+          List.iter
+            (fun (index, task) ->
+              if stop () then raise Exit;
+              if Chaos.should_kill chaos then raise Killed_mid_lease;
+              let t0 = Unix.gettimeofday () in
+              (match run_task cfg digests task with
+              | Ok (key, run, checksum) ->
+                send ~chaos ~wmutex fd
+                  (Wire.Result { job; lease; task = index; key; checksum; run })
+              | Error error ->
+                Obs.Metrics.add m_task_errors 1;
+                send ~chaos ~wmutex fd
+                  (Wire.Task_error { job; lease; task = index; error }));
+              Obs.Metrics.observe h_task_seconds
+                (Unix.gettimeofday () -. t0);
+              Obs.Metrics.add m_tasks 1)
+            tasks;
+          send ~chaos ~wmutex fd (Wire.Lease_done { job; lease })))
 
 (* One connected session: register, heartbeat, serve leases.  Returns
    how it ended; [registered] lets the caller reset its reconnect
@@ -167,11 +183,11 @@ let session cfg ~stop ~chaos ~registered fd =
               (Printf.sprintf "worker %s: bad frame: %s" cfg.name e);
             loop ()
           | Ok Wire.Quit -> `Quit
-          | Ok (Wire.Welcome _ | Wire.Reject _) -> loop ()
-          | Ok (Wire.Lease { job; lease; deadline_s = _; tasks }) -> (
+          | Ok (Wire.Welcome _ | Wire.Reject _ | Wire.Metrics _) -> loop ()
+          | Ok (Wire.Lease { job; lease; deadline_s = _; tasks; trace }) -> (
             match
-              process_lease cfg ~chaos ~wmutex ~stop ~digests fd ~job ~lease
-                tasks
+              process_lease cfg ~chaos ~wmutex ~stop ~digests
+                ?remote_parent:trace fd ~job ~lease tasks
             with
             | () -> loop ()
             | exception Exit -> `Stop

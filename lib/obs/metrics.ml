@@ -2,10 +2,55 @@
 
 type counter = int Atomic.t
 
-type gauge = { mutable level : float }
+(* A gauge is an [Atomic.t] holding a boxed float: [set] swaps the
+   pointer, [Atomic.get] reads it, so a concurrent reader can never see
+   half of one write and half of another (the torn read the old
+   [{ mutable level : float }] representation allowed across domains on
+   32-bit or under flat-float optimisation). *)
+type gauge = float Atomic.t
+
+(* Fixed log-bucketed histogram, HDR-style: bucket boundaries are the
+   exponential ladder [bucket_min * 2^(i/4)], precomputed once from a
+   pure formula so every process on every host derives the *same*
+   ladder — which is what makes snapshots mergeable by plain bucket
+   addition, with no negotiation and no sampling. *)
+
+let buckets_per_octave = 4
+let bucket_min = 1e-9
+let n_buckets = 176
+
+(* upper.(i) is the inclusive upper bound of bucket i; bucket i counts
+   samples v with upper.(i-1) < v <= upper.(i) (bucket 0: v <=
+   upper.(0)).  upper.(175) ~ 1.48e4 s; anything above lands in the
+   overflow bucket [n_buckets]. *)
+let upper =
+  Array.init n_buckets (fun i ->
+      bucket_min
+      *. Float.pow 2.0 (float_of_int i /. float_of_int buckets_per_octave))
+
+let scheme =
+  Printf.sprintf "log2x%d/%g/%d" buckets_per_octave bucket_min n_buckets
+
+let bucket_upper i = if i >= n_buckets then infinity else upper.(i)
+
+(* Smallest i with v <= upper.(i), or [n_buckets] when v overflows the
+   ladder.  Binary search over a monotone array: deterministic. *)
+let bucket_index v =
+  if not (v > upper.(0)) (* catches v <= upper.(0), NaN, negatives *) then 0
+  else if v > upper.(n_buckets - 1) then n_buckets
+  else begin
+    let lo = ref 0 and hi = ref (n_buckets - 1) in
+    (* invariant: upper.(!lo) < v <= upper.(!hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v > upper.(mid) then lo := mid else hi := mid
+    done;
+    !hi
+  end
 
 type hist = {
   m : Mutex.t;
+  counts : int array;  (** length [n_buckets + 1]; last is overflow. *)
   mutable count : int;
   mutable sum : float;
   mutable lo : float;
@@ -44,11 +89,12 @@ let gauge name =
       | Some (G g) -> g
       | Some _ -> mismatch name
       | None ->
-        let g = { level = 0.0 } in
+        let g = Atomic.make 0.0 in
         Hashtbl.replace registry name (G g);
         g)
 
-let set g v = g.level <- v
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let hist name =
   locked (fun () ->
@@ -57,14 +103,16 @@ let hist name =
       | Some _ -> mismatch name
       | None ->
         let h =
-          { m = Mutex.create (); count = 0; sum = 0.0;
-            lo = infinity; hi = neg_infinity }
+          { m = Mutex.create (); counts = Array.make (n_buckets + 1) 0;
+            count = 0; sum = 0.0; lo = infinity; hi = neg_infinity }
         in
         Hashtbl.replace registry name (H h);
         h)
 
 let observe h v =
+  let b = bucket_index v in
   Mutex.lock h.m;
+  h.counts.(b) <- h.counts.(b) + 1;
   h.count <- h.count + 1;
   h.sum <- h.sum +. v;
   if v < h.lo then h.lo <- v;
@@ -73,6 +121,73 @@ let observe h v =
 
 let hist_count h = h.count
 let hist_sum h = h.sum
+
+(* Quantile estimation mirrors [Prelude.Stats.percentile]'s convention
+   (linear interpolation between 0-based order statistics at rank
+   q*(count-1)), except an order statistic is only known to lie in its
+   bucket, so we report the bucket's upper bound clamped to the exact
+   [lo, hi] envelope.  The estimate therefore never undershoots the
+   true value and overshoots by less than one bucket's width — i.e. a
+   relative error below [2^(1/4) - 1]. *)
+
+let order_stat_est counts ~lo ~hi k =
+  let rec go i acc =
+    if i > n_buckets then hi
+    else
+      let acc = acc + counts.(i) in
+      if k < acc then Float.max lo (Float.min (bucket_upper i) hi)
+      else go (i + 1) acc
+  in
+  go 0 0
+
+let quantile_of_counts counts ~count ~lo ~hi q =
+  if count = 0 then nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int (count - 1) in
+    let k = int_of_float (floor rank) in
+    let frac = rank -. float_of_int k in
+    let a = order_stat_est counts ~lo ~hi k in
+    if frac = 0.0 then a
+    else
+      let b = order_stat_est counts ~lo ~hi (k + 1) in
+      (a *. (1.0 -. frac)) +. (b *. frac)
+  end
+
+let quantile h q =
+  Mutex.lock h.m;
+  let counts = Array.copy h.counts in
+  let count = h.count and lo = h.lo and hi = h.hi in
+  Mutex.unlock h.m;
+  quantile_of_counts counts ~count ~lo ~hi q
+
+(* JSON shape of one histogram.  Buckets are sparse [[index, count],
+   ...] pairs so a 176-bucket ladder with a dozen occupied cells stays
+   a dozen cells on the wire. *)
+
+let hist_json_of ~counts ~count ~sum ~lo ~hi =
+  if count = 0 then Json.Obj [ ("count", Json.Int 0) ]
+  else begin
+    let buckets = ref [] in
+    for i = n_buckets downto 0 do
+      if counts.(i) > 0 then
+        buckets := Json.List [ Json.Int i; Json.Int counts.(i) ] :: !buckets
+    done;
+    let qa q = quantile_of_counts counts ~count ~lo ~hi q in
+    Json.Obj
+      [
+        ("count", Json.Int count);
+        ("sum", Json.Float sum);
+        ("mean", Json.Float (sum /. float_of_int count));
+        ("min", Json.Float lo);
+        ("max", Json.Float hi);
+        ("p50", Json.Float (qa 0.5));
+        ("p90", Json.Float (qa 0.9));
+        ("p99", Json.Float (qa 0.99));
+        ("scheme", Json.Str scheme);
+        ("buckets", Json.List !buckets);
+      ]
+  end
 
 let snapshot () =
   let entries =
@@ -86,26 +201,16 @@ let snapshot () =
     pick (function n, C c -> Some (n, Json.Int (Atomic.get c)) | _ -> None)
   in
   let gauges =
-    pick (function n, G g -> Some (n, Json.Float g.level) | _ -> None)
+    pick (function n, G g -> Some (n, Json.Float (Atomic.get g)) | _ -> None)
   in
   let hists =
     pick (function
       | n, H h ->
         Mutex.lock h.m;
+        let counts = Array.copy h.counts in
         let count = h.count and sum = h.sum and lo = h.lo and hi = h.hi in
         Mutex.unlock h.m;
-        let stats =
-          if count = 0 then [ ("count", Json.Int 0) ]
-          else
-            [
-              ("count", Json.Int count);
-              ("sum", Json.Float sum);
-              ("mean", Json.Float (sum /. float_of_int count));
-              ("min", Json.Float lo);
-              ("max", Json.Float hi);
-            ]
-        in
-        Some (n, Json.Obj stats)
+        Some (n, hist_json_of ~counts ~count ~sum ~lo ~hi)
       | _ -> None)
   in
   Json.Obj
@@ -113,4 +218,179 @@ let snapshot () =
       ("counters", Json.Obj counters);
       ("gauges", Json.Obj gauges);
       ("histograms", Json.Obj hists);
+    ]
+
+(* ---- JSON-level histogram algebra ------------------------------------
+   These operate on snapshot fragments, not live instruments, so they
+   work on metrics read back from traces or fetched over the wire from
+   another process. *)
+
+type hist_decoded = {
+  d_counts : int array;
+  d_count : int;
+  d_sum : float;
+  d_lo : float;
+  d_hi : float;
+}
+
+let decode_hist (j : Json.t) : hist_decoded option =
+  let num field = Option.bind (Json.member field j) Json.to_float in
+  match Option.bind (Json.member "count" j) Json.to_int with
+  | None -> None
+  | Some 0 ->
+    Some
+      { d_counts = Array.make (n_buckets + 1) 0; d_count = 0; d_sum = 0.0;
+        d_lo = infinity; d_hi = neg_infinity }
+  | Some count -> (
+    match
+      ( Option.bind (Json.member "scheme" j) Json.to_str,
+        Option.bind (Json.member "buckets" j) Json.to_list,
+        num "sum", num "min", num "max" )
+    with
+    | Some s, Some pairs, Some sum, Some lo, Some hi when s = scheme ->
+      let counts = Array.make (n_buckets + 1) 0 in
+      let ok =
+        List.for_all
+          (fun p ->
+            match Json.to_list p with
+            | Some [ i; c ] -> (
+              match (Json.to_int i, Json.to_int c) with
+              | Some i, Some c when i >= 0 && i <= n_buckets && c >= 0 ->
+                counts.(i) <- counts.(i) + c;
+                true
+              | _ -> false)
+            | _ -> false)
+          pairs
+      in
+      if ok && Array.fold_left ( + ) 0 counts = count then
+        Some { d_counts = counts; d_count = count; d_sum = sum;
+               d_lo = lo; d_hi = hi }
+      else None
+    | _ -> None)
+
+let quantile_of_json j q =
+  match decode_hist j with
+  | None -> None
+  | Some d ->
+    if d.d_count = 0 then None
+    else
+      Some (quantile_of_counts d.d_counts ~count:d.d_count ~lo:d.d_lo
+              ~hi:d.d_hi q)
+
+let merge_decoded a b =
+  let counts = Array.init (n_buckets + 1) (fun i ->
+      a.d_counts.(i) + b.d_counts.(i))
+  in
+  { d_counts = counts; d_count = a.d_count + b.d_count;
+    d_sum = a.d_sum +. b.d_sum; d_lo = Float.min a.d_lo b.d_lo;
+    d_hi = Float.max a.d_hi b.d_hi }
+
+let json_of_decoded d =
+  hist_json_of ~counts:d.d_counts ~count:d.d_count ~sum:d.d_sum ~lo:d.d_lo
+    ~hi:d.d_hi
+
+let merge_hist_json a b =
+  match (decode_hist a, decode_hist b) with
+  | Some da, Some db -> Some (json_of_decoded (merge_decoded da db))
+  | _ -> None
+
+(* Windowed view: [delta_hist_json ~prev cur] subtracts an earlier
+   snapshot of the *same* monotonically-growing histogram.  The exact
+   min/max of just the window is not recoverable, so the envelope is
+   re-derived from the occupied delta buckets' bounds (clamped to the
+   cumulative envelope) — good enough for dashboard quantiles. *)
+let delta_hist_json ~prev cur =
+  match (decode_hist prev, decode_hist cur) with
+  | Some dp, Some dc ->
+    let counts = Array.init (n_buckets + 1) (fun i ->
+        max 0 (dc.d_counts.(i) - dp.d_counts.(i)))
+    in
+    let count = Array.fold_left ( + ) 0 counts in
+    if count = 0 then Some (Json.Obj [ ("count", Json.Int 0) ])
+    else begin
+      let first = ref (-1) and last = ref (-1) in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            if !first < 0 then first := i;
+            last := i
+          end)
+        counts;
+      let lo =
+        Float.max dc.d_lo (if !first = 0 then 0.0 else bucket_upper (!first - 1))
+      in
+      let hi = Float.min dc.d_hi (bucket_upper !last) in
+      let sum = Float.max 0.0 (dc.d_sum -. dp.d_sum) in
+      Some (hist_json_of ~counts ~count ~sum ~lo ~hi)
+    end
+  | _ -> None
+
+(* Merge whole snapshots: counters and gauges add, histograms add
+   bucket-wise.  A histogram missing bucket data on either side (e.g. a
+   v1 trace tail) degrades to count/sum only. *)
+let merge_snapshots (snaps : Json.t list) : Json.t =
+  let tbl_c : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let tbl_g : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let tbl_h : (string, Json.t) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl name v plus zero =
+    Hashtbl.replace tbl name
+      (plus (Option.value ~default:zero (Hashtbl.find_opt tbl name)) v)
+  in
+  List.iter
+    (fun snap ->
+      let section name =
+        match Json.member name snap with Some (Json.Obj kv) -> kv | _ -> []
+      in
+      List.iter
+        (fun (n, v) ->
+          match Json.to_int v with
+          | Some i -> bump tbl_c n i ( + ) 0
+          | None -> ())
+        (section "counters");
+      List.iter
+        (fun (n, v) ->
+          match Json.to_float v with
+          | Some f -> bump tbl_g n f ( +. ) 0.0
+          | None -> ())
+        (section "gauges");
+      List.iter
+        (fun (n, v) ->
+          match Hashtbl.find_opt tbl_h n with
+          | None -> Hashtbl.replace tbl_h n v
+          | Some acc -> (
+            match merge_hist_json acc v with
+            | Some merged -> Hashtbl.replace tbl_h n merged
+            | None ->
+              (* No bucket data: keep count/sum additive, drop quantiles. *)
+              let geti f j =
+                Option.value ~default:0 (Option.bind (Json.member f j) Json.to_int)
+              in
+              let getf f j =
+                Option.value ~default:0.0
+                  (Option.bind (Json.member f j) Json.to_float)
+              in
+              let count = geti "count" acc + geti "count" v in
+              let merged =
+                if count = 0 then Json.Obj [ ("count", Json.Int 0) ]
+                else
+                  let sum = getf "sum" acc +. getf "sum" v in
+                  Json.Obj
+                    [
+                      ("count", Json.Int count);
+                      ("sum", Json.Float sum);
+                      ("mean", Json.Float (sum /. float_of_int count));
+                    ]
+              in
+              Hashtbl.replace tbl_h n merged))
+        (section "histograms"))
+    snaps;
+  let sorted tbl render =
+    Hashtbl.fold (fun k v acc -> (k, render v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (sorted tbl_c (fun i -> Json.Int i)));
+      ("gauges", Json.Obj (sorted tbl_g (fun f -> Json.Float f)));
+      ("histograms", Json.Obj (sorted tbl_h Fun.id));
     ]

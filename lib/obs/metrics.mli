@@ -6,15 +6,21 @@
 
     - {b counters} are [Atomic.t] ints — an increment is one
       fetch-and-add, safe and exact under any number of domains;
-    - {b gauges} are single float cells (last write wins);
-    - {b histograms} keep count/sum/min/max under a private mutex, the
-      same discipline as [Prelude.Pool].
+    - {b gauges} are [Atomic.t] floats — a [set] is one atomic pointer
+      swap, so concurrent domains can never observe a torn value;
+    - {b histograms} are fixed log-bucketed (HDR-style): every sample
+      is counted into the exponential ladder [1e-9 * 2^(i/4)] seconds
+      (176 buckets plus overflow) under a private mutex, alongside
+      exact count/sum/min/max.  The ladder is a pure formula, identical
+      in every process, which makes snapshots mergeable by plain bucket
+      addition — deterministic, no sampling.
 
     Instruments are never unregistered: {!snapshot} renders everything
     registered so far as one JSON object, which the trace sink embeds
-    in its final [metrics] event and the bench harness writes into
-    [BENCH_*.json].  Metrics only observe the computation — they never
-    feed back into it — so they cannot perturb golden numbers. *)
+    in its final [metrics] event, the serve/cluster [metrics] wire ops
+    return live, and the bench harness writes into [BENCH_*.json].
+    Metrics only observe the computation — they never feed back into it
+    — so they cannot perturb golden numbers. *)
 
 type counter
 type gauge
@@ -29,16 +35,67 @@ val value : counter -> int
 
 val gauge : string -> gauge
 val set : gauge -> float -> unit
+val gauge_value : gauge -> float
 
 val hist : string -> hist
 
 val observe : hist -> float -> unit
-(** Record one sample (count, sum, min, max). *)
+(** Record one sample (bucket, count, sum, min, max). *)
 
 val hist_count : hist -> int
 val hist_sum : hist -> float
 
+val quantile : hist -> float -> float
+(** [quantile h q] with [q] in [0,1]: estimate from the bucket ladder,
+    following [Prelude.Stats.percentile]'s interpolation convention.
+    Never undershoots the true sample quantile and overshoots by less
+    than one bucket's width (relative error < [2^(1/4) - 1], about
+    19%).  [nan] on an empty histogram. *)
+
+(* Bucket geometry, exposed for tests and renderers. *)
+
+val n_buckets : int
+(** Regular buckets; index [n_buckets] is the overflow bucket. *)
+
+val bucket_min : float
+(** Upper bound of bucket 0. *)
+
+val bucket_upper : int -> float
+(** Inclusive upper bound of bucket [i]; [infinity] for the overflow
+    bucket. *)
+
+val bucket_index : float -> int
+(** The bucket a sample falls into (deterministic binary search). *)
+
+val scheme : string
+(** Identifier of the bucket ladder, embedded in histogram JSON;
+    merging refuses fragments with a different scheme. *)
+
 val snapshot : unit -> Json.t
 (** All registered instruments, sorted by name:
-    [{"counters":{..}, "gauges":{..}, "histograms":{name:{count,sum,
-    mean,min,max}}}]. *)
+    [{"counters":{..}, "gauges":{..},
+      "histograms":{name:{count,sum,mean,min,max,p50,p90,p99,scheme,
+      buckets:[[i,c],..]}}}].  An empty histogram renders as
+    [{"count":0}]. *)
+
+(* JSON-level histogram algebra: these operate on snapshot fragments
+   (live, read back from a trace tail, or fetched over the wire), not
+   on registered instruments. *)
+
+val quantile_of_json : Json.t -> float -> float option
+(** Quantile of one histogram JSON object; [None] if it is empty or
+    carries no (or foreign-scheme) bucket data. *)
+
+val merge_hist_json : Json.t -> Json.t -> Json.t option
+(** Bucket-wise sum of two histogram JSON objects of the same scheme. *)
+
+val delta_hist_json : prev:Json.t -> Json.t -> Json.t option
+(** [delta_hist_json ~prev cur] is the window [cur - prev] of the same
+    monotonically-growing histogram: buckets, count and sum subtract;
+    the min/max envelope is re-derived from the occupied delta buckets
+    (the exact window extrema are not recoverable). *)
+
+val merge_snapshots : Json.t list -> Json.t
+(** Merge whole {!snapshot} values across processes: counters and
+    gauges add, histograms add bucket-wise (degrading to count/sum when
+    bucket data is missing, e.g. a v1 trace tail). *)

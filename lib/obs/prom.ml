@@ -1,0 +1,96 @@
+(** Prometheus text exposition — see prom.mli for the contract. *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Our registry names use
+   dots ("serve.request.seconds"); anything outside the legal alphabet
+   becomes '_'. *)
+let mangle name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9' && i > 0)
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+(* %.17g round-trips any finite double; Prometheus accepts Go-style
+   floats, and a plain decimal/exponent form is the portable subset. *)
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.10g" f
+
+let render (snapshot : Json.t) : string =
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let section name =
+    match Json.member name snapshot with
+    | Some (Json.Obj kv) -> kv
+    | _ -> []
+  in
+  List.iter
+    (fun (name, v) ->
+      match Json.to_int v with
+      | Some i ->
+        let n = mangle name in
+        out "# TYPE %s counter\n%s %d\n" n n i
+      | None -> ())
+    (section "counters");
+  List.iter
+    (fun (name, v) ->
+      match Json.to_float v with
+      | Some f ->
+        let n = mangle name in
+        out "# TYPE %s gauge\n%s %s\n" n n (num f)
+      | None -> ())
+    (section "gauges");
+  List.iter
+    (fun (name, h) ->
+      let n = mangle name in
+      let geti f = Option.bind (Json.member f h) Json.to_int in
+      let getf f = Option.bind (Json.member f h) Json.to_float in
+      let count = Option.value ~default:0 (geti "count") in
+      let sum = Option.value ~default:0.0 (getf "sum") in
+      out "# TYPE %s histogram\n" n;
+      (* Cumulative counts at the occupied bucket bounds only — a
+         sparse but valid le-ladder; +Inf carries the total. *)
+      (match Json.member "buckets" h with
+      | Some (Json.List pairs) ->
+        let cum = ref 0 in
+        List.iter
+          (fun p ->
+            match Json.to_list p with
+            | Some [ i; c ] -> (
+              match (Json.to_int i, Json.to_int c) with
+              | Some i, Some c when i < Metrics.n_buckets ->
+                cum := !cum + c;
+                out "%s_bucket{le=\"%s\"} %d\n" n
+                  (num (Metrics.bucket_upper i))
+                  !cum
+              | _ -> ())
+            | _ -> ())
+          pairs
+      | _ -> ());
+      out "%s_bucket{le=\"+Inf\"} %d\n" n count;
+      out "%s_sum %s\n" n (num sum);
+      out "%s_count %d\n" n count;
+      (* One name cannot be both histogram and summary, so the
+         pre-computed quantiles ride in a sibling gauge family. *)
+      if count > 0 then begin
+        out "# TYPE %s_quantile gauge\n" n;
+        List.iter
+          (fun (label, q) ->
+            match Metrics.quantile_of_json h q with
+            | Some x -> out "%s_quantile{quantile=\"%s\"} %s\n" n label (num x)
+            | None -> ())
+          [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ];
+        match getf "max" with
+        | Some m -> out "%s_quantile{quantile=\"1\"} %s\n" n (num m)
+        | None -> ()
+      end)
+    (section "histograms");
+  Buffer.contents buf

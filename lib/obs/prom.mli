@@ -1,0 +1,20 @@
+(** Prometheus text exposition format v0.0.4 over a metrics snapshot.
+
+    Mapping rules (documented in docs/observability.md):
+    - registry names are mangled to the Prometheus alphabet — every
+      character outside [[a-zA-Z0-9_:]] becomes ['_'], so
+      ["serve.request.seconds"] scrapes as [serve_request_seconds];
+    - counters render as [counter], gauges as [gauge];
+    - histograms render as a Prometheus [histogram]: a cumulative
+      [<name>_bucket{le="..."}] ladder over the occupied log buckets
+      plus [le="+Inf"], [<name>_sum] and [<name>_count];
+    - because one metric name cannot be both histogram and summary,
+      the p50/p90/p99 (and max as [quantile="1"]) ride in a sibling
+      gauge family [<name>_quantile{quantile="0.5"|"0.9"|"0.99"|"1"}]. *)
+
+val mangle : string -> string
+(** Registry name to Prometheus metric name. *)
+
+val render : Json.t -> string
+(** Render a {!Metrics.snapshot} (or a merge of several) as one
+    scrape body. *)

@@ -10,7 +10,44 @@ let current_id () =
 
 let parent_json = function Some id -> Json.Int id | None -> Json.Null
 
-let with_ ?(level = Trace.Info) ?(attrs = []) name f =
+(* ---- cross-process context ------------------------------------------- *)
+
+type context = { trace_id : string; process : string; span : int option }
+
+let current_context () =
+  if not (Trace.active ()) then None
+  else
+    match Trace.trace_id () with
+    | None -> None
+    | Some trace_id ->
+    let process = Option.value ~default:"?" (Trace.process_name ()) in
+    Some { trace_id; process; span = current_id () }
+
+let context_to_json c =
+  Json.Obj
+    [
+      ("trace_id", Json.Str c.trace_id);
+      ("process", Json.Str c.process);
+      ("span", parent_json c.span);
+    ]
+
+let context_of_json j =
+  match
+    ( Option.bind (Json.member "trace_id" j) Json.to_str,
+      Option.bind (Json.member "process" j) Json.to_str )
+  with
+  | Some trace_id, Some process ->
+    let span =
+      match Json.member "span" j with Some s -> Json.to_int s | None -> None
+    in
+    Some { trace_id; process; span }
+  | _ -> None
+
+let remote_json = function
+  | None -> []
+  | Some c -> [ ("remote", context_to_json c) ]
+
+let with_ ?(level = Trace.Info) ?(attrs = []) ?remote_parent name f =
   let emitting = Trace.on level in
   let id = ref 0 in
   if emitting then begin
@@ -21,6 +58,7 @@ let with_ ?(level = Trace.Info) ?(attrs = []) name f =
          ("parent", parent_json (current_id ()));
          ("name", Json.Str name);
        ]
+      @ remote_json remote_parent
       @ (match attrs with [] -> [] | _ -> [ ("attrs", Json.Obj attrs) ]));
     Domain.DLS.set stack (!id :: Domain.DLS.get stack)
   end;
@@ -51,11 +89,13 @@ let with_ ?(level = Trace.Info) ?(attrs = []) name f =
     finish false;
     Printexc.raise_with_backtrace e bt
 
-let event ?(level = Trace.Info) ?parent name fields =
+let event ?(level = Trace.Info) ?parent ?remote_parent name fields =
   if Trace.on level then
     let parent = match parent with Some p -> p | None -> current_id () in
     Trace.emit ~level "event"
-      (("name", Json.Str name) :: ("parent", parent_json parent) :: fields)
+      (("name", Json.Str name)
+      :: ("parent", parent_json parent)
+      :: (remote_json remote_parent @ fields))
 
 (* ---- progress rendering ---------------------------------------------- *)
 

@@ -13,16 +13,37 @@
     the process-wide printer (serialised, so domains never interleave),
     and {!ticker} turns "k of n done" into rate-based ETA lines. *)
 
+type context = { trace_id : string; process : string; span : int option }
+(** A span's address across process boundaries: the trace id of the
+    logical run, the emitting process's name (from the trace manifest),
+    and the span id within that process.  Serialised into wire envelopes
+    ([Serve.Protocol] requests, [Cluster.Wire] leases) so the receiving
+    process can record its work as a child of the sender's span; the
+    stitcher ([Obs.Stitch]) joins the files back into one tree on these
+    references. *)
+
+val current_context : unit -> context option
+(** The address of the innermost open span in this domain — [None] when
+    tracing is off, so context attachment costs nothing in ordinary
+    runs.  ([span] is [None] when tracing is on but no span is open;
+    the receiver then parents under the sending process itself.) *)
+
+val context_to_json : context -> Json.t
+val context_of_json : Json.t -> context option
+
 val with_ :
   ?level:Trace.level ->
   ?attrs:(string * Json.t) list ->
+  ?remote_parent:context ->
   string ->
   (unit -> 'a) ->
   'a
 (** Run a function inside a span.  Timing and the histogram update
     always happen; trace events only when [Trace.on level].  The end
     event carries wall and CPU duration and [ok = false] when [f]
-    raised (the exception is re-raised with its backtrace). *)
+    raised (the exception is re-raised with its backtrace).
+    [remote_parent] records the sending process's span address in the
+    begin event's ["remote"] field for cross-process stitching. *)
 
 val current_id : unit -> int option
 (** Id of the innermost open span in this domain, if a sink is open.
@@ -32,11 +53,13 @@ val current_id : unit -> int option
 val event :
   ?level:Trace.level ->
   ?parent:int option ->
+  ?remote_parent:context ->
   string ->
   (string * Json.t) list ->
   unit
 (** Emit a leaf [event] record (no begin/end pair) with the given
-    fields; [?parent] defaults to {!current_id}. *)
+    fields; [?parent] defaults to {!current_id}, [?remote_parent] as in
+    {!with_}. *)
 
 val set_printer : (string -> unit) option -> unit
 (** Install the process-wide progress printer (e.g. a stderr writer).

@@ -1,0 +1,306 @@
+(** Cross-process trace stitching — see stitch.mli for the contract. *)
+
+type span = {
+  process : string;
+  id : int;
+  name : string;
+  parent : int option;  (** same-process parent span id *)
+  remote : (string * int) option;  (** cross-process parent (process, span) *)
+  ts : float;
+  mutable dur_s : float;
+  mutable cpu_s : float;
+  mutable ended : bool;
+  mutable ok : bool;
+  mutable children : span list;  (** reverse begin order until sorted *)
+}
+
+type process_info = {
+  p_name : string;
+  p_file : string;
+  p_trace_id : string option;
+  p_version : int;
+  mutable p_spans : int;
+  mutable p_events : int;
+  mutable p_wall : float option;  (** from the stop event *)
+  p_metrics : Json.t option;  (** final metrics snapshot *)
+}
+
+type t = {
+  processes : process_info list;
+  roots : span list;
+  orphans : span list;
+  trace_ids : string list;  (** distinct, sorted *)
+}
+
+let orphan_count t = List.length t.orphans
+
+(* ---- loading one file ------------------------------------------------- *)
+
+let str_field name j = Option.bind (Json.member name j) Json.to_str
+let int_field name j = Option.bind (Json.member name j) Json.to_int
+let float_field name j = Option.bind (Json.member name j) Json.to_float
+
+let load_one (file, events) =
+  let manifest =
+    match events with
+    | first :: _ when Json.member "ev" first = Some (Json.Str "manifest") ->
+      Some first
+    | _ -> None
+  in
+  (* v1 manifests carry no process name; the file name is the best
+     stable identity we have for them. *)
+  let p_name =
+    match Option.bind manifest (str_field "process") with
+    | Some p -> p
+    | None -> Filename.basename file
+  in
+  let info =
+    {
+      p_name;
+      p_file = file;
+      p_trace_id = Option.bind manifest (str_field "trace_id");
+      p_version =
+        Option.value ~default:1 (Option.bind manifest (int_field "version"));
+      p_spans = 0;
+      p_events = 0;
+      p_wall = None;
+      p_metrics =
+        List.fold_left
+          (fun acc r ->
+            if Json.member "ev" r = Some (Json.Str "metrics") then
+              Json.member "metrics" r
+            else acc)
+          None events;
+    }
+  in
+  let spans : (int, span) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match Json.member "ev" r with
+      | Some (Json.Str "span_begin") -> (
+        match (int_field "id" r, str_field "name" r) with
+        | Some id, Some name ->
+          info.p_spans <- info.p_spans + 1;
+          let remote =
+            match Json.member "remote" r with
+            | Some rj -> (
+              match (str_field "process" rj, int_field "span" rj) with
+              | Some p, Some s -> Some (p, s)
+              | _ -> None)
+            | None -> None
+          in
+          Hashtbl.replace spans id
+            {
+              process = p_name;
+              id;
+              name;
+              parent = int_field "parent" r;
+              remote;
+              ts = Option.value ~default:0.0 (float_field "ts" r);
+              dur_s = 0.0;
+              cpu_s = 0.0;
+              ended = false;
+              ok = false;
+              children = [];
+            }
+        | _ -> ())
+      | Some (Json.Str "span_end") -> (
+        match Option.bind (int_field "id" r) (Hashtbl.find_opt spans) with
+        | Some s ->
+          s.ended <- true;
+          s.dur_s <- Option.value ~default:0.0 (float_field "dur_s" r);
+          s.cpu_s <- Option.value ~default:0.0 (float_field "cpu_s" r);
+          s.ok <-
+            (match Json.member "ok" r with
+            | Some (Json.Bool b) -> b
+            | _ -> false)
+        | None -> ())
+      | Some (Json.Str "event") -> info.p_events <- info.p_events + 1
+      | Some (Json.Str "stop") -> info.p_wall <- float_field "dur_s" r
+      | _ -> ())
+    events;
+  (info, spans)
+
+(* ---- joining ---------------------------------------------------------- *)
+
+let stitch traces =
+  let loaded = List.map load_one traces in
+  let by_key : (string * int, span) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (info, spans) ->
+      Hashtbl.iter
+        (fun id s -> Hashtbl.replace by_key (info.p_name, id) s)
+        spans)
+    loaded;
+  let roots = ref [] and orphans = ref [] in
+  Hashtbl.iter
+    (fun _ s ->
+      (* Local parent wins; a remote reference only matters for spans
+         with no enclosing span in their own process. *)
+      let parent_key =
+        match s.parent with
+        | Some p -> Some (s.process, p)
+        | None -> (
+          match s.remote with Some (p, sp) -> Some (p, sp) | None -> None)
+      in
+      match parent_key with
+      | None -> roots := s :: !roots
+      | Some key -> (
+        match Hashtbl.find_opt by_key key with
+        | Some parent when parent != s -> parent.children <- s :: parent.children
+        | _ -> orphans := s :: !orphans))
+    by_key;
+  let rec sort_children s =
+    s.children <- List.sort (fun a b -> Float.compare a.ts b.ts) s.children;
+    List.iter sort_children s.children
+  in
+  let by_ts = List.sort (fun a b -> Float.compare a.ts b.ts) in
+  let roots = by_ts !roots in
+  List.iter sort_children roots;
+  let trace_ids =
+    List.sort_uniq String.compare
+      (List.filter_map (fun (i, _) -> i.p_trace_id) loaded)
+  in
+  {
+    processes = List.map fst loaded;
+    roots;
+    orphans = by_ts !orphans;
+    trace_ids;
+  }
+
+(* ---- analysis --------------------------------------------------------- *)
+
+(* Self time subtracts only same-process children: a child running in
+   another process overlaps its parent's wall clock rather than
+   consuming it. *)
+let self_time s =
+  let local_child_time =
+    List.fold_left
+      (fun acc c -> if c.process = s.process then acc +. c.dur_s else acc)
+      0.0 s.children
+  in
+  Float.max 0.0 (s.dur_s -. local_child_time)
+
+let critical_path t =
+  let widest = function
+    | [] -> None
+    | spans ->
+      Some
+        (List.fold_left
+           (fun best s -> if s.dur_s > best.dur_s then s else best)
+           (List.hd spans) (List.tl spans))
+  in
+  let rec down acc s =
+    match widest s.children with
+    | None -> List.rev (s :: acc)
+    | Some c -> down (s :: acc) c
+  in
+  match widest t.roots with None -> [] | Some root -> down [] root
+
+let per_process_self t =
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let rec walk s =
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl s.process) in
+    Hashtbl.replace tbl s.process (prev +. self_time s);
+    List.iter walk s.children
+  in
+  List.iter walk t.roots;
+  List.iter walk t.orphans;
+  List.sort
+    (fun (_, a) (_, b) -> Float.compare b a)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let merged_metrics t =
+  match List.filter_map (fun p -> p.p_metrics) t.processes with
+  | [] -> None
+  | snaps -> Some (Metrics.merge_snapshots snaps)
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let render ?(max_depth = 4) ?(max_children = 8) t =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "stitched trace: %d file(s), %d process(es)\n" (List.length t.processes)
+    (List.length t.processes);
+  (match t.trace_ids with
+  | [] -> ()
+  | [ id ] -> out "trace_id: %s\n" id
+  | ids ->
+    out "warning: %d distinct trace ids (%s) — files may belong to different runs\n"
+      (List.length ids) (String.concat ", " ids));
+  List.iter
+    (fun p ->
+      out "  %-24s %4d spans %5d events%s  (v%d, %s)\n" p.p_name p.p_spans
+        p.p_events
+        (match p.p_wall with
+        | Some w -> Printf.sprintf "  wall %7.2fs" w
+        | None -> "  wall       ?s")
+        p.p_version p.p_file)
+    t.processes;
+  out "orphan spans: %d\n" (List.length t.orphans);
+  List.iter
+    (fun s ->
+      out "  orphan %s/%d %s (parent %s)\n" s.process s.id s.name
+        (match (s.parent, s.remote) with
+        | Some p, _ -> Printf.sprintf "local %d" p
+        | None, Some (pr, sp) -> Printf.sprintf "remote %s/%d" pr sp
+        | None, None -> "?"))
+    t.orphans;
+  (* The causal tree, truncated for eyes: depth and per-node child
+     count are bounded, with elision counts so nothing hides. *)
+  if t.roots <> [] then begin
+    out "\ncausal tree (dur_s [self_s] name @process):\n";
+    let rec tree depth prefix s =
+      out "%s%9.3f [%7.3f] %s @%s%s\n" prefix s.dur_s (self_time s) s.name
+        s.process
+        (if s.ended then "" else " (no end: truncated)");
+      if depth < max_depth then begin
+        let n = List.length s.children in
+        let shown = List.filteri (fun i _ -> i < max_children) s.children in
+        List.iter (tree (depth + 1) (prefix ^ "  ")) shown;
+        if n > max_children then
+          out "%s  ... %d more children\n" prefix (n - max_children)
+      end
+      else if s.children <> [] then
+        out "%s  ... %d children below depth cut\n" prefix
+          (List.length s.children)
+    in
+    List.iter (tree 0 "  ") t.roots
+  end;
+  (match critical_path t with
+  | [] -> ()
+  | path ->
+    out "\ncritical path (slowest child at each level):\n";
+    List.iter
+      (fun s ->
+        out "  %9.3fs [self %7.3fs] %s @%s\n" s.dur_s (self_time s) s.name
+          s.process)
+      path);
+  (match per_process_self t with
+  | [] -> ()
+  | rows ->
+    out "\nper-process self time (local children subtracted):\n";
+    List.iter (fun (p, secs) -> out "  %-24s %9.3fs\n" p secs) rows);
+  (match merged_metrics t with
+  | None -> ()
+  | Some m -> (
+    match Json.member "histograms" m with
+    | Some (Json.Obj ((_ :: _) as hists)) ->
+      out "\nmerged histograms (bucket-added across processes):\n";
+      out "  %-36s %8s %10s %10s %10s\n" "name" "count" "p50" "p90" "p99";
+      List.iter
+        (fun (k, v) ->
+          let count =
+            Option.value ~default:0
+              (Option.bind (Json.member "count" v) Json.to_int)
+          in
+          let q p =
+            match Metrics.quantile_of_json v p with
+            | Some x -> Printf.sprintf "%10.6f" x
+            | None -> Printf.sprintf "%10s" "-"
+          in
+          if count > 0 then
+            out "  %-36s %8d %s %s %s\n" k count (q 0.5) (q 0.9) (q 0.99))
+        hists
+    | _ -> ()));
+  Buffer.contents buf

@@ -40,11 +40,36 @@ let git_describe () =
 
 (* ---- the sink -------------------------------------------------------- *)
 
-type sink = { oc : out_channel; mutable seq : int; opened_at : float }
+type sink = {
+  oc : out_channel;
+  mutable seq : int;
+  opened_at : float;
+  path : string;
+  trace_id : string;
+  process : string;
+}
 
 let sink_mutex = Mutex.create ()
 let sink : sink option ref = ref None
 let sink_open = Atomic.make false  (* lock-free fast path for [active] *)
+
+(* Trace ids only need to be unique across the processes of one run;
+   mixing start time and pid is plenty, and keeps lib/obs free of any
+   RNG dependency.  Timing-derived, so outside the determinism contract
+   (like the ts field of every event). *)
+let gen_trace_id () =
+  let bits = Int64.bits_of_float (Unix.gettimeofday ()) in
+  let mixed =
+    Int64.logxor
+      (Int64.mul bits 0x9e3779b97f4a7c15L)
+      (Int64.of_int (Unix.getpid () * 2654435761))
+  in
+  Printf.sprintf "%016Lx" mixed
+
+let default_process () =
+  Printf.sprintf "%s-%d"
+    (Filename.remove_extension (Filename.basename Sys.executable_name))
+    (Unix.getpid ())
 
 let active () = Atomic.get sink_open
 
@@ -86,14 +111,22 @@ let repro_env () =
     (fun k -> Option.map (fun v -> (k, Json.Str v)) (Sys.getenv_opt k))
     [ "REPRO_UARCHS"; "REPRO_OPTS"; "REPRO_SEED"; "REPRO_JOBS" ]
 
-let start ?(manifest = []) path =
+let start ?(manifest = []) ?trace_id ?process path =
   stop ();
+  let trace_id =
+    match trace_id with Some id -> id | None -> gen_trace_id ()
+  in
+  let process =
+    match process with Some p -> p | None -> default_process ()
+  in
   let oc = open_out path in
   Mutex.lock sink_mutex;
-  let s = { oc; seq = 0; opened_at = elapsed () } in
+  let s = { oc; seq = 0; opened_at = elapsed (); path; trace_id; process } in
   emit_locked s "manifest"
     ([
-       ("version", Json.Int 1);
+       ("version", Json.Int 2);
+       ("trace_id", Json.Str trace_id);
+       ("process", Json.Str process);
        ("unix_time", Json.Float (Unix.gettimeofday ()));
        ("git", Json.Str (git_describe ()));
        ("ocaml", Json.Str Sys.ocaml_version);
@@ -110,6 +143,16 @@ let start ?(manifest = []) path =
     at_exit stop
   end;
   Mutex.unlock sink_mutex
+
+let with_sink f =
+  Mutex.lock sink_mutex;
+  let r = match !sink with None -> None | Some s -> Some (f s) in
+  Mutex.unlock sink_mutex;
+  r
+
+let trace_id () = with_sink (fun s -> s.trace_id)
+let process_name () = with_sink (fun s -> s.process)
+let path () = with_sink (fun s -> s.path)
 
 let emit ?(level = Info) ev fields =
   if on level then begin
@@ -326,19 +369,27 @@ let summarise events =
     match Json.member "histograms" m with
     | Some (Json.Obj ((_ :: _) as hists)) ->
       out "\nhistograms:\n";
-      out "  %-36s %8s %10s %12s\n" "name" "count" "sum" "mean";
+      out "  %-36s %8s %10s %12s %10s %10s %10s\n" "name" "count" "sum"
+        "mean" "p50" "p90" "p99";
       List.iter
         (fun (k, v) ->
           let f field =
             Option.value ~default:0.0
               (Option.bind (Json.member field v) Json.to_float)
           in
+          (* v1 traces carry no quantiles; print "-" rather than 0. *)
+          let q field =
+            match Option.bind (Json.member field v) Json.to_float with
+            | Some x -> Printf.sprintf "%10.6f" x
+            | None -> Printf.sprintf "%10s" "-"
+          in
           let count =
             Option.value ~default:0
               (Option.bind (Json.member "count" v) Json.to_int)
           in
           if count > 0 then
-            out "  %-36s %8d %10.3f %12.6f\n" k count (f "sum") (f "mean"))
+            out "  %-36s %8d %10.3f %12.6f %s %s %s\n" k count (f "sum")
+              (f "mean") (q "p50") (q "p90") (q "p99"))
         hists
     | _ -> ());
   Buffer.contents buf

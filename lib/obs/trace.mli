@@ -43,16 +43,36 @@ val git_describe : unit -> string
 
 (** {1 Writing} *)
 
-val start : ?manifest:(string * Json.t) list -> string -> unit
-(** Open [path] and write the manifest event.  Closes any previously
+val start :
+  ?manifest:(string * Json.t) list ->
+  ?trace_id:string ->
+  ?process:string ->
+  string ->
+  unit
+(** Open [path] and write the manifest event (schema version 2: it
+    carries a [trace_id] and a [process] name).  Closes any previously
     open sink first; a [stop] at process exit is registered
-    automatically. *)
+    automatically.  [trace_id] defaults to a fresh id unique to this
+    process start; pass the parent's id when spawning workers so the
+    files stitch into one logical trace.  [process] defaults to
+    ["<executable>-<pid>"] and names this process in cross-process
+    span references. *)
 
 val stop : unit -> unit
 (** Emit the final [metrics] and [stop] events and close the sink.
     A no-op when no sink is open. *)
 
 val active : unit -> bool
+
+val trace_id : unit -> string option
+(** The open sink's trace id; [None] when tracing is off. *)
+
+val process_name : unit -> string option
+(** The open sink's process name; [None] when tracing is off. *)
+
+val path : unit -> string option
+(** The open sink's file path; [None] when tracing is off.  Lets a
+    parent derive per-worker trace paths next to its own. *)
 
 val on : level -> bool
 (** [active () && verbose level]: whether an event at [level] would be

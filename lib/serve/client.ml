@@ -53,8 +53,14 @@ let request t (j : J.t) : (J.t, string) result =
 let ( let* ) = Result.bind
 
 let checked t req =
+  (* When this process is tracing, stamp the request with the current
+     span address so the server's trace stitches under ours; [None]
+     (the common case) adds nothing to the wire. *)
+  let trace = Obs.Span.current_context () in
   let* j =
-    Result.map_error (fun e -> (0, e)) (request t (Protocol.request_to_json req))
+    Result.map_error
+      (fun e -> (0, e))
+      (request t (Protocol.request_to_json ?trace req))
   in
   Protocol.check_response j
 
@@ -91,5 +97,12 @@ let predict_batch t queries =
   | Ok results -> Ok results
 
 let health t = checked t Protocol.Health
+
+let metrics t =
+  let* j = checked t Protocol.Metrics in
+  match J.member "metrics" j with
+  | Some m -> Ok m
+  | None -> Error (0, "metrics response missing \"metrics\" field")
+
 let shutdown t = checked t Protocol.Shutdown
 let sleep t seconds = checked t (Protocol.Sleep seconds)

@@ -44,6 +44,12 @@ val health : t -> (Obs.Json.t, int * string) result
 (** The server's health document (uptime, request/shed counts, cache
     stats, queue depth, model shape). *)
 
+val metrics : t -> (Obs.Json.t, int * string) result
+(** The server process's live {!Obs.Metrics.snapshot} — counters,
+    gauges and bucketed latency histograms (the ["metrics"] object of
+    the wire response).  Feed it to [Obs.Prom.render] for a Prometheus
+    scrape, or diff successive snapshots for a dashboard. *)
+
 val shutdown : t -> (Obs.Json.t, int * string) result
 (** Ask the server to drain and exit (requires [--admin]). *)
 

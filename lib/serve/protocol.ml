@@ -93,6 +93,7 @@ type request =
       (** One admission slot, one pool task, one response line for the
           whole vector. *)
   | Health
+  | Metrics
   | Shutdown
   | Sleep of float  (** Admin/test op: hold a worker for the duration. *)
 
@@ -109,8 +110,13 @@ let query_to_json (counters, uarch) =
   J.Obj
     [ ("counters", counters_to_json counters); ("uarch", uarch_to_json uarch) ]
 
-let request_to_json ?id req =
+let request_to_json ?id ?trace req =
   let id = match id with None -> [] | Some i -> [ ("id", J.Int i) ] in
+  let trace =
+    match trace with
+    | None -> []
+    | Some ctx -> [ ("trace", Obs.Span.context_to_json ctx) ]
+  in
   let fields =
     match req with
     | Predict { counters; uarch } ->
@@ -125,15 +131,22 @@ let request_to_json ?id req =
         ("queries", J.List (Array.to_list (Array.map query_to_json queries)));
       ]
     | Health -> [ ("op", J.Str "health") ]
+    | Metrics -> [ ("op", J.Str "metrics") ]
     | Shutdown -> [ ("op", J.Str "shutdown") ]
     | Sleep s -> [ ("op", J.Str "sleep"); ("seconds", J.Float s) ]
   in
-  J.Obj (fields @ id)
+  J.Obj (fields @ trace @ id)
 
 (** The request's ["id"] field, echoed into every response so clients
     can pipeline. *)
 let request_id j =
   match J.member "id" j with Some (J.Int _ as i) -> Some i | _ -> None
+
+(** The request's optional ["trace"] context: the client's span
+    address, recorded on the server's [serve.request] event so the
+    stitcher can hang server-side work under the caller's span. *)
+let request_trace j =
+  Option.bind (J.member "trace" j) Obs.Span.context_of_json
 
 (* Parse one (counters, uarch) query object — shared by "predict" and
    each element of "predict_batch".  Rejects non-finite counter values
@@ -169,6 +182,7 @@ let request_of_json j =
   in
   match op with
   | "health" -> Ok Health
+  | "metrics" -> Ok Metrics
   | "shutdown" -> Ok Shutdown
   | "sleep" ->
     let seconds =

@@ -20,6 +20,9 @@ type request =
           in query order) — the server admits the whole batch as one
           slot and computes it as one pool task. *)
   | Health
+  | Metrics
+      (** Live {!Obs.Metrics.snapshot} of the server process — counters,
+          gauges and bucketed latency histograms; not an admin op. *)
   | Shutdown  (** Admin op: trigger a graceful drain. *)
   | Sleep of float
       (** Admin/test op: hold a worker for the duration (clamped to
@@ -30,7 +33,12 @@ val max_batch : int
     rejected with a 400. *)
 
 val counters_to_json : Sim.Counters.t -> Obs.Json.t
-val request_to_json : ?id:int -> request -> Obs.Json.t
+
+val request_to_json :
+  ?id:int -> ?trace:Obs.Span.context -> request -> Obs.Json.t
+(** [trace] attaches the caller's span address as a ["trace"] field so
+    the server's [serve.request] events stitch under the caller's
+    span (see [Obs.Stitch]). *)
 
 val request_of_json : Obs.Json.t -> (request, string) result
 (** Missing ["op"] defaults to ["predict"].  Counter vectors containing
@@ -40,6 +48,9 @@ val request_of_json : Obs.Json.t -> (request, string) result
 
 val request_id : Obs.Json.t -> Obs.Json.t option
 (** The ["id"] field to echo into the response, when present. *)
+
+val request_trace : Obs.Json.t -> Obs.Span.context option
+(** The ["trace"] context attached by the client, when present. *)
 
 type neighbour = {
   index : int;  (** Training-pair row in the served model. *)

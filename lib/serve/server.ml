@@ -73,8 +73,12 @@ type t = {
   mutable accept_thread : Thread.t option;
 }
 
-(* Process-wide metrics (shared across server instances; the health
-   endpoint reports per-instance numbers from the atomics above). *)
+(* Who owns which number: the [health] op reports *this server
+   instance* from the per-server atomics in [t]; the process-wide
+   registry below feeds the [metrics] op, the Prometheus scrape and the
+   trace tail, and is the sum over every server instance in the
+   process (tests run several).  [bump] is the only place both are
+   incremented, so the two surfaces cannot drift apart. *)
 let m_requests = Obs.Metrics.counter "serve.requests"
 let m_predictions = Obs.Metrics.counter "serve.predictions"
 let m_shed = Obs.Metrics.counter "serve.shed"
@@ -84,6 +88,10 @@ let m_cache_misses = Obs.Metrics.counter "serve.cache.misses"
 let m_connections = Obs.Metrics.counter "serve.connections"
 let g_queue_depth = Obs.Metrics.gauge "serve.queue_depth"
 let h_request_seconds = Obs.Metrics.hist "serve.request.seconds"
+
+let bump per_server process_wide =
+  Atomic.incr per_server;
+  Obs.Metrics.add process_wide 1
 
 let address t = t.resolved
 
@@ -284,8 +292,7 @@ let predict_response t ~id ~t0 counters uarch =
       }
   | None ->
     if not (try_admit t) then begin
-      Atomic.incr t.shed;
-      Obs.Metrics.add m_shed 1;
+      bump t.shed m_shed;
       Protocol.error_to_json ?id ~code:429
         "overloaded: admission queue full, retry later"
     end
@@ -317,8 +324,7 @@ let predict_response t ~id ~t0 counters uarch =
                 cached = false;
               }
           | Error e ->
-            Atomic.incr t.errors;
-            Obs.Metrics.add m_errors 1;
+            bump t.errors m_errors;
             Protocol.error_to_json ?id ~code:500
               ("prediction failed: " ^ Printexc.to_string e))
 
@@ -360,8 +366,7 @@ let predict_batch_response t ~id ~t0 queries =
          hits)
   end
   else if not (try_admit t) then begin
-    Atomic.incr t.shed;
-    Obs.Metrics.add m_shed 1;
+    bump t.shed m_shed;
     Protocol.error_to_json ?id ~code:429
       "overloaded: admission queue full, retry later"
   end
@@ -408,8 +413,7 @@ let predict_batch_response t ~id ~t0 queries =
                    })
                hits)
         | Error e ->
-          Atomic.incr t.errors;
-          Obs.Metrics.add m_errors 1;
+          bump t.errors m_errors;
           Protocol.error_to_json ?id ~code:500
             ("prediction failed: " ^ Printexc.to_string e))
 
@@ -417,10 +421,18 @@ let stop t = Atomic.set t.stopping true
 
 let handle_line t line =
   let t0 = Unix.gettimeofday () in
-  Atomic.incr t.requests;
-  Obs.Metrics.add m_requests 1;
+  bump t.requests m_requests;
+  let parsed = J.of_string line in
+  (* The client's span address, when it sent one and a sink is open —
+     recorded on the serve.request event so the stitcher hangs this
+     request under the caller's span. *)
+  let remote =
+    match parsed with
+    | Ok j when Obs.Trace.active () -> Protocol.request_trace j
+    | _ -> None
+  in
   let response, op =
-    match J.of_string line with
+    match parsed with
     | Error e ->
       ( Protocol.error_to_json ~code:400 ("malformed request: " ^ e),
         "malformed" )
@@ -429,6 +441,14 @@ let handle_line t line =
       match Protocol.request_of_json j with
       | Error e -> (Protocol.error_to_json ?id ~code:400 e, "malformed")
       | Ok Protocol.Health -> (health_json t, "health")
+      | Ok Protocol.Metrics ->
+        let fields =
+          [ ("ok", J.Bool true); ("metrics", Obs.Metrics.snapshot ()) ]
+        in
+        let fields =
+          match id with Some i -> ("id", i) :: fields | None -> fields
+        in
+        (J.Obj fields, "metrics")
       | Ok Protocol.Shutdown when not t.config.admin ->
         ( Protocol.error_to_json ?id ~code:403
             "shutdown is an admin op (start the server with --admin)",
@@ -442,8 +462,7 @@ let handle_line t line =
           "sleep" )
       | Ok (Protocol.Sleep seconds) ->
         if not (try_admit t) then begin
-          Atomic.incr t.shed;
-          Obs.Metrics.add m_shed 1;
+          bump t.shed m_shed;
           ( Protocol.error_to_json ?id ~code:429
               "overloaded: admission queue full, retry later",
             "sleep" )
@@ -469,7 +488,7 @@ let handle_line t line =
   Obs.Metrics.observe h_request_seconds dur;
   (* Leaf event rather than a span pair: connection threads share one
      domain, so the span stack's domain-local nesting would interleave. *)
-  Obs.Span.event ~parent:None "serve.request"
+  Obs.Span.event ~parent:None ?remote_parent:remote "serve.request"
     [ ("op", J.Str op); ("dur_ms", J.Float (dur *. 1e3)) ];
   response
 
@@ -507,8 +526,7 @@ let conn_loop t fd =
            end
          | Error Frame.Closed -> closed := true
          | Error e ->
-           Atomic.incr t.errors;
-           Obs.Metrics.add m_errors 1;
+           bump t.errors m_errors;
            (try
               write_all fd
                 (J.to_string

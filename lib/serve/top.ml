@@ -1,0 +1,101 @@
+(** Dashboard sampling and rendering — see top.mli for the contract. *)
+
+module J = Obs.Json
+
+type sample = { at : float; health : J.t; metrics : J.t }
+
+let fetch client =
+  match Client.health client with
+  | Error _ as e -> e
+  | Ok health -> (
+    match Client.metrics client with
+    | Error _ as e -> e
+    | Ok metrics -> Ok { at = Unix.gettimeofday (); health; metrics })
+
+(* ---- accessors -------------------------------------------------------- *)
+
+let geti path j =
+  let rec go j = function
+    | [] -> J.to_int j
+    | k :: rest -> ( match J.member k j with Some v -> go v rest | None -> None)
+  in
+  Option.value ~default:0 (go j path)
+
+let getf path j =
+  let rec go j = function
+    | [] -> J.to_float j
+    | k :: rest -> ( match J.member k j with Some v -> go v rest | None -> None)
+  in
+  Option.value ~default:0.0 (go j path)
+
+let request_hist s =
+  Option.value ~default:(J.Obj [ ("count", J.Int 0) ])
+    (Option.bind
+       (J.member "histograms" s.metrics)
+       (J.member "serve.request.seconds"))
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let ms = 1e3
+
+let fmt_quantiles label h =
+  match Obs.Metrics.quantile_of_json h 0.5 with
+  | None -> Printf.sprintf "latency  %-12s (no samples)" label
+  | Some p50 ->
+    let q p = Option.value ~default:nan (Obs.Metrics.quantile_of_json h p) in
+    let hmax =
+      Option.value ~default:nan (Option.bind (J.member "max" h) J.to_float)
+    in
+    Printf.sprintf
+      "latency  %-12s p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  max %8.3fms"
+      label (p50 *. ms) (q 0.9 *. ms) (q 0.99 *. ms) (hmax *. ms)
+
+let render ?prev (cur : sample) ~address =
+  let b = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let hi path = geti path cur.health in
+  let requests = hi [ "requests" ]
+  and shed = hi [ "shed" ]
+  and errors = hi [ "errors" ] in
+  let hits = hi [ "cache"; "hits" ] and misses = hi [ "cache"; "misses" ] in
+  out "portopt top — %s    uptime %.1fs    stopping %s\n" address
+    (getf [ "uptime_s" ] cur.health)
+    (match J.member "stopping" cur.health with
+    | Some (J.Bool true) -> "true"
+    | _ -> "false");
+  (match prev with
+  | Some p when cur.at > p.at ->
+    let dt = cur.at -. p.at in
+    let rate cur_v prev_v = float_of_int (cur_v - prev_v) /. dt in
+    let preq = geti [ "requests" ] p.health in
+    out
+      "window   %6.1fs    %8.1f req/s    %8.1f shed/s    %8.1f err/s\n" dt
+      (rate requests preq)
+      (rate shed (geti [ "shed" ] p.health))
+      (rate errors (geti [ "errors" ] p.health))
+  | _ -> out "window   (first sample)\n");
+  let lookups = hits + misses in
+  out
+    "totals   requests %d    shed %d (%.2f%%)    errors %d    predictions %d\n"
+    requests shed
+    (if requests = 0 then 0.0
+     else 100.0 *. float_of_int shed /. float_of_int requests)
+    errors
+    (geti [ "counters"; "serve.predictions" ] cur.metrics);
+  out "cache    hit rate %s    size %d/%d\n"
+    (if lookups = 0 then "-"
+     else Printf.sprintf "%.1f%%" (100.0 *. float_of_int hits /. float_of_int lookups))
+    (hi [ "cache"; "size" ])
+    (hi [ "cache"; "capacity" ]);
+  out "queue    depth %d    inflight %d    jobs %d    limit %d\n"
+    (hi [ "queue_depth" ]) (hi [ "inflight" ]) (hi [ "jobs" ])
+    (hi [ "queue_limit" ]);
+  let h = request_hist cur in
+  out "%s\n" (fmt_quantiles "(lifetime)" h);
+  (match prev with
+  | Some p -> (
+    match Obs.Metrics.delta_hist_json ~prev:(request_hist p) h with
+    | Some dh -> out "%s\n" (fmt_quantiles "(window)" dh)
+    | None -> ())
+  | None -> ());
+  Buffer.contents b

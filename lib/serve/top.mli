@@ -1,0 +1,26 @@
+(** The sampling/diffing/rendering core of [portopt top].
+
+    A {!sample} pairs one [health] reply (this server instance) with
+    one [metrics] reply (the server process) at a wall-clock instant;
+    {!render} turns the latest sample — and, when given, the previous
+    one — into a fixed-height text panel: request/shed/error rates over
+    the polling window, cache hit rate, queue depth, and request
+    latency quantiles both over the server's lifetime and over just the
+    window (bucket subtraction via [Obs.Metrics.delta_hist_json]).
+
+    Pure except for {!fetch}, so the tests can drive {!render} with
+    synthetic samples. *)
+
+type sample = { at : float; health : Obs.Json.t; metrics : Obs.Json.t }
+
+val fetch : Client.t -> (sample, int * string) result
+(** One [health] + [metrics] round-trip pair, stamped with the local
+    wall clock. *)
+
+val request_hist : sample -> Obs.Json.t
+(** The ["serve.request.seconds"] histogram object of the sample
+    (empty-histogram JSON when absent). *)
+
+val render : ?prev:sample -> sample -> address:string -> string
+(** The panel text; with [prev], rate and window lines are computed
+    from the difference of the two samples. *)

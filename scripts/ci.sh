@@ -6,7 +6,9 @@
 # predictions byte-identical through the binary), store (cold -> warm
 # incremental rerun with byte-identical artifacts) and cluster
 # (multi-process train with chaos and a mid-run worker kill, artifact
-# byte-identical to single-process).  Each stage fails
+# byte-identical to single-process) and obs (traced multi-process
+# train stitched to zero orphan spans, live Prometheus scrape and
+# `top` dashboard, tracing proven artifact-neutral).  Each stage fails
 # fast; a green run is the tier-1 bar for merging.
 #
 # Usage: sh scripts/ci.sh   (or `make ci`)
@@ -40,6 +42,9 @@ make store-smoke
 
 stage cluster-smoke
 make cluster-smoke
+
+stage obs-smoke
+make obs-smoke
 
 echo
 echo "ci: OK"

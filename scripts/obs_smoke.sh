@@ -1,0 +1,109 @@
+#!/bin/sh
+# Observability smoke test: the telemetry plane end to end against the
+# real binary.
+#
+# 1. A traced `train --workers 2` — the coordinator traces itself and
+#    spawns workers tracing sibling files under its trace id; the
+#    multi-file `report` must stitch them into one causal tree with
+#    ZERO orphan spans, and tracing must not change the artifact
+#    (byte-identical to an untraced run).
+# 2. A traced serve + query burst — client span contexts propagate
+#    through requests; `portopt metrics --format prom` must expose a
+#    valid Prometheus scrape with the request-latency histogram and
+#    its quantile family, and `portopt top --count 2` must render the
+#    dashboard without a terminal.
+#
+# Invokes the built binary directly rather than via `dune exec`:
+# concurrent `dune exec` processes would contend on the build lock.
+set -eu
+
+BIN=_build/default/bin/portopt.exe
+DIR=results/obs_smoke
+SOCK="$DIR/portopt.sock"
+MODEL="$DIR/model.pcm"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+SCALE="REPRO_UARCHS=2 REPRO_OPTS=6 SOURCE_DATE_EPOCH=0"
+
+echo "obs-smoke: untraced baseline artifact..."
+env $SCALE "$BIN" train -o "$DIR/base.pcm" --log-level quiet
+
+# Default (info) log level: `quiet` also silences info-level spans, and
+# the point here is a coordinator trace the workers can stitch under.
+echo "obs-smoke: traced train --workers 2..."
+env $SCALE "$BIN" train --workers 2 -o "$MODEL" \
+  --trace "$DIR/train.jsonl" >"$DIR/train.log" 2>&1
+
+echo "obs-smoke: tracing must not change the artifact..."
+cmp "$DIR/base.pcm" "$MODEL"
+
+echo "obs-smoke: worker traces written under the parent's id..."
+ls "$DIR"/train.worker-*.jsonl >/dev/null
+
+echo "obs-smoke: stitched report with zero orphan spans..."
+"$BIN" report "$DIR/train.jsonl" "$DIR"/train.worker-*.jsonl \
+  >"$DIR/stitch.out"
+grep -q "^orphan spans: 0$" "$DIR/stitch.out"
+# The tree must actually join across processes: the coordinator's
+# evaluation span present, and worker lease spans stitched under it
+# (indented, not at the left margin as roots).
+grep -q "cluster.evaluate @" "$DIR/stitch.out"
+grep -q "cluster.lease @" "$DIR/stitch.out"
+! grep -Eq "^      [0-9]+\.[0-9]+ \[[^]]*\] cluster.lease" "$DIR/stitch.out" \
+  || { echo "obs-smoke: lease spans are roots — context not propagated" >&2
+       exit 1; }
+# One trace id across all files — no multi-run warning.
+! grep -q "distinct trace ids" "$DIR/stitch.out"
+
+echo "obs-smoke: traced serve + query burst..."
+"$BIN" serve --model "$MODEL" --socket "$SOCK" --jobs 2 --admin \
+  --trace "$DIR/serve.jsonl" >"$DIR/serve.log" 2>&1 &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -S "$SOCK" ] && [ $i -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ ! -S "$SOCK" ]; then
+  echo "obs-smoke: server never came up" >&2
+  cat "$DIR/serve.log" >&2
+  exit 1
+fi
+
+env $SCALE "$BIN" query --socket "$SOCK" qsort \
+  --trace "$DIR/query.jsonl" >"$DIR/q1.out" 2>&1
+env $SCALE "$BIN" query --socket "$SOCK" qsort >/dev/null 2>&1
+env $SCALE "$BIN" query --socket "$SOCK" bitcnts >/dev/null 2>&1
+grep -q "predicted passes" "$DIR/q1.out"
+
+echo "obs-smoke: prometheus scrape..."
+"$BIN" metrics --socket "$SOCK" --format prom >"$DIR/scrape.txt"
+grep -q "^# TYPE serve_requests counter$" "$DIR/scrape.txt"
+grep -q "^# TYPE serve_request_seconds histogram$" "$DIR/scrape.txt"
+grep -q 'serve_request_seconds_bucket{le="+Inf"}' "$DIR/scrape.txt"
+grep -q "^serve_request_seconds_count " "$DIR/scrape.txt"
+grep -q 'serve_request_seconds_quantile{quantile="0.99"}' "$DIR/scrape.txt"
+
+echo "obs-smoke: json snapshot..."
+"$BIN" metrics --socket "$SOCK" --format json | grep -q '"serve.request.seconds"'
+
+echo "obs-smoke: top dashboard (2 polls, no tty)..."
+"$BIN" top --socket "$SOCK" --interval 0.2 --count 2 >"$DIR/top.out"
+grep -q "portopt top" "$DIR/top.out"
+grep -q "req/s" "$DIR/top.out"
+grep -q "(lifetime)" "$DIR/top.out"
+grep -q "(window)" "$DIR/top.out"
+
+echo "obs-smoke: drain and stitch client into the server trace..."
+"$BIN" query --socket "$SOCK" --shutdown >/dev/null
+wait "$SERVER"
+trap - EXIT
+
+"$BIN" report "$DIR/serve.jsonl" "$DIR/query.jsonl" >"$DIR/stitch2.out"
+grep -q "^orphan spans: 0$" "$DIR/stitch2.out"
+
+echo "obs-smoke: OK"

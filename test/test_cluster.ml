@@ -87,6 +87,7 @@ let coordinator_msgs rng =
     Cluster.Wire.Task_error
       { job = 3; lease = 17; task = 6; error = "unknown workload" };
     Cluster.Wire.Lease_done { job = 3; lease = 17 };
+    Cluster.Wire.Metrics_query;
     Cluster.Wire.Register
       {
         name = String.make 64 'x';
@@ -109,8 +110,13 @@ let worker_msgs rng =
             (0, { Cluster.Task.program = "crc"; setting = F.o3 });
             (3, { Cluster.Task.program = "sha"; setting = F.random rng });
           ];
+        trace =
+          Some { Obs.Span.trace_id = "cafe01"; process = "portopt-1"; span = Some 42 };
       };
-    Cluster.Wire.Lease { job = 0; lease = 0; deadline_s = 0.5; tasks = [] };
+    Cluster.Wire.Lease
+      { job = 0; lease = 0; deadline_s = 0.5; tasks = []; trace = None };
+    Cluster.Wire.Metrics
+      { snapshot = J.Obj [ ("counters", J.Obj [ ("x", J.Int 1) ]) ] };
     Cluster.Wire.Quit;
   ]
 

@@ -95,6 +95,385 @@ let test_metrics_kind_mismatch () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "reusing a counter name as a gauge should raise"
 
+let test_gauge_no_torn_reads () =
+  (* Two domains flip the gauge between two doubles whose halves all
+     differ while two more read it flat out: every read must be one of
+     the written values bit-for-bit — a torn read would mix halves and
+     produce a third value. *)
+  let g = Obs.Metrics.gauge "test.obs.torn" in
+  let a = Int64.float_of_bits 0x0102030405060708L in
+  let b = Int64.float_of_bits 0x4807060504030201L in
+  Obs.Metrics.set g a;
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let writer v =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Obs.Metrics.set g v
+        done)
+  in
+  let reader () =
+    Domain.spawn (fun () ->
+        for _ = 1 to 200_000 do
+          let v = Obs.Metrics.gauge_value g in
+          if not (v = a || v = b) then Atomic.incr torn
+        done)
+  in
+  let writers = [ writer a; writer b ] in
+  let readers = [ reader (); reader () ] in
+  List.iter Domain.join readers;
+  Atomic.set stop true;
+  List.iter Domain.join writers;
+  check Alcotest.int "no torn reads" 0 (Atomic.get torn);
+  check Alcotest.bool "last write visible" true
+    (let v = Obs.Metrics.gauge_value g in
+     v = a || v = b)
+
+(* ---- histogram buckets and quantiles ----------------------------------- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_contains ~msg needle hay =
+  if not (contains ~needle hay) then
+    Alcotest.failf "%s: %S not found in:\n%s" msg needle hay
+
+let test_hist_bucket_geometry () =
+  (* Golden boundaries: the ladder is a pure formula, so these numbers
+     must never drift — merging across processes depends on it. *)
+  check Alcotest.int "bucket count" 176 Obs.Metrics.n_buckets;
+  check (Alcotest.float 1e-24) "bucket 0 upper bound" 1e-9
+    (Obs.Metrics.bucket_upper 0);
+  check (Alcotest.float 1e-24) "one octave up doubles" 2e-9
+    (Obs.Metrics.bucket_upper 4);
+  check (Alcotest.float 1e-12) "thirty octaves up" 1.073741824
+    (Obs.Metrics.bucket_upper 120);
+  check Alcotest.bool "overflow bucket is unbounded" true
+    (Obs.Metrics.bucket_upper Obs.Metrics.n_buckets = Float.infinity);
+  let ratio = Float.pow 2.0 0.25 in
+  for i = 1 to Obs.Metrics.n_buckets - 1 do
+    let prev = Obs.Metrics.bucket_upper (i - 1) in
+    let cur = Obs.Metrics.bucket_upper i in
+    if cur <= prev then Alcotest.failf "ladder not monotonic at %d" i;
+    check (Alcotest.float 1e-9)
+      (Printf.sprintf "quarter-octave ratio at %d" i)
+      ratio (cur /. prev)
+  done;
+  (* Indexing: upper bounds are inclusive; everything at or below the
+     floor (including junk) lands in bucket 0, everything above the top
+     in the overflow bucket. *)
+  for i = 0 to Obs.Metrics.n_buckets - 1 do
+    if Obs.Metrics.bucket_index (Obs.Metrics.bucket_upper i) <> i then
+      Alcotest.failf "upper bound of bucket %d does not index to itself" i
+  done;
+  check Alcotest.int "just above a bound moves up" 4
+    (Obs.Metrics.bucket_index (Obs.Metrics.bucket_upper 3 *. 1.000001));
+  check Alcotest.int "below the floor" 0 (Obs.Metrics.bucket_index 1e-12);
+  check Alcotest.int "zero" 0 (Obs.Metrics.bucket_index 0.0);
+  check Alcotest.int "negative" 0 (Obs.Metrics.bucket_index (-1.0));
+  check Alcotest.int "nan" 0 (Obs.Metrics.bucket_index Float.nan);
+  check Alcotest.int "huge overflows" Obs.Metrics.n_buckets
+    (Obs.Metrics.bucket_index 1e9)
+
+let test_hist_quantile_error_bound () =
+  (* Against the exact Prelude.Stats.percentile: the bucket estimate
+     must never undershoot and overshoot by less than one bucket's
+     relative width (2^(1/4) - 1). *)
+  let slack = Float.pow 2.0 0.25 *. (1.0 +. 1e-9) in
+  let distributions =
+    [
+      ("uniform", Array.init 1000 (fun i -> 1e-4 +. (float_of_int i *. 1e-5)));
+      ( "geometric",
+        Array.init 500 (fun i -> 1e-6 *. Float.pow 1.03 (float_of_int i)) );
+      ( "bimodal",
+        Array.init 400 (fun i -> if i mod 2 = 0 then 3e-4 else 7e-2) );
+      ("singleton", [| 0.0421 |]);
+    ]
+  in
+  List.iteri
+    (fun ci (label, samples) ->
+      let h = Obs.Metrics.hist (Printf.sprintf "test.obs.qbound.%d" ci) in
+      Array.iter (Obs.Metrics.observe h) samples;
+      List.iter
+        (fun q ->
+          let est = Obs.Metrics.quantile h q in
+          let exact = Prelude.Stats.percentile samples (q *. 100.0) in
+          if est < exact *. (1.0 -. 1e-9) then
+            Alcotest.failf "%s p%g: estimate %g undershoots exact %g" label
+              (q *. 100.0) est exact;
+          if est > exact *. slack then
+            Alcotest.failf "%s p%g: estimate %g > %g (exact %g + one bucket)"
+              label (q *. 100.0) est (exact *. slack) exact)
+        [ 0.0; 0.5; 0.9; 0.99; 1.0 ])
+    distributions;
+  (* Empty histogram: no answer, not a wrong one. *)
+  let e = Obs.Metrics.hist "test.obs.qbound.empty" in
+  check Alcotest.bool "empty quantile is nan" true
+    (Float.is_nan (Obs.Metrics.quantile e 0.5))
+
+(* The live JSON fragment of one registered histogram. *)
+let hist_json name =
+  match Obs.Json.member "histograms" (Obs.Metrics.snapshot ()) with
+  | Some hs -> (
+    match Obs.Json.member name hs with
+    | Some j -> j
+    | None -> Alcotest.failf "snapshot lacks histogram %s" name)
+  | None -> Alcotest.fail "snapshot lacks histograms"
+
+let test_hist_merge_associative () =
+  let mk i samples =
+    let name = Printf.sprintf "test.obs.merge.%d" i in
+    let h = Obs.Metrics.hist name in
+    List.iter (Obs.Metrics.observe h) samples;
+    hist_json name
+  in
+  let a = mk 0 [ 1e-4; 2e-4; 3e-4 ]
+  and b = mk 1 [ 5e-2; 6e-2 ]
+  and c = mk 2 [ 9.0; 1e-8; 0.5 ] in
+  let merge x y =
+    match Obs.Metrics.merge_hist_json x y with
+    | Some m -> m
+    | None -> Alcotest.fail "same-scheme merge refused"
+  in
+  check Alcotest.bool "merge is associative" true
+    (merge (merge a b) c = merge a (merge b c));
+  check Alcotest.bool "merge is commutative" true (merge a b = merge b a);
+  let m = merge (merge a b) c in
+  check Alcotest.(option int) "counts add" (Some 8)
+    (Option.bind (Obs.Json.member "count" m) Obs.Json.to_int);
+  check Alcotest.bool "max is the overall max" true
+    (Option.bind (Obs.Json.member "max" m) Obs.Json.to_float = Some 9.0);
+  (* Merged quantiles still answer (the p99 must reach into c's 9.0
+     sample's bucket neighbourhood). *)
+  (match Obs.Metrics.quantile_of_json m 0.99 with
+  | Some q -> check Alcotest.bool "merged p99 in range" true (q > 0.5 && q <= 9.0)
+  | None -> Alcotest.fail "merged histogram lost its buckets");
+  (* A foreign scheme is refused, not silently mis-merged. *)
+  let foreign =
+    Obs.Json.Obj
+      [
+        ("count", Obs.Json.Int 1); ("sum", Obs.Json.Float 1.0);
+        ("scheme", Obs.Json.Str "someone-elses");
+        ("buckets", Obs.Json.List []);
+      ]
+  in
+  check Alcotest.bool "foreign scheme refused" true
+    (Obs.Metrics.merge_hist_json a foreign = None)
+
+let test_snapshot_merge_and_delta () =
+  let snap counters hists =
+    Obs.Json.Obj
+      [
+        ("counters", Obs.Json.Obj counters);
+        ("gauges", Obs.Json.Obj []);
+        ("histograms", Obs.Json.Obj hists);
+      ]
+  in
+  let s1 = snap [ ("x", Obs.Json.Int 2) ] []
+  and s2 = snap [ ("x", Obs.Json.Int 3); ("y", Obs.Json.Int 1) ] [] in
+  let m = Obs.Metrics.merge_snapshots [ s1; s2 ] in
+  let counter name =
+    Option.bind (Obs.Json.member "counters" m) (fun c ->
+        Option.bind (Obs.Json.member name c) Obs.Json.to_int)
+  in
+  check Alcotest.(option int) "shared counter adds" (Some 5) (counter "x");
+  check Alcotest.(option int) "lone counter kept" (Some 1) (counter "y");
+  (* Windowing: the delta of two snapshots of one growing histogram is
+     exactly the samples in between. *)
+  let name = "test.obs.delta" in
+  let h = Obs.Metrics.hist name in
+  List.iter (Obs.Metrics.observe h) [ 1e-3; 2e-3 ];
+  let before = hist_json name in
+  List.iter (Obs.Metrics.observe h) [ 5e-2; 6e-2; 7e-2 ];
+  let after = hist_json name in
+  match Obs.Metrics.delta_hist_json ~prev:before after with
+  | None -> Alcotest.fail "delta refused"
+  | Some d ->
+    check Alcotest.(option int) "window count" (Some 3)
+      (Option.bind (Obs.Json.member "count" d) Obs.Json.to_int);
+    (match Obs.Metrics.quantile_of_json d 0.5 with
+    | Some p50 ->
+      (* The window only saw the 5..7e-2 samples; its median must sit
+         near them, not near the older millisecond samples. *)
+      check Alcotest.bool "window median in the window" true
+        (p50 > 4e-2 && p50 < 8e-2)
+    | None -> Alcotest.fail "delta lost its buckets");
+    check Alcotest.bool "fresh delta of identical snapshots is empty" true
+      (match Obs.Metrics.delta_hist_json ~prev:after after with
+      | Some d -> Obs.Json.member "count" d = Some (Obs.Json.Int 0)
+      | None -> false)
+
+let test_prom_render () =
+  check Alcotest.string "mangling" "serve_request_seconds"
+    (Obs.Prom.mangle "serve.request.seconds");
+  let c = Obs.Metrics.counter "test.prom.requests" in
+  Obs.Metrics.add c 3;
+  let g = Obs.Metrics.gauge "test.prom.depth" in
+  Obs.Metrics.set g 2.0;
+  let h = Obs.Metrics.hist "test.prom.seconds" in
+  List.iter (Obs.Metrics.observe h) [ 1e-3; 2e-3; 4e-3; 10.0 ];
+  let body = Obs.Prom.render (Obs.Metrics.snapshot ()) in
+  check_contains ~msg:"counter type" "# TYPE test_prom_requests counter" body;
+  check_contains ~msg:"counter sample" "test_prom_requests 3" body;
+  check_contains ~msg:"gauge type" "# TYPE test_prom_depth gauge" body;
+  check_contains ~msg:"histogram type" "# TYPE test_prom_seconds histogram"
+    body;
+  check_contains ~msg:"+Inf bucket closes the ladder"
+    "test_prom_seconds_bucket{le=\"+Inf\"} 4" body;
+  check_contains ~msg:"count" "test_prom_seconds_count 4" body;
+  check_contains ~msg:"sum" "test_prom_seconds_sum" body;
+  check_contains ~msg:"sibling quantile family"
+    "# TYPE test_prom_seconds_quantile gauge" body;
+  check_contains ~msg:"p99 quantile"
+    "test_prom_seconds_quantile{quantile=\"0.99\"}" body;
+  check_contains ~msg:"max as quantile 1"
+    "test_prom_seconds_quantile{quantile=\"1\"} 10" body
+
+(* ---- cross-process stitching ------------------------------------------- *)
+
+let j_obj = fun fields -> Obs.Json.Obj fields
+let js s = Obs.Json.Str s
+let ji i = Obs.Json.Int i
+let jf f = Obs.Json.Float f
+
+let manifest2 ~process ~tid =
+  j_obj
+    [
+      ("ev", js "manifest"); ("ts", jf 0.0); ("seq", ji 0); ("version", ji 2);
+      ("process", js process); ("trace_id", js tid);
+    ]
+
+let span_begin ?parent ?remote ~seq ~id ~ts name =
+  j_obj
+    ([ ("ev", js "span_begin"); ("ts", jf ts); ("seq", ji seq); ("id", ji id);
+       ("name", js name);
+       ("parent", match parent with Some p -> ji p | None -> Obs.Json.Null) ]
+    @
+    match remote with
+    | Some (p, s) ->
+      [ ("remote", j_obj [ ("process", js p); ("span", ji s) ]) ]
+    | None -> [])
+
+let span_end ~seq ~id ~dur name =
+  j_obj
+    [
+      ("ev", js "span_end"); ("ts", jf (dur +. 1.0)); ("seq", ji seq);
+      ("id", ji id); ("name", js name); ("dur_s", jf dur); ("cpu_s", jf dur);
+      ("ok", Obs.Json.Bool true);
+    ]
+
+let coord_events =
+  [
+    manifest2 ~process:"coord" ~tid:"cafe01";
+    span_begin ~seq:1 ~id:1 ~ts:1.0 "train";
+    span_begin ~parent:1 ~seq:2 ~id:2 ~ts:1.2 "cluster.evaluate";
+    span_end ~seq:3 ~id:2 ~dur:4.0 "cluster.evaluate";
+    span_end ~seq:4 ~id:1 ~dur:5.0 "train";
+    j_obj [ ("ev", js "stop"); ("ts", jf 6.0); ("seq", ji 5); ("dur_s", jf 6.0) ];
+  ]
+
+let worker_events ~remote_span =
+  [
+    manifest2 ~process:"worker-0" ~tid:"cafe01";
+    span_begin
+      ~remote:("coord", remote_span)
+      ~seq:1 ~id:1 ~ts:2.0 "cluster.lease";
+    span_begin ~parent:1 ~seq:2 ~id:2 ~ts:2.1 "store.profile";
+    span_end ~seq:3 ~id:2 ~dur:1.5 "store.profile";
+    span_end ~seq:4 ~id:1 ~dur:2.0 "cluster.lease";
+  ]
+
+let test_stitch_joins_remote_parents () =
+  let t =
+    Obs.Stitch.stitch
+      [
+        ("coord.jsonl", coord_events);
+        ("w0.jsonl", worker_events ~remote_span:2);
+      ]
+  in
+  check Alcotest.int "no orphans" 0 (Obs.Stitch.orphan_count t);
+  check Alcotest.int "one causal root" 1 (List.length t.Obs.Stitch.roots);
+  check Alcotest.(list string) "one trace id" [ "cafe01" ]
+    t.Obs.Stitch.trace_ids;
+  let root = List.hd t.Obs.Stitch.roots in
+  check Alcotest.string "root is the coordinator's train span" "train"
+    root.Obs.Stitch.name;
+  (* The worker's lease hangs under the coordinator's evaluate span. *)
+  let evaluate = List.hd root.Obs.Stitch.children in
+  check Alcotest.string "evaluate below train" "cluster.evaluate"
+    evaluate.Obs.Stitch.name;
+  (match evaluate.Obs.Stitch.children with
+  | [ lease ] ->
+    check Alcotest.string "lease crossed processes" "cluster.lease"
+      lease.Obs.Stitch.name;
+    check Alcotest.string "lease kept its process" "worker-0"
+      lease.Obs.Stitch.process
+  | l -> Alcotest.failf "expected one lease child, got %d" (List.length l));
+  (* Critical path walks into the worker. *)
+  let path = Obs.Stitch.critical_path t in
+  check
+    Alcotest.(list string)
+    "critical path"
+    [ "train"; "cluster.evaluate"; "cluster.lease"; "store.profile" ]
+    (List.map (fun s -> s.Obs.Stitch.name) path);
+  (* Cross-process children overlap the parent instead of consuming it:
+     the coordinator's self time ignores the worker's 2 s. *)
+  let self p = List.assoc p (Obs.Stitch.per_process_self t) in
+  check (Alcotest.float 1e-9) "coord self" 5.0 (self "coord");
+  check (Alcotest.float 1e-9) "worker self" 2.0 (self "worker-0");
+  let rendered = Obs.Stitch.render t in
+  check_contains ~msg:"zero-orphan line" "orphan spans: 0" rendered;
+  check_contains ~msg:"tree crosses processes" "cluster.lease @worker-0"
+    rendered
+
+let test_stitch_counts_orphans () =
+  (* The worker's remote parent points at a span the coordinator never
+     wrote: the lease must surface as an orphan, not vanish. *)
+  let t =
+    Obs.Stitch.stitch
+      [
+        ("coord.jsonl", coord_events);
+        ("w0.jsonl", worker_events ~remote_span:99);
+      ]
+  in
+  check Alcotest.int "dangling remote is an orphan" 1
+    (Obs.Stitch.orphan_count t);
+  check_contains ~msg:"orphans rendered" "orphan spans: 1"
+    (Obs.Stitch.render t);
+  check_contains ~msg:"orphan names its missing parent" "remote coord/99"
+    (Obs.Stitch.render t)
+
+let test_stitch_v1_files_load () =
+  (* A v1 trace has no process/trace_id; the file name becomes the
+     process identity and its spans form their own tree. *)
+  let v1 =
+    [
+      j_obj
+        [
+          ("ev", js "manifest"); ("ts", jf 0.0); ("seq", ji 0);
+          ("version", ji 1);
+        ];
+      span_begin ~seq:1 ~id:1 ~ts:0.5 "run";
+      span_end ~seq:2 ~id:1 ~dur:1.0 "run";
+    ]
+  in
+  let t =
+    Obs.Stitch.stitch
+      [ ("coord.jsonl", coord_events); ("/tmp/old-v1.jsonl", v1) ]
+  in
+  check Alcotest.int "no orphans" 0 (Obs.Stitch.orphan_count t);
+  check Alcotest.int "two independent roots" 2
+    (List.length t.Obs.Stitch.roots);
+  let old =
+    List.find
+      (fun p -> p.Obs.Stitch.p_version = 1)
+      t.Obs.Stitch.processes
+  in
+  check Alcotest.string "file name is the identity" "old-v1.jsonl"
+    old.Obs.Stitch.p_name
+
 (* ---- Spans and trace files --------------------------------------------- *)
 
 let field name r = Option.get (Obs.Json.member name r)
@@ -239,6 +618,74 @@ let test_validate_rejects_malformed () =
   | Ok events -> check Alcotest.int "valid file parses" 2 (List.length events)
   | Error e -> Alcotest.failf "valid file rejected: %s" e
 
+(* ---- trace v2 manifest and remote span propagation --------------------- *)
+
+let test_trace_v2_manifest_and_remote () =
+  let path = Filename.temp_file "test_obs_v2" ".jsonl" in
+  let events =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Obs.Trace.start ~trace_id:"feedbeef" ~process:"proc-a" path;
+        check Alcotest.(option string) "trace id exposed" (Some "feedbeef")
+          (Obs.Trace.trace_id ());
+        check Alcotest.(option string) "process exposed" (Some "proc-a")
+          (Obs.Trace.process_name ());
+        check Alcotest.(option string) "path exposed" (Some path)
+          (Obs.Trace.path ());
+        Fun.protect ~finally:Obs.Trace.stop (fun () ->
+            Obs.Span.with_ "test.root" (fun () ->
+                (match Obs.Span.current_context () with
+                | Some ctx ->
+                  check Alcotest.string "context trace id" "feedbeef"
+                    ctx.Obs.Span.trace_id;
+                  check Alcotest.string "context process" "proc-a"
+                    ctx.Obs.Span.process;
+                  check Alcotest.bool "context span id set" true
+                    (ctx.Obs.Span.span <> None)
+                | None -> Alcotest.fail "no context inside an active trace"));
+            Obs.Span.with_
+              ~remote_parent:
+                {
+                  Obs.Span.trace_id = "feedbeef";
+                  process = "coord";
+                  span = Some 7;
+                }
+              "test.entry"
+              (fun () -> ()));
+        match Obs.Trace.validate_file path with
+        | Ok events -> events
+        | Error e -> Alcotest.failf "v2 trace did not validate: %s" e)
+  in
+  check Alcotest.(option string) "no sink, no context" None
+    (Option.map (fun _ -> "ctx") (Obs.Span.current_context ()));
+  let manifest = List.hd events in
+  check Alcotest.int "manifest version 2" 2 (int_field "version" manifest);
+  check Alcotest.string "manifest trace id" "feedbeef"
+    (str_field "trace_id" manifest);
+  check Alcotest.string "manifest process" "proc-a"
+    (str_field "process" manifest);
+  let entry =
+    List.find
+      (fun r -> str_field "name" r = "test.entry")
+      (events_of_kind "span_begin" events)
+  in
+  let remote = field "remote" entry in
+  check Alcotest.string "remote process recorded" "coord"
+    (str_field "process" remote);
+  check Alcotest.int "remote span recorded" 7 (int_field "span" remote);
+  (* And the whole file stitches against a synthetic coordinator that
+     owns span 7. *)
+  let coord =
+    [
+      manifest2 ~process:"coord" ~tid:"feedbeef";
+      span_begin ~seq:1 ~id:7 ~ts:0.0 "serve.request";
+      span_end ~seq:2 ~id:7 ~dur:1.0 "serve.request";
+    ]
+  in
+  let t = Obs.Stitch.stitch [ ("coord.jsonl", coord); (path, events) ] in
+  check Alcotest.int "real trace stitches clean" 0 (Obs.Stitch.orphan_count t)
+
 let test_ticker_renders_eta () =
   let lines = ref [] in
   let tick =
@@ -316,6 +763,29 @@ let () =
           Alcotest.test_case "counter atomic under pool" `Quick
             test_counter_atomic_under_pool;
           Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+          Alcotest.test_case "gauge never tears under domains" `Quick
+            test_gauge_no_torn_reads;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "golden bucket geometry" `Quick
+            test_hist_bucket_geometry;
+          Alcotest.test_case "quantile error vs exact percentile" `Quick
+            test_hist_quantile_error_bound;
+          Alcotest.test_case "merge associative and schemed" `Quick
+            test_hist_merge_associative;
+          Alcotest.test_case "snapshot merge and window delta" `Quick
+            test_snapshot_merge_and_delta;
+          Alcotest.test_case "prometheus exposition" `Quick test_prom_render;
+        ] );
+      ( "stitch",
+        [
+          Alcotest.test_case "remote parents join processes" `Quick
+            test_stitch_joins_remote_parents;
+          Alcotest.test_case "dangling parents are orphans" `Quick
+            test_stitch_counts_orphans;
+          Alcotest.test_case "v1 files still load" `Quick
+            test_stitch_v1_files_load;
         ] );
       ( "trace",
         [
@@ -325,6 +795,8 @@ let () =
             test_pool_events_keep_parent;
           Alcotest.test_case "validation negatives" `Quick
             test_validate_rejects_malformed;
+          Alcotest.test_case "v2 manifest and remote spans" `Quick
+            test_trace_v2_manifest_and_remote;
           Alcotest.test_case "ticker eta" `Quick test_ticker_renders_eta;
         ] );
       ( "identity",

@@ -1033,6 +1033,145 @@ let test_client_retries_429_until_capacity () =
           | Error (code, e) ->
             Alcotest.failf "retries never landed: %d %s" code e))
 
+let test_server_metrics_op () =
+  let artifact = artifact_of (Lazy.force dataset42) in
+  with_server artifact (fun _server address ->
+      let client = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          let counters, uarch = (some_counters (), some_uarch ()) in
+          for _ = 1 to 3 do
+            match Serve.Client.predict client ~counters ~uarch with
+            | Ok _ -> ()
+            | Error (_, e) -> Alcotest.failf "predict failed: %s" e
+          done;
+          match Serve.Client.metrics client with
+          | Error (_, e) -> Alcotest.failf "metrics op failed: %s" e
+          | Ok m ->
+            (* The registry is process-wide, so absolute values include
+               other tests — only floors are stable. *)
+            let counter name =
+              Option.value ~default:0
+                (Option.bind (J.member "counters" m) (fun c ->
+                     Option.bind (J.member name c) J.to_int))
+            in
+            check Alcotest.bool "requests counted" true
+              (counter "serve.requests" >= 4);
+            (* Repeats hit the cache, which does not predict. *)
+            check Alcotest.bool "predictions counted" true
+              (counter "serve.predictions" >= 1);
+            let h =
+              Option.bind (J.member "histograms" m)
+                (J.member "serve.request.seconds")
+            in
+            (match h with
+            | None -> Alcotest.fail "metrics lack serve.request.seconds"
+            | Some h ->
+              (* The metrics reply is built before its own request's
+                 latency lands, so only the predicts are guaranteed. *)
+              check Alcotest.bool "latency histogram populated" true
+                (Option.value ~default:0
+                   (Option.bind (J.member "count" h) J.to_int)
+                >= 3);
+              check
+                Alcotest.(option string)
+                "bucket scheme declared" (Some Obs.Metrics.scheme)
+                (Option.bind (J.member "scheme" h) J.to_str);
+              match Obs.Metrics.quantile_of_json h 0.99 with
+              | Some p99 -> check Alcotest.bool "p99 positive" true (p99 > 0.0)
+              | None -> Alcotest.fail "latency histogram lost its buckets");
+            (* The same snapshot scrapes as Prometheus text. *)
+            let body = Obs.Prom.render m in
+            check_error_mentions ~msg:"prom histogram"
+              "serve_request_seconds_bucket{le=\"+Inf\"}" body;
+            check_error_mentions ~msg:"prom quantile"
+              "serve_request_seconds_quantile{quantile=\"0.99\"}" body))
+
+let test_top_render_synthetic () =
+  let hist samples =
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let i = Obs.Metrics.bucket_index s in
+        Hashtbl.replace counts i
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts i)))
+      samples;
+    let buckets =
+      List.map
+        (fun (i, c) -> J.List [ J.Int i; J.Int c ])
+        (List.sort compare (Hashtbl.fold (fun i c acc -> (i, c) :: acc) counts []))
+    in
+    J.Obj
+      [
+        ("count", J.Int (List.length samples));
+        ("sum", J.Float (List.fold_left ( +. ) 0.0 samples));
+        ("min", J.Float (List.fold_left Float.min Float.infinity samples));
+        ("max", J.Float (List.fold_left Float.max 0.0 samples));
+        ("scheme", J.Str Obs.Metrics.scheme);
+        ("buckets", J.List buckets);
+      ]
+  in
+  let health ~requests ~shed ~hits ~misses =
+    J.Obj
+      [
+        ("uptime_s", J.Float 12.5); ("requests", J.Int requests);
+        ("shed", J.Int shed); ("errors", J.Int 0); ("inflight", J.Int 1);
+        ("queue_depth", J.Int 2); ("jobs", J.Int 2); ("queue_limit", J.Int 64);
+        ("cache",
+         J.Obj
+           [
+             ("hits", J.Int hits); ("misses", J.Int misses);
+             ("size", J.Int 4); ("capacity", J.Int 512);
+           ]);
+      ]
+  in
+  let metrics samples =
+    J.Obj
+      [
+        ("counters", J.Obj [ ("serve.predictions", J.Int 40) ]);
+        ("gauges", J.Obj []);
+        ("histograms", J.Obj [ ("serve.request.seconds", hist samples) ]);
+      ]
+  in
+  let s0 =
+    {
+      Serve.Top.at = 100.0;
+      health = health ~requests:50 ~shed:0 ~hits:10 ~misses:30;
+      metrics = metrics [ 0.001; 0.002 ];
+    }
+  in
+  let s1 =
+    {
+      Serve.Top.at = 102.0;
+      health = health ~requests:70 ~shed:2 ~hits:20 ~misses:40;
+      metrics = metrics [ 0.001; 0.002; 0.05; 0.05; 0.05 ];
+    }
+  in
+  let first = Serve.Top.render s0 ~address:"127.0.0.1:7979" in
+  check_error_mentions ~msg:"address shown" "127.0.0.1:7979" first;
+  check_error_mentions ~msg:"first sample has no window" "(first sample)"
+    first;
+  check_error_mentions ~msg:"lifetime quantiles" "(lifetime)" first;
+  let second = Serve.Top.render ~prev:s0 s1 ~address:"127.0.0.1:7979" in
+  (* 20 more requests over the 2 s window. *)
+  check_error_mentions ~msg:"request rate" "10.0 req/s" second;
+  check_error_mentions ~msg:"shed rate" "1.0 shed/s" second;
+  check_error_mentions ~msg:"totals line" "requests 70" second;
+  check_error_mentions ~msg:"cache hit rate" "33.3%" second;
+  check_error_mentions ~msg:"queue depth" "depth 2" second;
+  check_error_mentions ~msg:"window quantiles" "(window)" second;
+  (* The window saw only the three 50 ms samples: its p50 must land in
+     their bucket (~52 ms upper bound), far from the lifetime median. *)
+  let window_line =
+    List.find (fun l -> contains ~needle:"(window)" l)
+      (String.split_on_char '\n' second)
+  in
+  (* Exact bucket arithmetic: the delta envelope clamps the bucket's
+     upper bound back to the window's 50 ms max. *)
+  check_error_mentions ~msg:"window median is the 50ms mode" "p50   50.000ms"
+    window_line
+
 let test_server_graceful_drain () =
   let artifact = artifact_of (Lazy.force dataset42) in
   let socket = tmp_path "drain.sock" in
@@ -1158,6 +1297,10 @@ let () =
             test_server_sheds_load;
           Alcotest.test_case "client retries 429 until capacity" `Slow
             test_client_retries_429_until_capacity;
+          Alcotest.test_case "metrics op and prometheus scrape" `Slow
+            test_server_metrics_op;
+          Alcotest.test_case "top renders rates and window quantiles" `Quick
+            test_top_render_synthetic;
           Alcotest.test_case "graceful drain" `Slow
             test_server_graceful_drain;
         ] );

@@ -18,11 +18,16 @@
 # the telemetry plane end to end — a traced multi-process train
 # stitched to zero orphan spans, a live Prometheus scrape and the
 # `top` dashboard against a real server, with tracing proven not to
-# change the artifact (see docs/observability.md).  Smoke outputs
-# land under results/ (gitignored), never in the repo root.
+# change the artifact (see docs/observability.md); `registry-smoke`
+# exercises the model registry end to end — evidence ledgers, an
+# incremental refit byte-identical to a cold retrain on the union,
+# live serving from registry channels with an A/B split, a hot
+# reload, promotion and gc reachability (see docs/registry.md).
+# Smoke outputs land under results/ (gitignored), never in the repo
+# root.
 
 .PHONY: check ci bench-smoke trace-smoke serve-smoke index-smoke \
-	store-smoke cluster-smoke obs-smoke bench clean
+	store-smoke cluster-smoke obs-smoke registry-smoke bench clean
 
 check:
 	dune build @all
@@ -33,6 +38,7 @@ check:
 	$(MAKE) store-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) registry-smoke
 
 ci:
 	sh scripts/ci.sh
@@ -66,6 +72,10 @@ cluster-smoke:
 obs-smoke:
 	dune build bin/portopt.exe
 	sh scripts/obs_smoke.sh
+
+registry-smoke:
+	dune build bin/portopt.exe
+	sh scripts/registry_smoke.sh
 
 bench:
 	dune exec bench/main.exe

@@ -83,6 +83,10 @@ let experiments : (string * string * (unit -> unit)) list =
       "evaluation store: cold vs warm dataset generation \
        (results/BENCH_store.json)",
       fun () -> Store_bench.run () );
+    ( "registry",
+      "model registry: refit vs cold retrain, swap latency, A/B per-arm \
+       p99 (results/BENCH_registry.json)",
+      fun () -> Registry_bench.run () );
     ( "cluster",
       "cluster fabric: local vs 1/2 workers vs chaos, bit-identical \
        (results/BENCH_cluster.json)",

@@ -409,7 +409,7 @@ let cluster_fail fmt =
    children).  The backend only changes who interprets; every scheduling
    artifact is merged by task key, so [f]'s output is byte-identical
    with or without it. *)
-let with_cluster ?store opts f =
+let with_cluster ?store ?on_result opts f =
   if opts.c_workers = 0 && opts.c_listen = None then f None
   else begin
     if opts.c_workers < 0 then cluster_fail "--workers must be >= 0";
@@ -496,7 +496,7 @@ let with_cluster ?store opts f =
           (Some
              (Ml_model.Dataset.Offload
                 (fun groups ->
-                  Cluster.Coordinator.evaluate ~tick coord groups))))
+                  Cluster.Coordinator.evaluate ~tick ?on_result coord groups))))
   end
 
 let worker_cmd =
@@ -582,7 +582,7 @@ let worker_cmd =
     Term.(const run $ obs_term "worker" $ connect $ store_term $ chaos $ name_arg)
 
 let train_cmd =
-  let run () store out uarchs opts cluster =
+  let run () store out evidence_out uarchs opts cluster =
     let scale = Ml_model.Dataset.default_scale () in
     let scale =
       {
@@ -624,12 +624,28 @@ let train_cmd =
       { Serve.Artifact.model; space = scale.Ml_model.Dataset.space; meta };
     Printf.printf "wrote %s: %d training pairs, k=%d, beta=%g\n" out
       (Ml_model.Model.n_points model)
-      (Ml_model.Model.k model) (Ml_model.Model.beta model)
+      (Ml_model.Model.k model) (Ml_model.Model.beta model);
+    match evidence_out with
+    | None -> ()
+    | Some path ->
+      let records = Registry.Evidence.of_dataset dataset in
+      Registry.Evidence.write ~path records;
+      Printf.printf "wrote %s: %d evidence records\n" path
+        (List.length records)
   in
   let out =
     Arg.(required & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE"
              ~doc:"Where to write the model artifact (conventionally .pcm).")
+  in
+  let evidence_out =
+    Arg.(value & opt (some string) None
+         & info [ "evidence-out" ] ~docv:"FILE"
+             ~doc:
+               "Also write the training evidence ledger (JSONL, one \
+                record per pair) — the input format of $(b,registry \
+                publish), which can refit the model incrementally from \
+                it.")
   in
   let uarchs =
     Arg.(value & opt (some int) None
@@ -672,8 +688,8 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train the model and save a .pcm artifact" ~man)
-    Term.(const run $ obs_term "train" $ store_term $ out $ uarchs $ opts
-          $ cluster_term)
+    Term.(const run $ obs_term "train" $ store_term $ out $ evidence_out
+          $ uarchs $ opts $ cluster_term)
 
 let crossval_cmd =
   let run () store uarchs opts cluster =
@@ -863,9 +879,91 @@ let address_term =
   in
   Term.(const mk $ socket $ host $ port)
 
+(* Model source over registry channels: resolve the stable (and
+   optionally candidate) pointer, remember the last-installed pair of
+   ids, and answer Unchanged while the pointers haven't moved — so the
+   watch thread and the reload op only load artifacts when a publish or
+   promote actually changed something. *)
+let registry_source reg ~stable_channel ~candidate_channel =
+  let last = ref None in
+  fun () ->
+    match Registry.resolve_id reg stable_channel with
+    | Error e -> Error e
+    | Ok stable_id -> (
+      let candidate_id =
+        match candidate_channel with
+        | None -> None
+        | Some ch -> Registry.channel reg ch
+      in
+      if !last = Some (stable_id, candidate_id) then
+        Ok Serve.Server.Unchanged
+      else
+        match Registry.resolve reg stable_id with
+        | Error e -> Error e
+        | Ok (_, stable) -> (
+          let candidate =
+            match candidate_id with
+            | None -> Ok None
+            | Some id ->
+              Result.map (fun (_, a) -> Some a) (Registry.resolve reg id)
+          in
+          match candidate with
+          | Error e -> Error e
+          | Ok candidate ->
+            last := Some (stable_id, candidate_id);
+            Ok (Serve.Server.Swap { stable; candidate })))
+
+(* "--ab candidate=0.1": channel name and split fraction. *)
+let parse_ab spec =
+  match String.index_opt spec '=' with
+  | None -> Error "expected CHANNEL=FRACTION, e.g. candidate=0.1"
+  | Some i -> (
+    let channel = String.sub spec 0 i in
+    let frac = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match float_of_string_opt frac with
+    | Some f when f >= 0.0 && f <= 1.0 && channel <> "" -> Ok (channel, f)
+    | _ -> Error "expected CHANNEL=FRACTION with FRACTION in [0,1]")
+
 let serve_cmd =
-  let run () model_path address jobs queue cache admin engine =
-    let artifact = load_artifact model_path in
+  let run () model_path registry_dir channel ab watch address jobs queue
+      cache admin engine =
+    let split, candidate_channel =
+      match ab with
+      | None -> (0.0, None)
+      | Some spec -> (
+        match parse_ab spec with
+        | Ok (ch, f) -> (f, Some ch)
+        | Error e ->
+          Printf.eprintf "portopt: --ab %s: %s\n" spec e;
+          exit 2)
+    in
+    let artifact, candidate, source =
+      match (model_path, registry_dir) with
+      | Some _, Some _ ->
+        Printf.eprintf "portopt: choose one of --model and --registry\n";
+        exit 2
+      | None, None ->
+        Printf.eprintf "portopt: serve needs --model or --registry\n";
+        exit 2
+      | Some path, None ->
+        if ab <> None || watch <> None then begin
+          Printf.eprintf "portopt: --ab/--watch need --registry\n";
+          exit 2
+        end;
+        (load_artifact path, None, None)
+      | None, Some dir -> (
+        let reg = Registry.open_ ~dir in
+        let source =
+          registry_source reg ~stable_channel:channel ~candidate_channel
+        in
+        match source () with
+        | Error e ->
+          Printf.eprintf "portopt: registry %s: %s\n" dir e;
+          exit 1
+        | Ok Serve.Server.Unchanged -> assert false
+        | Ok (Serve.Server.Swap { stable; candidate }) ->
+          (stable, candidate, Some source))
+    in
     let config =
       {
         Serve.Server.address;
@@ -874,28 +972,72 @@ let serve_cmd =
         cache_capacity = cache;
         admin;
         engine;
+        split;
+        source;
+        watch;
       }
     in
-    let server = Serve.Server.start ~artifact config in
+    let server = Serve.Server.start ?candidate ~artifact config in
     let on_signal _ = Serve.Server.stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
     Printf.printf
       "portopt serve: listening on %s (%d training pairs, index %s, jobs \
-       %d, queue %d, cache %d%s)\n\
+       %d, queue %d, cache %d%s%s%s)\n\
        %!"
       (Serve.Protocol.address_to_string (Serve.Server.address server))
       (Ml_model.Model.n_points artifact.Serve.Artifact.model)
       (Ml_model.Predict.engine_to_string engine)
       jobs queue cache
-      (if admin then ", admin" else "");
+      (if admin then ", admin" else "")
+      (match registry_dir with
+      | Some dir -> Printf.sprintf ", registry %s channel %s" dir channel
+      | None -> "")
+      (match candidate_channel with
+      | Some ch -> Printf.sprintf ", A/B %s=%g" ch split
+      | None -> "");
     Serve.Server.wait server;
     Printf.printf "portopt serve: drained, bye\n%!"
   in
   let model =
-    Arg.(required & opt (some file) None
+    Arg.(value & opt (some file) None
          & info [ "model" ] ~docv:"FILE"
              ~doc:"Model artifact to serve (the train subcommand's output).")
+  in
+  let registry =
+    Arg.(value & opt (some string) None
+         & info [ "registry" ] ~docv:"DIR"
+             ~doc:
+               "Serve from a model registry instead of a fixed artifact: \
+                resolve $(b,--channel) at startup, honour the \
+                $(b,reload) op and (with $(b,--watch)) follow channel \
+                pointer moves live.")
+  in
+  let channel =
+    Arg.(value & opt string "stable"
+         & info [ "channel" ] ~docv:"NAME"
+             ~doc:"Registry channel served as the stable arm.")
+  in
+  let ab =
+    Arg.(value & opt (some string) None
+         & info [ "ab" ] ~docv:"CHANNEL=FRACTION"
+             ~doc:
+               "A/B experiment: route $(i,FRACTION) of queries to the \
+                model the $(i,CHANNEL) pointer names (e.g. \
+                $(b,candidate=0.1)).  Assignment is a deterministic \
+                hash of the query, responses are tagged with their arm \
+                and model version, and $(b,serve.ab.*) metrics time \
+                each arm for $(b,portopt promote).  Needs \
+                $(b,--registry).")
+  in
+  let watch =
+    Arg.(value & opt (some float) None
+         & info [ "watch" ] ~docv:"SECONDS"
+             ~doc:
+               "Poll the registry every $(docv) seconds and hot-swap \
+                when a channel pointer moved — a $(b,registry publish) \
+                or $(b,promote) goes live without restarting or even \
+                sending $(b,reload).  Needs $(b,--registry).")
   in
   let jobs =
     Arg.(value & opt int 2
@@ -953,26 +1095,42 @@ let serve_cmd =
          carries a vector of queries, occupies one admission slot and is \
          computed as one worker-pool task.";
       `P
+        "With $(b,--registry), the served model comes from a model \
+         registry's channel pointers instead of a fixed file: the \
+         $(b,reload) op (and $(b,--watch)'s polling) re-resolves the \
+         pointers and atomically hot-swaps the active model between \
+         requests — in-flight queries complete against the model they \
+         started with, so every response is bit-identical to exactly \
+         one published version.  $(b,--ab CHANNEL=FRACTION) additionally \
+         routes a deterministic hash-based fraction of queries to a \
+         candidate model for comparison (see $(b,portopt promote)).";
+      `P
         "SIGINT/SIGTERM (or an admin $(b,shutdown) op) start a graceful \
          drain: in-flight requests complete and are answered before the \
          process exits.  $(b,{\"op\":\"health\"}) reports uptime, \
-         request/shed counts, cache statistics and queue depth.  See \
+         request/shed counts, cache statistics, queue depth and the \
+         active model's version, checksum and provenance digests.  See \
          docs/serving.md for the full protocol.";
     ]
   in
   Cmd.v
-    (Cmd.info "serve" ~doc:"Serve predictions from a model artifact" ~man)
-    Term.(const run $ obs_term "serve" $ model $ address_term $ jobs $ queue
-          $ cache $ admin $ engine)
+    (Cmd.info "serve"
+       ~doc:"Serve predictions from a model artifact or registry" ~man)
+    Term.(const run $ obs_term "serve" $ model $ registry $ channel $ ab
+          $ watch $ address_term $ jobs $ queue $ cache $ admin $ engine)
 
 let query_cmd =
   let print_prediction name u (p : Serve.Protocol.prediction) =
     Printf.printf "predicted passes for %s on %s:\n  %s\n" name
       (Uarch.Config.to_string u) p.Serve.Protocol.flags;
-    Printf.printf "served in %.2f ms (%s, %d neighbours)\n"
+    Printf.printf "served in %.2f ms (%s, %d neighbours%s)\n"
       p.Serve.Protocol.latency_ms
       (if p.Serve.Protocol.cached then "cache hit" else "computed")
       (Array.length p.Serve.Protocol.neighbours)
+      (match (p.Serve.Protocol.model, p.Serve.Protocol.arm) with
+      | Some m, Some a -> Printf.sprintf ", model %s arm %s" m a
+      | Some m, None -> Printf.sprintf ", model %s" m
+      | None, _ -> "")
   in
   let counters_of name u =
     let program =
@@ -986,7 +1144,7 @@ let query_cmd =
     Printf.eprintf "portopt: server error %d: %s\n" code msg;
     exit (if code = 429 then 3 else 1)
   in
-  let run () progs batch u address health shutdown sleep_s =
+  let run () progs batch u address health shutdown reload sleep_s =
     let client =
       try Serve.Client.connect address
       with Unix.Unix_error (e, _, _) ->
@@ -1007,6 +1165,7 @@ let query_cmd =
         in
         if health then raw (Serve.Client.health client)
         else if shutdown then raw (Serve.Client.shutdown client)
+        else if reload then raw (Serve.Client.reload client)
         else
           match sleep_s with
           | Some s -> raw (Serve.Client.sleep client s)
@@ -1015,7 +1174,7 @@ let query_cmd =
             | [], _ ->
               Printf.eprintf
                 "portopt: query needs a PROGRAM (or --health, \
-                 --shutdown, --sleep)\n";
+                 --shutdown, --reload, --sleep)\n";
               exit 2
             | _ :: _ :: _, false ->
               Printf.eprintf
@@ -1066,6 +1225,15 @@ let query_cmd =
          & info [ "shutdown" ]
              ~doc:"Ask the server to drain and exit (needs --admin there).")
   in
+  let reload =
+    Arg.(value & flag
+         & info [ "reload" ]
+             ~doc:
+               "Ask the server to re-resolve its model source and \
+                hot-swap (needs --admin and serve --registry there); \
+                prints the active versions and whether anything \
+                changed.")
+  in
   let sleep_s =
     Arg.(value & opt (some float) None
          & info [ "sleep" ] ~docv:"SECONDS"
@@ -1093,7 +1261,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Query a running prediction server" ~man)
     Term.(const run $ obs_term "query" $ progs $ batch $ uarch_term
-          $ address_term $ health $ shutdown $ sleep_s)
+          $ address_term $ health $ shutdown $ reload $ sleep_s)
 
 let report_cmd =
   let run files =
@@ -1303,6 +1471,415 @@ let top_cmd =
     (Cmd.info "top" ~doc:"Live dashboard over a running prediction server" ~man)
     Term.(const run $ address_term $ interval $ count $ no_clear)
 
+(* ---- model registry --------------------------------------------------- *)
+
+let registry_dir_arg =
+  Arg.(value & opt string Registry.default_dir
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Registry directory (created by publish if missing).")
+
+let registry_fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "portopt: %s\n" m;
+      exit 1)
+    fmt
+
+let evidence_cmd =
+  let run () store out uarchs opts cluster =
+    let scale = Ml_model.Dataset.default_scale () in
+    let scale =
+      {
+        scale with
+        Ml_model.Dataset.n_uarchs =
+          Option.value ~default:scale.Ml_model.Dataset.n_uarchs uarchs;
+        n_opts = Option.value ~default:scale.Ml_model.Dataset.n_opts opts;
+      }
+    in
+    Obs.Span.log
+      (Printf.sprintf "collecting evidence (%d configurations x %d settings)..."
+         scale.Ml_model.Dataset.n_uarchs scale.Ml_model.Dataset.n_opts);
+    (* Stream per-result debug lines as cluster workers (or the store
+       pre-check) install profiles — the evidence accumulates live. *)
+    let on_result ~task ~key:_ ~run:_ =
+      Obs.Span.log ~level:Obs.Trace.Debug
+        (Printf.sprintf "evidence: profiled %s" task.Cluster.Task.program)
+    in
+    with_cluster ?store ~on_result cluster @@ fun backend ->
+    let dataset =
+      Ml_model.Dataset.generate ?store ?backend
+        ~progress:(fun m -> Obs.Span.log m)
+        scale
+    in
+    let records = Registry.Evidence.of_dataset dataset in
+    Registry.Evidence.write ~path:out records;
+    Printf.printf
+      "wrote %s: %d evidence records (%d programs x %d configurations, \
+       digest %s)\n"
+      out (List.length records)
+      (Ml_model.Dataset.n_programs dataset)
+      (Ml_model.Dataset.n_uarchs dataset)
+      (Registry.Evidence.digest records)
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the evidence ledger (JSONL).")
+  in
+  let uarchs =
+    Arg.(value & opt (some int) None
+         & info [ "train-uarchs" ]
+             ~doc:"Training configurations (default: \\$REPRO_UARCHS or 24).")
+  in
+  let opts =
+    Arg.(value & opt (some int) None
+         & info [ "train-opts" ]
+             ~doc:"Training settings (default: \\$REPRO_OPTS or 120).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates the training dataset exactly as $(b,train) would — \
+         same sampling, pricing and good-set selection, so the same \
+         $(b,REPRO_*) environment yields the same records — but writes \
+         the $(i,evidence ledger) instead of a fitted model: one JSON \
+         line per (program, configuration) pair carrying its content \
+         digests, raw feature vector and good settings.";
+      `P
+        "$(b,registry publish) turns a ledger into a registry version; \
+         with $(b,--parent) it folds the ledger into an existing \
+         version's sufficient statistics incrementally.  Distinct \
+         $(b,REPRO_SEED) values produce distinct ledgers over the same \
+         programs — fresh evidence for refitting.";
+      `P
+        "With $(b,--store)/$(b,--workers), profiles are read through \
+         the evaluation store or sharded across cluster workers; \
+         records stream into the ledger as results install, and the \
+         ledger is byte-identical at any worker count.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "evidence"
+       ~doc:"Collect a training-evidence ledger for the model registry" ~man)
+    Term.(const run $ obs_term "evidence" $ store_term $ out $ uarchs $ opts
+          $ cluster_term)
+
+let registry_publish_cmd =
+  let run dir evidence parent channel k beta =
+    let reg = Registry.open_ ~dir in
+    let records =
+      match Registry.Evidence.read ~path:evidence with
+      | Ok r -> r
+      | Error e -> registry_fail "%s" e
+    in
+    match
+      Registry.publish ?k ?beta ?parent ?channel ~created:(created_unix ())
+        reg records
+    with
+    | Error e -> registry_fail "%s" e
+    | Ok l ->
+      Printf.printf "published %s: %d pairs, %d records%s\n"
+        l.Registry.l_id l.Registry.l_pairs l.Registry.l_records
+        (match l.Registry.l_parent with
+        | Some p -> Printf.sprintf ", refit from %s" p
+        | None -> ", cold fit");
+      List.iter
+        (fun (name, id) ->
+          if id = l.Registry.l_id then
+            Printf.printf "channel %s -> %s\n" name id)
+        (Registry.channels reg)
+  in
+  let evidence =
+    Arg.(required & opt (some file) None
+         & info [ "evidence" ] ~docv:"FILE"
+             ~doc:
+               "Evidence ledger (JSONL from $(b,portopt evidence) or \
+                $(b,train --evidence-out)).")
+  in
+  let parent =
+    Arg.(value & opt (some string) None
+         & info [ "parent" ] ~docv:"REF"
+             ~doc:
+               "Refit incrementally from this version (id, unambiguous \
+                prefix, or channel name): its ledger is folded first, \
+                the new records on top — bit-identical to a cold fit \
+                on the union, so both derivations publish the same \
+                version id.")
+  in
+  let channel =
+    Arg.(value & opt (some string) None
+         & info [ "channel" ] ~docv:"NAME"
+             ~doc:
+               "Also point this channel at the published version \
+                ($(b,latest) always moves).")
+  in
+  let k =
+    Arg.(value & opt (some int) None
+         & info [ "k" ] ~doc:"Neighbour count (default: the model's 5).")
+  in
+  let beta =
+    Arg.(value & opt (some float) None
+         & info [ "beta" ] ~doc:"Softmax sharpness (default: 10).")
+  in
+  Cmd.v
+    (Cmd.info "publish"
+       ~doc:"Train a version from an evidence ledger and store it")
+    Term.(const run $ registry_dir_arg $ evidence $ parent $ channel $ k
+          $ beta)
+
+let registry_list_cmd =
+  let run dir =
+    let reg = Registry.open_ ~dir in
+    match Registry.versions reg with
+    | Error e -> registry_fail "%s" e
+    | Ok versions ->
+      let channels = Registry.channels reg in
+      let names_of id =
+        match
+          List.filter_map
+            (fun (name, cid) -> if cid = id then Some name else None)
+            channels
+        with
+        | [] -> ""
+        | names -> "  <- " ^ String.concat "," names
+      in
+      if versions = [] then print_endline "(empty registry)"
+      else
+        List.iter
+          (fun l ->
+            Printf.printf "%s  pairs %-4d records %-4d k=%d beta=%g %s%s%s\n"
+              l.Registry.l_id l.Registry.l_pairs l.Registry.l_records
+              l.Registry.l_k l.Registry.l_beta l.Registry.l_space
+              (match l.Registry.l_parent with
+              | Some p -> "  parent " ^ p
+              | None -> "")
+              (names_of l.Registry.l_id))
+          versions
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List versions, lineage and channel pointers")
+    Term.(const run $ registry_dir_arg)
+
+let registry_resolve_cmd =
+  let run dir ref_ =
+    let reg = Registry.open_ ~dir in
+    match Registry.resolve_id reg ref_ with
+    | Error e -> registry_fail "%s" e
+    | Ok id -> Printf.printf "%s %s\n" id (Registry.object_path reg id)
+  in
+  let ref_ =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"REF"
+             ~doc:"Channel name, version id, or unambiguous id prefix.")
+  in
+  Cmd.v
+    (Cmd.info "resolve"
+       ~doc:"Resolve a channel or id prefix to a version id and path")
+    Term.(const run $ registry_dir_arg $ ref_)
+
+let registry_gc_cmd =
+  let run dir dry_run =
+    let reg = Registry.open_ ~dir in
+    match Registry.gc ~dry_run reg with
+    | Error e -> registry_fail "%s" e
+    | Ok (deleted, kept) ->
+      List.iter
+        (fun id ->
+          Printf.printf "%s %s\n"
+            (if dry_run then "would delete" else "deleted")
+            id)
+        deleted;
+      Printf.printf "%s %d, kept %d\n"
+        (if dry_run then "would delete" else "deleted")
+        (List.length deleted) kept
+  in
+  let dry_run =
+    Arg.(value & flag
+         & info [ "dry-run" ]
+             ~doc:"Report unreachable versions without deleting.")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Delete versions unreachable from every channel through \
+          lineage chains")
+    Term.(const run $ registry_dir_arg $ dry_run)
+
+let registry_cmd =
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The model registry versions $(b,.pcm) artifacts in a \
+         content-addressed directory: a version's id is the FNV-1a 64 \
+         digest of its payload, each version carries a lineage record \
+         (parent version, trainer parameters, evidence and provenance \
+         digests, creation time — pin it with \
+         $(b,SOURCE_DATE_EPOCH)) and the exact evidence ledger that \
+         trained it, and named channel pointers ($(b,latest), \
+         $(b,stable), $(b,candidate), ...) move atomically.";
+      `P
+        "$(b,publish --parent) refits incrementally: the parent's \
+         per-pair multinomial counts are extended with the fresh \
+         records instead of retraining from scratch, and the result is \
+         bit-identical to a cold retrain on the union ledger — the two \
+         derivations content-address to the $(i,same) version.  \
+         $(b,portopt serve --registry) serves channels live; \
+         $(b,portopt promote) flips $(b,stable) after an A/B \
+         comparison.";
+    ]
+  in
+  Cmd.group
+    (Cmd.info "registry" ~doc:"Versioned model registry with lineage" ~man)
+    [ registry_publish_cmd; registry_list_cmd; registry_resolve_cmd;
+      registry_gc_cmd ]
+
+let promote_cmd =
+  let run () dir address min_requests max_regression force =
+    let client = connect_or_exit address in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close client)
+      (fun () ->
+        let health =
+          match Serve.Client.health client with
+          | Ok h -> h
+          | Error (code, msg) -> registry_fail "server error %d: %s" code msg
+        in
+        let member path j =
+          let rec go j = function
+            | [] -> Some j
+            | k :: rest ->
+              Option.bind (Obs.Json.member k j) (fun v -> go v rest)
+          in
+          go j path
+        in
+        let str path j = Option.bind (member path j) Obs.Json.to_str in
+        let stable_version =
+          match str [ "model"; "version" ] health with
+          | Some v -> v
+          | None -> registry_fail "health report carries no model version"
+        in
+        let candidate_version =
+          match str [ "ab"; "candidate"; "version" ] health with
+          | Some v -> v
+          | None ->
+            registry_fail
+              "server has no candidate arm (serve --registry --ab)"
+        in
+        let metrics =
+          match Serve.Client.metrics client with
+          | Ok m -> m
+          | Error (code, msg) -> registry_fail "server error %d: %s" code msg
+        in
+        let counter name =
+          Option.value ~default:0
+            (Option.bind (member [ "counters"; name ] metrics) Obs.Json.to_int)
+        in
+        let p99 name =
+          Option.bind
+            (member [ "histograms"; name ] metrics)
+            (fun h -> Obs.Metrics.quantile_of_json h 0.99)
+        in
+        let s_req = counter "serve.ab.stable.requests" in
+        let c_req = counter "serve.ab.candidate.requests" in
+        let s_p99 = p99 "serve.ab.stable.seconds" in
+        let c_p99 = p99 "serve.ab.candidate.seconds" in
+        let show l = function
+          | Some v -> Printf.sprintf "%s %8.3f ms" l (v *. 1e3)
+          | None -> Printf.sprintf "%s (no samples)" l
+        in
+        Printf.printf "stable    %s  requests %-6d %s\n" stable_version s_req
+          (show "p99" s_p99);
+        Printf.printf "candidate %s  requests %-6d %s\n" candidate_version
+          c_req (show "p99" c_p99);
+        let verdict =
+          if stable_version = candidate_version then
+            Error "candidate is already the stable version"
+          else if c_req < min_requests && not force then
+            Error
+              (Printf.sprintf
+                 "candidate served %d requests, need %d (or --force)" c_req
+                 min_requests)
+          else
+            match (s_p99, c_p99) with
+            | _, None when not force ->
+              Error "candidate arm has no latency samples (or --force)"
+            | Some s, Some c
+              when c > s *. (1.0 +. max_regression) && not force ->
+              Error
+                (Printf.sprintf
+                   "candidate p99 regresses %.1f%% over stable (budget \
+                    %.1f%%; --force overrides)"
+                   ((c /. s -. 1.0) *. 100.)
+                   (max_regression *. 100.))
+            | _ -> Ok ()
+        in
+        match verdict with
+        | Error why ->
+          Printf.printf "not promoted: %s\n" why;
+          exit 3
+        | Ok () -> (
+          let reg = Registry.open_ ~dir in
+          match Registry.set_channel reg ~name:"stable" ~id:candidate_version with
+          | Error e -> registry_fail "%s" e
+          | Ok () ->
+            Printf.printf "promoted: stable -> %s\n" candidate_version;
+            (* Nudge the server; with --watch it would also pick the
+               pointer move up on its own.  Failure to reload is not a
+               promotion failure. *)
+            (match Serve.Client.reload client with
+            | Ok _ -> ()
+            | Error (code, msg) ->
+              Printf.eprintf
+                "portopt: promoted, but reload failed (%d: %s) — the \
+                 server will follow on its next --watch poll\n"
+                code msg)))
+  in
+  let min_requests =
+    Arg.(value & opt int 20
+         & info [ "min-requests" ] ~docv:"N"
+             ~doc:
+               "Refuse to promote before the candidate arm has served \
+                $(docv) requests.")
+  in
+  let max_regression =
+    Arg.(value & opt float 0.10
+         & info [ "max-regression" ] ~docv:"FRACTION"
+             ~doc:
+               "Refuse to promote when the candidate's p99 latency \
+                exceeds the stable arm's by more than this fraction.")
+  in
+  let force =
+    Arg.(value & flag
+         & info [ "force" ]
+             ~doc:"Promote regardless of traffic volume and latency.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Operational promotion gate for an A/B experiment started with \
+         $(b,portopt serve --registry --ab): fetches the server's \
+         health (which arms are live) and metrics (per-arm request \
+         counts and latency histograms), refuses to promote a \
+         candidate that served too little traffic or regressed p99 \
+         latency beyond budget, and otherwise points the registry's \
+         $(b,stable) channel at the candidate version and asks the \
+         server to reload.";
+      `P
+        "The gate compares serving behaviour, not model quality — \
+         prediction quality is judged offline ($(b,crossval), \
+         $(b,bench)); this guards the live flip.  Exit status 3 means \
+         the gate refused.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Compare A/B arms and flip the registry's stable channel" ~man)
+    Term.(const run $ obs_term "promote" $ registry_dir_arg $ address_term
+          $ min_requests $ max_regression $ force)
+
 let () =
   let envs =
     [
@@ -1327,4 +1904,5 @@ let () =
        (Cmd.group info
           [ list_cmd; dump_cmd; run_cmd; exec_cmd; spaces_cmd; flags_cmd;
             predict_cmd; train_cmd; crossval_cmd; serve_cmd; query_cmd;
-            worker_cmd; report_cmd; metrics_cmd; top_cmd; store_cmd ]))
+            worker_cmd; report_cmd; metrics_cmd; top_cmd; store_cmd;
+            evidence_cmd; registry_cmd; promote_cmd ]))

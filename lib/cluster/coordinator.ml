@@ -86,6 +86,8 @@ type job = {
   j_not_before : float array;  (** Reassignment backoff per task. *)
   j_leased : bool array;
   mutable j_fatal : string option;
+  j_on_result : (task:Task.t -> key:string -> run:Sim.Xtrem.run -> unit) option;
+      (** Streaming hook: called once per freshly installed result. *)
 }
 
 type t = {
@@ -223,13 +225,24 @@ let handle_result t w ~job ~task ~key ~checksum ~run =
                 j.j_results.(task) <- Some r;
                 j.j_done <- j.j_done + 1;
                 w.w_last_seen <- Unix.gettimeofday ();
-                `Installed
+                `Installed (j.j_on_result, j.j_tasks.(task))
               end
             | _ -> `Stale)
       in
       match verdict with
-      | `Installed -> (
+      | `Installed (hook, tk) -> (
         Obs.Metrics.add m_results 1;
+        (* The streaming hook runs outside the state lock, on this
+           connection thread; a raising hook is the caller's bug and
+           must not take the connection (and its lease) down with it. *)
+        (match hook with
+        | None -> ()
+        | Some f -> (
+          try f ~task:tk ~key ~run:r
+          with e ->
+            Obs.Span.log
+              (Printf.sprintf "cluster: on_result hook raised: %s"
+                 (Printexc.to_string e))));
         match t.store with
         | None -> ()
         | Some s -> (
@@ -576,7 +589,7 @@ let expire_locked t j ~now =
     t.workers;
   ignore j
 
-let evaluate ?tick t groups =
+let evaluate ?tick ?on_result t groups =
   Obs.Span.with_ "cluster.evaluate" @@ fun () ->
   (* Enumerate the grid and dedupe by store key: semantic duplicates
      (same program digest + canonical setting) collapse to one task. *)
@@ -628,7 +641,10 @@ let evaluate ?tick t groups =
         | Some r ->
           results.(i) <- Some r;
           incr done_count;
-          Obs.Metrics.add m_store_hits 1
+          Obs.Metrics.add m_store_hits 1;
+          (match on_result with
+          | None -> ()
+          | Some f -> f ~task:tasks.(i) ~key ~run:r)
         | None -> ())
       keys);
   Obs.Metrics.add m_tasks n;
@@ -657,6 +673,7 @@ let evaluate ?tick t groups =
               j_not_before = Array.make n 0.0;
               j_leased = Array.make n false;
               j_fatal = None;
+              j_on_result = on_result;
             }
           in
           t.job <- Some j;

@@ -62,6 +62,7 @@ val workers : t -> int
 
 val evaluate :
   ?tick:(done_:int -> total:int -> unit) ->
+  ?on_result:(task:Task.t -> key:string -> run:Sim.Xtrem.run -> unit) ->
   t ->
   (Workloads.Spec.t * Passes.Flags.setting array) array ->
   Sim.Xtrem.run array array
@@ -70,7 +71,15 @@ val evaluate :
     setting.  Blocks the calling thread (signal handlers keep running);
     raises [Failure] when a task exhausts its retries, when no live
     worker shows up within [register_timeout_s], or when {!stop} was
-    requested. *)
+    requested.
+
+    [on_result] streams each deduplicated task's result as it installs
+    — store-warmed tasks fire synchronously before anything ships,
+    cluster results fire on their connection thread (so the callback
+    must be thread-safe and quick, and must not raise).  Exactly one
+    call per unique task; duplicates and stale results never fire.
+    This is how evidence pipelines watch training data accumulate
+    without waiting for the whole grid. *)
 
 val stop : t -> unit
 (** Request a drain: a running {!evaluate} fails promptly, workers are

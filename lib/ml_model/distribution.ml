@@ -26,23 +26,57 @@ let uniform () =
       Array.make k (1.0 /. float_of_int k))
     Passes.Flags.dims
 
+(* ---- sufficient statistics -------------------------------------------- *)
+
+(* The multinomial's sufficient statistic is the per-dimension value
+   count matrix.  Counts are small integers stored as floats (exact up
+   to 2^53), so accumulating them incrementally — fold a batch now,
+   another batch later — and normalising once at the end is
+   bit-identical to a single fit over the concatenated good multiset:
+   float addition of integers is exact, and the only division happens
+   in {!of_counts}.  This is the identity [Registry.Refit] builds on. *)
+
+type counts = float array array
+
+let counts ?(alpha = 0.0) () : counts =
+  Array.map
+    (fun d -> Array.make (Passes.Flags.cardinality d) alpha)
+    Passes.Flags.dims
+
+let add_counts (c : counts) (good : Passes.Flags.setting array) =
+  Array.iter
+    (fun (s : Passes.Flags.setting) ->
+      Array.iteri (fun l v -> c.(l).(v) <- c.(l).(v) +. 1.0) s)
+    good
+
+let total_count (c : counts) =
+  if Array.length c = 0 then 0.0 else Array.fold_left ( +. ) 0.0 c.(0)
+
+let of_counts (c : counts) : t =
+  Array.map
+    (fun row ->
+      let z = Array.fold_left ( +. ) 0.0 row in
+      if z > 0.0 then Array.map (fun v -> v /. z) row
+      else
+        (* Zero mass (nothing folded, no smoothing): maximum entropy,
+           matching [fit]'s empty-good-set behaviour. *)
+        Array.make (Array.length row) (1.0 /. float_of_int (Array.length row)))
+    c
+
 (** Maximum-likelihood fit (equation 5) with Laplace smoothing [alpha]
     (default 0: the paper's plain ML estimator; a small alpha guards
-    against zero-probability values when the good set is tiny). *)
+    against zero-probability values when the good set is tiny).
+    Expressed through the sufficient-statistic helpers above so the
+    one-shot and the incremental ({!counts}/{!add_counts}/{!of_counts})
+    paths share every float operation — the per-cell addition sequence
+    and the final division are identical, hence so are the bits. *)
 let fit ?(alpha = 0.0) (good : Passes.Flags.setting array) : t =
   if Array.length good = 0 then uniform ()
-  else
-    Array.mapi
-      (fun l d ->
-        let k = Passes.Flags.cardinality d in
-        let counts = Array.make k alpha in
-        Array.iter
-          (fun (s : Passes.Flags.setting) ->
-            counts.(s.(l)) <- counts.(s.(l)) +. 1.0)
-          good;
-        let z = Array.fold_left ( +. ) 0.0 counts in
-        Array.map (fun c -> c /. z) counts)
-      Passes.Flags.dims
+  else begin
+    let c = counts ~alpha () in
+    add_counts c good;
+    of_counts c
+  end
 
 (** Convex combination: [mix [(w1, g1); (w2, g2); ...]] with the weights
     summing to 1 (they are renormalised defensively). *)

@@ -19,6 +19,34 @@ val fit : ?alpha:float -> Passes.Flags.setting array -> t
     frequency of value [j] among the settings' l-th components.  [alpha]
     adds Laplace smoothing (default 0, the paper's plain estimator). *)
 
+(** {2 Sufficient statistics}
+
+    The multinomial's sufficient statistic is the per-dimension value
+    count matrix.  Counts are small integers held as floats (exact up
+    to 2^53), so folding good sets incrementally and normalising once
+    at the end — [of_counts] after any number of [add_counts] — is
+    {e bit-identical} to one [fit] over the concatenated multiset.
+    This identity is what lets [Registry.Refit] extend a trained model
+    with fresh evidence without retraining from scratch. *)
+
+type counts = float array array
+(** [counts.(l).(j)] = occurrences of value [j] on dimension [l]. *)
+
+val counts : ?alpha:float -> unit -> counts
+(** A fresh count matrix shaped by {!Passes.Flags.dims}, every cell at
+    [alpha] (default 0). *)
+
+val add_counts : counts -> Passes.Flags.setting array -> unit
+(** Fold a batch of good settings into the counts, in array order. *)
+
+val total_count : counts -> float
+(** Mass folded so far (settings plus per-value smoothing). *)
+
+val of_counts : counts -> t
+(** Normalise each dimension's counts into probabilities — the single
+    division of {!fit}.  A zero-mass dimension yields the uniform row,
+    matching [fit]'s empty-good-set behaviour. *)
+
 val mix : (float * t) list -> t
 (** Convex combination with the given (non-negative, renormalised)
     weights — the K-nearest-neighbour mixture of equation (6).  Raises

@@ -32,21 +32,22 @@ let apply_mask mask row =
     Array.iteri (fun i keep -> if keep then out := row.(i) :: !out) m;
     Array.of_list (List.rev !out)
 
-(** Train on all dataset pairs for which [include_pair] holds (the
-    cross-validation harness excludes the test program and test
-    microarchitecture here). *)
-let train ?(k = default_k) ?(beta = default_beta) ?mask
-    ?(include_pair = fun ~prog:_ ~uarch:_ -> true) (d : Dataset.t) =
-  let selected =
-    Array.to_list d.Dataset.pairs
-    |> List.filter (fun (p : Dataset.pair) ->
-           include_pair ~prog:p.Dataset.prog_index ~uarch:p.Dataset.uarch_index)
-    |> Array.of_list
-  in
-  if Array.length selected = 0 then invalid_arg "Model.train: empty training set";
-  let raw =
-    Array.map (fun p -> apply_mask mask p.Dataset.features_raw) selected
-  in
+(** Assemble a model from raw training rows and their fitted
+    distributions: fit the normaliser, normalise, build the metric
+    index.  This is the {e single} construction path — {!train} selects
+    rows out of a dataset and [Registry.Refit] derives them from an
+    evidence ledger, but both funnel through here, so the two ways of
+    reaching the same (rows, distributions) produce bit-identical
+    models. *)
+let of_parts ?(k = default_k) ?(beta = default_beta) ?mask ~features_raw
+    ~distributions () =
+  let n = Array.length features_raw in
+  if n = 0 then invalid_arg "Model.of_parts: empty training set";
+  if Array.length distributions <> n then
+    invalid_arg
+      (Printf.sprintf "Model.of_parts: %d feature rows but %d distributions"
+         n (Array.length distributions));
+  let raw = Array.map (apply_mask mask) features_raw in
   let normaliser = Features.fit_normaliser raw in
   let features = Array.map (Features.normalise normaliser) raw in
   {
@@ -56,8 +57,25 @@ let train ?(k = default_k) ?(beta = default_beta) ?mask
     normaliser;
     features;
     index = Vptree.build features;
-    distributions = Array.map (fun p -> p.Dataset.distribution) selected;
+    distributions;
   }
+
+(** Train on all dataset pairs for which [include_pair] holds (the
+    cross-validation harness excludes the test program and test
+    microarchitecture here). *)
+let train ?k ?beta ?mask ?(include_pair = fun ~prog:_ ~uarch:_ -> true)
+    (d : Dataset.t) =
+  let selected =
+    Array.to_list d.Dataset.pairs
+    |> List.filter (fun (p : Dataset.pair) ->
+           include_pair ~prog:p.Dataset.prog_index ~uarch:p.Dataset.uarch_index)
+    |> Array.of_list
+  in
+  if Array.length selected = 0 then invalid_arg "Model.train: empty training set";
+  of_parts ?k ?beta ?mask
+    ~features_raw:(Array.map (fun p -> p.Dataset.features_raw) selected)
+    ~distributions:(Array.map (fun p -> p.Dataset.distribution) selected)
+    ()
 
 (** Full prediction (neighbours, mixture, mode) for raw features [x].
     The kNN/softmax math lives in {!Predict}; this is the single entry

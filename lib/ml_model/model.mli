@@ -16,6 +16,22 @@ val default_k : int
 val default_beta : float
 (** 1.0, as in the paper. *)
 
+val of_parts :
+  ?k:int ->
+  ?beta:float ->
+  ?mask:bool array ->
+  features_raw:float array array ->
+  distributions:Distribution.t array ->
+  unit ->
+  t
+(** Assemble a model from raw (unnormalised) training rows and their
+    fitted per-pair distributions: fit the z-score normaliser over the
+    rows, normalise, build the metric index.  The single construction
+    path shared by {!train} and the registry's incremental refit
+    ([Registry.Refit]) — two callers presenting the same rows and
+    distributions get bit-identical models.  Raises [Invalid_argument]
+    on an empty or mismatched input. *)
+
 val train :
   ?k:int ->
   ?beta:float ->

@@ -1,0 +1,43 @@
+(** Incremental trainer: fold evidence records into per-pair
+    multinomial counts and derive a model without full retraining.
+
+    The state is one entry per (program, microarchitecture) pair —
+    first-seen order, freshest feature vector, and the pair's
+    accumulated {!Ml_model.Distribution.counts}.  Folding is exact:
+    counts are small integers held as floats, so
+
+    {v fold (of_records e1) e2  ==  of_records (e1 @ e2) v}
+
+    entry for entry, bit for bit — and {!to_model} funnels through
+    {!Ml_model.Model.of_parts}, the same construction path as
+    {!Ml_model.Model.train}.  Hence the registry's central guarantee:
+    a model refit incrementally from a parent's ledger plus fresh
+    evidence is {e byte-identical} to a cold retrain on the union
+    ledger (asserted in test/test_registry.ml and the registry smoke).
+
+    Only the final normaliser fit, normalisation and index build —
+    cheap relative to evidence generation — are redone per refit; the
+    per-pair count statistics are never recomputed from scratch. *)
+
+type t
+
+val create : unit -> t
+val fold : t -> Evidence.record list -> unit
+(** Fold records in list order: new pairs append in first-seen order;
+    repeated pairs merge at the count level, freshest features win. *)
+
+val of_records : Evidence.record list -> t
+(** [fold] into a fresh state. *)
+
+val pairs : t -> int
+(** Distinct (program, uarch) pairs folded so far. *)
+
+val records : t -> int
+(** Total evidence records folded (>= [pairs]). *)
+
+val to_model :
+  ?k:int -> ?beta:float -> t -> (Ml_model.Model.t, string) result
+(** Derive the model from the current state: per-pair distributions via
+    {!Ml_model.Distribution.of_counts}, rows in first-seen pair order,
+    assembled by {!Ml_model.Model.of_parts}.  [Error] on an empty state
+    or inconsistent feature dimensions. *)

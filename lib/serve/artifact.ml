@@ -116,7 +116,10 @@ let payload_json t =
       ("meta", J.Obj t.meta);
     ]
 
-let save ~path t =
+(** The exact two lines [save] writes, exposed so the model registry
+    can content-address an artifact (the payload's FNV-1a 64 digest is
+    the version id) and write the object file itself. *)
+let encode t =
   let payload = J.to_string (payload_json t) in
   let header =
     J.to_string
@@ -128,6 +131,20 @@ let save ~path t =
            ("bytes", J.Int (String.length payload));
          ])
   in
+  (header, payload)
+
+(** Content identity: the payload digest as 16 hex characters.  Two
+    artifacts have equal [version_id] iff their payload lines are
+    byte-identical — the registry's version ids and the byte-identity
+    assertions both rest on this. *)
+let version_id t =
+  let _, payload = encode t in
+  Prelude.Fnv.digest_string payload
+
+let checksum t = "fnv1a64:" ^ version_id t
+
+let save ~path t =
+  let header, payload = encode t in
   (* Write-then-rename so a crash mid-save never leaves a half-written
      artifact under the final name. *)
   let tmp = path ^ ".tmp" in

@@ -44,6 +44,20 @@ val provenance :
     a server can tell which evaluation store matches the model and
     warm-start from it (see {!Ml_model.Dataset.provenance_digests}). *)
 
+val encode : t -> string * string
+(** The exact [(header, payload)] lines [save] writes — exposed so the
+    model registry ([Registry]) can content-address artifacts and write
+    object files itself. *)
+
+val version_id : t -> string
+(** The payload's FNV-1a 64 digest as 16 hex characters.  Equal iff the
+    payload lines are byte-identical, which makes it both the
+    registry's version id and the server's "which model is live"
+    fingerprint. *)
+
+val checksum : t -> string
+(** ["fnv1a64:" ^ version_id] — the header's checksum rendering. *)
+
 val save : path:string -> t -> unit
 (** Serialise atomically (write to [path ^ ".tmp"], then rename). *)
 

@@ -1,15 +1,25 @@
 (** Blocking client for the prediction server: one request line out,
     one response line back, over a TCP or Unix-domain stream socket.
-    Used by [portopt query], the serve benchmark and the tests. *)
+    Used by [portopt query], the serve benchmark and the tests.
+
+    Idempotent ops ([predict], [predict_batch], [health], [metrics])
+    survive a dead connection: on a transport failure (ECONNRESET,
+    server restart, EOF mid-response) the client redials the stored
+    address after a {!Prelude.Backoff} delay and resends — by default
+    once, so a hot server restart is invisible to read-only callers.
+    Non-idempotent ops ([shutdown], [sleep], [reload]) never resend:
+    the first attempt may have been applied before the socket died. *)
 
 module J = Obs.Json
 
 type t = {
-  fd : Unix.file_descr;
-  reader : Frame.reader;  (** Bounded line framing over [fd]. *)
+  address : Protocol.address;
+  reconnect : Prelude.Backoff.policy;
+  mutable fd : Unix.file_descr;
+  mutable reader : Frame.reader;  (** Bounded line framing over [fd]. *)
 }
 
-let connect address =
+let dial address =
   let sa = Protocol.sockaddr address in
   let domain = Unix.domain_of_sockaddr sa in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
@@ -26,47 +36,56 @@ let connect address =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; reader = Frame.reader fd }
+  fd
+
+(* One redial per transport failure by default: enough to ride out a
+   server restart, not enough to hammer a dead address. *)
+let default_reconnect = { Prelude.Backoff.default with max_retries = 1 }
+
+let connect ?(reconnect = default_reconnect) address =
+  let fd = dial address in
+  { address; reconnect; fd; reader = Frame.reader fd }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let read_line t =
-  match Frame.read t.reader with
-  | Ok line -> Ok line
-  | Error Frame.Closed -> Error "connection closed by server"
-  | Error e -> Error (Frame.error_to_string e)
+let reconnect_now t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  let fd = dial t.address in
+  t.fd <- fd;
+  t.reader <- Frame.reader fd
+
+(* Failures split by what a retry could fix: [Transport] means the
+   socket died (reconnect + resend can help, for idempotent ops);
+   [Malformed] covers everything a fresh connection cannot cure —
+   server-side errors, oversized frames, unparseable responses. *)
+type failure = Transport of string | Malformed of int * string
+
+let round_trip t (j : J.t) : (J.t, failure) result =
+  match Frame.write_line t.fd (J.to_string j) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Transport ("write failed: " ^ Unix.error_message e))
+  | () -> (
+    match Frame.read t.reader with
+    | Ok line -> (
+      match J.of_string line with
+      | Ok j -> Ok j
+      | Error e -> Error (Malformed (0, "malformed response: " ^ e)))
+    | Error Frame.Closed -> Error (Transport "connection closed by server")
+    | Error (Frame.Io _ as e) -> Error (Transport (Frame.error_to_string e))
+    | Error (Frame.Eof_mid_frame as e) ->
+      Error (Transport (Frame.error_to_string e))
+    | Error e -> Error (Malformed (0, Frame.error_to_string e)))
 
 let request t (j : J.t) : (J.t, string) result =
-  match Frame.write_line t.fd (J.to_string j) with
-  | () -> (
-    match read_line t with
-    | Error e -> Error e
-    | Ok line ->
-      Result.map_error (fun e -> "malformed response: " ^ e) (J.of_string line))
-  | exception Unix.Unix_error (e, _, _) ->
-    Error ("write failed: " ^ Unix.error_message e)
+  match round_trip t j with
+  | Ok j -> Ok j
+  | Error (Transport e) | Error (Malformed (_, e)) -> Error e
 
 (* Typed helpers.  Errors carry the server's HTTP-style code, or 0 for
    transport/parse failures — so callers can distinguish a 429 shed from
    a dead socket. *)
 
 let ( let* ) = Result.bind
-
-let checked t req =
-  (* When this process is tracing, stamp the request with the current
-     span address so the server's trace stitches under ours; [None]
-     (the common case) adds nothing to the wire. *)
-  let trace = Obs.Span.current_context () in
-  let* j =
-    Result.map_error
-      (fun e -> (0, e))
-      (request t (Protocol.request_to_json ?trace req))
-  in
-  Protocol.check_response j
-
-let predict_once t ~counters ~uarch =
-  let* j = checked t (Protocol.Predict { counters; uarch }) in
-  Result.map_error (fun e -> (0, e)) (Protocol.prediction_of_json j)
 
 (* The retry jitter stream only decides *when* to knock again, never
    what is computed, so seeding it from wall time and pid is outside
@@ -75,6 +94,40 @@ let jitter_rng () =
   Prelude.Rng.create
     ((Unix.getpid () * 1_000_003)
     lxor (int_of_float (Unix.gettimeofday () *. 1e6) land max_int))
+
+let checked ?(idempotent = false) t req =
+  let send () =
+    (* When this process is tracing, stamp the request with the current
+       span address so the server's trace stitches under ours; [None]
+       (the common case) adds nothing to the wire. *)
+    let trace = Obs.Span.current_context () in
+    let* j = round_trip t (Protocol.request_to_json ?trace req) in
+    Result.map_error
+      (fun (code, e) -> Malformed (code, e))
+      (Protocol.check_response j)
+  in
+  let result =
+    if not idempotent then send ()
+    else
+      let rng = jitter_rng () in
+      Prelude.Backoff.retry t.reconnect ~rng ~sleep:Thread.delay
+        ~retryable:(function Transport _ -> true | Malformed _ -> false)
+        (fun ~attempt ->
+          if attempt = 0 then send ()
+          else
+            match reconnect_now t with
+            | () -> send ()
+            | exception e ->
+              Error (Transport ("reconnect failed: " ^ Printexc.to_string e)))
+  in
+  match result with
+  | Ok j -> Ok j
+  | Error (Transport e) -> Error (0, e)
+  | Error (Malformed (code, e)) -> Error (code, e)
+
+let predict_once t ~counters ~uarch =
+  let* j = checked ~idempotent:true t (Protocol.Predict { counters; uarch }) in
+  Result.map_error (fun e -> (0, e)) (Protocol.prediction_of_json j)
 
 let predict ?backoff t ~counters ~uarch =
   match backoff with
@@ -86,7 +139,9 @@ let predict ?backoff t ~counters ~uarch =
       (fun ~attempt:_ -> predict_once t ~counters ~uarch)
 
 let predict_batch t queries =
-  let* j = checked t (Protocol.Predict_batch { queries }) in
+  let* j =
+    checked ~idempotent:true t (Protocol.Predict_batch { queries })
+  in
   match Protocol.batch_of_json j with
   | Error e -> Error (0, e)
   | Ok results when Array.length results <> Array.length queries ->
@@ -96,13 +151,14 @@ let predict_batch t queries =
           (Array.length results) (Array.length queries) )
   | Ok results -> Ok results
 
-let health t = checked t Protocol.Health
+let health t = checked ~idempotent:true t Protocol.Health
 
 let metrics t =
-  let* j = checked t Protocol.Metrics in
+  let* j = checked ~idempotent:true t Protocol.Metrics in
   match J.member "metrics" j with
   | Some m -> Ok m
   | None -> Error (0, "metrics response missing \"metrics\" field")
 
+let reload t = checked t Protocol.Reload
 let shutdown t = checked t Protocol.Shutdown
 let sleep t seconds = checked t (Protocol.Sleep seconds)

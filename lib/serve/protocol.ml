@@ -94,6 +94,10 @@ type request =
           whole vector. *)
   | Health
   | Metrics
+  | Reload
+      (** Admin op: re-resolve the model source (the registry channels
+          the server was started against) and hot-swap the active
+          model(s) atomically, without dropping in-flight requests. *)
   | Shutdown
   | Sleep of float  (** Admin/test op: hold a worker for the duration. *)
 
@@ -132,6 +136,7 @@ let request_to_json ?id ?trace req =
       ]
     | Health -> [ ("op", J.Str "health") ]
     | Metrics -> [ ("op", J.Str "metrics") ]
+    | Reload -> [ ("op", J.Str "reload") ]
     | Shutdown -> [ ("op", J.Str "shutdown") ]
     | Sleep s -> [ ("op", J.Str "sleep"); ("seconds", J.Float s) ]
   in
@@ -183,6 +188,7 @@ let request_of_json j =
   match op with
   | "health" -> Ok Health
   | "metrics" -> Ok Metrics
+  | "reload" -> Ok Reload
   | "shutdown" -> Ok Shutdown
   | "sleep" ->
     let seconds =
@@ -231,6 +237,12 @@ type prediction = {
   neighbours : neighbour array;
   latency_ms : float;
   cached : bool;
+  arm : string option;
+      (** A/B arm that answered ("stable" or "candidate"); [None] from
+          servers without A/B routing (and pre-registry responses). *)
+  model : string option;
+      (** Version id of the artifact that answered — the payload digest
+          ({!Serve.Artifact.version_id}). *)
 }
 
 let with_id id fields =
@@ -256,6 +268,8 @@ let prediction_fields p =
     ("latency_ms", J.Float p.latency_ms);
     ("cached", J.Bool p.cached);
   ]
+  @ (match p.arm with None -> [] | Some a -> [ ("arm", J.Str a) ])
+  @ match p.model with None -> [] | Some m -> [ ("model", J.Str m) ]
 
 let prediction_to_json ?id p =
   J.Obj (with_id id (("ok", J.Bool true) :: prediction_fields p))
@@ -316,7 +330,9 @@ let prediction_of_json j =
   let cached =
     match J.member "cached" j with Some (J.Bool b) -> b | _ -> false
   in
-  Ok { setting; flags; neighbours; latency_ms; cached }
+  let arm = Option.bind (J.member "arm" j) J.to_str in
+  let model = Option.bind (J.member "model" j) J.to_str in
+  Ok { setting; flags; neighbours; latency_ms; cached; arm; model }
 
 let batch_of_json j =
   match Option.bind (J.member "results" j) J.to_list with

@@ -23,6 +23,11 @@ type request =
   | Metrics
       (** Live {!Obs.Metrics.snapshot} of the server process — counters,
           gauges and bucketed latency histograms; not an admin op. *)
+  | Reload
+      (** Admin op: re-resolve the server's model source (registry
+          channels) and atomically hot-swap the active model(s) without
+          dropping in-flight requests; 400 when the server has no model
+          source ([serve --model]). *)
   | Shutdown  (** Admin op: trigger a graceful drain. *)
   | Sleep of float
       (** Admin/test op: hold a worker for the duration (clamped to
@@ -64,6 +69,14 @@ type prediction = {
   neighbours : neighbour array;
   latency_ms : float;  (** Server-side, receipt to response. *)
   cached : bool;  (** Served from the LRU prediction cache. *)
+  arm : string option;
+      (** A/B arm that answered (["stable"]/["candidate"]); assignment
+          is a deterministic hash of the query key, so the same query
+          always lands on the same arm for a given split fraction. *)
+  model : string option;
+      (** Version id ({!Artifact.version_id}) of the artifact that
+          answered — pins every response to an exact model under hot
+          swap. *)
 }
 
 val prediction_to_json : ?id:Obs.Json.t -> prediction -> Obs.Json.t

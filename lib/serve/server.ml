@@ -16,9 +16,22 @@
       unboundedly.
 
     Repeated queries are answered from an LRU cache keyed on the
-    quantised raw feature vector (1e-6 grid — far below any physically
-    meaningful counter difference), bypassing admission entirely so a
-    saturated server still answers hot queries.
+    model's version id plus the quantised raw feature vector (1e-6 grid
+    — far below any physically meaningful counter difference),
+    bypassing admission entirely so a saturated server still answers
+    hot queries.
+
+    {b Hot swap and A/B routing.}  The active model lives in a single
+    [Atomic.t] routing record (stable arm, optional candidate arm,
+    split fraction).  Every request reads the record exactly once and
+    computes against that snapshot, so {!install} — triggered by the
+    [reload] wire op or the registry-watch thread — swaps models
+    between requests without dropping or tearing in-flight work: each
+    response is bit-identical to one of the installed models, never a
+    mixture.  With a candidate arm, a deterministic FNV hash of the
+    query key routes a fixed fraction of queries to the candidate;
+    responses carry their arm and version id, and [serve.ab.*] metrics
+    count and time each arm so [portopt promote] can compare them.
 
     [stop] initiates a graceful drain: the listener closes, in-flight
     requests run to completion and are answered, connection threads
@@ -27,15 +40,29 @@
 
 module J = Obs.Json
 
+type source =
+  | Unchanged
+  | Swap of { stable : Artifact.t; candidate : Artifact.t option }
+
 type config = {
   address : Protocol.address;
   jobs : int;  (** Worker-pool size (ignored when a pool is passed in). *)
   queue : int;  (** Admitted requests beyond [jobs] before shedding. *)
   cache_capacity : int;  (** LRU entries; 0 disables the cache. *)
-  admin : bool;  (** Honour [shutdown]/[sleep] ops. *)
+  admin : bool;  (** Honour [shutdown]/[sleep]/[reload] ops. *)
   engine : Ml_model.Predict.engine;
       (** Neighbour-search engine ([--index]); answers are bit-identical
           either way, only throughput differs. *)
+  split : float;
+      (** Fraction of queries routed to the candidate arm when one is
+          installed (clamped to [0, 1]). *)
+  source : (unit -> (source, string) result) option;
+      (** Model source behind the [reload] op and the watch thread —
+          typically a closure over registry channels, built by the CLI
+          so this library stays ignorant of [Registry]. *)
+  watch : float option;
+      (** Poll [source] every this many seconds and install changes
+          automatically (the registry-watch mode). *)
 }
 
 let default_config address =
@@ -46,6 +73,9 @@ let default_config address =
     cache_capacity = 512;
     admin = false;
     engine = Ml_model.Predict.Vptree;
+    split = 0.0;
+    source = None;
+    watch = None;
   }
 
 type cached = {
@@ -54,9 +84,27 @@ type cached = {
   c_neighbours : Protocol.neighbour array;
 }
 
+(** One installed model: the artifact plus its content identity,
+    computed once at install time so the hot paths never serialise. *)
+type arm = {
+  arm_label : string;  (** ["stable"] or ["candidate"]. *)
+  arm_version : string;  (** {!Artifact.version_id}. *)
+  arm_checksum : string;
+  arm_artifact : Artifact.t;
+}
+
+(** The whole routing state as one immutable record behind one
+    [Atomic.t]: a request reads it once, so a concurrent [install] can
+    never be observed half-applied (no torn model reads). *)
+type routing = {
+  r_stable : arm;
+  r_candidate : arm option;
+  r_split : float;
+}
+
 type t = {
   config : config;
-  artifact : Artifact.t;
+  routing : routing Atomic.t;
   pool : Prelude.Pool.t;
   owns_pool : bool;
   listen_fd : Unix.file_descr;
@@ -67,10 +115,12 @@ type t = {
   requests : int Atomic.t;  (** Per-server, for the health endpoint. *)
   shed : int Atomic.t;
   errors : int Atomic.t;
+  reloads : int Atomic.t;  (** Effective model swaps since start. *)
   cache : (string, cached) Lru.t option;
   cache_mutex : Mutex.t;
   started : float;
   mutable accept_thread : Thread.t option;
+  mutable watch_thread : Thread.t option;
 }
 
 (* Who owns which number: the [health] op reports *this server
@@ -86,8 +136,22 @@ let m_errors = Obs.Metrics.counter "serve.errors"
 let m_cache_hits = Obs.Metrics.counter "serve.cache.hits"
 let m_cache_misses = Obs.Metrics.counter "serve.cache.misses"
 let m_connections = Obs.Metrics.counter "serve.connections"
+let m_reloads = Obs.Metrics.counter "serve.reloads"
 let g_queue_depth = Obs.Metrics.gauge "serve.queue_depth"
 let h_request_seconds = Obs.Metrics.hist "serve.request.seconds"
+
+(* Per-arm A/B instruments: queries answered and latency, by arm slot.
+   [portopt promote] compares exactly these. *)
+let m_ab_stable_requests = Obs.Metrics.counter "serve.ab.stable.requests"
+let m_ab_candidate_requests = Obs.Metrics.counter "serve.ab.candidate.requests"
+let h_ab_stable_seconds = Obs.Metrics.hist "serve.ab.stable.seconds"
+let h_ab_candidate_seconds = Obs.Metrics.hist "serve.ab.candidate.seconds"
+
+let arm_requests label =
+  if label = "candidate" then m_ab_candidate_requests else m_ab_stable_requests
+
+let arm_seconds label =
+  if label = "candidate" then h_ab_candidate_seconds else h_ab_stable_seconds
 
 let bump per_server process_wide =
   Atomic.incr per_server;
@@ -158,6 +222,12 @@ let quantise (features : float array) =
     features;
   Buffer.contents buf
 
+(* Cache entries are per model: the key is prefixed with the answering
+   arm's version id, so a hot swap or an A/B pair can never serve a
+   stale answer computed by a different model.  Old versions' entries
+   simply age out of the LRU. *)
+let cache_key arm features = arm.arm_version ^ "|" ^ quantise features
+
 let cache_get t key =
   match t.cache with
   | None -> None
@@ -177,6 +247,79 @@ let cache_put t key v =
     Mutex.lock t.cache_mutex;
     Lru.put c key v;
     Mutex.unlock t.cache_mutex
+
+(* ---- routing ---------------------------------------------------------- *)
+
+let make_arm label artifact =
+  let version = Artifact.version_id artifact in
+  {
+    arm_label = label;
+    arm_version = version;
+    arm_checksum = "fnv1a64:" ^ version;
+    arm_artifact = artifact;
+  }
+
+(** A/B assignment: FNV-hash the model-independent query key (quantised
+    counters + uarch key) into 10000 buckets; buckets below
+    [split * 10000] go to the candidate.  Pure function of (query key,
+    split), so the same query lands on the same arm across requests,
+    connections and server restarts. *)
+let ab_buckets = 10_000
+
+let ab_bucket key =
+  int_of_string ("0x" ^ String.sub (Prelude.Fnv.digest_string key) 0 7)
+  mod ab_buckets
+
+let route_key counters uarch =
+  quantise (Sim.Counters.to_array counters)
+  ^ "@" ^ Uarch.Config.cache_key uarch
+
+let choose routing key =
+  match routing.r_candidate with
+  | Some c
+    when float_of_int (ab_bucket key)
+         < routing.r_split *. float_of_int ab_buckets ->
+    c
+  | _ -> routing.r_stable
+
+(** Atomically publish a new routing state.  In-flight requests keep
+    computing against the snapshot they already took (the old artifacts
+    stay alive until the last such request drops them); new requests
+    see the new state.  Returns the new routing and whether anything
+    actually changed (content identity, not physical equality). *)
+let swap_routing t ~stable ~candidate =
+  let prev = Atomic.get t.routing in
+  let next =
+    {
+      r_stable = make_arm "stable" stable;
+      r_candidate = Option.map (make_arm "candidate") candidate;
+      r_split = t.config.split;
+    }
+  in
+  Atomic.set t.routing next;
+  let changed =
+    next.r_stable.arm_version <> prev.r_stable.arm_version
+    ||
+    match (next.r_candidate, prev.r_candidate) with
+    | None, None -> false
+    | Some a, Some b -> a.arm_version <> b.arm_version
+    | _ -> true
+  in
+  if changed then begin
+    Atomic.incr t.reloads;
+    Obs.Metrics.add m_reloads 1;
+    Obs.Span.event ~parent:None "serve.reload"
+      [
+        ("stable", J.Str next.r_stable.arm_version);
+        ( "candidate",
+          match next.r_candidate with
+          | None -> J.Null
+          | Some c -> J.Str c.arm_version );
+      ]
+  end;
+  (next, changed)
+
+let install t ~stable ~candidate = ignore (swap_routing t ~stable ~candidate)
 
 (* ---- admission control ------------------------------------------------ *)
 
@@ -206,7 +349,27 @@ let release t =
 
 (* ---- request handling ------------------------------------------------- *)
 
+(* The provenance subset of an artifact's meta: the store pointer and
+   every *_digest field — what the health endpoint surfaces so smoke
+   scripts and `portopt top` can assert which inputs trained the live
+   model. *)
+let provenance_of_meta meta =
+  List.filter
+    (fun (k, _) ->
+      k = "store" || String.length k > 7
+      && String.sub k (String.length k - 7) 7 = "_digest")
+    meta
+
+let arm_json a =
+  J.Obj
+    [
+      ("version", J.Str a.arm_version);
+      ("checksum", J.Str a.arm_checksum);
+    ]
+
 let health_json t =
+  let routing = Atomic.get t.routing in
+  let stable = routing.r_stable in
   let cache_stats =
     match t.cache with
     | None -> J.Obj [ ("enabled", J.Bool false) ]
@@ -232,22 +395,37 @@ let health_json t =
       ("jobs", J.Int t.config.jobs);
       ("queue_limit", J.Int t.config.queue);
       ("stopping", J.Bool (Atomic.get t.stopping));
+      ("reloads", J.Int (Atomic.get t.reloads));
       ("cache", cache_stats);
       ( "model",
         J.Obj
           [
-            ("pairs", J.Int (Ml_model.Model.n_points t.artifact.Artifact.model));
-            ("k", J.Int (Ml_model.Model.k t.artifact.Artifact.model));
-            ("beta", J.Float (Ml_model.Model.beta t.artifact.Artifact.model));
+            ("version", J.Str stable.arm_version);
+            ("checksum", J.Str stable.arm_checksum);
+            ( "pairs",
+              J.Int (Ml_model.Model.n_points stable.arm_artifact.Artifact.model)
+            );
+            ("k", J.Int (Ml_model.Model.k stable.arm_artifact.Artifact.model));
+            ( "beta",
+              J.Float (Ml_model.Model.beta stable.arm_artifact.Artifact.model)
+            );
             ( "space",
               J.Str
-                (match t.artifact.Artifact.space with
+                (match stable.arm_artifact.Artifact.space with
                 | Ml_model.Features.Base -> "base"
                 | Ml_model.Features.Extended -> "extended") );
             ( "index",
               J.Str (Ml_model.Predict.engine_to_string t.config.engine) );
+            ( "provenance",
+              J.Obj (provenance_of_meta stable.arm_artifact.Artifact.meta) );
           ] );
-      ("meta", J.Obj t.artifact.Artifact.meta);
+      ( "ab",
+        match routing.r_candidate with
+        | None -> J.Null
+        | Some c ->
+          J.Obj [ ("split", J.Float routing.r_split); ("candidate", arm_json c) ]
+      );
+      ("meta", J.Obj stable.arm_artifact.Artifact.meta);
     ]
 
 (** Display neighbours: normalise the softmax weights into shares. *)
@@ -274,22 +452,47 @@ let on_pool t compute =
         (match compute () with v -> Ok v | exception e -> Error e));
   ivar_await iv
 
+(* One answered query's bookkeeping: per-arm count and latency, plus
+   the response-record tags that pin it to its arm and model version. *)
+let answered arm ~dur_s =
+  Obs.Metrics.add (arm_requests arm.arm_label) 1;
+  Obs.Metrics.observe (arm_seconds arm.arm_label) dur_s
+
+let wire_prediction arm c ~latency_ms ~cached =
+  {
+    Protocol.setting = c.c_setting;
+    flags = c.c_flags;
+    neighbours = c.c_neighbours;
+    latency_ms;
+    cached;
+    arm = Some arm.arm_label;
+    model = Some arm.arm_version;
+  }
+
+let ab_event routing arm ~queries =
+  if routing.r_candidate <> None then
+    Obs.Span.event ~parent:None "serve.ab"
+      [
+        ("arm", J.Str arm.arm_label);
+        ("model", J.Str arm.arm_version);
+        ("queries", J.Int queries);
+      ]
+
 let predict_response t ~id ~t0 counters uarch =
+  let routing = Atomic.get t.routing in
+  let arm = choose routing (route_key counters uarch) in
   let features =
-    Ml_model.Features.raw t.artifact.Artifact.space counters uarch
+    Ml_model.Features.raw arm.arm_artifact.Artifact.space counters uarch
   in
-  let key = quantise features in
-  let latency () = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let key = cache_key arm features in
+  let dur_s () = Unix.gettimeofday () -. t0 in
   match cache_get t key with
   | Some c ->
+    let dur = dur_s () in
+    answered arm ~dur_s:dur;
+    ab_event routing arm ~queries:1;
     Protocol.prediction_to_json ?id
-      {
-        Protocol.setting = c.c_setting;
-        flags = c.c_flags;
-        neighbours = c.c_neighbours;
-        latency_ms = latency ();
-        cached = true;
-      }
+      (wire_prediction arm c ~latency_ms:(dur *. 1e3) ~cached:true)
   | None ->
     if not (try_admit t) then begin
       bump t.shed m_shed;
@@ -303,7 +506,7 @@ let predict_response t ~id ~t0 counters uarch =
           match
             on_pool t (fun () ->
                 Ml_model.Model.predict_full ~engine:t.config.engine
-                  t.artifact.Artifact.model features)
+                  arm.arm_artifact.Artifact.model features)
           with
           | Ok r ->
             Obs.Metrics.add m_predictions 1;
@@ -315,56 +518,69 @@ let predict_response t ~id ~t0 counters uarch =
               }
             in
             cache_put t key c;
+            let dur = dur_s () in
+            answered arm ~dur_s:dur;
+            ab_event routing arm ~queries:1;
             Protocol.prediction_to_json ?id
-              {
-                Protocol.setting = c.c_setting;
-                flags = c.c_flags;
-                neighbours = c.c_neighbours;
-                latency_ms = latency ();
-                cached = false;
-              }
+              (wire_prediction arm c ~latency_ms:(dur *. 1e3) ~cached:false)
           | Error e ->
             bump t.errors m_errors;
             Protocol.error_to_json ?id ~code:500
               ("prediction failed: " ^ Printexc.to_string e))
 
-(** Answer a query vector: per-query cache probes first, then the
-    cache misses as {e one} admission slot and {e one} pool task — the
-    batch amortisation the wire op exists for.  Results come back in
-    query order; each element is bit-identical to what the single-query
-    path would have produced (same model entry point). *)
+(** Answer a query vector: route each query to its arm from {e one}
+    routing snapshot (so the whole batch computes against at most the
+    two installed models, however many swaps happen meanwhile), probe
+    the cache per query, then compute the misses as {e one} admission
+    slot and {e one} pool task — grouped by arm, since the arms are
+    different models.  Results come back in query order; each element
+    is bit-identical to what the single-query path would have produced
+    (same model entry point). *)
 let predict_batch_response t ~id ~t0 queries =
+  let routing = Atomic.get t.routing in
   let n = Array.length queries in
+  let arms =
+    Array.map (fun (c, u) -> choose routing (route_key c u)) queries
+  in
   let features =
-    Array.map
-      (fun (counters, uarch) ->
-        Ml_model.Features.raw t.artifact.Artifact.space counters uarch)
+    Array.mapi
+      (fun i (counters, uarch) ->
+        Ml_model.Features.raw arms.(i).arm_artifact.Artifact.space counters
+          uarch)
       queries
   in
-  let keys = Array.map quantise features in
+  let keys = Array.mapi (fun i f -> cache_key arms.(i) f) features in
   let hits = Array.map (cache_get t) keys in
   let miss_idx = ref [] in
   Array.iteri
     (fun i hit -> if hit = None then miss_idx := i :: !miss_idx)
     hits;
   let miss_idx = Array.of_list (List.rev !miss_idx) in
-  if Array.length miss_idx = 0 then begin
-    let latency_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
-    Protocol.batch_to_json ?id
-      (Array.map
-         (fun hit ->
-           match hit with
-           | None -> assert false
-           | Some c ->
-             {
-               Protocol.setting = c.c_setting;
-               flags = c.c_flags;
-               neighbours = c.c_neighbours;
-               latency_ms;
-               cached = true;
-             })
-         hits)
-  end
+  let respond ~was_hit =
+    let dur = Unix.gettimeofday () -. t0 in
+    let latency_ms = dur *. 1e3 in
+    let out =
+      Array.mapi
+        (fun i hit ->
+          match hit with
+          | None -> assert false
+          | Some c ->
+            answered arms.(i) ~dur_s:dur;
+            wire_prediction arms.(i) c ~latency_ms ~cached:(was_hit i))
+        hits
+    in
+    let count_for arm =
+      let c = ref 0 in
+      Array.iter (fun a -> if a == arm then incr c) arms;
+      !c
+    in
+    ab_event routing routing.r_stable ~queries:(count_for routing.r_stable);
+    (match routing.r_candidate with
+    | Some c when count_for c > 0 -> ab_event routing c ~queries:(count_for c)
+    | _ -> ());
+    Protocol.batch_to_json ?id out
+  in
+  if Array.length miss_idx = 0 then respond ~was_hit:(fun _ -> true)
   else if not (try_admit t) then begin
     bump t.shed m_shed;
     Protocol.error_to_json ?id ~code:429
@@ -374,50 +590,79 @@ let predict_batch_response t ~id ~t0 queries =
     Fun.protect
       ~finally:(fun () -> release t)
       (fun () ->
-        let miss_features = Array.map (fun i -> features.(i)) miss_idx in
+        (* Group the misses by arm — at most two groups — and compute
+           both inside the single pool task. *)
+        let groups =
+          let by_arm arm =
+            let idxs =
+              Array.of_list
+                (List.filter
+                   (fun i -> arms.(i) == arm)
+                   (Array.to_list miss_idx))
+            in
+            (arm, idxs)
+          in
+          by_arm routing.r_stable
+          ::
+          (match routing.r_candidate with
+          | None -> []
+          | Some c -> [ by_arm c ])
+        in
         match
           on_pool t (fun () ->
-              Ml_model.Model.predict_batch ~engine:t.config.engine
-                t.artifact.Artifact.model miss_features)
+              List.map
+                (fun (arm, idxs) ->
+                  if Array.length idxs = 0 then (idxs, [||])
+                  else
+                    ( idxs,
+                      Ml_model.Model.predict_batch ~engine:t.config.engine
+                        arm.arm_artifact.Artifact.model
+                        (Array.map (fun i -> features.(i)) idxs) ))
+                groups)
         with
         | Ok results ->
-          Obs.Metrics.add m_predictions (Array.length results);
-          Array.iteri
-            (fun slot (r : Ml_model.Predict.result) ->
-              let i = miss_idx.(slot) in
-              let c =
-                {
-                  c_setting = r.Ml_model.Predict.setting;
-                  c_flags = Passes.Flags.to_string r.Ml_model.Predict.setting;
-                  c_neighbours = wire_neighbours r.Ml_model.Predict.neighbours;
-                }
-              in
-              cache_put t keys.(i) c;
-              hits.(i) <- Some c)
+          List.iter
+            (fun (idxs, (rs : Ml_model.Predict.result array)) ->
+              Obs.Metrics.add m_predictions (Array.length rs);
+              Array.iteri
+                (fun slot (r : Ml_model.Predict.result) ->
+                  let i = idxs.(slot) in
+                  let c =
+                    {
+                      c_setting = r.Ml_model.Predict.setting;
+                      c_flags =
+                        Passes.Flags.to_string r.Ml_model.Predict.setting;
+                      c_neighbours =
+                        wire_neighbours r.Ml_model.Predict.neighbours;
+                    }
+                  in
+                  cache_put t keys.(i) c;
+                  hits.(i) <- Some c)
+                rs)
             results;
-          let latency_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
           let was_hit = Array.make n true in
           Array.iter (fun i -> was_hit.(i) <- false) miss_idx;
-          Protocol.batch_to_json ?id
-            (Array.mapi
-               (fun i hit ->
-                 match hit with
-                 | None -> assert false
-                 | Some c ->
-                   {
-                     Protocol.setting = c.c_setting;
-                     flags = c.c_flags;
-                     neighbours = c.c_neighbours;
-                     latency_ms;
-                     cached = was_hit.(i);
-                   })
-               hits)
+          respond ~was_hit:(fun i -> was_hit.(i))
         | Error e ->
           bump t.errors m_errors;
           Protocol.error_to_json ?id ~code:500
             ("prediction failed: " ^ Printexc.to_string e))
 
 let stop t = Atomic.set t.stopping true
+
+let with_id id fields =
+  match id with Some i -> ("id", i) :: fields | None -> fields
+
+let reload_fields routing ~changed =
+  [
+    ("ok", J.Bool true);
+    ("changed", J.Bool changed);
+    ("model", J.Str routing.r_stable.arm_version);
+    ( "candidate",
+      match routing.r_candidate with
+      | None -> J.Null
+      | Some c -> J.Str c.arm_version );
+  ]
 
 let handle_line t line =
   let t0 = Unix.gettimeofday () in
@@ -445,10 +690,36 @@ let handle_line t line =
         let fields =
           [ ("ok", J.Bool true); ("metrics", Obs.Metrics.snapshot ()) ]
         in
-        let fields =
-          match id with Some i -> ("id", i) :: fields | None -> fields
-        in
-        (J.Obj fields, "metrics")
+        (J.Obj (with_id id fields), "metrics")
+      | Ok Protocol.Reload when not t.config.admin ->
+        ( Protocol.error_to_json ?id ~code:403
+            "reload is an admin op (start the server with --admin)",
+          "reload" )
+      | Ok Protocol.Reload -> (
+        match t.config.source with
+        | None ->
+          ( Protocol.error_to_json ?id ~code:400
+              "no model source: the server was started from a fixed \
+               artifact (serve --registry enables reload)",
+            "reload" )
+        | Some resolve -> (
+          match resolve () with
+          | exception e ->
+            bump t.errors m_errors;
+            ( Protocol.error_to_json ?id ~code:500
+                ("reload failed: " ^ Printexc.to_string e),
+              "reload" )
+          | Error e ->
+            bump t.errors m_errors;
+            (Protocol.error_to_json ?id ~code:500 ("reload failed: " ^ e),
+             "reload")
+          | Ok Unchanged ->
+            let routing = Atomic.get t.routing in
+            (J.Obj (with_id id (reload_fields routing ~changed:false)),
+             "reload")
+          | Ok (Swap { stable; candidate }) ->
+            let routing, changed = swap_routing t ~stable ~candidate in
+            (J.Obj (with_id id (reload_fields routing ~changed)), "reload")))
       | Ok Protocol.Shutdown when not t.config.admin ->
         ( Protocol.error_to_json ?id ~code:403
             "shutdown is an admin op (start the server with --admin)",
@@ -475,10 +746,7 @@ let handle_line t line =
               let fields =
                 [ ("ok", J.Bool true); ("slept_s", J.Float seconds) ]
               in
-              let fields =
-                match id with Some i -> ("id", i) :: fields | None -> fields
-              in
-              (J.Obj fields, "sleep"))
+              (J.Obj (with_id id fields), "sleep"))
       | Ok (Protocol.Predict { counters; uarch }) ->
         (predict_response t ~id ~t0 counters uarch, "predict")
       | Ok (Protocol.Predict_batch { queries }) ->
@@ -565,12 +833,41 @@ let accept_loop t =
   | Protocol.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
   | Protocol.Tcp _ -> ()
 
+(* The registry-watch mode: poll the model source on its interval (in
+   small ticks so [stop] is noticed promptly) and install whatever it
+   resolves.  A failing poll counts an error and emits a trace event
+   but never kills serving — the last good model stays live. *)
+let watch_loop t resolve interval =
+  while not (Atomic.get t.stopping) do
+    let deadline = Unix.gettimeofday () +. interval in
+    while
+      (not (Atomic.get t.stopping)) && Unix.gettimeofday () < deadline
+    do
+      Thread.delay (Float.min 0.1 interval)
+    done;
+    if not (Atomic.get t.stopping) then begin
+      match resolve () with
+      | Ok Unchanged -> ()
+      | Ok (Swap { stable; candidate }) ->
+        ignore (swap_routing t ~stable ~candidate)
+      | Error e ->
+        bump t.errors m_errors;
+        Obs.Span.event ~parent:None "serve.reload.error"
+          [ ("error", J.Str e) ]
+      | exception e ->
+        bump t.errors m_errors;
+        Obs.Span.event ~parent:None "serve.reload.error"
+          [ ("error", J.Str (Printexc.to_string e)) ]
+    end
+  done
+
 (* ---- lifecycle -------------------------------------------------------- *)
 
-let start ?pool ~artifact config =
+let start ?pool ?candidate ~artifact config =
   (* A client closing mid-response must surface as EPIPE, not kill the
      process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let config = { config with split = Float.min 1.0 (Float.max 0.0 config.split) } in
   let listen_fd, resolved =
     match config.address with
     | Protocol.Unix_path path ->
@@ -597,10 +894,17 @@ let start ?pool ~artifact config =
     | None -> (Prelude.Pool.create ~jobs:(max 1 config.jobs), true)
   in
   let config = { config with jobs = Prelude.Pool.size pool } in
+  let routing =
+    {
+      r_stable = make_arm "stable" artifact;
+      r_candidate = Option.map (make_arm "candidate") candidate;
+      r_split = config.split;
+    }
+  in
   let t =
     {
       config;
-      artifact;
+      routing = Atomic.make routing;
       pool;
       owns_pool;
       listen_fd;
@@ -611,6 +915,7 @@ let start ?pool ~artifact config =
       requests = Atomic.make 0;
       shed = Atomic.make 0;
       errors = Atomic.make 0;
+      reloads = Atomic.make 0;
       cache =
         (if config.cache_capacity > 0 then
            Some (Lru.create ~capacity:config.cache_capacity)
@@ -618,9 +923,14 @@ let start ?pool ~artifact config =
       cache_mutex = Mutex.create ();
       started = Unix.gettimeofday ();
       accept_thread = None;
+      watch_thread = None;
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
+  (match (config.source, config.watch) with
+  | Some resolve, Some interval when interval > 0.0 ->
+    t.watch_thread <- Some (Thread.create (watch_loop t resolve) interval)
+  | _ -> ());
   t
 
 (** Poll-based so the calling (main) thread keeps hitting safe points —
@@ -631,6 +941,11 @@ let wait t =
   | Some th ->
     Thread.join th;
     t.accept_thread <- None
+  | None -> ());
+  (match t.watch_thread with
+  | Some th ->
+    Thread.join th;
+    t.watch_thread <- None
   | None -> ());
   while Atomic.get t.live_conns > 0 do
     Thread.delay 0.02

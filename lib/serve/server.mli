@@ -1,9 +1,16 @@
 (** Concurrent prediction server: newline-delimited JSON over a TCP or
     Unix-domain socket, prediction work dispatched onto a
     {!Prelude.Pool} of worker domains, an LRU prediction cache keyed on
-    the quantised feature vector, and bounded admission with 429-style
-    load shedding.  See docs/serving.md for the wire protocol and
+    (model version, quantised feature vector), bounded admission with
+    429-style load shedding, and atomic hot swap / A/B routing of the
+    served model(s).  See docs/serving.md for the wire protocol and
     operational semantics. *)
+
+type source =
+  | Unchanged  (** The model source still resolves to what is live. *)
+  | Swap of { stable : Artifact.t; candidate : Artifact.t option }
+      (** Install these as the new arms (atomically, between
+          requests). *)
 
 type config = {
   address : Protocol.address;
@@ -15,31 +22,64 @@ type config = {
           the server sheds load with a 429 error. *)
   cache_capacity : int;  (** LRU entries; [0] disables the cache. *)
   admin : bool;
-      (** Honour the [shutdown] and [sleep] ops (otherwise 403). *)
+      (** Honour the [shutdown], [sleep] and [reload] ops
+          (otherwise 403). *)
   engine : Ml_model.Predict.engine;
       (** Neighbour-search engine behind predictions ([--index] on the
           CLI): the VP-tree metric index or the flat linear scan.
           Answers are bit-identical either way; only throughput
           differs. *)
+  split : float;
+      (** Fraction of queries routed to the candidate arm when one is
+          installed; clamped to [0, 1].  Assignment is a deterministic
+          FNV hash of the query key (quantised counters + uarch cache
+          key), so a given query always lands on the same arm. *)
+  source : (unit -> (source, string) result) option;
+      (** Model source consulted by the [reload] op and the watch
+          thread.  Typically a closure over registry channel pointers
+          built by the CLI; this library stays ignorant of the
+          registry. *)
+  watch : float option;
+      (** When set (seconds > 0) and a [source] is configured, a watch
+          thread polls the source on this interval and installs
+          changes automatically.  A failing poll counts an error and
+          leaves the last good model serving. *)
 }
 
 val default_config : Protocol.address -> config
-(** jobs 2, queue 64, cache 512 entries, admin off, VP-tree engine. *)
+(** jobs 2, queue 64, cache 512 entries, admin off, VP-tree engine,
+    split 0, no source, no watch. *)
 
 val quantise : float array -> string
-(** The LRU cache key: the raw feature vector on a 1e-6 grid.  [-0.0]
-    and [0.0] produce the same key; non-finite values (already rejected
-    at the protocol layer) fall back to the float's exact bit pattern
-    rather than an unspecified [Int64] conversion.  Exposed for
+(** The LRU cache key body: the raw feature vector on a 1e-6 grid.
+    [-0.0] and [0.0] produce the same key; non-finite values (already
+    rejected at the protocol layer) fall back to the float's exact bit
+    pattern rather than an unspecified [Int64] conversion.  Exposed for
     tests. *)
+
+val ab_bucket : string -> int
+(** The deterministic A/B hash: FNV-1a of the routing key into
+    [0, 10000).  Buckets below [split * 10000] go to the candidate arm.
+    Exposed for tests and for [portopt promote]'s dry-run maths. *)
 
 type t
 
-val start : ?pool:Prelude.Pool.t -> artifact:Artifact.t -> config -> t
+val start :
+  ?pool:Prelude.Pool.t -> ?candidate:Artifact.t -> artifact:Artifact.t ->
+  config -> t
 (** Bind, listen and spawn the accept thread; returns immediately.
-    Without [?pool] the server creates (and on [wait] shuts down) its
-    own pool of [config.jobs] domains.  Raises [Unix.Unix_error] if the
-    address cannot be bound. *)
+    [artifact] is the stable arm; [?candidate] opens an A/B experiment
+    at [config.split] from the first request.  Without [?pool] the
+    server creates (and on [wait] shuts down) its own pool of
+    [config.jobs] domains.  Raises [Unix.Unix_error] if the address
+    cannot be bound. *)
+
+val install : t -> stable:Artifact.t -> candidate:Artifact.t option -> unit
+(** Atomically replace the routing state (both arms) without dropping
+    in-flight requests: requests already admitted keep computing
+    against the snapshot they took; new requests see the new models.
+    Exposed for in-process tests; over the wire this is the [reload]
+    op. *)
 
 val address : t -> Protocol.address
 (** The bound address — with the kernel-assigned port when the config
@@ -52,7 +92,7 @@ val stop : t -> unit
     store), so it can be called from a signal handler. *)
 
 val wait : t -> unit
-(** Block until the drain completes: accept thread joined, all
-    connection threads finished, owned pool shut down.  Polls rather
-    than parking on a condition so the main thread keeps reaching safe
-    points where OCaml runs signal handlers. *)
+(** Block until the drain completes: accept and watch threads joined,
+    all connection threads finished, owned pool shut down.  Polls
+    rather than parking on a condition so the main thread keeps
+    reaching safe points where OCaml runs signal handlers. *)

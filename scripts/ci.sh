@@ -6,10 +6,12 @@
 # predictions byte-identical through the binary), store (cold -> warm
 # incremental rerun with byte-identical artifacts) and cluster
 # (multi-process train with chaos and a mid-run worker kill, artifact
-# byte-identical to single-process) and obs (traced multi-process
+# byte-identical to single-process), obs (traced multi-process
 # train stitched to zero orphan spans, live Prometheus scrape and
-# `top` dashboard, tracing proven artifact-neutral).  Each stage fails
-# fast; a green run is the tier-1 bar for merging.
+# `top` dashboard, tracing proven artifact-neutral) and registry
+# (evidence -> publish -> incremental refit byte-identical to a cold
+# retrain -> live serve with A/B -> reload -> promote -> gc).  Each
+# stage fails fast; a green run is the tier-1 bar for merging.
 #
 # Usage: sh scripts/ci.sh   (or `make ci`)
 set -eu
@@ -45,6 +47,9 @@ make cluster-smoke
 
 stage obs-smoke
 make obs-smoke
+
+stage registry-smoke
+make registry-smoke
 
 echo
 echo "ci: OK"

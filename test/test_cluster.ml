@@ -291,8 +291,11 @@ let check_results_identical expected got =
     expected
 
 (* Run [f coord] with [n] in-process workers (each on its own thread,
-   talking over the real socket) and a fast-recovery config. *)
-let with_cluster ?store ?(chaos = Array.make 8 Cluster.Chaos.none) n f =
+   talking over the real socket) and a fast-recovery config.
+   [stagger] delays worker [i] by [i * stagger] seconds, so a test can
+   guarantee worker 0 registers first and wins the first lease. *)
+let with_cluster ?store ?(chaos = Array.make 8 Cluster.Chaos.none)
+    ?(stagger = 0.0) n f =
   let cfg =
     {
       (Cluster.Coordinator.config ()) with
@@ -313,6 +316,7 @@ let with_cluster ?store ?(chaos = Array.make 8 Cluster.Chaos.none) n f =
         Array.init n (fun i ->
             Thread.create
               (fun () ->
+                if stagger > 0.0 then Thread.delay (float_of_int i *. stagger);
                 let wc =
                   {
                     (Cluster.Worker.config ~connect:address
@@ -383,7 +387,11 @@ let test_cluster_matches_local_under_chaos () =
 
 let test_cluster_survives_killed_worker () =
   (* One of two workers is chaos-killed mid-lease; the run completes on
-     the survivor and stays identical to local evaluation. *)
+     the survivor and stays identical to local evaluation.  Worker 0
+     starts first (staggered) so it is guaranteed the first lease, and
+     kill=1.0 makes its first task fatal — deterministic under any
+     scheduler load, where a probabilistic kill raced the survivor for
+     the lease and sometimes never fired. *)
   let rng = Prelude.Rng.create 53 in
   let groups = grid rng in
   let expected = ground_truth groups in
@@ -395,10 +403,10 @@ let test_cluster_survives_killed_worker () =
       delay = 0.0;
       max_delay_s = 0.0;
       garble = 0.0;
-      kill = 0.5;
+      kill = 1.0;
     };
   let got, outcomes =
-    with_cluster ~chaos 2 (fun coord ->
+    with_cluster ~chaos ~stagger:0.3 2 (fun coord ->
         Cluster.Coordinator.evaluate coord groups)
   in
   check_results_identical expected got;

@@ -539,7 +539,8 @@ let test_protocol_batch_roundtrip_and_limits () =
 (* ---- server end-to-end ------------------------------------------------- *)
 
 let with_server ?(jobs = 2) ?(queue = 8) ?(cache = 256) ?(admin = false)
-    ?(engine = Ml_model.Predict.Vptree) artifact f =
+    ?(engine = Ml_model.Predict.Vptree) ?(split = 0.0) ?source ?watch
+    ?candidate artifact f =
   let socket = tmp_path (Printf.sprintf "srv_%d.sock" (Random.bits ())) in
   let config =
     {
@@ -549,9 +550,12 @@ let with_server ?(jobs = 2) ?(queue = 8) ?(cache = 256) ?(admin = false)
       cache_capacity = cache;
       admin;
       engine;
+      split;
+      source;
+      watch;
     }
   in
-  let server = Serve.Server.start ~artifact config in
+  let server = Serve.Server.start ?candidate ~artifact config in
   Fun.protect
     ~finally:(fun () ->
       Serve.Server.stop server;
@@ -1183,6 +1187,9 @@ let test_server_graceful_drain () =
       cache_capacity = 0;
       admin = true;
       engine = Ml_model.Predict.Vptree;
+      split = 0.0;
+      source = None;
+      watch = None;
     }
   in
   let server = Serve.Server.start ~artifact config in
@@ -1214,6 +1221,340 @@ let test_server_graceful_drain () =
     Serve.Client.close c;
     Alcotest.fail "connect succeeded after drain");
   if Sys.file_exists socket then Alcotest.fail "socket file not cleaned up"
+
+(* ---- hot swap, A/B routing, reload ------------------------------------- *)
+
+let bool_field name j =
+  match J.member name j with
+  | Some (J.Bool b) -> b
+  | _ -> Alcotest.failf "response lacks boolean %s" name
+
+let health_model_version h =
+  match Option.bind (J.member "model" h) (fun m -> J.member "version" m) with
+  | Some (J.Str v) -> v
+  | _ -> Alcotest.fail "health lacks model.version"
+
+let client_health_version address =
+  let c = Serve.Client.connect address in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      match Serve.Client.health c with
+      | Ok h -> health_model_version h
+      | Error (_, e) -> Alcotest.failf "health failed: %s" e)
+
+let test_server_swap_under_load () =
+  let d42 = Lazy.force dataset42 and d43 = Lazy.force dataset43 in
+  let a = artifact_of d42 and b = artifact_of d43 in
+  let va = Serve.Artifact.version_id a and vb = Serve.Artifact.version_id b in
+  let model_a = a.Serve.Artifact.model and model_b = b.Serve.Artifact.model in
+  let queries = queries_of d42 6 in
+  with_server ~jobs:4 a (fun server address ->
+      let failures = Atomic.make 0 in
+      let answered = Atomic.make 0 in
+      let stop_swapping = Atomic.make false in
+      (* Local ground truth per model: a response is valid iff its
+         setting is bit-identical to the prediction of the model named
+         by its own [model] tag — a torn read (old model, new tag, or a
+         half-swapped batch) cannot satisfy this. *)
+      let expected model (counters, uarch) =
+        Ml_model.Model.predict model
+          (Ml_model.Features.raw a.Serve.Artifact.space counters uarch)
+      in
+      let worker () =
+        let client = Serve.Client.connect address in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close client)
+          (fun () ->
+            for _ = 1 to 25 do
+              match Serve.Client.predict_batch client queries with
+              | Error _ -> Atomic.incr failures
+              | Ok preds ->
+                Atomic.incr answered;
+                (* One routing snapshot per batch: every response in it
+                   must name the same model. *)
+                let tag =
+                  match preds.(0).Serve.Protocol.model with
+                  | Some v -> v
+                  | None -> ""
+                in
+                Array.iteri
+                  (fun i p ->
+                    let ok =
+                      p.Serve.Protocol.model = Some tag
+                      &&
+                      if tag = va then
+                        p.Serve.Protocol.setting = expected model_a queries.(i)
+                      else if tag = vb then
+                        p.Serve.Protocol.setting = expected model_b queries.(i)
+                      else false
+                    in
+                    if not ok then Atomic.incr failures)
+                  preds
+            done)
+      in
+      let swapper =
+        Thread.create
+          (fun () ->
+            let flip = ref true in
+            while not (Atomic.get stop_swapping) do
+              let stable = if !flip then b else a in
+              flip := not !flip;
+              Serve.Server.install server ~stable ~candidate:None;
+              Thread.delay 0.005
+            done)
+          ()
+      in
+      let threads = Array.init 4 (fun _ -> Thread.create worker ()) in
+      Array.iter Thread.join threads;
+      Atomic.set stop_swapping true;
+      Thread.join swapper;
+      check Alcotest.int "zero dropped, failed or torn responses" 0
+        (Atomic.get failures);
+      check Alcotest.int "every batch answered" 100 (Atomic.get answered))
+
+let test_server_reload_op () =
+  let a = artifact_of (Lazy.force dataset42) in
+  let b = artifact_of (Lazy.force dataset43) in
+  let vb = Serve.Artifact.version_id b in
+  let next = ref Serve.Server.Unchanged in
+  let source () = Ok !next in
+  (* Admin-gated: a non-admin server refuses even with a source. *)
+  with_server ~source a (fun _server address ->
+      let c = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          match Serve.Client.reload c with
+          | Error (403, _) -> ()
+          | Ok _ -> Alcotest.fail "reload accepted without --admin"
+          | Error (code, e) ->
+            Alcotest.failf "expected 403, got %d: %s" code e));
+  (* No source: the fixed-artifact server cannot reload. *)
+  with_server ~admin:true a (fun _server address ->
+      let c = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          match Serve.Client.reload c with
+          | Error (400, e) ->
+            check_error_mentions ~msg:"400 names the fix" "--registry" e
+          | Ok _ -> Alcotest.fail "reload accepted without a source"
+          | Error (code, e) ->
+            Alcotest.failf "expected 400, got %d: %s" code e));
+  (* The real path: Unchanged is a no-op, a Swap takes effect live. *)
+  next := Serve.Server.Unchanged;
+  with_server ~admin:true ~source a (fun _server address ->
+      let c = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          (match Serve.Client.reload c with
+          | Ok r -> check Alcotest.bool "unchanged source" false
+              (bool_field "changed" r)
+          | Error (_, e) -> Alcotest.failf "reload failed: %s" e);
+          next := Serve.Server.Swap { stable = b; candidate = None };
+          (match Serve.Client.reload c with
+          | Ok r ->
+            check Alcotest.bool "swap reported" true (bool_field "changed" r);
+            (match J.member "model" r with
+            | Some (J.Str v) -> check Alcotest.string "new version" vb v
+            | _ -> Alcotest.fail "reload reply lacks model")
+          | Error (_, e) -> Alcotest.failf "reload failed: %s" e);
+          (* Same artifact again: effective no-op, reported as such. *)
+          (match Serve.Client.reload c with
+          | Ok r -> check Alcotest.bool "idempotent swap" false
+              (bool_field "changed" r)
+          | Error (_, e) -> Alcotest.failf "reload failed: %s" e);
+          check Alcotest.string "health serves the new version" vb
+            (client_health_version address);
+          (* Fresh predictions are pinned to the new model. *)
+          let counters, uarch = (some_counters (), some_uarch ()) in
+          match Serve.Client.predict c ~counters ~uarch with
+          | Ok p ->
+            check Alcotest.(option string) "prediction tagged" (Some vb)
+              p.Serve.Protocol.model
+          | Error (_, e) -> Alcotest.failf "predict failed: %s" e))
+
+let test_server_ab_deterministic () =
+  let d42 = Lazy.force dataset42 in
+  let a = artifact_of d42 and b = artifact_of (Lazy.force dataset43) in
+  let va = Serve.Artifact.version_id a and vb = Serve.Artifact.version_id b in
+  let queries = queries_of d42 8 in
+  let arms_of address =
+    let c = Serve.Client.connect address in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        Array.map
+          (fun (counters, uarch) ->
+            match Serve.Client.predict c ~counters ~uarch with
+            | Error (_, e) -> Alcotest.failf "predict failed: %s" e
+            | Ok p ->
+              let arm = Option.get p.Serve.Protocol.arm in
+              let model = Option.get p.Serve.Protocol.model in
+              check Alcotest.string "model tag matches the arm"
+                (if arm = "candidate" then vb else va)
+                model;
+              arm)
+          queries)
+  in
+  let first =
+    with_server ~candidate:b ~split:0.5 a (fun _server address ->
+        let one = arms_of address in
+        let two = arms_of address in
+        check Alcotest.(array string) "assignment is stable across repeats"
+          one two;
+        one)
+  in
+  (* A fresh server with the same split routes every key identically:
+     assignment hashes the query, not server state. *)
+  let second =
+    with_server ~candidate:b ~split:0.5 a (fun _server address ->
+        arms_of address)
+  in
+  check Alcotest.(array string) "assignment survives a restart" first second;
+  check Alcotest.bool "a 50% split uses both arms" true
+    (Array.exists (fun a -> a = "stable") first
+    && Array.exists (fun a -> a = "candidate") first);
+  (* Degenerate splits pin every query to one arm. *)
+  let all label arms = Array.for_all (fun a -> a = label) arms in
+  with_server ~candidate:b ~split:0.0 a (fun _server address ->
+      check Alcotest.bool "split 0 -> all stable" true
+        (all "stable" (arms_of address)));
+  with_server ~candidate:b ~split:1.0 a (fun _server address ->
+      check Alcotest.bool "split 1 -> all candidate" true
+        (all "candidate" (arms_of address)));
+  (* The bucket function itself is total and bounded. *)
+  List.iter
+    (fun key ->
+      let bucket = Serve.Server.ab_bucket key in
+      check Alcotest.bool "bucket in [0, 10000)" true
+        (bucket >= 0 && bucket < 10_000);
+      check Alcotest.int "bucket is deterministic" bucket
+        (Serve.Server.ab_bucket key))
+    [ ""; "x"; "1.5,2.5@cache"; String.make 300 'q' ]
+
+let test_server_health_reports_version () =
+  let d42 = Lazy.force dataset42 in
+  let artifact =
+    {
+      (artifact_of d42) with
+      Serve.Artifact.meta =
+        [
+          ("seed", J.Int 42);
+          ("programs_digest", J.Str "fnv1a64:deadbeef");
+          ("store", J.Str "results/store");
+        ];
+    }
+  in
+  let version = Serve.Artifact.version_id artifact in
+  with_server artifact (fun _server address ->
+      let c = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          match Serve.Client.health c with
+          | Error (_, e) -> Alcotest.failf "health failed: %s" e
+          | Ok h ->
+            let model = Option.get (J.member "model" h) in
+            check Alcotest.string "content-addressed version" version
+              (health_model_version h);
+            (match Option.bind (J.member "checksum" model) J.to_str with
+            | Some c ->
+              check Alcotest.string "checksum algorithm named"
+                ("fnv1a64:" ^ version) c
+            | None -> Alcotest.fail "health lacks model.checksum");
+            (* Provenance surfaces the artifact's data lineage — and
+               only that: parameters like the seed stay in meta. *)
+            let prov = Option.get (J.member "provenance" model) in
+            check
+              Alcotest.(option string)
+              "programs digest surfaced" (Some "fnv1a64:deadbeef")
+              (Option.bind (J.member "programs_digest" prov) J.to_str);
+            check
+              Alcotest.(option string)
+              "store surfaced" (Some "results/store")
+              (Option.bind (J.member "store" prov) J.to_str);
+            check Alcotest.bool "seed is not provenance" true
+              (J.member "seed" prov = None);
+            (match Option.bind (J.member "reloads" h) J.to_int with
+            | Some n -> check Alcotest.int "no reloads yet" 0 n
+            | None -> Alcotest.fail "health lacks reloads");
+            check Alcotest.bool "no A/B block without a candidate" true
+              (match J.member "ab" h with
+              | None | Some J.Null -> true
+              | Some _ -> false)))
+
+let test_client_reconnects_idempotent_ops () =
+  let artifact = artifact_of (Lazy.force dataset42) in
+  let socket = tmp_path "reconnect.sock" in
+  let config =
+    {
+      Serve.Server.address = Serve.Protocol.Unix_path socket;
+      jobs = 1;
+      queue = 4;
+      cache_capacity = 16;
+      admin = false;
+      engine = Ml_model.Predict.Vptree;
+      split = 0.0;
+      source = None;
+      watch = None;
+    }
+  in
+  let server1 = Serve.Server.start ~artifact config in
+  let client = Serve.Client.connect (Serve.Server.address server1) in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close client)
+    (fun () ->
+      (match Serve.Client.health client with
+      | Ok _ -> ()
+      | Error (_, e) -> Alcotest.failf "first health failed: %s" e);
+      (* Kill the server the client is attached to, then bring a new
+         one up on the same address: the client's next idempotent op
+         hits a dead socket and must transparently reconnect. *)
+      Serve.Server.stop server1;
+      Serve.Server.wait server1;
+      let server2 = Serve.Server.start ~artifact config in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Server.stop server2;
+          Serve.Server.wait server2;
+          if Sys.file_exists socket then Sys.remove socket)
+        (fun () ->
+          (match Serve.Client.health client with
+          | Ok _ -> ()
+          | Error (_, e) ->
+            Alcotest.failf "health did not survive the restart: %s" e);
+          let counters, uarch = (some_counters (), some_uarch ()) in
+          match Serve.Client.predict client ~counters ~uarch with
+          | Ok _ -> ()
+          | Error (_, e) ->
+            Alcotest.failf "predict did not survive the restart: %s" e))
+
+let test_server_watch_swaps_in_background () =
+  let a = artifact_of (Lazy.force dataset42) in
+  let b = artifact_of (Lazy.force dataset43) in
+  let vb = Serve.Artifact.version_id b in
+  let next = ref Serve.Server.Unchanged in
+  let source () = Ok !next in
+  with_server ~source ~watch:0.05 a (fun _server address ->
+      check Alcotest.string "starts on the fixed artifact"
+        (Serve.Artifact.version_id a)
+        (client_health_version address);
+      next := Serve.Server.Swap { stable = b; candidate = None };
+      (* The watch thread must pick the swap up on its own. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec await () =
+        if client_health_version address = vb then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "watch thread never installed the new version"
+        else begin
+          Thread.delay 0.05;
+          await ()
+        end
+      in
+      await ())
 
 let () =
   Alcotest.run "serve"
@@ -1303,5 +1644,20 @@ let () =
             test_top_render_synthetic;
           Alcotest.test_case "graceful drain" `Slow
             test_server_graceful_drain;
+        ] );
+      ( "swap",
+        [
+          Alcotest.test_case "hot swap under concurrent load, no torn reads"
+            `Slow test_server_swap_under_load;
+          Alcotest.test_case "reload op: 403, 400, live swap" `Slow
+            test_server_reload_op;
+          Alcotest.test_case "A/B assignment is deterministic" `Slow
+            test_server_ab_deterministic;
+          Alcotest.test_case "health reports version and provenance" `Slow
+            test_server_health_reports_version;
+          Alcotest.test_case "client reconnects for idempotent ops" `Slow
+            test_client_reconnects_idempotent_ops;
+          Alcotest.test_case "watch thread swaps in the background" `Slow
+            test_server_watch_swaps_in_background;
         ] );
     ]

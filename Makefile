@@ -22,12 +22,17 @@
 # exercises the model registry end to end — evidence ledgers, an
 # incremental refit byte-identical to a cold retrain on the union,
 # live serving from registry channels with an A/B split, a hot
-# reload, promotion and gc reachability (see docs/registry.md).
+# reload, promotion and gc reachability (see docs/registry.md);
+# `net-smoke` proves the shared I/O core end to end — binary, JSON
+# and mixed clients on one listener with the framings agreeing byte
+# for byte on the payload, net.loop.* instruments visible in both
+# metrics renderings, and a drain under live load (see docs/net.md).
 # Smoke outputs land under results/ (gitignored), never in the repo
 # root.
 
 .PHONY: check ci bench-smoke trace-smoke serve-smoke index-smoke \
-	store-smoke cluster-smoke obs-smoke registry-smoke bench clean
+	store-smoke cluster-smoke obs-smoke registry-smoke net-smoke \
+	bench clean
 
 check:
 	dune build @all
@@ -39,6 +44,7 @@ check:
 	$(MAKE) cluster-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) registry-smoke
+	$(MAKE) net-smoke
 
 ci:
 	sh scripts/ci.sh
@@ -76,6 +82,10 @@ obs-smoke:
 registry-smoke:
 	dune build bin/portopt.exe
 	sh scripts/registry_smoke.sh
+
+net-smoke:
+	dune build bin/portopt.exe
+	sh scripts/net_smoke.sh
 
 bench:
 	dune exec bench/main.exe

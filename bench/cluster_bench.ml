@@ -20,6 +20,16 @@ let m_reassigned = Obs.Metrics.counter "cluster.reassigned"
 let m_retries = Obs.Metrics.counter "cluster.retries"
 let m_protocol = Obs.Metrics.counter "cluster.protocol_errors"
 
+(* Lease round-trip histogram as JSON, for window quantiles around a
+   leg (the process-wide snapshot accumulates across legs, so each leg
+   subtracts its own "before"). *)
+let lease_hist () =
+  Option.value
+    ~default:(J.Obj [ ("count", J.Int 0) ])
+    (Option.bind
+       (J.member "histograms" (Obs.Metrics.snapshot ()))
+       (J.member "cluster.lease.seconds"))
+
 let measured f =
   let snap () =
     [
@@ -114,6 +124,7 @@ let run () =
   in
   Printf.printf "  local (no fabric):      %.2fs\n%!" local_s;
   let leg name ?chaos workers =
+    let lease_before = lease_hist () in
     let got, wall_s, counts =
       measured (fun () ->
           with_fabric ?chaos workers (fun coord ->
@@ -123,14 +134,33 @@ let run () =
       failwith
         (Printf.sprintf "cluster bench: %s diverged from local evaluation"
            name);
-    Printf.printf "  %-22s  %.2fs (bit-identical)\n%!" (name ^ ":") wall_s;
+    (* Lease-latency quantiles over just this leg's window. *)
+    let lease =
+      match Obs.Metrics.delta_hist_json ~prev:lease_before (lease_hist ()) with
+      | None -> []
+      | Some dh ->
+        let q p =
+          match Obs.Metrics.quantile_of_json dh p with
+          | Some v -> [ (Printf.sprintf "lease_p%.0f_ms" (100.0 *. p),
+                         J.Float (v *. 1e3)) ]
+          | None -> []
+        in
+        q 0.5 @ q 0.99
+    in
+    let p50 =
+      match lease with ("lease_p50_ms", J.Float v) :: _ -> v | _ -> nan
+    in
+    Printf.printf "  %-22s  %.2fs (bit-identical)  lease p50 %6.1fms\n%!"
+      (name ^ ":") wall_s p50;
     J.Obj
-      (("name", J.Str name) :: ("workers", J.Int workers) :: counts)
+      (("name", J.Str name) :: ("workers", J.Int workers) :: (counts @ lease))
   in
   (* Explicit lets: list literals evaluate right to left, which would
-     run (and print) the legs backwards. *)
+     run (and print) the legs backwards.  workers_1/2/4 form the
+     worker-count sweep; the chaos leg measures recovery traffic. *)
   let one = leg "workers_1" 1 in
   let two = leg "workers_2" 2 in
+  let four = leg "workers_4" 4 in
   let chaotic =
     leg "workers_2_chaos" 2
       ~chaos:
@@ -143,7 +173,7 @@ let run () =
           kill = 0.0;
         }
   in
-  let legs = [ one; two; chaotic ] in
+  let legs = [ one; two; four; chaotic ] in
   let out =
     J.Obj
       [

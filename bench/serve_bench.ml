@@ -141,6 +141,82 @@ let run ctx =
         *. 1e3)
         rps threads per_thread;
 
+      (* Connection-count sweep: the same cached working set hammered by
+         an increasing number of concurrent clients, up to well past
+         what a thread-per-connection server could hold.  Sheds (429)
+         are counted, not failed: the knee in p99-vs-clients and the
+         shed-rate curve together show where the loop saturates. *)
+      let sweep_counts = [ 50; 200; 500; 1000 ] in
+      let sweep =
+        List.map
+          (fun clients ->
+            let reqs = max 2 (2000 / clients) in
+            let lats = Array.make_matrix clients reqs nan in
+            let sheds = Array.make clients 0 in
+            let errors = Array.make clients 0 in
+            let t0 = Unix.gettimeofday () in
+            let threads =
+              Array.init clients (fun ti ->
+                  Thread.create
+                    (fun () ->
+                      match Serve.Client.connect address with
+                      | exception _ -> errors.(ti) <- errors.(ti) + reqs
+                      | client ->
+                        Fun.protect
+                          ~finally:(fun () -> Serve.Client.close client)
+                          (fun () ->
+                            for i = 0 to reqs - 1 do
+                              let counters, uarch =
+                                queries.((ti + i) mod Array.length queries)
+                              in
+                              let q0 = Unix.gettimeofday () in
+                              match
+                                Serve.Client.predict client ~counters ~uarch
+                              with
+                              | Ok _ ->
+                                lats.(ti).(i) <- Unix.gettimeofday () -. q0
+                              | Error (429, _) -> sheds.(ti) <- sheds.(ti) + 1
+                              | Error _ -> errors.(ti) <- errors.(ti) + 1
+                            done))
+                    ())
+            in
+            Array.iter Thread.join threads;
+            let wall_s = Unix.gettimeofday () -. t0 in
+            let ok =
+              Array.to_seq lats
+              |> Seq.concat_map Array.to_seq
+              |> Seq.filter (fun x -> not (Float.is_nan x))
+              |> Array.of_seq
+            in
+            Array.sort Float.compare ok;
+            let total = clients * reqs in
+            let shed = Array.fold_left ( + ) 0 sheds in
+            let errs = Array.fold_left ( + ) 0 errors in
+            let p50 = percentile ok 0.5 *. 1e3
+            and p99 = percentile ok 0.99 *. 1e3 in
+            let shed_rate = float_of_int shed /. float_of_int total in
+            Printf.printf
+              "sweep: %4d clients  p50 %7.2fms  p99 %7.2fms  shed %5.1f%%  \
+               %.0f req/s\n%!"
+              clients p50 p99 (100.0 *. shed_rate)
+              (float_of_int (Array.length ok) /. wall_s);
+            J.Obj
+              [
+                ("clients", J.Int clients);
+                ("requests", J.Int total);
+                ("ok", J.Int (Array.length ok));
+                ("shed", J.Int shed);
+                ("errors", J.Int errs);
+                ("wall_s", J.Float wall_s);
+                ("p50_ms", J.Float p50);
+                ("p99_ms", J.Float p99);
+                ("shed_rate", J.Float shed_rate);
+                ( "requests_per_s",
+                  J.Float (float_of_int (Array.length ok) /. wall_s) );
+              ])
+          sweep_counts
+      in
+
       let health =
         let c = Serve.Client.connect address in
         Fun.protect
@@ -188,6 +264,7 @@ let run ctx =
                   ("wall_s", J.Float wall_s);
                   ("requests_per_s", J.Float rps);
                 ] );
+            ("sweep", J.List sweep);
             ("health", health);
           ]
       in

@@ -499,8 +499,30 @@ let with_cluster ?store ?on_result opts f =
                   Cluster.Coordinator.evaluate ~tick ?on_result coord groups))))
   end
 
+(* Shared by [query] and [worker]: which frame format to speak.  The
+   peer latches the format of the first frame and answers in kind, so
+   this only ever needs setting on the client side. *)
+let wire_term =
+  let wire_conv =
+    Arg.conv
+      ( (fun s ->
+          match Net.Codec.mode_of_string s with
+          | Some m -> Ok m
+          | None ->
+            Error
+              (`Msg (Printf.sprintf "unknown wire format %S (json|binary)" s))),
+        fun fmt m -> Format.pp_print_string fmt (Net.Codec.mode_to_string m) )
+  in
+  Arg.(value & opt wire_conv Net.Codec.Binary
+       & info [ "wire" ] ~docv:"FORMAT"
+           ~doc:
+             "Frame format on the wire: $(i,binary) (length-prefixed, \
+              the default) or $(i,json) (newline-delimited, greppable \
+              with netcat).  Payloads are identical either way; the \
+              server answers in whichever format the client speaks.")
+
 let worker_cmd =
-  let run () connect store chaos name =
+  let run () connect store chaos name wire =
     let connect =
       match Cluster.Worker.parse_connect connect with
       | Ok a -> a
@@ -524,7 +546,12 @@ let worker_cmd =
     Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
     let cfg =
-      { (Cluster.Worker.config ~connect ~name) with Cluster.Worker.store; chaos }
+      {
+        (Cluster.Worker.config ~connect ~name) with
+        Cluster.Worker.store;
+        chaos;
+        wire;
+      }
     in
     let outcome = Cluster.Worker.run ~stop:(fun () -> !stop) cfg in
     Obs.Span.log
@@ -579,7 +606,8 @@ let worker_cmd =
     (Cmd.info "worker"
        ~doc:"Serve cluster evaluation leases for a train/crossval coordinator"
        ~man)
-    Term.(const run $ obs_term "worker" $ connect $ store_term $ chaos $ name_arg)
+    Term.(const run $ obs_term "worker" $ connect $ store_term $ chaos
+          $ name_arg $ wire_term)
 
 let train_cmd =
   let run () store out evidence_out uarchs opts cluster =
@@ -1144,9 +1172,9 @@ let query_cmd =
     Printf.eprintf "portopt: server error %d: %s\n" code msg;
     exit (if code = 429 then 3 else 1)
   in
-  let run () progs batch u address health shutdown reload sleep_s =
+  let run () progs batch u address health shutdown reload sleep_s wire =
     let client =
-      try Serve.Client.connect address
+      try Serve.Client.connect ~wire address
       with Unix.Unix_error (e, _, _) ->
         Printf.eprintf "portopt: cannot connect to %s: %s\n"
           (Serve.Protocol.address_to_string address)
@@ -1261,7 +1289,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Query a running prediction server" ~man)
     Term.(const run $ obs_term "query" $ progs $ batch $ uarch_term
-          $ address_term $ health $ shutdown $ reload $ sleep_s)
+          $ address_term $ health $ shutdown $ reload $ sleep_s $ wire_term)
 
 let report_cmd =
   let run files =

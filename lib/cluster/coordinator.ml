@@ -1,8 +1,16 @@
 (** Cluster coordinator — see coordinator.mli for the scheduling
-    contract. *)
+    contract.
+
+    I/O model: every worker connection is a non-blocking fd on one
+    shared {!Net.Loop} (no thread per connection).  Frames arrive on
+    the loop thread, which runs the protocol handlers below; sends are
+    posted to the loop and buffered per connection ({!Net.Conn}), so a
+    slow worker socket never stalls scheduling, expiry or another
+    worker's results.  The scheduler itself ({!evaluate}) still runs in
+    the calling thread — it owns the task state under [t.mutex] and
+    only *posts* lease messages to the loop. *)
 
 module J = Obs.Json
-module Frame = Serve.Frame
 
 type config = {
   address : Serve.Protocol.address;
@@ -58,8 +66,11 @@ type wstate = {
   w_id : int;
   w_name : string;
   w_pid : int;
-  w_fd : Unix.file_descr;
-  w_wmutex : Mutex.t;  (** Welcome/lease/quit writers serialise here. *)
+  w_send : Wire.to_worker -> unit;
+      (** Fire-and-forget: posts the frame to the loop, which buffers
+          it on the connection.  Send failures surface as the
+          connection closing, never as a return value. *)
+  w_close : unit -> unit;  (** Posts a connection close to the loop. *)
   mutable w_last_seen : float;
   mutable w_lease : int option;
   mutable w_failures : int;  (** Consecutive failed leases. *)
@@ -90,11 +101,21 @@ type job = {
       (** Streaming hook: called once per freshly installed result. *)
 }
 
+(* Per-connection state, touched only on the loop thread. *)
+type cmode = Pending | Registered of wstate
+
+type cstate = {
+  c_conn : Net.Conn.t;
+  mutable c_mode : cmode;
+  mutable c_reg_timer : Net.Loop.timer option;
+}
+
 type t = {
   cfg : config;
   store : Store.t option;
   listener : Unix.file_descr;
   bound : Serve.Protocol.address;
+  loop : Net.Loop.t;
   mutex : Mutex.t;  (** Guards every mutable field below and [rng]. *)
   mutable workers : wstate list;
   leases : (int, lease) Hashtbl.t;
@@ -102,9 +123,14 @@ type t = {
   mutable next_id : int;
   mutable stopping : bool;
   mutable closed : bool;
-  mutable accept_thread : Thread.t option;
-  mutable conn_threads : Thread.t list;
+  loop_done : bool Atomic.t;
+  mutable loop_thread : Thread.t option;
   rng : Prelude.Rng.t;  (** Reassignment jitter — timing-only. *)
+  (* Loop-thread-only connection bookkeeping. *)
+  conns : (int, cstate) Hashtbl.t;
+  mutable next_conn : int;
+  mutable listen_src : Net.Loop.source option;
+  mutable draining : bool;
 }
 
 let locked t f =
@@ -119,14 +145,7 @@ let refresh_gauges_locked t =
   Obs.Metrics.set g_busy
     (float_of_int (List.length (List.filter (fun w -> w.w_lease <> None) alive)))
 
-let send_to_worker w msg =
-  Mutex.lock w.w_wmutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock w.w_wmutex)
-    (fun () ->
-      match Frame.write_line w.w_fd (J.to_string (Wire.to_worker_to_json msg)) with
-      | () -> true
-      | exception Unix.Unix_error _ -> false)
+let send_to_worker _t w msg = w.w_send msg
 
 (* ---- task requeueing, lease settlement, worker death ------------------ *)
 (* All _locked functions run under [t.mutex]. *)
@@ -195,10 +214,14 @@ let mark_dead_locked t w ~now ~expected ~why =
     if not expected then Obs.Metrics.add m_lost 1;
     Obs.Span.event "cluster.worker.leave"
       [ ("worker", J.Int w.w_id); ("name", J.Str w.w_name); ("why", J.Str why) ];
-    refresh_gauges_locked t
+    refresh_gauges_locked t;
+    (* A death noticed away from the connection (heartbeat expiry, a
+       failing lease path) must also drop the socket; no-op when the
+       close is what got us here. *)
+    w.w_close ()
   end
 
-(* ---- per-connection handling ------------------------------------------ *)
+(* ---- per-connection protocol handling (loop thread) ------------------- *)
 
 let handle_result t w ~job ~task ~key ~checksum ~run =
   (* Verify outside the state lock: checksum binds content end-to-end
@@ -232,9 +255,9 @@ let handle_result t w ~job ~task ~key ~checksum ~run =
       match verdict with
       | `Installed (hook, tk) -> (
         Obs.Metrics.add m_results 1;
-        (* The streaming hook runs outside the state lock, on this
-           connection thread; a raising hook is the caller's bug and
-           must not take the connection (and its lease) down with it. *)
+        (* The streaming hook runs outside the state lock, on the loop
+           thread; a raising hook is the caller's bug and must not take
+           the connection (and its lease) down with it. *)
         (match hook with
         | None -> ()
         | Some f -> (
@@ -288,141 +311,174 @@ let handle_message t w line =
             ~why:"result dropped in transit"
         | _ -> ())
 
-(* How long a conn thread keeps reading after a drain was requested —
-   long enough for the worker to see [quit] and close cleanly. *)
+(* How long a drain leaves connections open — long enough for workers
+   to see [quit] and close cleanly before they are cut off. *)
 let drain_grace_s = 2.0
 
-let conn_loop t w reader =
-  let stop_seen = ref None in
-  let rec loop () =
-    if not (locked t (fun () -> w.w_alive)) then ()
-    else begin
-      let overdue =
-        match !stop_seen with
-        | Some since -> Unix.gettimeofday () -. since > drain_grace_s
-        | None ->
-          if t.stopping then stop_seen := Some (Unix.gettimeofday ());
-          false
-      in
-      if overdue then
-        locked t (fun () ->
-            mark_dead_locked t w ~now:(Unix.gettimeofday ()) ~expected:true
-              ~why:"drain")
-      else
-        match Frame.poll reader ~timeout:0.25 with
-        | Ok None -> loop ()
-        | Ok (Some line) ->
-          handle_message t w line;
-          loop ()
-        | Error e ->
-          let expected = t.stopping || e = Frame.Closed in
-          locked t (fun () ->
-              mark_dead_locked t w ~now:(Unix.gettimeofday ()) ~expected
-                ~why:(Frame.error_to_string e))
-    end
-  in
-  loop ()
+(* Bounded patience for the first frame to be a registration. *)
+let register_patience_s = 10.0
 
-let conn_main t fd =
-  let reader = Frame.reader ~max_frame:Wire.max_frame fd in
-  (* First frame must be a registration; bounded patience. *)
-  let rec await budget =
-    if budget <= 0.0 || t.stopping then None
-    else
-      match Frame.poll reader ~timeout:0.25 with
-      | Ok None -> await (budget -. 0.25)
-      | Error _ -> None
-      | Ok (Some line) -> (
-        match Result.bind (J.of_string line) Wire.to_coordinator_of_json with
-        | Ok (Wire.Register { name; pid; fingerprint }) ->
-          Some (name, pid, fingerprint)
-        | Ok Wire.Metrics_query ->
-          (* Admin poll: answer with the live snapshot and keep
-             listening — the poller closes its end when satisfied,
-             without ever registering as a worker. *)
-          (try
-             Frame.write_line fd
-               (J.to_string
-                  (Wire.to_worker_to_json
-                     (Wire.Metrics { snapshot = Obs.Metrics.snapshot () })))
-           with Unix.Unix_error _ -> ());
-          await budget
-        | Ok _ | Error _ ->
-          Obs.Metrics.add m_protocol_errors 1;
-          await budget)
+let register_worker t cs conn ~name ~pid =
+  let w =
+    locked t (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let w =
+          {
+            w_id = id;
+            w_name = name;
+            w_pid = pid;
+            w_send =
+              (fun msg ->
+                Net.Loop.post t.loop (fun () ->
+                    Net.Conn.send conn
+                      (J.to_string (Wire.to_worker_to_json msg))));
+            w_close =
+              (fun () -> Net.Loop.post t.loop (fun () -> Net.Conn.close conn));
+            w_last_seen = Unix.gettimeofday ();
+            w_lease = None;
+            w_failures = 0;
+            w_broken_until = 0.0;
+            w_alive = true;
+          }
+        in
+        t.workers <- w :: t.workers;
+        refresh_gauges_locked t;
+        w)
   in
-  (match await 10.0 with
-  | None -> ()
-  | Some (name, _, fingerprint) when fingerprint <> Passes.Driver.fingerprint ->
-    Obs.Span.log
-      (Printf.sprintf "cluster: rejecting worker %S: fingerprint mismatch" name);
-    (try
-       Frame.write_line fd
-         (J.to_string
-            (Wire.to_worker_to_json
-               (Wire.Reject { reason = "pipeline fingerprint mismatch" })))
-     with Unix.Unix_error _ -> ())
-  | Some (name, pid, _) ->
-    let w =
-      locked t (fun () ->
-          let id = t.next_id in
-          t.next_id <- id + 1;
-          let w =
-            {
-              w_id = id;
-              w_name = name;
-              w_pid = pid;
-              w_fd = fd;
-              w_wmutex = Mutex.create ();
-              w_last_seen = Unix.gettimeofday ();
-              w_lease = None;
-              w_failures = 0;
-              w_broken_until = 0.0;
-              w_alive = true;
-            }
-          in
-          t.workers <- w :: t.workers;
-          refresh_gauges_locked t;
-          w)
+  Obs.Metrics.add m_registered 1;
+  Obs.Span.event "cluster.worker.join"
+    [ ("worker", J.Int w.w_id); ("name", J.Str name); ("pid", J.Int pid) ];
+  (match cs.c_reg_timer with
+  | Some tm ->
+    Net.Loop.cancel tm;
+    cs.c_reg_timer <- None
+  | None -> ());
+  cs.c_mode <- Registered w;
+  w.w_send (Wire.Welcome { worker = w.w_id })
+
+let on_conn_frame t cs conn line =
+  match cs.c_mode with
+  | Registered w -> handle_message t w line
+  | Pending -> (
+    match Result.bind (J.of_string line) Wire.to_coordinator_of_json with
+    | Ok (Wire.Register { name; pid = _; fingerprint })
+      when fingerprint <> Passes.Driver.fingerprint ->
+      Obs.Span.log
+        (Printf.sprintf "cluster: rejecting worker %S: fingerprint mismatch"
+           name);
+      Net.Conn.send conn
+        (J.to_string
+           (Wire.to_worker_to_json
+              (Wire.Reject { reason = "pipeline fingerprint mismatch" })));
+      Net.Conn.close_after_flush conn
+    | Ok (Wire.Register { name; pid; fingerprint = _ }) ->
+      if t.draining then Net.Conn.close conn
+      else register_worker t cs conn ~name ~pid
+    | Ok Wire.Metrics_query ->
+      (* Admin poll: answer with the live snapshot and keep listening —
+         the poller closes its end when satisfied, without ever
+         registering as a worker. *)
+      Net.Conn.send conn
+        (J.to_string
+           (Wire.to_worker_to_json
+              (Wire.Metrics { snapshot = Obs.Metrics.snapshot () })))
+    | Ok _ | Error _ -> Obs.Metrics.add m_protocol_errors 1)
+
+let on_conn_closed t id cs reason =
+  (match cs.c_reg_timer with
+  | Some tm ->
+    Net.Loop.cancel tm;
+    cs.c_reg_timer <- None
+  | None -> ());
+  (match cs.c_mode with
+  | Pending -> ()
+  | Registered w ->
+    let expected = t.stopping || reason = Net.Conn.Eof in
+    locked t (fun () ->
+        mark_dead_locked t w
+          ~now:(Unix.gettimeofday ())
+          ~expected
+          ~why:
+            (match reason with
+            | Net.Conn.Eof -> "connection closed"
+            | r -> Net.Conn.close_reason_to_string r)));
+  Hashtbl.remove t.conns id;
+  if t.draining && Hashtbl.length t.conns = 0 then Net.Loop.stop t.loop
+
+let setup_conn t fd =
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  let cs_ref = ref None in
+  let conn =
+    Net.Conn.attach t.loop fd ~max_frame:Wire.max_frame
+      ~on_frame:(fun conn line ->
+        match !cs_ref with
+        | Some cs -> on_conn_frame t cs conn line
+        | None -> ())
+      ~on_closed:(fun _conn reason ->
+        match !cs_ref with
+        | Some cs -> on_conn_closed t id cs reason
+        | None -> ())
+      ()
+  in
+  let cs = { c_conn = conn; c_mode = Pending; c_reg_timer = None } in
+  cs_ref := Some cs;
+  cs.c_reg_timer <-
+    Some
+      (Net.Loop.after t.loop register_patience_s (fun () ->
+           (* Still unregistered: an admin poller that is done, or junk. *)
+           match cs.c_mode with
+           | Pending -> Net.Conn.close conn
+           | Registered _ -> ()));
+  Hashtbl.add t.conns id cs
+
+(* Accept everything ready, retrying EINTR; an accepted fd whose
+   per-connection setup raises is closed, not leaked. *)
+let rec accept_burst t =
+  if not t.draining then
+    match Unix.accept t.listener with
+    | fd, _ ->
+      (try setup_conn t fd
+       with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
+      accept_burst t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_burst t
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+
+(* Drain (loop thread, once): close the listener, tell every live
+   worker to quit, close pending connections, and give the rest
+   [drain_grace_s] to hang up on their own before they are cut off.
+   The loop stops when the last connection is gone. *)
+let begin_drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    (match t.listen_src with
+    | Some s ->
+      Net.Loop.remove t.loop s;
+      t.listen_src <- None
+    | None -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (match t.cfg.address with
+    | Serve.Protocol.Unix_path p -> (
+      try Unix.unlink p with Unix.Unix_error _ -> ())
+    | Serve.Protocol.Tcp _ -> ());
+    let ws = locked t (fun () -> t.workers) in
+    List.iter (fun w -> if w.w_alive then w.w_send Wire.Quit) ws;
+    let pending =
+      Hashtbl.fold
+        (fun _ cs acc ->
+          match cs.c_mode with Pending -> cs :: acc | Registered _ -> acc)
+        t.conns []
     in
-    Obs.Metrics.add m_registered 1;
-    Obs.Span.event "cluster.worker.join"
-      [ ("worker", J.Int w.w_id); ("name", J.Str name); ("pid", J.Int pid) ];
-    if send_to_worker w (Wire.Welcome { worker = w.w_id }) then
-      conn_loop t w reader
+    List.iter (fun cs -> Net.Conn.close_after_flush cs.c_conn) pending;
+    if Hashtbl.length t.conns = 0 then Net.Loop.stop t.loop
     else
-      locked t (fun () ->
-          mark_dead_locked t w ~now:(Unix.gettimeofday ()) ~expected:false
-            ~why:"welcome failed"));
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-let accept_loop t =
-  let rec loop () =
-    if t.stopping then ()
-    else
-      match Unix.select [ t.listener ] [] [] 0.25 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error _ -> ()
-      | [], _, _ -> loop ()
-      | _ -> (
-        match Unix.accept t.listener with
-        | exception Unix.Unix_error _ -> loop ()
-        | fd, _ ->
-          let th =
-            Thread.create
-              (fun () ->
-                try conn_main t fd
-                with e ->
-                  (try Unix.close fd with Unix.Unix_error _ -> ());
-                  Obs.Span.log
-                    (Printf.sprintf "cluster: connection thread died: %s"
-                       (Printexc.to_string e)))
-              ()
-          in
-          locked t (fun () -> t.conn_threads <- th :: t.conn_threads);
-          loop ())
-  in
-  loop ()
+      ignore
+        (Net.Loop.after t.loop drain_grace_s (fun () ->
+             let all = Hashtbl.fold (fun _ cs acc -> cs :: acc) t.conns [] in
+             List.iter (fun cs -> Net.Conn.close cs.c_conn) all))
+  end
 
 (* ---- lifecycle -------------------------------------------------------- *)
 
@@ -438,7 +494,8 @@ let create ?store cfg =
   (try
      Unix.setsockopt listener Unix.SO_REUSEADDR true;
      Unix.bind listener sa;
-     Unix.listen listener 16
+     Unix.listen listener 64;
+     Unix.set_nonblock listener
    with e ->
      (try Unix.close listener with Unix.Unix_error _ -> ());
      raise e);
@@ -448,12 +505,14 @@ let create ?store cfg =
       Serve.Protocol.Tcp (host, port)
     | addr, _ -> addr
   in
+  let loop = Net.Loop.create () in
   let t =
     {
       cfg;
       store;
       listener;
       bound;
+      loop;
       mutex = Mutex.create ();
       workers = [];
       leases = Hashtbl.create 16;
@@ -461,51 +520,65 @@ let create ?store cfg =
       next_id = 1;
       stopping = false;
       closed = false;
-      accept_thread = None;
-      conn_threads = [];
+      loop_done = Atomic.make false;
+      loop_thread = None;
       rng =
         Prelude.Rng.create
           ((Unix.getpid () * 69_069)
            lxor (int_of_float (Unix.gettimeofday () *. 1e6) land max_int));
+      conns = Hashtbl.create 16;
+      next_conn = 0;
+      listen_src = None;
+      draining = false;
     }
   in
-  t.accept_thread <- Some (Thread.create accept_loop t);
+  t.listen_src <-
+    Some
+      (Net.Loop.add loop listener ~read:true ~write:false
+         ~on_read:(fun () -> accept_burst t)
+         ~on_write:ignore ());
+  Net.Loop.set_on_wake loop (fun () -> if t.stopping then begin_drain t);
+  t.loop_thread <-
+    Some
+      (Thread.create
+         (fun () ->
+           Net.Loop.run loop;
+           Atomic.set t.loop_done true)
+         ());
   t
 
 let address t = t.bound
 
 let workers t = locked t (fun () -> List.length (alive_workers_locked t))
 
-let stop t = t.stopping <- true
+(* Async-signal-safe: one store, one wakeup-pipe write. *)
+let stop t =
+  t.stopping <- true;
+  Net.Loop.nudge t.loop
 
 let shutdown t =
-  t.stopping <- true;
+  stop t;
   if not t.closed then begin
     t.closed <- true;
-    let ws = locked t (fun () -> t.workers) in
-    List.iter
-      (fun w -> if w.w_alive then ignore (send_to_worker w Wire.Quit))
-      ws;
-    (match t.accept_thread with
+    (* Poll rather than park so the calling (main) thread keeps hitting
+       safe points where signal handlers run. *)
+    while not (Atomic.get t.loop_done) do
+      Thread.delay 0.02
+    done;
+    (match t.loop_thread with
     | Some th ->
       Thread.join th;
-      t.accept_thread <- None
+      t.loop_thread <- None
     | None -> ());
-    (try Unix.close t.listener with Unix.Unix_error _ -> ());
-    (match t.cfg.address with
-    | Serve.Protocol.Unix_path p -> (
-      try Unix.unlink p with Unix.Unix_error _ -> ())
-    | Serve.Protocol.Tcp _ -> ());
-    let conns = locked t (fun () -> t.conn_threads) in
-    List.iter Thread.join conns;
     locked t (fun () -> refresh_gauges_locked t)
   end
 
 (* ---- the scheduler ---------------------------------------------------- *)
 
 (* Hand out leases to idle, live, unbroken workers.  Assignment is
-   computed under the lock but sent outside it, so a slow socket never
-   stalls expiry or result handling. *)
+   computed under the lock but the messages are posted to the loop
+   outside it, so a slow socket never stalls expiry or result
+   handling. *)
 let assign_leases_locked t j ~now =
   let idle =
     List.filter
@@ -580,8 +653,8 @@ let expire_locked t j ~now =
       | Some w -> settle_lease_locked t l w ~now ~why:"lease expired"
       | None -> Hashtbl.remove t.leases l.l_id)
     expired;
-  (* Workers silent past the heartbeat timeout are dead: their conn
-     thread may be blocked on a socket the peer will never write again. *)
+  (* Workers silent past the heartbeat timeout are dead: the peer may
+     never write that socket again. *)
   List.iter
     (fun w ->
       if w.w_alive && now -. w.w_last_seen > t.cfg.heartbeat_timeout_s then
@@ -703,13 +776,7 @@ let evaluate ?tick ?on_result t groups =
             refresh_gauges_locked t;
             if !fatal = None then assign_leases_locked t j ~now else [])
       in
-      List.iter
-        (fun (w, _l, msg) ->
-          if not (send_to_worker w msg) then
-            locked t (fun () ->
-                mark_dead_locked t w ~now:(Unix.gettimeofday ()) ~expected:false
-                  ~why:"lease send failed"))
-        sends;
+      List.iter (fun (w, _l, msg) -> send_to_worker t w msg) sends;
       report_tick (locked t (fun () -> j.j_done));
       if !fatal = None then Thread.delay 0.05
     done;
@@ -756,16 +823,20 @@ let query_metrics address =
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        Frame.write_line fd
-          (J.to_string (Wire.to_coordinator_to_json Wire.Metrics_query));
-        let reader = Frame.reader ~max_frame:Wire.max_frame fd in
-        match Frame.read reader with
-        | Error e -> Error ("cluster metrics: " ^ Frame.error_to_string e)
-        | Ok line -> (
-          match Result.bind (J.of_string line) Wire.to_worker_of_json with
-          | Ok (Wire.Metrics { snapshot }) -> Ok snapshot
-          | Ok _ -> Error "cluster metrics: unexpected reply"
-          | Error e -> Error ("cluster metrics: " ^ e)))
+        match
+          Net.Codec.write fd Net.Codec.Binary
+            (J.to_string (Wire.to_coordinator_to_json Wire.Metrics_query))
+        with
+        | Error e -> Error ("cluster metrics: " ^ Net.Codec.error_to_string e)
+        | Ok () -> (
+          let reader = Net.Codec.reader ~max_frame:Wire.max_frame fd in
+          match Net.Codec.read reader with
+          | Error e -> Error ("cluster metrics: " ^ Net.Codec.error_to_string e)
+          | Ok (_mode, line) -> (
+            match Result.bind (J.of_string line) Wire.to_worker_of_json with
+            | Ok (Wire.Metrics { snapshot }) -> Ok snapshot
+            | Ok _ -> Error "cluster metrics: unexpected reply"
+            | Error e -> Error ("cluster metrics: " ^ e))))
   with
   | r -> r
   | exception Unix.Unix_error (e, _, _) ->

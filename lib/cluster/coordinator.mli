@@ -21,7 +21,14 @@
       where a miscompile aborts the run).
 
     One {!evaluate} runs at a time; workers may join and leave at any
-    point, including mid-evaluation. *)
+    point, including mid-evaluation.
+
+    I/O: every worker connection is multiplexed on one {!Net.Loop}
+    readiness loop (no thread per connection); frames are
+    newline-JSON or length-prefixed binary, latched per connection
+    from the registration frame ({!Net.Codec}).  Sends are posted to
+    the loop and buffered per connection, so a slow worker socket
+    never stalls scheduling or another worker's results. *)
 
 type config = {
   address : Serve.Protocol.address;
@@ -75,19 +82,23 @@ val evaluate :
 
     [on_result] streams each deduplicated task's result as it installs
     — store-warmed tasks fire synchronously before anything ships,
-    cluster results fire on their connection thread (so the callback
-    must be thread-safe and quick, and must not raise).  Exactly one
+    cluster results fire on the I/O loop thread (so the callback must
+    be thread-safe and quick — it delays every connection — and must
+    not raise).  Exactly one
     call per unique task; duplicates and stale results never fire.
     This is how evidence pipelines watch training data accumulate
     without waiting for the whole grid. *)
 
 val stop : t -> unit
-(** Request a drain: a running {!evaluate} fails promptly, workers are
-    told to quit at {!shutdown}.  Safe to call from a signal handler. *)
+(** Request a drain: one atomic store plus one wakeup-pipe write, so it
+    is safe to call from a signal handler and the loop notices
+    immediately.  A running {!evaluate} fails promptly; the loop closes
+    the listener, tells every worker to quit and gives connections a
+    short grace to hang up before cutting them off. *)
 
 val shutdown : t -> unit
-(** Stop accepting, tell every worker to quit, join all background
-    threads and release the socket.  Idempotent. *)
+(** {!stop}, then block until the drain completes and the loop thread
+    is joined.  Idempotent. *)
 
 val query_metrics : Serve.Protocol.address -> (Obs.Json.t, string) result
 (** Admin client for [portopt metrics --cluster]: connect to a running

@@ -1,7 +1,6 @@
 (** Cluster worker — see worker.mli for the contract. *)
 
 module J = Obs.Json
-module Frame = Serve.Frame
 
 type config = {
   connect : Serve.Protocol.address;
@@ -10,6 +9,7 @@ type config = {
   chaos : Chaos.t;
   reconnect : Prelude.Backoff.policy;
   heartbeat_s : float;
+  wire : Net.Codec.mode;
 }
 
 let config ~connect ~name =
@@ -20,6 +20,7 @@ let config ~connect ~name =
     chaos = Chaos.none;
     reconnect = Prelude.Backoff.default;
     heartbeat_s = 0.5;
+    wire = Net.Codec.Binary;
   }
 
 type outcome = Drained | Killed | Lost
@@ -37,11 +38,19 @@ let g_busy = Obs.Metrics.gauge "cluster.worker.busy"
 let h_task_seconds = Obs.Metrics.hist "cluster.task.seconds"
 
 exception Killed_mid_lease
+exception Send_failed of string
+
+let write_frame ~wire fd line =
+  match Net.Codec.write fd wire line with
+  | Ok () -> ()
+  | Error e -> raise (Send_failed (Net.Codec.error_to_string e))
 
 (* The heartbeat thread and the lease loop share the socket's write
    side; chaos delay happens outside the lock so a delayed result never
-   blocks a heartbeat. *)
-let send ~chaos ~wmutex fd msg =
+   blocks a heartbeat.  Chaos garbles the *payload* before framing —
+   the frame stays well-formed, so corruption tests the checksum and
+   parse paths rather than the codec. *)
+let send ~chaos ~wire ~wmutex fd msg =
   let line = J.to_string (Wire.to_coordinator_to_json msg) in
   match Chaos.transform chaos line with
   | `Drop -> ()
@@ -50,15 +59,16 @@ let send ~chaos ~wmutex fd msg =
     Mutex.lock wmutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock wmutex)
-      (fun () -> Frame.write_line fd line)
+      (fun () -> write_frame ~wire fd line)
 
 (* Registration bypasses chaos: a worker that cannot even join tests
    nothing. *)
-let send_raw ~wmutex fd msg =
+let send_raw ~wire ~wmutex fd msg =
   Mutex.lock wmutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock wmutex)
-    (fun () -> Frame.write_line fd (J.to_string (Wire.to_coordinator_to_json msg)))
+    (fun () ->
+      write_frame ~wire fd (J.to_string (Wire.to_coordinator_to_json msg)))
 
 let run_task cfg digests (task : Task.t) =
   match Workloads.Mibench.by_name task.Task.program with
@@ -82,6 +92,7 @@ let run_task cfg digests (task : Task.t) =
 
 let process_lease cfg ~chaos ~wmutex ~stop ~digests ?remote_parent fd ~job
     ~lease tasks =
+  let wire = cfg.wire in
   Obs.Metrics.add m_leases 1;
   Obs.Metrics.set g_busy 1.0;
   (* The lease span is the worker's root of this work unit: its
@@ -105,97 +116,103 @@ let process_lease cfg ~chaos ~wmutex ~stop ~digests ?remote_parent fd ~job
               let t0 = Unix.gettimeofday () in
               (match run_task cfg digests task with
               | Ok (key, run, checksum) ->
-                send ~chaos ~wmutex fd
+                send ~chaos ~wire ~wmutex fd
                   (Wire.Result { job; lease; task = index; key; checksum; run })
               | Error error ->
                 Obs.Metrics.add m_task_errors 1;
-                send ~chaos ~wmutex fd
+                send ~chaos ~wire ~wmutex fd
                   (Wire.Task_error { job; lease; task = index; error }));
               Obs.Metrics.observe h_task_seconds
                 (Unix.gettimeofday () -. t0);
               Obs.Metrics.add m_tasks 1)
             tasks;
-          send ~chaos ~wmutex fd (Wire.Lease_done { job; lease })))
+          send ~chaos ~wire ~wmutex fd (Wire.Lease_done { job; lease })))
 
 (* One connected session: register, heartbeat, serve leases.  Returns
    how it ended; [registered] lets the caller reset its reconnect
    budget once the coordinator accepted us. *)
 let session cfg ~stop ~chaos ~registered fd =
-  let reader = Frame.reader ~max_frame:Wire.max_frame fd in
+  let wire = cfg.wire in
+  let reader = Net.Codec.reader ~max_frame:Wire.max_frame fd in
   let wmutex = Mutex.create () in
   let digests = Hashtbl.create 16 in
-  send_raw ~wmutex fd
-    (Wire.Register
-       {
-         name = cfg.name;
-         pid = Unix.getpid ();
-         fingerprint = Passes.Driver.fingerprint;
-       });
-  (* Registration handshake, bounded so a wedged coordinator cannot
-     hold an unregistered worker forever. *)
-  let rec handshake budget =
-    if budget <= 0.0 then `Eof
-    else
-      match Frame.poll reader ~timeout:0.25 with
-      | Ok None -> if stop () then `Stop else handshake (budget -. 0.25)
-      | Error _ -> `Eof
-      | Ok (Some line) -> (
-        match
-          Result.bind (J.of_string line) Wire.to_worker_of_json
-        with
-        | Ok (Wire.Welcome _) -> `Welcome
-        | Ok (Wire.Reject { reason }) -> `Rejected reason
-        | Ok _ | Error _ -> handshake budget)
-  in
-  match handshake 30.0 with
-  | (`Eof | `Stop | `Rejected _) as r -> r
-  | `Welcome ->
-    registered := true;
-    let hb_stop = Atomic.make false in
-    let hb =
-      Thread.create
-        (fun () ->
-          while not (Atomic.get hb_stop) do
-            Thread.delay cfg.heartbeat_s;
-            if not (Atomic.get hb_stop) then (
-              try
-                send ~chaos ~wmutex fd Wire.Heartbeat;
-                Obs.Metrics.add m_heartbeats 1
-              with _ -> Atomic.set hb_stop true)
-          done)
-        ()
-    in
-    let finish r =
-      Atomic.set hb_stop true;
-      Thread.join hb;
-      r
-    in
-    let rec loop () =
-      if stop () then `Stop
+  match
+    send_raw ~wire ~wmutex fd
+      (Wire.Register
+         {
+           name = cfg.name;
+           pid = Unix.getpid ();
+           fingerprint = Passes.Driver.fingerprint;
+         })
+  with
+  | exception Send_failed _ -> `Eof
+  | () -> (
+    (* Registration handshake, bounded so a wedged coordinator cannot
+       hold an unregistered worker forever. *)
+    let rec handshake budget =
+      if budget <= 0.0 then `Eof
       else
-        match Frame.poll reader ~timeout:0.25 with
-        | Ok None -> loop ()
+        match Net.Codec.poll reader ~timeout:0.25 with
+        | Ok None -> if stop () then `Stop else handshake (budget -. 0.25)
         | Error _ -> `Eof
-        | Ok (Some line) -> (
-          match Result.bind (J.of_string line) Wire.to_worker_of_json with
-          | Error e ->
-            Obs.Span.log ~level:Obs.Trace.Debug
-              (Printf.sprintf "worker %s: bad frame: %s" cfg.name e);
-            loop ()
-          | Ok Wire.Quit -> `Quit
-          | Ok (Wire.Welcome _ | Wire.Reject _ | Wire.Metrics _) -> loop ()
-          | Ok (Wire.Lease { job; lease; deadline_s = _; tasks; trace }) -> (
-            match
-              process_lease cfg ~chaos ~wmutex ~stop ~digests
-                ?remote_parent:trace fd ~job ~lease tasks
-            with
-            | () -> loop ()
-            | exception Exit -> `Stop
-            | exception Unix.Unix_error _ -> `Eof))
+        | Ok (Some (_mode, line)) -> (
+          match
+            Result.bind (J.of_string line) Wire.to_worker_of_json
+          with
+          | Ok (Wire.Welcome _) -> `Welcome
+          | Ok (Wire.Reject { reason }) -> `Rejected reason
+          | Ok _ | Error _ -> handshake budget)
     in
-    (match loop () with
-    | r -> finish r
-    | exception Killed_mid_lease -> finish `Killed)
+    match handshake 30.0 with
+    | (`Eof | `Stop | `Rejected _) as r -> r
+    | `Welcome ->
+      registered := true;
+      let hb_stop = Atomic.make false in
+      let hb =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get hb_stop) do
+              Thread.delay cfg.heartbeat_s;
+              if not (Atomic.get hb_stop) then (
+                try
+                  send ~chaos ~wire ~wmutex fd Wire.Heartbeat;
+                  Obs.Metrics.add m_heartbeats 1
+                with _ -> Atomic.set hb_stop true)
+            done)
+          ()
+      in
+      let finish r =
+        Atomic.set hb_stop true;
+        Thread.join hb;
+        r
+      in
+      let rec loop () =
+        if stop () then `Stop
+        else
+          match Net.Codec.poll reader ~timeout:0.25 with
+          | Ok None -> loop ()
+          | Error _ -> `Eof
+          | Ok (Some (_mode, line)) -> (
+            match Result.bind (J.of_string line) Wire.to_worker_of_json with
+            | Error e ->
+              Obs.Span.log ~level:Obs.Trace.Debug
+                (Printf.sprintf "worker %s: bad frame: %s" cfg.name e);
+              loop ()
+            | Ok Wire.Quit -> `Quit
+            | Ok (Wire.Welcome _ | Wire.Reject _ | Wire.Metrics _) -> loop ()
+            | Ok (Wire.Lease { job; lease; deadline_s = _; tasks; trace }) -> (
+              match
+                process_lease cfg ~chaos ~wmutex ~stop ~digests
+                  ?remote_parent:trace fd ~job ~lease tasks
+              with
+              | () -> loop ()
+              | exception Exit -> `Stop
+              | exception Send_failed _ -> `Eof
+              | exception Unix.Unix_error _ -> `Eof))
+      in
+      (match loop () with
+      | r -> finish r
+      | exception Killed_mid_lease -> finish `Killed))
 
 let connect_fd address =
   let sa = Serve.Protocol.sockaddr address in

@@ -23,11 +23,18 @@ type config = {
       (** Applied to failed connects and lost connections; once the
           retries are exhausted the worker gives up ({!Lost}). *)
   heartbeat_s : float;
+  wire : Net.Codec.mode;
+      (** Frame format for everything this worker sends
+          ({!Net.Codec.Binary} by default); the coordinator latches it
+          from the registration frame and replies in kind.  [Json]
+          keeps the session greppable on the wire.  Chaos corruption
+          applies to the payload before framing, so it exercises the
+          checksum/parse paths, not the codec. *)
 }
 
 val config : connect:Serve.Protocol.address -> name:string -> config
 (** Defaults: no store, no chaos, {!Prelude.Backoff.default} reconnect,
-    0.5 s heartbeats. *)
+    0.5 s heartbeats, binary framing. *)
 
 type outcome =
   | Drained  (** Coordinator said [quit], or [stop] turned true. *)

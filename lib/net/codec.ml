@@ -1,0 +1,167 @@
+module Bytebuf = Prelude.Bytebuf
+
+type mode = Json | Binary
+
+let mode_to_string = function Json -> "json" | Binary -> "binary"
+
+let mode_of_string = function
+  | "json" -> Some Json
+  | "binary" -> Some Binary
+  | _ -> None
+
+let magic = '\xB1'
+let header_len = 5
+let default_max_frame = 1 lsl 20
+
+type error =
+  | Oversized of int
+  | Bad_length of int * int
+  | Eof_mid_frame
+  | Closed
+  | Io of string
+
+let error_to_string = function
+  | Oversized n -> Printf.sprintf "frame exceeds %d bytes" n
+  | Bad_length (n, limit) ->
+      Printf.sprintf "bad binary length prefix %d (limit %d)" n limit
+  | Eof_mid_frame -> "connection closed mid-frame"
+  | Closed -> "connection closed"
+  | Io msg -> "io error: " ^ msg
+
+let encode mode payload =
+  match mode with
+  | Json -> payload ^ "\n"
+  | Binary ->
+      let n = String.length payload in
+      let b = Bytes.create (header_len + n) in
+      Bytes.unsafe_set b 0 magic;
+      Bytes.set_int32_be b 1 (Int32.of_int n);
+      Bytes.blit_string payload 0 b header_len n;
+      Bytes.unsafe_to_string b
+
+let encode_into buf mode payload =
+  match mode with
+  | Json ->
+      Bytebuf.add_string buf payload;
+      Bytebuf.add_char buf '\n'
+  | Binary ->
+      let n = String.length payload in
+      let store, pos = Bytebuf.reserve buf (header_len + n) in
+      Bytes.unsafe_set store pos magic;
+      Bytes.set_int32_be store (pos + 1) (Int32.of_int n);
+      Bytes.blit_string payload 0 store (pos + header_len) n;
+      Bytebuf.commit buf (header_len + n)
+
+type decoder = {
+  max_frame : int;
+  buf : Bytebuf.t;
+  (* Leading bytes known to contain no '\n' — avoids re-scanning a slow
+     writer's prefix on every arriving byte (quadratic otherwise). *)
+  mutable scanned : int;
+  mutable failed : error option;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Bytebuf.create (); scanned = 0; failed = None }
+
+let buffer d = d.buf
+let buffered d = Bytebuf.length d.buf
+
+let fail d e =
+  d.failed <- Some e;
+  Error e
+
+let next d =
+  match d.failed with
+  | Some e -> Error e
+  | None -> (
+      let len = Bytebuf.length d.buf in
+      if len = 0 then Ok None
+      else if Bytebuf.get d.buf 0 = magic then
+        if len < header_len then Ok None
+        else
+          let n =
+            (Char.code (Bytebuf.get d.buf 1) lsl 24)
+            lor (Char.code (Bytebuf.get d.buf 2) lsl 16)
+            lor (Char.code (Bytebuf.get d.buf 3) lsl 8)
+            lor Char.code (Bytebuf.get d.buf 4)
+          in
+          if n < 1 || n > d.max_frame then fail d (Bad_length (n, d.max_frame))
+          else if len < header_len + n then Ok None
+          else begin
+            let payload = Bytebuf.sub_string d.buf header_len n in
+            Bytebuf.consume d.buf (header_len + n);
+            d.scanned <- 0;
+            Ok (Some (Binary, payload))
+          end
+      else
+        match Bytebuf.index_from d.buf d.scanned '\n' with
+        | Some nl ->
+            if nl > d.max_frame then fail d (Oversized d.max_frame)
+            else begin
+              let payload = Bytebuf.sub_string d.buf 0 nl in
+              Bytebuf.consume d.buf (nl + 1);
+              d.scanned <- 0;
+              Ok (Some (Json, payload))
+            end
+        | None ->
+            d.scanned <- len;
+            if len > d.max_frame then fail d (Oversized d.max_frame) else Ok None)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking transport for client-side code.                            *)
+
+type reader = { fd : Unix.file_descr; dec : decoder; chunk : Bytes.t }
+
+let reader ?max_frame fd = { fd; dec = decoder ?max_frame (); chunk = Bytes.create 8192 }
+
+let refill r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 -> Ok 0
+  | n ->
+      Bytebuf.add_subbytes (buffer r.dec) r.chunk 0 n;
+      Ok n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok (-1) (* retry *)
+  | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+
+let rec read r =
+  match next r.dec with
+  | Error e -> Error e
+  | Ok (Some frame) -> Ok frame
+  | Ok None -> (
+      match refill r with
+      | Error e -> Error e
+      | Ok 0 -> if buffered r.dec = 0 then Error Closed else Error Eof_mid_frame
+      | Ok _ -> read r)
+
+let poll r ~timeout =
+  match next r.dec with
+  | Error e -> Error e
+  | Ok (Some frame) -> Ok (Some frame)
+  | Ok None -> (
+      match Unix.select [ r.fd ] [] [] timeout with
+      | [], _, _ -> Ok None
+      | _ -> (
+          match refill r with
+          | Error e -> Error e
+          | Ok 0 ->
+              if buffered r.dec = 0 then Error Closed else Error Eof_mid_frame
+          | Ok _ -> (
+              match next r.dec with
+              | Error e -> Error e
+              | Ok f -> Ok f))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok None)
+
+let write fd mode payload =
+  let line = encode mode payload in
+  let b = Bytes.unsafe_of_string line in
+  let len = Bytes.length b in
+  let rec go pos =
+    if pos >= len then Ok ()
+    else
+      match Unix.write fd b pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  in
+  go 0

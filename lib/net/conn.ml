@@ -1,0 +1,204 @@
+module Bytebuf = Prelude.Bytebuf
+
+type close_reason = Eof | Fault of Codec.error | Local
+
+let close_reason_to_string = function
+  | Eof -> "eof"
+  | Fault e -> "fault: " ^ Codec.error_to_string e
+  | Local -> "local"
+
+type t = {
+  loop : Loop.t;
+  c_fd : Unix.file_descr;
+  dec : Codec.decoder;
+  out : Bytebuf.t;
+  out_limit : int;
+  chunk : Bytes.t;
+  on_frame : t -> string -> unit;
+  on_error : (t -> Codec.error -> unit) option;
+  on_closed : t -> close_reason -> unit;
+  mutable src : Loop.source option;
+  mutable c_mode : Codec.mode;
+  mutable latched : bool;
+  mutable c_paused : bool;
+  mutable closing : bool; (* close once [out] drains *)
+  mutable close_reason : close_reason; (* reason to report when closing *)
+  mutable c_closed : bool;
+}
+
+let mode t = t.c_mode
+let paused t = t.c_paused
+let closed t = t.c_closed
+let fd t = t.c_fd
+
+let do_close t reason =
+  if not t.c_closed then begin
+    t.c_closed <- true;
+    (match t.src with
+    | Some s ->
+        Loop.remove t.loop s;
+        t.src <- None
+    | None -> ());
+    (try Unix.close t.c_fd with Unix.Unix_error _ -> ());
+    t.on_closed t reason
+  end
+
+let close t = do_close t Local
+
+let set_interest t =
+  match t.src with
+  | None -> ()
+  | Some s ->
+      Loop.modify t.loop s
+        ~read:((not t.c_paused) && not t.closing)
+        ~write:(not (Bytebuf.is_empty t.out))
+        ()
+
+(* Drain [out] into the socket as far as it will go.  Returns [false] when
+   the connection died in the attempt. *)
+let flush t =
+  let rec go () =
+    if Bytebuf.is_empty t.out then true
+    else
+      let buf, off, len = Bytebuf.peek t.out in
+      match Unix.write t.c_fd buf off len with
+      | n ->
+          Loop.count_out n;
+          Bytebuf.consume t.out n;
+          go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          true
+      | exception Unix.Unix_error (e, _, _) ->
+          do_close t (Fault (Codec.Io (Unix.error_message e)));
+          false
+  in
+  go ()
+
+let after_flush t =
+  if (not t.c_closed) && Bytebuf.is_empty t.out && t.closing then
+    do_close t t.close_reason
+
+let send t payload =
+  if not t.c_closed then begin
+    Codec.encode_into t.out t.c_mode payload;
+    if Bytebuf.length t.out > t.out_limit then
+      (* peer is not reading; cut it loose rather than buffer without bound *)
+      do_close t (Fault (Codec.Io "output buffer limit exceeded"))
+    else if flush t then begin
+      after_flush t;
+      if not t.c_closed then set_interest t
+    end
+  end
+
+(* Enter teardown with [reason]: give [on_error] one shot at a farewell
+   frame when the reason is a fault, then close once output drains. *)
+let shut t reason =
+  if not t.c_closed then begin
+    (match (reason, t.on_error) with
+    | Fault e, Some f -> ( try f t e with _ -> ())
+    | _ -> ());
+    if not t.c_closed then begin
+      t.closing <- true;
+      t.close_reason <- reason;
+      t.c_paused <- true;
+      if Bytebuf.is_empty t.out then do_close t reason
+      else begin
+        if flush t then after_flush t;
+        if not t.c_closed then set_interest t
+      end
+    end
+  end
+
+let close_after_flush t = shut t Local
+
+let deliver_frames t =
+  let rec go () =
+    if (not t.c_closed) && not t.c_paused then
+      match Codec.next t.dec with
+      | Ok None -> ()
+      | Ok (Some (m, payload)) ->
+          if not t.latched then begin
+            t.c_mode <- m;
+            t.latched <- true
+          end;
+          t.on_frame t payload;
+          go ()
+      | Error e -> shut t (Fault e)
+  in
+  go ()
+
+let handle_read t =
+  if (not t.c_closed) && not t.c_paused then begin
+    (* One chunk per readiness callback: level-triggered poll re-reports, and
+       bounding the read keeps one fast writer from starving the others. *)
+    (match Unix.read t.c_fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 ->
+        if Codec.buffered t.dec = 0 then do_close t Eof
+        else shut t (Fault Codec.Eof_mid_frame)
+    | n ->
+        Loop.count_in n;
+        Bytebuf.add_subbytes (Codec.buffer t.dec) t.chunk 0 n;
+        deliver_frames t
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        if Codec.buffered t.dec = 0 then do_close t Eof
+        else shut t (Fault Codec.Eof_mid_frame)
+    | exception Unix.Unix_error (e, _, _) ->
+        shut t (Fault (Codec.Io (Unix.error_message e))));
+    if not t.c_closed then set_interest t
+  end
+
+let handle_write t =
+  if not t.c_closed then
+    if flush t then begin
+      after_flush t;
+      if not t.c_closed then set_interest t
+    end
+
+let pause t =
+  if (not t.c_closed) && not t.c_paused then begin
+    t.c_paused <- true;
+    set_interest t
+  end
+
+let resume t =
+  if (not t.c_closed) && t.c_paused && not t.closing then begin
+    t.c_paused <- false;
+    deliver_frames t;
+    if not t.c_closed then set_interest t
+  end
+
+let attach loop fd ?max_frame ?(out_limit = 8 * 1024 * 1024) ~on_frame
+    ?on_error ~on_closed () =
+  Unix.set_nonblock fd;
+  let t =
+    {
+      loop;
+      c_fd = fd;
+      dec = Codec.decoder ?max_frame ();
+      out = Bytebuf.create ();
+      out_limit;
+      chunk = Bytes.create 16384;
+      on_frame;
+      on_error;
+      on_closed;
+      src = None;
+      c_mode = Codec.Json;
+      latched = false;
+      c_paused = false;
+      closing = false;
+      close_reason = Local;
+      c_closed = false;
+    }
+  in
+  let src =
+    Loop.add loop fd ~read:true ~write:false
+      ~on_read:(fun () -> handle_read t)
+      ~on_write:(fun () -> handle_write t)
+      ()
+  in
+  t.src <- Some src;
+  t

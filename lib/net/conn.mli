@@ -1,0 +1,65 @@
+(** Per-connection state machine on a {!Loop}.
+
+    A connection moves between [reading] (read interest on, frames decoded
+    and handed to [on_frame]), [paused] (backpressure: the owner dispatched
+    work to a pool and does not want further frames until the reply is out),
+    and [writing] (unflushed output pending, write interest on).  Buffers are
+    bounded: input by the codec's [max_frame], output by [out_limit] — a peer
+    that stops reading gets disconnected rather than ballooning the process.
+
+    The reply format is latched from the first frame the peer sends
+    ({!mode}), implementing hello-time negotiation; {!send} frames payloads
+    in that format.
+
+    All functions must be called on the loop thread. *)
+
+type t
+
+type close_reason =
+  | Eof  (** Peer closed cleanly at a frame boundary. *)
+  | Fault of Codec.error  (** Framing/transport error; connection dropped. *)
+  | Local  (** We closed it ({!close} / {!close_after_flush}). *)
+
+val close_reason_to_string : close_reason -> string
+
+val attach :
+  Loop.t ->
+  Unix.file_descr ->
+  ?max_frame:int ->
+  ?out_limit:int ->
+  on_frame:(t -> string -> unit) ->
+  ?on_error:(t -> Codec.error -> unit) ->
+  on_closed:(t -> close_reason -> unit) ->
+  unit ->
+  t
+(** Register [fd] (switched to non-blocking here) on the loop.  [on_frame]
+    receives each decoded payload.  [on_error], if given, runs just before a
+    faulty connection closes and may {!send} one last frame (e.g. a 400) —
+    best-effort, flushed before the close.  [on_closed] always runs exactly
+    once.  [out_limit] defaults to 8 MiB. *)
+
+val mode : t -> Codec.mode
+(** Latched reply format; [Json] until the first frame arrives. *)
+
+val send : t -> string -> unit
+(** Frame a payload in the connection's mode and flush opportunistically;
+    whatever the socket refuses is buffered and drained on writability.
+    No-op on a closed connection. *)
+
+val pause : t -> unit
+(** Stop reading and decoding (backpressure).  Already-buffered bytes stay
+    buffered. *)
+
+val resume : t -> unit
+(** Re-enable reading; frames already buffered are delivered first. *)
+
+val paused : t -> bool
+val closed : t -> bool
+val fd : t -> Unix.file_descr
+
+val close : t -> unit
+(** Close now, discarding unflushed output.  Idempotent. *)
+
+val close_after_flush : t -> unit
+(** Stop reading; close as soon as buffered output has drained (immediately
+    if none). *)

@@ -1,0 +1,264 @@
+(* Readiness loop over poll(2).  See loop.mli for the thread discipline. *)
+
+let g_fds = Obs.Metrics.gauge "net.loop.fds"
+let m_wakeups = Obs.Metrics.counter "net.loop.wakeups"
+let g_lag = Obs.Metrics.gauge "net.loop.lag_seconds"
+let m_bytes_in = Obs.Metrics.counter "net.loop.bytes_in"
+let m_bytes_out = Obs.Metrics.counter "net.loop.bytes_out"
+
+(* Registered sources across every live loop in the process: the gauge is a
+   process-wide fact, like the rest of the metrics registry. *)
+let fds_total = Atomic.make 0
+
+let count_in n = Obs.Metrics.add m_bytes_in n
+let count_out n = Obs.Metrics.add m_bytes_out n
+
+type source = {
+  s_fd : Unix.file_descr;
+  mutable s_read : bool;
+  mutable s_write : bool;
+  s_on_read : unit -> unit;
+  s_on_write : unit -> unit;
+  mutable s_live : bool;
+}
+
+type timer = {
+  t_deadline : float;
+  t_fn : unit -> unit;
+  mutable t_cancelled : bool;
+}
+
+type t = {
+  mutable sources : source list;
+  mutable timers : timer list; (* ascending deadline *)
+  posted : (float * (unit -> unit)) Queue.t;
+  post_mutex : Mutex.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  nudged : bool Atomic.t;
+  mutable on_wake : unit -> unit;
+  mutable finished : bool;
+  (* poll scratch, grown on demand, reused across iterations *)
+  mutable p_fds : Unix.file_descr array;
+  mutable p_events : int array;
+  mutable p_revents : int array;
+  mutable p_srcs : source array;
+}
+
+let dummy_fd = Unix.stdin
+
+let dummy_source =
+  {
+    s_fd = dummy_fd;
+    s_read = false;
+    s_write = false;
+    s_on_read = ignore;
+    s_on_write = ignore;
+    s_live = false;
+  }
+
+let create () =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    sources = [];
+    timers = [];
+    posted = Queue.create ();
+    post_mutex = Mutex.create ();
+    wake_r;
+    wake_w;
+    stop_flag = Atomic.make false;
+    nudged = Atomic.make false;
+    on_wake = ignore;
+    finished = false;
+    p_fds = Array.make 16 dummy_fd;
+    p_events = Array.make 16 0;
+    p_revents = Array.make 16 0;
+    p_srcs = Array.make 16 dummy_source;
+  }
+
+let add t fd ?(read = true) ?(write = false) ~on_read ~on_write () =
+  let s =
+    {
+      s_fd = fd;
+      s_read = read;
+      s_write = write;
+      s_on_read = on_read;
+      s_on_write = on_write;
+      s_live = true;
+    }
+  in
+  t.sources <- s :: t.sources;
+  Obs.Metrics.set g_fds (float_of_int (Atomic.fetch_and_add fds_total 1 + 1));
+  s
+
+let modify _t s ?read ?write () =
+  (match read with Some r -> s.s_read <- r | None -> ());
+  match write with Some w -> s.s_write <- w | None -> ()
+
+let remove t s =
+  if s.s_live then begin
+    s.s_live <- false;
+    t.sources <- List.filter (fun s' -> s' != s) t.sources;
+    Obs.Metrics.set g_fds (float_of_int (Atomic.fetch_and_add fds_total (-1) - 1))
+  end
+
+let after t delay fn =
+  let tm =
+    { t_deadline = Unix.gettimeofday () +. delay; t_fn = fn; t_cancelled = false }
+  in
+  let rec insert = function
+    | [] -> [ tm ]
+    | hd :: _ as l when tm.t_deadline < hd.t_deadline -> tm :: l
+    | hd :: tl -> hd :: insert tl
+  in
+  t.timers <- insert t.timers;
+  tm
+
+let cancel tm = tm.t_cancelled <- true
+
+(* A single wakeup byte is enough; [nudged] coalesces storms of posts into
+   one pipe write.  No locks here: [stop]/[nudge] run from signal handlers. *)
+let nudge t =
+  if not (Atomic.exchange t.nudged true) then
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let post t fn =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.post_mutex;
+  let accept = not t.finished in
+  if accept then Queue.push (now, fn) t.posted;
+  Mutex.unlock t.post_mutex;
+  if accept then nudge t
+
+let set_on_wake t fn = t.on_wake <- fn
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  nudge t
+
+let stopping t = Atomic.get t.stop_flag
+
+let drain_wake_pipe t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 64 with
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Atomic.set t.nudged false;
+  Obs.Metrics.add m_wakeups 1
+
+let run_posted t =
+  let batch = Queue.create () in
+  Mutex.lock t.post_mutex;
+  Queue.transfer t.posted batch;
+  Mutex.unlock t.post_mutex;
+  if not (Queue.is_empty batch) then begin
+    let now = Unix.gettimeofday () in
+    let lag = ref 0. in
+    Queue.iter (fun (posted_at, _) -> lag := max !lag (now -. posted_at)) batch;
+    Obs.Metrics.set g_lag !lag;
+    Queue.iter (fun (_, fn) -> fn ()) batch
+  end
+
+let run_due_timers t =
+  let now = Unix.gettimeofday () in
+  let rec go () =
+    match t.timers with
+    | tm :: rest when tm.t_deadline <= now ->
+        t.timers <- rest;
+        if not tm.t_cancelled then begin
+          Obs.Metrics.set g_lag (now -. tm.t_deadline);
+          tm.t_fn ()
+        end;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let next_timeout_ms t =
+  let rec live = function
+    | tm :: rest -> if tm.t_cancelled then live rest else Some tm
+    | [] -> None
+  in
+  match live t.timers with
+  | None -> -1
+  | Some tm ->
+      let dt = tm.t_deadline -. Unix.gettimeofday () in
+      if dt <= 0. then 0 else int_of_float (ceil (dt *. 1000.))
+
+let ensure_scratch t n =
+  if Array.length t.p_fds < n then begin
+    let cap = max n (2 * Array.length t.p_fds) in
+    t.p_fds <- Array.make cap dummy_fd;
+    t.p_events <- Array.make cap 0;
+    t.p_revents <- Array.make cap 0;
+    t.p_srcs <- Array.make cap dummy_source
+  end
+
+let iteration t =
+  t.on_wake ();
+  run_posted t;
+  run_due_timers t;
+  if Atomic.get t.stop_flag then ()
+  else begin
+    (* build the poll set: wakeup pipe first, then every interested source *)
+    let n = ref 1 in
+    List.iter
+      (fun s -> if s.s_live && (s.s_read || s.s_write) then incr n)
+      t.sources;
+    ensure_scratch t !n;
+    t.p_fds.(0) <- t.wake_r;
+    t.p_events.(0) <- Poll.readable;
+    let i = ref 1 in
+    List.iter
+      (fun s ->
+        if s.s_live && (s.s_read || s.s_write) then begin
+          t.p_fds.(!i) <- s.s_fd;
+          t.p_events.(!i) <-
+            (if s.s_read then Poll.readable else 0)
+            lor if s.s_write then Poll.writable else 0;
+          t.p_srcs.(!i) <- s;
+          incr i
+        end)
+      t.sources;
+    let n = !i in
+    (* trim the poll call to [n] entries by zeroing stale interest *)
+    let fds = Array.sub t.p_fds 0 n in
+    let events = Array.sub t.p_events 0 n in
+    let revents = Array.sub t.p_revents 0 n in
+    let timeout_ms = next_timeout_ms t in
+    let ready = Poll.wait fds events revents ~timeout_ms in
+    if ready > 0 then begin
+      if revents.(0) land Poll.readable <> 0 then drain_wake_pipe t;
+      for j = 1 to n - 1 do
+        let r = revents.(j) in
+        if r <> 0 then begin
+          let s = t.p_srcs.(j) in
+          if s.s_live && r land (Poll.readable lor Poll.errored) <> 0 then
+            s.s_on_read ();
+          if s.s_live && r land Poll.writable <> 0 then s.s_on_write ()
+        end
+      done
+    end
+  end
+
+let run t =
+  while not (Atomic.get t.stop_flag) do
+    iteration t
+  done;
+  (* final drains: completions that raced the stop still run *)
+  t.on_wake ();
+  run_posted t;
+  Mutex.lock t.post_mutex;
+  t.finished <- true;
+  Mutex.unlock t.post_mutex;
+  run_posted t;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

@@ -1,0 +1,82 @@
+(** Single-threaded readiness loop: poll(2) over non-blocking fds, a timer
+    queue, and a wakeup pipe for cross-thread nudges.
+
+    One loop owns all the connections of a server.  Compute never runs here —
+    it is shipped to a [Prelude.Pool] and the completion re-enters the loop
+    through {!post}, which enqueues a closure and nudges the wakeup pipe.
+    With no due timer the loop blocks in poll indefinitely, so shutdown and
+    drain latency is bounded by outstanding work, not by a poll period.
+
+    Thread discipline: {!add}, {!modify}, {!remove}, {!after} and {!cancel}
+    must be called on the loop thread (i.e. from a source callback, a timer,
+    or a posted closure).  {!post}, {!nudge} and {!stop} are safe from any
+    thread; {!nudge} and {!stop} are additionally async-signal-safe (no
+    locks, a single atomic flag plus one pipe write).
+
+    Health is exported through [Obs.Metrics] under [net.loop.*]:
+    [fds] (gauge, registered sources across all loops), [wakeups] (counter,
+    pipe nudges observed), [lag_seconds] (gauge, delay between a post/timer
+    deadline and the loop servicing it), [bytes_in]/[bytes_out] (counters,
+    maintained by [Net.Conn]). *)
+
+type t
+
+type source
+(** A registered fd with read/write interest and readiness callbacks. *)
+
+type timer
+
+val create : unit -> t
+
+val add :
+  t ->
+  Unix.file_descr ->
+  ?read:bool ->
+  ?write:bool ->
+  on_read:(unit -> unit) ->
+  on_write:(unit -> unit) ->
+  unit ->
+  source
+(** Register a non-blocking fd.  Interest defaults to [read:true]
+    [write:false].  An error readiness bit invokes [on_read] so the ensuing
+    read surfaces the failure. *)
+
+val modify : t -> source -> ?read:bool -> ?write:bool -> unit -> unit
+(** Update interest bits (unnamed bits keep their value). *)
+
+val remove : t -> source -> unit
+(** Deregister.  Does not close the fd.  Idempotent. *)
+
+val after : t -> float -> (unit -> unit) -> timer
+(** One-shot timer firing [delay] seconds from now. *)
+
+val cancel : timer -> unit
+(** Idempotent. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Enqueue a closure for the loop thread and nudge it awake.  Safe from any
+    thread.  Closures posted after {!run} returns are dropped. *)
+
+val nudge : t -> unit
+(** Wake the loop with no payload (async-signal-safe): the loop runs its
+    [on_wake] hook and re-examines the world. *)
+
+val set_on_wake : t -> (unit -> unit) -> unit
+(** Hook run once per iteration, before timers and posted closures.  Servers
+    use it to notice a signal-set stop flag. *)
+
+val stop : t -> unit
+(** Ask {!run} to return after the current iteration.  Async-signal-safe. *)
+
+val stopping : t -> bool
+
+val run : t -> unit
+(** Drive the loop on the calling thread until {!stop}.  Pending posted
+    closures are drained once more after the last iteration so completions
+    racing a stop still run. *)
+
+val count_in : int -> unit
+(** Account bytes read off the wire ([net.loop.bytes_in]). *)
+
+val count_out : int -> unit
+(** Account bytes written to the wire ([net.loop.bytes_out]). *)

@@ -1,0 +1,67 @@
+/* poll(2) binding for Net.Loop.
+ *
+ * Unix.select is FD_SETSIZE-bound (1024 on glibc), which caps the whole
+ * point of the readiness loop; poll has no such limit.  The interface is
+ * deliberately tiny: parallel arrays of fds / interest masks / out masks,
+ * timeout in milliseconds, return = number of ready fds, -1 = EINTR (the
+ * OCaml side re-enters its iteration and recomputes timers).
+ *
+ * Masks: interest  1 = readable, 2 = writable;
+ *        readiness 1 = readable (POLLIN|POLLHUP), 2 = writable (POLLOUT),
+ *                  4 = error (POLLERR|POLLNVAL).
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+
+CAMLprim value portopt_net_poll(value v_fds, value v_events, value v_revents,
+                                value v_timeout_ms)
+{
+  CAMLparam4(v_fds, v_events, v_revents, v_timeout_ms);
+  int n = Wosize_val(v_fds);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds = NULL;
+  int ret, i;
+
+  if (Wosize_val(v_events) < (uintnat)n || Wosize_val(v_revents) < (uintnat)n)
+    caml_invalid_argument("Net.Poll.wait: array length mismatch");
+
+  if (n > 0) {
+    pfds = malloc((size_t)n * sizeof *pfds);
+    if (pfds == NULL) caml_raise_out_of_memory();
+  }
+  for (i = 0; i < n; i++) {
+    int e = Int_val(Field(v_events, i));
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = (short)(((e & 1) ? POLLIN : 0) | ((e & 2) ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  ret = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (ret < 0) {
+    int err = errno;
+    free(pfds);
+    if (err == EINTR) CAMLreturn(Val_int(-1));
+    caml_failwith("Net.Poll.wait: poll failed");
+  }
+
+  for (i = 0; i < n; i++) {
+    int r = 0;
+    if (pfds[i].revents & (POLLIN | POLLHUP)) r |= 1;
+    if (pfds[i].revents & POLLOUT) r |= 2;
+    if (pfds[i].revents & (POLLERR | POLLNVAL)) r |= 4;
+    /* immediate values: plain store, no caml_modify needed */
+    Field(v_revents, i) = Val_int(r);
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ret));
+}

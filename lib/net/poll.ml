@@ -1,0 +1,17 @@
+let readable = 1
+let writable = 2
+let errored = 4
+
+external poll_stub :
+  Unix.file_descr array -> int array -> int array -> int -> int
+  = "portopt_net_poll"
+
+let wait fds events revents ~timeout_ms =
+  let r = poll_stub fds events revents timeout_ms in
+  if r >= 0 then r
+  else begin
+    (* EINTR: report nothing ready; the loop re-iterates and recomputes its
+       timeout from the timer queue, so no deadline is lost. *)
+    Array.fill revents 0 (Array.length revents) 0;
+    0
+  end

@@ -1,0 +1,23 @@
+(** Thin binding over poll(2).
+
+    [Unix.select] tops out at [FD_SETSIZE] (1024) descriptors, which defeats
+    the readiness loop's reason to exist; poll(2) is bounded only by the
+    process fd limit.  The binding works on parallel arrays so the loop can
+    reuse scratch storage across iterations without allocating. *)
+
+val readable : int
+(** Interest/readiness bit: fd is readable (or peer hung up). *)
+
+val writable : int
+(** Interest/readiness bit: fd is writable. *)
+
+val errored : int
+(** Readiness bit only: fd is in an error state ([POLLERR]/[POLLNVAL]). *)
+
+val wait :
+  Unix.file_descr array -> int array -> int array -> timeout_ms:int -> int
+(** [wait fds events revents ~timeout_ms] polls [fds.(0..n-1)] with interest
+    masks [events], filling [revents] with readiness masks.  [timeout_ms < 0]
+    blocks indefinitely.  Returns the number of ready descriptors; [EINTR]
+    returns 0 with [revents] zeroed so callers simply re-enter their
+    iteration.  Raises [Failure] on a genuine poll error. *)

@@ -1,0 +1,84 @@
+type t = {
+  mutable buf : Bytes.t;
+  mutable off : int; (* start of live data *)
+  mutable len : int; (* live byte count *)
+}
+
+let create ?(capacity = 4096) () =
+  let capacity = max capacity 16 in
+  { buf = Bytes.create capacity; off = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let clear t =
+  t.off <- 0;
+  t.len <- 0
+
+(* Ensure [n] free bytes at the tail.  Prefer compaction (shifting live data
+   to offset 0) over growth so a long-lived connection that keeps up with its
+   peer never reallocates. *)
+let reserve t n =
+  let cap = Bytes.length t.buf in
+  if cap - t.off - t.len < n then begin
+    if cap - t.len >= n then begin
+      Bytes.blit t.buf t.off t.buf 0 t.len;
+      t.off <- 0
+    end
+    else begin
+      let cap' = ref (max 16 (cap * 2)) in
+      while !cap' - t.len < n do
+        cap' := !cap' * 2
+      done;
+      let buf' = Bytes.create !cap' in
+      Bytes.blit t.buf t.off buf' 0 t.len;
+      t.buf <- buf';
+      t.off <- 0
+    end
+  end;
+  (t.buf, t.off + t.len)
+
+let commit t n =
+  if n < 0 || t.off + t.len + n > Bytes.length t.buf then
+    invalid_arg "Bytebuf.commit";
+  t.len <- t.len + n
+
+let add_char t c =
+  let buf, pos = reserve t 1 in
+  Bytes.unsafe_set buf pos c;
+  t.len <- t.len + 1
+
+let add_string t s =
+  let n = String.length s in
+  let buf, pos = reserve t n in
+  Bytes.blit_string s 0 buf pos n;
+  t.len <- t.len + n
+
+let add_subbytes t src pos n =
+  if pos < 0 || n < 0 || pos + n > Bytes.length src then
+    invalid_arg "Bytebuf.add_subbytes";
+  let buf, dst = reserve t n in
+  Bytes.blit src pos buf dst n;
+  t.len <- t.len + n
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bytebuf.get";
+  Bytes.unsafe_get t.buf (t.off + i)
+
+let sub_string t pos n =
+  if pos < 0 || n < 0 || pos + n > t.len then invalid_arg "Bytebuf.sub_string";
+  Bytes.sub_string t.buf (t.off + pos) n
+
+let index_from t start c =
+  if start < 0 || start > t.len then invalid_arg "Bytebuf.index_from";
+  match Bytes.index_from_opt t.buf (t.off + start) c with
+  | Some i when i < t.off + t.len -> Some (i - t.off)
+  | _ -> None
+
+let consume t n =
+  if n < 0 || n > t.len then invalid_arg "Bytebuf.consume";
+  t.off <- t.off + n;
+  t.len <- t.len - n;
+  if t.len = 0 then t.off <- 0
+
+let peek t = (t.buf, t.off, t.len)

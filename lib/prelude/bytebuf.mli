@@ -1,0 +1,48 @@
+(** Growable byte FIFO with amortised O(1) append and front consumption.
+
+    The non-blocking I/O plane ([Net.Conn]) keeps one of these per direction
+    per connection: the read side appends raw socket chunks at the tail while
+    the codec consumes whole frames from the head; the write side appends
+    encoded frames and drains whatever the socket accepts.  Live data occupies
+    [\[off, off+len)] of the backing store and is compacted lazily, so steady
+    state does no copying beyond the socket transfers themselves. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all content, keeping the allocated storage. *)
+
+val add_char : t -> char -> unit
+val add_string : t -> string -> unit
+val add_subbytes : t -> Bytes.t -> int -> int -> unit
+
+val reserve : t -> int -> Bytes.t * int
+(** [reserve t n] guarantees [n] writable bytes at the tail (growing or
+    compacting as needed) and returns the backing store plus the tail
+    position.  Write at most [n] bytes there, then call {!commit}. *)
+
+val commit : t -> int -> unit
+(** Account for [n] bytes written into the region returned by {!reserve}. *)
+
+val get : t -> int -> char
+(** Byte at logical position [i] (0 = oldest unconsumed).  Raises
+    [Invalid_argument] when out of bounds. *)
+
+val sub_string : t -> int -> int -> string
+(** Copy of logical range [\[pos, pos+len)]. *)
+
+val index_from : t -> int -> char -> int option
+(** Position of the first occurrence of the byte at logical position
+    [>= start], scanning only live data. *)
+
+val consume : t -> int -> unit
+(** Drop [n] bytes from the head.  Raises [Invalid_argument] if [n] exceeds
+    {!length}. *)
+
+val peek : t -> Bytes.t * int * int
+(** [(buf, off, len)] view of the live region, valid until the next mutation.
+    Intended for handing straight to [Unix.write]/[Unix.send]. *)

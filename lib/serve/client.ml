@@ -15,8 +15,9 @@ module J = Obs.Json
 type t = {
   address : Protocol.address;
   reconnect : Prelude.Backoff.policy;
+  wire : Net.Codec.mode;  (** Frame format for requests; replies match. *)
   mutable fd : Unix.file_descr;
-  mutable reader : Frame.reader;  (** Bounded line framing over [fd]. *)
+  mutable reader : Net.Codec.reader;  (** Bounded dual-format framing. *)
 }
 
 let dial address =
@@ -42,9 +43,12 @@ let dial address =
    server restart, not enough to hammer a dead address. *)
 let default_reconnect = { Prelude.Backoff.default with max_retries = 1 }
 
-let connect ?(reconnect = default_reconnect) address =
+(* Binary framing by default: same JSON payloads, cheaper framing, and
+   it exercises the negotiation path everywhere.  [~wire:Json] keeps a
+   connection human-readable for debugging. *)
+let connect ?(reconnect = default_reconnect) ?(wire = Net.Codec.Binary) address =
   let fd = dial address in
-  { address; reconnect; fd; reader = Frame.reader fd }
+  { address; reconnect; wire; fd; reader = Net.Codec.reader fd }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -52,7 +56,7 @@ let reconnect_now t =
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
   let fd = dial t.address in
   t.fd <- fd;
-  t.reader <- Frame.reader fd
+  t.reader <- Net.Codec.reader fd
 
 (* Failures split by what a retry could fix: [Transport] means the
    socket died (reconnect + resend can help, for idempotent ops);
@@ -61,20 +65,20 @@ let reconnect_now t =
 type failure = Transport of string | Malformed of int * string
 
 let round_trip t (j : J.t) : (J.t, failure) result =
-  match Frame.write_line t.fd (J.to_string j) with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Transport ("write failed: " ^ Unix.error_message e))
-  | () -> (
-    match Frame.read t.reader with
-    | Ok line -> (
+  match Net.Codec.write t.fd t.wire (J.to_string j) with
+  | Error e -> Error (Transport (Net.Codec.error_to_string e))
+  | Ok () -> (
+    match Net.Codec.read t.reader with
+    | Ok (_mode, line) -> (
       match J.of_string line with
       | Ok j -> Ok j
       | Error e -> Error (Malformed (0, "malformed response: " ^ e)))
-    | Error Frame.Closed -> Error (Transport "connection closed by server")
-    | Error (Frame.Io _ as e) -> Error (Transport (Frame.error_to_string e))
-    | Error (Frame.Eof_mid_frame as e) ->
-      Error (Transport (Frame.error_to_string e))
-    | Error e -> Error (Malformed (0, Frame.error_to_string e)))
+    | Error Net.Codec.Closed -> Error (Transport "connection closed by server")
+    | Error (Net.Codec.Io _ as e) ->
+      Error (Transport (Net.Codec.error_to_string e))
+    | Error (Net.Codec.Eof_mid_frame as e) ->
+      Error (Transport (Net.Codec.error_to_string e))
+    | Error e -> Error (Malformed (0, Net.Codec.error_to_string e)))
 
 let request t (j : J.t) : (J.t, string) result =
   match round_trip t j with

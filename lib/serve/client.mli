@@ -4,7 +4,11 @@
 
 type t
 
-val connect : ?reconnect:Prelude.Backoff.policy -> Protocol.address -> t
+val connect :
+  ?reconnect:Prelude.Backoff.policy ->
+  ?wire:Net.Codec.mode ->
+  Protocol.address ->
+  t
 (** Raises [Unix.Unix_error] if the server is unreachable.  [reconnect]
     governs how idempotent ops handle a connection that dies
     mid-exchange (ECONNRESET, server restart, EOF): redial the same
@@ -12,7 +16,11 @@ val connect : ?reconnect:Prelude.Backoff.policy -> Protocol.address -> t
     retry budget.  Default: {!Prelude.Backoff.default} capped at one
     retry — a hot server restart is invisible to read-only callers,
     a dead address fails after one redial.  Non-idempotent ops
-    ([shutdown], [sleep], [reload]) never resend. *)
+    ([shutdown], [sleep], [reload]) never resend.  [wire] picks the
+    frame format ({!Net.Codec.Binary} by default; [Json] is the
+    human-readable debug format) — the server latches whichever arrives
+    first and replies in kind, and the JSON payload is identical either
+    way. *)
 
 val close : t -> unit
 

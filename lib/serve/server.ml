@@ -1,42 +1,49 @@
-(** Concurrent prediction server.
+(** Concurrent prediction server on the shared readiness loop.
 
     Architecture (one process, three kinds of execution context):
 
-    - an {b accept thread} polls the listening socket (250 ms select
-      ticks so it notices a stop request promptly) and spawns one
-      {b connection thread} per client;
-    - connection threads read newline-delimited JSON requests, answer
-      cheap control ops ([health]) inline, and dispatch prediction work
-      onto the {b worker pool} ([Prelude.Pool] domains — real
-      parallelism, since threads alone share one domain), blocking on a
-      one-shot ivar until the worker fills in the result;
+    - a single {b loop thread} ([Net.Loop]) owns the listening socket and
+      every connection as non-blocking fds behind poll(2); connections are
+      per-fd state machines ([Net.Conn]) with bounded buffers, so connection
+      count is bounded by fds, not threads;
+    - cheap ops ([health], [metrics], cache hits, admission sheds, protocol
+      errors) are answered inline on the loop thread; prediction work is
+      dispatched to the {b worker pool} ([Prelude.Pool] domains — real
+      parallelism, since threads alone share one domain) with the connection
+      paused, and the completion re-enters the loop through its wakeup pipe
+      ([Net.Loop.post]) to send the response and resume reading;
     - admission control bounds the number of simultaneously admitted
-      requests to [jobs + queue]; beyond that the server sheds load
-      with an immediate 429-style JSON error instead of queueing
-      unboundedly.
+      requests to [jobs + queue]; beyond that the server sheds load with an
+      immediate 429-style JSON error instead of queueing unboundedly.
 
-    Repeated queries are answered from an LRU cache keyed on the
-    model's version id plus the quantised raw feature vector (1e-6 grid
-    — far below any physically meaningful counter difference),
-    bypassing admission entirely so a saturated server still answers
-    hot queries.
+    Wire format: both newline-JSON and length-prefixed binary frames
+    ([Net.Codec]), negotiated per connection from the first byte the client
+    sends; the payload is the same JSON document either way.
+
+    Repeated queries are answered from an LRU cache keyed on the model's
+    version id plus the quantised raw feature vector (1e-6 grid — far below
+    any physically meaningful counter difference), bypassing admission
+    entirely so a saturated server still answers hot queries.
 
     {b Hot swap and A/B routing.}  The active model lives in a single
-    [Atomic.t] routing record (stable arm, optional candidate arm,
-    split fraction).  Every request reads the record exactly once and
-    computes against that snapshot, so {!install} — triggered by the
-    [reload] wire op or the registry-watch thread — swaps models
-    between requests without dropping or tearing in-flight work: each
-    response is bit-identical to one of the installed models, never a
-    mixture.  With a candidate arm, a deterministic FNV hash of the
-    query key routes a fixed fraction of queries to the candidate;
-    responses carry their arm and version id, and [serve.ab.*] metrics
-    count and time each arm so [portopt promote] can compare them.
+    [Atomic.t] routing record (stable arm, optional candidate arm, split
+    fraction).  Every request reads the record exactly once and computes
+    against that snapshot, so {!install} — triggered by the [reload] wire op
+    or the registry-watch thread — swaps models between requests without
+    dropping or tearing in-flight work: each response is bit-identical to
+    one of the installed models, never a mixture.  With a candidate arm, a
+    deterministic FNV hash of the query key routes a fixed fraction of
+    queries to the candidate; responses carry their arm and version id, and
+    [serve.ab.*] metrics count and time each arm so [portopt promote] can
+    compare them.
 
-    [stop] initiates a graceful drain: the listener closes, in-flight
-    requests run to completion and are answered, connection threads
-    exit; [wait] (polling, so SIGINT/SIGTERM handlers installed by the
-    CLI get a chance to run) returns once everything is down. *)
+    [stop] (async-signal-safe: one atomic store plus a wakeup-pipe write)
+    initiates a graceful drain: the listener closes, idle connections close
+    after their output flushes, in-flight requests run to completion and
+    are answered, and the loop exits — latency bounded by outstanding work,
+    not by a poll period.  [wait] (polling, so SIGINT/SIGTERM handlers
+    installed by the CLI get a chance to run) returns once everything is
+    down. *)
 
 module J = Obs.Json
 
@@ -102,14 +109,43 @@ type routing = {
   r_split : float;
 }
 
+(* Per-connection bookkeeping on top of [Net.Conn]: [busy] marks a request
+   dispatched to the pool (the connection is paused until the completion
+   posts back); a draining server closes idle connections immediately and
+   busy ones when their completion lands. *)
+type cstate = { cs_conn : Net.Conn.t; mutable cs_busy : bool }
+
+(* Where pooled work runs.  A pool with worker domains is already
+   asynchronous; a jobs = 1 pool runs [Prelude.Pool.submit] inline in
+   the calling thread — which here would be the I/O loop, serialising
+   every connection behind the computation and defeating admission.  So
+   a domainless pool gets a single dispatch thread of its own: same
+   sequential semantics and submission order, off the loop thread. *)
+type dthread = {
+  d_q : (unit -> unit) Queue.t;
+  d_mutex : Mutex.t;
+  d_cond : Condition.t;
+  mutable d_closed : bool;
+  mutable d_thread : Thread.t option;
+}
+
+type dispatcher = Direct of Prelude.Pool.t | Threaded of dthread
+
 type t = {
   config : config;
   routing : routing Atomic.t;
   pool : Prelude.Pool.t;
   owns_pool : bool;
+  dispatch : dispatcher;
   listen_fd : Unix.file_descr;
   resolved : Protocol.address;  (** With the kernel-assigned TCP port. *)
+  loop : Net.Loop.t;
+  conns : (int, cstate) Hashtbl.t;  (** Loop thread only. *)
+  mutable next_conn : int;
+  mutable listen_src : Net.Loop.source option;
+  mutable draining : bool;  (** Loop thread only. *)
   stopping : bool Atomic.t;
+  loop_done : bool Atomic.t;
   inflight : int Atomic.t;  (** Admitted predict/sleep requests. *)
   live_conns : int Atomic.t;
   requests : int Atomic.t;  (** Per-server, for the health endpoint. *)
@@ -119,7 +155,7 @@ type t = {
   cache : (string, cached) Lru.t option;
   cache_mutex : Mutex.t;
   started : float;
-  mutable accept_thread : Thread.t option;
+  mutable loop_thread : Thread.t option;
   mutable watch_thread : Thread.t option;
 }
 
@@ -158,33 +194,6 @@ let bump per_server process_wide =
   Obs.Metrics.add process_wide 1
 
 let address t = t.resolved
-
-(* ---- one-shot ivar ---------------------------------------------------- *)
-
-(* Connection threads block here while a pool domain computes. *)
-type 'a ivar = {
-  iv_mutex : Mutex.t;
-  iv_cond : Condition.t;
-  mutable iv_value : 'a option;
-}
-
-let ivar () =
-  { iv_mutex = Mutex.create (); iv_cond = Condition.create (); iv_value = None }
-
-let ivar_fill iv v =
-  Mutex.lock iv.iv_mutex;
-  iv.iv_value <- Some v;
-  Condition.signal iv.iv_cond;
-  Mutex.unlock iv.iv_mutex
-
-let ivar_await iv =
-  Mutex.lock iv.iv_mutex;
-  while iv.iv_value = None do
-    Condition.wait iv.iv_cond iv.iv_mutex
-  done;
-  let v = Option.get iv.iv_value in
-  Mutex.unlock iv.iv_mutex;
-  v
 
 (* ---- cache ------------------------------------------------------------ *)
 
@@ -331,7 +340,63 @@ let set_queue_gauge t n =
 
 (** Lock-free admission: optimistically take a slot, hand it back when
     over capacity.  The transient overshoot is bounded by the number of
-    racing connection threads and never admits work. *)
+    racing threads and never admits work. *)
+(* Queued-task depth for the health document, whichever dispatcher is
+   in use. *)
+let queue_depth t =
+  match t.dispatch with
+  | Direct pool -> Prelude.Pool.pending pool
+  | Threaded d ->
+    Mutex.lock d.d_mutex;
+    let n = Queue.length d.d_q in
+    Mutex.unlock d.d_mutex;
+    n
+
+let dispatch_submit t task =
+  match t.dispatch with
+  | Direct pool -> Prelude.Pool.submit pool task
+  | Threaded d ->
+    Mutex.lock d.d_mutex;
+    if d.d_closed then begin
+      Mutex.unlock d.d_mutex;
+      raise Prelude.Pool.Closed
+    end;
+    Queue.push task d.d_q;
+    Condition.signal d.d_cond;
+    Mutex.unlock d.d_mutex
+
+(* Runs queued tasks in submission order; drains the queue before
+   exiting on close, so work accepted before shutdown always executes
+   (the same contract as [Prelude.Pool.shutdown]). *)
+let dispatch_loop d =
+  let rec next () =
+    Mutex.lock d.d_mutex;
+    while Queue.is_empty d.d_q && not d.d_closed do
+      Condition.wait d.d_cond d.d_mutex
+    done;
+    match Queue.take_opt d.d_q with
+    | Some task ->
+      Mutex.unlock d.d_mutex;
+      (try task () with _ -> ());
+      next ()
+    | None -> Mutex.unlock d.d_mutex
+  in
+  next ()
+
+let dispatch_close t =
+  match t.dispatch with
+  | Direct _ -> ()
+  | Threaded d ->
+    Mutex.lock d.d_mutex;
+    d.d_closed <- true;
+    Condition.broadcast d.d_cond;
+    Mutex.unlock d.d_mutex;
+    (match d.d_thread with
+    | Some th ->
+      Thread.join th;
+      d.d_thread <- None
+    | None -> ())
+
 let try_admit t =
   let n = Atomic.fetch_and_add t.inflight 1 in
   if n >= admit_capacity t then begin
@@ -391,7 +456,8 @@ let health_json t =
       ("shed", J.Int (Atomic.get t.shed));
       ("errors", J.Int (Atomic.get t.errors));
       ("inflight", J.Int (Atomic.get t.inflight));
-      ("queue_depth", J.Int (Prelude.Pool.pending t.pool));
+      ("connections", J.Int (Atomic.get t.live_conns));
+      ("queue_depth", J.Int (queue_depth t));
       ("jobs", J.Int t.config.jobs);
       ("queue_limit", J.Int t.config.queue);
       ("stopping", J.Bool (Atomic.get t.stopping));
@@ -443,15 +509,6 @@ let wire_neighbours (ns : Ml_model.Predict.neighbour array) =
       })
     ns
 
-(** Run [compute] on a pool worker and wait; exceptions travel back to
-    the connection thread through the ivar. *)
-let on_pool t compute =
-  let iv = ivar () in
-  Prelude.Pool.submit t.pool (fun () ->
-      ivar_fill iv
-        (match compute () with v -> Ok v | exception e -> Error e));
-  ivar_await iv
-
 (* One answered query's bookkeeping: per-arm count and latency, plus
    the response-record tags that pin it to its arm and model version. *)
 let answered arm ~dur_s =
@@ -478,7 +535,14 @@ let ab_event routing arm ~queries =
         ("queries", J.Int queries);
       ]
 
-let predict_response t ~id ~t0 counters uarch =
+(** How a classified request is answered: [Now] on the loop thread
+    (cheap, non-blocking), or [Pooled] — a closure shipped to a pool
+    domain while the connection is paused; the completion re-enters the
+    loop to send it.  Pooled closures own their admission slot and
+    release it in a [Fun.protect]. *)
+type outcome = Now of J.t | Pooled of (unit -> J.t)
+
+let predict_outcome t ~id ~t0 counters uarch =
   let routing = Atomic.get t.routing in
   let arm = choose routing (route_key counters uarch) in
   let features =
@@ -491,42 +555,45 @@ let predict_response t ~id ~t0 counters uarch =
     let dur = dur_s () in
     answered arm ~dur_s:dur;
     ab_event routing arm ~queries:1;
-    Protocol.prediction_to_json ?id
-      (wire_prediction arm c ~latency_ms:(dur *. 1e3) ~cached:true)
+    Now
+      (Protocol.prediction_to_json ?id
+         (wire_prediction arm c ~latency_ms:(dur *. 1e3) ~cached:true))
   | None ->
     if not (try_admit t) then begin
       bump t.shed m_shed;
-      Protocol.error_to_json ?id ~code:429
-        "overloaded: admission queue full, retry later"
+      Now
+        (Protocol.error_to_json ?id ~code:429
+           "overloaded: admission queue full, retry later")
     end
     else
-      Fun.protect
-        ~finally:(fun () -> release t)
+      Pooled
         (fun () ->
-          match
-            on_pool t (fun () ->
+          Fun.protect
+            ~finally:(fun () -> release t)
+            (fun () ->
+              match
                 Ml_model.Model.predict_full ~engine:t.config.engine
-                  arm.arm_artifact.Artifact.model features)
-          with
-          | Ok r ->
-            Obs.Metrics.add m_predictions 1;
-            let c =
-              {
-                c_setting = r.Ml_model.Predict.setting;
-                c_flags = Passes.Flags.to_string r.Ml_model.Predict.setting;
-                c_neighbours = wire_neighbours r.Ml_model.Predict.neighbours;
-              }
-            in
-            cache_put t key c;
-            let dur = dur_s () in
-            answered arm ~dur_s:dur;
-            ab_event routing arm ~queries:1;
-            Protocol.prediction_to_json ?id
-              (wire_prediction arm c ~latency_ms:(dur *. 1e3) ~cached:false)
-          | Error e ->
-            bump t.errors m_errors;
-            Protocol.error_to_json ?id ~code:500
-              ("prediction failed: " ^ Printexc.to_string e))
+                  arm.arm_artifact.Artifact.model features
+              with
+              | r ->
+                Obs.Metrics.add m_predictions 1;
+                let c =
+                  {
+                    c_setting = r.Ml_model.Predict.setting;
+                    c_flags = Passes.Flags.to_string r.Ml_model.Predict.setting;
+                    c_neighbours = wire_neighbours r.Ml_model.Predict.neighbours;
+                  }
+                in
+                cache_put t key c;
+                let dur = dur_s () in
+                answered arm ~dur_s:dur;
+                ab_event routing arm ~queries:1;
+                Protocol.prediction_to_json ?id
+                  (wire_prediction arm c ~latency_ms:(dur *. 1e3) ~cached:false)
+              | exception e ->
+                bump t.errors m_errors;
+                Protocol.error_to_json ?id ~code:500
+                  ("prediction failed: " ^ Printexc.to_string e)))
 
 (** Answer a query vector: route each query to its arm from {e one}
     routing snapshot (so the whole batch computes against at most the
@@ -536,7 +603,7 @@ let predict_response t ~id ~t0 counters uarch =
     different models.  Results come back in query order; each element
     is bit-identical to what the single-query path would have produced
     (same model entry point). *)
-let predict_batch_response t ~id ~t0 queries =
+let predict_batch_outcome t ~id ~t0 queries =
   let routing = Atomic.get t.routing in
   let n = Array.length queries in
   let arms =
@@ -580,36 +647,38 @@ let predict_batch_response t ~id ~t0 queries =
     | _ -> ());
     Protocol.batch_to_json ?id out
   in
-  if Array.length miss_idx = 0 then respond ~was_hit:(fun _ -> true)
+  if Array.length miss_idx = 0 then Now (respond ~was_hit:(fun _ -> true))
   else if not (try_admit t) then begin
     bump t.shed m_shed;
-    Protocol.error_to_json ?id ~code:429
-      "overloaded: admission queue full, retry later"
+    Now
+      (Protocol.error_to_json ?id ~code:429
+         "overloaded: admission queue full, retry later")
   end
   else
-    Fun.protect
-      ~finally:(fun () -> release t)
+    Pooled
       (fun () ->
-        (* Group the misses by arm — at most two groups — and compute
-           both inside the single pool task. *)
-        let groups =
-          let by_arm arm =
-            let idxs =
-              Array.of_list
-                (List.filter
-                   (fun i -> arms.(i) == arm)
-                   (Array.to_list miss_idx))
+        Fun.protect
+          ~finally:(fun () -> release t)
+          (fun () ->
+            (* Group the misses by arm — at most two groups — and compute
+               both inside the single pool task. *)
+            let groups =
+              let by_arm arm =
+                let idxs =
+                  Array.of_list
+                    (List.filter
+                       (fun i -> arms.(i) == arm)
+                       (Array.to_list miss_idx))
+                in
+                (arm, idxs)
+              in
+              by_arm routing.r_stable
+              ::
+              (match routing.r_candidate with
+              | None -> []
+              | Some c -> [ by_arm c ])
             in
-            (arm, idxs)
-          in
-          by_arm routing.r_stable
-          ::
-          (match routing.r_candidate with
-          | None -> []
-          | Some c -> [ by_arm c ])
-        in
-        match
-          on_pool t (fun () ->
+            match
               List.map
                 (fun (arm, idxs) ->
                   if Array.length idxs = 0 then (idxs, [||])
@@ -618,37 +687,42 @@ let predict_batch_response t ~id ~t0 queries =
                       Ml_model.Model.predict_batch ~engine:t.config.engine
                         arm.arm_artifact.Artifact.model
                         (Array.map (fun i -> features.(i)) idxs) ))
-                groups)
-        with
-        | Ok results ->
-          List.iter
-            (fun (idxs, (rs : Ml_model.Predict.result array)) ->
-              Obs.Metrics.add m_predictions (Array.length rs);
-              Array.iteri
-                (fun slot (r : Ml_model.Predict.result) ->
-                  let i = idxs.(slot) in
-                  let c =
-                    {
-                      c_setting = r.Ml_model.Predict.setting;
-                      c_flags =
-                        Passes.Flags.to_string r.Ml_model.Predict.setting;
-                      c_neighbours =
-                        wire_neighbours r.Ml_model.Predict.neighbours;
-                    }
-                  in
-                  cache_put t keys.(i) c;
-                  hits.(i) <- Some c)
-                rs)
-            results;
-          let was_hit = Array.make n true in
-          Array.iter (fun i -> was_hit.(i) <- false) miss_idx;
-          respond ~was_hit:(fun i -> was_hit.(i))
-        | Error e ->
-          bump t.errors m_errors;
-          Protocol.error_to_json ?id ~code:500
-            ("prediction failed: " ^ Printexc.to_string e))
+                groups
+            with
+            | results ->
+              List.iter
+                (fun (idxs, (rs : Ml_model.Predict.result array)) ->
+                  Obs.Metrics.add m_predictions (Array.length rs);
+                  Array.iteri
+                    (fun slot (r : Ml_model.Predict.result) ->
+                      let i = idxs.(slot) in
+                      let c =
+                        {
+                          c_setting = r.Ml_model.Predict.setting;
+                          c_flags =
+                            Passes.Flags.to_string r.Ml_model.Predict.setting;
+                          c_neighbours =
+                            wire_neighbours r.Ml_model.Predict.neighbours;
+                        }
+                      in
+                      cache_put t keys.(i) c;
+                      hits.(i) <- Some c)
+                    rs)
+                results;
+              let was_hit = Array.make n true in
+              Array.iter (fun i -> was_hit.(i) <- false) miss_idx;
+              respond ~was_hit:(fun i -> was_hit.(i))
+            | exception e ->
+              bump t.errors m_errors;
+              Protocol.error_to_json ?id ~code:500
+                ("prediction failed: " ^ Printexc.to_string e)))
 
-let stop t = Atomic.set t.stopping true
+(* [stop] must stay async-signal-safe: the CLI's SIGINT/SIGTERM handlers
+   call it directly.  One atomic store plus one wakeup-pipe write; the
+   loop's on_wake hook notices and begins the drain. *)
+let stop t =
+  Atomic.set t.stopping true;
+  Net.Loop.nudge t.loop
 
 let with_id id fields =
   match id with Some i -> ("id", i) :: fields | None -> fields
@@ -664,9 +738,11 @@ let reload_fields routing ~changed =
       | Some c -> J.Str c.arm_version );
   ]
 
-let handle_line t line =
-  let t0 = Unix.gettimeofday () in
-  bump t.requests m_requests;
+(** Classify one request line into an inline answer or a pool job.
+    Everything here runs on the loop thread and must not block; the
+    [reload] resolve is the one deliberate exception (admin-only, rare,
+    file-system bound). *)
+let classify t ~t0 line =
   let parsed = J.of_string line in
   (* The client's span address, when it sent one and a sink is open —
      recorded on the serve.request event so the stitcher hangs this
@@ -676,167 +752,234 @@ let handle_line t line =
     | Ok j when Obs.Trace.active () -> Protocol.request_trace j
     | _ -> None
   in
-  let response, op =
+  let outcome, op =
     match parsed with
     | Error e ->
-      ( Protocol.error_to_json ~code:400 ("malformed request: " ^ e),
+      ( Now (Protocol.error_to_json ~code:400 ("malformed request: " ^ e)),
         "malformed" )
     | Ok j -> (
       let id = Protocol.request_id j in
       match Protocol.request_of_json j with
-      | Error e -> (Protocol.error_to_json ?id ~code:400 e, "malformed")
-      | Ok Protocol.Health -> (health_json t, "health")
+      | Error e -> (Now (Protocol.error_to_json ?id ~code:400 e), "malformed")
+      | Ok Protocol.Health -> (Now (health_json t), "health")
       | Ok Protocol.Metrics ->
         let fields =
           [ ("ok", J.Bool true); ("metrics", Obs.Metrics.snapshot ()) ]
         in
-        (J.Obj (with_id id fields), "metrics")
+        (Now (J.Obj (with_id id fields)), "metrics")
       | Ok Protocol.Reload when not t.config.admin ->
-        ( Protocol.error_to_json ?id ~code:403
-            "reload is an admin op (start the server with --admin)",
+        ( Now
+            (Protocol.error_to_json ?id ~code:403
+               "reload is an admin op (start the server with --admin)"),
           "reload" )
       | Ok Protocol.Reload -> (
         match t.config.source with
         | None ->
-          ( Protocol.error_to_json ?id ~code:400
-              "no model source: the server was started from a fixed \
-               artifact (serve --registry enables reload)",
+          ( Now
+              (Protocol.error_to_json ?id ~code:400
+                 "no model source: the server was started from a fixed \
+                  artifact (serve --registry enables reload)"),
             "reload" )
         | Some resolve -> (
           match resolve () with
           | exception e ->
             bump t.errors m_errors;
-            ( Protocol.error_to_json ?id ~code:500
-                ("reload failed: " ^ Printexc.to_string e),
+            ( Now
+                (Protocol.error_to_json ?id ~code:500
+                   ("reload failed: " ^ Printexc.to_string e)),
               "reload" )
           | Error e ->
             bump t.errors m_errors;
-            (Protocol.error_to_json ?id ~code:500 ("reload failed: " ^ e),
-             "reload")
+            ( Now (Protocol.error_to_json ?id ~code:500 ("reload failed: " ^ e)),
+              "reload" )
           | Ok Unchanged ->
             let routing = Atomic.get t.routing in
-            (J.Obj (with_id id (reload_fields routing ~changed:false)),
-             "reload")
+            ( Now (J.Obj (with_id id (reload_fields routing ~changed:false))),
+              "reload" )
           | Ok (Swap { stable; candidate }) ->
             let routing, changed = swap_routing t ~stable ~candidate in
-            (J.Obj (with_id id (reload_fields routing ~changed)), "reload")))
+            (Now (J.Obj (with_id id (reload_fields routing ~changed))), "reload")))
       | Ok Protocol.Shutdown when not t.config.admin ->
-        ( Protocol.error_to_json ?id ~code:403
-            "shutdown is an admin op (start the server with --admin)",
+        ( Now
+            (Protocol.error_to_json ?id ~code:403
+               "shutdown is an admin op (start the server with --admin)"),
           "shutdown" )
       | Ok Protocol.Shutdown ->
         stop t;
-        (J.Obj [ ("ok", J.Bool true); ("stopping", J.Bool true) ], "shutdown")
+        ( Now (J.Obj [ ("ok", J.Bool true); ("stopping", J.Bool true) ]),
+          "shutdown" )
       | Ok (Protocol.Sleep _) when not t.config.admin ->
-        ( Protocol.error_to_json ?id ~code:403
-            "sleep is an admin op (start the server with --admin)",
+        ( Now
+            (Protocol.error_to_json ?id ~code:403
+               "sleep is an admin op (start the server with --admin)"),
           "sleep" )
       | Ok (Protocol.Sleep seconds) ->
         if not (try_admit t) then begin
           bump t.shed m_shed;
-          ( Protocol.error_to_json ?id ~code:429
-              "overloaded: admission queue full, retry later",
+          ( Now
+              (Protocol.error_to_json ?id ~code:429
+                 "overloaded: admission queue full, retry later"),
             "sleep" )
         end
         else
-          Fun.protect
-            ~finally:(fun () -> release t)
-            (fun () ->
-              ignore (on_pool t (fun () -> Thread.delay seconds));
-              let fields =
-                [ ("ok", J.Bool true); ("slept_s", J.Float seconds) ]
-              in
-              (J.Obj (with_id id fields), "sleep"))
+          ( Pooled
+              (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> release t)
+                  (fun () ->
+                    Thread.delay seconds;
+                    let fields =
+                      [ ("ok", J.Bool true); ("slept_s", J.Float seconds) ]
+                    in
+                    J.Obj (with_id id fields))),
+            "sleep" )
       | Ok (Protocol.Predict { counters; uarch }) ->
-        (predict_response t ~id ~t0 counters uarch, "predict")
+        (predict_outcome t ~id ~t0 counters uarch, "predict")
       | Ok (Protocol.Predict_batch { queries }) ->
-        (predict_batch_response t ~id ~t0 queries, "predict_batch"))
+        (predict_batch_outcome t ~id ~t0 queries, "predict_batch"))
   in
-  let dur = Unix.gettimeofday () -. t0 in
-  Obs.Metrics.observe h_request_seconds dur;
-  (* Leaf event rather than a span pair: connection threads share one
-     domain, so the span stack's domain-local nesting would interleave. *)
-  Obs.Span.event ~parent:None ?remote_parent:remote "serve.request"
-    [ ("op", J.Str op); ("dur_ms", J.Float (dur *. 1e3)) ];
-  response
+  (outcome, op, remote)
 
 (* ---- connection plumbing ---------------------------------------------- *)
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
-  done
+(* Send the response and record the request's full duration (admission
+   wait and pool time included).  Loop thread only. *)
+let finish _t conn ~t0 ~op ~remote response =
+  Net.Conn.send conn (J.to_string response);
+  let dur = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.observe h_request_seconds dur;
+  (* Leaf event rather than a span pair: handlers share the loop thread,
+     so the span stack's nesting would interleave across requests. *)
+  Obs.Span.event ~parent:None ?remote_parent:remote "serve.request"
+    [ ("op", J.Str op); ("dur_ms", J.Float (dur *. 1e3)) ]
 
-(** Serve one connection: bounded line frames ({!Frame}) with 250 ms
-    poll ticks so the thread notices [stop] even while idle; requests
-    on a connection are processed in order.  Framing violations —
-    oversized frame, mid-frame EOF — are protocol errors: the client
-    gets a 400 (when it can still be written to) and the connection
-    closes, leaving the accept loop untouched. *)
-let conn_loop t fd =
-  let reader = Frame.reader fd in
-  let closed = ref false in
-  (try
-     while not !closed do
-       if Atomic.get t.stopping then closed := true
-       else
-         match Frame.poll reader ~timeout:0.25 with
-         | Ok None -> ()
-         | Ok (Some line) ->
-           let line = String.trim line in
-           if line <> "" then begin
-             let response = handle_line t line in
-             write_all fd (J.to_string response);
-             write_all fd "\n"
-           end
-         | Error Frame.Closed -> closed := true
-         | Error e ->
-           bump t.errors m_errors;
-           (try
-              write_all fd
-                (J.to_string
-                   (Protocol.error_to_json ~code:400 (Frame.error_to_string e))
-                ^ "\n")
-            with Unix.Unix_error _ | Sys_error _ -> ());
-           closed := true
-     done
-   with
-  | Unix.Unix_error _ | Sys_error _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  ignore (Atomic.fetch_and_add t.live_conns (-1))
+let drain_finished t =
+  t.draining && Atomic.get t.live_conns = 0
 
-let accept_loop t =
-  while not (Atomic.get t.stopping) do
-    match Unix.select [ t.listen_fd ] [] [] 0.25 with
-    | [], _, _ -> ()
-    | _ -> (
-      match Unix.accept t.listen_fd with
-      | fd, _ ->
-        (* One request line, one response line: Nagle's algorithm only
-           adds delayed-ACK stalls (tens of ms per round trip) to this
-           traffic shape, so turn it off on TCP connections. *)
-        (match t.config.address with
-        | Protocol.Tcp _ -> (
-          try Unix.setsockopt fd Unix.TCP_NODELAY true
-          with Unix.Unix_error _ -> ())
-        | Protocol.Unix_path _ -> ());
-        Obs.Metrics.add m_connections 1;
-        ignore (Atomic.fetch_and_add t.live_conns 1);
-        ignore (Thread.create (conn_loop t) fd)
-      | exception Unix.Unix_error _ -> ())
-  done;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  match t.config.address with
-  | Protocol.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
-  | Protocol.Tcp _ -> ()
+(* One frame from a connection.  [Now] outcomes answer inline; [Pooled]
+   outcomes pause the connection (one request in flight per connection,
+   responses in request order), ship the closure to a pool domain and
+   re-enter the loop with the completion. *)
+let on_frame t cs payload =
+  let line = String.trim payload in
+  if line <> "" then begin
+    let t0 = Unix.gettimeofday () in
+    bump t.requests m_requests;
+    let outcome, op, remote = classify t ~t0 line in
+    match outcome with
+    | Now response -> finish t cs.cs_conn ~t0 ~op ~remote response
+    | Pooled job ->
+      Net.Conn.pause cs.cs_conn;
+      cs.cs_busy <- true;
+      let complete response =
+        Net.Loop.post t.loop (fun () ->
+            cs.cs_busy <- false;
+            finish t cs.cs_conn ~t0 ~op ~remote response;
+            if t.draining then Net.Conn.close_after_flush cs.cs_conn
+            else Net.Conn.resume cs.cs_conn)
+      in
+      (try
+         dispatch_submit t (fun () ->
+             complete
+               (try job ()
+                with e ->
+                  bump t.errors m_errors;
+                  Protocol.error_to_json ~code:500
+                    ("internal error: " ^ Printexc.to_string e)))
+       with Prelude.Pool.Closed ->
+         cs.cs_busy <- false;
+         finish t cs.cs_conn ~t0 ~op ~remote
+           (Protocol.error_to_json ~code:503 "server shutting down");
+         Net.Conn.close_after_flush cs.cs_conn)
+  end
+
+let setup_conn t fd =
+  (* One request frame, one response frame: Nagle's algorithm only adds
+     delayed-ACK stalls (tens of ms per round trip) to this traffic
+     shape, so turn it off on TCP connections. *)
+  (match t.config.address with
+  | Protocol.Tcp _ -> (
+    try Unix.setsockopt fd Unix.TCP_NODELAY true
+    with Unix.Unix_error _ -> ())
+  | Protocol.Unix_path _ -> ());
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  let cs_ref = ref None in
+  let conn =
+    Net.Conn.attach t.loop fd
+      ~on_frame:(fun _conn payload ->
+        match !cs_ref with Some cs -> on_frame t cs payload | None -> ())
+      ~on_error:(fun conn e ->
+        (* Framing violations — oversized frame, bad binary length,
+           mid-frame EOF — are protocol errors: the client gets a 400
+           (when it can still be written to) and the connection closes,
+           leaving the rest of the loop untouched. *)
+        bump t.errors m_errors;
+        Net.Conn.send conn
+          (J.to_string
+             (Protocol.error_to_json ~code:400 (Net.Codec.error_to_string e))))
+      ~on_closed:(fun _conn _reason ->
+        Hashtbl.remove t.conns id;
+        ignore (Atomic.fetch_and_add t.live_conns (-1));
+        if drain_finished t then Net.Loop.stop t.loop)
+      ()
+  in
+  let cs = { cs_conn = conn; cs_busy = false } in
+  cs_ref := Some cs;
+  Hashtbl.add t.conns id cs;
+  Obs.Metrics.add m_connections 1;
+  ignore (Atomic.fetch_and_add t.live_conns 1)
+
+(* Accept everything ready, retrying EINTR; if per-connection setup
+   raises (fd limits, a peer that vanished between accept and setsockopt)
+   the accepted fd is closed rather than leaked. *)
+let rec accept_burst t =
+  if not t.draining then
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      (try setup_conn t fd
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         bump t.errors m_errors;
+         ignore e);
+      accept_burst t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_burst t
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+      (* Transient accept failure (ECONNABORTED, fd pressure): drop it;
+         the loop re-polls. *)
+      ()
+
+(* Begin the graceful drain (loop thread, once): close the listener,
+   close idle connections (after their output flushes), let busy ones
+   finish — their completions close them.  The loop stops when the last
+   connection is gone, so drain latency is bounded by work. *)
+let begin_drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    (match t.listen_src with
+    | Some s ->
+      Net.Loop.remove t.loop s;
+      t.listen_src <- None
+    | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.config.address with
+    | Protocol.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | Protocol.Tcp _ -> ());
+    let idle =
+      Hashtbl.fold (fun _ cs acc -> if cs.cs_busy then acc else cs :: acc)
+        t.conns []
+    in
+    List.iter (fun cs -> Net.Conn.close_after_flush cs.cs_conn) idle;
+    if drain_finished t then Net.Loop.stop t.loop
+  end
 
 (* The registry-watch mode: poll the model source on its interval (in
    small ticks so [stop] is noticed promptly) and install whatever it
    resolves.  A failing poll counts an error and emits a trace event
-   but never kills serving — the last good model stays live. *)
+   but never kills serving — the last good model stays live.  This
+   stays a thread of its own: registry resolution is file-system bound
+   and must not stall the loop. *)
 let watch_loop t resolve interval =
   while not (Atomic.get t.stopping) do
     let deadline = Unix.gettimeofday () +. interval in
@@ -874,13 +1017,13 @@ let start ?pool ?candidate ~artifact config =
       if Sys.file_exists path then (try Unix.unlink path with _ -> ());
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 64;
+      Unix.listen fd 1024;
       (fd, config.address)
     | Protocol.Tcp (host, port) ->
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       Unix.bind fd (Protocol.sockaddr config.address);
-      Unix.listen fd 64;
+      Unix.listen fd 1024;
       let port =
         match Unix.getsockname fd with
         | Unix.ADDR_INET (_, p) -> p
@@ -888,12 +1031,29 @@ let start ?pool ?candidate ~artifact config =
       in
       (fd, Protocol.Tcp (host, port))
   in
+  Unix.set_nonblock listen_fd;
   let pool, owns_pool =
     match pool with
     | Some p -> (p, false)
     | None -> (Prelude.Pool.create ~jobs:(max 1 config.jobs), true)
   in
   let config = { config with jobs = Prelude.Pool.size pool } in
+  let dispatch =
+    if Prelude.Pool.size pool > 1 then Direct pool
+    else begin
+      let d =
+        {
+          d_q = Queue.create ();
+          d_mutex = Mutex.create ();
+          d_cond = Condition.create ();
+          d_closed = false;
+          d_thread = None;
+        }
+      in
+      d.d_thread <- Some (Thread.create dispatch_loop d);
+      Threaded d
+    end
+  in
   let routing =
     {
       r_stable = make_arm "stable" artifact;
@@ -901,15 +1061,23 @@ let start ?pool ?candidate ~artifact config =
       r_split = config.split;
     }
   in
+  let loop = Net.Loop.create () in
   let t =
     {
       config;
       routing = Atomic.make routing;
       pool;
       owns_pool;
+      dispatch;
       listen_fd;
       resolved;
+      loop;
+      conns = Hashtbl.create 64;
+      next_conn = 0;
+      listen_src = None;
+      draining = false;
       stopping = Atomic.make false;
+      loop_done = Atomic.make false;
       inflight = Atomic.make 0;
       live_conns = Atomic.make 0;
       requests = Atomic.make 0;
@@ -922,11 +1090,24 @@ let start ?pool ?candidate ~artifact config =
          else None);
       cache_mutex = Mutex.create ();
       started = Unix.gettimeofday ();
-      accept_thread = None;
+      loop_thread = None;
       watch_thread = None;
     }
   in
-  t.accept_thread <- Some (Thread.create accept_loop t);
+  t.listen_src <-
+    Some
+      (Net.Loop.add loop listen_fd ~read:true ~write:false
+         ~on_read:(fun () -> accept_burst t)
+         ~on_write:ignore ());
+  Net.Loop.set_on_wake loop (fun () ->
+      if Atomic.get t.stopping then begin_drain t);
+  t.loop_thread <-
+    Some
+      (Thread.create
+         (fun () ->
+           Net.Loop.run loop;
+           Atomic.set t.loop_done true)
+         ());
   (match (config.source, config.watch) with
   | Some resolve, Some interval when interval > 0.0 ->
     t.watch_thread <- Some (Thread.create (watch_loop t resolve) interval)
@@ -937,17 +1118,18 @@ let start ?pool ?candidate ~artifact config =
     OCaml signal handlers (the CLI's SIGINT/SIGTERM -> [stop]) only run
     there; a thread parked in [Condition.wait] would never notice. *)
 let wait t =
-  (match t.accept_thread with
+  while not (Atomic.get t.loop_done) do
+    Thread.delay 0.02
+  done;
+  (match t.loop_thread with
   | Some th ->
     Thread.join th;
-    t.accept_thread <- None
+    t.loop_thread <- None
   | None -> ());
   (match t.watch_thread with
   | Some th ->
     Thread.join th;
     t.watch_thread <- None
   | None -> ());
-  while Atomic.get t.live_conns > 0 do
-    Thread.delay 0.02
-  done;
+  dispatch_close t;
   if t.owns_pool then Prelude.Pool.shutdown t.pool

@@ -1,9 +1,13 @@
-(** Concurrent prediction server: newline-delimited JSON over a TCP or
-    Unix-domain socket, prediction work dispatched onto a
-    {!Prelude.Pool} of worker domains, an LRU prediction cache keyed on
-    (model version, quantised feature vector), bounded admission with
-    429-style load shedding, and atomic hot swap / A/B routing of the
-    served model(s).  See docs/serving.md for the wire protocol and
+(** Concurrent prediction server: JSON requests over a TCP or
+    Unix-domain socket — newline-delimited or length-prefixed binary
+    frames, negotiated per connection ({!Net.Codec}) — all connections
+    multiplexed on one {!Net.Loop} readiness loop (no thread per
+    connection), prediction work dispatched onto a {!Prelude.Pool} of
+    worker domains with completions re-entering the loop via its wakeup
+    pipe, an LRU prediction cache keyed on (model version, quantised
+    feature vector), bounded admission with 429-style load shedding,
+    and atomic hot swap / A/B routing of the served model(s).  See
+    docs/serving.md and docs/net.md for the wire protocol and
     operational semantics. *)
 
 type source =
@@ -67,7 +71,7 @@ type t
 val start :
   ?pool:Prelude.Pool.t -> ?candidate:Artifact.t -> artifact:Artifact.t ->
   config -> t
-(** Bind, listen and spawn the accept thread; returns immediately.
+(** Bind, listen and spawn the loop thread; returns immediately.
     [artifact] is the stable arm; [?candidate] opens an A/B experiment
     at [config.split] from the first request.  Without [?pool] the
     server creates (and on [wait] shuts down) its own pool of
@@ -86,13 +90,15 @@ val address : t -> Protocol.address
     asked for TCP port 0, which is how tests get an ephemeral port. *)
 
 val stop : t -> unit
-(** Begin a graceful drain: stop accepting, let in-flight requests
-    complete and be answered, then let connection threads exit.
-    Idempotent, async-signal-safe in the OCaml sense (a single atomic
-    store), so it can be called from a signal handler. *)
+(** Begin a graceful drain: stop accepting, close idle connections,
+    let in-flight requests complete and be answered.  Idempotent,
+    async-signal-safe in the OCaml sense (one atomic store plus one
+    wakeup-pipe write, no locks), so it can be called from a signal
+    handler; the loop notices immediately — drain latency is bounded by
+    outstanding work, not a poll period. *)
 
 val wait : t -> unit
-(** Block until the drain completes: accept and watch threads joined,
-    all connection threads finished, owned pool shut down.  Polls
-    rather than parking on a condition so the main thread keeps
-    reaching safe points where OCaml runs signal handlers. *)
+(** Block until the drain completes: loop and watch threads joined,
+    every connection closed, owned pool shut down.  Polls rather than
+    parking on a condition so the main thread keeps reaching safe
+    points where OCaml runs signal handlers. *)

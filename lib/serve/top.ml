@@ -90,6 +90,34 @@ let render ?prev (cur : sample) ~address =
   out "queue    depth %d    inflight %d    jobs %d    limit %d\n"
     (hi [ "queue_depth" ]) (hi [ "inflight" ]) (hi [ "jobs" ])
     (hi [ "queue_limit" ]);
+  (* The I/O plane: one readiness loop per server — registered fds,
+     completion lag, and wire volume (rates over the window when one
+     exists, lifetime totals on the first sample). *)
+  let ci name = geti [ "counters"; name ] cur.metrics in
+  let bytes_in = ci "net.loop.bytes_in" and bytes_out = ci "net.loop.bytes_out" in
+  (match prev with
+  | Some p when cur.at > p.at ->
+    let dt = cur.at -. p.at in
+    let rate name v =
+      float_of_int (v - geti [ "counters"; name ] p.metrics) /. dt
+    in
+    out
+      "net      conns %d    loop fds %.0f    lag %6.2fms    wakeups %8.1f/s  \
+       \  in %8.0f B/s    out %8.0f B/s\n"
+      (hi [ "connections" ])
+      (getf [ "gauges"; "net.loop.fds" ] cur.metrics)
+      (getf [ "gauges"; "net.loop.lag_seconds" ] cur.metrics *. ms)
+      (rate "net.loop.wakeups" (ci "net.loop.wakeups"))
+      (rate "net.loop.bytes_in" bytes_in)
+      (rate "net.loop.bytes_out" bytes_out)
+  | _ ->
+    out
+      "net      conns %d    loop fds %.0f    lag %6.2fms    wakeups %d    in \
+       %d B    out %d B\n"
+      (hi [ "connections" ])
+      (getf [ "gauges"; "net.loop.fds" ] cur.metrics)
+      (getf [ "gauges"; "net.loop.lag_seconds" ] cur.metrics *. ms)
+      (ci "net.loop.wakeups") bytes_in bytes_out);
   let h = request_hist cur in
   out "%s\n" (fmt_quantiles "(lifetime)" h);
   (match prev with

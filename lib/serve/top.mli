@@ -4,9 +4,11 @@
     one [metrics] reply (the server process) at a wall-clock instant;
     {!render} turns the latest sample — and, when given, the previous
     one — into a fixed-height text panel: request/shed/error rates over
-    the polling window, cache hit rate, queue depth, and request
-    latency quantiles both over the server's lifetime and over just the
-    window (bucket subtraction via [Obs.Metrics.delta_hist_json]).
+    the polling window, cache hit rate, queue depth, the I/O-loop line
+    (live connections, registered fds, completion lag, wakeup and byte
+    rates from the [net.loop.*] metrics), and request latency quantiles
+    both over the server's lifetime and over just the window (bucket
+    subtraction via [Obs.Metrics.delta_hist_json]).
 
     Pure except for {!fetch}, so the tests can drive {!render} with
     synthetic samples. *)

@@ -10,8 +10,10 @@
 # train stitched to zero orphan spans, live Prometheus scrape and
 # `top` dashboard, tracing proven artifact-neutral) and registry
 # (evidence -> publish -> incremental refit byte-identical to a cold
-# retrain -> live serve with A/B -> reload -> promote -> gc).  Each
-# stage fails fast; a green run is the tier-1 bar for merging.
+# retrain -> live serve with A/B -> reload -> promote -> gc) and net
+# (binary, JSON and mixed clients on one listener, net.loop.*
+# instruments in both metrics renderings, drain under live load).
+# Each stage fails fast; a green run is the tier-1 bar for merging.
 #
 # Usage: sh scripts/ci.sh   (or `make ci`)
 set -eu
@@ -50,6 +52,9 @@ make obs-smoke
 
 stage registry-smoke
 make registry-smoke
+
+stage net-smoke
+make net-smoke
 
 echo
 echo "ci: OK"

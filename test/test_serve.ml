@@ -954,6 +954,109 @@ let test_server_survives_garbage_and_oversized () =
           | Error (_, e) ->
             Alcotest.failf "server died after protocol abuse: %s" e))
 
+let test_server_wire_interop () =
+  (* One listener, both framings: a JSON-wire client and a binary-wire
+     client get bit-identical answers, and a raw newline-JSON peer gets
+     newline-JSON back — never a binary header. *)
+  let artifact = artifact_of (Lazy.force dataset42) in
+  with_server artifact (fun _server address ->
+      let counters = some_counters () and uarch = some_uarch () in
+      let via wire =
+        let c = Serve.Client.connect ~wire address in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            match Serve.Client.predict c ~counters ~uarch with
+            | Ok r -> r.Serve.Protocol.setting
+            | Error (code, e) ->
+              Alcotest.failf "predict over %s: %d %s"
+                (Net.Codec.mode_to_string wire) code e)
+      in
+      check Alcotest.bool "wire format does not change the answer" true
+        (via Net.Codec.Json = via Net.Codec.Binary);
+      let fd =
+        Unix.socket
+          (Unix.domain_of_sockaddr (Serve.Protocol.sockaddr address))
+          Unix.SOCK_STREAM 0
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Serve.Protocol.sockaddr address);
+          (match
+             Net.Codec.write fd Net.Codec.Json
+               (J.to_string (J.Obj [ ("op", J.Str "health") ]))
+           with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "raw write: %s" (Net.Codec.error_to_string e));
+          match Net.Codec.read (Net.Codec.reader fd) with
+          | Ok (Net.Codec.Json, reply) -> (
+            match J.of_string reply with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "unparseable json reply: %s" e)
+          | Ok (Net.Codec.Binary, _) ->
+            Alcotest.fail "json-only client got a binary reply"
+          | Error e ->
+            Alcotest.failf "raw read: %s" (Net.Codec.error_to_string e)))
+
+let test_server_hostile_binary_header () =
+  (* A garbage binary length prefix against a live server: the
+     connection is dropped with a best-effort 400 farewell and the
+     server keeps serving everyone else. *)
+  let artifact = artifact_of (Lazy.force dataset42) in
+  with_server artifact (fun _server address ->
+      let hostile bytes =
+        let fd =
+          Unix.socket
+            (Unix.domain_of_sockaddr (Serve.Protocol.sockaddr address))
+            Unix.SOCK_STREAM 0
+        in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Serve.Protocol.sockaddr address);
+            (try ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+             with Unix.Unix_error _ -> ());
+            (* Half-close so a mid-frame stall is an EOF, not a client
+               still promising bytes. *)
+            (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+             with Unix.Unix_error _ -> ());
+            (* Whatever happens — a 400 farewell or a straight drop — the
+               connection must reach EOF rather than hang. *)
+            let reader = Net.Codec.reader fd in
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            let rec drain () =
+              if Unix.gettimeofday () > deadline then
+                Alcotest.fail "hostile connection not closed"
+              else
+                match Net.Codec.poll reader ~timeout:0.25 with
+                | Ok None -> drain ()
+                | Ok (Some _) -> drain ()
+                | Error _ -> ()
+            in
+            drain ())
+      in
+      let prefix declared =
+        let b = Bytes.create Net.Codec.header_len in
+        Bytes.set b 0 Net.Codec.magic;
+        Bytes.set_int32_be b 1 (Int32.of_int declared);
+        Bytes.to_string b
+      in
+      hostile (prefix 0);
+      hostile (prefix (-1));
+      hostile (prefix (Net.Codec.default_max_frame + 1));
+      (* Truncated header then EOF. *)
+      hostile (String.make 1 Net.Codec.magic ^ "\x00");
+      let client = Serve.Client.connect address in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          match Serve.Client.health client with
+          | Ok _ -> ()
+          | Error (_, e) ->
+            Alcotest.failf "server died after hostile headers: %s" e))
+
 let test_server_sheds_load () =
   let artifact = artifact_of (Lazy.force dataset42) in
   (* One worker, no queue: while a sleep occupies the slot, any predict
@@ -1634,6 +1737,10 @@ let () =
             test_server_tcp_ephemeral_port;
           Alcotest.test_case "survives garbage and oversized frames" `Slow
             test_server_survives_garbage_and_oversized;
+          Alcotest.test_case "json and binary wire interop" `Slow
+            test_server_wire_interop;
+          Alcotest.test_case "survives hostile binary headers" `Slow
+            test_server_hostile_binary_header;
           Alcotest.test_case "sheds load when saturated" `Slow
             test_server_sheds_load;
           Alcotest.test_case "client retries 429 until capacity" `Slow

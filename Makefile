@@ -26,13 +26,18 @@
 # `net-smoke` proves the shared I/O core end to end — binary, JSON
 # and mixed clients on one listener with the framings agreeing byte
 # for byte on the payload, net.loop.* instruments visible in both
-# metrics renderings, and a drain under live load (see docs/net.md).
+# metrics renderings, and a drain under live load (see docs/net.md);
+# `pareto-smoke` exercises the multi-objective plane — `--objective
+# cycles` byte-identical to the default path, a pareto-trained model
+# served with per-request objective pinning (typed 400 on mismatch),
+# a crossval front summary with a non-trivial front, and the `bench
+# pareto` JSON summary (see docs/objectives.md).
 # Smoke outputs land under results/ (gitignored), never in the repo
 # root.
 
 .PHONY: check ci bench-smoke trace-smoke serve-smoke index-smoke \
 	store-smoke cluster-smoke obs-smoke registry-smoke net-smoke \
-	bench clean
+	pareto-smoke bench clean
 
 check:
 	dune build @all
@@ -45,6 +50,7 @@ check:
 	$(MAKE) obs-smoke
 	$(MAKE) registry-smoke
 	$(MAKE) net-smoke
+	$(MAKE) pareto-smoke
 
 ci:
 	sh scripts/ci.sh
@@ -86,6 +92,10 @@ registry-smoke:
 net-smoke:
 	dune build bin/portopt.exe
 	sh scripts/net_smoke.sh
+
+pareto-smoke:
+	dune build bin/portopt.exe bench/main.exe
+	sh scripts/pareto_smoke.sh
 
 bench:
 	dune exec bench/main.exe

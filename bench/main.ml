@@ -91,6 +91,10 @@ let experiments : (string * string * (unit -> unit)) list =
       "cluster fabric: local vs 1/2 workers vs chaos, bit-identical \
        (results/BENCH_cluster.json)",
       fun () -> Cluster_bench.run () );
+    ( "pareto",
+      "multi-objective scenarios: cycles x size x energy, Pareto fronts \
+       (results/BENCH_pareto.json)",
+      fun () -> Pareto_bench.run (Lazy.force base) );
     ( "csv",
       "export the figure data series to results/*.csv",
       fun () ->

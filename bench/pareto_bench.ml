@@ -1,0 +1,76 @@
+(** Multi-objective benchmark: the Experiments.Pareto sweep — cycles
+    baseline, size- and energy-weighted blends and the full Pareto
+    front, all re-priced from one set of interpreted runs — with wall
+    times per spec and a machine-readable summary in
+    results/BENCH_pareto.json (schema "portopt-pareto/1").  The
+    per-objective numbers are each spec's mean improvement over -O3,
+    so the JSON answers "what did weighting size cost in cycles"
+    directly against the cycles-only row. *)
+
+module J = Obs.Json
+
+let ensure_results () =
+  if not (Sys.file_exists "results") then Unix.mkdir "results" 0o755
+
+let run ctx =
+  ensure_results ();
+  let t0 = Unix.gettimeofday () in
+  let results = Experiments.Pareto.compute ctx in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  print_string (Experiments.Pareto.render ctx);
+  let baseline =
+    List.find
+      (fun r -> r.Experiments.Pareto.sr_spec = Objective.Spec.Cycles)
+      results
+  in
+  let spec_json (r : Experiments.Pareto.spec_result) =
+    let vs base v = if base > 0.0 then v /. base else v in
+    J.Obj
+      [
+        ("name", J.Str r.sr_name);
+        ("spec", J.Str (Objective.Spec.to_string r.sr_spec));
+        ("cycles_speedup", J.Float r.sr_cycles);
+        ("size_ratio", J.Float r.sr_size);
+        ("energy_ratio", J.Float r.sr_energy);
+        (* Each axis relative to the cycles-only baseline model: >1
+           means this spec beats the baseline on that axis. *)
+        ( "vs_cycles_baseline",
+          J.Obj
+            [
+              ( "cycles",
+                J.Float (vs baseline.Experiments.Pareto.sr_cycles r.sr_cycles)
+              );
+              ("size", J.Float (vs baseline.Experiments.Pareto.sr_size r.sr_size));
+              ( "energy",
+                J.Float (vs baseline.Experiments.Pareto.sr_energy r.sr_energy)
+              );
+            ] );
+        ("front_mean_size", J.Float r.sr_front_mean);
+        ("front_max_size", J.Int r.sr_front_max);
+        ("front_nontrivial_pairs", J.Int r.sr_front_nontrivial);
+      ]
+  in
+  let scale = Ml_model.Dataset.default_scale () in
+  let out =
+    J.Obj
+      [
+        ("schema", J.Str "portopt-pareto/1");
+        ("unix_time", J.Float (Unix.gettimeofday ()));
+        ("git", J.Str (Obs.Trace.git_describe ()));
+        ("wall_s", J.Float wall_s);
+        ( "scale",
+          J.Obj
+            [
+              ("uarchs", J.Int scale.Ml_model.Dataset.n_uarchs);
+              ("opts", J.Int scale.Ml_model.Dataset.n_opts);
+              ("seed", J.Int scale.Ml_model.Dataset.seed);
+            ] );
+        ("objectives", J.List (List.map spec_json results));
+      ]
+  in
+  let out_path = Filename.concat "results" "BENCH_pareto.json" in
+  let oc = open_out out_path in
+  output_string oc (J.to_string out);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path

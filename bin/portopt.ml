@@ -107,6 +107,30 @@ let store_term =
   in
   Term.(const (Option.map (fun dir -> Store.open_ ~dir)) $ dir)
 
+(* The optimisation objective, shared by train/crossval/query and
+   registry publish.  A cmdliner converter over Objective.Spec so a bad
+   spec fails argument parsing with the spec grammar in the message. *)
+let objective_conv =
+  let parse s =
+    match Objective.Spec.of_string s with
+    | Ok o -> Ok o
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf o = Format.pp_print_string ppf (Objective.Spec.to_string o) in
+  Arg.conv (parse, print)
+
+let objective_term =
+  let doc =
+    "Optimisation objective: $(b,cycles) (the default, and the \
+     paper's), $(b,size) (static code size), $(b,energy) (the Cacti \
+     energy model), $(b,w:)$(i,C,S,E) (a weighted blend of the three, \
+     each relative to -O3) or $(b,pareto) (keep the whole \
+     non-dominated front).  The default leaves every output \
+     byte-identical to builds without this flag."
+  in
+  Arg.(value & opt objective_conv Objective.Spec.default
+       & info [ "objective" ] ~docv:"SPEC" ~doc)
+
 (* Microarchitecture options shared by run/predict. *)
 let uarch_term =
   let open Term in
@@ -610,7 +634,7 @@ let worker_cmd =
           $ name_arg $ wire_term)
 
 let train_cmd =
-  let run () store out evidence_out uarchs opts cluster =
+  let run () store out evidence_out uarchs opts objective cluster =
     let scale = Ml_model.Dataset.default_scale () in
     let scale =
       {
@@ -625,7 +649,7 @@ let train_cmd =
          scale.Ml_model.Dataset.n_uarchs scale.Ml_model.Dataset.n_opts);
     with_cluster ?store cluster @@ fun backend ->
     let dataset =
-      Ml_model.Dataset.generate ?store ?backend
+      Ml_model.Dataset.generate ?store ?backend ~objective
         ~progress:(fun m -> Obs.Span.log m)
         scale
     in
@@ -644,6 +668,14 @@ let train_cmd =
           Obs.Json.Int (Array.length dataset.Ml_model.Dataset.specs) );
         ("created_unix", Obs.Json.Float (created_unix ()));
       ]
+      (* Non-default only: a --objective cycles artifact must stay
+         byte-identical to one trained before the flag existed. *)
+      @ (if Objective.Spec.is_default objective then []
+         else
+           [
+             ( "objective",
+               Obs.Json.Str (Objective.Spec.to_string objective) );
+           ])
       @ Serve.Artifact.provenance
           ?store_dir:(Option.map Store.dir store)
           ~programs_digest ~settings_digest ~uarchs_digest ()
@@ -712,15 +744,22 @@ let train_cmd =
          byte-identical to a single-process run at any worker count — \
          even under $(b,--chaos) fault injection or with a worker \
          killed mid-run (see $(b,portopt worker)).";
+      `P
+        "With $(b,--objective), the per-pair training distributions \
+         reward the requested objective — size, energy, a weighted \
+         blend, or the whole Pareto front — instead of cycles alone; \
+         the spec is recorded in the artifact's meta block, and the \
+         server refuses queries that pin a different objective.  See \
+         docs/objectives.md.";
     ]
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train the model and save a .pcm artifact" ~man)
     Term.(const run $ obs_term "train" $ store_term $ out $ evidence_out
-          $ uarchs $ opts $ cluster_term)
+          $ uarchs $ opts $ objective_term $ cluster_term)
 
 let crossval_cmd =
-  let run () store uarchs opts cluster =
+  let run () store uarchs opts objective cluster =
     let scale = Ml_model.Dataset.default_scale () in
     let scale =
       {
@@ -732,7 +771,9 @@ let crossval_cmd =
     in
     let progress m = Obs.Span.log m in
     with_cluster ?store cluster @@ fun backend ->
-    let dataset = Ml_model.Dataset.generate ?store ?backend ~progress scale in
+    let dataset =
+      Ml_model.Dataset.generate ?store ?backend ~objective ~progress scale
+    in
     let outcomes = Ml_model.Crossval.run ?backend ~progress dataset in
     let mean f = Prelude.Stats.mean (Array.map f outcomes) in
     Printf.printf "pairs               %d (%d programs x %d configurations)\n"
@@ -744,7 +785,28 @@ let crossval_cmd =
     Printf.printf "mean best sampled   %.4fx over -O3\n"
       (mean Ml_model.Crossval.best_speedup);
     Printf.printf "fraction of best    %.1f%%\n"
-      (100. *. Ml_model.Crossval.fraction_of_best outcomes)
+      (100. *. Ml_model.Crossval.fraction_of_best outcomes);
+    (* Under --objective pareto each pair kept its whole non-dominated
+       front; summarise the fronts so a sweep can see how much genuine
+       trade-off space the sampled settings expose. *)
+    let fronts =
+      Array.to_list dataset.Ml_model.Dataset.pairs
+      |> List.filter_map (fun p -> p.Ml_model.Dataset.front)
+    in
+    if fronts <> [] then begin
+      let sizes =
+        List.map (fun f -> Array.length (Objective.Front.members f)) fronts
+      in
+      let n = List.length sizes in
+      let total = List.fold_left ( + ) 0 sizes in
+      let maximum = List.fold_left max 0 sizes in
+      let non_trivial = List.length (List.filter (fun s -> s >= 3) sizes) in
+      Printf.printf "pareto fronts       %d (mean size %.1f, max %d)\n" n
+        (float_of_int total /. float_of_int n)
+        maximum;
+      Printf.printf "non-trivial fronts  %d pairs with >= 3 settings\n"
+        non_trivial
+    end
   in
   let uarchs =
     Arg.(value & opt (some int) None
@@ -773,12 +835,18 @@ let crossval_cmd =
         "With $(b,--workers), interpretation (dataset profiles and the \
          folds' predicted settings) is sharded across worker processes; \
          outcomes are identical to the in-process run.";
+      `P
+        "With $(b,--objective), the dataset's per-pair good sets reward \
+         the requested objective (size, energy, a weighted blend) \
+         instead of cycles; $(b,--objective pareto) keeps each pair's \
+         whole non-dominated front and prints a front-size summary.  \
+         See docs/objectives.md.";
     ]
   in
   Cmd.v
     (Cmd.info "crossval" ~doc:"Leave-one-out cross-validation summary" ~man)
     Term.(const run $ obs_term "crossval" $ store_term $ uarchs $ opts
-          $ cluster_term)
+          $ objective_term $ cluster_term)
 
 (* ---- store maintenance ------------------------------------------------ *)
 
@@ -1172,7 +1240,8 @@ let query_cmd =
     Printf.eprintf "portopt: server error %d: %s\n" code msg;
     exit (if code = 429 then 3 else 1)
   in
-  let run () progs batch u address health shutdown reload sleep_s wire =
+  let run () progs batch u objective address health shutdown reload sleep_s
+      wire =
     let client =
       try Serve.Client.connect ~wire address
       with Unix.Unix_error (e, _, _) ->
@@ -1210,8 +1279,8 @@ let query_cmd =
               exit 2
             | [ name ], false -> (
               match
-                Serve.Client.predict client ~counters:(counters_of name u)
-                  ~uarch:u
+                Serve.Client.predict ?objective client
+                  ~counters:(counters_of name u) ~uarch:u
               with
               | Error e -> server_error e
               | Ok p -> print_prediction name u p)
@@ -1220,7 +1289,7 @@ let query_cmd =
               let queries =
                 Array.map (fun name -> (counters_of name u, u)) names
               in
-              match Serve.Client.predict_batch client queries with
+              match Serve.Client.predict_batch ?objective client queries with
               | Error e -> server_error e
               | Ok results ->
                 Array.iteri
@@ -1269,6 +1338,15 @@ let query_cmd =
                "Hold a server worker for the duration (needs --admin \
                 there); test aid for exercising load shedding.")
   in
+  let objective =
+    Arg.(value & opt (some objective_conv) None
+         & info [ "objective" ] ~docv:"SPEC"
+             ~doc:
+               "Require the answering model to have been trained for \
+                this objective ($(b,cycles), $(b,size), $(b,energy), \
+                $(b,w:)$(i,C,S,E) or $(b,pareto)); the server answers \
+                with a 400 on a mismatch.  Omitted, any model answers.")
+  in
   let man =
     [
       `S Manpage.s_description;
@@ -1289,7 +1367,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Query a running prediction server" ~man)
     Term.(const run $ obs_term "query" $ progs $ batch $ uarch_term
-          $ address_term $ health $ shutdown $ reload $ sleep_s $ wire_term)
+          $ objective $ address_term $ health $ shutdown $ reload $ sleep_s
+          $ wire_term)
 
 let report_cmd =
   let run files =
@@ -1594,7 +1673,7 @@ let evidence_cmd =
           $ cluster_term)
 
 let registry_publish_cmd =
-  let run dir evidence parent channel k beta =
+  let run dir evidence parent channel k beta objective =
     let reg = Registry.open_ ~dir in
     let records =
       match Registry.Evidence.read ~path:evidence with
@@ -1602,8 +1681,8 @@ let registry_publish_cmd =
       | Error e -> registry_fail "%s" e
     in
     match
-      Registry.publish ?k ?beta ?parent ?channel ~created:(created_unix ())
-        reg records
+      Registry.publish ?k ?beta ?parent ?channel ~objective
+        ~created:(created_unix ()) reg records
     with
     | Error e -> registry_fail "%s" e
     | Ok l ->
@@ -1650,11 +1729,22 @@ let registry_publish_cmd =
     Arg.(value & opt (some float) None
          & info [ "beta" ] ~doc:"Softmax sharpness (default: 10).")
   in
+  let objective =
+    Arg.(value & opt objective_conv Objective.Spec.default
+         & info [ "objective" ] ~docv:"SPEC"
+             ~doc:
+               "Declare the objective the evidence was gathered under \
+                ($(b,cycles), $(b,size), $(b,energy), $(b,w:)$(i,C,S,E) \
+                or $(b,pareto)); recorded in the version's lineage and \
+                artifact meta.  Non-default specs change the version id \
+                — the same evidence under a different objective is a \
+                different version.")
+  in
   Cmd.v
     (Cmd.info "publish"
        ~doc:"Train a version from an evidence ledger and store it")
     Term.(const run $ registry_dir_arg $ evidence $ parent $ channel $ k
-          $ beta)
+          $ beta $ objective)
 
 let registry_list_cmd =
   let run dir =
@@ -1676,9 +1766,14 @@ let registry_list_cmd =
       else
         List.iter
           (fun l ->
-            Printf.printf "%s  pairs %-4d records %-4d k=%d beta=%g %s%s%s\n"
+            Printf.printf "%s  pairs %-4d records %-4d k=%d beta=%g %s%s%s%s\n"
               l.Registry.l_id l.Registry.l_pairs l.Registry.l_records
               l.Registry.l_k l.Registry.l_beta l.Registry.l_space
+              (if
+                 l.Registry.l_objective
+                 = Objective.Spec.to_string Objective.Spec.default
+               then ""
+               else "  objective " ^ l.Registry.l_objective)
               (match l.Registry.l_parent with
               | Some p -> "  parent " ^ p
               | None -> "")

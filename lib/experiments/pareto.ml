@@ -1,0 +1,123 @@
+(** Multi-objective scenarios: cycles x code size x energy.
+
+    The paper optimises cycles alone; this experiment re-prices the
+    same interpreted runs under size- and energy-weighted objectives
+    plus the full Pareto front ({!Objective}), trains a model per
+    spec, and reports what each one trades: per-objective improvement
+    over -O3 of the in-sample predictions, against the cycles-only
+    baseline model.  Re-pricing reuses every profile
+    ({!Ml_model.Dataset.with_objective}), so the whole sweep costs four
+    trainings and zero extra interpretations. *)
+
+open Prelude
+
+type spec_result = {
+  sr_name : string;
+  sr_spec : Objective.Spec.t;
+  sr_cycles : float;  (** Mean cycles speedup over -O3 (>1 is faster). *)
+  sr_size : float;  (** Mean static-size ratio -O3/predicted (>1 smaller). *)
+  sr_energy : float;  (** Mean energy ratio -O3/predicted (>1 cheaper). *)
+  sr_front_mean : float;  (** Mean front size; 0 unless Pareto. *)
+  sr_front_max : int;
+  sr_front_nontrivial : int;  (** Pairs whose front has >= 3 members. *)
+}
+
+(* The weighted blends lean on one secondary axis each while keeping
+   cycles in play — pure size/energy objectives mostly rediscover the
+   smallest binary regardless of speed, which is less informative. *)
+let specs =
+  [
+    ("cycles", Objective.Spec.Cycles);
+    ("size-blend", Objective.Spec.Weighted { c = 1.0; s = 1.0; e = 0.0 });
+    ("energy-blend", Objective.Spec.Weighted { c = 1.0; s = 0.0; e = 1.0 });
+    ("pareto", Objective.Spec.Pareto);
+  ]
+
+let compute ctx =
+  let d = Context.dataset ctx in
+  List.map
+    (fun (sr_name, sr_spec) ->
+      let ds = Ml_model.Dataset.with_objective d sr_spec in
+      let model = Ml_model.Model.train ds in
+      let np = Ml_model.Dataset.n_programs ds in
+      let nu = Ml_model.Dataset.n_uarchs ds in
+      let ratios =
+        Array.init (np * nu) (fun i ->
+            let prog = i / nu and uarch = i mod nu in
+            let p = Ml_model.Dataset.pair ds ~prog ~uarch in
+            let setting =
+              Ml_model.Model.predict model p.Ml_model.Dataset.features_raw
+            in
+            let v =
+              Ml_model.Dataset.evaluate_vector ds ~prog ~uarch setting
+            in
+            let b =
+              Ml_model.Dataset.evaluate_vector ds ~prog ~uarch
+                Passes.Flags.o3
+            in
+            let ratio k = if v.(k) > 0.0 then b.(k) /. v.(k) else 1.0 in
+            (ratio 0, ratio 1, ratio 2))
+      in
+      let mean f = Stats.mean (Array.map f ratios) in
+      let front_sizes =
+        Array.to_list ds.Ml_model.Dataset.pairs
+        |> List.filter_map (fun p -> p.Ml_model.Dataset.front)
+        |> List.map (fun f -> Array.length (Objective.Front.members f))
+      in
+      let sr_front_mean =
+        match front_sizes with
+        | [] -> 0.0
+        | l ->
+          float_of_int (List.fold_left ( + ) 0 l)
+          /. float_of_int (List.length l)
+      in
+      {
+        sr_name;
+        sr_spec;
+        sr_cycles = mean (fun (c, _, _) -> c);
+        sr_size = mean (fun (_, s, _) -> s);
+        sr_energy = mean (fun (_, _, e) -> e);
+        sr_front_mean;
+        sr_front_max = List.fold_left max 0 front_sizes;
+        sr_front_nontrivial =
+          List.length (List.filter (fun s -> s >= 3) front_sizes);
+      })
+    specs
+
+let render ctx =
+  let results = compute ctx in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Multi-objective scenarios: in-sample prediction quality per\n\
+     objective spec, each axis as mean improvement over -O3 (>1 is\n\
+     better: faster / smaller / cheaper)\n\n";
+  Buffer.add_string buf
+    (Texttab.render_table
+       ~header:[ "objective"; "cycles"; "size"; "energy" ]
+       (List.map
+          (fun r ->
+            [
+              r.sr_name;
+              Texttab.fixed r.sr_cycles;
+              Texttab.fixed r.sr_size;
+              Texttab.fixed r.sr_energy;
+            ])
+          results));
+  List.iter
+    (fun r ->
+      if r.sr_spec = Objective.Spec.Pareto then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n\
+              Pareto fronts: mean size %.1f, max %d, %d pair(s) with >= 3\n\
+              non-dominated settings\n"
+             r.sr_front_mean r.sr_front_max r.sr_front_nontrivial))
+    results;
+  (match List.find_opt (fun r -> r.sr_spec = Objective.Spec.Cycles) results with
+  | Some baseline ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\nBaseline (cycles-only): %.3fx cycles, %.3fx size, %.3fx energy\n"
+         baseline.sr_cycles baseline.sr_size baseline.sr_energy)
+  | None -> ());
+  Buffer.contents buf

@@ -61,10 +61,14 @@ type pair = {
   best_seconds : float;
   good : int array;  (** Indices of the good set e_Y. *)
   distribution : Distribution.t;
+  front : Objective.Front.t option;
+      (** Pareto front over the sampled settings' objective vectors;
+          [Some] only under [Objective.Spec.Pareto]. *)
 }
 
 type t = {
   scale : scale;
+  objective : Objective.Spec.t;
   specs : Workloads.Spec.t array;
   uarchs : Uarch.Config.t array;
   settings : Passes.Flags.setting array;
@@ -94,11 +98,141 @@ let best_speedup p = p.o3_seconds /. p.best_seconds
 let good_set ~good_fraction times =
   let n = Array.length times in
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> Float.compare times.(a) times.(b)) order;
+  (* Equal times straddling the cut must be admitted by index, not by
+     whatever order the unstable sort left them in — the boundary is
+     reachable (distinct settings can canonicalise to the same
+     binary). *)
+  Array.sort
+    (fun a b ->
+      match Float.compare times.(a) times.(b) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
   let k = max 1 (int_of_float (Float.round (good_fraction *. float_of_int n))) in
   Array.sub order 0 k
 
 let m_pairs = Obs.Metrics.counter "dataset.pairs"
+
+(* How many non-dominated settings a pareto pair keeps: enough for a
+   non-trivial front even at smoke scales, crowding-pruned above. *)
+let pareto_capacity = 16
+
+(* Static post-pipeline instruction count of a run; recompiles only when
+   the run predates store record v2 (which persists the size). *)
+let run_size ~program r =
+  match r.Sim.Xtrem.size with
+  | Some s -> s
+  | None ->
+    Ir.Types.program_size
+      (Passes.Driver.compile ~setting:r.Sim.Xtrem.setting
+         (Lazy.force program))
+
+(* Per-program (o3 size, per-setting sizes), materialised only for
+   non-default objectives — the default cycles path never looks at
+   sizes, keeping it bit-identical to the pre-objective code. *)
+let static_sizes ~specs ~o3_runs runs =
+  Array.mapi
+    (fun pi rs ->
+      let program = lazy (Workloads.Mibench.program_of specs.(pi)) in
+      (run_size ~program o3_runs.(pi), Array.map (run_size ~program) rs))
+    runs
+
+(* One (program, uarch) pair: price every sampled run, pick the good set
+   under [objective] and fit the pair's distribution.  Index-pure, so
+   the pricing fan-out is bit-identical at any job count. *)
+let price_pair ~objective ~space ~good_fraction ~sizes ~uarchs ~settings
+    ~o3_runs ~runs ~parent idx =
+  let n_uarchs = Array.length uarchs in
+  let prog_index = idx / n_uarchs in
+  let uarch_index = idx mod n_uarchs in
+  let t0 = Obs.Clock.now_s () in
+  let u = uarchs.(uarch_index) in
+  let o3_verdict = Sim.Xtrem.time o3_runs.(prog_index) u in
+  let times =
+    Array.map
+      (fun r -> (Sim.Xtrem.time r u).Sim.Pipeline.seconds)
+      runs.(prog_index)
+  in
+  let best = ref 0 in
+  Array.iteri (fun i s -> if s < times.(!best) then best := i) times;
+  let good, front =
+    match (objective : Objective.Spec.t) with
+    | Cycles -> (good_set ~good_fraction times, None)
+    | spec ->
+      let o3_size, setting_sizes = sizes.(prog_index) in
+      let vectors =
+        Array.mapi
+          (fun i r -> Objective.Spec.vector r ~size:setting_sizes.(i) u)
+          runs.(prog_index)
+      in
+      (match spec with
+      | Pareto ->
+        let front =
+          Objective.Front.create ~capacity:pareto_capacity
+            ~dims:Objective.Spec.dims ()
+        in
+        Array.iteri
+          (fun i v -> ignore (Objective.Front.insert front ~index:i ~score:v))
+          vectors;
+        (Objective.Front.indices front, Some front)
+      | spec ->
+        let baseline =
+          Objective.Spec.vector o3_runs.(prog_index) ~size:o3_size u
+        in
+        let scalars = Array.map (Objective.Spec.scalar spec ~baseline) vectors in
+        (good_set ~good_fraction scalars, None))
+  in
+  let good_settings = Array.map (fun i -> settings.(i)) good in
+  Obs.Metrics.add m_pairs 1;
+  Obs.Span.event ~level:Obs.Trace.Debug ~parent "dataset.pair"
+    [
+      ("prog", Obs.Json.Int prog_index);
+      ("uarch", Obs.Json.Int uarch_index);
+      ("dur_s", Obs.Json.Float (Obs.Clock.now_s () -. t0));
+    ];
+  Option.iter
+    (fun f ->
+      Obs.Span.event ~level:Obs.Trace.Debug ~parent "objective.front"
+        [
+          ("prog", Obs.Json.Int prog_index);
+          ("uarch", Obs.Json.Int uarch_index);
+          ("front", Objective.Front.to_json f);
+        ])
+    front;
+  {
+    prog_index;
+    uarch_index;
+    features_raw = Features.raw space o3_verdict.Sim.Pipeline.counters u;
+    o3_seconds = o3_verdict.Sim.Pipeline.seconds;
+    times;
+    best = !best;
+    best_seconds = times.(!best);
+    good;
+    distribution = Distribution.fit good_settings;
+    front;
+  }
+
+(* The whole pricing fan-out, shared by [generate] and
+   [with_objective]. *)
+let price_pairs ~pool ~objective ~space ~good_fraction ~specs ~uarchs
+    ~settings ~o3_runs ~runs () =
+  let sizes =
+    match (objective : Objective.Spec.t) with
+    | Cycles -> [||]
+    | _ -> static_sizes ~specs ~o3_runs runs
+  in
+  Obs.Span.with_ "dataset.price"
+    ~attrs:
+      [
+        ("pairs", Obs.Json.Int (Array.length specs * Array.length uarchs));
+        ("objective", Obs.Json.Str (Objective.Spec.to_string objective));
+      ]
+    (fun () ->
+      let parent = Obs.Span.current_id () in
+      Pool.init pool
+        (Array.length specs * Array.length uarchs)
+        (price_pair ~objective ~space ~good_fraction ~sizes ~uarchs
+           ~settings ~o3_runs ~runs ~parent))
 
 let space_name = function
   | Features.Base -> "base"
@@ -111,6 +245,7 @@ type backend =
        Sim.Xtrem.run array array)
 
 let generate ?store ?pool ?(backend = In_process)
+    ?(objective = Objective.Spec.default)
     ?(progress = fun (_ : string) -> ()) scale =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let progress = Pool.serialised progress in
@@ -124,6 +259,7 @@ let generate ?store ?pool ?(backend = In_process)
         ("opts", Obs.Json.Int scale.n_opts);
         ("seed", Obs.Json.Int scale.seed);
         ("space", Obs.Json.Str (space_name scale.space));
+        ("objective", Obs.Json.Str (Objective.Spec.to_string objective));
         ("jobs", Obs.Json.Int (Pool.size pool));
         ( "backend",
           Obs.Json.Str
@@ -251,58 +387,13 @@ let generate ?store ?pool ?(backend = In_process)
       (* Pricing/good-set fan-out: one task per (program, uarch) pair, all
          reading the shared immutable profiles. *)
       let pairs =
-        Obs.Span.with_ "dataset.price"
-          ~attrs:
-            [
-              ( "pairs",
-                Obs.Json.Int (Array.length specs * Array.length uarchs) );
-            ]
-          (fun () ->
-            let parent = Obs.Span.current_id () in
-            Pool.init pool
-              (Array.length specs * Array.length uarchs)
-              (fun idx ->
-                let prog_index = idx / Array.length uarchs in
-                let uarch_index = idx mod Array.length uarchs in
-                let t0 = Obs.Clock.now_s () in
-                let u = uarchs.(uarch_index) in
-                let o3_verdict = Sim.Xtrem.time o3_runs.(prog_index) u in
-                let times =
-                  Array.map
-                    (fun r -> (Sim.Xtrem.time r u).Sim.Pipeline.seconds)
-                    runs.(prog_index)
-                in
-                let best = ref 0 in
-                Array.iteri
-                  (fun i s -> if s < times.(!best) then best := i)
-                  times;
-                let good =
-                  good_set ~good_fraction:scale.good_fraction times
-                in
-                let good_settings = Array.map (fun i -> settings.(i)) good in
-                Obs.Metrics.add m_pairs 1;
-                Obs.Span.event ~level:Obs.Trace.Debug ~parent "dataset.pair"
-                  [
-                    ("prog", Obs.Json.Int prog_index);
-                    ("uarch", Obs.Json.Int uarch_index);
-                    ("dur_s", Obs.Json.Float (Obs.Clock.now_s () -. t0));
-                  ];
-                {
-                  prog_index;
-                  uarch_index;
-                  features_raw =
-                    Features.raw scale.space o3_verdict.Sim.Pipeline.counters
-                      u;
-                  o3_seconds = o3_verdict.Sim.Pipeline.seconds;
-                  times;
-                  best = !best;
-                  best_seconds = times.(!best);
-                  good;
-                  distribution = Distribution.fit good_settings;
-                }))
+        price_pairs ~pool ~objective ~space:scale.space
+          ~good_fraction:scale.good_fraction ~specs ~uarchs ~settings
+          ~o3_runs ~runs ()
       in
       {
         scale;
+        objective;
         specs;
         uarchs;
         settings;
@@ -348,3 +439,27 @@ let provenance_digests t =
 let evaluate t ~prog ~uarch setting =
   let r = run_for t ~prog setting in
   (Sim.Xtrem.time r t.uarchs.(uarch)).Sim.Pipeline.seconds
+
+(** Objective vector ([cycles; size; energy]) of [prog] under [setting]
+    on [uarch], through the same cache as {!evaluate}. *)
+let evaluate_vector t ~prog ~uarch setting =
+  let r = run_for t ~prog setting in
+  let program = lazy (Workloads.Mibench.program_of t.specs.(prog)) in
+  Objective.Spec.vector r ~size:(run_size ~program r) t.uarchs.(uarch)
+
+(** Re-derive every pair (good sets, distributions, fronts) under a
+    different objective from the already-interpreted runs — no
+    recompiles, no interpretations; just a re-pricing fan-out.  The
+    shared sample, features and times are unchanged, so a
+    [with_objective d Objective.Spec.default] round-trip is
+    bit-identical to [d]. *)
+let with_objective ?pool t objective =
+  if Objective.Spec.equal t.objective objective then t
+  else
+    let pool = match pool with Some p -> p | None -> Pool.default () in
+    let pairs =
+      price_pairs ~pool ~objective ~space:t.scale.space
+        ~good_fraction:t.scale.good_fraction ~specs:t.specs ~uarchs:t.uarchs
+        ~settings:t.settings ~o3_runs:t.o3_runs ~runs:t.runs ()
+    in
+    { t with objective; pairs }

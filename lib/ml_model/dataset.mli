@@ -34,10 +34,17 @@ type pair = {
   best_seconds : float;
   good : int array;  (** Indices of the good set e_Y. *)
   distribution : Distribution.t;  (** Fitted per equation (5). *)
+  front : Objective.Front.t option;
+      (** Pareto front over the sampled settings' objective vectors;
+          [Some] only under [Objective.Spec.Pareto]. *)
 }
 
 type t = {
   scale : scale;
+  objective : Objective.Spec.t;
+      (** What the good sets (and hence distributions) optimise.  The
+          default [Cycles] reproduces the paper's pipeline
+          bit-identically. *)
   specs : Workloads.Spec.t array;
   uarchs : Uarch.Config.t array;
   settings : Passes.Flags.setting array;  (** Shared across pairs. *)
@@ -67,6 +74,7 @@ val generate :
   ?store:Store.t ->
   ?pool:Prelude.Pool.t ->
   ?backend:backend ->
+  ?objective:Objective.Spec.t ->
   ?progress:(string -> unit) ->
   scale ->
   t
@@ -101,7 +109,15 @@ val best_speedup : pair -> float
 
 val good_set : good_fraction:float -> float array -> int array
 (** Indices of the fastest [good_fraction] of a time vector (at least
-    one), used when refitting under a different threshold. *)
+    one), used when refitting under a different threshold.  Equal
+    values at the cut are admitted by ascending index — a deterministic
+    tie-break independent of sort order. *)
+
+val with_objective : ?pool:Prelude.Pool.t -> t -> Objective.Spec.t -> t
+(** Re-price every pair (good sets, distributions, fronts) under a
+    different objective from the already-interpreted runs — zero
+    recompiles and zero interpretations.  Round-tripping back to the
+    dataset's own objective returns it unchanged. *)
 
 val run_for : t -> prog:int -> Passes.Flags.setting -> Sim.Xtrem.run
 (** Profile of [prog] under an arbitrary setting, cached by canonical
@@ -110,6 +126,11 @@ val run_for : t -> prog:int -> Passes.Flags.setting -> Sim.Xtrem.run
 
 val evaluate : t -> prog:int -> uarch:int -> Passes.Flags.setting -> float
 (** Seconds of [prog] under a setting on configuration [uarch]. *)
+
+val evaluate_vector :
+  t -> prog:int -> uarch:int -> Passes.Flags.setting -> float array
+(** Objective vector ([cycles; size; energy]) of [prog] under a setting
+    on configuration [uarch], through the same profile cache. *)
 
 val provenance_digests : t -> string * string * string
 (** [(programs, settings, uarchs)] combined digests of the generation

@@ -1,0 +1,166 @@
+(** Incremental Pareto front — see front.mli for the contract. *)
+
+module J = Obs.Json
+
+type entry = { index : int; score : float array }
+
+type t = {
+  f_dims : int;
+  f_capacity : int;
+  mutable f_members : entry list;  (** Sorted by index ascending. *)
+}
+
+let m_insertions = Obs.Metrics.counter "objective.insertions"
+let m_dominated = Obs.Metrics.counter "objective.dominated"
+let m_pruned = Obs.Metrics.counter "objective.pruned"
+let g_front_size = Obs.Metrics.gauge "objective.front_size"
+
+let create ?(capacity = 0) ~dims () =
+  if dims < 1 then invalid_arg "Objective.Front.create: dims must be >= 1";
+  { f_dims = dims; f_capacity = capacity; f_members = [] }
+
+let dims t = t.f_dims
+let capacity t = t.f_capacity
+let size t = List.length t.f_members
+
+let finite v = Array.for_all Float.is_finite v
+
+let dominates a b =
+  let n = Array.length a in
+  if Array.length b <> n || not (finite a) || not (finite b) then false
+  else begin
+    let no_worse = ref true and better = ref false in
+    for i = 0 to n - 1 do
+      if a.(i) > b.(i) then no_worse := false
+      else if a.(i) < b.(i) then better := true
+    done;
+    !no_worse && !better
+  end
+
+let equal_score a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if Float.compare x b.(i) <> 0 then ok := false) a;
+      !ok)
+
+(* NSGA-II crowding distance over the current members: per axis, sort,
+   give the extremes infinite distance and interior points the
+   normalised gap to their neighbours.  Sorting ties break on index so
+   the result is a pure function of the member set. *)
+let crowding members =
+  let n = Array.length members in
+  let d = Array.make n 0.0 in
+  if n > 0 then begin
+    let axes = Array.length members.(0).score in
+    for k = 0 to axes - 1 do
+      let order = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          match Float.compare members.(a).score.(k) members.(b).score.(k) with
+          | 0 -> Int.compare members.(a).index members.(b).index
+          | c -> c)
+        order;
+      d.(order.(0)) <- infinity;
+      d.(order.(n - 1)) <- infinity;
+      let lo = members.(order.(0)).score.(k) in
+      let hi = members.(order.(n - 1)).score.(k) in
+      let range = hi -. lo in
+      if range > 0.0 then
+        for j = 1 to n - 2 do
+          d.(order.(j)) <-
+            d.(order.(j))
+            +. ((members.(order.(j + 1)).score.(k)
+                -. members.(order.(j - 1)).score.(k))
+               /. range)
+        done
+    done
+  end;
+  d
+
+(* Drop the most crowded member (smallest distance; ties evict the
+   largest index, keeping older/smaller indices — the same tie-break
+   direction as insertion). *)
+let prune_one t =
+  let members = Array.of_list t.f_members in
+  let d = crowding members in
+  let victim = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      let c = Float.compare d.(i) d.(!victim) in
+      if c < 0 || (c = 0 && members.(i).index > members.(!victim).index) then
+        victim := i)
+    members;
+  let gone = members.(!victim) in
+  t.f_members <- List.filter (fun e -> e.index <> gone.index) t.f_members;
+  Obs.Metrics.add m_pruned 1;
+  gone.index
+
+let insert t ~index ~score =
+  if Array.length score <> t.f_dims then
+    invalid_arg "Objective.Front.insert: dimension mismatch";
+  if not (finite score) then begin
+    Obs.Metrics.add m_dominated 1;
+    false
+  end
+  else begin
+    let beaten =
+      List.exists
+        (fun e ->
+          dominates e.score score
+          || (equal_score e.score score && e.index < index))
+        t.f_members
+    in
+    if beaten then begin
+      Obs.Metrics.add m_dominated 1;
+      false
+    end
+    else begin
+      let keep, evicted =
+        List.partition
+          (fun e ->
+            not
+              (dominates score e.score
+              || (equal_score e.score score && e.index > index)))
+          t.f_members
+      in
+      Obs.Metrics.add m_dominated (List.length evicted);
+      let rec add = function
+        | [] -> [ { index; score } ]
+        | e :: rest when e.index < index -> e :: add rest
+        | rest -> { index; score } :: rest
+      in
+      t.f_members <- add keep;
+      Obs.Metrics.add m_insertions 1;
+      let survived = ref true in
+      if t.f_capacity > 0 then
+        while List.length t.f_members > t.f_capacity do
+          if prune_one t = index then survived := false
+        done;
+      Obs.Metrics.set g_front_size (float_of_int (List.length t.f_members));
+      !survived
+    end
+  end
+
+let members t = Array.of_list t.f_members
+let indices t = Array.of_list (List.map (fun e -> e.index) t.f_members)
+
+let to_json t =
+  J.Obj
+    [
+      ("dims", J.Int t.f_dims);
+      ("capacity", J.Int t.f_capacity);
+      ("size", J.Int (size t));
+      ( "members",
+        J.List
+          (List.map
+             (fun e ->
+               J.Obj
+                 [
+                   ("index", J.Int e.index);
+                   ( "score",
+                     J.List
+                       (Array.to_list
+                          (Array.map (fun x -> J.Float x) e.score)) );
+                 ])
+             t.f_members) );
+    ]

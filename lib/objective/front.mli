@@ -1,0 +1,48 @@
+(** Incremental Pareto front (minimisation on every axis).
+
+    Members are (index, score-vector) entries; an insert is accepted iff
+    no current member weakly dominates it, and evicts every member the
+    newcomer dominates.  Exact duplicates keep the smallest index, so
+    the final membership is a pure function of the inserted {e set} —
+    independent of insertion order (enforced by property test).
+
+    A positive [capacity] bounds the front: when it overflows, the
+    member with the smallest NSGA-II-style crowding distance is pruned
+    (ties broken towards the largest index), keeping the extremes and
+    the best-spread interior points.
+
+    Counters [objective.insertions], [objective.dominated],
+    [objective.pruned] and the gauge [objective.front_size] feed the
+    Prometheus scrape and [portopt top]. *)
+
+type entry = { index : int; score : float array }
+
+type t
+
+val create : ?capacity:int -> dims:int -> unit -> t
+(** Empty front over [dims]-axis scores.  [capacity <= 0] (the default)
+    means unbounded. *)
+
+val dims : t -> int
+val capacity : t -> int
+val size : t -> int
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a] is no worse on every axis and strictly better
+    on at least one.  Vectors with non-finite components never
+    dominate. *)
+
+val insert : t -> index:int -> score:float array -> bool
+(** Offer one candidate.  Returns [true] iff the candidate is a member
+    after the call (it may displace others, or be pruned immediately
+    when the bounded front is crowded).  Non-finite scores are rejected.
+    Raises [Invalid_argument] on a dimension mismatch. *)
+
+val members : t -> entry array
+(** Current members, sorted by index ascending (deterministic). *)
+
+val indices : t -> int array
+
+val to_json : t -> Obs.Json.t
+(** [{"dims":..,"capacity":..,"size":..,"members":[{"index":..,
+    "score":[..]},..]}] — the export the smoke validates. *)

@@ -1,0 +1,97 @@
+(** Objective specs — see spec.mli for the contract. *)
+
+type t =
+  | Cycles
+  | Size
+  | Energy
+  | Weighted of { c : float; s : float; e : float }
+  | Pareto
+
+let default = Cycles
+
+let is_default = function Cycles -> true | _ -> false
+
+let to_string = function
+  | Cycles -> "cycles"
+  | Size -> "size"
+  | Energy -> "energy"
+  | Pareto -> "pareto"
+  | Weighted { c; s; e } -> Printf.sprintf "w:%g,%g,%g" c s e
+
+let equal a b = to_string a = to_string b
+
+let of_string str =
+  let s = String.lowercase_ascii (String.trim str) in
+  let err () =
+    Error
+      (Printf.sprintf
+         "unknown objective %S (expected cycles|size|energy|pareto|w:<c,s,e>)"
+         str)
+  in
+  match s with
+  | "cycles" -> Ok Cycles
+  | "size" -> Ok Size
+  | "energy" -> Ok Energy
+  | "pareto" -> Ok Pareto
+  | _ when String.length s > 2 && String.sub s 0 2 = "w:" -> (
+    let body = String.sub s 2 (String.length s - 2) in
+    match String.split_on_char ',' body with
+    | [ a; b; c ] -> (
+      match
+        ( float_of_string_opt (String.trim a),
+          float_of_string_opt (String.trim b),
+          float_of_string_opt (String.trim c) )
+      with
+      | Some c', Some s', Some e'
+        when Float.is_finite c' && Float.is_finite s' && Float.is_finite e'
+             && c' >= 0.0 && s' >= 0.0 && e' >= 0.0
+             && c' +. s' +. e' > 0.0 ->
+        Ok (Weighted { c = c'; s = s'; e = e' })
+      | _ ->
+        Error
+          (Printf.sprintf
+             "bad objective weights %S (need three non-negative finite \
+              numbers with a positive sum)"
+             str))
+    | _ ->
+      Error
+        (Printf.sprintf "bad objective weights %S (expected w:<c>,<s>,<e>)"
+           str))
+  | _ -> err ()
+
+let dims = 3
+let names = [| "cycles"; "size"; "energy" |]
+
+(* Per-objective score histograms, surfaced in the Prometheus scrape
+   alongside the front counters (see front.ml). *)
+let score_hists =
+  Array.map (fun n -> Obs.Metrics.hist ("objective.score." ^ n)) names
+
+let vector run ~size u =
+  let v =
+    [|
+      Sim.Xtrem.seconds run u;
+      float_of_int size;
+      Sim.Xtrem.energy_mj run u;
+    |]
+  in
+  Array.iteri (fun i x -> Obs.Metrics.observe score_hists.(i) x) v;
+  v
+
+let scalar t ~baseline v =
+  match t with
+  | Cycles -> v.(0)
+  | Size -> v.(1)
+  | Energy -> v.(2)
+  | Pareto -> invalid_arg "Objective.Spec.scalar: pareto has no scalarisation"
+  | Weighted { c; s; e } ->
+    let rel i =
+      let b = baseline.(i) in
+      if Float.is_finite b && b > 0.0 then v.(i) /. b else v.(i)
+    in
+    (c *. rel 0) +. (s *. rel 1) +. (e *. rel 2)
+
+let random_weights rng =
+  let w = Array.init dims (fun _ -> Prelude.Rng.float rng 1.0 +. 1e-3) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w

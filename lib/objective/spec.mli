@@ -1,0 +1,59 @@
+(** Optimisation objectives — what "good" means for a compiled binary.
+
+    The paper optimises cycles only; this module generalises the scoring
+    contract so the same trained machinery can serve latency-, footprint-
+    and battery-constrained users (MLComp-style multi-objective
+    selection).  A {!t} names the objective; {!vector} maps one priced
+    run to a per-objective score vector (lower is better on every axis);
+    {!scalar} collapses a vector for the single-objective specs.
+
+    The default spec is {!Cycles} and every default-path computation is
+    bit-identical to the pre-objective code: callers must not even
+    compute vectors under [Cycles]. *)
+
+type t =
+  | Cycles  (** Execution time (seconds on the priced configuration). *)
+  | Size  (** Static code size (post-pipeline instruction count). *)
+  | Energy  (** Energy estimate in millijoules ({!Sim.Xtrem.energy_mj}). *)
+  | Weighted of { c : float; s : float; e : float }
+      (** Blend of -O3-relative ratios: [c*(t/t3) + s*(sz/sz3) + e*(en/en3)].
+          Weights are non-negative with a positive sum. *)
+  | Pareto  (** Keep the whole non-dominated front; no scalarisation. *)
+
+val default : t
+(** [Cycles] — the paper's objective and the compatibility baseline. *)
+
+val is_default : t -> bool
+
+val to_string : t -> string
+(** Grammar: [cycles], [size], [energy], [pareto] or [w:<c>,<s>,<e>]. *)
+
+val equal : t -> t -> bool
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; rejects unknown names, malformed weight
+    lists, negative/non-finite weights and all-zero blends. *)
+
+val dims : int
+(** Number of score axes (3: cycles, size, energy). *)
+
+val names : string array
+(** Axis names, indexed like the vectors: [[|"cycles";"size";"energy"|]]. *)
+
+val vector : Sim.Xtrem.run -> size:int -> Uarch.Config.t -> float array
+(** Deterministic per-objective score of one run priced on one
+    configuration: [[| seconds; size; energy_mj |]].  Each component is
+    also observed into the [objective.score.*] histograms. *)
+
+val scalar : t -> baseline:float array -> float array -> float
+(** Collapse a score vector for a single-objective or weighted spec.
+    [Cycles]/[Size]/[Energy] return the raw component (so ordering is
+    bit-identical to comparing that component directly); [Weighted]
+    blends components normalised by [baseline] (the -O3 vector of the
+    same pair), skipping the normalisation for non-positive baseline
+    components.  Raises [Invalid_argument] for [Pareto]. *)
+
+val random_weights : Prelude.Rng.t -> float array
+(** A random direction on the positive simplex (sums to 1, all
+    components > 0) — the decomposition device the front-maintaining
+    searches use to scalarise per restart/generation. *)

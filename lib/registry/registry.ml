@@ -181,23 +181,32 @@ type lineage = {
   l_evidence_digest : string;
   l_programs_digest : string;
   l_uarchs_digest : string;
+  l_objective : string;
 }
 
 let lineage_to_json l =
+  (* The objective is written only when non-default, so lineage files
+     from before multi-objective training — and every cycles-trained
+     version since — stay byte-identical. *)
+  let objective_field =
+    if l.l_objective = Objective.Spec.to_string Objective.Spec.default then []
+    else [ ("objective", J.Str l.l_objective) ]
+  in
   J.Obj
-    [
-      ("id", J.Str l.l_id);
-      ("parent", match l.l_parent with None -> J.Null | Some p -> J.Str p);
-      ("created_unix", J.Float l.l_created);
-      ("k", J.Int l.l_k);
-      ("beta", J.Float l.l_beta);
-      ("space", J.Str l.l_space);
-      ("pairs", J.Int l.l_pairs);
-      ("records", J.Int l.l_records);
-      ("evidence_digest", J.Str l.l_evidence_digest);
-      ("programs_digest", J.Str l.l_programs_digest);
-      ("uarchs_digest", J.Str l.l_uarchs_digest);
-    ]
+    ([
+       ("id", J.Str l.l_id);
+       ("parent", match l.l_parent with None -> J.Null | Some p -> J.Str p);
+       ("created_unix", J.Float l.l_created);
+       ("k", J.Int l.l_k);
+       ("beta", J.Float l.l_beta);
+       ("space", J.Str l.l_space);
+       ("pairs", J.Int l.l_pairs);
+       ("records", J.Int l.l_records);
+       ("evidence_digest", J.Str l.l_evidence_digest);
+       ("programs_digest", J.Str l.l_programs_digest);
+       ("uarchs_digest", J.Str l.l_uarchs_digest);
+     ]
+    @ objective_field)
 
 let ( let* ) = Result.bind
 
@@ -223,6 +232,12 @@ let lineage_of_json j =
   let* l_evidence_digest = field "evidence_digest" J.to_str j in
   let* l_programs_digest = field "programs_digest" J.to_str j in
   let* l_uarchs_digest = field "uarchs_digest" J.to_str j in
+  let l_objective =
+    (* Absent in pre-objective lineage records: read as the default. *)
+    match J.member "objective" j with
+    | Some (J.Str s) -> s
+    | _ -> Objective.Spec.to_string Objective.Spec.default
+  in
   Ok
     {
       l_id;
@@ -236,6 +251,7 @@ let lineage_of_json j =
       l_evidence_digest;
       l_programs_digest;
       l_uarchs_digest;
+      l_objective;
     }
 
 let lineage t id =
@@ -286,7 +302,8 @@ let space_to_string = function
   | Ml_model.Features.Base -> "base"
   | Ml_model.Features.Extended -> "extended"
 
-let publish ?k ?beta ?parent ?channel ~created t delta =
+let publish ?k ?beta ?parent ?channel
+    ?(objective = Objective.Spec.default) ~created t delta =
   let* parent_id, base =
     match parent with
     | None -> Ok (None, [])
@@ -318,6 +335,14 @@ let publish ?k ?beta ?parent ?channel ~created t delta =
         ("programs_digest", J.Str (Evidence.programs_digest union));
         ("uarchs_digest", J.Str (Evidence.uarchs_digest union));
       ]
+      (* Non-default objective is part of the artifact's identity: the
+         field changes the payload, hence the version id — the same
+         evidence declared under a different objective is a different
+         version.  Defaults add nothing, keeping cycles versions
+         byte-identical to pre-objective ones. *)
+      @ (if Objective.Spec.is_default objective then []
+         else
+           [ ("objective", J.Str (Objective.Spec.to_string objective)) ])
     in
     let artifact = { Serve.Artifact.model; space; meta } in
     let header, payload = Serve.Artifact.encode artifact in
@@ -335,6 +360,7 @@ let publish ?k ?beta ?parent ?channel ~created t delta =
         l_evidence_digest = Evidence.digest union;
         l_programs_digest = Evidence.programs_digest union;
         l_uarchs_digest = Evidence.uarchs_digest union;
+        l_objective = Objective.Spec.to_string objective;
       }
     in
     (* Content-addressed dedup: republishing identical content is a

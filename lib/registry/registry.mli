@@ -56,6 +56,12 @@ type lineage = {
   l_evidence_digest : string;  (** {!Evidence.digest} of the ledger. *)
   l_programs_digest : string;
   l_uarchs_digest : string;
+  l_objective : string;
+      (** {!Objective.Spec.to_string} form of the objective the version
+          was trained under.  Written to the lineage file (and the
+          artifact meta) only when non-default, so pre-objective lineage
+          records load as ["cycles"] and cycles versions stay
+          byte-identical. *)
 }
 
 val publish :
@@ -63,6 +69,7 @@ val publish :
   ?beta:float ->
   ?parent:string ->
   ?channel:string ->
+  ?objective:Objective.Spec.t ->
   created:float ->
   t ->
   Evidence.record list ->

@@ -1,0 +1,61 @@
+(** Shared plumbing for the front-maintaining search variants.
+
+    Each searcher ([Iterative.search_front], [Hill_climb.search_front],
+    [Genetic.search_front]) evaluates settings to objective vectors
+    ({!Objective.Spec.vector}) and offers every evaluation to one
+    bounded Pareto front; the single-objective machinery underneath is
+    reused by decomposition — random weight directions scalarise the
+    vector, normalised by the direction's first evaluation so the axes
+    are unit-free. *)
+
+type result = {
+  front : Objective.Front.t;
+  front_settings : Passes.Flags.setting array;
+      (** Every evaluated setting, indexed by front entry index. *)
+  evaluations : int;
+}
+
+let default_capacity = 32
+
+(** Split [budget] over [directions] random weight vectors; for each,
+    call [run_scalar ~slice ~scalar_eval] — a scalar searcher limited to
+    [slice] evaluations of [scalar_eval].  Every underlying vector
+    evaluation feeds the shared front. *)
+let decompose ~directions ~capacity ~rng ~budget ~evaluate run_scalar =
+  if budget < 1 then invalid_arg "Front_search.decompose: empty budget";
+  if directions < 1 then
+    invalid_arg "Front_search.decompose: directions must be >= 1";
+  let front =
+    Objective.Front.create ~capacity ~dims:Objective.Spec.dims ()
+  in
+  let acc = ref [] and count = ref 0 in
+  let per = max 1 (budget / directions) in
+  let d = ref 0 in
+  while !count < budget && !d < directions do
+    incr d;
+    let w = Objective.Spec.random_weights rng in
+    let spec = Objective.Spec.Weighted { c = w.(0); s = w.(1); e = w.(2) } in
+    let baseline = ref None in
+    let scalar_eval s =
+      let v = evaluate s in
+      let i = !count in
+      incr count;
+      acc := s :: !acc;
+      ignore (Objective.Front.insert front ~index:i ~score:v);
+      let b =
+        match !baseline with
+        | Some b -> b
+        | None ->
+          baseline := Some v;
+          v
+      in
+      Objective.Spec.scalar spec ~baseline:b v
+    in
+    let slice = min per (budget - !count) in
+    if slice >= 1 then run_scalar ~slice ~scalar_eval
+  done;
+  {
+    front;
+    front_settings = Array.of_list (List.rev !acc);
+    evaluations = !count;
+  }

@@ -1,0 +1,27 @@
+(** Shared plumbing for the front-maintaining search variants
+    ([Iterative.search_front], [Hill_climb.search_front],
+    [Genetic.search_front]). *)
+
+type result = {
+  front : Objective.Front.t;
+  front_settings : Passes.Flags.setting array;
+      (** Every evaluated setting, indexed by front entry index. *)
+  evaluations : int;
+}
+
+val default_capacity : int
+(** Default front bound (32). *)
+
+val decompose :
+  directions:int ->
+  capacity:int ->
+  rng:Prelude.Rng.t ->
+  budget:int ->
+  evaluate:(Passes.Flags.setting -> float array) ->
+  (slice:int -> scalar_eval:(Passes.Flags.setting -> float) -> unit) ->
+  result
+(** Split [budget] over [directions] random weight vectors on the
+    simplex; for each, run the supplied scalar searcher on the weighted
+    blend (normalised by the direction's first evaluation, so the axes
+    are unit-free).  Every vector evaluation is offered to one shared
+    bounded Pareto front. *)

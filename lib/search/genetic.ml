@@ -77,3 +77,15 @@ let search ?(params = default_params) ~rng ~budget ~evaluate () =
     evaluations = !evals;
     generations = !generations;
   }
+
+(** Front-maintaining variant: one GA run per random weight direction
+    (a decomposition in the MOEA/D spirit), every evaluation feeding a
+    shared bounded Pareto front.  The GA always evaluates at least one
+    full population per direction, so the total can overshoot [budget]
+    by up to [params.population - 1]. *)
+let search_front ?(params = default_params)
+    ?(capacity = Front_search.default_capacity) ?(directions = 4) ~rng
+    ~budget ~evaluate () =
+  Front_search.decompose ~directions ~capacity ~rng ~budget ~evaluate
+    (fun ~slice ~scalar_eval ->
+      ignore (search ~params ~rng ~budget:slice ~evaluate:scalar_eval ()))

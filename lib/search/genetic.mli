@@ -25,3 +25,17 @@ val search :
   evaluate:(Passes.Flags.setting -> float) ->
   unit ->
   result
+
+val search_front :
+  ?params:params ->
+  ?capacity:int ->
+  ?directions:int ->
+  rng:Prelude.Rng.t ->
+  budget:int ->
+  evaluate:(Passes.Flags.setting -> float array) ->
+  unit ->
+  Front_search.result
+(** Front-maintaining variant: one GA run per random weight direction
+    (decomposition in the MOEA/D spirit), every evaluation feeding a
+    shared bounded Pareto front.  May overshoot [budget] by up to one
+    population (the GA always seeds a full initial population). *)

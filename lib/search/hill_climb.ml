@@ -1,5 +1,5 @@
-(** Hill climbing over the optimisation space (Almagor et al., referenced
-    in section 8's iterative-compilation discussion).
+(** Hill climbing over the optimisation space (Almagor et al.,
+    referenced in section 8's iterative-compilation discussion).
 
     First-improvement climbing over the one-change neighbourhood (flip one
     flag or move one parameter to an adjacent value), with random restarts
@@ -77,3 +77,12 @@ let search ~rng ~budget ~evaluate =
   | Some (s, t) ->
     { best = s; best_seconds = t; evaluations = !evals; restarts = !restarts }
   | None -> invalid_arg "Hill_climb.search: empty budget"
+
+(** Front-maintaining variant: climb [directions] random weighted
+    scalarisations of the objective vector, every evaluation feeding a
+    shared bounded Pareto front. *)
+let search_front ?(capacity = Front_search.default_capacity)
+    ?(directions = 4) ~rng ~budget ~evaluate () =
+  Front_search.decompose ~directions ~capacity ~rng ~budget ~evaluate
+    (fun ~slice ~scalar_eval ->
+      ignore (search ~rng ~budget:slice ~evaluate:scalar_eval))

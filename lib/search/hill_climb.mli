@@ -20,3 +20,15 @@ val search :
   budget:int ->
   evaluate:(Passes.Flags.setting -> float) ->
   result
+
+val search_front :
+  ?capacity:int ->
+  ?directions:int ->
+  rng:Prelude.Rng.t ->
+  budget:int ->
+  evaluate:(Passes.Flags.setting -> float array) ->
+  unit ->
+  Front_search.result
+(** Front-maintaining variant: climbs [directions] (default 4) random
+    weighted scalarisations, every evaluation feeding a shared bounded
+    Pareto front. *)

@@ -54,6 +54,26 @@ let convergence ~rng ~trials times =
     Array.map (fun s -> s /. float_of_int trials) acc
   end
 
+(** Front-maintaining random search: every evaluated vector is offered
+    to a bounded Pareto front.  [evaluate] returns an objective vector
+    ({!Objective.Spec.vector}); lower is better on every axis. *)
+let search_front ?(capacity = Front_search.default_capacity) ~rng ~budget
+    ~evaluate () =
+  if budget < 1 then invalid_arg "Iterative.search_front: empty budget";
+  let settings = Array.init budget (fun _ -> Passes.Flags.random rng) in
+  let front =
+    Objective.Front.create ~capacity ~dims:Objective.Spec.dims ()
+  in
+  Array.iteri
+    (fun i s ->
+      ignore (Objective.Front.insert front ~index:i ~score:(evaluate s)))
+    settings;
+  {
+    Front_search.front;
+    front_settings = settings;
+    evaluations = budget;
+  }
+
 (** First index at which [curve] reaches [target] or better, or [None]. *)
 let evaluations_to_reach curve target =
   let n = Array.length curve in

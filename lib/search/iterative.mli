@@ -17,6 +17,16 @@ val search :
 (** Random search: [budget] fresh uniform settings through [evaluate]
     (seconds; lower is better). *)
 
+val search_front :
+  ?capacity:int ->
+  rng:Prelude.Rng.t ->
+  budget:int ->
+  evaluate:(Passes.Flags.setting -> float array) ->
+  unit ->
+  Front_search.result
+(** Front-maintaining random search: [budget] fresh uniform settings,
+    every objective vector offered to a bounded Pareto front. *)
+
 val convergence :
   rng:Prelude.Rng.t -> trials:int -> float array -> float array
 (** Expected best-so-far curve when drawing without replacement from an

@@ -62,6 +62,19 @@ let provenance ?store_dir ~programs_digest ~settings_digest ~uarchs_digest ()
     ("uarchs_digest", J.Str uarchs_digest);
   ]
 
+(** The objective the artifact's model was trained for.  [portopt
+    train] records the spec in [meta] only when it differs from the
+    default — a cycles-trained artifact is byte-identical to one written
+    before objectives existed — so absence (and an unparseable value
+    from a foreign writer) reads as {!Objective.Spec.default}. *)
+let objective t =
+  match List.assoc_opt "objective" t.meta with
+  | Some (J.Str s) -> (
+    match Objective.Spec.of_string s with
+    | Ok o -> o
+    | Error _ -> Objective.Spec.default)
+  | _ -> Objective.Spec.default
+
 (* ---- encoding --------------------------------------------------------- *)
 
 let space_to_string = function

@@ -44,6 +44,13 @@ val provenance :
     a server can tell which evaluation store matches the model and
     warm-start from it (see {!Ml_model.Dataset.provenance_digests}). *)
 
+val objective : t -> Objective.Spec.t
+(** The objective the model was trained for, read from the ["objective"]
+    meta field.  [portopt train] records the field only for non-default
+    specs (keeping cycles-trained artifacts byte-identical to
+    pre-objective ones), so absence reads as
+    {!Objective.Spec.default}. *)
+
 val encode : t -> string * string
 (** The exact [(header, payload)] lines [save] writes — exposed so the
     model registry ([Registry]) can content-address artifacts and write

@@ -129,22 +129,26 @@ let checked ?(idempotent = false) t req =
   | Error (Transport e) -> Error (0, e)
   | Error (Malformed (code, e)) -> Error (code, e)
 
-let predict_once t ~counters ~uarch =
-  let* j = checked ~idempotent:true t (Protocol.Predict { counters; uarch }) in
+let predict_once t ?objective ~counters ~uarch () =
+  let* j =
+    checked ~idempotent:true t
+      (Protocol.Predict { counters; uarch; objective })
+  in
   Result.map_error (fun e -> (0, e)) (Protocol.prediction_of_json j)
 
-let predict ?backoff t ~counters ~uarch =
+let predict ?backoff ?objective t ~counters ~uarch =
   match backoff with
-  | None -> predict_once t ~counters ~uarch
+  | None -> predict_once t ?objective ~counters ~uarch ()
   | Some policy ->
     let rng = jitter_rng () in
     Prelude.Backoff.retry policy ~rng ~sleep:Thread.delay
       ~retryable:(fun (code, _) -> code = 429)
-      (fun ~attempt:_ -> predict_once t ~counters ~uarch)
+      (fun ~attempt:_ -> predict_once t ?objective ~counters ~uarch ())
 
-let predict_batch t queries =
+let predict_batch ?objective t queries =
   let* j =
-    checked ~idempotent:true t (Protocol.Predict_batch { queries })
+    checked ~idempotent:true t
+      (Protocol.Predict_batch { queries; objective })
   in
   match Protocol.batch_of_json j with
   | Error e -> Error (0, e)

@@ -34,6 +34,7 @@ val request : t -> Obs.Json.t -> (Obs.Json.t, string) result
 
 val predict :
   ?backoff:Prelude.Backoff.policy ->
+  ?objective:Objective.Spec.t ->
   t ->
   counters:Sim.Counters.t ->
   uarch:Uarch.Config.t ->
@@ -43,9 +44,13 @@ val predict :
     to the policy's retry budget; every other server error still
     returns immediately.  Without it, one shot (the historical
     behaviour).  Orthogonally, transport failures go through the
-    [reconnect] policy (predict is idempotent). *)
+    [reconnect] policy (predict is idempotent).  [objective] pins the
+    training spec the answering model must have — the server replies
+    with a 400 when the loaded model was trained for a different one;
+    omitted, any model answers. *)
 
 val predict_batch :
+  ?objective:Objective.Spec.t ->
   t ->
   (Sim.Counters.t * Uarch.Config.t) array ->
   (Protocol.prediction array, int * string) result

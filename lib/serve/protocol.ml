@@ -88,8 +88,18 @@ let uarch_of_json j =
 (* ---- requests --------------------------------------------------------- *)
 
 type request =
-  | Predict of { counters : Sim.Counters.t; uarch : Uarch.Config.t }
-  | Predict_batch of { queries : (Sim.Counters.t * Uarch.Config.t) array }
+  | Predict of {
+      counters : Sim.Counters.t;
+      uarch : Uarch.Config.t;
+      objective : Objective.Spec.t option;
+          (** The client's required objective; the server answers only
+              when it matches the loaded model's spec (else a typed
+              400).  [None] accepts whatever the model serves. *)
+    }
+  | Predict_batch of {
+      queries : (Sim.Counters.t * Uarch.Config.t) array;
+      objective : Objective.Spec.t option;
+    }
       (** One admission slot, one pool task, one response line for the
           whole vector. *)
   | Health
@@ -121,19 +131,25 @@ let request_to_json ?id ?trace req =
     | None -> []
     | Some ctx -> [ ("trace", Obs.Span.context_to_json ctx) ]
   in
+  let objective_field = function
+    | None -> []
+    | Some o -> [ ("objective", J.Str (Objective.Spec.to_string o)) ]
+  in
   let fields =
     match req with
-    | Predict { counters; uarch } ->
+    | Predict { counters; uarch; objective } ->
       [
         ("op", J.Str "predict");
         ("counters", counters_to_json counters);
         ("uarch", uarch_to_json uarch);
       ]
-    | Predict_batch { queries } ->
+      @ objective_field objective
+    | Predict_batch { queries; objective } ->
       [
         ("op", J.Str "predict_batch");
         ("queries", J.List (Array.to_list (Array.map query_to_json queries)));
       ]
+      @ objective_field objective
     | Health -> [ ("op", J.Str "health") ]
     | Metrics -> [ ("op", J.Str "metrics") ]
     | Reload -> [ ("op", J.Str "reload") ]
@@ -179,6 +195,18 @@ let query_of_json j =
           | Error e -> Error e
           | Ok uarch -> Ok (counters, uarch))))
 
+(* The optional per-request ["objective"] member, shared by "predict"
+   and "predict_batch".  An unparseable spec is a typed 400 — like a
+   non-finite counter, it must never reach the model silently. *)
+let objective_of_json j =
+  match J.member "objective" j with
+  | None -> Ok None
+  | Some (J.Str s) -> (
+    match Objective.Spec.of_string s with
+    | Ok o -> Ok (Some o)
+    | Error e -> Error e)
+  | Some _ -> Error "malformed \"objective\" field (expected a string)"
+
 let request_of_json j =
   let op =
     match Option.bind (J.member "op" j) J.to_str with
@@ -198,30 +226,40 @@ let request_of_json j =
     in
     Ok (Sleep seconds)
   | "predict" -> (
-    match query_of_json j with
+    match objective_of_json j with
     | Error e -> Error ("predict: " ^ e)
-    | Ok (counters, uarch) -> Ok (Predict { counters; uarch }))
+    | Ok objective -> (
+      match query_of_json j with
+      | Error e -> Error ("predict: " ^ e)
+      | Ok (counters, uarch) -> Ok (Predict { counters; uarch; objective })))
   | "predict_batch" -> (
-    match Option.bind (J.member "queries" j) J.to_list with
-    | None -> Error "predict_batch: missing or malformed \"queries\" field"
-    | Some [] -> Error "predict_batch: empty \"queries\" list"
-    | Some items when List.length items > max_batch ->
-      Error
-        (Printf.sprintf "predict_batch: %d queries, but a batch holds at \
-                         most %d"
-           (List.length items) max_batch)
-    | Some items ->
-      (* All-or-nothing: one malformed query fails the whole batch with
-         its position, so a client never has to match partial results
-         back to inputs. *)
-      let rec parse i acc = function
-        | [] -> Ok (Predict_batch { queries = Array.of_list (List.rev acc) })
-        | q :: rest -> (
-          match query_of_json q with
-          | Error e -> Error (Printf.sprintf "predict_batch: query %d: %s" i e)
-          | Ok pair -> parse (i + 1) (pair :: acc) rest)
-      in
-      parse 0 [] items)
+    match objective_of_json j with
+    | Error e -> Error ("predict_batch: " ^ e)
+    | Ok objective -> (
+      match Option.bind (J.member "queries" j) J.to_list with
+      | None -> Error "predict_batch: missing or malformed \"queries\" field"
+      | Some [] -> Error "predict_batch: empty \"queries\" list"
+      | Some items when List.length items > max_batch ->
+        Error
+          (Printf.sprintf "predict_batch: %d queries, but a batch holds at \
+                           most %d"
+             (List.length items) max_batch)
+      | Some items ->
+        (* All-or-nothing: one malformed query fails the whole batch with
+           its position, so a client never has to match partial results
+           back to inputs. *)
+        let rec parse i acc = function
+          | [] ->
+            Ok
+              (Predict_batch
+                 { queries = Array.of_list (List.rev acc); objective })
+          | q :: rest -> (
+            match query_of_json q with
+            | Error e ->
+              Error (Printf.sprintf "predict_batch: query %d: %s" i e)
+            | Ok pair -> parse (i + 1) (pair :: acc) rest)
+        in
+        parse 0 [] items))
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 (* ---- responses -------------------------------------------------------- *)

@@ -14,8 +14,18 @@ val uarch_of_json : Obs.Json.t -> (Uarch.Config.t, string) result
 (** Validates with {!Uarch.Config.validate}. *)
 
 type request =
-  | Predict of { counters : Sim.Counters.t; uarch : Uarch.Config.t }
-  | Predict_batch of { queries : (Sim.Counters.t * Uarch.Config.t) array }
+  | Predict of {
+      counters : Sim.Counters.t;
+      uarch : Uarch.Config.t;
+      objective : Objective.Spec.t option;
+          (** The client's required objective.  The server answers only
+              when it matches the loaded model's training spec,
+              otherwise a typed 400; [None] accepts any model. *)
+    }
+  | Predict_batch of {
+      queries : (Sim.Counters.t * Uarch.Config.t) array;
+      objective : Objective.Spec.t option;
+    }
       (** A vector of queries answered as one response line ("results",
           in query order) — the server admits the whole batch as one
           slot and computes it as one pool task. *)

@@ -542,9 +542,28 @@ let ab_event routing arm ~queries =
     release it in a [Fun.protect]. *)
 type outcome = Now of J.t | Pooled of (unit -> J.t)
 
-let predict_outcome t ~id ~t0 counters uarch =
+(* A request may pin the objective it was trained against; the server
+   answers only from a model trained for that spec.  [None] accepts any
+   model (the pre-objective client behaviour). *)
+let objective_mismatch ~objective arm =
+  match objective with
+  | None -> None
+  | Some want ->
+    let have = Artifact.objective arm.arm_artifact in
+    if Objective.Spec.equal want have then None
+    else
+      Some
+        (Printf.sprintf
+           "objective mismatch: model trained for %s, request asks %s"
+           (Objective.Spec.to_string have)
+           (Objective.Spec.to_string want))
+
+let predict_outcome t ~id ~t0 ~objective counters uarch =
   let routing = Atomic.get t.routing in
   let arm = choose routing (route_key counters uarch) in
+  match objective_mismatch ~objective arm with
+  | Some msg -> Now (Protocol.error_to_json ?id ~code:400 msg)
+  | None ->
   let features =
     Ml_model.Features.raw arm.arm_artifact.Artifact.space counters uarch
   in
@@ -603,12 +622,26 @@ let predict_outcome t ~id ~t0 counters uarch =
     different models.  Results come back in query order; each element
     is bit-identical to what the single-query path would have produced
     (same model entry point). *)
-let predict_batch_outcome t ~id ~t0 queries =
+let predict_batch_outcome t ~id ~t0 ~objective queries =
   let routing = Atomic.get t.routing in
   let n = Array.length queries in
   let arms =
     Array.map (fun (c, u) -> choose routing (route_key c u)) queries
   in
+  (* Whole-batch objective check: the batch is one admission slot, so a
+     single mismatching arm rejects the whole request rather than
+     answering a mixed vector. *)
+  let mismatch =
+    Array.fold_left
+      (fun acc arm ->
+        match acc with
+        | Some _ -> acc
+        | None -> objective_mismatch ~objective arm)
+      None arms
+  in
+  match mismatch with
+  | Some msg -> Now (Protocol.error_to_json ?id ~code:400 msg)
+  | None ->
   let features =
     Array.mapi
       (fun i (counters, uarch) ->
@@ -833,10 +866,10 @@ let classify t ~t0 line =
                     in
                     J.Obj (with_id id fields))),
             "sleep" )
-      | Ok (Protocol.Predict { counters; uarch }) ->
-        (predict_outcome t ~id ~t0 counters uarch, "predict")
-      | Ok (Protocol.Predict_batch { queries }) ->
-        (predict_batch_outcome t ~id ~t0 queries, "predict_batch"))
+      | Ok (Protocol.Predict { counters; uarch; objective }) ->
+        (predict_outcome t ~id ~t0 ~objective counters uarch, "predict")
+      | Ok (Protocol.Predict_batch { queries; objective }) ->
+        (predict_batch_outcome t ~id ~t0 ~objective queries, "predict_batch"))
   in
   (outcome, op, remote)
 

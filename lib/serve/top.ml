@@ -118,6 +118,17 @@ let render ?prev (cur : sample) ~address =
       (getf [ "gauges"; "net.loop.fds" ] cur.metrics)
       (getf [ "gauges"; "net.loop.lag_seconds" ] cur.metrics *. ms)
       (ci "net.loop.wakeups") bytes_in bytes_out);
+  (* Multi-objective activity, when the process has any: front
+     occupancy plus the insert/dominated/pruned tallies from
+     {!Objective.Front}.  Quiet (cycles-only) servers skip the line. *)
+  let o_ins = ci "objective.insertions"
+  and o_dom = ci "objective.dominated"
+  and o_pruned = ci "objective.pruned" in
+  let o_front = getf [ "gauges"; "objective.front_size" ] cur.metrics in
+  if o_ins + o_dom + o_pruned > 0 || o_front > 0.0 then
+    out
+      "objective front %.0f    insertions %d    dominated %d    pruned %d\n"
+      o_front o_ins o_dom o_pruned;
   let h = request_hist cur in
   out "%s\n" (fmt_quantiles "(lifetime)" h);
   (match prev with

@@ -12,6 +12,9 @@ type run = {
   setting : Passes.Flags.setting;
   profile : Ir.Profile.t;
   checksum : int;
+  size : int option;
+      (** Static post-pipeline instruction count; [None] only for runs
+          imported from pre-v2 store records. *)
 }
 
 (* Telemetry: interpreted runs with their dynamic instruction and
@@ -26,7 +29,9 @@ let m_evals = Obs.Metrics.counter "sim.evals"
 
 let profile_of ?setting program =
   Obs.Span.with_ "sim.profile" (fun () ->
-      let image = Passes.Driver.compile_to_image ?setting program in
+      let compiled = Passes.Driver.compile ?setting program in
+      let size = Ir.Types.program_size compiled in
+      let image = Ir.Layout.place compiled in
       let t0 = Obs.Clock.now_s () in
       let checksum, profile = Ir.Interp.run image in
       let dur = Obs.Clock.now_s () -. t0 in
@@ -42,6 +47,7 @@ let profile_of ?setting program =
         setting = Option.value setting ~default:Passes.Flags.o3;
         profile;
         checksum;
+        size = Some size;
       })
 
 (* ---- disk round-trip -------------------------------------------------- *)
@@ -81,10 +87,18 @@ let hists_json hs =
 
 let export run =
   let p = run.profile in
+  (* [size] entered the payload with store record v2; omitting it when
+     absent keeps re-exports of v1 imports honest. *)
+  let size_field =
+    match run.size with None -> [] | Some n -> [ ("size", J.Int n) ]
+  in
   J.Obj
-    [
-      ("setting", ints run.setting);
-      ("checksum", J.Int run.checksum);
+    ([
+       ("setting", ints run.setting);
+       ("checksum", J.Int run.checksum);
+     ]
+    @ size_field
+    @ [
       ( "profile",
         J.Obj
           [
@@ -118,10 +132,10 @@ let export run =
             ("gap_load", ints p.Ir.Profile.gap_load);
             ("gap_long", ints p.Ir.Profile.gap_long);
             ("adjacent_dep_pairs", J.Int p.Ir.Profile.adjacent_dep_pairs);
-            ("code_bytes", J.Int p.Ir.Profile.code_bytes);
-            ("checksum", J.Int p.Ir.Profile.checksum);
-          ] );
-    ]
+              ("code_bytes", J.Int p.Ir.Profile.code_bytes);
+              ("checksum", J.Int p.Ir.Profile.checksum);
+            ] );
+      ])
 
 let ( let* ) = Result.bind
 
@@ -194,6 +208,8 @@ let import j =
     | exception Invalid_argument e -> Error e
   in
   let* checksum = field "checksum" J.to_int j in
+  (* Optional: absent from store records written before v2. *)
+  let size = Option.bind (J.member "size" j) J.to_int in
   let* p = field "profile" Option.some j in
   let i name = field name J.to_int p in
   let* dyn_insts = i "dyn_insts" in
@@ -227,6 +243,7 @@ let import j =
     {
       setting;
       checksum;
+      size;
       profile =
         {
           Ir.Profile.dyn_insts;
@@ -292,4 +309,7 @@ let energy_mj run (u : Uarch.Config.t) =
     +. Uarch.Cacti.leakage_mw ~size:u.Uarch.Config.dl1_size)
     *. v.Pipeline.seconds
   in
-  ienergy +. denergy +. core_energy +. leakage
+  let e = ienergy +. denergy +. core_energy +. leakage in
+  (* Zero-instruction or otherwise degenerate runs must not poison
+     objective vectors with NaN/negative energy. *)
+  if Float.is_finite e && e >= 0.0 then e else 0.0

@@ -10,6 +10,11 @@ type run = {
   setting : Passes.Flags.setting;
   profile : Ir.Profile.t;
   checksum : int;  (** Functional result; identical across settings. *)
+  size : int option;
+      (** Static post-pipeline instruction count, persisted with store
+          record v2 so multi-objective training never recompiles.
+          [None] only for runs imported from v1 records; consumers
+          recompute on that miss. *)
 }
 
 val profile_of : ?setting:Passes.Flags.setting -> Ir.Types.program -> run
@@ -34,4 +39,5 @@ val energy_mj : run -> Uarch.Config.t -> float
 (** Energy estimate from the Cacti-style model: dynamic cache and core
     energy plus leakage over the run.  Used by the design-space
     exploration example (the paper notes some configurations trade 21%
-    power). *)
+    power) and the energy objective.  Always finite and non-negative,
+    even for degenerate (zero-instruction) runs. *)

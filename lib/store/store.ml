@@ -4,7 +4,13 @@
 module J = Obs.Json
 
 let magic = "portopt-store"
-let version = 1
+
+(* v2 added the static post-pipeline instruction count ("size") to the
+   run payload so multi-objective training reads warm with zero
+   recompiles; v1 records (no size) still load, the size recomputed by
+   the consumer on that miss. *)
+let version = 2
+let min_version = 1
 let default_dir = ".portopt-store"
 
 (* ---- digests and keys ------------------------------------------------- *)
@@ -175,9 +181,9 @@ let load_record ~path =
       | Error e -> err "malformed header: %s" e
       | Ok (m, _, _, _) when m <> magic ->
         err "not a portopt store record (magic %S)" m
-      | Ok (_, v, _, _) when v <> version ->
-        err "unsupported store version %d (this build reads version %d)" v
-          version
+      | Ok (_, v, _, _) when v < min_version || v > version ->
+        err "unsupported store version %d (this build reads versions %d-%d)"
+          v min_version version
       | Ok (_, _, _, bytes) when String.length payload < bytes ->
         err "truncated record (header promises %d payload bytes, found %d)"
           bytes (String.length payload)

@@ -10,9 +10,12 @@
 # train stitched to zero orphan spans, live Prometheus scrape and
 # `top` dashboard, tracing proven artifact-neutral) and registry
 # (evidence -> publish -> incremental refit byte-identical to a cold
-# retrain -> live serve with A/B -> reload -> promote -> gc) and net
+# retrain -> live serve with A/B -> reload -> promote -> gc), net
 # (binary, JSON and mixed clients on one listener, net.loop.*
-# instruments in both metrics renderings, drain under live load).
+# instruments in both metrics renderings, drain under live load) and
+# pareto (--objective cycles byte-identical to the default, pareto
+# fronts through crossval/serve/bench, typed 400 on objective
+# mismatch).
 # Each stage fails fast; a green run is the tier-1 bar for merging.
 #
 # Usage: sh scripts/ci.sh   (or `make ci`)
@@ -55,6 +58,9 @@ make registry-smoke
 
 stage net-smoke
 make net-smoke
+
+stage pareto-smoke
+make pareto-smoke
 
 echo
 echo "ci: OK"

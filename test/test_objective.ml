@@ -1,0 +1,314 @@
+(* Tests for the multi-objective subsystem: Objective.Spec parsing,
+   Objective.Front invariants (property-tested), Cacti monotonicity,
+   energy-model guards, the good-set tie-break and the front-maintaining
+   search wrappers. *)
+
+module Spec = Objective.Spec
+module Front = Objective.Front
+
+let check = Alcotest.check
+
+(* ---- Spec ------------------------------------------------------------- *)
+
+let test_spec_roundtrip () =
+  let roundtrip s =
+    match Spec.of_string (Spec.to_string s) with
+    | Ok s' ->
+      check Alcotest.bool
+        (Printf.sprintf "round-trip %s" (Spec.to_string s))
+        true (Spec.equal s s')
+    | Error e -> Alcotest.failf "%s did not round-trip: %s" (Spec.to_string s) e
+  in
+  roundtrip Spec.Cycles;
+  roundtrip Spec.Size;
+  roundtrip Spec.Energy;
+  roundtrip Spec.Pareto;
+  roundtrip (Spec.Weighted { c = 1.0; s = 0.5; e = 0.25 });
+  roundtrip (Spec.Weighted { c = 0.0; s = 0.0; e = 3.0 });
+  (* Case- and whitespace-insensitive on the way in. *)
+  (match Spec.of_string "  CYCLES " with
+  | Ok Spec.Cycles -> ()
+  | _ -> Alcotest.fail "\"  CYCLES \" did not parse as Cycles");
+  check Alcotest.bool "default is cycles" true (Spec.is_default Spec.Cycles);
+  check Alcotest.bool "pareto is not default" false (Spec.is_default Spec.Pareto)
+
+let test_spec_rejects_bad () =
+  let bad s =
+    match Spec.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error e ->
+      check Alcotest.bool
+        (Printf.sprintf "error for %S is non-empty" s)
+        true (String.length e > 0)
+  in
+  bad "";
+  bad "speed";
+  bad "w:";
+  bad "w:1,2";
+  bad "w:1,2,3,4";
+  bad "w:1,nope,3";
+  bad "w:-1,1,1";
+  bad "w:nan,1,1";
+  bad "w:0,0,0"
+
+(* ---- Front: property tests -------------------------------------------- *)
+
+(* Small integer-valued scores in a narrow range force plenty of exact
+   ties and dominations — the interesting cases. *)
+let gen_scores =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) l))
+    QCheck.Gen.(list_size (int_range 1 40) (pair (int_bound 5) (int_bound 5)))
+
+let front_of_list ?capacity l =
+  let f = Front.create ?capacity ~dims:2 () in
+  List.iteri
+    (fun i (a, b) ->
+      ignore (Front.insert f ~index:i ~score:[| float_of_int a; float_of_int b |]))
+    l;
+  f
+
+let entry_repr (e : Front.entry) =
+  (e.Front.index, Array.to_list e.Front.score)
+
+let prop_no_mutual_domination =
+  QCheck.Test.make ~name:"no front member dominates another" ~count:300
+    gen_scores (fun l ->
+      let m = Front.members (front_of_list l) in
+      Array.for_all
+        (fun a ->
+          Array.for_all
+            (fun (b : Front.entry) ->
+              a == b
+              || not (Front.dominates a.Front.score b.Front.score))
+            m)
+        m)
+
+let prop_order_invariant =
+  (* The unbounded front's membership is a pure function of the
+     inserted set: reversing the insertion order (indices kept with
+     their scores) must keep the same member set. *)
+  QCheck.Test.make ~name:"unbounded front invariant under insertion order"
+    ~count:300 gen_scores (fun l ->
+      let indexed = List.mapi (fun i s -> (i, s)) l in
+      let insert_all order =
+        let f = Front.create ~dims:2 () in
+        List.iter
+          (fun (i, (a, b)) ->
+            ignore
+              (Front.insert f ~index:i
+                 ~score:[| float_of_int a; float_of_int b |]))
+          order;
+        f
+      in
+      let forward = Front.members (insert_all indexed) in
+      let backward = Front.members (insert_all (List.rev indexed)) in
+      Array.to_list (Array.map entry_repr forward)
+      = Array.to_list (Array.map entry_repr backward))
+
+let prop_pruning_deterministic =
+  QCheck.Test.make ~name:"bounded pruning is deterministic" ~count:300
+    gen_scores (fun l ->
+      let a = Front.members (front_of_list ~capacity:4 l) in
+      let b = Front.members (front_of_list ~capacity:4 l) in
+      Array.length a <= 4
+      && Array.to_list (Array.map entry_repr a)
+         = Array.to_list (Array.map entry_repr b))
+
+let test_front_basics () =
+  let f = Front.create ~dims:2 () in
+  check Alcotest.bool "first insert accepted" true
+    (Front.insert f ~index:0 ~score:[| 1.0; 1.0 |]);
+  (* Dominated by the existing member: rejected. *)
+  check Alcotest.bool "dominated insert rejected" false
+    (Front.insert f ~index:1 ~score:[| 2.0; 2.0 |]);
+  (* Dominates the existing member: replaces it. *)
+  check Alcotest.bool "dominating insert accepted" true
+    (Front.insert f ~index:2 ~score:[| 0.5; 0.5 |]);
+  check Alcotest.int "dominated member evicted" 1 (Front.size f);
+  (* Equal score keeps the smallest index. *)
+  check Alcotest.bool "duplicate score rejected" false
+    (Front.insert f ~index:3 ~score:[| 0.5; 0.5 |]);
+  (* Incomparable: both stay. *)
+  check Alcotest.bool "incomparable accepted" true
+    (Front.insert f ~index:4 ~score:[| 0.1; 2.0 |]);
+  check Alcotest.int "both members" 2 (Front.size f);
+  (* Non-finite scores never enter. *)
+  check Alcotest.bool "nan rejected" false
+    (Front.insert f ~index:5 ~score:[| Float.nan; 0.0 |]);
+  check Alcotest.bool "dimension mismatch raises" true
+    (match Front.insert f ~index:6 ~score:[| 1.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  match Front.to_json f with
+  | Obs.Json.Obj fields ->
+    check Alcotest.bool "json has members" true
+      (List.mem_assoc "members" fields && List.mem_assoc "size" fields)
+  | _ -> Alcotest.fail "to_json is not an object"
+
+(* ---- Cacti monotonicity ----------------------------------------------- *)
+
+let test_cacti_monotone () =
+  let sizes = [ 1024; 2048; 4096; 8192; 16384; 32768; 65536; 131072 ] in
+  let assocs = [ 1; 2; 4; 8; 16 ] in
+  let blocks = [ 8; 16; 32; 64 ] in
+  let non_decreasing name f l =
+    ignore
+      (List.fold_left
+         (fun prev x ->
+           let v = f x in
+           if v < prev then
+             Alcotest.failf "%s decreased: %g -> %g" name prev v;
+           v)
+         neg_infinity l)
+  in
+  List.iter
+    (fun assoc ->
+      List.iter
+        (fun block ->
+          non_decreasing "access_time_ns (size)"
+            (fun size -> Uarch.Cacti.access_time_ns ~size ~assoc ~block)
+            sizes;
+          non_decreasing "access_energy_nj (size)"
+            (fun size -> Uarch.Cacti.access_energy_nj ~size ~assoc ~block)
+            sizes)
+        blocks)
+    assocs;
+  List.iter
+    (fun size ->
+      List.iter
+        (fun block ->
+          non_decreasing "access_time_ns (assoc)"
+            (fun assoc -> Uarch.Cacti.access_time_ns ~size ~assoc ~block)
+            assocs;
+          non_decreasing "access_energy_nj (assoc)"
+            (fun assoc -> Uarch.Cacti.access_energy_nj ~size ~assoc ~block)
+            assocs)
+        blocks)
+    sizes;
+  non_decreasing "leakage_mw (size)"
+    (fun size -> Uarch.Cacti.leakage_mw ~size)
+    sizes
+
+(* ---- energy guards ---------------------------------------------------- *)
+
+let some_uarch seed =
+  let rng = Prelude.Rng.create seed in
+  Uarch.Space.random Uarch.Space.Base rng
+
+let test_energy_finite () =
+  let program =
+    Workloads.Mibench.program_of (Workloads.Mibench.by_name "crc")
+  in
+  let run = Sim.Xtrem.profile_of ~setting:Passes.Flags.o3 program in
+  for seed = 1 to 10 do
+    let u = some_uarch seed in
+    let e = Sim.Xtrem.energy_mj run u in
+    check Alcotest.bool
+      (Printf.sprintf "energy finite and positive (seed %d)" seed)
+      true
+      (Float.is_finite e && e > 0.0)
+  done;
+  (* A degenerate zero-instruction run must yield finite, non-negative
+     energy — never NaN to poison an objective vector. *)
+  let zero_run =
+    {
+      run with
+      Sim.Xtrem.profile =
+        { run.Sim.Xtrem.profile with Ir.Profile.dyn_insts = 0 };
+    }
+  in
+  let u = some_uarch 1 in
+  let e = Sim.Xtrem.energy_mj zero_run u in
+  check Alcotest.bool "degenerate run energy finite, non-negative" true
+    (Float.is_finite e && e >= 0.0)
+
+(* ---- good-set tie-break ----------------------------------------------- *)
+
+let test_good_set_ties () =
+  (* Three equal times straddling the cut: the k = 2 good set must
+     admit the two smallest indices, deterministically. *)
+  let good =
+    Ml_model.Dataset.good_set ~good_fraction:0.5 [| 1.0; 1.0; 1.0; 2.0 |]
+  in
+  check (Alcotest.list Alcotest.int) "duplicate speedups tie-break by index"
+    [ 0; 1 ] (Array.to_list good);
+  (* All-equal vector: still the first k by index. *)
+  let good = Ml_model.Dataset.good_set ~good_fraction:0.5 [| 3.0; 3.0; 3.0; 3.0 |] in
+  check (Alcotest.list Alcotest.int) "all-equal times" [ 0; 1 ]
+    (Array.to_list good)
+
+(* ---- front-maintaining search ----------------------------------------- *)
+
+(* A synthetic, deterministic objective over settings: three axes in
+   genuine tension (derived from independent hashes), so fronts carry
+   several members. *)
+let synthetic_eval s =
+  let str = Passes.Flags.to_string s in
+  let h salt = float_of_int ((Hashtbl.hash (salt ^ str) land 0xffff) + 1) in
+  [| h "a"; h "b"; h "c" |]
+
+let assert_front_sane name (r : Search.Front_search.result) =
+  let m = Objective.Front.members r.Search.Front_search.front in
+  check Alcotest.bool (name ^ ": front non-empty") true (Array.length m > 0);
+  Array.iter
+    (fun (a : Objective.Front.entry) ->
+      Array.iter
+        (fun (b : Objective.Front.entry) ->
+          if a != b && Objective.Front.dominates a.score b.score then
+            Alcotest.failf "%s: member %d dominates member %d" name
+              a.Objective.Front.index b.Objective.Front.index)
+        m)
+    m;
+  check Alcotest.bool (name ^ ": evaluations counted") true
+    (r.Search.Front_search.evaluations > 0);
+  (* Every front index addresses an evaluated setting. *)
+  Array.iter
+    (fun (e : Objective.Front.entry) ->
+      if
+        e.Objective.Front.index < 0
+        || e.Objective.Front.index
+           >= Array.length r.Search.Front_search.front_settings
+      then Alcotest.failf "%s: front index out of range" name)
+    m
+
+let test_search_front () =
+  let rng () = Prelude.Rng.create 42 in
+  assert_front_sane "iterative"
+    (Search.Iterative.search_front ~rng:(rng ()) ~budget:40
+       ~evaluate:synthetic_eval ());
+  assert_front_sane "hill_climb"
+    (Search.Hill_climb.search_front ~rng:(rng ()) ~budget:40
+       ~evaluate:synthetic_eval ());
+  assert_front_sane "genetic"
+    (Search.Genetic.search_front ~rng:(rng ()) ~budget:40
+       ~evaluate:synthetic_eval ())
+
+(* ---- runner ----------------------------------------------------------- *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "objective"
+    [
+      ( "spec",
+        [
+          quick "round-trips" test_spec_roundtrip;
+          quick "rejects bad specs" test_spec_rejects_bad;
+        ] );
+      ( "front",
+        [
+          quick "insert semantics" test_front_basics;
+          QCheck_alcotest.to_alcotest prop_no_mutual_domination;
+          QCheck_alcotest.to_alcotest prop_order_invariant;
+          QCheck_alcotest.to_alcotest prop_pruning_deterministic;
+        ] );
+      ( "models",
+        [
+          quick "cacti monotone in size and assoc" test_cacti_monotone;
+          quick "energy finite and guarded" test_energy_finite;
+        ] );
+      ("dataset", [ quick "good-set tie-break" test_good_set_ties ]);
+      ("search", [ quick "front-maintaining searchers" test_search_front ]);
+    ]

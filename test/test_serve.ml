@@ -401,14 +401,14 @@ let test_protocol_request_roundtrip () =
   let uarch = some_uarch () in
   let j =
     Serve.Protocol.request_to_json ~id:7
-      (Serve.Protocol.Predict { counters; uarch })
+      (Serve.Protocol.Predict { counters; uarch; objective = None })
   in
   (* Through the printer and parser, as on the wire. *)
   let j =
     match J.of_string (J.to_string j) with Ok j -> j | Error e -> failwith e
   in
   (match Serve.Protocol.request_of_json j with
-  | Ok (Serve.Protocol.Predict { counters = c; uarch = u }) ->
+  | Ok (Serve.Protocol.Predict { counters = c; uarch = u; objective = None }) ->
     check Alcotest.bool "counters survive" true
       (Sim.Counters.to_array c = Sim.Counters.to_array counters);
     check Alcotest.bool "uarch survives" true (u = uarch)
@@ -484,13 +484,13 @@ let test_protocol_batch_roundtrip_and_limits () =
   let queries = Array.make 3 (counters, uarch) in
   let j =
     Serve.Protocol.request_to_json ~id:9
-      (Serve.Protocol.Predict_batch { queries })
+      (Serve.Protocol.Predict_batch { queries; objective = None })
   in
   let j =
     match J.of_string (J.to_string j) with Ok j -> j | Error e -> failwith e
   in
   (match Serve.Protocol.request_of_json j with
-  | Ok (Serve.Protocol.Predict_batch { queries = qs }) ->
+  | Ok (Serve.Protocol.Predict_batch { queries = qs; objective = None }) ->
     check Alcotest.int "all queries survive" 3 (Array.length qs);
     Array.iter
       (fun (c, u) ->
@@ -505,7 +505,7 @@ let test_protocol_batch_roundtrip_and_limits () =
   let reject msg queries needle =
     let j =
       Serve.Protocol.request_to_json
-        (Serve.Protocol.Predict_batch { queries })
+        (Serve.Protocol.Predict_batch { queries; objective = None })
     in
     match Serve.Protocol.request_of_json j with
     | Ok _ -> Alcotest.failf "accepted %s" msg
@@ -519,7 +519,7 @@ let test_protocol_batch_roundtrip_and_limits () =
   let j =
     match
       Serve.Protocol.request_to_json
-        (Serve.Protocol.Predict_batch { queries })
+        (Serve.Protocol.Predict_batch { queries; objective = None })
     with
     | J.Obj fields ->
       J.Obj

@@ -229,8 +229,45 @@ let test_corrupt_empty () =
 let test_corrupt_future_version () =
   with_record "future" (fun st key path ->
       let text = read_file path in
-      write_file path (replace text ~sub:"\"version\":1" ~by:"\"version\":99");
+      write_file path (replace text ~sub:"\"version\":2" ~by:"\"version\":99");
       expect_load_error st key path "unsupported store version")
+
+(* Records written before the static-size field (version 1, no "size")
+   must still load: the run comes back with [size = None] and readers
+   recompute the size on demand. *)
+let test_v1_record_still_loads () =
+  with_record "v1" (fun st key path ->
+      let text = read_file path in
+      let nl = String.index text '\n' in
+      let payload = String.sub text (nl + 1) (String.length text - nl - 2) in
+      (* Strip the v2-only "size" field and restamp as a version-1
+         record — header checksum covers the payload line. *)
+      let old_payload =
+        let module J = Obs.Json in
+        match J.of_string payload with
+        | Ok (J.Obj [ ("key", k); ("run", J.Obj run_fields) ]) ->
+          J.to_string
+            (J.Obj
+               [ ("key", k); ("run", J.Obj (List.remove_assoc "size" run_fields)) ])
+        | _ -> Alcotest.fail "payload is not the expected record object"
+      in
+      let header =
+        let module J = Obs.Json in
+        J.to_string
+          (J.Obj
+             [
+               ("magic", J.Str "portopt-store");
+               ("version", J.Int 1);
+               ("checksum", J.Str (Prelude.Fnv.tagged_string old_payload));
+               ("bytes", J.Int (String.length old_payload));
+             ])
+      in
+      write_file path (header ^ "\n" ^ old_payload ^ "\n");
+      match Store.find_run st ~key with
+      | None -> Alcotest.fail "v1 record did not load"
+      | Some r ->
+        check Alcotest.bool "v1 run has no stored size" true
+          (r.X.size = None))
 
 let test_corrupt_wrong_magic () =
   with_record "magic" (fun st key path ->
@@ -545,6 +582,7 @@ let () =
           quick "truncated" test_corrupt_truncated;
           quick "empty file" test_corrupt_empty;
           quick "future version" test_corrupt_future_version;
+          quick "v1 record still loads" test_v1_record_still_loads;
           quick "wrong magic" test_corrupt_wrong_magic;
           quick "key mismatch" test_corrupt_key_mismatch;
           quick "concurrent writers" test_concurrent_writers;
